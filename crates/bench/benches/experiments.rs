@@ -1,0 +1,53 @@
+//! Regenerates every table and figure of the paper's evaluation.
+//!
+//! Run everything:     `cargo bench -p payg-bench --bench experiments`
+//! Run one experiment: `cargo bench -p payg-bench --bench experiments -- fig6`
+//! Scale knobs:        see `payg_bench::BenchConfig` (PAYG_ROWS, …).
+
+use payg_bench::experiments;
+use payg_bench::report::render_footer;
+use payg_bench::BenchConfig;
+
+fn main() {
+    let cfg = BenchConfig::from_env();
+    let filter: Vec<String> = std::env::args()
+        .skip(1)
+        .filter(|a| !a.starts_with('-'))
+        .collect();
+    println!("Page-As-You-Go experiment suite");
+    println!(
+        "scale: {} rows x {} cols, {} queries/figure, {}us page-read latency, seed {}",
+        cfg.rows,
+        cfg.cols,
+        cfg.queries,
+        cfg.read_latency.as_micros(),
+        cfg.seed
+    );
+    let tables = payg_bench::setup::TableSet::new(&cfg);
+    type Runner = fn(&BenchConfig, &payg_bench::setup::TableSet) -> payg_bench::ExperimentReport;
+    fn fig1_adapter(cfg: &BenchConfig, _t: &payg_bench::setup::TableSet) -> payg_bench::ExperimentReport {
+        experiments::fig1::run(cfg)
+    }
+    let all: [(&str, Runner); 8] = [
+        ("fig1", fig1_adapter),
+        ("fig4", experiments::fig4::run),
+        ("fig5", experiments::fig5::run),
+        ("fig6", experiments::fig6::run),
+        ("fig7", experiments::fig7::run),
+        ("fig8", experiments::fig8::run),
+        ("fig9", experiments::fig9::run),
+        ("table3", experiments::table3::run),
+    ];
+    let mut reports = Vec::new();
+    for (id, runner) in all {
+        if !filter.is_empty() && !filter.iter().any(|f| id.contains(f.as_str())) {
+            continue;
+        }
+        let t0 = std::time::Instant::now();
+        let report = runner(&cfg, &tables);
+        print!("{}", report.render());
+        println!("[{} finished in {:.1?}]", id, t0.elapsed());
+        reports.push(report);
+    }
+    print!("{}", render_footer(&reports));
+}

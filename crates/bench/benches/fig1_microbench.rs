@@ -1,0 +1,75 @@
+//! Criterion micro benchmark behind Fig. 1: `mget` and `search` throughput
+//! on n-bit packed vectors for varying n.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use payg_encoding::scan::{search, search_bitmap};
+use payg_encoding::{BitPackedVec, BitWidth, VidSet};
+
+const SYMBOLS: usize = 1 << 20;
+
+fn vector(bits: u32) -> (BitPackedVec, u64) {
+    let w = BitWidth::new(bits).unwrap();
+    let values: Vec<u64> = (0..SYMBOLS as u64)
+        .map(|i| i.wrapping_mul(0x9E37_79B9_7F4A_7C15).rotate_left(13) & w.mask())
+        .collect();
+    let probe = values[SYMBOLS / 2];
+    (BitPackedVec::from_values_with_width(&values, w), probe)
+}
+
+fn bench_mget(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig1/mget");
+    g.throughput(Throughput::Elements(SYMBOLS as u64));
+    for bits in [1u32, 2, 4, 8, 12, 16, 24, 32] {
+        let (vec, _) = vector(bits);
+        let mut out = Vec::with_capacity(SYMBOLS);
+        g.bench_with_input(BenchmarkId::from_parameter(bits), &bits, |b, _| {
+            b.iter(|| {
+                vec.mget(0, vec.len(), &mut out);
+                std::hint::black_box(&out);
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_search(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig1/search");
+    g.throughput(Throughput::Elements(SYMBOLS as u64));
+    for bits in [1u32, 2, 4, 8, 12, 16, 24, 32] {
+        let (vec, probe) = vector(bits);
+        let set = VidSet::Single(probe);
+        let mut out = Vec::new();
+        g.bench_with_input(BenchmarkId::from_parameter(bits), &bits, |b, _| {
+            b.iter(|| {
+                out.clear();
+                search(&vec, 0, vec.len(), &set, &mut out);
+                std::hint::black_box(&out);
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_search_bitmap(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig1/search_bitmap");
+    g.throughput(Throughput::Elements(SYMBOLS as u64));
+    for bits in [1u32, 2, 4, 8, 12, 16, 24, 32] {
+        let (vec, probe) = vector(bits);
+        let set = VidSet::Single(probe);
+        let mut out = Vec::new();
+        g.bench_with_input(BenchmarkId::from_parameter(bits), &bits, |b, _| {
+            b.iter(|| {
+                search_bitmap(&vec, 0, vec.len(), &set, &mut out);
+                std::hint::black_box(&out);
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_mget, bench_search, bench_search_bitmap
+}
+criterion_main!(benches);

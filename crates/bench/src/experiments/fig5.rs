@@ -1,0 +1,59 @@
+//! Fig. 5: single reads of string columns through the paged dictionary.
+//!
+//! Workload `Q_pk^str` — `SELECT C_str FROM T WHERE C_pk = value` — on
+//! `T_p` vs `T_b`: one paged-data-vector access plus one dictionary
+//! directory probe and one dictionary page (`findByValueID`). Paper result:
+//! smaller footprint for `T_p`; `T_b` shows a large jump when a query
+//! touches a new column for the first time (its whole dictionary loads);
+//! the paged degradation (avg 1.24) exceeds Fig. 4 because both the data
+//! vector and the dictionary page in.
+
+use crate::experiments::{common_memory_checks, run_query_stream};
+use crate::report::ExperimentReport;
+use crate::setup::{TableSet, Variant};
+use crate::BenchConfig;
+
+/// Regenerates Fig. 5.
+pub fn run(cfg: &BenchConfig, tables: &TableSet) -> ExperimentReport {
+    let mut report = ExperimentReport::new(
+        "fig5",
+        "Q_pk^str on T_p vs T_b: paged dictionary findByValueID",
+    );
+    let stack = cfg.stack_cost.as_nanos() as u64;
+    let run = run_query_stream(cfg, tables, Variant::Base, Variant::Paged, |qg| qg.q_pk_str());
+    report.series_block(&run.series, "T_b", "T_p", stack);
+    let _ = report.write_csv(&run.series);
+    common_memory_checks(&mut report, &run, cfg);
+    let s = run.series.summary(stack);
+    // Paper: avg 1.24 with wider spread than Fig. 4 (dictionary pages in
+    // addition to data-vector pages).
+    report.check(
+        format!("normalized mean ratio moderate ({:.2}, paper: 1.24)", s.mean_norm),
+        s.mean_norm < 2.2,
+    );
+    // Paper: T_b's footprint jumps in column-sized steps (a first touch
+    // loads a whole column); T_p never jumps that coarsely. Compare the
+    // largest single-query footprint increment.
+    let max_step = |points: &[crate::series::Point], paged: bool| {
+        points
+            .windows(2)
+            .map(|w| {
+                let (a, b) = if paged { (w[0].paged_mem, w[1].paged_mem) } else { (w[0].base_mem, w[1].base_mem) };
+                b.saturating_sub(a)
+            })
+            .max()
+            .unwrap_or(0)
+    };
+    let base_step = max_step(&run.series.points, false);
+    let paged_step = max_step(&run.series.points, true);
+    report.line(format!(
+        "largest single-query footprint jump: T_b {} vs T_p {}",
+        crate::report::fmt_bytes(base_step),
+        crate::report::fmt_bytes(paged_step)
+    ));
+    report.check(
+        "T_b jumps column-at-a-time, T_p loads pieces (T_b max step larger)",
+        base_step > paged_step,
+    );
+    report
+}

@@ -1,0 +1,86 @@
+//! Fig. 8: row-id lookups through the unique paged inverted index.
+//!
+//! Workload `Q_pk^rid` — `SELECT ROWID() FROM T WHERE C_pk = value` — on
+//! `T_pp` (only the PK page loadable) vs `T_b`. The PK index is unique, so
+//! the paged index stores only the postinglist (no directory) and each
+//! lookup decodes a single posting. Paper results: the run-time gets close
+//! to the resident index (~29 % slower on average, few spikes), **but**
+//! Fig. 8a shows the paged index consuming *more* memory than the resident
+//! one — both store just the postinglist vector, and the paged variant's
+//! minimum load unit is a whole page. The table-level run below checks the
+//! ratio shape; a dedicated index-only measurement reproduces the memory
+//! inversion, which whole-table footprints (dominated by the PK dictionary)
+//! would mask.
+
+use crate::experiments::run_query_stream;
+use crate::report::{fmt_bytes, ExperimentReport};
+use crate::setup::{TableSet, Variant};
+use crate::BenchConfig;
+use payg_core::invidx::{InMemoryInvertedIndex, PagedInvertedIndex};
+use payg_resman::ResourceManager;
+use payg_storage::{BufferPool, MemStore};
+use std::sync::Arc;
+
+/// Regenerates Fig. 8.
+pub fn run(cfg: &BenchConfig, tables: &TableSet) -> ExperimentReport {
+    let mut report = ExperimentReport::new(
+        "fig8",
+        "Q_pk^rid on T_pp vs T_b: unique paged inverted index",
+    );
+    let stack = cfg.stack_cost.as_nanos() as u64;
+    let run = run_query_stream(cfg, tables, Variant::Base, Variant::PagedPk, |qg| qg.q_pk_rid());
+    report.series_block(&run.series, "T_b", "T_pp", stack);
+    let _ = report.write_csv(&run.series);
+    let s = run.series.summary(stack);
+    // The whole-stream mean includes the cold phase, where nearly every
+    // query loads fresh dictionary/index pages; the paper's "29 % slower on
+    // average" describes the steady behaviour, which the warm tail captures.
+    report.check(
+        format!("normalized mean ratio bounded ({:.2})", s.mean_norm),
+        s.mean_norm < 3.0,
+    );
+    report.check(
+        format!("normalized warm tail close to resident ({:.2}, paper: 1.29)", s.tail_norm),
+        s.tail_norm < 1.8,
+    );
+
+    // Index-only memory comparison (the paper's Fig. 8a): a unique index
+    // pair over the same permutation, with every page of the paged variant
+    // touched. The resident index is a tightly packed postinglist; the
+    // paged one cannot go below page granularity, so it ends up larger.
+    let rows = cfg.rows.min(200_000);
+    let values: Vec<u64> = {
+        // A deterministic permutation of 0..rows.
+        let mut v: Vec<u64> = (0..rows).collect();
+        let mut state = cfg.seed | 1;
+        for i in (1..v.len()).rev() {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            v.swap(i, (state >> 33) as usize % (i + 1));
+        }
+        v
+    };
+    let resman = ResourceManager::new();
+    let pool = BufferPool::new(Arc::new(MemStore::new()), resman.clone());
+    let paged = PagedInvertedIndex::build(&pool, &cfg.page_config(), &values, rows)
+        .expect("build unique paged index");
+    let resident = InMemoryInvertedIndex::build(&values, rows);
+    assert!(paged.is_unique() && resident.is_unique());
+    // Touch every posting so the whole paged chain is resident.
+    let mut it = paged.iter();
+    for vid in 0..rows {
+        let _ = it.get_first_row_pos(vid).expect("posting");
+    }
+    drop(it);
+    let paged_bytes = resman.stats().paged_bytes as u64;
+    let resident_bytes = resident.heap_bytes() as u64;
+    report.line(format!(
+        "index-only memory at full coverage: resident postinglist {} vs paged chain {}",
+        fmt_bytes(resident_bytes),
+        fmt_bytes(paged_bytes)
+    ));
+    report.check(
+        "paged unique index consumes >= the resident one (page-granular minimum)",
+        paged_bytes >= resident_bytes,
+    );
+    report
+}

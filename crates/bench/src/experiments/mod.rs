@@ -1,0 +1,103 @@
+//! One module per paper table/figure.
+
+pub mod fig1;
+pub mod fig4;
+pub mod fig5;
+pub mod fig6;
+pub mod fig7;
+pub mod fig8;
+pub mod fig9;
+pub mod table3;
+
+use crate::report::ExperimentReport;
+use crate::series::{Point, Series};
+use crate::setup::{ExperimentTable, TableSet, Variant};
+use crate::BenchConfig;
+use payg_table::Query;
+use payg_workload::QueryGen;
+use std::sync::Arc;
+use std::time::Instant;
+
+/// Runs every experiment in paper order over one shared table set.
+pub fn run_all(cfg: &BenchConfig) -> Vec<ExperimentReport> {
+    let tables = TableSet::new(cfg);
+    vec![
+        fig1::run(cfg),
+        fig4::run(cfg, &tables),
+        fig5::run(cfg, &tables),
+        fig6::run(cfg, &tables),
+        fig7::run(cfg, &tables),
+        fig8::run(cfg, &tables),
+        fig9::run(cfg, &tables),
+        table3::run(cfg, &tables),
+    ]
+}
+
+/// The shared shape of Figs. 4–9: replay the same random query stream
+/// against the resident baseline and the paged variant, recording per-query
+/// times and post-query footprints.
+#[allow(dead_code)] // tables kept alive so footprint accounting stays valid
+pub(crate) struct FigureRun {
+    pub series: Series,
+    pub base: Arc<ExperimentTable>,
+    pub paged: Arc<ExperimentTable>,
+}
+
+pub(crate) fn run_query_stream(
+    cfg: &BenchConfig,
+    tables: &TableSet,
+    base_variant: Variant,
+    paged_variant: Variant,
+    mut next_query: impl FnMut(&mut QueryGen) -> Query,
+) -> FigureRun {
+    let base = tables.get(base_variant);
+    let paged = tables.get(paged_variant);
+    let mut qg = QueryGen::new(tables.profile().clone(), cfg.seed ^ 0xF1ED);
+    let queries: Vec<Query> = (0..cfg.queries).map(|_| next_query(&mut qg)).collect();
+    let mut series = Series::default();
+    for q in &queries {
+        let t0 = Instant::now();
+        let r_base = base.table.execute(q).expect("base query");
+        let base_ns = t0.elapsed().as_nanos() as u64;
+        let t1 = Instant::now();
+        let r_paged = paged.table.execute(q).expect("paged query");
+        let paged_ns = t1.elapsed().as_nanos() as u64;
+        assert_eq!(r_base, r_paged, "variants must agree on {q:?}");
+        series.push(Point {
+            base_ns,
+            paged_ns,
+            base_mem: base.footprint(),
+            paged_mem: paged.footprint(),
+        });
+    }
+    FigureRun { series, base, paged }
+}
+
+/// Shape checks common to the memory-footprint figures: the paged variant
+/// ends with the smaller footprint, both footprints only grow, and the
+/// normalized (end-to-end) ratio converges toward 1 in the warm tail.
+pub(crate) fn common_memory_checks(
+    report: &mut ExperimentReport,
+    run: &FigureRun,
+    cfg: &BenchConfig,
+) {
+    let s = run.series.summary(cfg.stack_cost.as_nanos() as u64);
+    report.check(
+        format!(
+            "paged footprint below resident at the end ({} < {})",
+            crate::report::fmt_bytes(s.final_paged_mem),
+            crate::report::fmt_bytes(s.final_base_mem)
+        ),
+        s.final_paged_mem < s.final_base_mem,
+    );
+    let monotone = run
+        .series
+        .points
+        .windows(2)
+        .all(|w| w[1].paged_mem >= w[0].paged_mem.saturating_sub(1));
+    report.check("paged footprint grows as pages are pulled in", monotone);
+    report.check(
+        format!("normalized warm-tail ratio near 1 ({:.2})", s.tail_norm),
+        s.tail_norm < 2.5,
+    );
+}

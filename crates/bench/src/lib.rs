@@ -1,0 +1,31 @@
+//! Experiment harness: regenerates every table and figure of the paper's
+//! evaluation (§6).
+//!
+//! Each experiment in [`experiments`] builds the paper's table variants
+//! (Table 2: `T_b`, `T_p`, `T_pp`, `T_b^i`, `T_p^i`) from the ERP-like
+//! generated dataset, replays the corresponding query workload against the
+//! fully-resident baseline and the page-loadable variant, and reports the
+//! paper's two metrics:
+//!
+//! * **system memory footprint** — the resource manager's total registered
+//!   bytes, sampled after every query (Figs. 4a–9a);
+//! * **query run-time ratio** — paged time over resident time, per query
+//!   (Figs. 4b–9b) or averaged over hot repetitions (Table 3).
+//!
+//! Scale is configurable through environment variables (see
+//! [`config::BenchConfig`]); defaults are sized so the full suite runs in
+//! minutes on a laptop while preserving the paper's *shapes* (who wins, by
+//! roughly what factor, where the crossovers are). Absolute numbers differ
+//! from the paper's 100 M-row, 256 GB testbed by design.
+
+#![deny(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod config;
+pub mod experiments;
+pub mod report;
+pub mod series;
+pub mod setup;
+
+pub use config::BenchConfig;
+pub use report::ExperimentReport;

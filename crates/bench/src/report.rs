@@ -1,0 +1,204 @@
+//! Experiment reports: human-readable tables plus CSV artifacts.
+
+use crate::series::Series;
+use std::io::Write;
+use std::path::PathBuf;
+
+/// The outcome of one experiment: narrative lines, shape checks against the
+/// paper, and optional CSV artifacts.
+#[derive(Debug, Default)]
+pub struct ExperimentReport {
+    /// Experiment id, e.g. `"fig4"`.
+    pub id: String,
+    /// One-line description.
+    pub title: String,
+    /// Free-form result lines.
+    pub lines: Vec<String>,
+    /// Shape expectations from the paper and whether they held.
+    pub checks: Vec<(String, bool)>,
+}
+
+impl ExperimentReport {
+    /// Creates an empty report.
+    pub fn new(id: &str, title: &str) -> Self {
+        ExperimentReport { id: id.into(), title: title.into(), ..Default::default() }
+    }
+
+    /// Adds a result line.
+    pub fn line(&mut self, s: impl Into<String>) {
+        self.lines.push(s.into());
+    }
+
+    /// Records a shape check.
+    pub fn check(&mut self, what: impl Into<String>, ok: bool) {
+        self.checks.push((what.into(), ok));
+    }
+
+    /// Appends the standard series summary lines and memory/ratio shape
+    /// output used by every figure.
+    pub fn series_block(
+        &mut self,
+        series: &Series,
+        label_base: &str,
+        label_paged: &str,
+        stack_ns: u64,
+    ) {
+        let s = series.summary(stack_ns);
+        self.line(format!(
+            "queries: {}   raw ratio: mean {:.2} (90% CI ±{:.2})  p50 {:.2}  p90 {:.2}  max {:.1}  warm tail {:.2}",
+            s.n, s.mean_ratio, s.ci90_ratio, s.p50_ratio, s.p90_ratio, s.max_ratio, s.tail_mean_ratio
+        ));
+        self.line(format!(
+            "normalized ratio (incl. {:.0}us modeled SQL stack): mean {:.2}   warm tail {:.2}",
+            stack_ns as f64 / 1000.0,
+            s.mean_norm,
+            s.tail_norm
+        ));
+        self.line(format!(
+            "final footprint: {label_base} = {}   {label_paged} = {}   saving = {}",
+            fmt_bytes(s.final_base_mem),
+            fmt_bytes(s.final_paged_mem),
+            fmt_bytes(s.final_base_mem.saturating_sub(s.final_paged_mem))
+        ));
+        self.line(format!(
+            "{:>8} {:>14} {:>14} {:>9}",
+            "query", format!("mem({label_base})"), format!("mem({label_paged})"), "ratio"
+        ));
+        for (i, p) in series.downsample(20) {
+            self.line(format!(
+                "{:>8} {:>14} {:>14} {:>9.2}",
+                i + 1,
+                fmt_bytes(p.base_mem),
+                fmt_bytes(p.paged_mem),
+                p.ratio()
+            ));
+        }
+    }
+
+    /// Writes the full series as CSV next to the workspace
+    /// (`results/<id>.csv`), mirroring the figure's plotted data. Skipped
+    /// (returning the would-be path) when `PAYG_NO_CSV` is set — the
+    /// smoke-scale harness tests set it so `cargo test` never clobbers the
+    /// full-scale artifacts from `cargo bench`.
+    pub fn write_csv(&self, series: &Series) -> std::io::Result<PathBuf> {
+        let dir = results_dir();
+        if std::env::var_os("PAYG_NO_CSV").is_some() {
+            return Ok(dir.join(format!("{}.csv", self.id)));
+        }
+        std::fs::create_dir_all(&dir)?;
+        let path = dir.join(format!("{}.csv", self.id));
+        let mut f = std::fs::File::create(&path)?;
+        writeln!(f, "query,base_ns,paged_ns,ratio,base_mem_bytes,paged_mem_bytes")?;
+        for (i, p) in series.points.iter().enumerate() {
+            writeln!(
+                f,
+                "{},{},{},{:.4},{},{}",
+                i + 1,
+                p.base_ns,
+                p.paged_ns,
+                p.ratio(),
+                p.base_mem,
+                p.paged_mem
+            )?;
+        }
+        Ok(path)
+    }
+
+    /// Renders the report to a string (what the bench binary prints).
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!("\n=== {} — {} ===\n", self.id, self.title));
+        for l in &self.lines {
+            out.push_str(l);
+            out.push('\n');
+        }
+        for (what, ok) in &self.checks {
+            out.push_str(&format!(
+                "shape {} {}\n",
+                if *ok { "[ok]  " } else { "[FAIL]" },
+                what
+            ));
+        }
+        out
+    }
+
+    /// True when every shape check held.
+    pub fn all_checks_pass(&self) -> bool {
+        self.checks.iter().all(|(_, ok)| *ok)
+    }
+}
+
+/// Where CSV artifacts go: `<workspace>/results`.
+pub fn results_dir() -> PathBuf {
+    // CARGO_MANIFEST_DIR of payg-bench is <workspace>/crates/bench.
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("../..")
+        .join("results")
+}
+
+/// Pretty byte counts.
+pub fn fmt_bytes(b: u64) -> String {
+    const KIB: f64 = 1024.0;
+    let b = b as f64;
+    if b >= KIB * KIB * KIB {
+        format!("{:.2}GiB", b / (KIB * KIB * KIB))
+    } else if b >= KIB * KIB {
+        format!("{:.2}MiB", b / (KIB * KIB))
+    } else if b >= KIB {
+        format!("{:.1}KiB", b / KIB)
+    } else {
+        format!("{b}B")
+    }
+}
+
+/// Aggregate summary over several reports (the bench binary's footer).
+pub fn render_footer(reports: &[ExperimentReport]) -> String {
+    let mut out = String::from("\n=== summary ===\n");
+    let mut all_ok = true;
+    for r in reports {
+        let ok = r.all_checks_pass();
+        all_ok &= ok;
+        out.push_str(&format!(
+            "{:<8} {:<52} {}\n",
+            r.id,
+            r.title,
+            if ok { "shapes ok" } else { "SHAPE MISMATCH" }
+        ));
+    }
+    out.push_str(if all_ok {
+        "all paper shapes reproduced\n"
+    } else {
+        "some shapes did not reproduce — inspect the reports above\n"
+    });
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::series::Point;
+
+    #[test]
+    fn report_rendering() {
+        let mut r = ExperimentReport::new("figX", "test experiment");
+        let mut s = Series::default();
+        s.push(Point { base_ns: 100, paged_ns: 150, base_mem: 2048, paged_mem: 1024 });
+        r.series_block(&s, "T_b", "T_p", 0);
+        r.check("paged footprint smaller", true);
+        let text = r.render();
+        assert!(text.contains("figX"));
+        assert!(text.contains("mean 1.50"));
+        assert!(text.contains("[ok]"));
+        assert!(r.all_checks_pass());
+        r.check("impossible", false);
+        assert!(!r.all_checks_pass());
+        assert!(r.render().contains("[FAIL]"));
+    }
+
+    #[test]
+    fn bytes_formatting() {
+        assert_eq!(fmt_bytes(512), "512B");
+        assert_eq!(fmt_bytes(2048), "2.0KiB");
+        assert_eq!(fmt_bytes(3 * 1024 * 1024), "3.00MiB");
+    }
+}

@@ -1,0 +1,175 @@
+//! Per-query measurement series and their summary statistics.
+
+/// One measured query: times on both variants and footprints after it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Point {
+    /// Resident-variant execution time (ns).
+    pub base_ns: u64,
+    /// Paged-variant execution time (ns).
+    pub paged_ns: u64,
+    /// Resident-variant footprint after the query (bytes).
+    pub base_mem: u64,
+    /// Paged-variant footprint after the query (bytes).
+    pub paged_mem: u64,
+}
+
+impl Point {
+    /// The raw run-time ratio `t(q, T_p) / t(q, T_b)` of the column-access
+    /// layer alone.
+    pub fn ratio(&self) -> f64 {
+        self.paged_ns as f64 / (self.base_ns.max(1)) as f64
+    }
+
+    /// The ratio with a modeled SQL-stack cost added to both sides — the
+    /// paper's end-to-end ratio (see `BenchConfig::stack_cost`).
+    pub fn ratio_with_stack(&self, stack_ns: u64) -> f64 {
+        (self.paged_ns + stack_ns) as f64 / (self.base_ns + stack_ns).max(1) as f64
+    }
+}
+
+/// A full series of measurements for one figure.
+#[derive(Debug, Clone, Default)]
+pub struct Series {
+    /// The per-query points in execution order.
+    pub points: Vec<Point>,
+}
+
+/// Summary statistics of a series.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Summary {
+    /// Number of queries.
+    pub n: usize,
+    /// Mean run-time ratio.
+    pub mean_ratio: f64,
+    /// 90 % confidence half-width of the mean ratio (1.645 · σ/√n).
+    pub ci90_ratio: f64,
+    /// Median ratio.
+    pub p50_ratio: f64,
+    /// 90th-percentile ratio.
+    pub p90_ratio: f64,
+    /// Maximum ratio (the worst load spike).
+    pub max_ratio: f64,
+    /// Mean ratio over the last quarter of the series (the warmed-up tail).
+    pub tail_mean_ratio: f64,
+    /// Mean normalized (stack-inclusive) ratio.
+    pub mean_norm: f64,
+    /// Mean normalized ratio over the warmed-up tail.
+    pub tail_norm: f64,
+    /// Final resident footprint (bytes).
+    pub final_base_mem: u64,
+    /// Final paged footprint (bytes).
+    pub final_paged_mem: u64,
+}
+
+impl Series {
+    /// Appends a point.
+    pub fn push(&mut self, p: Point) {
+        self.points.push(p);
+    }
+
+    /// Computes the summary; `stack_ns` is the modeled per-query SQL-stack
+    /// cost for the normalized ratios (0 = raw only).
+    ///
+    /// # Panics
+    /// Panics on an empty series.
+    pub fn summary(&self, stack_ns: u64) -> Summary {
+        assert!(!self.points.is_empty(), "empty series");
+        let n = self.points.len();
+        let mut ratios: Vec<f64> = self.points.iter().map(Point::ratio).collect();
+        let mean = ratios.iter().sum::<f64>() / n as f64;
+        let var = ratios.iter().map(|r| (r - mean).powi(2)).sum::<f64>() / n as f64;
+        let ci90 = 1.645 * (var / n as f64).sqrt();
+        let tail_start = n - n / 4;
+        let tail: &[Point] = &self.points[tail_start.min(n - 1)..];
+        let tail_mean = tail.iter().map(Point::ratio).sum::<f64>() / tail.len() as f64;
+        let mean_norm = self
+            .points
+            .iter()
+            .map(|p| p.ratio_with_stack(stack_ns))
+            .sum::<f64>()
+            / n as f64;
+        let tail_norm =
+            tail.iter().map(|p| p.ratio_with_stack(stack_ns)).sum::<f64>() / tail.len() as f64;
+        ratios.sort_by(f64::total_cmp);
+        let pct = |p: f64| ratios[((n - 1) as f64 * p) as usize];
+        let last = self.points[n - 1];
+        Summary {
+            n,
+            mean_ratio: mean,
+            ci90_ratio: ci90,
+            p50_ratio: pct(0.5),
+            p90_ratio: pct(0.9),
+            max_ratio: *ratios.last().unwrap(),
+            tail_mean_ratio: tail_mean,
+            mean_norm,
+            tail_norm,
+            final_base_mem: last.base_mem,
+            final_paged_mem: last.paged_mem,
+        }
+    }
+
+    /// Downsamples to at most `max_points` evenly spaced points (always
+    /// keeping the last), for plotting-friendly output.
+    pub fn downsample(&self, max_points: usize) -> Vec<(usize, Point)> {
+        let n = self.points.len();
+        if n == 0 {
+            return Vec::new();
+        }
+        let step = n.div_ceil(max_points).max(1);
+        let mut out: Vec<(usize, Point)> =
+            self.points.iter().copied().enumerate().step_by(step).collect();
+        if out.last().map(|(i, _)| *i) != Some(n - 1) {
+            out.push((n - 1, self.points[n - 1]));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn p(base: u64, paged: u64, bm: u64, pm: u64) -> Point {
+        Point { base_ns: base, paged_ns: paged, base_mem: bm, paged_mem: pm }
+    }
+
+    #[test]
+    fn summary_statistics() {
+        let mut s = Series::default();
+        for i in 1..=100u64 {
+            // Ratio 2.0 on the first half (cold), 1.0 on the second (warm).
+            let ratio = if i <= 50 { 2 } else { 1 };
+            s.push(p(100, 100 * ratio, i * 10, i * 5));
+        }
+        let sum = s.summary(0);
+        assert_eq!(sum.n, 100);
+        assert!((sum.mean_ratio - 1.5).abs() < 1e-9);
+        assert_eq!(sum.max_ratio, 2.0);
+        assert!((sum.tail_mean_ratio - 1.0).abs() < 1e-9, "warm tail converges");
+        assert_eq!(sum.final_base_mem, 1000);
+        assert_eq!(sum.final_paged_mem, 500);
+        assert!(sum.ci90_ratio > 0.0);
+        // Normalization pulls ratios toward 1: with a stack cost of 900ns
+        // on 100ns queries, the 2x half normalizes to (900+200)/(900+100).
+        let norm = s.summary(900);
+        assert!(norm.mean_norm < sum.mean_ratio);
+        assert!((norm.tail_norm - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn ratio_guards_zero_division() {
+        assert_eq!(p(0, 100, 0, 0).ratio(), 100.0);
+    }
+
+    #[test]
+    fn downsample_keeps_last_point() {
+        let mut s = Series::default();
+        for i in 0..103u64 {
+            s.push(p(1, 1, i, i));
+        }
+        let d = s.downsample(10);
+        assert!(d.len() <= 12);
+        assert_eq!(d.last().unwrap().0, 102);
+        assert_eq!(d[0].0, 0);
+    }
+}

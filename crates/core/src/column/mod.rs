@@ -1,0 +1,327 @@
+//! Column assembly: data vector + dictionary + optional inverted index.
+//!
+//! Every column is persisted once (page chains for all three structures) and
+//! accessed in one of two modes chosen at build time ([`LoadPolicy`]):
+//!
+//! * [`ResidentColumn`] — the paper's *default column*: on first access the
+//!   whole column is loaded into contiguous memory (direct store reads, no
+//!   buffer pool) and registered with the resource manager as a **single**
+//!   resource; under pressure it is evicted whole.
+//! * [`PagedColumn`] — the paper's *page loadable column*: reads pin
+//!   individual pages through the buffer pool; the mandatory memory
+//!   footprint is the metadata only.
+//!
+//! Both implement [`ColumnRead`]; the difference is invisible to queries.
+
+mod builder;
+mod paged;
+mod read;
+mod resident;
+
+pub use builder::{ColumnBuild, ColumnBuilder};
+pub use paged::{IndexMode, PagedColumn};
+pub use read::ColumnRead;
+pub use resident::ResidentColumn;
+
+use crate::meta::{MetaReader, MetaWriter};
+use crate::{CoreError, CoreResult, DataType, PageConfig, Value, ValuePredicate};
+use payg_encoding::VidSet;
+use payg_resman::Disposition;
+use payg_storage::{BufferPool, StorageError};
+use std::sync::Arc;
+
+/// Load behaviour chosen at column creation (paper §1: "the preferred
+/// loading behavior of a column is specified at creation time").
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LoadPolicy {
+    /// Load the entire column into memory on first access (default column).
+    FullyResident,
+    /// Load pages on demand (PAGE LOADABLE column).
+    PageLoadable,
+}
+
+/// A column in either load mode.
+pub enum Column {
+    /// A fully-resident (default) column.
+    Resident(ResidentColumn),
+    /// A page-loadable column.
+    Paged(PagedColumn),
+}
+
+impl Column {
+    /// The column's load policy.
+    pub fn policy(&self) -> LoadPolicy {
+        match self {
+            Column::Resident(_) => LoadPolicy::FullyResident,
+            Column::Paged(_) => LoadPolicy::PageLoadable,
+        }
+    }
+
+    /// For resident columns: force the full load now (otherwise it happens
+    /// on first access). No-op for paged columns.
+    pub fn ensure_loaded(&self) -> CoreResult<()> {
+        if let Column::Resident(c) = self {
+            c.load()?;
+        }
+        Ok(())
+    }
+
+    /// For resident columns: drop the loaded image (it reloads on next
+    /// access). No-op for paged columns, whose pages the resource manager
+    /// evicts piecewise.
+    pub fn unload(&self) {
+        if let Column::Resident(c) = self {
+            c.unload();
+        }
+    }
+
+    /// Serializes everything needed to reopen this column over the same
+    /// store after a process restart (catalog checkpoint): type, load
+    /// policy, page geometry and the metadata of all three structures. The
+    /// page chains themselves already live in the store.
+    pub fn meta_bytes(&self) -> Vec<u8> {
+        let (parts, policy_tag, disposition) = match self {
+            Column::Resident(c) => (c.parts(), 0u8, c.disposition()),
+            Column::Paged(c) => (c.parts(), 1u8, Disposition::MidTerm),
+        };
+        let mut w = MetaWriter::new();
+        w.u8(data_type_tag(parts.data_type));
+        w.u8(policy_tag);
+        w.u8(disposition_tag(disposition));
+        w.u64(parts.len);
+        w.u64(parts.cardinality);
+        for v in [
+            parts.config.datavec_page,
+            parts.config.dict_page,
+            parts.config.overflow_page,
+            parts.config.helper_page,
+            parts.config.index_page,
+            parts.config.inline_limit,
+        ] {
+            w.u64(v as u64);
+        }
+        w.bytes(&parts.dict.meta_bytes());
+        w.bytes(&parts.data.meta_bytes());
+        match &parts.index {
+            paged::IndexSlot::None => w.u8(0),
+            paged::IndexSlot::Eager(i) => {
+                w.u8(1);
+                w.bytes(&i.meta_bytes());
+            }
+            paged::IndexSlot::Adaptive { threshold, built, .. } => match built.get() {
+                None => {
+                    w.u8(2);
+                    w.u64(*threshold);
+                }
+                Some(i) => {
+                    w.u8(3);
+                    w.u64(*threshold);
+                    w.bytes(&i.meta_bytes());
+                }
+            },
+        }
+        w.finish()
+    }
+
+    /// Reopens a column from checkpointed metadata over `pool`'s store.
+    pub fn open(pool: &BufferPool, bytes: &[u8]) -> CoreResult<Column> {
+        let mut r = MetaReader::new(bytes);
+        let data_type = data_type_from(r.u8()?)?;
+        let policy_tag = r.u8()?;
+        let disposition = disposition_from(r.u8()?)?;
+        let len = r.u64()?;
+        let cardinality = r.u64()?;
+        let config = PageConfig {
+            datavec_page: r.u64()? as usize,
+            dict_page: r.u64()? as usize,
+            overflow_page: r.u64()? as usize,
+            helper_page: r.u64()? as usize,
+            index_page: r.u64()? as usize,
+            inline_limit: r.u64()? as usize,
+        };
+        let dict = crate::dict::PagedDictionary::open(pool, &r.bytes()?)?;
+        let data = crate::datavec::PagedDataVector::open(pool, &r.bytes()?)?;
+        let index = match r.u8()? {
+            0 => paged::IndexSlot::None,
+            1 => paged::IndexSlot::Eager(crate::invidx::PagedInvertedIndex::open(
+                pool,
+                &r.bytes()?,
+            )?),
+            2 => paged::IndexSlot::Adaptive {
+                threshold: r.u64()?,
+                searches: Default::default(),
+                built: Default::default(),
+            },
+            3 => {
+                let threshold = r.u64()?;
+                let built = std::sync::OnceLock::new();
+                built
+                    .set(crate::invidx::PagedInvertedIndex::open(pool, &r.bytes()?)?)
+                    .ok()
+                    .expect("fresh OnceLock");
+                paged::IndexSlot::Adaptive { threshold, searches: Default::default(), built }
+            }
+            t => {
+                return Err(CoreError::Storage(StorageError::Corrupt(format!(
+                    "catalog: unknown index tag {t}"
+                ))))
+            }
+        };
+        r.expect_end()?;
+        if data.len() != len || dict.cardinality() != cardinality {
+            return Err(CoreError::Storage(StorageError::Corrupt(
+                "catalog: column metadata inconsistent with structures".into(),
+            )));
+        }
+        let parts = Arc::new(paged::ColumnParts {
+            data_type,
+            len,
+            cardinality,
+            pool: pool.clone(),
+            config,
+            data,
+            dict,
+            index,
+        });
+        Ok(match policy_tag {
+            1 => Column::Paged(PagedColumn::new(parts)),
+            0 => Column::Resident(ResidentColumn::new(parts, disposition)),
+            t => {
+                return Err(CoreError::Storage(StorageError::Corrupt(format!(
+                    "catalog: unknown policy tag {t}"
+                ))))
+            }
+        })
+    }
+}
+
+fn data_type_tag(t: DataType) -> u8 {
+    match t {
+        DataType::Integer => 0,
+        DataType::Decimal => 1,
+        DataType::Double => 2,
+        DataType::Varchar => 3,
+    }
+}
+
+fn data_type_from(t: u8) -> CoreResult<DataType> {
+    Ok(match t {
+        0 => DataType::Integer,
+        1 => DataType::Decimal,
+        2 => DataType::Double,
+        3 => DataType::Varchar,
+        _ => {
+            return Err(CoreError::Storage(StorageError::Corrupt(format!(
+                "catalog: unknown data type tag {t}"
+            ))))
+        }
+    })
+}
+
+/// Maps dispositions to stable catalog tags.
+pub fn disposition_tag(d: Disposition) -> u8 {
+    match d {
+        Disposition::NonSwappable => 0,
+        Disposition::LongTerm => 1,
+        Disposition::MidTerm => 2,
+        Disposition::ShortTerm => 3,
+        Disposition::Temporary => 4,
+        Disposition::PagedAttribute => 5,
+    }
+}
+
+/// Inverse of [`disposition_tag`].
+pub fn disposition_from(t: u8) -> CoreResult<Disposition> {
+    Ok(match t {
+        0 => Disposition::NonSwappable,
+        1 => Disposition::LongTerm,
+        2 => Disposition::MidTerm,
+        3 => Disposition::ShortTerm,
+        4 => Disposition::Temporary,
+        5 => Disposition::PagedAttribute,
+        _ => {
+            return Err(CoreError::Storage(StorageError::Corrupt(format!(
+                "catalog: unknown disposition tag {t}"
+            ))))
+        }
+    })
+}
+
+impl ColumnRead for Column {
+    fn len(&self) -> u64 {
+        match self {
+            Column::Resident(c) => c.len(),
+            Column::Paged(c) => c.len(),
+        }
+    }
+
+    fn data_type(&self) -> DataType {
+        match self {
+            Column::Resident(c) => c.data_type(),
+            Column::Paged(c) => c.data_type(),
+        }
+    }
+
+    fn cardinality(&self) -> u64 {
+        match self {
+            Column::Resident(c) => c.cardinality(),
+            Column::Paged(c) => c.cardinality(),
+        }
+    }
+
+    fn has_index(&self) -> bool {
+        match self {
+            Column::Resident(c) => c.has_index(),
+            Column::Paged(c) => c.has_index(),
+        }
+    }
+
+    fn get_value(&self, rpos: u64) -> CoreResult<Value> {
+        match self {
+            Column::Resident(c) => c.get_value(rpos),
+            Column::Paged(c) => c.get_value(rpos),
+        }
+    }
+
+    fn get_values(&self, rposs: &[u64]) -> CoreResult<Vec<Value>> {
+        match self {
+            Column::Resident(c) => c.get_values(rposs),
+            Column::Paged(c) => c.get_values(rposs),
+        }
+    }
+
+    fn get_vids(&self, from: u64, to: u64, out: &mut Vec<u64>) -> CoreResult<()> {
+        match self {
+            Column::Resident(c) => c.get_vids(from, to, out),
+            Column::Paged(c) => c.get_vids(from, to, out),
+        }
+    }
+
+    fn vid_set_for(&self, pred: &ValuePredicate) -> CoreResult<VidSet> {
+        match self {
+            Column::Resident(c) => c.vid_set_for(pred),
+            Column::Paged(c) => c.vid_set_for(pred),
+        }
+    }
+
+    fn find_rows(&self, pred: &ValuePredicate, from: u64, to: u64) -> CoreResult<Vec<u64>> {
+        match self {
+            Column::Resident(c) => c.find_rows(pred, from, to),
+            Column::Paged(c) => c.find_rows(pred, from, to),
+        }
+    }
+
+    fn key_by_vid(&self, vid: u64) -> CoreResult<Vec<u8>> {
+        match self {
+            Column::Resident(c) => c.key_by_vid(vid),
+            Column::Paged(c) => c.key_by_vid(vid),
+        }
+    }
+
+    fn count_rows(&self, pred: &ValuePredicate, from: u64, to: u64) -> CoreResult<u64> {
+        match self {
+            Column::Resident(c) => c.count_rows(pred, from, to),
+            Column::Paged(c) => c.count_rows(pred, from, to),
+        }
+    }
+}

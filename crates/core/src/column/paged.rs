@@ -1,0 +1,277 @@
+//! The page-loadable column.
+
+use crate::column::read::ColumnRead;
+use crate::dict::HandleCache;
+use crate::invidx::PagedInvertedIndex;
+use crate::{CoreResult, DataType, PageConfig, Value, ValuePredicate};
+use payg_encoding::VidSet;
+use payg_storage::BufferPool;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, OnceLock};
+
+/// When (and whether) a column's inverted index exists (paper §8: the
+/// inverted index is *non-critical* data — recoverable from the data
+/// vector — so it can be built adaptively, driven by the workload, instead
+/// of eagerly at every delta merge).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum IndexMode {
+    /// No inverted index; searches scan the data vector (Alg. 1).
+    None,
+    /// Built eagerly at delta merge (the paper's §3 default).
+    Eager,
+    /// Built lazily, from the paged data vector, once the column has served
+    /// `threshold` searches — the paper's future-work proposal.
+    Adaptive {
+        /// Searches before the index is built.
+        threshold: u64,
+    },
+}
+
+/// The index slot of a column under a given [`IndexMode`].
+pub(crate) enum IndexSlot {
+    None,
+    Eager(PagedInvertedIndex),
+    Adaptive {
+        threshold: u64,
+        searches: AtomicU64,
+        built: OnceLock<PagedInvertedIndex>,
+    },
+}
+
+impl IndexSlot {
+    /// The index if it currently exists (never triggers a build).
+    pub(crate) fn current(&self) -> Option<&PagedInvertedIndex> {
+        match self {
+            IndexSlot::None => None,
+            IndexSlot::Eager(i) => Some(i),
+            IndexSlot::Adaptive { built, .. } => built.get(),
+        }
+    }
+}
+
+/// The persisted parts shared by both access modes.
+pub(crate) struct ColumnParts {
+    pub data_type: DataType,
+    pub len: u64,
+    pub cardinality: u64,
+    pub pool: BufferPool,
+    pub config: PageConfig,
+    pub data: crate::datavec::PagedDataVector,
+    pub dict: crate::dict::PagedDictionary,
+    pub index: IndexSlot,
+}
+
+impl ColumnParts {
+    /// The index for a search: counts the search, and builds the adaptive
+    /// index from the data vector (critical data) once the threshold is
+    /// crossed.
+    pub(crate) fn index_for_search(&self) -> CoreResult<Option<&PagedInvertedIndex>> {
+        match &self.index {
+            IndexSlot::None => Ok(None),
+            IndexSlot::Eager(i) => Ok(Some(i)),
+            IndexSlot::Adaptive { threshold, searches, built } => {
+                if let Some(i) = built.get() {
+                    return Ok(Some(i));
+                }
+                let n = searches.fetch_add(1, Ordering::Relaxed) + 1;
+                if n < *threshold {
+                    return Ok(None);
+                }
+                // Rebuild non-critical data from critical data (§8): decode
+                // the whole data vector once and persist a fresh index chain.
+                let vids: Vec<u64> = self.data.decode_all_direct()?.iter().collect();
+                let index =
+                    PagedInvertedIndex::build(&self.pool, &self.config, &vids, self.cardinality)?;
+                Ok(Some(built.get_or_init(|| index)))
+            }
+        }
+    }
+}
+
+/// A column whose structures are loaded page by page on demand. Its
+/// mandatory memory footprint is metadata only; everything else is pinned
+/// through the buffer pool for exactly the duration of each access.
+pub struct PagedColumn {
+    parts: Arc<ColumnParts>,
+}
+
+impl PagedColumn {
+    pub(crate) fn new(parts: Arc<ColumnParts>) -> Self {
+        PagedColumn { parts }
+    }
+
+    pub(crate) fn parts(&self) -> &ColumnParts {
+        &self.parts
+    }
+
+    fn cache(&self) -> HandleCache {
+        HandleCache::new(self.parts.pool.clone())
+    }
+
+    /// Heap bytes of the always-resident metadata.
+    pub fn meta_heap_bytes(&self) -> usize {
+        self.parts.dict.meta_heap_bytes()
+    }
+
+    fn vid_set_cached(&self, pred: &ValuePredicate, cache: &mut HandleCache) -> CoreResult<VidSet> {
+        Ok(match pred {
+            ValuePredicate::Eq(v) => {
+                v.check_type(self.parts.data_type)?;
+                match self.parts.dict.find(&v.to_key(), cache)? {
+                    Ok(vid) => VidSet::Single(vid),
+                    Err(_) => VidSet::from_vids(Vec::new()),
+                }
+            }
+            ValuePredicate::Between(lo, hi) => {
+                lo.check_type(self.parts.data_type)?;
+                hi.check_type(self.parts.data_type)?;
+                match self.parts.dict.vid_range(&lo.to_key(), &hi.to_key(), cache)? {
+                    Some((lo, hi)) => VidSet::range(lo, hi),
+                    None => VidSet::from_vids(Vec::new()),
+                }
+            }
+            ValuePredicate::In(vs) => {
+                let mut vids = Vec::new();
+                for v in vs {
+                    v.check_type(self.parts.data_type)?;
+                    if let Ok(vid) = self.parts.dict.find(&v.to_key(), cache)? {
+                        vids.push(vid);
+                    }
+                }
+                VidSet::from_vids(vids)
+            }
+            ValuePredicate::StartsWith(prefix) => {
+                Value::Varchar(String::new()).check_type(self.parts.data_type)?;
+                let lo = match self.parts.dict.find(prefix.as_bytes(), cache)? {
+                    Ok(v) | Err(v) => v,
+                };
+                let hi = match crate::value::prefix_successor(prefix.as_bytes()) {
+                    Some(succ) => match self.parts.dict.find(&succ, cache)? {
+                        Ok(v) | Err(v) => v,
+                    },
+                    None => self.parts.cardinality,
+                };
+                if lo < hi {
+                    VidSet::range(lo, hi - 1)
+                } else {
+                    VidSet::from_vids(Vec::new())
+                }
+            }
+        })
+    }
+}
+
+impl ColumnRead for PagedColumn {
+    fn len(&self) -> u64 {
+        self.parts.len
+    }
+
+    fn data_type(&self) -> DataType {
+        self.parts.data_type
+    }
+
+    fn cardinality(&self) -> u64 {
+        self.parts.cardinality
+    }
+
+    fn has_index(&self) -> bool {
+        self.parts.index.current().is_some()
+    }
+
+    fn get_value(&self, rpos: u64) -> CoreResult<Value> {
+        let vid = self.parts.data.iter().get(rpos)?;
+        let mut cache = self.cache();
+        let key = self.parts.dict.key_by_vid(vid, &mut cache)?;
+        Value::from_key(self.parts.data_type, &key)
+    }
+
+    fn get_values(&self, rposs: &[u64]) -> CoreResult<Vec<Value>> {
+        // Late materialization: decode all vids first, then resolve the
+        // *distinct* vids in ascending order — vid order is dictionary-page
+        // order, so a batch touches each dictionary page once, front to
+        // back (the access pattern §3.2.3's handle cache is built for).
+        let mut it = self.parts.data.iter();
+        let mut vids = Vec::with_capacity(rposs.len());
+        for &rpos in rposs {
+            vids.push(it.get(rpos)?);
+        }
+        drop(it);
+        let mut distinct: Vec<u64> = vids.clone();
+        distinct.sort_unstable();
+        distinct.dedup();
+        let mut cache = self.cache();
+        let mut resolved: HashMap<u64, Value> = HashMap::with_capacity(distinct.len());
+        for vid in distinct {
+            let key = self.parts.dict.key_by_vid(vid, &mut cache)?;
+            resolved.insert(vid, Value::from_key(self.parts.data_type, &key)?);
+        }
+        Ok(vids.into_iter().map(|vid| resolved[&vid].clone()).collect())
+    }
+
+    fn get_vids(&self, from: u64, to: u64, out: &mut Vec<u64>) -> CoreResult<()> {
+        self.parts.data.iter().mget(from, to, out)
+    }
+
+    fn vid_set_for(&self, pred: &ValuePredicate) -> CoreResult<VidSet> {
+        let mut cache = self.cache();
+        self.vid_set_cached(pred, &mut cache)
+    }
+
+    fn find_rows(&self, pred: &ValuePredicate, from: u64, to: u64) -> CoreResult<Vec<u64>> {
+        let mut cache = self.cache();
+        let set = self.vid_set_cached(pred, &mut cache)?;
+        let mut out = Vec::new();
+        if set.is_empty() {
+            return Ok(out);
+        }
+        match self.parts.index_for_search()? {
+            // Alg. 5: answer from the paged inverted index.
+            Some(index) => {
+                let mut it = index.iter();
+                for vid in set.iter() {
+                    if let Some(first) = it.get_first_row_pos(vid)? {
+                        if first >= from && first < to {
+                            out.push(first);
+                        }
+                        while let Some(rpos) = it.get_next_row_pos()? {
+                            if rpos >= from && rpos < to {
+                                out.push(rpos);
+                            }
+                        }
+                    }
+                }
+                out.sort_unstable();
+            }
+            // Alg. 1: scan the paged data vector, loading only the pages
+            // that overlap the row range.
+            None => {
+                self.parts.data.iter().search(from, to.min(self.parts.len), &set, &mut out)?;
+            }
+        }
+        Ok(out)
+    }
+
+    fn key_by_vid(&self, vid: u64) -> CoreResult<Vec<u8>> {
+        let mut cache = self.cache();
+        self.parts.dict.key_by_vid(vid, &mut cache)
+    }
+
+    fn count_rows(&self, pred: &ValuePredicate, from: u64, to: u64) -> CoreResult<u64> {
+        // Full-range counts with an inverted index come straight from the
+        // directory — no postinglist pages load.
+        if let Some(index) = self.parts.index_for_search()? {
+            if from == 0 && to >= self.parts.len {
+                let mut cache = self.cache();
+                let set = self.vid_set_cached(pred, &mut cache)?;
+                let mut it = index.iter();
+                let mut n = 0u64;
+                for vid in set.iter() {
+                    n += it.posting_count(vid)?;
+                }
+                return Ok(n);
+            }
+        }
+        Ok(self.find_rows(pred, from, to)?.len() as u64)
+    }
+}

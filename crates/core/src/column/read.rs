@@ -1,0 +1,56 @@
+//! The uniform read interface over both column kinds.
+
+use crate::{CoreResult, DataType, Value, ValuePredicate};
+use payg_encoding::VidSet;
+
+/// Read operations every column supports regardless of load policy. Methods
+/// mirror the paper's logical accesses: point decode, batch decode (late
+/// materialization), predicate-to-vid translation via the dictionary, and
+/// row search via the data vector or the inverted index.
+pub trait ColumnRead {
+    /// Number of rows.
+    fn len(&self) -> u64;
+
+    /// True when the column holds no rows.
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The column's value type.
+    fn data_type(&self) -> DataType;
+
+    /// Dictionary cardinality (distinct values).
+    fn cardinality(&self) -> u64;
+
+    /// True when the column has an inverted index.
+    fn has_index(&self) -> bool;
+
+    /// Materializes the value at one row (data vector get + dictionary
+    /// `findByValueID`).
+    fn get_value(&self, rpos: u64) -> CoreResult<Value>;
+
+    /// Materializes the values at the given rows (late materialization:
+    /// decode vids first, then look each distinct vid up once).
+    fn get_values(&self, rposs: &[u64]) -> CoreResult<Vec<Value>>;
+
+    /// Decodes the value identifiers of a row range into `out`.
+    fn get_vids(&self, from: u64, to: u64, out: &mut Vec<u64>) -> CoreResult<()>;
+
+    /// Translates a value predicate to the matching identifier set via the
+    /// dictionary (order preservation keeps ranges contiguous).
+    fn vid_set_for(&self, pred: &ValuePredicate) -> CoreResult<VidSet>;
+
+    /// Returns the ascending row positions in `from..to` matching `pred`,
+    /// answered from the inverted index when one exists (Alg. 5) and by a
+    /// data-vector scan otherwise (Alg. 1).
+    fn find_rows(&self, pred: &ValuePredicate, from: u64, to: u64) -> CoreResult<Vec<u64>>;
+
+    /// Materializes the dictionary key for `vid` (used by engines that
+    /// compare keys without decoding values).
+    fn key_by_vid(&self, vid: u64) -> CoreResult<Vec<u8>>;
+
+    /// Counts rows in `from..to` matching `pred`.
+    fn count_rows(&self, pred: &ValuePredicate, from: u64, to: u64) -> CoreResult<u64> {
+        Ok(self.find_rows(pred, from, to)?.len() as u64)
+    }
+}

@@ -1,0 +1,286 @@
+//! The fully-resident (default) column.
+
+use crate::column::paged::ColumnParts;
+use crate::column::read::ColumnRead;
+use crate::dict::InMemoryDict;
+use crate::invidx::InMemoryInvertedIndex;
+use crate::{CoreError, CoreResult, DataType, Value, ValuePredicate};
+use parking_lot::Mutex;
+use payg_encoding::scan;
+use payg_encoding::{BitPackedVec, VidSet};
+use payg_resman::{Disposition, ResourceId};
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// The contiguous in-memory image of a loaded column.
+struct Image {
+    data: BitPackedVec,
+    dict: InMemoryDict,
+    index: Option<InMemoryInvertedIndex>,
+}
+
+impl Image {
+    fn heap_bytes(&self) -> usize {
+        self.data.heap_bytes()
+            + self.dict.heap_bytes()
+            + self.index.as_ref().map_or(0, |i| i.heap_bytes())
+    }
+}
+
+struct Loaded {
+    image: Arc<Image>,
+    rid: ResourceId,
+}
+
+/// A default column: the entire column loads into memory on first access
+/// (direct store reads — the paper's expensive full-column load) and
+/// registers as **one** resource. The resource manager may evict it whole;
+/// the next access reloads it whole. This is the comparator (`T_b`) for
+/// every experiment.
+pub struct ResidentColumn {
+    parts: Arc<ColumnParts>,
+    disposition: Disposition,
+    state: Arc<Mutex<Option<Loaded>>>,
+    load_count: AtomicU64,
+}
+
+impl ResidentColumn {
+    pub(crate) fn new(parts: Arc<ColumnParts>, disposition: Disposition) -> Self {
+        ResidentColumn {
+            parts,
+            disposition,
+            state: Arc::new(Mutex::new(None)),
+            load_count: AtomicU64::new(0),
+        }
+    }
+
+    /// Loads the column if not loaded; returns the resident image.
+    fn image(&self) -> CoreResult<Arc<Image>> {
+        let resman = self.parts.pool.resource_manager().clone();
+        let mut st = self.state.lock();
+        if let Some(l) = st.as_ref() {
+            resman.touch(l.rid);
+            return Ok(Arc::clone(&l.image));
+        }
+        // Full column load: every structure is read in its entirety.
+        let data = self.parts.data.decode_all_direct()?;
+        let dict = InMemoryDict::from_sorted_keys(self.parts.dict.materialize_all_direct()?);
+        let index = if self.parts.index.current().is_some() {
+            // Non-critical data: rebuilt from the critical structures (§8).
+            let vids: Vec<u64> = data.iter().collect();
+            Some(InMemoryInvertedIndex::build(&vids, self.parts.cardinality))
+        } else {
+            None
+        };
+        let image = Arc::new(Image { data, dict, index });
+        let state_weak = Arc::downgrade(&self.state);
+        let rid = resman.register(image.heap_bytes(), self.disposition, move || {
+            if let Some(state) = state_weak.upgrade() {
+                *state.lock() = None;
+            }
+        });
+        *st = Some(Loaded { image: Arc::clone(&image), rid });
+        self.load_count.fetch_add(1, Ordering::Relaxed);
+        Ok(image)
+    }
+
+    pub(crate) fn parts(&self) -> &ColumnParts {
+        &self.parts
+    }
+
+    pub(crate) fn disposition(&self) -> Disposition {
+        self.disposition
+    }
+
+    /// Forces the full load now.
+    pub fn load(&self) -> CoreResult<()> {
+        self.image().map(|_| ())
+    }
+
+    /// True when the column is currently memory resident.
+    pub fn is_loaded(&self) -> bool {
+        self.state.lock().is_some()
+    }
+
+    /// Drops the resident image voluntarily (reloaded on next access).
+    pub fn unload(&self) {
+        let mut st = self.state.lock();
+        if let Some(l) = st.take() {
+            self.parts.pool.resource_manager().deregister(l.rid);
+        }
+    }
+
+    /// How many times the column has been (re)loaded — each one is the
+    /// paper's expensive whole-column load.
+    pub fn load_count(&self) -> u64 {
+        self.load_count.load(Ordering::Relaxed)
+    }
+
+    fn vid_set_from_image(&self, image: &Image, pred: &ValuePredicate) -> CoreResult<VidSet> {
+        Ok(match pred {
+            ValuePredicate::Eq(v) => {
+                v.check_type(self.parts.data_type)?;
+                match image.dict.find(&v.to_key()) {
+                    Ok(vid) => VidSet::Single(vid),
+                    Err(_) => VidSet::from_vids(Vec::new()),
+                }
+            }
+            ValuePredicate::Between(lo, hi) => {
+                lo.check_type(self.parts.data_type)?;
+                hi.check_type(self.parts.data_type)?;
+                let lo_vid = match image.dict.find(&lo.to_key()) {
+                    Ok(v) | Err(v) => v,
+                };
+                let hi_vid = match image.dict.find(&hi.to_key()) {
+                    Ok(v) => v + 1,
+                    Err(v) => v,
+                };
+                if lo_vid < hi_vid {
+                    VidSet::range(lo_vid, hi_vid - 1)
+                } else {
+                    VidSet::from_vids(Vec::new())
+                }
+            }
+            ValuePredicate::In(vs) => {
+                let mut vids = Vec::new();
+                for v in vs {
+                    v.check_type(self.parts.data_type)?;
+                    if let Ok(vid) = image.dict.find(&v.to_key()) {
+                        vids.push(vid);
+                    }
+                }
+                VidSet::from_vids(vids)
+            }
+            ValuePredicate::StartsWith(prefix) => {
+                Value::Varchar(String::new()).check_type(self.parts.data_type)?;
+                let lo = match image.dict.find(prefix.as_bytes()) {
+                    Ok(v) | Err(v) => v,
+                };
+                let hi = match crate::value::prefix_successor(prefix.as_bytes()) {
+                    Some(succ) => match image.dict.find(&succ) {
+                        Ok(v) | Err(v) => v,
+                    },
+                    None => self.parts.cardinality,
+                };
+                if lo < hi {
+                    VidSet::range(lo, hi - 1)
+                } else {
+                    VidSet::from_vids(Vec::new())
+                }
+            }
+        })
+    }
+}
+
+impl ColumnRead for ResidentColumn {
+    fn len(&self) -> u64 {
+        self.parts.len
+    }
+
+    fn data_type(&self) -> DataType {
+        self.parts.data_type
+    }
+
+    fn cardinality(&self) -> u64 {
+        self.parts.cardinality
+    }
+
+    fn has_index(&self) -> bool {
+        self.parts.index.current().is_some()
+    }
+
+    fn get_value(&self, rpos: u64) -> CoreResult<Value> {
+        let image = self.image()?;
+        if rpos >= self.parts.len {
+            return Err(CoreError::RowOutOfBounds { rpos, len: self.parts.len });
+        }
+        let vid = image.data.get(rpos);
+        Value::from_key(self.parts.data_type, image.dict.key(vid))
+    }
+
+    fn get_values(&self, rposs: &[u64]) -> CoreResult<Vec<Value>> {
+        let image = self.image()?;
+        let mut resolved: HashMap<u64, Value> = HashMap::new();
+        let mut out = Vec::with_capacity(rposs.len());
+        for &rpos in rposs {
+            if rpos >= self.parts.len {
+                return Err(CoreError::RowOutOfBounds { rpos, len: self.parts.len });
+            }
+            let vid = image.data.get(rpos);
+            let v = match resolved.get(&vid) {
+                Some(v) => v.clone(),
+                None => {
+                    let v = Value::from_key(self.parts.data_type, image.dict.key(vid))?;
+                    resolved.insert(vid, v.clone());
+                    v
+                }
+            };
+            out.push(v);
+        }
+        Ok(out)
+    }
+
+    fn get_vids(&self, from: u64, to: u64, out: &mut Vec<u64>) -> CoreResult<()> {
+        let image = self.image()?;
+        if from > to || to > self.parts.len {
+            return Err(CoreError::RowOutOfBounds { rpos: to, len: self.parts.len });
+        }
+        image.data.mget(from, to, out);
+        Ok(())
+    }
+
+    fn vid_set_for(&self, pred: &ValuePredicate) -> CoreResult<VidSet> {
+        let image = self.image()?;
+        self.vid_set_from_image(&image, pred)
+    }
+
+    fn find_rows(&self, pred: &ValuePredicate, from: u64, to: u64) -> CoreResult<Vec<u64>> {
+        let image = self.image()?;
+        if from > to || to > self.parts.len {
+            return Err(CoreError::RowOutOfBounds { rpos: to, len: self.parts.len });
+        }
+        let set = self.vid_set_from_image(&image, pred)?;
+        let mut out = Vec::new();
+        if set.is_empty() {
+            return Ok(out);
+        }
+        match &image.index {
+            Some(index) => {
+                for vid in set.iter() {
+                    for rpos in index.postings(vid)? {
+                        if rpos >= from && rpos < to {
+                            out.push(rpos);
+                        }
+                    }
+                }
+                out.sort_unstable();
+            }
+            None => scan::search(&image.data, from, to, &set, &mut out),
+        }
+        Ok(out)
+    }
+
+    fn key_by_vid(&self, vid: u64) -> CoreResult<Vec<u8>> {
+        let image = self.image()?;
+        if vid >= self.parts.cardinality {
+            return Err(CoreError::VidOutOfBounds { vid, cardinality: self.parts.cardinality });
+        }
+        Ok(image.dict.key(vid).to_vec())
+    }
+
+    fn count_rows(&self, pred: &ValuePredicate, from: u64, to: u64) -> CoreResult<u64> {
+        let image = self.image()?;
+        if let Some(index) = &image.index {
+            if from == 0 && to >= self.parts.len {
+                let set = self.vid_set_from_image(&image, pred)?;
+                let mut n = 0u64;
+                for vid in set.iter() {
+                    n += index.posting_count(vid)?;
+                }
+                return Ok(n);
+            }
+        }
+        Ok(self.find_rows(pred, from, to)?.len() as u64)
+    }
+}

@@ -1,0 +1,12 @@
+//! Encoded data vectors (paper §3.1).
+//!
+//! The data vector holds one n-bit packed value identifier per row. The
+//! fully-resident form is [`payg_encoding::BitPackedVec`] (re-exported here);
+//! the page-loadable form is [`PagedDataVector`], which persists the same
+//! 64-identifier chunks across a page chain and reads them through a
+//! stateful, repositioning iterator.
+
+mod paged;
+
+pub use paged::{PagedDataVector, PagedDataVectorIterator};
+pub use payg_encoding::BitPackedVec;

@@ -1,0 +1,615 @@
+//! The page-loadable data vector (paper §3.1).
+//!
+//! Physical layout (§3.1.1): identifiers are uniformly n-bit packed into
+//! chunks of exactly 64, and each page of the chain holds an integral number
+//! of chunks. No per-page header is needed — the whole geometry (width,
+//! length, chunks per page) lives in the in-memory metadata, so mapping a
+//! row position to a logical page number is pure arithmetic. That mapping is
+//! what lets the iterator load *only* the pages overlapping a requested row
+//! range (§3.1.2).
+
+use crate::{CoreError, CoreResult, PageConfig};
+use payg_encoding::chunk::{self, bytes_per_chunk, CHUNK_LEN};
+use payg_encoding::scan::{push_bitmap_positions, CompiledPredicate};
+use payg_encoding::{BitPackedVec, BitWidth, VidSet};
+use payg_storage::{BufferPool, ChainRef, PageGuard, PageKey, StorageError};
+use std::sync::Arc;
+
+struct Meta {
+    chain: ChainRef,
+    width: BitWidth,
+    len: u64,
+    chunks_per_page: u64,
+    /// Per-page (min, max) value-identifier summaries — the transient
+    /// page-summary structure of §3.3 / footnote 2: scans skip pages whose
+    /// summary does not overlap the predicate, without loading them.
+    summaries: Vec<(u64, u64)>,
+}
+
+/// The page-loadable encoded data vector.
+pub struct PagedDataVector {
+    pool: BufferPool,
+    meta: Arc<Meta>,
+}
+
+impl PagedDataVector {
+    /// Persists a packed vector as a page chain.
+    pub fn build(pool: &BufferPool, config: &PageConfig, vec: &BitPackedVec) -> CoreResult<Self> {
+        let store = Arc::clone(pool.store());
+        let width = vec.width();
+        let chain = store.create_chain(config.datavec_page)?;
+        let cpp = if width.bits() == 0 {
+            0
+        } else {
+            let per_chunk = bytes_per_chunk(width);
+            let cpp = config.datavec_page / per_chunk;
+            if cpp == 0 {
+                return Err(CoreError::Storage(StorageError::Corrupt(format!(
+                    "data-vector page of {} bytes cannot hold one chunk at {width} ({per_chunk} bytes)",
+                    config.datavec_page
+                ))));
+            }
+            cpp as u64
+        };
+        let mut pages = 0u64;
+        let mut summaries: Vec<(u64, u64)> = Vec::new();
+        if cpp > 0 {
+            let mut page = Vec::with_capacity(config.datavec_page);
+            let mut page_min = u64::MAX;
+            let mut page_max = 0u64;
+            let mut decoded = [0u64; CHUNK_LEN];
+            for ci in 0..vec.chunk_count() {
+                for &w in vec.chunk_words(ci) {
+                    page.extend_from_slice(&w.to_le_bytes());
+                }
+                // Track the page's value range for the summary. The trailing
+                // chunk's zero padding is excluded.
+                chunk::decode_chunk(vec.chunk_words(ci), width, &mut decoded);
+                let valid = (vec.len() - ci * CHUNK_LEN as u64).min(CHUNK_LEN as u64) as usize;
+                for &v in &decoded[..valid] {
+                    page_min = page_min.min(v);
+                    page_max = page_max.max(v);
+                }
+                if (ci + 1) % cpp == 0 {
+                    store.append_page(chain, &page)?;
+                    pages += 1;
+                    page.clear();
+                    summaries.push((page_min, page_max));
+                    (page_min, page_max) = (u64::MAX, 0);
+                }
+            }
+            if !page.is_empty() {
+                store.append_page(chain, &page)?;
+                pages += 1;
+                summaries.push((page_min, page_max));
+            }
+        }
+        Ok(PagedDataVector {
+            pool: pool.clone(),
+            meta: Arc::new(Meta {
+                chain: ChainRef { chain, pages, page_size: config.datavec_page },
+                width,
+                len: vec.len(),
+                chunks_per_page: cpp,
+                summaries,
+            }),
+        })
+    }
+
+    /// Number of rows.
+    pub fn len(&self) -> u64 {
+        self.meta.len
+    }
+
+    /// True when the vector holds no rows.
+    pub fn is_empty(&self) -> bool {
+        self.meta.len == 0
+    }
+
+    /// The uniform bit width.
+    pub fn width(&self) -> BitWidth {
+        self.meta.width
+    }
+
+    /// Number of pages in the chain.
+    pub fn pages(&self) -> u64 {
+        self.meta.chain.pages
+    }
+
+    /// The logical page number holding `rpos` (`None` at width 0, where no
+    /// pages exist).
+    pub fn page_of(&self, rpos: u64) -> Option<u64> {
+        if self.meta.chunks_per_page == 0 {
+            return None;
+        }
+        Some(chunk::chunk_of(rpos) / self.meta.chunks_per_page)
+    }
+
+    /// Creates a stateful read iterator (§3.1.2). The iterator holds at most
+    /// one pinned page and repositions — releasing the previous pin, then
+    /// pinning the next page — as accesses cross page boundaries.
+    pub fn iter(&self) -> PagedDataVectorIterator<'_> {
+        PagedDataVectorIterator { vec: self, cur: None }
+    }
+
+    /// The (min, max) value summary of one page (§3.3's transient page
+    /// summary).
+    pub fn page_summary(&self, page_no: u64) -> (u64, u64) {
+        self.meta.summaries[page_no as usize]
+    }
+
+    /// Alg. 1: full scan for every row position holding `vid`, loading one
+    /// page at a time.
+    pub fn find_by_vid(&self, vid: u64) -> CoreResult<Vec<u64>> {
+        let mut out = Vec::new();
+        self.iter().search(0, self.meta.len, &VidSet::Single(vid), &mut out)?;
+        Ok(out)
+    }
+
+    /// Serializes the vector's metadata for a catalog checkpoint. The page
+    /// chain itself already lives in the store; only the in-memory residue
+    /// (geometry + summaries) needs persisting.
+    pub fn meta_bytes(&self) -> Vec<u8> {
+        let mut w = crate::meta::MetaWriter::new();
+        crate::meta::write_chain(&mut w, &self.meta.chain);
+        w.u8(self.meta.width.bits() as u8);
+        w.u64(self.meta.len);
+        w.u64(self.meta.chunks_per_page);
+        w.u64(self.meta.summaries.len() as u64);
+        for &(lo, hi) in &self.meta.summaries {
+            w.u64(lo);
+            w.u64(hi);
+        }
+        w.finish()
+    }
+
+    /// Reopens a vector from checkpointed metadata over `pool`'s store.
+    pub fn open(pool: &BufferPool, bytes: &[u8]) -> CoreResult<Self> {
+        let mut r = crate::meta::MetaReader::new(bytes);
+        let chain = crate::meta::read_chain(&mut r)?;
+        let width = BitWidth::new(u32::from(r.u8()?))?;
+        let len = r.u64()?;
+        let chunks_per_page = r.u64()?;
+        let n = r.read_len()?;
+        let mut summaries = Vec::with_capacity(n.min(1 << 20));
+        for _ in 0..n {
+            summaries.push((r.u64()?, r.u64()?));
+        }
+        r.expect_end()?;
+        if summaries.len() as u64 != chain.pages {
+            return Err(CoreError::Storage(StorageError::Corrupt(
+                "data-vector summaries do not match page count".into(),
+            )));
+        }
+        Ok(PagedDataVector {
+            pool: pool.clone(),
+            meta: Arc::new(Meta { chain, width, len, chunks_per_page, summaries }),
+        })
+    }
+
+    /// Reads the whole chain directly from the store — no buffer pool, no
+    /// paged resources — and reassembles the resident packed vector. This is
+    /// the full-column-load path of default (fully resident) columns.
+    pub fn decode_all_direct(&self) -> CoreResult<BitPackedVec> {
+        let store = self.pool.store();
+        let n = self.meta.width.bits() as usize;
+        if n == 0 {
+            return Ok(BitPackedVec::from_words(self.meta.width, self.meta.len, Vec::new())?);
+        }
+        let total_chunks = chunk::chunk_count(self.meta.len);
+        let mut words = Vec::with_capacity(total_chunks as usize * n);
+        let per_chunk = bytes_per_chunk(self.meta.width);
+        let mut remaining = total_chunks;
+        for p in 0..self.meta.chain.pages {
+            let page = store.read_page(PageKey::new(self.meta.chain.chain, p))?;
+            let on_page = remaining.min(self.meta.chunks_per_page) as usize;
+            for ci in 0..on_page {
+                let base = ci * per_chunk;
+                for w in 0..n {
+                    let o = base + w * 8;
+                    words.push(u64::from_le_bytes(page[o..o + 8].try_into().unwrap()));
+                }
+            }
+            remaining -= on_page as u64;
+        }
+        Ok(BitPackedVec::from_words(self.meta.width, self.meta.len, words)?)
+    }
+
+    fn check_range(&self, from: u64, to: u64) -> CoreResult<()> {
+        if from > to || to > self.meta.len {
+            return Err(CoreError::RowOutOfBounds { rpos: to, len: self.meta.len });
+        }
+        Ok(())
+    }
+}
+
+/// Stateful iterator over a [`PagedDataVector`].
+pub struct PagedDataVectorIterator<'a> {
+    vec: &'a PagedDataVector,
+    /// Iterator state: the currently pinned page (paper: "it pins each new
+    /// page after releasing the handle to the previous page during page
+    /// reposition").
+    cur: Option<(u64, PageGuard)>,
+}
+
+impl PagedDataVectorIterator<'_> {
+    /// Repositions onto `page_no`, pinning it (and releasing the previous
+    /// page's pin, if different).
+    fn reposition(&mut self, page_no: u64) -> CoreResult<&PageGuard> {
+        let stale = !matches!(&self.cur, Some((cur_no, _)) if *cur_no == page_no);
+        if stale {
+            let key = PageKey::new(self.vec.meta.chain.chain, page_no);
+            // Pin the new page first, then drop the old guard by overwrite.
+            let guard = self.vec.pool.pin(key).map_err(CoreError::Storage)?;
+            self.cur = Some((page_no, guard));
+        }
+        Ok(&self.cur.as_ref().unwrap().1)
+    }
+
+    /// Copies the words of chunk `chunk_no` into `words`, returning the word
+    /// count (the bit width). Pins the owning page for the duration via the
+    /// iterator state.
+    fn chunk_words(&mut self, chunk_no: u64, words: &mut [u64; 64]) -> CoreResult<usize> {
+        let n = self.vec.meta.width.bits() as usize;
+        if n == 0 {
+            return Ok(0);
+        }
+        let cpp = self.vec.meta.chunks_per_page;
+        let page_no = chunk_no / cpp;
+        let in_page = (chunk_no % cpp) as usize;
+        let per_chunk = bytes_per_chunk(self.vec.meta.width);
+        let guard = self.reposition(page_no)?;
+        let base = in_page * per_chunk;
+        let bytes = &guard[base..base + per_chunk];
+        for (i, w) in words[..n].iter_mut().enumerate() {
+            *w = u64::from_le_bytes(bytes[i * 8..i * 8 + 8].try_into().unwrap());
+        }
+        Ok(n)
+    }
+
+    /// Decodes the identifier at `rpos`.
+    pub fn get(&mut self, rpos: u64) -> CoreResult<u64> {
+        if rpos >= self.vec.meta.len {
+            return Err(CoreError::RowOutOfBounds { rpos, len: self.vec.meta.len });
+        }
+        if self.vec.meta.width.bits() == 0 {
+            return Ok(0);
+        }
+        let mut words = [0u64; 64];
+        let n = self.chunk_words(chunk::chunk_of(rpos), &mut words)?;
+        Ok(chunk::decode_slot(&words[..n], self.vec.meta.width, chunk::slot_of(rpos)))
+    }
+
+    /// Decodes identifiers for the row range `from..to` into `out`
+    /// (cleared first), loading only the pages that overlap the range.
+    pub fn mget(&mut self, from: u64, to: u64, out: &mut Vec<u64>) -> CoreResult<()> {
+        self.vec.check_range(from, to)?;
+        out.clear();
+        if from == to {
+            return Ok(());
+        }
+        out.reserve((to - from) as usize);
+        if self.vec.meta.width.bits() == 0 {
+            out.resize((to - from) as usize, 0);
+            return Ok(());
+        }
+        let mut words = [0u64; 64];
+        let mut decoded = [0u64; CHUNK_LEN];
+        let first = chunk::chunk_of(from);
+        let last = chunk::chunk_of(to - 1);
+        for ci in first..=last {
+            let n = self.chunk_words(ci, &mut words)?;
+            chunk::decode_chunk(&words[..n], self.vec.meta.width, &mut decoded);
+            let lo = if ci == first { chunk::slot_of(from) } else { 0 };
+            let hi = if ci == last { chunk::slot_of(to - 1) + 1 } else { CHUNK_LEN };
+            out.extend_from_slice(&decoded[lo..hi]);
+        }
+        Ok(())
+    }
+
+    /// `search(range-of-rows, set-of-vids)`: appends row positions in
+    /// `from..to` whose identifier is in `set`. Pages outside the range are
+    /// never loaded.
+    pub fn search(
+        &mut self,
+        from: u64,
+        to: u64,
+        set: &VidSet,
+        out: &mut Vec<u64>,
+    ) -> CoreResult<()> {
+        self.vec.check_range(from, to)?;
+        if from == to || set.is_empty() {
+            return Ok(());
+        }
+        if self.vec.meta.width.bits() == 0 {
+            if set.contains(0) {
+                out.extend(from..to);
+            }
+            return Ok(());
+        }
+        let pred = CompiledPredicate::new(self.vec.meta.width, set);
+        let mut words = [0u64; 64];
+        let cpp = self.vec.meta.chunks_per_page;
+        let first = chunk::chunk_of(from);
+        let last = chunk::chunk_of(to - 1);
+        let mut ci = first;
+        while ci <= last {
+            // Page-summary pruning (§3.3): skip whole pages whose value
+            // range cannot match, without loading them.
+            let page_no = ci / cpp;
+            let (pmin, pmax) = self.vec.meta.summaries[page_no as usize];
+            if !set.overlaps(pmin, pmax) {
+                ci = (page_no + 1) * cpp;
+                continue;
+            }
+            let n = self.chunk_words(ci, &mut words)?;
+            let bm = pred.chunk_bitmap(&words[..n]);
+            if bm != 0 {
+                push_bitmap_positions(bm, ci * CHUNK_LEN as u64, from, to, out);
+            }
+            ci += 1;
+        }
+        Ok(())
+    }
+
+    /// `search(list-of-rows, set-of-vids)`: appends the subset of `rows`
+    /// (ascending) whose identifier is in `set`. Only pages containing
+    /// listed rows are loaded.
+    pub fn search_at_rows(
+        &mut self,
+        rows: &[u64],
+        set: &VidSet,
+        out: &mut Vec<u64>,
+    ) -> CoreResult<()> {
+        if rows.is_empty() || set.is_empty() {
+            return Ok(());
+        }
+        if self.vec.meta.width.bits() == 0 {
+            if set.contains(0) {
+                out.extend_from_slice(rows);
+            }
+            return Ok(());
+        }
+        let mut words = [0u64; 64];
+        let mut decoded = [0u64; CHUNK_LEN];
+        let mut cached_chunk = u64::MAX;
+        for &rpos in rows {
+            if rpos >= self.vec.meta.len {
+                return Err(CoreError::RowOutOfBounds { rpos, len: self.vec.meta.len });
+            }
+            let ci = chunk::chunk_of(rpos);
+            if ci != cached_chunk {
+                let n = self.chunk_words(ci, &mut words)?;
+                chunk::decode_chunk(&words[..n], self.vec.meta.width, &mut decoded);
+                cached_chunk = ci;
+            }
+            if set.contains(decoded[chunk::slot_of(rpos)]) {
+                out.push(rpos);
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use payg_resman::ResourceManager;
+    use payg_storage::MemStore;
+
+    fn pool() -> BufferPool {
+        BufferPool::new(Arc::new(MemStore::new()), ResourceManager::new())
+    }
+
+    fn sample(len: usize, card: u64, seed: u64) -> Vec<u64> {
+        (0..len as u64)
+            .map(|i| {
+                seed.wrapping_mul(0x9E37_79B9_7F4A_7C15)
+                    .wrapping_add(i)
+                    .wrapping_mul(0xBF58_476D_1CE4_E5B9)
+                    % card
+            })
+            .collect()
+    }
+
+    fn build(values: &[u64]) -> (BufferPool, PagedDataVector, BitPackedVec) {
+        let pool = pool();
+        let packed = BitPackedVec::from_values(values);
+        let paged = PagedDataVector::build(&pool, &PageConfig::tiny(), &packed).unwrap();
+        (pool, paged, packed)
+    }
+
+    #[test]
+    fn get_matches_resident_across_pages() {
+        let values = sample(3000, 1000, 1);
+        let (_pool, paged, packed) = build(&values);
+        assert!(paged.pages() > 5, "tiny pages must force a multi-page chain");
+        let mut it = paged.iter();
+        for (i, &v) in values.iter().enumerate() {
+            assert_eq!(it.get(i as u64).unwrap(), v);
+            assert_eq!(packed.get(i as u64), v);
+        }
+    }
+
+    #[test]
+    fn mget_matches_slice() {
+        let values = sample(1000, 300, 2);
+        let (_pool, paged, _) = build(&values);
+        let mut it = paged.iter();
+        let mut out = Vec::new();
+        for (from, to) in [(0u64, 0u64), (0, 1000), (63, 65), (100, 500), (999, 1000)] {
+            it.mget(from, to, &mut out).unwrap();
+            assert_eq!(out, &values[from as usize..to as usize], "{from}..{to}");
+        }
+    }
+
+    #[test]
+    fn search_matches_naive_and_loads_only_needed_pages() {
+        let values = sample(4000, 50, 3);
+        let (pool, paged, _) = build(&values);
+        let set = VidSet::range(10, 20);
+        let mut out = Vec::new();
+        // Restricted row range: only its pages load.
+        let mut it = paged.iter();
+        it.search(1000, 1200, &set, &mut out).unwrap();
+        let expect: Vec<u64> =
+            (1000..1200).filter(|&i| set.contains(values[i as usize])).collect();
+        assert_eq!(out, expect);
+        let loaded = pool.metrics().loads;
+        assert!(
+            loaded < paged.pages(),
+            "range-restricted search loaded {loaded} of {} pages",
+            paged.pages()
+        );
+        // Full scan agrees with the reference.
+        out.clear();
+        paged.iter().search(0, 4000, &set, &mut out).unwrap();
+        let expect: Vec<u64> = (0..4000).filter(|&i| set.contains(values[i as usize])).collect();
+        assert_eq!(out, expect);
+    }
+
+    #[test]
+    fn search_at_rows_matches_naive() {
+        let values = sample(2000, 128, 4);
+        let (_pool, paged, _) = build(&values);
+        let rows: Vec<u64> = (0..2000).step_by(13).collect();
+        let set = VidSet::from_vids(vec![1, 5, 40, 90, 127]);
+        let mut out = Vec::new();
+        paged.iter().search_at_rows(&rows, &set, &mut out).unwrap();
+        let expect: Vec<u64> = rows
+            .iter()
+            .copied()
+            .filter(|&r| set.contains(values[r as usize]))
+            .collect();
+        assert_eq!(out, expect);
+    }
+
+    #[test]
+    fn find_by_vid_full_scan() {
+        let values = sample(500, 10, 5);
+        let (_pool, paged, _) = build(&values);
+        for vid in 0..10 {
+            let got = paged.find_by_vid(vid).unwrap();
+            let expect: Vec<u64> =
+                (0..500).filter(|&i| values[i as usize] == vid).collect();
+            assert_eq!(got, expect, "vid {vid}");
+        }
+    }
+
+    #[test]
+    fn iterator_holds_exactly_one_pin() {
+        let values = sample(3000, 1000, 6);
+        let (pool, paged, _) = build(&values);
+        let resman = pool.resource_manager().clone();
+        let mut it = paged.iter();
+        let _ = it.get(0).unwrap();
+        let _ = it.get(2999).unwrap();
+        // Only the iterator's current page is pinned: everything else is
+        // evictable.
+        resman.set_paged_limits(Some(payg_resman::PoolLimits::new(0, usize::MAX)));
+        resman.reactive_unload();
+        assert_eq!(pool.resident_pages(), 1);
+        // The pinned page is still readable.
+        let _ = it.get(2999).unwrap();
+    }
+
+    #[test]
+    fn single_distinct_value_has_no_pages() {
+        let values = vec![0u64; 1000];
+        let (_pool, paged, _) = build(&values);
+        assert_eq!(paged.pages(), 0);
+        assert_eq!(paged.width().bits(), 0);
+        let mut it = paged.iter();
+        assert_eq!(it.get(999).unwrap(), 0);
+        let mut out = Vec::new();
+        it.search(10, 20, &VidSet::Single(0), &mut out).unwrap();
+        assert_eq!(out, (10..20).collect::<Vec<u64>>());
+        out.clear();
+        it.search(10, 20, &VidSet::Single(1), &mut out).unwrap();
+        assert!(out.is_empty());
+        it.mget(5, 8, &mut out).unwrap();
+        assert_eq!(out, vec![0, 0, 0]);
+    }
+
+    #[test]
+    fn out_of_bounds_is_an_error() {
+        let values = sample(100, 10, 7);
+        let (_pool, paged, _) = build(&values);
+        let mut it = paged.iter();
+        assert!(matches!(it.get(100), Err(CoreError::RowOutOfBounds { .. })));
+        let mut out = Vec::new();
+        assert!(it.mget(50, 101, &mut out).is_err());
+        assert!(it.search(0, 101, &VidSet::Single(0), &mut out).is_err());
+        assert!(it.search_at_rows(&[100], &VidSet::Single(0), &mut out).is_err());
+    }
+
+    #[test]
+    fn page_of_arithmetic() {
+        let values = sample(3000, 256, 8); // 8-bit → 512 bytes/chunk? no: 8 bit = 8 words = 64 B
+        let (_pool, paged, _) = build(&values);
+        // tiny page = 256 B; 8-bit chunks are 64 B → 4 chunks (256 rows) per page.
+        assert_eq!(paged.page_of(0), Some(0));
+        assert_eq!(paged.page_of(255), Some(0));
+        assert_eq!(paged.page_of(256), Some(1));
+        assert_eq!(paged.pages(), 3000u64.div_ceil(256));
+    }
+}
+
+#[cfg(test)]
+mod summary_tests {
+    use super::*;
+    use payg_resman::ResourceManager;
+    use payg_storage::MemStore;
+
+    /// A clustered layout (values sorted by row) makes summaries selective.
+    #[test]
+    fn summaries_prune_page_loads_on_clustered_data() {
+        let pool = BufferPool::new(Arc::new(MemStore::new()), ResourceManager::new());
+        let values: Vec<u64> = (0..4096u64).map(|i| i / 16).collect(); // sorted, card 256
+        let packed = BitPackedVec::from_values(&values);
+        let paged = PagedDataVector::build(&pool, &PageConfig::tiny(), &packed).unwrap();
+        assert!(paged.pages() > 4);
+        // Summaries are tight on clustered data.
+        let (min0, max0) = paged.page_summary(0);
+        let (minl, maxl) = paged.page_summary(paged.pages() - 1);
+        assert!(max0 < minl, "clustered pages have disjoint ranges");
+        assert_eq!(min0, 0);
+        assert_eq!(maxl, 255);
+        // A point search touches only the page(s) whose summary matches.
+        let mut out = Vec::new();
+        paged.iter().search(0, 4096, &VidSet::Single(200), &mut out).unwrap();
+        let expect: Vec<u64> = (0..4096).filter(|&i| values[i as usize] == 200).collect();
+        assert_eq!(out, expect);
+        let loads = pool.metrics().loads;
+        assert!(
+            loads <= 2,
+            "summary pruning must load at most the matching page(s), loaded {loads} of {}",
+            paged.pages()
+        );
+        // A disjoint predicate loads nothing at all.
+        let before = pool.metrics().loads;
+        out.clear();
+        paged.iter().search(0, 4096, &VidSet::Single(9999), &mut out).unwrap();
+        assert!(out.is_empty());
+        assert_eq!(pool.metrics().loads, before, "no page loads for a non-overlapping predicate");
+    }
+
+    /// Pruning never changes results on unclustered data (false positives
+    /// are pruned by the scan itself, as the paper notes).
+    #[test]
+    fn pruning_preserves_results_on_random_data() {
+        let pool = BufferPool::new(Arc::new(MemStore::new()), ResourceManager::new());
+        let values: Vec<u64> = (0..2000u64)
+            .map(|i| i.wrapping_mul(0x9E37_79B9_7F4A_7C15) % 97)
+            .collect();
+        let packed = BitPackedVec::from_values(&values);
+        let paged = PagedDataVector::build(&pool, &PageConfig::tiny(), &packed).unwrap();
+        for set in [VidSet::Single(13), VidSet::range(90, 96), VidSet::from_vids(vec![0, 50, 96])] {
+            let mut out = Vec::new();
+            paged.iter().search(0, 2000, &set, &mut out).unwrap();
+            let expect: Vec<u64> =
+                (0..2000).filter(|&i| set.contains(values[i as usize])).collect();
+            assert_eq!(out, expect, "{set:?}");
+        }
+    }
+}

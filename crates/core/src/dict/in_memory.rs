@@ -1,0 +1,114 @@
+//! The fully-resident dictionary.
+
+/// A sorted, deduplicated, memory-resident dictionary: `vid` → key is an
+/// index access, key → `vid` a binary search. This is the baseline the
+/// paper's default columns use.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct InMemoryDict {
+    keys: Vec<Vec<u8>>,
+}
+
+impl InMemoryDict {
+    /// Builds from keys that are already sorted and deduplicated.
+    ///
+    /// # Panics
+    /// Debug-panics when keys are not strictly increasing.
+    pub fn from_sorted_keys(keys: Vec<Vec<u8>>) -> Self {
+        debug_assert!(keys.windows(2).all(|w| w[0] < w[1]), "keys must be strictly increasing");
+        InMemoryDict { keys }
+    }
+
+    /// Builds from arbitrary keys (sorts and deduplicates).
+    pub fn from_keys(mut keys: Vec<Vec<u8>>) -> Self {
+        keys.sort();
+        keys.dedup();
+        InMemoryDict { keys }
+    }
+
+    /// Number of distinct values.
+    pub fn cardinality(&self) -> u64 {
+        self.keys.len() as u64
+    }
+
+    /// True when the dictionary holds no values.
+    pub fn is_empty(&self) -> bool {
+        self.keys.is_empty()
+    }
+
+    /// The key encoded by `vid`.
+    ///
+    /// # Panics
+    /// Panics when `vid` is out of bounds.
+    pub fn key(&self, vid: u64) -> &[u8] {
+        &self.keys[vid as usize]
+    }
+
+    /// Finds `key`: `Ok(vid)` on a hit, `Err(insertion_vid)` on a miss
+    /// (the number of dictionary keys strictly below `key`).
+    pub fn find(&self, key: &[u8]) -> Result<u64, u64> {
+        match self.keys.binary_search_by(|k| k.as_slice().cmp(key)) {
+            Ok(i) => Ok(i as u64),
+            Err(i) => Err(i as u64),
+        }
+    }
+
+    /// All keys in order.
+    pub fn keys(&self) -> impl ExactSizeIterator<Item = &[u8]> {
+        self.keys.iter().map(|k| k.as_slice())
+    }
+
+    /// Heap footprint in bytes (what the resident column registers with the
+    /// resource manager).
+    pub fn heap_bytes(&self) -> usize {
+        self.keys.len() * std::mem::size_of::<Vec<u8>>()
+            + self.keys.iter().map(|k| k.capacity()).sum::<usize>()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn dict() -> InMemoryDict {
+        InMemoryDict::from_keys(vec![
+            b"delta".to_vec(),
+            b"alpha".to_vec(),
+            b"echo".to_vec(),
+            b"bravo".to_vec(),
+            b"alpha".to_vec(), // duplicate
+        ])
+    }
+
+    #[test]
+    fn sorted_and_deduplicated() {
+        let d = dict();
+        assert_eq!(d.cardinality(), 4);
+        let keys: Vec<&[u8]> = d.keys().collect();
+        assert_eq!(keys, vec![&b"alpha"[..], b"bravo", b"delta", b"echo"]);
+    }
+
+    #[test]
+    fn find_hits_and_insertion_points() {
+        let d = dict();
+        assert_eq!(d.find(b"alpha"), Ok(0));
+        assert_eq!(d.find(b"echo"), Ok(3));
+        assert_eq!(d.find(b"aaa"), Err(0));
+        assert_eq!(d.find(b"charlie"), Err(2));
+        assert_eq!(d.find(b"zulu"), Err(4));
+    }
+
+    #[test]
+    fn vid_key_roundtrip() {
+        let d = dict();
+        for vid in 0..d.cardinality() {
+            assert_eq!(d.find(d.key(vid)), Ok(vid));
+        }
+    }
+
+    #[test]
+    fn empty_dict() {
+        let d = InMemoryDict::from_keys(vec![]);
+        assert!(d.is_empty());
+        assert_eq!(d.find(b"x"), Err(0));
+    }
+}

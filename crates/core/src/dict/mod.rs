@@ -1,0 +1,21 @@
+//! Order-preserving dictionaries (paper §3.2).
+//!
+//! Main-fragment dictionaries are created sorted during delta merge; value
+//! identifiers are assigned in key order, so `vid` comparisons are value
+//! comparisons. Keys are order-preserving byte strings (see
+//! [`crate::value::Value::to_key`]), which lets one layout serve all column
+//! types.
+//!
+//! * [`InMemoryDict`] is the fully-resident baseline: a sorted key vector
+//!   with binary search.
+//! * [`PagedDictionary`] is the page-loadable form: a chain of dictionary
+//!   pages of prefix-encoded value blocks, an overflow chain for large
+//!   values, and the two sparse helper dictionaries — `ipDict_ValueId`
+//!   (last vid per page) and `ipDict_Value` (last value per page) — that
+//!   route a lookup to the single dictionary page it needs.
+
+mod in_memory;
+mod paged;
+
+pub use in_memory::InMemoryDict;
+pub use paged::{DictLookup, HandleCache, PagedDictBuildStats, PagedDictionary};

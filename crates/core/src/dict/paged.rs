@@ -1,0 +1,1029 @@
+//! The page-loadable dictionary (paper §3.2).
+//!
+//! Physical layout:
+//!
+//! * **Dictionary chain** — pages of prefix-encoded value blocks (16 values
+//!   per block). Page format:
+//!   `first_idx: u64 | nblocks: u32 | offsets: [u32; nblocks] | blocks…`,
+//!   where `first_idx` is the vid of the first value on the page. Because
+//!   every block except the last holds exactly 16 values, vid → (block,
+//!   slot) is pure arithmetic once the page is pinned.
+//! * **Overflow chain** — off-page pieces of large values; a value block
+//!   entry references them by logical pointer (`page_no`, `len`).
+//! * **`ipDict_ValueId` helper chain** — one `u64` per dictionary page: the
+//!   last vid stored on that page, packed as plain little-endian arrays.
+//! * **`ipDict_Value` helper chain** — one separator (the last value) per
+//!   dictionary page, stored as prefix-encoded blocks with the same page
+//!   format as the dictionary chain (`first_idx` = separator index).
+//!
+//! A tiny in-memory residue — the last entry of *each helper page* — routes
+//! a lookup to the single helper page it needs; everything else is pinned on
+//! demand through the buffer pool. Helper chains are preloaded on the first
+//! access to the dictionary (§3.2.3), and both lookups touch exactly one
+//! dictionary page plus, for large values, the overflow pages of **one**
+//! value.
+//!
+//! The per-page *transient structure* (§3.2.1) — the vector of block offsets
+//! — is built when a page is loaded, charged to the paged pool, and
+//! destroyed on eviction.
+
+use crate::{CoreError, CoreResult, PageConfig};
+use payg_encoding::prefix::{OverflowRef, ValueBlock, ValueBlockBuilder, ValueBlockView, BLOCK_CAP};
+use payg_encoding::EncodingError;
+use payg_storage::{BufferPool, ChainRef, PageGuard, PageKey, StorageError};
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
+/// Result of a key lookup: `Ok(vid)` on a hit, `Err(insertion_vid)` — the
+/// number of dictionary keys strictly below the probe — on a miss.
+pub type DictLookup = Result<u64, u64>;
+
+/// Per-iterator page-handle cache (paper §3.2.3): pinned pages are reused
+/// for the lifetime of the cache and released when it is dropped, keeping
+/// the resource manager from unloading pages a batch lookup will revisit.
+pub struct HandleCache {
+    pool: BufferPool,
+    map: HashMap<PageKey, PageGuard>,
+}
+
+impl HandleCache {
+    /// Creates an empty cache over `pool`.
+    pub fn new(pool: BufferPool) -> Self {
+        HandleCache { pool, map: HashMap::new() }
+    }
+
+    /// Pins `key`, reusing a cached handle when present.
+    pub fn pin(&mut self, key: PageKey) -> CoreResult<PageGuard> {
+        if let Some(g) = self.map.get(&key) {
+            g.touch();
+            return Ok(g.clone());
+        }
+        let g = self.pool.pin(key).map_err(CoreError::Storage)?;
+        self.map.insert(key, g.clone());
+        Ok(g)
+    }
+
+    /// Number of cached handles.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// True when no handles are cached.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+
+    /// Releases all cached handles.
+    pub fn clear(&mut self) {
+        self.map.clear();
+    }
+}
+
+/// The transient structure registered to a dictionary page on load: the
+/// block-offset vector plus the page's first index.
+struct PageTransient {
+    first_idx: u64,
+    offsets: Vec<u32>,
+}
+
+impl PageTransient {
+    fn parse(bytes: &[u8]) -> Result<(PageTransient, usize), StorageError> {
+        if bytes.len() < 12 {
+            return Err(StorageError::Corrupt("dictionary page shorter than header".into()));
+        }
+        let first_idx = u64::from_le_bytes(bytes[0..8].try_into().unwrap());
+        let nblocks = u32::from_le_bytes(bytes[8..12].try_into().unwrap()) as usize;
+        let need = 12 + nblocks * 4;
+        if nblocks == 0 || bytes.len() < need {
+            return Err(StorageError::Corrupt(format!(
+                "dictionary page header claims {nblocks} blocks but page has {} bytes",
+                bytes.len()
+            )));
+        }
+        let mut offsets = Vec::with_capacity(nblocks);
+        for i in 0..nblocks {
+            let off = u32::from_le_bytes(bytes[12 + i * 4..16 + i * 4].try_into().unwrap());
+            if (off as usize) < need || off as usize >= bytes.len() {
+                return Err(StorageError::Corrupt(format!("block offset {off} out of page")));
+            }
+            offsets.push(off);
+        }
+        let heap = offsets.capacity() * 4;
+        Ok((PageTransient { first_idx, offsets }, heap))
+    }
+}
+
+struct Meta {
+    cardinality: u64,
+    dict_chain: ChainRef,
+    overflow_chain: ChainRef,
+    vid_helper_chain: ChainRef,
+    value_helper_chain: ChainRef,
+    /// Last vid of each *vid-helper page* (one entry per helper page).
+    vid_helper_page_last: Vec<u64>,
+    /// Last separator of each *value-helper page*.
+    value_helper_page_last: Vec<Vec<u8>>,
+    /// Dictionary pages (also the number of separators / helper entries).
+    dict_pages: u64,
+}
+
+/// Build statistics reported by [`PagedDictionary::build`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PagedDictBuildStats {
+    /// Pages in the dictionary chain.
+    pub dict_pages: u64,
+    /// Pages in the overflow chain.
+    pub overflow_pages: u64,
+    /// Pages in the `ipDict_ValueId` helper chain.
+    pub vid_helper_pages: u64,
+    /// Pages in the `ipDict_Value` helper chain.
+    pub value_helper_pages: u64,
+}
+
+/// The page-loadable, order-preserving dictionary.
+pub struct PagedDictionary {
+    pool: BufferPool,
+    meta: Arc<Meta>,
+    helpers_preloaded: AtomicBool,
+    /// Guards held when the helper chains are pinned permanently
+    /// (§6.2.2's "more effective to have these auxiliary dictionaries
+    /// always loaded in memory").
+    pinned_helpers: parking_lot::Mutex<Vec<PageGuard>>,
+}
+
+impl PagedDictionary {
+    /// Persists `keys` (sorted, strictly increasing) as a paged dictionary
+    /// and returns the reader plus build statistics.
+    pub fn build(
+        pool: &BufferPool,
+        config: &PageConfig,
+        keys: &[Vec<u8>],
+    ) -> CoreResult<(Self, PagedDictBuildStats)> {
+        debug_assert!(
+            keys.windows(2).all(|w| w[0] < w[1]),
+            "dictionary keys must be strictly increasing"
+        );
+        let store = Arc::clone(pool.store());
+        let overflow_chain = store.create_chain(config.overflow_page)?;
+        let dict_chain = store.create_chain(config.dict_page)?;
+
+        // Off-page allocator: splits a byte tail into overflow-page-sized
+        // pieces, one page each. Errors escape via the side channel because
+        // the block builder's allocator signature is infallible.
+        let overflow_err: std::cell::RefCell<Option<StorageError>> = std::cell::RefCell::new(None);
+        let overflow_pages = std::cell::Cell::new(0u64);
+        let mut alloc_overflow = |bytes: &[u8]| -> Vec<OverflowRef> {
+            let mut refs = Vec::new();
+            for piece in bytes.chunks(config.overflow_page) {
+                match store.append_page(overflow_chain, piece) {
+                    Ok(page_no) => {
+                        overflow_pages.set(overflow_pages.get() + 1);
+                        refs.push(OverflowRef { page_no, len: piece.len() as u32 });
+                    }
+                    Err(e) => {
+                        *overflow_err.borrow_mut() = Some(e);
+                        return refs;
+                    }
+                }
+            }
+            refs
+        };
+
+        // Assemble dictionary pages block by block.
+        let mut page_writer = PageAssembler::new(config.dict_page);
+        let mut separators: Vec<Vec<u8>> = Vec::new();
+        let mut page_last_vids: Vec<u64> = Vec::new();
+        let mut dict_pages = 0u64;
+        let block_budget = config.dict_page - PAGE_HEADER - 4;
+        for group in keys.chunks(BLOCK_CAP) {
+            let mut b = ValueBlockBuilder::new();
+            for k in group {
+                let inline = choose_inline(&b, k, block_budget, config)?;
+                b.push(k, inline, &mut alloc_overflow);
+                if let Some(e) = overflow_err.borrow_mut().take() {
+                    return Err(CoreError::Storage(e));
+                }
+            }
+            let block = b.finish();
+            if let Some(full_page) = page_writer.push_block(&block)? {
+                let (bytes, first_idx, count) = full_page;
+                store.append_page(dict_chain, &bytes)?;
+                dict_pages += 1;
+                page_last_vids.push(first_idx + count - 1);
+                separators.push(keys[(first_idx + count - 1) as usize].clone());
+            }
+        }
+        if let Some((bytes, first_idx, count)) = page_writer.flush()? {
+            store.append_page(dict_chain, &bytes)?;
+            dict_pages += 1;
+            page_last_vids.push(first_idx + count - 1);
+            separators.push(keys[(first_idx + count - 1) as usize].clone());
+        }
+
+        // ipDict_ValueId: plain little-endian u64 arrays.
+        let vid_helper_chain = store.create_chain(config.helper_page)?;
+        let epp = config.helper_page / 8;
+        let mut vid_helper_page_last = Vec::new();
+        let mut vid_helper_pages = 0u64;
+        for page_vids in page_last_vids.chunks(epp.max(1)) {
+            let mut bytes = Vec::with_capacity(page_vids.len() * 8);
+            for &v in page_vids {
+                bytes.extend_from_slice(&v.to_le_bytes());
+            }
+            store.append_page(vid_helper_chain, &bytes)?;
+            vid_helper_pages += 1;
+            vid_helper_page_last.push(*page_vids.last().unwrap());
+        }
+
+        // ipDict_Value: separator blocks, same page format as the dictionary.
+        let value_helper_chain = store.create_chain(config.helper_page)?;
+        let mut sep_writer = PageAssembler::new(config.helper_page);
+        let mut value_helper_page_last: Vec<Vec<u8>> = Vec::new();
+        let mut value_helper_pages = 0u64;
+        let sep_block_budget = config.helper_page - PAGE_HEADER - 4;
+        for group in separators.chunks(BLOCK_CAP) {
+            let mut b = ValueBlockBuilder::new();
+            for s in group {
+                let inline = choose_inline(&b, s, sep_block_budget, config)?;
+                b.push(s, inline, &mut alloc_overflow);
+                if let Some(e) = overflow_err.borrow_mut().take() {
+                    return Err(CoreError::Storage(e));
+                }
+            }
+            let block = b.finish();
+            if let Some((bytes, first_idx, count)) = sep_writer.push_block(&block)? {
+                store.append_page(value_helper_chain, &bytes)?;
+                value_helper_pages += 1;
+                value_helper_page_last.push(separators[(first_idx + count - 1) as usize].clone());
+            }
+        }
+        if let Some((bytes, first_idx, count)) = sep_writer.flush()? {
+            store.append_page(value_helper_chain, &bytes)?;
+            value_helper_pages += 1;
+            value_helper_page_last.push(separators[(first_idx + count - 1) as usize].clone());
+        }
+
+        let meta = Meta {
+            cardinality: keys.len() as u64,
+            dict_chain: ChainRef { chain: dict_chain, pages: dict_pages, page_size: config.dict_page },
+            overflow_chain: ChainRef {
+                chain: overflow_chain,
+                pages: overflow_pages.get(),
+                page_size: config.overflow_page,
+            },
+            vid_helper_chain: ChainRef {
+                chain: vid_helper_chain,
+                pages: vid_helper_pages,
+                page_size: config.helper_page,
+            },
+            value_helper_chain: ChainRef {
+                chain: value_helper_chain,
+                pages: value_helper_pages,
+                page_size: config.helper_page,
+            },
+            vid_helper_page_last,
+            value_helper_page_last,
+            dict_pages,
+        };
+        let stats = PagedDictBuildStats {
+            dict_pages,
+            overflow_pages: overflow_pages.get(),
+            vid_helper_pages,
+            value_helper_pages,
+        };
+        Ok((
+            PagedDictionary {
+                pool: pool.clone(),
+                meta: Arc::new(meta),
+                helpers_preloaded: AtomicBool::new(false),
+                pinned_helpers: parking_lot::Mutex::new(Vec::new()),
+            },
+            stats,
+        ))
+    }
+
+    /// Serializes the dictionary's metadata for a catalog checkpoint: the
+    /// chain references plus the always-resident helper residue.
+    pub fn meta_bytes(&self) -> Vec<u8> {
+        let m = &self.meta;
+        let mut w = crate::meta::MetaWriter::new();
+        w.u64(m.cardinality);
+        crate::meta::write_chain(&mut w, &m.dict_chain);
+        crate::meta::write_chain(&mut w, &m.overflow_chain);
+        crate::meta::write_chain(&mut w, &m.vid_helper_chain);
+        crate::meta::write_chain(&mut w, &m.value_helper_chain);
+        w.u64s(&m.vid_helper_page_last);
+        w.u64(m.value_helper_page_last.len() as u64);
+        for k in &m.value_helper_page_last {
+            w.bytes(k);
+        }
+        w.u64(m.dict_pages);
+        w.finish()
+    }
+
+    /// Reopens a dictionary from checkpointed metadata over `pool`'s store.
+    pub fn open(pool: &BufferPool, bytes: &[u8]) -> CoreResult<Self> {
+        let mut r = crate::meta::MetaReader::new(bytes);
+        let cardinality = r.u64()?;
+        let dict_chain = crate::meta::read_chain(&mut r)?;
+        let overflow_chain = crate::meta::read_chain(&mut r)?;
+        let vid_helper_chain = crate::meta::read_chain(&mut r)?;
+        let value_helper_chain = crate::meta::read_chain(&mut r)?;
+        let vid_helper_page_last = r.u64s()?;
+        let n = r.read_len()?;
+        let mut value_helper_page_last = Vec::with_capacity(n.min(1 << 20));
+        for _ in 0..n {
+            value_helper_page_last.push(r.bytes()?);
+        }
+        let dict_pages = r.u64()?;
+        r.expect_end()?;
+        Ok(PagedDictionary {
+            pool: pool.clone(),
+            meta: Arc::new(Meta {
+                cardinality,
+                dict_chain,
+                overflow_chain,
+                vid_helper_chain,
+                value_helper_chain,
+                vid_helper_page_last,
+                value_helper_page_last,
+                dict_pages,
+            }),
+            helpers_preloaded: AtomicBool::new(false),
+            pinned_helpers: parking_lot::Mutex::new(Vec::new()),
+        })
+    }
+
+    /// Number of distinct values.
+    pub fn cardinality(&self) -> u64 {
+        self.meta.cardinality
+    }
+
+    /// Heap bytes of the always-resident metadata (the in-memory residue of
+    /// the hybrid representation).
+    pub fn meta_heap_bytes(&self) -> usize {
+        self.meta.vid_helper_page_last.len() * 8
+            + self
+                .meta
+                .value_helper_page_last
+                .iter()
+                .map(|k| k.capacity() + std::mem::size_of::<Vec<u8>>())
+                .sum::<usize>()
+    }
+
+    /// Creates a lookup iterator with its own page-handle cache.
+    pub fn iter(&self) -> PagedDictIterator<'_> {
+        PagedDictIterator { dict: self, cache: HandleCache::new(self.pool.clone()) }
+    }
+
+    /// `findByValueID` (Alg. 3): materializes the key encoded by `vid`.
+    pub fn key_by_vid(&self, vid: u64, cache: &mut HandleCache) -> CoreResult<Vec<u8>> {
+        if vid >= self.meta.cardinality {
+            return Err(CoreError::VidOutOfBounds { vid, cardinality: self.meta.cardinality });
+        }
+        self.preload_helpers(cache)?;
+        let dict_page = self.dict_page_for_vid(vid, cache)?;
+        let guard = cache.pin(PageKey::new(self.meta.dict_chain.chain, dict_page))?;
+        let t = page_transient(&guard)?;
+        if vid < t.first_idx {
+            return Err(CoreError::Storage(StorageError::Corrupt(format!(
+                "vid {vid} routed to dictionary page {dict_page} starting at {}",
+                t.first_idx
+            ))));
+        }
+        let idx = (vid - t.first_idx) as usize;
+        let (block_no, slot) = (idx / BLOCK_CAP, idx % BLOCK_CAP);
+        if block_no >= t.offsets.len() {
+            return Err(CoreError::Storage(StorageError::Corrupt(format!(
+                "vid {vid} maps to block {block_no} of {} on page {dict_page}",
+                t.offsets.len()
+            ))));
+        }
+        let block = parse_block_view(&guard, t.offsets[block_no])?;
+        if slot >= block.len() {
+            return Err(CoreError::Storage(StorageError::Corrupt(format!(
+                "vid {vid} maps to slot {slot} of a {}-entry block",
+                block.len()
+            ))));
+        }
+        self.with_overflow_fetch(cache, |fetch| block.materialize(slot, fetch))
+    }
+
+    /// `findByValue` (Alg. 2): finds the vid encoding `key`, or the
+    /// insertion point on a miss.
+    pub fn find(&self, key: &[u8], cache: &mut HandleCache) -> CoreResult<DictLookup> {
+        if self.meta.cardinality == 0 {
+            return Ok(Err(0));
+        }
+        self.preload_helpers(cache)?;
+        // Route to the value-helper page: first page whose last separator is
+        // >= key (the in-memory residue has one entry per helper page).
+        let hp = self
+            .meta
+            .value_helper_page_last
+            .partition_point(|last| last.as_slice() < key);
+        if hp == self.meta.value_helper_page_last.len() {
+            // Greater than every separator, hence every dictionary value.
+            return Ok(Err(self.meta.cardinality));
+        }
+        // Find the first separator >= key on that helper page; the
+        // separator's global index *is* the dictionary page number.
+        let guard = cache.pin(PageKey::new(self.meta.value_helper_chain.chain, hp as u64))?;
+        let t = page_transient(&guard)?;
+        let (block_no, pos) = self.lower_bound_on_page(&guard, &t, key, cache)?;
+        let dict_page = match pos {
+            Ok(i) | Err(i) => t.first_idx + (block_no * BLOCK_CAP + i) as u64,
+        };
+        debug_assert!(dict_page < self.meta.dict_pages);
+        // Search the single dictionary page.
+        let guard = cache.pin(PageKey::new(self.meta.dict_chain.chain, dict_page))?;
+        let t = page_transient(&guard)?;
+        let (block_no, pos) = self.lower_bound_on_page(&guard, &t, key, cache)?;
+        let global = |i: usize| t.first_idx + (block_no * BLOCK_CAP + i) as u64;
+        Ok(match pos {
+            Ok(i) => Ok(global(i)),
+            Err(i) => Err(global(i)),
+        })
+    }
+
+    /// Translates a value range (inclusive byte-key bounds) to the matching
+    /// vid range `lo..=hi`, or `None` when empty. Order preservation makes
+    /// this exactly two lookups.
+    pub fn vid_range(
+        &self,
+        lo_key: &[u8],
+        hi_key: &[u8],
+        cache: &mut HandleCache,
+    ) -> CoreResult<Option<(u64, u64)>> {
+        let lo = match self.find(lo_key, cache)? {
+            Ok(v) | Err(v) => v,
+        };
+        let hi = match self.find(hi_key, cache)? {
+            Ok(v) => v + 1,
+            Err(v) => v,
+        };
+        Ok(if lo < hi { Some((lo, hi - 1)) } else { None })
+    }
+
+    /// Reads the whole dictionary directly from the store — no buffer pool,
+    /// no paged resources — and materializes every key. This is the
+    /// full-column-load path of default (fully resident) columns.
+    pub fn materialize_all_direct(&self) -> CoreResult<Vec<Vec<u8>>> {
+        let store = self.pool.store();
+        let mut keys = Vec::with_capacity(self.meta.cardinality as usize);
+        let overflow = self.meta.overflow_chain.chain;
+        for p in 0..self.meta.dict_pages {
+            let page = store.read_page(PageKey::new(self.meta.dict_chain.chain, p))?;
+            let (t, _) = PageTransient::parse(&page)?;
+            for &off in &t.offsets {
+                let (block, _) = ValueBlock::parse(&page[off as usize..])?;
+                for i in 0..block.len() {
+                    let mut io_err: Option<StorageError> = None;
+                    let mut fetch = |r: &OverflowRef| -> payg_encoding::Result<Vec<u8>> {
+                        match store.read_page(PageKey::new(overflow, r.page_no)) {
+                            Ok(bytes) => Ok(bytes[..r.len as usize].to_vec()),
+                            Err(e) => {
+                                io_err = Some(e);
+                                Err(EncodingError::CorruptBlock {
+                                    reason: "i/o fetching overflow piece".into(),
+                                })
+                            }
+                        }
+                    };
+                    match block.materialize(i, &mut fetch) {
+                        Ok(k) => keys.push(k),
+                        Err(e) => {
+                            return Err(io_err
+                                .take()
+                                .map(CoreError::Storage)
+                                .unwrap_or(CoreError::Encoding(e)))
+                        }
+                    }
+                }
+            }
+        }
+        if keys.len() as u64 != self.meta.cardinality {
+            return Err(CoreError::Storage(StorageError::Corrupt(format!(
+                "dictionary chain materialized {} keys, expected {}",
+                keys.len(),
+                self.meta.cardinality
+            ))));
+        }
+        Ok(keys)
+    }
+
+    /// Finds the block and in-block position of the first entry `>= key` on
+    /// a page: binary search over blocks by their first entry, then a block
+    /// search. Returns `(block_no, Ok(slot))` on an exact hit and
+    /// `(block_no, Err(slot))` for the insertion point.
+    fn lower_bound_on_page(
+        &self,
+        page: &PageGuard,
+        t: &PageTransient,
+        key: &[u8],
+        cache: &mut HandleCache,
+    ) -> CoreResult<(usize, Result<usize, usize>)> {
+        // Rightmost block whose first entry is <= key.
+        let mut lo = 0usize;
+        let mut hi = t.offsets.len(); // exclusive
+        while hi - lo > 1 {
+            let mid = (lo + hi) / 2;
+            let block = parse_block_view(page, t.offsets[mid])?;
+            let cmp =
+                self.with_overflow_fetch(cache, |fetch| block.compare_first(key, fetch))?;
+            if cmp == std::cmp::Ordering::Greater {
+                hi = mid;
+            } else {
+                lo = mid;
+            }
+        }
+        let block = parse_block_view(page, t.offsets[lo])?;
+        let pos = self.with_overflow_fetch(cache, |fetch| block.find(key, fetch))?;
+        match pos {
+            Err(i) if i == block.len() && lo + 1 < t.offsets.len() => {
+                // Key falls past this block: insertion is the next block's
+                // first slot.
+                Ok((lo + 1, Err(0)))
+            }
+            other => Ok((lo, other)),
+        }
+    }
+
+    /// Routes a vid to its dictionary page through the paged
+    /// `ipDict_ValueId` helper.
+    fn dict_page_for_vid(&self, vid: u64, cache: &mut HandleCache) -> CoreResult<u64> {
+        let hp = self.meta.vid_helper_page_last.partition_point(|&last| last < vid);
+        debug_assert!(hp < self.meta.vid_helper_page_last.len(), "vid bounds checked by caller");
+        let guard = cache.pin(PageKey::new(self.meta.vid_helper_chain.chain, hp as u64))?;
+        let epp = self.meta.vid_helper_chain.page_size / 8;
+        let start = hp * epp;
+        let count = (self.meta.dict_pages as usize - start).min(epp);
+        // Binary search the little-endian u64 array for the first last-vid
+        // >= vid.
+        let read = |i: usize| -> u64 {
+            u64::from_le_bytes(guard[i * 8..i * 8 + 8].try_into().unwrap())
+        };
+        let mut lo = 0usize;
+        let mut hi = count;
+        while lo < hi {
+            let mid = (lo + hi) / 2;
+            if read(mid) < vid {
+                lo = mid + 1;
+            } else {
+                hi = mid;
+            }
+        }
+        debug_assert!(lo < count, "vid {vid} beyond the last dictionary page");
+        Ok((start + lo) as u64)
+    }
+
+    /// Pins every page of both helper chains for the dictionary's lifetime
+    /// — the "always loaded" helper-dictionary variant the paper's §6.2.2
+    /// recommends after observing the Fig. 6 burst. Pinned pages are immune
+    /// to eviction until [`PagedDictionary::unpin_helpers`] (or drop).
+    pub fn pin_helpers(&self) -> CoreResult<()> {
+        let mut pins = self.pinned_helpers.lock();
+        if !pins.is_empty() {
+            return Ok(());
+        }
+        for chain in [&self.meta.vid_helper_chain, &self.meta.value_helper_chain] {
+            for p in 0..chain.pages {
+                pins.push(self.pool.pin(PageKey::new(chain.chain, p)).map_err(CoreError::Storage)?);
+            }
+        }
+        self.helpers_preloaded.store(true, Ordering::Relaxed);
+        Ok(())
+    }
+
+    /// Releases the permanent helper pins (pages become evictable again).
+    pub fn unpin_helpers(&self) {
+        self.pinned_helpers.lock().clear();
+    }
+
+    /// True when the helper chains are permanently pinned.
+    pub fn helpers_pinned(&self) -> bool {
+        !self.pinned_helpers.lock().is_empty()
+    }
+
+    /// Pre-loads both helper chains on the first access (§3.2.3). The pages
+    /// become pool-resident (and individually evictable later); guards are
+    /// not retained.
+    fn preload_helpers(&self, cache: &mut HandleCache) -> CoreResult<()> {
+        if self.helpers_preloaded.swap(true, Ordering::Relaxed) {
+            return Ok(());
+        }
+        for p in 0..self.meta.vid_helper_chain.pages {
+            cache.pin(PageKey::new(self.meta.vid_helper_chain.chain, p))?;
+        }
+        for p in 0..self.meta.value_helper_chain.pages {
+            cache.pin(PageKey::new(self.meta.value_helper_chain.chain, p))?;
+        }
+        Ok(())
+    }
+
+    /// Runs `f` with an overflow-piece fetcher that pins pages through the
+    /// handle cache, translating I/O failures out of the encoding layer.
+    fn with_overflow_fetch<T>(
+        &self,
+        cache: &mut HandleCache,
+        f: impl FnOnce(
+            &mut dyn FnMut(&OverflowRef) -> payg_encoding::Result<Vec<u8>>,
+        ) -> payg_encoding::Result<T>,
+    ) -> CoreResult<T> {
+        let chain = self.meta.overflow_chain.chain;
+        let mut io_err: Option<CoreError> = None;
+        let mut fetch = |r: &OverflowRef| -> payg_encoding::Result<Vec<u8>> {
+            match cache.pin(PageKey::new(chain, r.page_no)) {
+                Ok(g) => Ok(g[..r.len as usize].to_vec()),
+                Err(e) => {
+                    io_err = Some(e);
+                    Err(EncodingError::CorruptBlock { reason: "i/o fetching overflow piece".into() })
+                }
+            }
+        };
+        match f(&mut fetch) {
+            Ok(v) => Ok(v),
+            Err(e) => Err(io_err.take().unwrap_or(CoreError::Encoding(e))),
+        }
+    }
+}
+
+/// A lookup iterator owning a handle cache (the paper's paged dictionary
+/// iterator): batch lookups reuse pinned pages for the iterator's lifetime.
+pub struct PagedDictIterator<'a> {
+    dict: &'a PagedDictionary,
+    cache: HandleCache,
+}
+
+impl PagedDictIterator<'_> {
+    /// `findByValue`.
+    pub fn find(&mut self, key: &[u8]) -> CoreResult<DictLookup> {
+        self.dict.find(key, &mut self.cache)
+    }
+
+    /// `findByValueID`.
+    pub fn key_by_vid(&mut self, vid: u64) -> CoreResult<Vec<u8>> {
+        self.dict.key_by_vid(vid, &mut self.cache)
+    }
+
+    /// Number of pages currently pinned by this iterator.
+    pub fn pinned_pages(&self) -> usize {
+        self.cache.len()
+    }
+}
+
+fn page_transient(guard: &PageGuard) -> CoreResult<Arc<PageTransient>> {
+    guard
+        .transient_or_build(|bytes| {
+            let (t, heap) = PageTransient::parse(bytes)?;
+            Ok((t, heap))
+        })
+        .map_err(CoreError::Storage)
+}
+
+fn parse_block_view<'a>(page: &'a PageGuard, offset: u32) -> CoreResult<ValueBlockView<'a>> {
+    Ok(ValueBlockView::parse(&page[offset as usize..])?)
+}
+
+/// Picks the on-page inline budget for the next key of a block so that the
+/// full 16-entry block is guaranteed to fit one page: the remaining block
+/// budget bounds the entry, spilling more bytes off-page when needed. Only
+/// impossible configurations (a page too small for even a fully spilled
+/// entry) are rejected.
+fn choose_inline(
+    b: &ValueBlockBuilder,
+    key: &[u8],
+    block_budget: usize,
+    config: &PageConfig,
+) -> CoreResult<usize> {
+    const FIXED: usize = 7; // prefix_len + onpage_len + flags
+    const SPILL_FIXED: usize = 10; // nptr + total_len
+    const PTR: usize = 12;
+    const MIN_SPILLED: usize = 7 + 10 + 12; // inline-0, one-pointer entry
+    let projected = b.projected_len(key);
+    let suffix_len = projected - b.byte_len() - FIXED;
+    // Reserve one minimal spilled entry for every remaining block slot, so
+    // a large value early in the block can never starve the later ones.
+    let slots_after = BLOCK_CAP - 1 - b.len();
+    let remaining = block_budget
+        .saturating_sub(b.byte_len())
+        .saturating_sub(slots_after * MIN_SPILLED);
+    // Fully inline when the configured limit allows it and it fits.
+    if suffix_len <= config.inline_limit && FIXED + suffix_len <= remaining {
+        return Ok(suffix_len.max(1));
+    }
+    // Spill: entry costs FIXED + inline + SPILL_FIXED + PTR * nptr.
+    let mut inline = config
+        .inline_limit
+        .min(suffix_len.saturating_sub(1))
+        .min(remaining.saturating_sub(FIXED + SPILL_FIXED + PTR));
+    loop {
+        let tail = suffix_len - inline;
+        let nptr = tail.div_ceil(config.overflow_page).max(1);
+        let need = FIXED + inline + SPILL_FIXED + PTR * nptr;
+        if need <= remaining {
+            return Ok(inline);
+        }
+        let over = need - remaining;
+        if inline >= over {
+            inline -= over;
+        } else {
+            return Err(CoreError::Storage(StorageError::Corrupt(format!(
+                "dictionary page of {} bytes cannot hold a 16-entry block: a {}-byte value \
+                 needs {nptr} overflow pointers with {}-byte overflow pages; raise dict_page \
+                 or overflow_page",
+                config.dict_page,
+                key.len(),
+                config.overflow_page
+            ))));
+        }
+    }
+}
+
+/// Assembles dictionary-format pages from finished blocks.
+struct PageAssembler {
+    page_size: usize,
+    blocks: Vec<Vec<u8>>,
+    bytes_used: usize,
+    first_idx: u64,
+    entries: u64,
+    next_idx: u64,
+}
+
+const PAGE_HEADER: usize = 12; // first_idx u64 + nblocks u32
+
+impl PageAssembler {
+    fn new(page_size: usize) -> Self {
+        PageAssembler {
+            page_size,
+            blocks: Vec::new(),
+            bytes_used: PAGE_HEADER,
+            first_idx: 0,
+            entries: 0,
+            next_idx: 0,
+        }
+    }
+
+    /// Adds a block; returns a completed page `(bytes, first_idx, count)`
+    /// when the block did not fit the current page.
+    fn push_block(&mut self, block: &[u8]) -> CoreResult<Option<(Vec<u8>, u64, u64)>> {
+        let entries = block[0] as u64;
+        let extra = 4 + block.len(); // offset slot + payload
+        let mut flushed = None;
+        if !self.blocks.is_empty() && self.bytes_used + extra > self.page_size {
+            flushed = Some(self.assemble());
+        }
+        if PAGE_HEADER + extra > self.page_size {
+            return Err(CoreError::Storage(StorageError::Corrupt(format!(
+                "value block of {} bytes exceeds page size {}",
+                block.len(),
+                self.page_size
+            ))));
+        }
+        if self.blocks.is_empty() {
+            self.first_idx = self.next_idx;
+            self.bytes_used = PAGE_HEADER;
+            self.entries = 0;
+        }
+        self.blocks.push(block.to_vec());
+        self.bytes_used += extra;
+        self.entries += entries;
+        self.next_idx += entries;
+        Ok(flushed)
+    }
+
+    /// Flushes the trailing partial page, if any.
+    fn flush(&mut self) -> CoreResult<Option<(Vec<u8>, u64, u64)>> {
+        if self.blocks.is_empty() {
+            return Ok(None);
+        }
+        Ok(Some(self.assemble()))
+    }
+
+    fn assemble(&mut self) -> (Vec<u8>, u64, u64) {
+        let nblocks = self.blocks.len();
+        let mut page = Vec::with_capacity(self.bytes_used);
+        page.extend_from_slice(&self.first_idx.to_le_bytes());
+        page.extend_from_slice(&(nblocks as u32).to_le_bytes());
+        let mut off = (PAGE_HEADER + nblocks * 4) as u32;
+        for b in &self.blocks {
+            page.extend_from_slice(&off.to_le_bytes());
+            off += b.len() as u32;
+        }
+        for b in &self.blocks {
+            page.extend_from_slice(b);
+        }
+        let result = (page, self.first_idx, self.entries);
+        self.blocks.clear();
+        self.bytes_used = PAGE_HEADER;
+        self.entries = 0;
+        result
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use payg_resman::ResourceManager;
+    use payg_storage::MemStore;
+
+    fn pool() -> BufferPool {
+        BufferPool::new(Arc::new(MemStore::new()), ResourceManager::new())
+    }
+
+    fn keys(n: usize) -> Vec<Vec<u8>> {
+        (0..n).map(|i| format!("customer-{i:06}").into_bytes()).collect()
+    }
+
+    fn build(keys: &[Vec<u8>], config: &PageConfig) -> (BufferPool, PagedDictionary, PagedDictBuildStats) {
+        let pool = pool();
+        let (d, s) = PagedDictionary::build(&pool, config, keys).unwrap();
+        (pool, d, s)
+    }
+
+    #[test]
+    fn roundtrip_small_pages_many_chains() {
+        let ks = keys(500);
+        let (_pool, dict, stats) = build(&ks, &PageConfig::tiny());
+        assert!(stats.dict_pages > 3, "tiny pages must force a multi-page chain");
+        assert!(stats.vid_helper_pages >= 1);
+        assert!(stats.value_helper_pages >= 1);
+        let mut it = dict.iter();
+        for (vid, k) in ks.iter().enumerate() {
+            assert_eq!(it.find(k).unwrap(), Ok(vid as u64), "find {vid}");
+            assert_eq!(&it.key_by_vid(vid as u64).unwrap(), k, "key_by_vid {vid}");
+        }
+    }
+
+    #[test]
+    fn misses_report_insertion_points() {
+        let ks = keys(100);
+        let (_pool, dict, _) = build(&ks, &PageConfig::tiny());
+        let mut it = dict.iter();
+        assert_eq!(it.find(b"customer-000050x").unwrap(), Err(51));
+        assert_eq!(it.find(b"aaa").unwrap(), Err(0));
+        assert_eq!(it.find(b"zzz").unwrap(), Err(100));
+        // Between two keys.
+        assert_eq!(it.find(b"customer-000000a").unwrap(), Err(1));
+    }
+
+    #[test]
+    fn vid_range_translation() {
+        let ks = keys(100);
+        let (_pool, dict, _) = build(&ks, &PageConfig::tiny());
+        let mut cache = HandleCache::new(_pool.clone());
+        // Exact bounds.
+        assert_eq!(
+            dict.vid_range(b"customer-000010", b"customer-000020", &mut cache).unwrap(),
+            Some((10, 20))
+        );
+        // Non-existent bounds snap inward.
+        assert_eq!(
+            dict.vid_range(b"customer-000010a", b"customer-000020a", &mut cache).unwrap(),
+            Some((11, 20))
+        );
+        // Empty range.
+        assert_eq!(dict.vid_range(b"x", b"y", &mut cache).unwrap(), None);
+        assert_eq!(
+            dict.vid_range(b"customer-000099x", b"customer-1", &mut cache).unwrap(),
+            None
+        );
+        // Everything.
+        assert_eq!(dict.vid_range(b"a", b"z", &mut cache).unwrap(), Some((0, 99)));
+    }
+
+    #[test]
+    fn large_values_spill_and_materialize() {
+        let mut ks: Vec<Vec<u8>> = Vec::new();
+        for i in 0..40 {
+            if i % 5 == 0 {
+                // A value much larger than the tiny 256-byte dict page.
+                let mut big = format!("big-{i:04}-").into_bytes();
+                big.extend(std::iter::repeat_n(b'x', 700 + i));
+                ks.push(big);
+            } else {
+                ks.push(format!("key-{i:04}").into_bytes());
+            }
+        }
+        ks.sort();
+        ks.dedup();
+        // Big entries carry off-page pointer lists; a 16-entry block of them
+        // needs a roomier page than tiny()'s 256 bytes.
+        let mut config = PageConfig::tiny();
+        config.dict_page = 2048;
+        let (_pool, dict, stats) = build(&ks, &config);
+        assert!(stats.overflow_pages > 0, "large values must spill off-page");
+        let mut it = dict.iter();
+        for (vid, k) in ks.iter().enumerate() {
+            assert_eq!(&it.key_by_vid(vid as u64).unwrap(), k);
+            assert_eq!(it.find(k).unwrap(), Ok(vid as u64));
+        }
+    }
+
+    #[test]
+    fn lookup_memory_footprint_is_piecewise() {
+        let ks = keys(2000);
+        let (pool, dict, stats) = build(&ks, &PageConfig::tiny());
+        // One lookup loads: helper preload + one dict page (+ overflow).
+        let mut it = dict.iter();
+        let _ = it.key_by_vid(0).unwrap();
+        let resident_after_one = pool.resident_pages() as u64;
+        assert!(
+            resident_after_one < stats.dict_pages / 2,
+            "one lookup must not load most of the chain ({resident_after_one} of {})",
+            stats.dict_pages
+        );
+    }
+
+    #[test]
+    fn iterator_handle_cache_reuses_pages() {
+        let ks = keys(200);
+        let (pool, dict, _) = build(&ks, &PageConfig::tiny());
+        let mut it = dict.iter();
+        let _ = it.key_by_vid(10).unwrap();
+        let loads_before = pool.metrics().loads;
+        // Same page again: the handle cache answers without pool traffic.
+        let _ = it.key_by_vid(11).unwrap();
+        assert_eq!(pool.metrics().loads, loads_before);
+        assert!(it.pinned_pages() > 0);
+    }
+
+    #[test]
+    fn helpers_preload_on_first_access() {
+        let ks = keys(1000);
+        let (pool, dict, stats) = build(&ks, &PageConfig::tiny());
+        assert_eq!(pool.resident_pages(), 0);
+        let mut it = dict.iter();
+        let _ = it.find(&ks[500]).unwrap();
+        let resident = pool.resident_pages() as u64;
+        assert!(
+            resident >= stats.vid_helper_pages + stats.value_helper_pages,
+            "helper chains are preloaded on first access"
+        );
+    }
+
+    #[test]
+    fn empty_dictionary() {
+        let (_pool, dict, stats) = build(&[], &PageConfig::tiny());
+        assert_eq!(dict.cardinality(), 0);
+        assert_eq!(stats.dict_pages, 0);
+        let mut it = dict.iter();
+        assert_eq!(it.find(b"anything").unwrap(), Err(0));
+        assert!(matches!(it.key_by_vid(0), Err(CoreError::VidOutOfBounds { .. })));
+    }
+
+    #[test]
+    fn single_key_dictionary() {
+        let ks = vec![b"only".to_vec()];
+        let (_pool, dict, _) = build(&ks, &PageConfig::tiny());
+        let mut it = dict.iter();
+        assert_eq!(it.find(b"only").unwrap(), Ok(0));
+        assert_eq!(it.find(b"a").unwrap(), Err(0));
+        assert_eq!(it.find(b"z").unwrap(), Err(1));
+        assert_eq!(it.key_by_vid(0).unwrap(), b"only");
+    }
+
+    #[test]
+    fn pinned_helpers_survive_eviction_and_speed_up_lookups() {
+        let ks = keys(800);
+        let pool = pool();
+        let resman = pool.resource_manager().clone();
+        resman.set_paged_limits(Some(payg_resman::PoolLimits::new(0, usize::MAX)));
+        let (dict, stats) = PagedDictionary::build(&pool, &PageConfig::tiny(), &ks).unwrap();
+        dict.pin_helpers().unwrap();
+        assert!(dict.helpers_pinned());
+        // A full reactive unload cannot evict the pinned helper pages.
+        resman.reactive_unload();
+        assert!(
+            pool.resident_pages() as u64 >= stats.vid_helper_pages + stats.value_helper_pages,
+            "pinned helper pages survive eviction"
+        );
+        // Lookups after the purge work and reload only dictionary pages.
+        let mut it = dict.iter();
+        assert_eq!(it.find(&ks[700]).unwrap(), Ok(700));
+        // Unpinning makes them evictable again.
+        dict.unpin_helpers();
+        drop(it);
+        resman.reactive_unload();
+        assert_eq!(pool.resident_pages(), 0);
+    }
+
+    #[test]
+    fn numeric_keys_roundtrip() {
+        // Fixed-width order-preserving integer keys exercise short binary keys.
+        let ks: Vec<Vec<u8>> =
+            (0..300i64).map(|i| payg_encoding::okey::encode_i64(i * 7).to_vec()).collect();
+        let (_pool, dict, _) = build(&ks, &PageConfig::tiny());
+        let mut it = dict.iter();
+        for (vid, k) in ks.iter().enumerate() {
+            assert_eq!(it.find(k).unwrap(), Ok(vid as u64));
+            assert_eq!(&it.key_by_vid(vid as u64).unwrap(), k);
+        }
+        assert_eq!(
+            it.find(&payg_encoding::okey::encode_i64(8)).unwrap(),
+            Err(2),
+            "7 < 8 < 14 inserts at vid 2"
+        );
+    }
+}

@@ -1,0 +1,77 @@
+//! Core errors.
+
+use payg_encoding::EncodingError;
+use payg_storage::StorageError;
+
+/// Errors surfaced by column structures.
+#[derive(Debug)]
+pub enum CoreError {
+    /// A storage-layer failure (I/O, missing chain, injected fault, …).
+    Storage(StorageError),
+    /// A persisted encoding failed validation.
+    Encoding(EncodingError),
+    /// A row position beyond the column length.
+    RowOutOfBounds {
+        /// The offending position.
+        rpos: u64,
+        /// The column's row count.
+        len: u64,
+    },
+    /// A value identifier beyond the dictionary cardinality.
+    VidOutOfBounds {
+        /// The offending identifier.
+        vid: u64,
+        /// The dictionary cardinality.
+        cardinality: u64,
+    },
+    /// A value of the wrong type for this column.
+    TypeMismatch {
+        /// The column's type.
+        expected: crate::DataType,
+        /// The offered value's type.
+        got: crate::DataType,
+    },
+}
+
+impl std::fmt::Display for CoreError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CoreError::Storage(e) => write!(f, "storage: {e}"),
+            CoreError::Encoding(e) => write!(f, "encoding: {e}"),
+            CoreError::RowOutOfBounds { rpos, len } => {
+                write!(f, "row position {rpos} out of bounds (len {len})")
+            }
+            CoreError::VidOutOfBounds { vid, cardinality } => {
+                write!(f, "value id {vid} out of bounds (cardinality {cardinality})")
+            }
+            CoreError::TypeMismatch { expected, got } => {
+                write!(f, "type mismatch: column is {expected:?}, value is {got:?}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for CoreError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            CoreError::Storage(e) => Some(e),
+            CoreError::Encoding(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<StorageError> for CoreError {
+    fn from(e: StorageError) -> Self {
+        CoreError::Storage(e)
+    }
+}
+
+impl From<EncodingError> for CoreError {
+    fn from(e: EncodingError) -> Self {
+        CoreError::Encoding(e)
+    }
+}
+
+/// Result alias for column operations.
+pub type CoreResult<T> = Result<T, CoreError>;

@@ -1,0 +1,22 @@
+//! Inverted indexes (paper §3.3).
+//!
+//! An inverted index of a dictionary-encoded data vector maps each value
+//! identifier to its *postinglist* — the set of row positions holding that
+//! identifier. Physically it is two vectors: the postinglist (row positions
+//! grouped by vid) and the *directory* (offset of each vid's first posting).
+//!
+//! * [`InMemoryInvertedIndex`]: both vectors resident as packed vectors.
+//! * [`PagedInvertedIndex`]: both persisted in **one** chain of index pages —
+//!   postinglist pages, at most one *mixed* page, then directory pages
+//!   (Fig. 3) — with an iterator that computes the logical page number of
+//!   any directory or postinglist entry arithmetically (Eq. 1, Eq. 2) and
+//!   therefore loads at most two pages per lookup.
+//!
+//! For **unique** columns every value appears in exactly one row, the
+//! directory is the identity, and it is elided entirely.
+
+mod in_memory;
+mod paged;
+
+pub use in_memory::InMemoryInvertedIndex;
+pub use paged::{PagedIndexIterator, PagedInvertedIndex};

@@ -1,0 +1,586 @@
+//! The page-loadable inverted index (paper §3.3, Fig. 3).
+//!
+//! One chain persists both vectors: postinglist pages first, then at most
+//! one **mixed page** (trailing postinglist chunks followed by the first
+//! directory chunks), then pure directory pages. Both vectors are n-bit
+//! packed in 64-value chunks, so the logical page number and in-page offset
+//! of any entry are pure arithmetic — the paper's Eq. 1 and Eq. 2. A lookup
+//! therefore pins at most one directory page and one postinglist page.
+//!
+//! For unique columns the directory is the identity and is not stored; the
+//! chain contains only postinglist pages.
+
+use crate::{CoreError, CoreResult, PageConfig};
+use payg_encoding::chunk::{bytes_per_chunk, CHUNK_LEN};
+#[cfg(test)]
+use payg_encoding::chunk::chunk_count;
+use payg_encoding::{BitPackedVec, BitWidth};
+use payg_storage::{BufferPool, ChainRef, PageGuard, PageKey};
+use std::sync::Arc;
+
+struct Meta {
+    chain: ChainRef,
+    cardinality: u64,
+    rows: u64,
+    /// Width of postinglist entries (row positions).
+    wp: BitWidth,
+    /// Width of directory entries (offsets, up to `rows` inclusive).
+    wd: BitWidth,
+    unique: bool,
+    /// Postinglist chunks per full page.
+    post_cpp: u64,
+    /// Directory chunks per full (pure directory) page.
+    dir_cpp: u64,
+    /// Pages holding postinglist chunks (the last may be the mixed page).
+    post_pages: u64,
+    /// Directory chunks co-located on the mixed page (0 = no mixed page).
+    mixed_dir_chunks: u64,
+    /// Bytes of postinglist data on the mixed page (offset of its first
+    /// directory chunk).
+    mixed_post_bytes: usize,
+    /// First pure directory page.
+    dir_start_page: u64,
+}
+
+/// The page-loadable inverted index.
+pub struct PagedInvertedIndex {
+    pool: BufferPool,
+    meta: Arc<Meta>,
+}
+
+impl PagedInvertedIndex {
+    /// Builds and persists the index of `values` (per-row vids).
+    /// `cardinality` is the dictionary size; the column is unique (identity
+    /// directory, elided) exactly when `cardinality == values.len()`.
+    pub fn build(pool: &BufferPool, config: &PageConfig, values: &[u64], cardinality: u64) -> CoreResult<Self> {
+        let rows = values.len() as u64;
+        let unique = cardinality == rows;
+        let page = config.index_page;
+        let store = Arc::clone(pool.store());
+        let chain = store.create_chain(page)?;
+
+        // Counting sort: postinglist = row positions grouped by vid.
+        let mut offsets = vec![0u64; cardinality as usize + 1];
+        for &v in values {
+            offsets[v as usize + 1] += 1;
+        }
+        for i in 1..offsets.len() {
+            offsets[i] += offsets[i - 1];
+        }
+        let mut cursors = offsets.clone();
+        let mut postings = vec![0u64; values.len()];
+        for (rpos, &v) in values.iter().enumerate() {
+            postings[cursors[v as usize] as usize] = rpos as u64;
+            cursors[v as usize] += 1;
+        }
+
+        let wp = BitWidth::for_cardinality(rows);
+        let wd = BitWidth::for_max_value(rows);
+        let post = BitPackedVec::from_values_with_width(&postings, wp);
+        let dir = (!unique && cardinality > 0)
+            .then(|| BitPackedVec::from_values_with_width(&offsets, wd));
+
+        let bpc_p = bytes_per_chunk(wp);
+        let bpc_d = bytes_per_chunk(wd);
+        let post_cpp = page.checked_div(bpc_p).unwrap_or(0) as u64;
+        let dir_cpp = page.checked_div(bpc_d).unwrap_or(0) as u64;
+        if (wp.bits() > 0 && post_cpp == 0) || (dir.is_some() && dir_cpp == 0) {
+            return Err(CoreError::Storage(payg_storage::StorageError::Corrupt(format!(
+                "index page of {page} bytes cannot hold one chunk at {wp}/{wd}"
+            ))));
+        }
+
+        // Write postinglist chunks, page by page.
+        let mut buf: Vec<u8> = Vec::with_capacity(page);
+        let mut post_pages = 0u64;
+        if wp.bits() > 0 {
+            for ci in 0..post.chunk_count() {
+                for &w in post.chunk_words(ci) {
+                    buf.extend_from_slice(&w.to_le_bytes());
+                }
+                if buf.len() + bpc_p > page {
+                    store.append_page(chain, &buf)?;
+                    post_pages += 1;
+                    buf.clear();
+                }
+            }
+        }
+        // `buf` now holds the trailing partial posting page (possibly empty).
+        let mixed_post_bytes = buf.len();
+        let mut mixed_dir_chunks = 0u64;
+        let mut dir_pages = 0u64;
+        if let Some(dir) = &dir {
+            let dir_chunks = dir.chunk_count();
+            let mut next_chunk = 0u64;
+            if !buf.is_empty() {
+                // Fill the tail posting page with directory chunks → mixed page.
+                while next_chunk < dir_chunks && buf.len() + bpc_d <= page {
+                    for &w in dir.chunk_words(next_chunk) {
+                        buf.extend_from_slice(&w.to_le_bytes());
+                    }
+                    next_chunk += 1;
+                }
+                mixed_dir_chunks = next_chunk;
+                store.append_page(chain, &buf)?;
+                post_pages += 1;
+                buf.clear();
+            }
+            // Pure directory pages.
+            while next_chunk < dir_chunks {
+                for &w in dir.chunk_words(next_chunk) {
+                    buf.extend_from_slice(&w.to_le_bytes());
+                }
+                next_chunk += 1;
+                if buf.len() + bpc_d > page {
+                    store.append_page(chain, &buf)?;
+                    dir_pages += 1;
+                    buf.clear();
+                }
+            }
+            if !buf.is_empty() {
+                store.append_page(chain, &buf)?;
+                dir_pages += 1;
+                buf.clear();
+            }
+        } else if !buf.is_empty() {
+            store.append_page(chain, &buf)?;
+            post_pages += 1;
+            buf.clear();
+        }
+
+        let meta = Meta {
+            chain: ChainRef { chain, pages: post_pages + dir_pages, page_size: page },
+            cardinality,
+            rows,
+            wp,
+            wd: if dir.is_some() { wd } else { BitWidth::ZERO },
+            unique,
+            post_cpp,
+            dir_cpp,
+            post_pages,
+            mixed_dir_chunks,
+            mixed_post_bytes: if mixed_dir_chunks > 0 { mixed_post_bytes } else { 0 },
+            dir_start_page: post_pages,
+        };
+        Ok(PagedInvertedIndex { pool: pool.clone(), meta: Arc::new(meta) })
+    }
+
+    /// Serializes the index's metadata for a catalog checkpoint.
+    pub fn meta_bytes(&self) -> Vec<u8> {
+        let m = &self.meta;
+        let mut w = crate::meta::MetaWriter::new();
+        crate::meta::write_chain(&mut w, &m.chain);
+        w.u64(m.cardinality);
+        w.u64(m.rows);
+        w.u8(m.wp.bits() as u8);
+        w.u8(m.wd.bits() as u8);
+        w.u8(u8::from(m.unique));
+        w.u64(m.post_cpp);
+        w.u64(m.dir_cpp);
+        w.u64(m.post_pages);
+        w.u64(m.mixed_dir_chunks);
+        w.u64(m.mixed_post_bytes as u64);
+        w.u64(m.dir_start_page);
+        w.finish()
+    }
+
+    /// Reopens an index from checkpointed metadata over `pool`'s store.
+    pub fn open(pool: &BufferPool, bytes: &[u8]) -> CoreResult<Self> {
+        let mut r = crate::meta::MetaReader::new(bytes);
+        let chain = crate::meta::read_chain(&mut r)?;
+        let meta = Meta {
+            chain,
+            cardinality: r.u64()?,
+            rows: r.u64()?,
+            wp: BitWidth::new(u32::from(r.u8()?))?,
+            wd: BitWidth::new(u32::from(r.u8()?))?,
+            unique: r.u8()? != 0,
+            post_cpp: r.u64()?,
+            dir_cpp: r.u64()?,
+            post_pages: r.u64()?,
+            mixed_dir_chunks: r.u64()?,
+            mixed_post_bytes: r.u64()? as usize,
+            dir_start_page: r.u64()?,
+        };
+        r.expect_end()?;
+        Ok(PagedInvertedIndex { pool: pool.clone(), meta: Arc::new(meta) })
+    }
+
+    /// Dictionary cardinality.
+    pub fn cardinality(&self) -> u64 {
+        self.meta.cardinality
+    }
+
+    /// Rows indexed.
+    pub fn rows(&self) -> u64 {
+        self.meta.rows
+    }
+
+    /// True when the directory is elided (unique column).
+    pub fn is_unique(&self) -> bool {
+        self.meta.unique
+    }
+
+    /// Total pages in the chain.
+    pub fn pages(&self) -> u64 {
+        self.meta.chain.pages
+    }
+
+    /// True when the chain contains a mixed postinglist+directory page.
+    pub fn has_mixed_page(&self) -> bool {
+        self.meta.mixed_dir_chunks > 0
+    }
+
+    /// Creates a lookup iterator (`getFirstRowPos` / `getNextRowPos`).
+    pub fn iter(&self) -> PagedIndexIterator<'_> {
+        PagedIndexIterator {
+            idx: self,
+            post_guard: None,
+            dir_guard: None,
+            state: None,
+            post_chunk: None,
+            dir_chunk: None,
+        }
+    }
+
+    /// Convenience: all postings of `vid` via a fresh iterator.
+    pub fn postings(&self, vid: u64) -> CoreResult<Vec<u64>> {
+        let mut out = Vec::new();
+        let mut it = self.iter();
+        if let Some(first) = it.get_first_row_pos(vid)? {
+            out.push(first);
+            while let Some(next) = it.get_next_row_pos()? {
+                out.push(next);
+            }
+        }
+        Ok(out)
+    }
+
+    /// Page number and byte offset of directory entry `e` — the paper's
+    /// Eq. 1 / Eq. 2 in chunk-granular form.
+    fn dir_location(&self, e: u64) -> (u64, usize, usize) {
+        let di = e / CHUNK_LEN as u64;
+        let slot = (e % CHUNK_LEN as u64) as usize;
+        let bpc_d = bytes_per_chunk(self.meta.wd);
+        if di < self.meta.mixed_dir_chunks {
+            let page = self.meta.post_pages - 1; // the mixed page
+            let offset = self.meta.mixed_post_bytes + di as usize * bpc_d;
+            (page, offset, slot)
+        } else {
+            let rel = di - self.meta.mixed_dir_chunks;
+            let page = self.meta.dir_start_page + rel / self.meta.dir_cpp;
+            let offset = ((rel % self.meta.dir_cpp) as usize) * bpc_d;
+            (page, offset, slot)
+        }
+    }
+
+    /// Page number and byte offset of postinglist entry `k`.
+    fn post_location(&self, k: u64) -> (u64, usize, usize) {
+        let ci = k / CHUNK_LEN as u64;
+        let slot = (k % CHUNK_LEN as u64) as usize;
+        let bpc_p = bytes_per_chunk(self.meta.wp);
+        let page = ci / self.meta.post_cpp;
+        let offset = ((ci % self.meta.post_cpp) as usize) * bpc_p;
+        (page, offset, slot)
+    }
+}
+
+#[derive(Clone, Copy)]
+struct IterState {
+    /// Next postinglist offset to read.
+    cur: u64,
+    /// One past the last postinglist offset of the current vid.
+    end: u64,
+}
+
+/// Stateful lookup iterator over a [`PagedInvertedIndex`].
+///
+/// Keeps at most one pinned directory page and one pinned postinglist page;
+/// consecutive [`PagedIndexIterator::get_next_row_pos`] calls for the same
+/// vid usually hit the already-pinned postinglist page.
+pub struct PagedIndexIterator<'a> {
+    idx: &'a PagedInvertedIndex,
+    post_guard: Option<(u64, PageGuard)>,
+    dir_guard: Option<(u64, PageGuard)>,
+    state: Option<IterState>,
+    /// Decoded-chunk caches: consecutive reads within one chunk (the common
+    /// `getNextRowPos` pattern) cost one array lookup instead of a decode.
+    post_chunk: Option<(u64, [u64; CHUNK_LEN])>,
+    dir_chunk: Option<(u64, [u64; CHUNK_LEN])>,
+}
+
+impl PagedIndexIterator<'_> {
+    fn pin(
+        pool: &BufferPool,
+        chain: &ChainRef,
+        slot: &mut Option<(u64, PageGuard)>,
+        page_no: u64,
+    ) -> CoreResult<()> {
+        let stale = !matches!(slot, Some((cur, _)) if *cur == page_no);
+        if stale {
+            let g = pool.pin(PageKey::new(chain.chain, page_no)).map_err(CoreError::Storage)?;
+            *slot = Some((page_no, g));
+        }
+        Ok(())
+    }
+
+    fn read_dir(&mut self, e: u64) -> CoreResult<u64> {
+        let meta = &self.idx.meta;
+        let chunk_no = e / CHUNK_LEN as u64;
+        let slot = (e % CHUNK_LEN as u64) as usize;
+        if !matches!(self.dir_chunk, Some((c, _)) if c == chunk_no) {
+            let (page, offset, _) = self.idx.dir_location(e);
+            Self::pin(&self.idx.pool, &meta.chain, &mut self.dir_guard, page)?;
+            let guard = &self.dir_guard.as_ref().unwrap().1;
+            let mut buf = [0u64; CHUNK_LEN];
+            decode_packed_chunk(guard, offset, meta.wd, &mut buf);
+            self.dir_chunk = Some((chunk_no, buf));
+        }
+        Ok(self.dir_chunk.as_ref().unwrap().1[slot])
+    }
+
+    fn read_post(&mut self, k: u64) -> CoreResult<u64> {
+        let meta = &self.idx.meta;
+        if meta.wp.bits() == 0 {
+            return Ok(0); // 0 or 1 rows: the only row position is 0
+        }
+        let chunk_no = k / CHUNK_LEN as u64;
+        let slot = (k % CHUNK_LEN as u64) as usize;
+        if !matches!(self.post_chunk, Some((c, _)) if c == chunk_no) {
+            let (page, offset, _) = self.idx.post_location(k);
+            Self::pin(&self.idx.pool, &meta.chain, &mut self.post_guard, page)?;
+            let guard = &self.post_guard.as_ref().unwrap().1;
+            let mut buf = [0u64; CHUNK_LEN];
+            decode_packed_chunk(guard, offset, meta.wp, &mut buf);
+            self.post_chunk = Some((chunk_no, buf));
+        }
+        Ok(self.post_chunk.as_ref().unwrap().1[slot])
+    }
+
+    /// Positions the iterator on `vid` and returns its first row position
+    /// (`None` when `vid` has no postings, which cannot happen for vids in
+    /// a merged main fragment but is handled defensively).
+    pub fn get_first_row_pos(&mut self, vid: u64) -> CoreResult<Option<u64>> {
+        let meta = &self.idx.meta;
+        if vid >= meta.cardinality {
+            return Err(CoreError::VidOutOfBounds { vid, cardinality: meta.cardinality });
+        }
+        let (start, end) = if meta.unique {
+            (vid, vid + 1)
+        } else {
+            (self.read_dir(vid)?, self.read_dir(vid + 1)?)
+        };
+        if start >= end {
+            self.state = None;
+            return Ok(None);
+        }
+        self.state = Some(IterState { cur: start + 1, end });
+        Ok(Some(self.read_post(start)?))
+    }
+
+    /// Returns the next row position of the current vid, or `None` when the
+    /// postinglist is exhausted (or no vid is positioned).
+    pub fn get_next_row_pos(&mut self) -> CoreResult<Option<u64>> {
+        let Some(state) = self.state else { return Ok(None) };
+        if state.cur >= state.end {
+            return Ok(None);
+        }
+        let rpos = self.read_post(state.cur)?;
+        self.state = Some(IterState { cur: state.cur + 1, end: state.end });
+        Ok(Some(rpos))
+    }
+
+    /// Number of postings of the positioned vid that remain unread.
+    pub fn remaining(&self) -> u64 {
+        self.state.map_or(0, |s| s.end.saturating_sub(s.cur))
+    }
+
+    /// Number of postings of `vid`, read from the directory alone — no
+    /// postinglist pages are touched (the paper's COUNT path).
+    pub fn posting_count(&mut self, vid: u64) -> CoreResult<u64> {
+        let meta = &self.idx.meta;
+        if vid >= meta.cardinality {
+            return Err(CoreError::VidOutOfBounds { vid, cardinality: meta.cardinality });
+        }
+        if meta.unique {
+            return Ok(1);
+        }
+        let start = self.read_dir(vid)?;
+        let end = self.read_dir(vid + 1)?;
+        Ok(end.saturating_sub(start))
+    }
+}
+
+/// Decodes the full 64-value chunk starting at byte `offset` of a page.
+fn decode_packed_chunk(page: &PageGuard, offset: usize, w: BitWidth, out: &mut [u64; CHUNK_LEN]) {
+    let n = w.bits() as usize;
+    let mut words = [0u64; 64];
+    let bytes = &page[offset..offset + n * 8];
+    for (i, word) in words[..n].iter_mut().enumerate() {
+        *word = u64::from_le_bytes(bytes[i * 8..i * 8 + 8].try_into().unwrap());
+    }
+    payg_encoding::chunk::decode_chunk(&words[..n], w, out);
+}
+
+/// The paper's Eq. 1, kept verbatim for the equivalence test: logical page
+/// number of the directory page containing `vid`'s offset, where `b` is the
+/// mixed (or first directory) page, `v_first` the offsets on it and
+/// `v_page` the offsets per full directory page.
+#[cfg(test)]
+fn eq1_page(b: u64, v_first: u64, vid: u64, v_page: u64) -> u64 {
+    if vid < v_first {
+        b
+    } else {
+        // The paper's 1-based formulation maps to 0-based chunks here: skip
+        // past the `v_first` offsets on page b, then stride by `v_page`.
+        b + 1 + (vid - v_first) / v_page
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::invidx::InMemoryInvertedIndex;
+    use payg_resman::ResourceManager;
+    use payg_storage::MemStore;
+
+    fn pool() -> BufferPool {
+        BufferPool::new(Arc::new(MemStore::new()), ResourceManager::new())
+    }
+
+    fn sample(len: usize, card: u64, seed: u64) -> Vec<u64> {
+        // Guarantee every vid occurs at least once (main-dictionary invariant).
+        (0..len as u64)
+            .map(|i| {
+                if i < card {
+                    i
+                } else {
+                    seed.wrapping_mul(0x9E37_79B9_7F4A_7C15)
+                        .wrapping_add(i)
+                        .wrapping_mul(0xBF58_476D_1CE4_E5B9)
+                        % card
+                }
+            })
+            .collect()
+    }
+
+    fn build(values: &[u64], card: u64) -> (BufferPool, PagedInvertedIndex) {
+        let pool = pool();
+        let idx = PagedInvertedIndex::build(&pool, &PageConfig::tiny(), values, card).unwrap();
+        (pool, idx)
+    }
+
+    #[test]
+    fn postings_match_in_memory_reference() {
+        let values = sample(3000, 40, 1);
+        let (_pool, paged) = build(&values, 40);
+        let reference = InMemoryInvertedIndex::build(&values, 40);
+        assert!(paged.pages() > 3, "tiny pages must force a multi-page chain");
+        for vid in 0..40 {
+            assert_eq!(paged.postings(vid).unwrap(), reference.postings(vid).unwrap(), "vid {vid}");
+        }
+    }
+
+    #[test]
+    fn iterator_protocol() {
+        let values = [1u64, 0, 1, 1, 2, 0];
+        let (_pool, paged) = build(&values, 3);
+        let mut it = paged.iter();
+        assert_eq!(it.get_first_row_pos(1).unwrap(), Some(0));
+        assert_eq!(it.remaining(), 2);
+        assert_eq!(it.get_next_row_pos().unwrap(), Some(2));
+        assert_eq!(it.get_next_row_pos().unwrap(), Some(3));
+        assert_eq!(it.get_next_row_pos().unwrap(), None);
+        // Repositioning resets state.
+        assert_eq!(it.get_first_row_pos(2).unwrap(), Some(4));
+        assert_eq!(it.get_next_row_pos().unwrap(), None);
+        // Unpositioned iterator.
+        let mut fresh = paged.iter();
+        assert_eq!(fresh.get_next_row_pos().unwrap(), None);
+        assert!(matches!(fresh.get_first_row_pos(3), Err(CoreError::VidOutOfBounds { .. })));
+    }
+
+    #[test]
+    fn unique_index_has_no_directory_pages() {
+        let rows = 2000u64;
+        let values: Vec<u64> = (0..rows).map(|i| (i * 7) % rows).collect(); // permutation
+        let (_pool, unique) = build(&values, rows);
+        assert!(unique.is_unique());
+        assert!(!unique.has_mixed_page());
+        let (_pool2, non_unique) = build(&sample(rows as usize, rows / 2, 2), rows / 2);
+        assert!(!non_unique.is_unique());
+        // The unique chain stores only the postinglist.
+        let post_only_pages =
+            chunk_count(rows).div_ceil(unique.meta.post_cpp);
+        assert_eq!(unique.pages(), post_only_pages);
+        for vid in (0..rows).step_by(97) {
+            let rpos = values.iter().position(|&v| v == vid).unwrap() as u64;
+            assert_eq!(unique.postings(vid).unwrap(), vec![rpos]);
+        }
+    }
+
+    #[test]
+    fn sparse_column_uses_a_mixed_page() {
+        // Few rows + small cardinality: postings and directory share a page.
+        let values = sample(100, 5, 3);
+        let (_pool, idx) = build(&values, 5);
+        assert!(idx.has_mixed_page());
+        assert_eq!(idx.pages(), idx.meta.post_pages, "no pure directory pages");
+        let reference = InMemoryInvertedIndex::build(&values, 5);
+        for vid in 0..5 {
+            assert_eq!(idx.postings(vid).unwrap(), reference.postings(vid).unwrap());
+        }
+    }
+
+    #[test]
+    fn lookup_pins_at_most_two_pages() {
+        let values = sample(5000, 500, 4);
+        let (pool, idx) = build(&values, 500);
+        let resman = pool.resource_manager().clone();
+        resman.set_paged_limits(Some(payg_resman::PoolLimits::new(0, usize::MAX)));
+        let mut it = idx.iter();
+        let _ = it.get_first_row_pos(250).unwrap();
+        // Everything except the iterator's (≤2) pinned pages is evictable.
+        resman.reactive_unload();
+        assert!(pool.resident_pages() <= 2);
+        // And a full lookup loads at most one directory + one posting page
+        // beyond what is already resident.
+        let loads_before = pool.metrics().loads;
+        let mut it2 = idx.iter();
+        let _ = it2.get_first_row_pos(251).unwrap();
+        assert!(pool.metrics().loads - loads_before <= 2);
+    }
+
+    #[test]
+    fn eq1_equivalence_with_chunk_arithmetic() {
+        // Build an index whose directory spans the mixed page and several
+        // pure pages, then check dir_location against the paper's Eq. 1.
+        let values = sample(2100, 1500, 5);
+        let (_pool, idx) = build(&values, 1500);
+        assert!(idx.has_mixed_page());
+        let m = &idx.meta;
+        let b = m.post_pages - 1;
+        let v_first = m.mixed_dir_chunks * CHUNK_LEN as u64;
+        let v_page = m.dir_cpp * CHUNK_LEN as u64;
+        for e in 0..=m.cardinality {
+            let (page, _, _) = idx.dir_location(e);
+            assert_eq!(page, eq1_page(b, v_first, e, v_page), "entry {e}");
+        }
+    }
+
+    #[test]
+    fn tiny_corpora() {
+        // Single row.
+        let (_p, idx) = build(&[0], 1);
+        assert_eq!(idx.postings(0).unwrap(), vec![0]);
+        // Single distinct value over many rows.
+        let values = vec![0u64; 300];
+        let (_p, idx) = build(&values, 1);
+        assert_eq!(idx.postings(0).unwrap(), (0..300u64).collect::<Vec<_>>());
+        // Two rows, two values (unique).
+        let (_p, idx) = build(&[1, 0], 2);
+        assert!(idx.is_unique());
+        assert_eq!(idx.postings(0).unwrap(), vec![1]);
+        assert_eq!(idx.postings(1).unwrap(), vec![0]);
+    }
+}

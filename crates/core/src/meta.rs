@@ -1,0 +1,206 @@
+//! A small binary codec for persisted metadata (catalog checkpoints).
+//!
+//! Hand-rolled little-endian, length-prefixed encoding — the catalog is a
+//! handful of kilobytes, written rarely; a serialization framework would
+//! not earn its dependency (see DESIGN.md §6). Every read is validated so a
+//! corrupt catalog surfaces as [`crate::CoreError`], never as a panic.
+
+use crate::{CoreError, CoreResult};
+use payg_storage::{ChainId, ChainRef, StorageError};
+
+/// Appends primitive values to a byte buffer.
+#[derive(Debug, Default)]
+pub struct MetaWriter {
+    buf: Vec<u8>,
+}
+
+impl MetaWriter {
+    /// An empty writer.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The encoded bytes.
+    pub fn finish(self) -> Vec<u8> {
+        self.buf
+    }
+
+    /// Writes a `u8`.
+    pub fn u8(&mut self, v: u8) {
+        self.buf.push(v);
+    }
+
+    /// Writes a `u64`.
+    pub fn u64(&mut self, v: u64) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Writes a length-prefixed byte string.
+    pub fn bytes(&mut self, b: &[u8]) {
+        self.u64(b.len() as u64);
+        self.buf.extend_from_slice(b);
+    }
+
+    /// Writes a length-prefixed UTF-8 string.
+    pub fn str(&mut self, s: &str) {
+        self.bytes(s.as_bytes());
+    }
+
+    /// Writes a length-prefixed `u64` slice.
+    pub fn u64s(&mut self, vs: &[u64]) {
+        self.u64(vs.len() as u64);
+        for &v in vs {
+            self.u64(v);
+        }
+    }
+}
+
+/// Reads primitive values back, validating bounds.
+pub struct MetaReader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+fn corrupt(what: &str) -> CoreError {
+    CoreError::Storage(StorageError::Corrupt(format!("catalog: {what}")))
+}
+
+impl<'a> MetaReader<'a> {
+    /// A reader over `buf`.
+    pub fn new(buf: &'a [u8]) -> Self {
+        MetaReader { buf, pos: 0 }
+    }
+
+    /// Remaining unread bytes.
+    pub fn remaining(&self) -> usize {
+        self.buf.len() - self.pos
+    }
+
+    fn take(&mut self, n: usize) -> CoreResult<&'a [u8]> {
+        if self.pos + n > self.buf.len() {
+            return Err(corrupt("truncated"));
+        }
+        let s = &self.buf[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(s)
+    }
+
+    /// Reads a `u8`.
+    pub fn u8(&mut self) -> CoreResult<u8> {
+        Ok(self.take(1)?[0])
+    }
+
+    /// Reads a `u64`.
+    pub fn u64(&mut self) -> CoreResult<u64> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+    }
+
+    /// Reads a `u64` length prefix validated to fit `usize`.
+    pub fn read_len(&mut self) -> CoreResult<usize> {
+        let v = self.u64()?;
+        // A length can never exceed what remains in the buffer (elements
+        // are at least one byte) — reject absurd values early.
+        if v > self.remaining() as u64 * 8 + 64 {
+            return Err(corrupt("implausible length"));
+        }
+        Ok(v as usize)
+    }
+
+    /// Reads a length-prefixed byte string.
+    pub fn bytes(&mut self) -> CoreResult<Vec<u8>> {
+        let n = self.read_len()?;
+        Ok(self.take(n)?.to_vec())
+    }
+
+    /// Reads a length-prefixed UTF-8 string.
+    pub fn str(&mut self) -> CoreResult<String> {
+        String::from_utf8(self.bytes()?).map_err(|_| corrupt("invalid utf-8"))
+    }
+
+    /// Reads a length-prefixed `u64` vector.
+    pub fn u64s(&mut self) -> CoreResult<Vec<u64>> {
+        let n = self.read_len()?;
+        let mut out = Vec::with_capacity(n.min(1 << 20));
+        for _ in 0..n {
+            out.push(self.u64()?);
+        }
+        Ok(out)
+    }
+
+    /// Asserts the reader is fully consumed.
+    pub fn expect_end(&self) -> CoreResult<()> {
+        if self.remaining() == 0 {
+            Ok(())
+        } else {
+            Err(corrupt("trailing bytes"))
+        }
+    }
+}
+
+/// Writes a [`ChainRef`].
+pub fn write_chain(w: &mut MetaWriter, c: &ChainRef) {
+    w.u64(c.chain.0);
+    w.u64(c.pages);
+    w.u64(c.page_size as u64);
+}
+
+/// Reads a [`ChainRef`].
+pub fn read_chain(r: &mut MetaReader) -> CoreResult<ChainRef> {
+    Ok(ChainRef {
+        chain: ChainId(r.u64()?),
+        pages: r.u64()?,
+        page_size: r.u64()? as usize,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_all_primitives() {
+        let mut w = MetaWriter::new();
+        w.u8(7);
+        w.u64(u64::MAX);
+        w.bytes(b"hello");
+        w.str("wörld");
+        w.u64s(&[1, 2, 3]);
+        let buf = w.finish();
+        let mut r = MetaReader::new(&buf);
+        assert_eq!(r.u8().unwrap(), 7);
+        assert_eq!(r.u64().unwrap(), u64::MAX);
+        assert_eq!(r.bytes().unwrap(), b"hello");
+        assert_eq!(r.str().unwrap(), "wörld");
+        assert_eq!(r.u64s().unwrap(), vec![1, 2, 3]);
+        r.expect_end().unwrap();
+    }
+
+    #[test]
+    fn truncation_and_garbage_are_errors() {
+        let mut w = MetaWriter::new();
+        w.bytes(b"abcdef");
+        let buf = w.finish();
+        assert!(MetaReader::new(&buf[..buf.len() - 1]).bytes().is_err());
+        // Absurd length prefix.
+        let mut w = MetaWriter::new();
+        w.u64(u64::MAX / 2);
+        let buf = w.finish();
+        assert!(MetaReader::new(&buf).bytes().is_err());
+        // Trailing bytes detected.
+        let mut w = MetaWriter::new();
+        w.u8(1);
+        w.u8(2);
+        let buf = w.finish();
+        let mut r = MetaReader::new(&buf);
+        r.u8().unwrap();
+        assert!(r.expect_end().is_err());
+    }
+
+    #[test]
+    fn invalid_utf8_is_an_error() {
+        let mut w = MetaWriter::new();
+        w.bytes(&[0xFF, 0xFE]);
+        let buf = w.finish();
+        assert!(MetaReader::new(&buf).str().is_err());
+    }
+}

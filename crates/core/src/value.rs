@@ -1,0 +1,249 @@
+//! Typed values and their order-preserving key encoding.
+
+use crate::{CoreError, CoreResult};
+use payg_encoding::okey;
+
+/// Column data types (the paper's generator uses INTEGER, DECIMAL, DOUBLE,
+/// CHAR and VARCHAR; CHAR and VARCHAR share the string representation).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum DataType {
+    /// 64-bit signed integer.
+    Integer,
+    /// Fixed-point decimal stored as a scaled 128-bit integer (scale 2:
+    /// the stored value is in hundredths, e.g. cents).
+    Decimal,
+    /// IEEE-754 double, totally ordered (NaN sorts last).
+    Double,
+    /// UTF-8 string (CHAR / VARCHAR).
+    Varchar,
+}
+
+/// A typed value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// INTEGER.
+    Integer(i64),
+    /// DECIMAL, scale 2 (`Decimal(1999)` is 19.99).
+    Decimal(i128),
+    /// DOUBLE.
+    Double(f64),
+    /// CHAR / VARCHAR.
+    Varchar(String),
+}
+
+impl Value {
+    /// The value's type.
+    pub fn data_type(&self) -> DataType {
+        match self {
+            Value::Integer(_) => DataType::Integer,
+            Value::Decimal(_) => DataType::Decimal,
+            Value::Double(_) => DataType::Double,
+            Value::Varchar(_) => DataType::Varchar,
+        }
+    }
+
+    /// Encodes the value as an order-preserving byte key (see
+    /// [`payg_encoding::okey`]). Keys of one column compare like the values.
+    pub fn to_key(&self) -> Vec<u8> {
+        match self {
+            Value::Integer(v) => okey::encode_i64(*v).to_vec(),
+            Value::Decimal(v) => okey::encode_i128(*v).to_vec(),
+            Value::Double(v) => okey::encode_f64(*v).to_vec(),
+            Value::Varchar(s) => okey::encode_str(s).to_vec(),
+        }
+    }
+
+    /// Decodes a key produced by [`Value::to_key`] back into a value of type
+    /// `ty`.
+    pub fn from_key(ty: DataType, key: &[u8]) -> CoreResult<Value> {
+        Ok(match ty {
+            DataType::Integer => Value::Integer(okey::decode_i64(key)?),
+            DataType::Decimal => Value::Decimal(okey::decode_i128(key)?),
+            DataType::Double => Value::Double(okey::decode_f64(key)?),
+            DataType::Varchar => Value::Varchar(okey::decode_str(key)?),
+        })
+    }
+
+    /// Validates that the value matches the column type `ty`.
+    pub fn check_type(&self, ty: DataType) -> CoreResult<()> {
+        if self.data_type() == ty {
+            Ok(())
+        } else {
+            Err(CoreError::TypeMismatch { expected: ty, got: self.data_type() })
+        }
+    }
+}
+
+impl From<i64> for Value {
+    fn from(v: i64) -> Self {
+        Value::Integer(v)
+    }
+}
+
+impl From<f64> for Value {
+    fn from(v: f64) -> Self {
+        Value::Double(v)
+    }
+}
+
+impl From<&str> for Value {
+    fn from(v: &str) -> Self {
+        Value::Varchar(v.to_owned())
+    }
+}
+
+impl From<String> for Value {
+    fn from(v: String) -> Self {
+        Value::Varchar(v)
+    }
+}
+
+impl std::fmt::Display for Value {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Value::Integer(v) => write!(f, "{v}"),
+            Value::Decimal(v) => write!(f, "{}.{:02}", v / 100, (v % 100).abs()),
+            Value::Double(v) => write!(f, "{v}"),
+            Value::Varchar(s) => write!(f, "{s}"),
+        }
+    }
+}
+
+/// A predicate on one column, expressed over values. The dictionary
+/// translates it to a [`payg_encoding::VidSet`] (order preservation makes
+/// value ranges contiguous vid ranges).
+#[derive(Debug, Clone, PartialEq)]
+pub enum ValuePredicate {
+    /// `column = value`.
+    Eq(Value),
+    /// `lo <= column <= hi` (inclusive).
+    Between(Value, Value),
+    /// `column IN (values)`.
+    In(Vec<Value>),
+    /// `column LIKE 'prefix%'` — VARCHAR columns only. Order-preserving
+    /// keys make a prefix predicate a contiguous key range, hence a
+    /// contiguous vid range (the paper's footnote on LIKE-style searches).
+    StartsWith(String),
+}
+
+impl ValuePredicate {
+    /// Evaluates the predicate directly against a value (used by delta scans
+    /// and tests as the reference semantics).
+    pub fn matches(&self, v: &Value) -> bool {
+        match self {
+            ValuePredicate::Eq(x) => keys_eq(v, x),
+            ValuePredicate::Between(lo, hi) => {
+                let k = v.to_key();
+                k >= lo.to_key() && k <= hi.to_key()
+            }
+            ValuePredicate::In(xs) => xs.iter().any(|x| keys_eq(v, x)),
+            ValuePredicate::StartsWith(prefix) => {
+                matches!(v, Value::Varchar(s) if s.as_bytes().starts_with(prefix.as_bytes()))
+            }
+        }
+    }
+}
+
+/// The smallest byte string greater than every string with prefix `p`:
+/// increment the last non-0xFF byte and truncate. `None` when no such
+/// string exists (all bytes 0xFF ⇒ the range is unbounded above).
+pub(crate) fn prefix_successor(p: &[u8]) -> Option<Vec<u8>> {
+    let mut s = p.to_vec();
+    while let Some(&last) = s.last() {
+        if last == 0xFF {
+            s.pop();
+        } else {
+            *s.last_mut().unwrap() += 1;
+            return Some(s);
+        }
+    }
+    None
+}
+
+fn keys_eq(a: &Value, b: &Value) -> bool {
+    a.data_type() == b.data_type() && a.to_key() == b.to_key()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn key_roundtrip_every_type() {
+        let cases = [
+            Value::Integer(-42),
+            Value::Decimal(-123456789012345),
+            Value::Double(3.25),
+            Value::Varchar("hello world".into()),
+        ];
+        for v in cases {
+            let back = Value::from_key(v.data_type(), &v.to_key()).unwrap();
+            assert_eq!(back, v);
+        }
+    }
+
+    #[test]
+    fn keys_order_like_values() {
+        let ints = [Value::Integer(-5), Value::Integer(0), Value::Integer(7)];
+        for w in ints.windows(2) {
+            assert!(w[0].to_key() < w[1].to_key());
+        }
+        let strs = [Value::Varchar("a".into()), Value::Varchar("ab".into()), Value::Varchar("b".into())];
+        for w in strs.windows(2) {
+            assert!(w[0].to_key() < w[1].to_key());
+        }
+    }
+
+    #[test]
+    fn type_checks() {
+        assert!(Value::Integer(1).check_type(DataType::Integer).is_ok());
+        assert!(matches!(
+            Value::Integer(1).check_type(DataType::Varchar),
+            Err(CoreError::TypeMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn predicates_match_reference_semantics() {
+        let p = ValuePredicate::Between(Value::Integer(2), Value::Integer(5));
+        assert!(!p.matches(&Value::Integer(1)));
+        assert!(p.matches(&Value::Integer(2)));
+        assert!(p.matches(&Value::Integer(5)));
+        assert!(!p.matches(&Value::Integer(6)));
+        let p = ValuePredicate::In(vec![Value::Varchar("x".into()), Value::Varchar("y".into())]);
+        assert!(p.matches(&Value::Varchar("y".into())));
+        assert!(!p.matches(&Value::Varchar("z".into())));
+    }
+
+    #[test]
+    fn starts_with_predicate() {
+        let p = ValuePredicate::StartsWith("ab".into());
+        assert!(p.matches(&Value::Varchar("ab".into())));
+        assert!(p.matches(&Value::Varchar("abc".into())));
+        assert!(!p.matches(&Value::Varchar("aB".into())));
+        assert!(!p.matches(&Value::Varchar("b".into())));
+        assert!(!p.matches(&Value::Integer(1)), "non-varchar never matches");
+        let empty = ValuePredicate::StartsWith(String::new());
+        assert!(empty.matches(&Value::Varchar("anything".into())));
+    }
+
+    #[test]
+    fn prefix_successor_cases() {
+        assert_eq!(prefix_successor(b"ab"), Some(b"ac".to_vec()));
+        assert_eq!(prefix_successor(b"a\xff"), Some(b"b".to_vec()));
+        assert_eq!(prefix_successor(b"\xff\xff"), None);
+        assert_eq!(prefix_successor(b""), None);
+        // Every string with the prefix is below the successor.
+        let succ = prefix_successor(b"foo").unwrap();
+        assert!(b"foo".as_slice() < succ.as_slice());
+        assert!(b"foozzzzzz".as_slice() < succ.as_slice());
+        assert!(b"fop".as_slice() >= succ.as_slice());
+    }
+
+    #[test]
+    fn decimal_display() {
+        assert_eq!(Value::Decimal(1999).to_string(), "19.99");
+        assert_eq!(Value::Decimal(-250).to_string(), "-2.50");
+        assert_eq!(Value::Decimal(5).to_string(), "0.05");
+    }
+}

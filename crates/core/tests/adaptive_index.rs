@@ -1,0 +1,88 @@
+//! The §8 adaptive index: non-critical data built lazily, driven by the
+//! workload.
+
+use payg_core::column::{Column, ColumnRead, IndexMode};
+use payg_core::{ColumnBuilder, DataType, LoadPolicy, PageConfig, Value, ValuePredicate};
+use payg_resman::ResourceManager;
+use payg_storage::{BufferPool, MemStore};
+use std::sync::Arc;
+
+fn pool() -> BufferPool {
+    BufferPool::new(Arc::new(MemStore::new()), ResourceManager::new())
+}
+
+fn adaptive_column(pool: &BufferPool, threshold: u64) -> Column {
+    let values: Vec<Value> = (0..3_000i64).map(|i| Value::Integer(i % 37)).collect();
+    ColumnBuilder::new(DataType::Integer)
+        .policy(LoadPolicy::PageLoadable)
+        .index_mode(IndexMode::Adaptive { threshold })
+        .build(pool, &PageConfig::tiny(), &values)
+        .unwrap()
+        .column
+}
+
+#[test]
+fn adaptive_index_builds_after_threshold_and_stays_correct() {
+    let pool = pool();
+    let col = adaptive_column(&pool, 5);
+    let pred = ValuePredicate::Eq(Value::Integer(7));
+    let expect: Vec<u64> = (0..3_000u64).filter(|&i| (i as i64) % 37 == 7).collect();
+    // Before the threshold: scans, no index.
+    for i in 0..4 {
+        assert_eq!(col.find_rows(&pred, 0, 3_000).unwrap(), expect, "query {i}");
+        assert!(!col.has_index(), "index must not exist before the threshold");
+    }
+    // Crossing the threshold builds it; results are unchanged.
+    assert_eq!(col.find_rows(&pred, 0, 3_000).unwrap(), expect);
+    assert!(col.has_index(), "index built after {} searches", 5);
+    assert_eq!(col.find_rows(&pred, 0, 3_000).unwrap(), expect);
+    // Counts also use it now.
+    assert_eq!(col.count_rows(&pred, 0, 3_000).unwrap(), expect.len() as u64);
+}
+
+#[test]
+fn adaptive_index_is_never_built_for_scan_free_workloads() {
+    let pool = pool();
+    let col = adaptive_column(&pool, 10);
+    // Point decodes and materialization do not count as searches.
+    for rpos in 0..50 {
+        let _ = col.get_value(rpos).unwrap();
+    }
+    assert!(!col.has_index(), "point reads must not trigger index builds");
+}
+
+#[test]
+fn eager_and_none_modes_unchanged() {
+    let pool = pool();
+    let values: Vec<Value> = (0..500i64).map(|i| Value::Integer(i % 11)).collect();
+    let eager = ColumnBuilder::new(DataType::Integer)
+        .policy(LoadPolicy::PageLoadable)
+        .index_mode(IndexMode::Eager)
+        .build(&pool, &PageConfig::tiny(), &values)
+        .unwrap();
+    assert!(eager.column.has_index());
+    assert!(eager.index_pages > 0);
+    let none = ColumnBuilder::new(DataType::Integer)
+        .policy(LoadPolicy::PageLoadable)
+        .index_mode(IndexMode::None)
+        .build(&pool, &PageConfig::tiny(), &values)
+        .unwrap();
+    assert!(!none.column.has_index());
+    assert_eq!(none.index_pages, 0);
+}
+
+#[test]
+fn resident_adaptive_degenerates_to_eager() {
+    let pool = pool();
+    let values: Vec<Value> = (0..500i64).map(|i| Value::Integer(i % 11)).collect();
+    let col = ColumnBuilder::new(DataType::Integer)
+        .policy(LoadPolicy::FullyResident)
+        .index_mode(IndexMode::Adaptive { threshold: 100 })
+        .build(&pool, &PageConfig::tiny(), &values)
+        .unwrap()
+        .column;
+    assert!(col.has_index(), "resident columns build eagerly");
+    let pred = ValuePredicate::Eq(Value::Integer(3));
+    let expect: Vec<u64> = (0..500u64).filter(|&i| (i as i64) % 11 == 3).collect();
+    assert_eq!(col.find_rows(&pred, 0, 500).unwrap(), expect);
+}

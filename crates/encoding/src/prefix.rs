@@ -1,0 +1,880 @@
+//! Prefix-encoded string value blocks (paper §3.2.1, Fig. 2).
+//!
+//! Dictionary pages store groups of up to 16 consecutive sorted values as a
+//! *value block*. Within a block each value is front-coded against the
+//! preceding value: we store the length of the shared prefix, then the
+//! suffix. Large values are split into an **on-page** piece (stored literally
+//! in the block) and an **off-page** section: a list of logical pointers to
+//! pieces stored on separate overflow pages, plus the total value length.
+//!
+//! Invariant maintained by the builder: an entry's prefix never extends into
+//! the *off-page* region of its predecessor, so the first
+//! `prefix_len + on-page-suffix-len` bytes of every entry are materializable
+//! from the block alone, and reconstructing one value fetches the off-page
+//! pieces of **at most one** value — exactly the property the paper relies
+//! on in `findByValueID`.
+//!
+//! Wire format (all integers little-endian):
+//!
+//! ```text
+//! block  := count:u8 entry{count}
+//! entry  := prefix_len:u16 onpage_len:u32 flags:u8 suffix:[u8;onpage_len]
+//!           [ nptr:u16 (page_no:u64 len:u32){nptr} total_len:u64 ]   -- iff flags&1
+//! ```
+
+use crate::{EncodingError, Result};
+
+/// Maximum number of values per block.
+pub const BLOCK_CAP: usize = 16;
+
+/// A logical pointer to one off-page piece of a large value.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct OverflowRef {
+    /// Logical page number (within the dictionary's overflow chain) holding
+    /// this piece.
+    pub page_no: u64,
+    /// Length of the piece in bytes.
+    pub len: u32,
+}
+
+/// One decoded entry of a value block.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BlockEntry {
+    /// Bytes shared with the previous entry's *materializable-on-page* part.
+    pub prefix_len: u16,
+    /// The on-page piece of the suffix.
+    pub onpage: Vec<u8>,
+    /// Logical pointers to off-page pieces (empty for small values).
+    pub offpage: Vec<OverflowRef>,
+    /// Total length of the full value in bytes.
+    pub total_len: u64,
+}
+
+impl BlockEntry {
+    /// Length of the part of this value reconstructible from the block alone.
+    fn onpage_materializable(&self) -> usize {
+        self.prefix_len as usize + self.onpage.len()
+    }
+}
+
+/// Builds one value block from consecutive sorted keys.
+pub struct ValueBlockBuilder {
+    entries: Vec<BlockEntry>,
+    /// Previous full key (for prefix computation).
+    prev_key: Vec<u8>,
+    /// On-page-materializable length of the previous entry.
+    prev_onpage: usize,
+    byte_len: usize,
+}
+
+impl ValueBlockBuilder {
+    /// Creates an empty builder.
+    pub fn new() -> Self {
+        ValueBlockBuilder { entries: Vec::new(), prev_key: Vec::new(), prev_onpage: 0, byte_len: 1 }
+    }
+
+    /// Number of entries pushed.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True when no entries were pushed.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// True when the block holds [`BLOCK_CAP`] entries.
+    pub fn is_full(&self) -> bool {
+        self.entries.len() >= BLOCK_CAP
+    }
+
+    /// Encoded size in bytes of the block built so far.
+    pub fn byte_len(&self) -> usize {
+        self.byte_len
+    }
+
+    /// Encoded size the block would have after pushing `key` (ignoring
+    /// spill: assumes the whole suffix stays on-page). Used by page writers
+    /// to decide when to close a page.
+    pub fn projected_len(&self, key: &[u8]) -> usize {
+        let shared = common_prefix(&self.prev_key, key).min(self.prev_onpage).min(u16::MAX as usize);
+        self.byte_len + 2 + 4 + 1 + (key.len() - shared)
+    }
+
+    /// Appends a key. `inline_limit` bounds the on-page suffix bytes; the
+    /// excess is handed to `alloc_overflow`, which must store the bytes on
+    /// overflow pages and return the logical pointers.
+    ///
+    /// Keys must be pushed in non-decreasing order (dictionary order).
+    ///
+    /// # Panics
+    /// Panics if the block is full or keys are pushed out of order.
+    pub fn push(
+        &mut self,
+        key: &[u8],
+        inline_limit: usize,
+        alloc_overflow: &mut dyn FnMut(&[u8]) -> Vec<OverflowRef>,
+    ) {
+        assert!(!self.is_full(), "value block is full");
+        assert!(
+            self.entries.is_empty() || self.prev_key.as_slice() <= key,
+            "keys must be pushed in sorted order"
+        );
+        let shared = if self.entries.is_empty() {
+            0
+        } else {
+            common_prefix(&self.prev_key, key)
+                .min(self.prev_onpage)
+                .min(u16::MAX as usize)
+        };
+        let suffix = &key[shared..];
+        let (onpage, offpage) = if suffix.len() > inline_limit {
+            (suffix[..inline_limit].to_vec(), alloc_overflow(&suffix[inline_limit..]))
+        } else {
+            (suffix.to_vec(), Vec::new())
+        };
+        let entry = BlockEntry {
+            prefix_len: shared as u16,
+            onpage,
+            offpage,
+            total_len: key.len() as u64,
+        };
+        self.byte_len += entry_encoded_len(&entry);
+        self.prev_onpage = entry.onpage_materializable();
+        self.prev_key.clear();
+        self.prev_key.extend_from_slice(key);
+        self.entries.push(entry);
+    }
+
+    /// Serializes the block.
+    ///
+    /// # Panics
+    /// Panics on an empty block.
+    pub fn finish(self) -> Vec<u8> {
+        assert!(!self.entries.is_empty(), "cannot encode an empty value block");
+        let mut out = Vec::with_capacity(self.byte_len);
+        out.push(self.entries.len() as u8);
+        for e in &self.entries {
+            out.extend_from_slice(&e.prefix_len.to_le_bytes());
+            out.extend_from_slice(&(e.onpage.len() as u32).to_le_bytes());
+            out.push(u8::from(!e.offpage.is_empty()));
+            out.extend_from_slice(&e.onpage);
+            if !e.offpage.is_empty() {
+                out.extend_from_slice(&(e.offpage.len() as u16).to_le_bytes());
+                for r in &e.offpage {
+                    out.extend_from_slice(&r.page_no.to_le_bytes());
+                    out.extend_from_slice(&r.len.to_le_bytes());
+                }
+                out.extend_from_slice(&e.total_len.to_le_bytes());
+            }
+        }
+        debug_assert_eq!(out.len(), self.byte_len);
+        out
+    }
+}
+
+impl Default for ValueBlockBuilder {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+fn entry_encoded_len(e: &BlockEntry) -> usize {
+    let mut n = 2 + 4 + 1 + e.onpage.len();
+    if !e.offpage.is_empty() {
+        n += 2 + e.offpage.len() * 12 + 8;
+    }
+    n
+}
+
+/// Longest common prefix length of two byte strings.
+pub fn common_prefix(a: &[u8], b: &[u8]) -> usize {
+    a.iter().zip(b.iter()).take_while(|(x, y)| x == y).count()
+}
+
+/// A decoded value block.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ValueBlock {
+    entries: Vec<BlockEntry>,
+}
+
+impl ValueBlock {
+    /// Parses a block from its wire format, validating structure.
+    pub fn parse(bytes: &[u8]) -> Result<(ValueBlock, usize)> {
+        let mut cur = Cursor { bytes, pos: 0 };
+        let count = cur.u8()? as usize;
+        if count == 0 || count > BLOCK_CAP {
+            return Err(corrupt(format!("value block count {count} outside 1..=16")));
+        }
+        let mut entries = Vec::with_capacity(count);
+        let mut onpage_prev = 0usize;
+        for i in 0..count {
+            let prefix_len = cur.u16()?;
+            let onpage_len = cur.u32()? as usize;
+            let flags = cur.u8()?;
+            if flags > 1 {
+                return Err(corrupt(format!("entry {i}: unknown flags {flags:#x}")));
+            }
+            if i == 0 && prefix_len != 0 {
+                return Err(corrupt("first entry has nonzero prefix".into()));
+            }
+            if i > 0 && prefix_len as usize > onpage_prev {
+                return Err(corrupt(format!(
+                    "entry {i}: prefix {prefix_len} exceeds predecessor's on-page part {onpage_prev}"
+                )));
+            }
+            let onpage = cur.take(onpage_len)?.to_vec();
+            let (offpage, total_len) = if flags & 1 == 1 {
+                let nptr = cur.u16()? as usize;
+                if nptr == 0 {
+                    return Err(corrupt(format!("entry {i}: off-page flag with zero pointers")));
+                }
+                let mut ptrs = Vec::with_capacity(nptr);
+                for _ in 0..nptr {
+                    let page_no = cur.u64()?;
+                    let len = cur.u32()?;
+                    ptrs.push(OverflowRef { page_no, len });
+                }
+                let total = cur.u64()?;
+                let off_sum: u64 = ptrs.iter().map(|r| u64::from(r.len)).sum();
+                if total != prefix_len as u64 + onpage_len as u64 + off_sum {
+                    return Err(corrupt(format!(
+                        "entry {i}: total_len {total} != prefix {prefix_len} + onpage {onpage_len} + offpage {off_sum}"
+                    )));
+                }
+                (ptrs, total)
+            } else {
+                (Vec::new(), (prefix_len as usize + onpage_len) as u64)
+            };
+            onpage_prev = prefix_len as usize + onpage_len;
+            entries.push(BlockEntry { prefix_len, onpage, offpage, total_len });
+        }
+        Ok((ValueBlock { entries }, cur.pos))
+    }
+
+    /// Number of values in the block.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True when the block holds no values (never true for parsed blocks).
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// The raw entries.
+    pub fn entries(&self) -> &[BlockEntry] {
+        &self.entries
+    }
+
+    /// Reconstructs the on-page-materializable part of entry `idx` by
+    /// scanning the block from the start (front coding is sequential).
+    pub fn materialize_onpage(&self, idx: usize) -> Vec<u8> {
+        assert!(idx < self.entries.len());
+        let mut acc: Vec<u8> = Vec::new();
+        for e in &self.entries[..=idx] {
+            acc.truncate(e.prefix_len as usize);
+            acc.extend_from_slice(&e.onpage);
+        }
+        acc
+    }
+
+    /// Reconstructs the complete value of entry `idx`, fetching off-page
+    /// pieces (of this one entry only) through `fetch`.
+    pub fn materialize(
+        &self,
+        idx: usize,
+        fetch: &mut dyn FnMut(&OverflowRef) -> Result<Vec<u8>>,
+    ) -> Result<Vec<u8>> {
+        let mut v = self.materialize_onpage(idx);
+        for r in &self.entries[idx].offpage {
+            let piece = fetch(r)?;
+            if piece.len() != r.len as usize {
+                return Err(corrupt(format!(
+                    "overflow piece on page {} has {} bytes, expected {}",
+                    r.page_no,
+                    piece.len(),
+                    r.len
+                )));
+            }
+            v.extend_from_slice(&piece);
+        }
+        if v.len() as u64 != self.entries[idx].total_len {
+            return Err(corrupt(format!(
+                "materialized {} bytes, expected {}",
+                v.len(),
+                self.entries[idx].total_len
+            )));
+        }
+        Ok(v)
+    }
+
+    /// Searches the (sorted) block for `key`, fetching off-page pieces only
+    /// when the on-page part is an inconclusive prefix match. Returns the
+    /// in-block index on a hit, or `Err(slot)` — the insertion point — on a
+    /// miss (mirroring `slice::binary_search`).
+    pub fn find(
+        &self,
+        key: &[u8],
+        fetch: &mut dyn FnMut(&OverflowRef) -> Result<Vec<u8>>,
+    ) -> Result<std::result::Result<usize, usize>> {
+        let mut acc: Vec<u8> = Vec::new();
+        for (i, e) in self.entries.iter().enumerate() {
+            acc.truncate(e.prefix_len as usize);
+            acc.extend_from_slice(&e.onpage);
+            let onpage_cmp = acc.as_slice().cmp(&key[..key.len().min(acc.len())]);
+            let ord = if e.offpage.is_empty() {
+                acc.as_slice().cmp(key)
+            } else if onpage_cmp != std::cmp::Ordering::Equal {
+                // The on-page part already differs from key's prefix of the
+                // same length; the full value compares the same way.
+                onpage_cmp
+            } else {
+                // On-page part is a prefix of `key` (or equal); must fetch.
+                let full = self.materialize(i, fetch)?;
+                full.as_slice().cmp(key)
+            };
+            match ord {
+                std::cmp::Ordering::Less => continue,
+                std::cmp::Ordering::Equal => return Ok(Ok(i)),
+                std::cmp::Ordering::Greater => return Ok(Err(i)),
+            }
+        }
+        Ok(Err(self.entries.len()))
+    }
+}
+
+/// A zero-copy view over an encoded value block: entries are decoded on the
+/// fly from the page bytes, with no per-entry allocation. This is the hot
+/// read path of the paged dictionary; [`ValueBlock`] (the owning decoder)
+/// remains the reference implementation and the two are cross-checked by
+/// property tests.
+#[derive(Clone, Copy)]
+pub struct ValueBlockView<'a> {
+    bytes: &'a [u8],
+    count: usize,
+}
+
+/// One entry of a [`ValueBlockView`], borrowing from the page.
+pub struct EntryView<'a> {
+    /// Bytes shared with the predecessor's on-page-materializable part.
+    pub prefix_len: usize,
+    /// The on-page piece of the suffix.
+    pub onpage: &'a [u8],
+    /// Raw bytes of the off-page pointer array (12 bytes per pointer);
+    /// empty for fully inline values.
+    offpage_raw: &'a [u8],
+    /// Total length of the full value.
+    pub total_len: u64,
+}
+
+impl EntryView<'_> {
+    /// Number of off-page pointers.
+    pub fn offpage_count(&self) -> usize {
+        self.offpage_raw.len() / 12
+    }
+
+    /// The `i`-th off-page pointer.
+    pub fn offpage(&self, i: usize) -> OverflowRef {
+        let b = &self.offpage_raw[i * 12..i * 12 + 12];
+        OverflowRef {
+            page_no: u64::from_le_bytes(b[0..8].try_into().unwrap()),
+            len: u32::from_le_bytes(b[8..12].try_into().unwrap()),
+        }
+    }
+
+    /// Iterates the off-page pointers.
+    pub fn offpage_refs(&self) -> impl Iterator<Item = OverflowRef> + '_ {
+        (0..self.offpage_count()).map(|i| self.offpage(i))
+    }
+}
+
+impl<'a> ValueBlockView<'a> {
+    /// Creates a view over a block starting at `bytes[0]`. Only the count
+    /// byte is validated here; entry structure is validated as entries are
+    /// walked.
+    pub fn parse(bytes: &'a [u8]) -> Result<Self> {
+        if bytes.is_empty() {
+            return Err(corrupt("empty block".into()));
+        }
+        let count = bytes[0] as usize;
+        if count == 0 || count > BLOCK_CAP {
+            return Err(corrupt(format!("value block count {count} outside 1..=16")));
+        }
+        Ok(ValueBlockView { bytes, count })
+    }
+
+    /// Number of entries.
+    pub fn len(&self) -> usize {
+        self.count
+    }
+
+    /// True when the block holds no entries (never true after `parse`).
+    pub fn is_empty(&self) -> bool {
+        self.count == 0
+    }
+
+    /// Walks entries `0..=last`, calling `visit` for each. `visit` returns
+    /// `true` to continue. Returns the byte offset after the last visited
+    /// entry (mostly useful for tests).
+    pub fn walk(
+        &self,
+        last: usize,
+        mut visit: impl FnMut(usize, &EntryView<'a>) -> bool,
+    ) -> Result<()> {
+        debug_assert!(last < self.count);
+        let mut pos = 1usize;
+        for i in 0..=last {
+            let need = |n: usize, pos: usize| -> Result<()> {
+                if pos + n > self.bytes.len() {
+                    Err(corrupt(format!("truncated block at entry {i}")))
+                } else {
+                    Ok(())
+                }
+            };
+            need(7, pos)?;
+            let prefix_len =
+                u16::from_le_bytes(self.bytes[pos..pos + 2].try_into().unwrap()) as usize;
+            let onpage_len =
+                u32::from_le_bytes(self.bytes[pos + 2..pos + 6].try_into().unwrap()) as usize;
+            let flags = self.bytes[pos + 6];
+            pos += 7;
+            need(onpage_len, pos)?;
+            let onpage = &self.bytes[pos..pos + onpage_len];
+            pos += onpage_len;
+            let (offpage_raw, total_len) = if flags & 1 == 1 {
+                need(2, pos)?;
+                let nptr =
+                    u16::from_le_bytes(self.bytes[pos..pos + 2].try_into().unwrap()) as usize;
+                pos += 2;
+                need(nptr * 12 + 8, pos)?;
+                let raw = &self.bytes[pos..pos + nptr * 12];
+                pos += nptr * 12;
+                let total = u64::from_le_bytes(self.bytes[pos..pos + 8].try_into().unwrap());
+                pos += 8;
+                (raw, total)
+            } else {
+                (&self.bytes[0..0], (prefix_len + onpage_len) as u64)
+            };
+            let entry = EntryView { prefix_len, onpage, offpage_raw, total_len };
+            if !visit(i, &entry) {
+                break;
+            }
+        }
+        Ok(())
+    }
+
+    /// Reconstructs the on-page-materializable part of entry `idx` into
+    /// `acc` (cleared first) and returns the entry's off-page raw pointer
+    /// bytes + total length, so the caller can fetch overflow pieces.
+    pub fn materialize_onpage_into(
+        &self,
+        idx: usize,
+        acc: &mut Vec<u8>,
+    ) -> Result<(Vec<OverflowRef>, u64)> {
+        acc.clear();
+        let mut offpage = Vec::new();
+        let mut total = 0u64;
+        self.walk(idx, |i, e| {
+            acc.truncate(e.prefix_len);
+            acc.extend_from_slice(e.onpage);
+            if i == idx {
+                offpage = e.offpage_refs().collect();
+                total = e.total_len;
+            }
+            true
+        })?;
+        Ok((offpage, total))
+    }
+
+    /// Reconstructs the complete value of entry `idx`, fetching off-page
+    /// pieces of that one entry through `fetch`.
+    pub fn materialize(
+        &self,
+        idx: usize,
+        fetch: &mut dyn FnMut(&OverflowRef) -> Result<Vec<u8>>,
+    ) -> Result<Vec<u8>> {
+        let mut acc = Vec::new();
+        let (offpage, total) = self.materialize_onpage_into(idx, &mut acc)?;
+        for r in &offpage {
+            let piece = fetch(r)?;
+            if piece.len() != r.len as usize {
+                return Err(corrupt(format!(
+                    "overflow piece on page {} has {} bytes, expected {}",
+                    r.page_no,
+                    piece.len(),
+                    r.len
+                )));
+            }
+            acc.extend_from_slice(&piece);
+        }
+        if acc.len() as u64 != total {
+            return Err(corrupt(format!("materialized {} bytes, expected {total}", acc.len())));
+        }
+        Ok(acc)
+    }
+
+    /// Materializes entry 0's full value (block routing key) with overflow
+    /// fetch only when its on-page part is an inconclusive prefix of `key`;
+    /// returns its ordering versus `key`.
+    pub fn compare_first(
+        &self,
+        key: &[u8],
+        fetch: &mut dyn FnMut(&OverflowRef) -> Result<Vec<u8>>,
+    ) -> Result<std::cmp::Ordering> {
+        let mut result = std::cmp::Ordering::Equal;
+        let mut needs_fetch = false;
+        self.walk(0, |_, e| {
+            let onpage = e.onpage; // entry 0 has prefix_len == 0
+            let cmp = onpage.cmp(&key[..key.len().min(onpage.len())]);
+            if e.offpage_count() == 0 {
+                result = onpage.cmp(key);
+            } else if cmp != std::cmp::Ordering::Equal {
+                result = cmp;
+            } else {
+                needs_fetch = true;
+            }
+            false
+        })?;
+        if needs_fetch {
+            let full = self.materialize(0, fetch)?;
+            return Ok(full.as_slice().cmp(key));
+        }
+        Ok(result)
+    }
+
+    /// Searches the (sorted) block for `key` without allocating per entry;
+    /// semantics match [`ValueBlock::find`].
+    pub fn find(
+        &self,
+        key: &[u8],
+        fetch: &mut dyn FnMut(&OverflowRef) -> Result<Vec<u8>>,
+    ) -> Result<std::result::Result<usize, usize>> {
+        let mut acc: Vec<u8> = Vec::new();
+        let mut outcome: std::result::Result<usize, usize> = Err(self.count);
+        let mut pending_fetch: Option<usize> = None;
+        self.walk(self.count - 1, |i, e| {
+            acc.truncate(e.prefix_len);
+            acc.extend_from_slice(e.onpage);
+            let onpage_cmp = acc.as_slice().cmp(&key[..key.len().min(acc.len())]);
+            let ord = if e.offpage_count() == 0 {
+                acc.as_slice().cmp(key)
+            } else if onpage_cmp != std::cmp::Ordering::Equal {
+                onpage_cmp
+            } else {
+                // Must fetch this entry's overflow to decide; defer.
+                pending_fetch = Some(i);
+                return false;
+            };
+            match ord {
+                std::cmp::Ordering::Less => true,
+                std::cmp::Ordering::Equal => {
+                    outcome = Ok(i);
+                    false
+                }
+                std::cmp::Ordering::Greater => {
+                    outcome = Err(i);
+                    false
+                }
+            }
+        })?;
+        if let Some(i) = pending_fetch {
+            let full = self.materialize(i, fetch)?;
+            return Ok(match full.as_slice().cmp(key) {
+                std::cmp::Ordering::Equal => Ok(i),
+                std::cmp::Ordering::Greater => Err(i),
+                std::cmp::Ordering::Less => {
+                    // Continue the scan past i with a recursive tail on the
+                    // remaining entries: rare path (long shared prefixes of
+                    // large values), done via the owning decoder.
+                    let (block, _) = ValueBlock::parse(self.bytes)?;
+                    block.find(key, fetch)?
+                }
+            });
+        }
+        Ok(outcome)
+    }
+}
+
+fn corrupt(reason: String) -> EncodingError {
+    EncodingError::CorruptBlock { reason }
+}
+
+struct Cursor<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Cursor<'a> {
+    fn take(&mut self, n: usize) -> Result<&'a [u8]> {
+        if self.pos + n > self.bytes.len() {
+            return Err(corrupt(format!(
+                "truncated block: need {n} bytes at offset {}, have {}",
+                self.pos,
+                self.bytes.len() - self.pos
+            )));
+        }
+        let s = &self.bytes[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(s)
+    }
+    fn u8(&mut self) -> Result<u8> {
+        Ok(self.take(1)?[0])
+    }
+    fn u16(&mut self) -> Result<u16> {
+        Ok(u16::from_le_bytes(self.take(2)?.try_into().unwrap()))
+    }
+    fn u32(&mut self) -> Result<u32> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().unwrap()))
+    }
+    fn u64(&mut self) -> Result<u64> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashMap;
+
+    /// Test overflow store: allocates a fresh "page" per piece.
+    struct OverflowSim {
+        pages: HashMap<u64, Vec<u8>>,
+        next: u64,
+        piece_cap: usize,
+    }
+
+    impl OverflowSim {
+        fn new(piece_cap: usize) -> Self {
+            OverflowSim { pages: HashMap::new(), next: 0, piece_cap }
+        }
+        fn alloc(&mut self, bytes: &[u8]) -> Vec<OverflowRef> {
+            bytes
+                .chunks(self.piece_cap)
+                .map(|c| {
+                    let p = self.next;
+                    self.next += 1;
+                    self.pages.insert(p, c.to_vec());
+                    OverflowRef { page_no: p, len: c.len() as u32 }
+                })
+                .collect()
+        }
+        fn fetch(&self) -> impl FnMut(&OverflowRef) -> Result<Vec<u8>> + '_ {
+            |r: &OverflowRef| Ok(self.pages[&r.page_no].clone())
+        }
+    }
+
+    fn build(keys: &[&[u8]], inline_limit: usize, sim: &mut OverflowSim) -> Vec<u8> {
+        let mut b = ValueBlockBuilder::new();
+        for k in keys {
+            b.push(k, inline_limit, &mut |bytes| sim.alloc(bytes));
+        }
+        b.finish()
+    }
+
+    #[test]
+    fn roundtrip_small_strings() {
+        let keys: Vec<&[u8]> = vec![b"apple", b"applesauce", b"apply", b"banana", b"band"];
+        let mut sim = OverflowSim::new(8);
+        let bytes = build(&keys, 1024, &mut sim);
+        let (block, consumed) = ValueBlock::parse(&bytes).unwrap();
+        assert_eq!(consumed, bytes.len());
+        assert_eq!(block.len(), 5);
+        // Prefix compression actually happened.
+        assert_eq!(block.entries()[1].prefix_len, 5); // "apple" ∩ "applesauce"
+        for (i, k) in keys.iter().enumerate() {
+            assert_eq!(block.materialize(i, &mut sim.fetch()).unwrap(), *k);
+        }
+    }
+
+    #[test]
+    fn roundtrip_large_strings_with_overflow() {
+        let big1: Vec<u8> = std::iter::repeat(b"xyz".iter().copied()).flatten().take(500).collect();
+        let mut big2 = big1.clone();
+        big2.extend_from_slice(b"~tail-differs");
+        let keys: Vec<&[u8]> = vec![b"aaa", &big1, &big2, b"zz"];
+        let mut sim = OverflowSim::new(64);
+        let bytes = build(&keys, 16, &mut sim);
+        let (block, _) = ValueBlock::parse(&bytes).unwrap();
+        for (i, k) in keys.iter().enumerate() {
+            assert_eq!(block.materialize(i, &mut sim.fetch()).unwrap(), *k, "entry {i}");
+        }
+        // big2's prefix against big1 is capped at big1's on-page part:
+        // fetching big2 must not require big1's overflow pages.
+        let e2 = &block.entries()[2];
+        assert!(e2.prefix_len as usize <= block.entries()[1].prefix_len as usize + block.entries()[1].onpage.len());
+    }
+
+    #[test]
+    fn find_hits_and_misses() {
+        let keys: Vec<&[u8]> = vec![b"cat", b"catalog", b"dog", b"dove"];
+        let mut sim = OverflowSim::new(8);
+        let bytes = build(&keys, 1024, &mut sim);
+        let (block, _) = ValueBlock::parse(&bytes).unwrap();
+        let mut fetch = sim.fetch();
+        assert_eq!(block.find(b"cat", &mut fetch).unwrap(), Ok(0));
+        assert_eq!(block.find(b"dog", &mut fetch).unwrap(), Ok(2));
+        assert_eq!(block.find(b"dove", &mut fetch).unwrap(), Ok(3));
+        assert_eq!(block.find(b"aardvark", &mut fetch).unwrap(), Err(0));
+        assert_eq!(block.find(b"cata", &mut fetch).unwrap(), Err(1));
+        assert_eq!(block.find(b"zebra", &mut fetch).unwrap(), Err(4));
+    }
+
+    #[test]
+    fn find_on_large_strings_fetches_only_when_prefix_matches() {
+        let mut big: Vec<u8> = b"big-".to_vec();
+        big.extend((0..300u32).flat_map(|i| i.to_le_bytes()));
+        let keys: Vec<&[u8]> = vec![b"a", &big];
+        let mut sim = OverflowSim::new(32);
+        let bytes = build(&keys, 8, &mut sim);
+        let (block, _) = ValueBlock::parse(&bytes).unwrap();
+        let mut fetched = 0usize;
+        {
+            let mut counting_fetch = |r: &OverflowRef| {
+                fetched += 1;
+                Ok(sim.pages[&r.page_no].clone())
+            };
+            // Key that diverges within the on-page part: no fetch needed.
+            assert_eq!(block.find(b"zzz", &mut counting_fetch).unwrap(), Err(2));
+        }
+        assert_eq!(fetched, 0);
+        // Exact match on the big key requires fetching its pieces.
+        assert_eq!(block.find(&big, &mut sim.fetch()).unwrap(), Ok(1));
+    }
+
+    #[test]
+    fn parse_rejects_corruption() {
+        let keys: Vec<&[u8]> = vec![b"alpha", b"beta"];
+        let mut sim = OverflowSim::new(8);
+        let bytes = build(&keys, 1024, &mut sim);
+        // Truncation.
+        assert!(ValueBlock::parse(&bytes[..bytes.len() - 1]).is_err());
+        // Zero count.
+        let mut z = bytes.clone();
+        z[0] = 0;
+        assert!(ValueBlock::parse(&z).is_err());
+        // Count above capacity.
+        z[0] = 17;
+        assert!(ValueBlock::parse(&z).is_err());
+        // Nonzero prefix on the first entry.
+        let mut p = bytes.clone();
+        p[1] = 3;
+        assert!(ValueBlock::parse(&p).is_err());
+    }
+
+    #[test]
+    fn duplicate_keys_are_allowed() {
+        // Dictionaries are deduplicated, but separator blocks may legally
+        // carry equal adjacent keys; the builder accepts non-decreasing.
+        let keys: Vec<&[u8]> = vec![b"same", b"same"];
+        let mut sim = OverflowSim::new(8);
+        let bytes = build(&keys, 1024, &mut sim);
+        let (block, _) = ValueBlock::parse(&bytes).unwrap();
+        assert_eq!(block.materialize(1, &mut sim.fetch()).unwrap(), b"same");
+    }
+
+    #[test]
+    fn projected_len_matches_actual_growth() {
+        let mut sim = OverflowSim::new(8);
+        let mut b = ValueBlockBuilder::new();
+        b.push(b"prefix-one", 1024, &mut |x| sim.alloc(x));
+        let projected = b.projected_len(b"prefix-two");
+        b.push(b"prefix-two", 1024, &mut |x| sim.alloc(x));
+        assert_eq!(b.byte_len(), projected);
+        assert_eq!(b.finish().len(), projected);
+    }
+}
+
+#[cfg(test)]
+mod view_tests {
+    use super::*;
+    use std::collections::HashMap;
+
+    fn build_random(
+        keys: &[Vec<u8>],
+        inline_limit: usize,
+    ) -> (Vec<u8>, HashMap<u64, Vec<u8>>) {
+        let mut pages = HashMap::new();
+        let mut next = 0u64;
+        let mut b = ValueBlockBuilder::new();
+        for k in keys {
+            b.push(k, inline_limit, &mut |bytes: &[u8]| {
+                bytes
+                    .chunks(16)
+                    .map(|c| {
+                        let p = next;
+                        next += 1;
+                        pages.insert(p, c.to_vec());
+                        OverflowRef { page_no: p, len: c.len() as u32 }
+                    })
+                    .collect()
+            });
+        }
+        (b.finish(), pages)
+    }
+
+    #[test]
+    fn view_agrees_with_owned_decoder() {
+        let mut keys: Vec<Vec<u8>> = (0..14u32)
+            .map(|i| {
+                let mut k = format!("entry-{i:02}-").into_bytes();
+                k.extend(std::iter::repeat_n(b'y', (i as usize * 13) % 90));
+                k
+            })
+            .collect();
+        keys.sort();
+        keys.dedup();
+        let (bytes, pages) = build_random(&keys, 12);
+        let (owned, _) = ValueBlock::parse(&bytes).unwrap();
+        let view = ValueBlockView::parse(&bytes).unwrap();
+        assert_eq!(owned.len(), view.len());
+        let mut fetch_o = |r: &OverflowRef| Ok(pages[&r.page_no].clone());
+        let mut fetch_v = |r: &OverflowRef| Ok(pages[&r.page_no].clone());
+        for i in 0..keys.len() {
+            assert_eq!(
+                owned.materialize(i, &mut fetch_o).unwrap(),
+                view.materialize(i, &mut fetch_v).unwrap(),
+                "entry {i}"
+            );
+        }
+        // Probes: every key, plus misses around them.
+        for k in &keys {
+            assert_eq!(
+                owned.find(k, &mut fetch_o).unwrap(),
+                view.find(k, &mut fetch_v).unwrap()
+            );
+            let mut miss = k.clone();
+            miss.push(0);
+            assert_eq!(
+                owned.find(&miss, &mut fetch_o).unwrap(),
+                view.find(&miss, &mut fetch_v).unwrap()
+            );
+        }
+        assert_eq!(
+            owned.find(b"", &mut fetch_o).unwrap(),
+            view.find(b"", &mut fetch_v).unwrap()
+        );
+        assert_eq!(
+            owned.find(b"zzzz", &mut fetch_o).unwrap(),
+            view.find(b"zzzz", &mut fetch_v).unwrap()
+        );
+        // compare_first agrees with materializing entry 0.
+        let first = owned.materialize(0, &mut fetch_o).unwrap();
+        for probe in [&keys[0], &keys[2], &b"a".to_vec()] {
+            assert_eq!(
+                view.compare_first(probe, &mut fetch_v).unwrap(),
+                first.as_slice().cmp(probe)
+            );
+        }
+    }
+
+    #[test]
+    fn view_rejects_garbage() {
+        assert!(ValueBlockView::parse(&[]).is_err());
+        assert!(ValueBlockView::parse(&[0]).is_err());
+        assert!(ValueBlockView::parse(&[17]).is_err());
+        // Truncated entry payload.
+        let v = ValueBlockView::parse(&[1, 0, 0, 200, 0, 0, 0, 0]).unwrap();
+        assert!(v.walk(0, |_, _| true).is_err());
+    }
+}

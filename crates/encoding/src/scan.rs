@@ -1,0 +1,463 @@
+//! Vectorized scan primitives over n-bit packed chunks.
+//!
+//! These are the paper's `search` primitives (§3.1.3): predicate evaluation
+//! over uniformly encoded chunks, producing one 64-bit *match bitmap* per
+//! chunk (bit `i` set ⇔ slot `i` matches). Implementation is portable SWAR:
+//!
+//! * For widths that divide 64, a word-parallel zero-lane test rejects
+//!   non-matching words without decoding them (the common case on selective
+//!   scans — the paper notes `search` is memory-bandwidth bound, so skipping
+//!   the unpack of non-matching words is the win that matters).
+//! * Otherwise the chunk is decoded once into a stack buffer and the
+//!   predicate is evaluated with a branchless loop that autovectorizes.
+
+use crate::chunk::{decode_chunk, CHUNK_LEN};
+use crate::{BitPackedVec, BitWidth, VidSet};
+
+/// Replicates an `n`-bit value across a 64-bit word (`n` must divide 64).
+#[inline]
+fn replicate(v: u64, n: u32) -> u64 {
+    let mut p = v;
+    let mut width = n;
+    while width < 64 {
+        p |= p << width;
+        width *= 2;
+    }
+    p
+}
+
+/// Low bit of every `n`-bit lane.
+#[inline]
+fn lane_lsb(n: u32) -> u64 {
+    replicate(1, n)
+}
+
+/// True when some `n`-bit lane of `x` is zero (`n` divides 64, `n < 64`).
+/// Exact test from Bit Twiddling Hacks generalized to lane width `n`.
+#[inline]
+fn has_zero_lane(x: u64, n: u32) -> bool {
+    let lsb = lane_lsb(n);
+    let msb = lsb << (n - 1);
+    (x.wrapping_sub(lsb) & !x & msb) != 0
+}
+
+/// Computes the match bitmap of `chunk_words` (one chunk at width `w`)
+/// against an equality predicate `vid`.
+pub fn chunk_bitmap_eq(chunk_words: &[u64], w: BitWidth, vid: u64) -> u64 {
+    let n = w.bits();
+    if n == 0 {
+        return if vid == 0 { u64::MAX } else { 0 };
+    }
+    if vid > w.max_value() {
+        return 0;
+    }
+    if n == 64 {
+        let mut bm = 0u64;
+        for (i, &word) in chunk_words.iter().enumerate() {
+            bm |= u64::from(word == vid) << i;
+        }
+        return bm;
+    }
+    if w.is_word_aligned() {
+        // SWAR path: XOR with the replicated pattern, then test lanes for
+        // zero; only extract lane positions for words that contain a match.
+        let pattern = replicate(vid, n);
+        let per_word = (64 / n) as usize;
+        let mut bm = 0u64;
+        if n == 1 {
+            // Lanes are single bits: the bitmap is the (possibly inverted)
+            // word itself.
+            let word = chunk_words[0];
+            return if vid == 1 { word } else { !word };
+        }
+        for (wi, &word) in chunk_words.iter().enumerate() {
+            let x = word ^ pattern;
+            if !has_zero_lane(x, n) {
+                continue;
+            }
+            let base = wi * per_word;
+            let mask = w.mask();
+            for lane in 0..per_word {
+                let v = (word >> (lane as u32 * n)) & mask;
+                bm |= u64::from(v == vid) << (base + lane);
+            }
+        }
+        return bm;
+    }
+    let mut buf = [0u64; CHUNK_LEN];
+    decode_chunk(chunk_words, w, &mut buf);
+    bitmap_from_decoded(&buf, |v| v == vid)
+}
+
+/// Computes the match bitmap against an inclusive range predicate
+/// `lo..=hi`.
+pub fn chunk_bitmap_range(chunk_words: &[u64], w: BitWidth, lo: u64, hi: u64) -> u64 {
+    if lo > hi {
+        return 0;
+    }
+    let n = w.bits();
+    if n == 0 {
+        return if lo == 0 { u64::MAX } else { 0 };
+    }
+    let mut buf = [0u64; CHUNK_LEN];
+    decode_chunk(chunk_words, w, &mut buf);
+    bitmap_from_decoded(&buf, |v| v >= lo && v <= hi)
+}
+
+/// Computes the match bitmap against an arbitrary [`VidSet`] predicate.
+pub fn chunk_bitmap_in(chunk_words: &[u64], w: BitWidth, set: &VidSet) -> u64 {
+    match set {
+        VidSet::Single(v) => chunk_bitmap_eq(chunk_words, w, *v),
+        VidSet::Range { lo, hi } => chunk_bitmap_range(chunk_words, w, *lo, *hi),
+        _ => {
+            let n = w.bits();
+            if n == 0 {
+                return if set.contains(0) { u64::MAX } else { 0 };
+            }
+            let mut buf = [0u64; CHUNK_LEN];
+            decode_chunk(chunk_words, w, &mut buf);
+            bitmap_from_decoded(&buf, |v| set.contains(v))
+        }
+    }
+}
+
+/// Branchless bitmap construction over a decoded chunk.
+#[inline]
+fn bitmap_from_decoded(buf: &[u64; CHUNK_LEN], pred: impl Fn(u64) -> bool) -> u64 {
+    let mut bm = 0u64;
+    for (i, &v) in buf.iter().enumerate() {
+        bm |= u64::from(pred(v)) << i;
+    }
+    bm
+}
+
+/// Pushes the row positions set in `bitmap` (relative to `base`) onto `out`,
+/// restricted to positions in `from..to`.
+#[inline]
+pub fn push_bitmap_positions(mut bitmap: u64, base: u64, from: u64, to: u64, out: &mut Vec<u64>) {
+    // Trim slots below `from` and at/above `to`.
+    if base < from {
+        let skip = from - base;
+        if skip >= 64 {
+            return;
+        }
+        bitmap &= u64::MAX << skip;
+    }
+    if base + 64 > to {
+        if to <= base {
+            return;
+        }
+        let keep = to - base;
+        if keep < 64 {
+            bitmap &= (1u64 << keep) - 1;
+        }
+    }
+    while bitmap != 0 {
+        let slot = bitmap.trailing_zeros() as u64;
+        out.push(base + slot);
+        bitmap &= bitmap - 1;
+    }
+}
+
+/// A predicate compiled once per scan: replicated SWAR patterns and width
+/// metadata are hoisted out of the per-chunk loop (recomputing the pattern
+/// for every 64-value chunk dominates small-width scans otherwise).
+pub enum CompiledPredicate<'a> {
+    /// Equality at a word-aligned width: full SWAR with precomputed lanes.
+    SwarEq {
+        /// The probe value.
+        vid: u64,
+        /// `vid` replicated across the word.
+        pattern: u64,
+        /// Lane low bits.
+        lsb: u64,
+        /// Lane high bits.
+        msb: u64,
+        /// Lane width.
+        n: u32,
+        /// Value mask.
+        mask: u64,
+    },
+    /// Any other (width, set) combination: decode + branchless compare.
+    General {
+        /// The predicate.
+        set: &'a VidSet,
+        /// The width.
+        width: BitWidth,
+    },
+    /// Width-0 vectors: every slot holds 0.
+    Zero {
+        /// Whether 0 matches the predicate.
+        matches: bool,
+    },
+}
+
+impl<'a> CompiledPredicate<'a> {
+    /// Compiles `set` for scans at `width`.
+    pub fn new(width: BitWidth, set: &'a VidSet) -> Self {
+        let n = width.bits();
+        if n == 0 {
+            return CompiledPredicate::Zero { matches: set.contains(0) };
+        }
+        if let VidSet::Single(vid) = set {
+            if width.is_word_aligned() && n > 1 && n < 64 && *vid <= width.max_value() {
+                let lsb = lane_lsb(n);
+                return CompiledPredicate::SwarEq {
+                    vid: *vid,
+                    pattern: replicate(*vid, n),
+                    lsb,
+                    msb: lsb << (n - 1),
+                    n,
+                    mask: width.mask(),
+                };
+            }
+        }
+        CompiledPredicate::General { set, width }
+    }
+
+    /// Match bitmap of one chunk.
+    #[inline]
+    pub fn chunk_bitmap(&self, chunk_words: &[u64]) -> u64 {
+        match self {
+            CompiledPredicate::Zero { matches } => {
+                if *matches {
+                    u64::MAX
+                } else {
+                    0
+                }
+            }
+            CompiledPredicate::SwarEq { vid, pattern, lsb, msb, n, mask } => {
+                let per_word = (64 / n) as usize;
+                let mut bm = 0u64;
+                for (wi, &word) in chunk_words.iter().enumerate() {
+                    let x = word ^ pattern;
+                    if (x.wrapping_sub(*lsb) & !x & msb) == 0 {
+                        continue;
+                    }
+                    let base = wi * per_word;
+                    for lane in 0..per_word {
+                        let v = (word >> (lane as u32 * n)) & mask;
+                        bm |= u64::from(v == *vid) << (base + lane);
+                    }
+                }
+                bm
+            }
+            CompiledPredicate::General { set, width } => chunk_bitmap_in(chunk_words, *width, set),
+        }
+    }
+}
+
+/// Scans `vec[from..to]` for positions whose value is in `set`, appending
+/// matches (ascending) to `out`. This is the resident-column `search`; the
+/// paged iterator applies the same chunk primitives page by page.
+pub fn search(vec: &BitPackedVec, from: u64, to: u64, set: &VidSet, out: &mut Vec<u64>) {
+    assert!(from <= to && to <= vec.len(), "search range {from}..{to} out of bounds");
+    if from == to || set.is_empty() {
+        return;
+    }
+    let pred = CompiledPredicate::new(vec.width(), set);
+    let first = from / CHUNK_LEN as u64;
+    let last = (to - 1) / CHUNK_LEN as u64;
+    for ci in first..=last {
+        let bm = pred.chunk_bitmap(vec.chunk_words(ci));
+        if bm != 0 {
+            push_bitmap_positions(bm, ci * CHUNK_LEN as u64, from, to, out);
+        }
+    }
+}
+
+/// Scans `vec[from..to]` producing a result **bitmap** (one bit per row,
+/// relative to `from`, packed into `out`) instead of materializing
+/// positions. This is the bandwidth-bound form the paper's Fig. 1 measures:
+/// the output cost is constant per 64 rows regardless of selectivity, so
+/// the scan is limited by how fast packed data streams from memory.
+pub fn search_bitmap(vec: &BitPackedVec, from: u64, to: u64, set: &VidSet, out: &mut Vec<u64>) {
+    assert!(from <= to && to <= vec.len(), "search range {from}..{to} out of bounds");
+    out.clear();
+    if from == to {
+        return;
+    }
+    assert!(from.is_multiple_of(CHUNK_LEN as u64), "bitmap search starts on a chunk boundary");
+    let pred = CompiledPredicate::new(vec.width(), set);
+    let first = from / CHUNK_LEN as u64;
+    let last = (to - 1) / CHUNK_LEN as u64;
+    out.reserve((last - first + 1) as usize);
+    for ci in first..=last {
+        let mut bm = pred.chunk_bitmap(vec.chunk_words(ci));
+        if ci == last {
+            let keep = to - ci * CHUNK_LEN as u64;
+            if keep < 64 {
+                bm &= (1u64 << keep) - 1;
+            }
+        }
+        out.push(bm);
+    }
+}
+
+/// Scans positions listed in `rows` (ascending) for values in `set`,
+/// appending matching positions to `out`. This is the paper's
+/// `search(bitmap-of-rows, set-of-vids)` variety.
+pub fn search_at_rows(vec: &BitPackedVec, rows: &[u64], set: &VidSet, out: &mut Vec<u64>) {
+    if rows.is_empty() || set.is_empty() {
+        return;
+    }
+    let mut buf = [0u64; CHUNK_LEN];
+    let mut cached_chunk = u64::MAX;
+    for &pos in rows {
+        assert!(pos < vec.len(), "row position {pos} out of bounds");
+        let ci = pos / CHUNK_LEN as u64;
+        if ci != cached_chunk {
+            decode_chunk(vec.chunk_words(ci), vec.width(), &mut buf);
+            cached_chunk = ci;
+        }
+        if set.contains(buf[(pos % CHUNK_LEN as u64) as usize]) {
+            out.push(pos);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::BitPackedBuilder;
+
+    fn sample_vec(len: usize, bits: u32, seed: u64) -> (Vec<u64>, BitPackedVec) {
+        let w = BitWidth::new(bits).unwrap();
+        let values: Vec<u64> = (0..len)
+            .map(|i| {
+                (seed.wrapping_mul(0x9E37_79B9_7F4A_7C15)
+                    .wrapping_add(i as u64)
+                    .wrapping_mul(0xBF58_476D_1CE4_E5B9)
+                    >> 17)
+                    & w.mask()
+            })
+            .collect();
+        let mut b = BitPackedBuilder::new(w);
+        for &v in &values {
+            b.push(v);
+        }
+        (values.clone(), b.finish())
+    }
+
+    fn naive_search(values: &[u64], from: u64, to: u64, set: &VidSet) -> Vec<u64> {
+        (from..to).filter(|&i| set.contains(values[i as usize])).collect()
+    }
+
+    #[test]
+    fn eq_matches_naive_across_widths() {
+        for bits in [0u32, 1, 2, 3, 4, 5, 7, 8, 9, 12, 16, 17, 21, 32, 33, 64] {
+            let (values, vec) = sample_vec(300, bits, u64::from(bits) + 1);
+            // Probe both present and absent vids.
+            let mut probes: Vec<u64> = values.iter().take(5).copied().collect();
+            probes.push(BitWidth::new(bits).unwrap().mask() / 2 + 1);
+            probes.push(0);
+            for vid in probes {
+                let set = VidSet::Single(vid);
+                let mut got = Vec::new();
+                search(&vec, 0, vec.len(), &set, &mut got);
+                assert_eq!(got, naive_search(&values, 0, vec.len(), &set), "bits={bits} vid={vid}");
+            }
+        }
+    }
+
+    #[test]
+    fn range_and_set_predicates_match_naive() {
+        let (values, vec) = sample_vec(500, 6, 42);
+        for set in [
+            VidSet::range(3, 17),
+            VidSet::range(0, 63),
+            VidSet::from_vids(vec![1, 5, 9, 44]),
+            VidSet::from_vids(vec![2, 3, 4, 6, 7, 8]),
+            VidSet::from_vids(values.iter().take(20).copied().collect()),
+        ] {
+            let mut got = Vec::new();
+            search(&vec, 0, vec.len(), &set, &mut got);
+            assert_eq!(got, naive_search(&values, 0, vec.len(), &set), "{set:?}");
+        }
+    }
+
+    #[test]
+    fn sub_range_search_trims_boundary_chunks() {
+        let (values, vec) = sample_vec(400, 5, 7);
+        let set = VidSet::range(0, 15);
+        for (from, to) in [(0u64, 1u64), (63, 65), (1, 399), (120, 121), (64, 128), (399, 400)] {
+            let mut got = Vec::new();
+            search(&vec, from, to, &set, &mut got);
+            assert_eq!(got, naive_search(&values, from, to, &set), "{from}..{to}");
+        }
+    }
+
+    #[test]
+    fn search_at_rows_matches_naive() {
+        let (values, vec) = sample_vec(300, 8, 3);
+        let rows: Vec<u64> = (0..300).step_by(7).collect();
+        let set = VidSet::range(0, 100);
+        let mut got = Vec::new();
+        search_at_rows(&vec, &rows, &set, &mut got);
+        let expect: Vec<u64> = rows
+            .iter()
+            .copied()
+            .filter(|&r| set.contains(values[r as usize]))
+            .collect();
+        assert_eq!(got, expect);
+    }
+
+    #[test]
+    fn zero_width_vectors() {
+        let (_, vec) = sample_vec(100, 0, 1);
+        let mut got = Vec::new();
+        search(&vec, 10, 20, &VidSet::Single(0), &mut got);
+        assert_eq!(got, (10..20).collect::<Vec<u64>>());
+        got.clear();
+        search(&vec, 10, 20, &VidSet::Single(1), &mut got);
+        assert!(got.is_empty());
+    }
+
+    #[test]
+    fn swar_zero_lane_detection() {
+        // 8-bit lanes.
+        assert!(has_zero_lane(0x11_22_00_44_55_66_77_88, 8));
+        assert!(!has_zero_lane(0x11_22_33_44_55_66_77_88, 8));
+        // High-bit-set lanes must not be false positives.
+        assert!(!has_zero_lane(0x80_80_80_80_80_80_80_80, 8));
+        assert!(has_zero_lane(0x80_80_80_80_80_80_80_00, 8));
+        // 4-bit lanes.
+        assert!(has_zero_lane(0xFFFF_FFFF_FFFF_FF0F, 4));
+        assert!(!has_zero_lane(0x1111_1111_9999_FFFF, 4));
+    }
+
+    #[test]
+    fn search_bitmap_matches_positions() {
+        let (values, vec) = sample_vec(300, 5, 9);
+        let set = VidSet::range(3, 12);
+        let mut words = Vec::new();
+        search_bitmap(&vec, 0, 300, &set, &mut words);
+        assert_eq!(words.len(), 5);
+        let mut positions = Vec::new();
+        for (wi, &w) in words.iter().enumerate() {
+            let mut w = w;
+            while w != 0 {
+                positions.push(wi as u64 * 64 + w.trailing_zeros() as u64);
+                w &= w - 1;
+            }
+        }
+        assert_eq!(positions, naive_search(&values, 0, 300, &set));
+        // Trailing bits beyond `to` are cleared.
+        search_bitmap(&vec, 0, 70, &VidSet::range(0, 31), &mut words);
+        assert_eq!(words.len(), 2);
+        assert_eq!(words[1] >> 6, 0);
+    }
+
+    #[test]
+    fn bitmap_position_trimming() {
+        let mut out = Vec::new();
+        push_bitmap_positions(u64::MAX, 64, 70, 74, &mut out);
+        assert_eq!(out, vec![70, 71, 72, 73]);
+        out.clear();
+        push_bitmap_positions(u64::MAX, 64, 0, 64, &mut out);
+        assert!(out.is_empty());
+        out.clear();
+        push_bitmap_positions(u64::MAX, 64, 200, 300, &mut out);
+        assert!(out.is_empty());
+    }
+}

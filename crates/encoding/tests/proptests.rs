@@ -1,0 +1,232 @@
+//! Property-based tests for the encoding primitives.
+
+use payg_encoding::prefix::{OverflowRef, ValueBlock, ValueBlockBuilder};
+use payg_encoding::scan::{search, search_at_rows};
+use payg_encoding::{okey, BitPackedVec, BitWidth, VidSet};
+use proptest::prelude::*;
+use std::collections::HashMap;
+
+fn width_and_values() -> impl Strategy<Value = (u32, Vec<u64>)> {
+    (0u32..=64).prop_flat_map(|bits| {
+        let max = BitWidth::new(bits).unwrap().max_value();
+        (Just(bits), prop::collection::vec(0..=max, 0..300))
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Packing then unpacking returns the original values at every width.
+    #[test]
+    fn bitpack_roundtrip((bits, values) in width_and_values()) {
+        let w = BitWidth::new(bits).unwrap();
+        let v = BitPackedVec::from_values_with_width(&values, w);
+        prop_assert_eq!(v.len() as usize, values.len());
+        for (i, &expect) in values.iter().enumerate() {
+            prop_assert_eq!(v.get(i as u64), expect);
+        }
+        let iterated: Vec<u64> = v.iter().collect();
+        prop_assert_eq!(iterated, values.clone());
+        // Round-trip through raw words (the persistence path).
+        let back = BitPackedVec::from_words(w, v.len(), v.words().to_vec()).unwrap();
+        prop_assert_eq!(&back, &v);
+    }
+
+    /// mget on an arbitrary sub-range equals the slice of the source.
+    #[test]
+    fn bitpack_mget((bits, values) in width_and_values(), a in 0usize..300, b in 0usize..300) {
+        prop_assume!(!values.is_empty());
+        let (x, y) = (a % values.len(), b % values.len());
+        let (from, to) = (x.min(y), x.max(y) + 1);
+        let v = BitPackedVec::from_values(&values);
+        let _ = bits;
+        let mut out = Vec::new();
+        v.mget(from as u64, to as u64, &mut out);
+        prop_assert_eq!(&out[..], &values[from..to]);
+    }
+
+    /// SWAR/chunked search matches a naive scan for every predicate shape.
+    #[test]
+    fn search_matches_naive(
+        (bits, values) in width_and_values(),
+        probe_seed in any::<u64>(),
+        lo in any::<u64>(),
+        span in 0u64..100,
+    ) {
+        prop_assume!(!values.is_empty());
+        let w = BitWidth::new(bits).unwrap();
+        let v = BitPackedVec::from_values_with_width(&values, w);
+        let lo = lo & w.mask();
+        let hi = lo.saturating_add(span) & w.mask();
+        let (lo, hi) = (lo.min(hi), lo.max(hi));
+        let probe = values[(probe_seed % values.len() as u64) as usize];
+        let sets = [
+            VidSet::Single(probe),
+            VidSet::range(lo, hi),
+            VidSet::from_vids(values.iter().step_by(3).copied().collect()),
+        ];
+        for set in sets {
+            let mut got = Vec::new();
+            search(&v, 0, v.len(), &set, &mut got);
+            let expect: Vec<u64> = (0..values.len() as u64)
+                .filter(|&i| set.contains(values[i as usize]))
+                .collect();
+            prop_assert_eq!(&got, &expect);
+
+            // Row-filtered variant over a strided row list.
+            let rows: Vec<u64> = (0..values.len() as u64).step_by(5).collect();
+            let mut got_rows = Vec::new();
+            search_at_rows(&v, &rows, &set, &mut got_rows);
+            let expect_rows: Vec<u64> = rows
+                .iter()
+                .copied()
+                .filter(|&i| set.contains(values[i as usize]))
+                .collect();
+            prop_assert_eq!(&got_rows, &expect_rows);
+        }
+    }
+
+    /// VidSet::from_vids preserves exact membership regardless of the
+    /// representation it picks.
+    #[test]
+    fn vidset_membership(vids in prop::collection::vec(0u64..500, 0..60)) {
+        let set = VidSet::from_vids(vids.clone());
+        for v in 0..520u64 {
+            prop_assert_eq!(set.contains(v), vids.contains(&v));
+        }
+        let mut sorted = vids.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        let listed: Vec<u64> = set.iter().collect();
+        prop_assert_eq!(listed, sorted);
+    }
+
+    /// Order-preserving keys: compare-as-bytes equals compare-as-values.
+    #[test]
+    fn okey_i64_order(a in any::<i64>(), b in any::<i64>()) {
+        prop_assert_eq!(okey::encode_i64(a).cmp(&okey::encode_i64(b)), a.cmp(&b));
+        prop_assert_eq!(okey::decode_i64(&okey::encode_i64(a)).unwrap(), a);
+    }
+
+    /// f64 keys follow IEEE-754 total order exactly (including -0.0 < +0.0
+    /// and signed NaNs at the extremes).
+    #[test]
+    fn okey_f64_order(a in any::<f64>(), b in any::<f64>()) {
+        let (ka, kb) = (okey::encode_f64(a), okey::encode_f64(b));
+        prop_assert_eq!(ka.cmp(&kb), a.total_cmp(&b));
+        prop_assert_eq!(okey::decode_f64(&ka).unwrap().to_bits(), a.to_bits());
+    }
+
+    #[test]
+    fn okey_i128_order(a in any::<i128>(), b in any::<i128>()) {
+        prop_assert_eq!(okey::encode_i128(a).cmp(&okey::encode_i128(b)), a.cmp(&b));
+        prop_assert_eq!(okey::decode_i128(&okey::encode_i128(a)).unwrap(), a);
+    }
+
+    /// Value blocks round-trip arbitrary sorted keys, including ones that
+    /// spill to overflow pages, and `find` agrees with direct comparison.
+    #[test]
+    fn value_block_roundtrip(
+        mut keys in prop::collection::vec(prop::collection::vec(any::<u8>(), 0..200), 1..16),
+        inline_limit in 1usize..64,
+        probe in prop::collection::vec(any::<u8>(), 0..64),
+    ) {
+        keys.sort();
+        keys.dedup();
+        let mut pages: HashMap<u64, Vec<u8>> = HashMap::new();
+        let mut next = 0u64;
+        let mut builder = ValueBlockBuilder::new();
+        for k in &keys {
+            builder.push(k, inline_limit, &mut |bytes: &[u8]| {
+                bytes
+                    .chunks(32)
+                    .map(|c| {
+                        let p = next;
+                        next += 1;
+                        pages.insert(p, c.to_vec());
+                        OverflowRef { page_no: p, len: c.len() as u32 }
+                    })
+                    .collect()
+            });
+        }
+        let bytes = builder.finish();
+        let (block, consumed) = ValueBlock::parse(&bytes).unwrap();
+        prop_assert_eq!(consumed, bytes.len());
+        let mut fetch = |r: &OverflowRef| Ok(pages[&r.page_no].clone());
+        for (i, k) in keys.iter().enumerate() {
+            prop_assert_eq!(&block.materialize(i, &mut fetch).unwrap(), k);
+        }
+        let got = block.find(&probe, &mut fetch).unwrap();
+        let expect = keys.binary_search(&probe);
+        prop_assert_eq!(got, expect);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// The compiled SWAR equality fast path agrees bit-for-bit with the
+    /// general decode path on every chunk, at every word-aligned width.
+    #[test]
+    fn compiled_predicate_matches_general_path(
+        bits in prop::sample::select(vec![2u32, 4, 8, 16, 32]),
+        seed in any::<u64>(),
+        probe_raw in any::<u64>(),
+    ) {
+        use payg_encoding::chunk::{encode_chunk, words_per_chunk, CHUNK_LEN};
+        use payg_encoding::scan::{chunk_bitmap_in, CompiledPredicate};
+        let w = BitWidth::new(bits).unwrap();
+        let mut values = [0u64; CHUNK_LEN];
+        for (i, v) in values.iter_mut().enumerate() {
+            *v = seed.wrapping_mul(0x9E37_79B9_7F4A_7C15).wrapping_add(i as u64 * 0xBF58_476D)
+                & w.mask();
+        }
+        let mut words = vec![0u64; words_per_chunk(w)];
+        encode_chunk(&values, w, &mut words);
+        // Probe both present values and arbitrary ones.
+        for probe in [probe_raw & w.mask(), values[7], values[63], 0, w.mask()] {
+            let set = VidSet::Single(probe);
+            let compiled = CompiledPredicate::new(w, &set);
+            let is_known_variant = matches!(
+                compiled,
+                CompiledPredicate::SwarEq { .. } | CompiledPredicate::General { .. }
+            );
+            prop_assert!(is_known_variant);
+            let got = compiled.chunk_bitmap(&words);
+            let expect = chunk_bitmap_in(&words, w, &set);
+            prop_assert_eq!(got, expect, "width {} probe {}", bits, probe);
+            // And both agree with a naive evaluation.
+            let mut naive = 0u64;
+            for (i, &v) in values.iter().enumerate() {
+                naive |= u64::from(v == probe) << i;
+            }
+            prop_assert_eq!(got, naive);
+        }
+    }
+
+    /// search_bitmap and position-materializing search agree on arbitrary
+    /// vectors and predicates.
+    #[test]
+    fn bitmap_and_position_search_agree(
+        values in prop::collection::vec(0u64..300, 1..400),
+        lo in 0u64..300,
+        span in 0u64..80,
+    ) {
+        use payg_encoding::scan::{search, search_bitmap};
+        let v = BitPackedVec::from_values(&values);
+        let set = VidSet::range(lo, lo + span);
+        let mut positions = Vec::new();
+        search(&v, 0, v.len(), &set, &mut positions);
+        let mut words = Vec::new();
+        search_bitmap(&v, 0, v.len(), &set, &mut words);
+        let mut from_bitmap = Vec::new();
+        for (wi, &w) in words.iter().enumerate() {
+            let mut w = w;
+            while w != 0 {
+                from_bitmap.push(wi as u64 * 64 + w.trailing_zeros() as u64);
+                w &= w - 1;
+            }
+        }
+        prop_assert_eq!(from_bitmap, positions);
+    }
+}

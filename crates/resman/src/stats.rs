@@ -1,0 +1,29 @@
+//! Memory accounting counters.
+//!
+//! Experiments read these to plot the paper's "system memory footprint"
+//! series: the footprint is the sum of all registered resource sizes, which
+//! is exactly what HANA's resource manager tracks.
+
+/// A point-in-time snapshot of the resource manager's accounting.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct MemoryStats {
+    /// Total bytes across all registered resources.
+    pub total_bytes: usize,
+    /// Bytes registered with [`crate::Disposition::PagedAttribute`]
+    /// (the paged pool).
+    pub paged_bytes: usize,
+    /// Number of currently registered resources.
+    pub resource_count: usize,
+    /// Number of currently registered paged-attribute resources.
+    pub paged_count: usize,
+    /// Cumulative resources evicted by the proactive mechanism.
+    pub proactive_evictions: u64,
+    /// Cumulative resources evicted by the reactive mechanism.
+    pub reactive_evictions: u64,
+    /// Cumulative resources evicted by global weighted-LRU sweeps.
+    pub weighted_evictions: u64,
+    /// Cumulative bytes freed by evictions of any kind.
+    pub evicted_bytes: u64,
+    /// Cumulative registrations (loads).
+    pub registrations: u64,
+}

@@ -1,0 +1,65 @@
+//! Storage errors.
+
+use crate::PageKey;
+
+/// Errors from page stores and the buffer pool.
+#[derive(Debug)]
+pub enum StorageError {
+    /// An operating-system I/O failure.
+    Io(std::io::Error),
+    /// A chain id that was never created (or already dropped).
+    UnknownChain(u64),
+    /// A logical page number beyond the end of its chain.
+    PageOutOfBounds {
+        /// The requested page.
+        key: PageKey,
+        /// Number of pages in the chain.
+        chain_len: u64,
+    },
+    /// A page write larger than the chain's page size.
+    PageTooLarge {
+        /// Bytes offered.
+        got: usize,
+        /// The chain's page size.
+        page_size: usize,
+    },
+    /// An injected fault (tests only).
+    InjectedFault(PageKey),
+    /// A persisted structure failed validation while being decoded.
+    Corrupt(String),
+}
+
+impl std::fmt::Display for StorageError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            StorageError::Io(e) => write!(f, "i/o error: {e}"),
+            StorageError::UnknownChain(c) => write!(f, "unknown page chain {c}"),
+            StorageError::PageOutOfBounds { key, chain_len } => {
+                write!(f, "page {key:?} out of bounds (chain has {chain_len} pages)")
+            }
+            StorageError::PageTooLarge { got, page_size } => {
+                write!(f, "page payload of {got} bytes exceeds page size {page_size}")
+            }
+            StorageError::InjectedFault(key) => write!(f, "injected fault reading {key:?}"),
+            StorageError::Corrupt(msg) => write!(f, "corrupt page data: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for StorageError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            StorageError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for StorageError {
+    fn from(e: std::io::Error) -> Self {
+        StorageError::Io(e)
+    }
+}
+
+/// Result alias for storage operations.
+pub type StorageResult<T> = Result<T, StorageError>;

@@ -1,0 +1,34 @@
+//! Paged persistence: page chains, page stores, and the buffer pool.
+//!
+//! Page-loadable structures persist as **chains of disk-resident pages**
+//! (paper §3.1.1): a chain is an ordered sequence of fixed-size pages
+//! addressed by *logical page number*. Readers pin individual pages through
+//! the [`BufferPool`], which loads on miss, registers every loaded page as a
+//! separate [`payg_resman`] resource with the *paged attribute* disposition,
+//! and drops frames when the resource manager evicts them. A pinned page is
+//! never evicted — iterators hold a [`PageGuard`] for exactly the duration
+//! the paper prescribes (release previous, pin next, on reposition).
+//!
+//! Two [`PageStore`] implementations are provided: a durable [`FileStore`]
+//! (one file per chain, reopenable for cold-restart experiments) and an
+//! in-memory [`MemStore`] for tests. [`FaultyStore`] wraps any store with
+//! fault injection. [`IoProfile`] adds an optional synthetic per-read
+//! latency so experiments can model slower cold storage than this machine's
+//! page-cached files (see DESIGN.md, substitutions).
+
+#![deny(missing_docs)]
+#![forbid(unsafe_code)]
+
+mod chain;
+mod error;
+mod metrics;
+mod page;
+mod pool;
+mod store;
+
+pub use chain::{ChainRef, ChainWriter};
+pub use error::{StorageError, StorageResult};
+pub use metrics::PoolMetrics;
+pub use page::{ChainId, PageKey};
+pub use pool::{BufferPool, PageGuard};
+pub use store::{FaultPlan, FaultyStore, FileStore, IoProfile, LatencyStore, MemStore, PageStore, TieredStore};

@@ -1,0 +1,32 @@
+//! Buffer-pool metrics.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+#[derive(Default)]
+pub(crate) struct MetricCounters {
+    pub loads: AtomicU64,
+    pub hits: AtomicU64,
+    pub bytes_loaded: AtomicU64,
+}
+
+impl MetricCounters {
+    pub fn snapshot(&self) -> PoolMetrics {
+        PoolMetrics {
+            loads: self.loads.load(Ordering::Relaxed),
+            hits: self.hits.load(Ordering::Relaxed),
+            bytes_loaded: self.bytes_loaded.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// A snapshot of buffer-pool activity. Experiments use `loads` to count page
+/// I/O per query (the source of the paper's run-time-ratio spikes).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PoolMetrics {
+    /// Page loads (pool misses that read from the store).
+    pub loads: u64,
+    /// Pool hits (page already resident).
+    pub hits: u64,
+    /// Total bytes read from the store.
+    pub bytes_loaded: u64,
+}

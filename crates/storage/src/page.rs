@@ -1,0 +1,21 @@
+//! Page addressing.
+
+/// Identifies one page chain within a [`crate::PageStore`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct ChainId(pub u64);
+
+/// Addresses one page: a chain plus the logical page number within it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct PageKey {
+    /// The chain the page belongs to.
+    pub chain: ChainId,
+    /// Zero-based logical page number within the chain.
+    pub page_no: u64,
+}
+
+impl PageKey {
+    /// Convenience constructor.
+    pub fn new(chain: ChainId, page_no: u64) -> Self {
+        PageKey { chain, page_no }
+    }
+}

@@ -1,0 +1,410 @@
+//! The buffer pool: load-on-miss page frames with RAII pin guards.
+
+use crate::metrics::MetricCounters;
+use crate::{IoProfile, PageKey, PageStore, PoolMetrics, StorageResult};
+use parking_lot::{Mutex, RwLock};
+use payg_resman::{Disposition, ResourceId, ResourceManager};
+use std::any::Any;
+use std::collections::HashMap;
+use std::ops::Deref;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, OnceLock, Weak};
+
+/// One resident page. Page data is immutable after load (main fragments are
+/// read-only between delta merges), so frames can be shared freely.
+pub struct Frame {
+    key: PageKey,
+    data: Box<[u8]>,
+    rid: OnceLock<ResourceId>,
+    /// Transient data rebuilt on every load and destroyed on eviction
+    /// (paper §3.2.1: the dictionary's block-offset vector).
+    transient: RwLock<Option<Arc<dyn Any + Send + Sync>>>,
+    transient_bytes: AtomicUsize,
+}
+
+impl Frame {
+    fn rid(&self) -> ResourceId {
+        *self.rid.get().expect("frame registered")
+    }
+}
+
+struct PoolInner {
+    store: Arc<dyn PageStore>,
+    resman: ResourceManager,
+    io: IoProfile,
+    frames: Mutex<HashMap<PageKey, Arc<Frame>>>,
+    metrics: MetricCounters,
+}
+
+/// The buffer pool for page-loadable structures.
+///
+/// Every loaded page is registered with the resource manager as a separate
+/// resource with [`Disposition::PagedAttribute`]; eviction (reactive or
+/// proactive) drops the frame and its transient data. Pinned pages (live
+/// [`PageGuard`]s) are never evicted.
+///
+/// Note on concurrency: the frame map lock is held across the store read on
+/// a miss, so concurrent loads serialize. This matches the experiments'
+/// single-query-stream workloads; a production pool would use per-key load
+/// states.
+#[derive(Clone)]
+pub struct BufferPool {
+    inner: Arc<PoolInner>,
+}
+
+impl BufferPool {
+    /// Creates a pool over `store`, registering loads with `resman`.
+    pub fn new(store: Arc<dyn PageStore>, resman: ResourceManager) -> Self {
+        Self::with_io_profile(store, resman, IoProfile::NONE)
+    }
+
+    /// Creates a pool that applies `io` latency on every page load.
+    pub fn with_io_profile(
+        store: Arc<dyn PageStore>,
+        resman: ResourceManager,
+        io: IoProfile,
+    ) -> Self {
+        BufferPool {
+            inner: Arc::new(PoolInner {
+                store,
+                resman,
+                io,
+                frames: Mutex::new(HashMap::new()),
+                metrics: MetricCounters::default(),
+            }),
+        }
+    }
+
+    /// The underlying page store.
+    pub fn store(&self) -> &Arc<dyn PageStore> {
+        &self.inner.store
+    }
+
+    /// The resource manager this pool registers loads with.
+    pub fn resource_manager(&self) -> &ResourceManager {
+        &self.inner.resman
+    }
+
+    /// Pins a page, loading it on a miss. The returned guard keeps the page
+    /// resident until dropped.
+    pub fn pin(&self, key: PageKey) -> StorageResult<PageGuard> {
+        let mut frames = self.inner.frames.lock();
+        if let Some(frame) = frames.get(&key) {
+            let frame = Arc::clone(frame);
+            if self.inner.resman.pin(frame.rid()) {
+                self.inner.metrics.hits.fetch_add(1, Ordering::Relaxed);
+                return Ok(PageGuard { frame, pool: Arc::clone(&self.inner) });
+            }
+            // The resource was evicted between the handler firing and us
+            // observing the map: drop the stale frame and reload below.
+            frames.remove(&key);
+        }
+        // Miss: load while holding the map lock (see type docs).
+        self.inner.io.apply_read();
+        let data = self.inner.store.read_page(key)?;
+        self.inner.metrics.loads.fetch_add(1, Ordering::Relaxed);
+        self.inner
+            .metrics
+            .bytes_loaded
+            .fetch_add(data.len() as u64, Ordering::Relaxed);
+        let frame = Arc::new(Frame {
+            key,
+            data,
+            rid: OnceLock::new(),
+            transient: RwLock::new(None),
+            transient_bytes: AtomicUsize::new(0),
+        });
+        let pool_weak: Weak<PoolInner> = Arc::downgrade(&self.inner);
+        let frame_weak: Weak<Frame> = Arc::downgrade(&frame);
+        let rid = self.inner.resman.register_pinned(
+            frame.data.len(),
+            Disposition::PagedAttribute,
+            move || {
+                let (Some(pool), Some(frame)) = (pool_weak.upgrade(), frame_weak.upgrade()) else {
+                    return;
+                };
+                let mut frames = pool.frames.lock();
+                // Only remove the exact frame this resource backs; a newer
+                // frame may already occupy the key.
+                if frames
+                    .get(&frame.key)
+                    .is_some_and(|cur| Arc::ptr_eq(cur, &frame))
+                {
+                    frames.remove(&frame.key);
+                }
+                *frame.transient.write() = None;
+            },
+        );
+        frame.rid.set(rid).expect("rid set once");
+        frames.insert(key, Arc::clone(&frame));
+        Ok(PageGuard { frame, pool: Arc::clone(&self.inner) })
+    }
+
+    /// True when the page is currently resident (regardless of pins).
+    pub fn is_resident(&self, key: PageKey) -> bool {
+        self.inner.frames.lock().contains_key(&key)
+    }
+
+    /// Number of resident frames.
+    pub fn resident_pages(&self) -> usize {
+        self.inner.frames.lock().len()
+    }
+
+    /// Drops every unpinned frame, deregistering its resource. Pinned frames
+    /// survive. Used to simulate a cold restart between experiment runs.
+    pub fn clear(&self) {
+        let mut frames = self.inner.frames.lock();
+        frames.retain(|_, frame| {
+            // Strong count > 1 means live guards exist (the map holds one
+            // reference; eviction closures hold only weak ones).
+            if Arc::strong_count(frame) > 1 {
+                return true;
+            }
+            self.inner.resman.deregister(frame.rid());
+            *frame.transient.write() = None;
+            false
+        });
+    }
+
+    /// Pool activity counters.
+    pub fn metrics(&self) -> PoolMetrics {
+        self.inner.metrics.snapshot()
+    }
+}
+
+/// RAII pin on one page. Dereferences to the page bytes. While any guard for
+/// a page is alive, the resource manager will not evict it (§3.1.2: "pins
+/// the page in memory to make sure the page does not get evicted by the
+/// resource manager when it is being read").
+pub struct PageGuard {
+    frame: Arc<Frame>,
+    pool: Arc<PoolInner>,
+}
+
+impl PageGuard {
+    /// The page's address.
+    pub fn key(&self) -> PageKey {
+        self.frame.key
+    }
+
+    /// The page bytes.
+    pub fn bytes(&self) -> &[u8] {
+        &self.frame.data
+    }
+
+    /// Returns the page's transient structure, building it on first access.
+    ///
+    /// `build` receives the page bytes and returns the structure plus its
+    /// heap size in bytes; the size is added to the page resource's
+    /// accounting (transient data is charged to the paged pool, §3.2.1).
+    /// The structure is destroyed when the page is evicted and rebuilt on
+    /// the next load.
+    pub fn transient_or_build<T, F>(&self, build: F) -> StorageResult<Arc<T>>
+    where
+        T: Any + Send + Sync,
+        F: FnOnce(&[u8]) -> StorageResult<(T, usize)>,
+    {
+        {
+            let read = self.frame.transient.read();
+            if let Some(t) = read.as_ref() {
+                return Ok(Arc::clone(t)
+                    .downcast::<T>()
+                    .expect("transient type is stable per page"));
+            }
+        }
+        let mut write = self.frame.transient.write();
+        if let Some(t) = write.as_ref() {
+            return Ok(Arc::clone(t)
+                .downcast::<T>()
+                .expect("transient type is stable per page"));
+        }
+        let (value, bytes) = build(&self.frame.data)?;
+        let arc: Arc<T> = Arc::new(value);
+        *write = Some(arc.clone());
+        self.frame.transient_bytes.store(bytes, Ordering::Relaxed);
+        self.pool
+            .resman
+            .resize(self.frame.rid(), self.frame.data.len() + bytes);
+        Ok(arc)
+    }
+
+    /// Marks the page as recently used without re-pinning.
+    pub fn touch(&self) {
+        self.pool.resman.touch(self.frame.rid());
+    }
+}
+
+impl Deref for PageGuard {
+    type Target = [u8];
+
+    fn deref(&self) -> &[u8] {
+        &self.frame.data
+    }
+}
+
+impl Clone for PageGuard {
+    fn clone(&self) -> Self {
+        // A clone is another pin; pin can only fail for evicted resources
+        // and a live guard prevents eviction.
+        assert!(self.pool.resman.pin(self.frame.rid()), "pinned frame cannot vanish");
+        PageGuard { frame: Arc::clone(&self.frame), pool: Arc::clone(&self.pool) }
+    }
+}
+
+impl Drop for PageGuard {
+    fn drop(&mut self) {
+        self.pool.resman.unpin(self.frame.rid());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{ChainId, MemStore};
+    use payg_resman::PoolLimits;
+
+    fn pool_with_pages(n: u64, page_size: usize) -> (BufferPool, ChainId) {
+        let store = MemStore::new();
+        let chain = store.create_chain(page_size).unwrap();
+        for i in 0..n {
+            store.append_page(chain, &[i as u8; 8]).unwrap();
+        }
+        let pool = BufferPool::new(Arc::new(store), ResourceManager::new());
+        (pool, chain)
+    }
+
+    #[test]
+    fn pin_loads_once_then_hits() {
+        let (pool, chain) = pool_with_pages(3, 32);
+        let key = PageKey::new(chain, 1);
+        {
+            let g = pool.pin(key).unwrap();
+            assert_eq!(g[0], 1);
+            assert_eq!(g.key(), key);
+        }
+        let _g2 = pool.pin(key).unwrap();
+        let m = pool.metrics();
+        assert_eq!(m.loads, 1);
+        assert_eq!(m.hits, 1);
+        assert_eq!(m.bytes_loaded, 32);
+        assert_eq!(pool.resident_pages(), 1);
+    }
+
+    #[test]
+    fn loaded_pages_are_paged_resources() {
+        let (pool, chain) = pool_with_pages(2, 64);
+        let _a = pool.pin(PageKey::new(chain, 0)).unwrap();
+        let _b = pool.pin(PageKey::new(chain, 1)).unwrap();
+        let stats = pool.resource_manager().stats();
+        assert_eq!(stats.paged_bytes, 128);
+        assert_eq!(stats.paged_count, 2);
+    }
+
+    #[test]
+    fn eviction_drops_unpinned_frames_but_not_pinned() {
+        let store = MemStore::new();
+        let chain = store.create_chain(64).unwrap();
+        for i in 0..4 {
+            store.append_page(chain, &[i as u8]).unwrap();
+        }
+        let resman = ResourceManager::with_paged_limits(PoolLimits::new(0, usize::MAX));
+        let pool = BufferPool::new(Arc::new(store), resman.clone());
+        let pinned = pool.pin(PageKey::new(chain, 0)).unwrap();
+        for i in 1..4 {
+            drop(pool.pin(PageKey::new(chain, i)).unwrap());
+        }
+        assert_eq!(pool.resident_pages(), 4);
+        // Reactive unload to the lower limit (0): everything unpinned goes.
+        let freed = resman.reactive_unload();
+        assert_eq!(freed, 3 * 64);
+        assert_eq!(pool.resident_pages(), 1);
+        assert!(pool.is_resident(PageKey::new(chain, 0)));
+        assert_eq!(pinned[0], 0, "pinned page still readable");
+        drop(pinned);
+        assert_eq!(resman.reactive_unload(), 64);
+        assert_eq!(pool.resident_pages(), 0);
+        // Re-pinning reloads from the store.
+        let g = pool.pin(PageKey::new(chain, 0)).unwrap();
+        assert_eq!(g[0], 0);
+        assert_eq!(pool.metrics().loads, 5);
+    }
+
+    #[test]
+    fn transient_built_once_charged_and_dropped_on_evict() {
+        let store = MemStore::new();
+        let chain = store.create_chain(16).unwrap();
+        store.append_page(chain, &[7; 16]).unwrap();
+        let resman = ResourceManager::new();
+        resman.set_paged_limits(Some(PoolLimits::new(0, usize::MAX)));
+        let pool = BufferPool::new(Arc::new(store), resman.clone());
+        let key = PageKey::new(chain, 0);
+        let mut builds = 0;
+        {
+            let g = pool.pin(key).unwrap();
+            let t = g
+                .transient_or_build(|bytes| {
+                    builds += 1;
+                    Ok((bytes.iter().map(|&b| b as usize).sum::<usize>(), 100))
+                })
+                .unwrap();
+            assert_eq!(*t, 7 * 16);
+            // Transient bytes charged on top of the page bytes.
+            assert_eq!(resman.stats().paged_bytes, 16 + 100);
+            let t2 = g
+                .transient_or_build(|_| -> StorageResult<(usize, usize)> {
+                    panic!("must not rebuild while loaded")
+                })
+                .unwrap();
+            assert_eq!(*t2, *t);
+        }
+        assert_eq!(builds, 1);
+        resman.reactive_unload();
+        assert_eq!(resman.stats().paged_bytes, 0);
+        // Reload: the transient is rebuilt.
+        let g = pool.pin(key).unwrap();
+        let t = g.transient_or_build(|_| Ok((1usize, 0))).unwrap();
+        assert_eq!(*t, 1);
+    }
+
+    #[test]
+    fn clear_simulates_cold_restart() {
+        let (pool, chain) = pool_with_pages(3, 32);
+        let keep = pool.pin(PageKey::new(chain, 2)).unwrap();
+        for i in 0..2 {
+            drop(pool.pin(PageKey::new(chain, i)).unwrap());
+        }
+        pool.clear();
+        assert_eq!(pool.resident_pages(), 1, "pinned page survives clear");
+        assert_eq!(pool.resource_manager().stats().paged_count, 1);
+        drop(keep);
+        pool.clear();
+        assert_eq!(pool.resident_pages(), 0);
+        assert_eq!(pool.resource_manager().stats().total_bytes, 0);
+    }
+
+    #[test]
+    fn read_errors_surface_as_err() {
+        let store = crate::FaultyStore::new(MemStore::new(), crate::FaultPlan::None);
+        let chain = store.create_chain(8).unwrap();
+        store.append_page(chain, b"x").unwrap();
+        store.set_plan(crate::FaultPlan::EveryNthRead(1));
+        let pool = BufferPool::new(Arc::new(store), ResourceManager::new());
+        assert!(pool.pin(PageKey::new(chain, 0)).is_err());
+        assert_eq!(pool.resident_pages(), 0, "failed load leaves no frame");
+    }
+
+    #[test]
+    fn guard_clone_holds_second_pin() {
+        let (pool, chain) = pool_with_pages(1, 16);
+        let resman = pool.resource_manager().clone();
+        resman.set_paged_limits(Some(PoolLimits::new(0, usize::MAX)));
+        let g1 = pool.pin(PageKey::new(chain, 0)).unwrap();
+        let g2 = g1.clone();
+        drop(g1);
+        // Still pinned through g2: reactive unload cannot evict it.
+        assert_eq!(resman.reactive_unload(), 0);
+        assert!(pool.is_resident(PageKey::new(chain, 0)));
+        drop(g2);
+        assert_eq!(resman.reactive_unload(), 16);
+    }
+}

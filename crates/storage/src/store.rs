@@ -1,0 +1,613 @@
+//! Page stores: durable (file-backed) and in-memory, plus fault injection.
+
+use crate::{ChainId, PageKey, StorageError, StorageResult};
+use parking_lot::Mutex;
+use std::collections::HashMap;
+use std::fs::{File, OpenOptions};
+use std::io::{Read, Seek, SeekFrom, Write};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Duration;
+
+/// A store of page chains. Pages are fixed-size raw byte arrays; all layout
+/// (headers, counts, offsets) is the responsibility of the structures
+/// persisted on top.
+pub trait PageStore: Send + Sync {
+    /// Creates a new, empty chain whose pages are `page_size` bytes.
+    fn create_chain(&self, page_size: usize) -> StorageResult<ChainId>;
+    /// Appends a page. `payload` may be shorter than the page size (it is
+    /// zero-padded) but never longer. Returns the new logical page number.
+    fn append_page(&self, chain: ChainId, payload: &[u8]) -> StorageResult<u64>;
+    /// Reads one full page.
+    fn read_page(&self, key: PageKey) -> StorageResult<Box<[u8]>>;
+    /// Number of pages in the chain.
+    fn chain_len(&self, chain: ChainId) -> StorageResult<u64>;
+    /// The chain's page size in bytes.
+    fn page_size(&self, chain: ChainId) -> StorageResult<usize>;
+    /// Deletes a chain and its pages.
+    fn drop_chain(&self, chain: ChainId) -> StorageResult<()>;
+    /// All existing chains (used when reopening a durable store).
+    fn chains(&self) -> Vec<ChainId>;
+}
+
+/// Synthetic I/O latency applied by the buffer pool on every page load.
+///
+/// On this reproduction's hardware the file store is served from the OS page
+/// cache, so the paper's load-cost ≫ memory-access-cost gap would vanish;
+/// experiments set a per-load latency to model cold storage. The default is
+/// zero (no simulation).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct IoProfile {
+    /// Added to every page load (buffer-pool miss).
+    pub read_latency: Duration,
+}
+
+impl IoProfile {
+    /// No synthetic latency.
+    pub const NONE: IoProfile = IoProfile { read_latency: Duration::ZERO };
+
+    /// A profile with the given per-read latency.
+    pub fn with_read_latency(read_latency: Duration) -> Self {
+        IoProfile { read_latency }
+    }
+
+    /// Blocks for the configured read latency.
+    pub fn apply_read(&self) {
+        if !self.read_latency.is_zero() {
+            std::thread::sleep(self.read_latency);
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// In-memory store
+// ---------------------------------------------------------------------------
+
+struct MemChain {
+    page_size: usize,
+    pages: Vec<Box<[u8]>>,
+}
+
+/// An in-memory page store for tests and latency-controlled experiments.
+#[derive(Default)]
+pub struct MemStore {
+    chains: Mutex<HashMap<u64, MemChain>>,
+    next_id: AtomicU64,
+}
+
+impl MemStore {
+    /// Creates an empty store.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+impl PageStore for MemStore {
+    fn create_chain(&self, page_size: usize) -> StorageResult<ChainId> {
+        assert!(page_size > 0, "page size must be positive");
+        let id = self.next_id.fetch_add(1, Ordering::Relaxed);
+        self.chains
+            .lock()
+            .insert(id, MemChain { page_size, pages: Vec::new() });
+        Ok(ChainId(id))
+    }
+
+    fn append_page(&self, chain: ChainId, payload: &[u8]) -> StorageResult<u64> {
+        let mut chains = self.chains.lock();
+        let c = chains.get_mut(&chain.0).ok_or(StorageError::UnknownChain(chain.0))?;
+        if payload.len() > c.page_size {
+            return Err(StorageError::PageTooLarge { got: payload.len(), page_size: c.page_size });
+        }
+        let mut page = vec![0u8; c.page_size];
+        page[..payload.len()].copy_from_slice(payload);
+        c.pages.push(page.into_boxed_slice());
+        Ok(c.pages.len() as u64 - 1)
+    }
+
+    fn read_page(&self, key: PageKey) -> StorageResult<Box<[u8]>> {
+        let chains = self.chains.lock();
+        let c = chains
+            .get(&key.chain.0)
+            .ok_or(StorageError::UnknownChain(key.chain.0))?;
+        c.pages
+            .get(key.page_no as usize)
+            .cloned()
+            .ok_or(StorageError::PageOutOfBounds { key, chain_len: c.pages.len() as u64 })
+    }
+
+    fn chain_len(&self, chain: ChainId) -> StorageResult<u64> {
+        let chains = self.chains.lock();
+        let c = chains.get(&chain.0).ok_or(StorageError::UnknownChain(chain.0))?;
+        Ok(c.pages.len() as u64)
+    }
+
+    fn page_size(&self, chain: ChainId) -> StorageResult<usize> {
+        let chains = self.chains.lock();
+        let c = chains.get(&chain.0).ok_or(StorageError::UnknownChain(chain.0))?;
+        Ok(c.page_size)
+    }
+
+    fn drop_chain(&self, chain: ChainId) -> StorageResult<()> {
+        self.chains
+            .lock()
+            .remove(&chain.0)
+            .map(|_| ())
+            .ok_or(StorageError::UnknownChain(chain.0))
+    }
+
+    fn chains(&self) -> Vec<ChainId> {
+        let mut v: Vec<ChainId> = self.chains.lock().keys().map(|&k| ChainId(k)).collect();
+        v.sort_unstable();
+        v
+    }
+}
+
+// ---------------------------------------------------------------------------
+// File-backed store
+// ---------------------------------------------------------------------------
+
+const FILE_MAGIC: &[u8; 8] = b"PAYGPG01";
+const HEADER_LEN: u64 = 16; // magic(8) + page_size(4) + reserved(4)
+
+struct ChainFile {
+    file: File,
+    page_size: usize,
+    len: u64,
+}
+
+/// A durable page store: one file per chain under a directory. Reopening the
+/// directory recovers all chains — this is what cold-restart experiments use.
+pub struct FileStore {
+    dir: PathBuf,
+    chains: Mutex<HashMap<u64, ChainFile>>,
+    next_id: AtomicU64,
+}
+
+impl FileStore {
+    /// Opens (creating if needed) a store rooted at `dir`, recovering any
+    /// existing chains.
+    pub fn open(dir: impl Into<PathBuf>) -> StorageResult<Self> {
+        let dir = dir.into();
+        std::fs::create_dir_all(&dir)?;
+        let mut chains = HashMap::new();
+        let mut max_id = 0u64;
+        for entry in std::fs::read_dir(&dir)? {
+            let entry = entry?;
+            let name = entry.file_name();
+            let Some(name) = name.to_str() else { continue };
+            let Some(hex) = name.strip_prefix("chain_").and_then(|s| s.strip_suffix(".pg")) else {
+                continue;
+            };
+            let Ok(id) = u64::from_str_radix(hex, 16) else { continue };
+            let mut file = OpenOptions::new().read(true).write(true).open(entry.path())?;
+            let mut header = [0u8; HEADER_LEN as usize];
+            file.seek(SeekFrom::Start(0))?;
+            file.read_exact(&mut header)?;
+            if &header[..8] != FILE_MAGIC {
+                return Err(StorageError::Corrupt(format!("bad magic in {name}")));
+            }
+            let page_size = u32::from_le_bytes(header[8..12].try_into().unwrap()) as usize;
+            if page_size == 0 {
+                return Err(StorageError::Corrupt(format!("zero page size in {name}")));
+            }
+            let file_len = file.metadata()?.len();
+            let body = file_len.saturating_sub(HEADER_LEN);
+            if body % page_size as u64 != 0 {
+                return Err(StorageError::Corrupt(format!(
+                    "{name}: body of {body} bytes is not a multiple of page size {page_size}"
+                )));
+            }
+            max_id = max_id.max(id);
+            chains.insert(id, ChainFile { file, page_size, len: body / page_size as u64 });
+        }
+        Ok(FileStore {
+            dir,
+            chains: Mutex::new(chains),
+            next_id: AtomicU64::new(max_id + 1),
+        })
+    }
+
+    fn chain_path(&self, id: u64) -> PathBuf {
+        self.dir.join(format!("chain_{id:016x}.pg"))
+    }
+}
+
+impl PageStore for FileStore {
+    fn create_chain(&self, page_size: usize) -> StorageResult<ChainId> {
+        assert!(page_size > 0, "page size must be positive");
+        let id = self.next_id.fetch_add(1, Ordering::Relaxed);
+        let mut file = OpenOptions::new()
+            .read(true)
+            .write(true)
+            .create_new(true)
+            .open(self.chain_path(id))?;
+        let mut header = [0u8; HEADER_LEN as usize];
+        header[..8].copy_from_slice(FILE_MAGIC);
+        header[8..12].copy_from_slice(&(page_size as u32).to_le_bytes());
+        file.write_all(&header)?;
+        self.chains
+            .lock()
+            .insert(id, ChainFile { file, page_size, len: 0 });
+        Ok(ChainId(id))
+    }
+
+    fn append_page(&self, chain: ChainId, payload: &[u8]) -> StorageResult<u64> {
+        let mut chains = self.chains.lock();
+        let c = chains.get_mut(&chain.0).ok_or(StorageError::UnknownChain(chain.0))?;
+        if payload.len() > c.page_size {
+            return Err(StorageError::PageTooLarge { got: payload.len(), page_size: c.page_size });
+        }
+        let mut page = vec![0u8; c.page_size];
+        page[..payload.len()].copy_from_slice(payload);
+        let offset = HEADER_LEN + c.len * c.page_size as u64;
+        c.file.seek(SeekFrom::Start(offset))?;
+        c.file.write_all(&page)?;
+        c.len += 1;
+        Ok(c.len - 1)
+    }
+
+    fn read_page(&self, key: PageKey) -> StorageResult<Box<[u8]>> {
+        let mut chains = self.chains.lock();
+        let c = chains
+            .get_mut(&key.chain.0)
+            .ok_or(StorageError::UnknownChain(key.chain.0))?;
+        if key.page_no >= c.len {
+            return Err(StorageError::PageOutOfBounds { key, chain_len: c.len });
+        }
+        let mut buf = vec![0u8; c.page_size];
+        let offset = HEADER_LEN + key.page_no * c.page_size as u64;
+        c.file.seek(SeekFrom::Start(offset))?;
+        c.file.read_exact(&mut buf)?;
+        Ok(buf.into_boxed_slice())
+    }
+
+    fn chain_len(&self, chain: ChainId) -> StorageResult<u64> {
+        let chains = self.chains.lock();
+        let c = chains.get(&chain.0).ok_or(StorageError::UnknownChain(chain.0))?;
+        Ok(c.len)
+    }
+
+    fn page_size(&self, chain: ChainId) -> StorageResult<usize> {
+        let chains = self.chains.lock();
+        let c = chains.get(&chain.0).ok_or(StorageError::UnknownChain(chain.0))?;
+        Ok(c.page_size)
+    }
+
+    fn drop_chain(&self, chain: ChainId) -> StorageResult<()> {
+        let removed = self.chains.lock().remove(&chain.0);
+        if removed.is_none() {
+            return Err(StorageError::UnknownChain(chain.0));
+        }
+        std::fs::remove_file(self.chain_path(chain.0))?;
+        Ok(())
+    }
+
+    fn chains(&self) -> Vec<ChainId> {
+        let mut v: Vec<ChainId> = self.chains.lock().keys().map(|&k| ChainId(k)).collect();
+        v.sort_unstable();
+        v
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Latency injection
+// ---------------------------------------------------------------------------
+
+/// A [`PageStore`] decorator that adds a fixed latency to every page read —
+/// the experiments' model of cold storage (this machine's files sit in the
+/// OS page cache, which would erase the paper's load-cost ≫ memory-access
+/// gap). Both piecewise page loads *and* full-column loads pay it, keeping
+/// the comparison fair.
+pub struct LatencyStore<S> {
+    inner: S,
+    read_latency: Duration,
+}
+
+impl<S: PageStore> LatencyStore<S> {
+    /// Wraps `inner`, delaying every read by `read_latency`.
+    pub fn new(inner: S, read_latency: Duration) -> Self {
+        LatencyStore { inner, read_latency }
+    }
+}
+
+impl<S: PageStore> PageStore for LatencyStore<S> {
+    fn create_chain(&self, page_size: usize) -> StorageResult<ChainId> {
+        self.inner.create_chain(page_size)
+    }
+    fn append_page(&self, chain: ChainId, payload: &[u8]) -> StorageResult<u64> {
+        self.inner.append_page(chain, payload)
+    }
+    fn read_page(&self, key: PageKey) -> StorageResult<Box<[u8]>> {
+        if !self.read_latency.is_zero() {
+            std::thread::sleep(self.read_latency);
+        }
+        self.inner.read_page(key)
+    }
+    fn chain_len(&self, chain: ChainId) -> StorageResult<u64> {
+        self.inner.chain_len(chain)
+    }
+    fn page_size(&self, chain: ChainId) -> StorageResult<usize> {
+        self.inner.page_size(chain)
+    }
+    fn drop_chain(&self, chain: ChainId) -> StorageResult<()> {
+        self.inner.drop_chain(chain)
+    }
+    fn chains(&self) -> Vec<ChainId> {
+        self.inner.chains()
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Tiered storage (SCM simulation)
+// ---------------------------------------------------------------------------
+
+/// A two-tier [`PageStore`]: chains placed on the *fast* tier read with the
+/// fast latency, everything else with the slow latency.
+///
+/// This simulates the paper's §8 Storage Class Memory direction: moving
+/// latency-sensitive, rebuildable structures — the inverted indexes and the
+/// sparse helper dictionaries — onto byte-addressable persistent memory
+/// with near-DRAM read latency, while bulk data stays on slow storage.
+pub struct TieredStore<S> {
+    inner: S,
+    fast_latency: Duration,
+    slow_latency: Duration,
+    fast_chains: Mutex<std::collections::HashSet<u64>>,
+}
+
+impl<S: PageStore> TieredStore<S> {
+    /// Wraps `inner` with the two tier latencies. New chains start on the
+    /// slow tier.
+    pub fn new(inner: S, fast_latency: Duration, slow_latency: Duration) -> Self {
+        TieredStore {
+            inner,
+            fast_latency,
+            slow_latency,
+            fast_chains: Mutex::new(std::collections::HashSet::new()),
+        }
+    }
+
+    /// Places a chain on the fast (SCM) tier.
+    pub fn place_on_fast_tier(&self, chain: ChainId) {
+        self.fast_chains.lock().insert(chain.0);
+    }
+
+    /// Moves a chain back to the slow tier.
+    pub fn place_on_slow_tier(&self, chain: ChainId) {
+        self.fast_chains.lock().remove(&chain.0);
+    }
+
+    /// True when the chain reads at the fast latency.
+    pub fn is_fast(&self, chain: ChainId) -> bool {
+        self.fast_chains.lock().contains(&chain.0)
+    }
+}
+
+impl<S: PageStore> PageStore for TieredStore<S> {
+    fn create_chain(&self, page_size: usize) -> StorageResult<ChainId> {
+        self.inner.create_chain(page_size)
+    }
+    fn append_page(&self, chain: ChainId, payload: &[u8]) -> StorageResult<u64> {
+        self.inner.append_page(chain, payload)
+    }
+    fn read_page(&self, key: PageKey) -> StorageResult<Box<[u8]>> {
+        let latency = if self.is_fast(key.chain) { self.fast_latency } else { self.slow_latency };
+        if !latency.is_zero() {
+            std::thread::sleep(latency);
+        }
+        self.inner.read_page(key)
+    }
+    fn chain_len(&self, chain: ChainId) -> StorageResult<u64> {
+        self.inner.chain_len(chain)
+    }
+    fn page_size(&self, chain: ChainId) -> StorageResult<usize> {
+        self.inner.page_size(chain)
+    }
+    fn drop_chain(&self, chain: ChainId) -> StorageResult<()> {
+        self.fast_chains.lock().remove(&chain.0);
+        self.inner.drop_chain(chain)
+    }
+    fn chains(&self) -> Vec<ChainId> {
+        self.inner.chains()
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Fault injection
+// ---------------------------------------------------------------------------
+
+/// When the wrapped store should fail reads.
+#[derive(Debug, Clone)]
+pub enum FaultPlan {
+    /// Never fail (pass-through).
+    None,
+    /// Fail every `n`-th read (1-based: `n == 1` fails every read).
+    EveryNthRead(u64),
+    /// Fail reads of specific pages.
+    Pages(Vec<PageKey>),
+    /// Fail all reads after the first `n` succeed.
+    AfterReads(u64),
+}
+
+/// A [`PageStore`] decorator that injects read faults per a [`FaultPlan`].
+/// Writes always pass through.
+pub struct FaultyStore<S> {
+    inner: S,
+    plan: Mutex<FaultPlan>,
+    reads: AtomicU64,
+}
+
+impl<S: PageStore> FaultyStore<S> {
+    /// Wraps `inner` with the given plan.
+    pub fn new(inner: S, plan: FaultPlan) -> Self {
+        FaultyStore { inner, plan: Mutex::new(plan), reads: AtomicU64::new(0) }
+    }
+
+    /// Replaces the fault plan.
+    pub fn set_plan(&self, plan: FaultPlan) {
+        *self.plan.lock() = plan;
+    }
+
+    /// Number of read attempts observed (including failed ones).
+    pub fn reads(&self) -> u64 {
+        self.reads.load(Ordering::Relaxed)
+    }
+}
+
+impl<S: PageStore> PageStore for FaultyStore<S> {
+    fn create_chain(&self, page_size: usize) -> StorageResult<ChainId> {
+        self.inner.create_chain(page_size)
+    }
+    fn append_page(&self, chain: ChainId, payload: &[u8]) -> StorageResult<u64> {
+        self.inner.append_page(chain, payload)
+    }
+    fn read_page(&self, key: PageKey) -> StorageResult<Box<[u8]>> {
+        let n = self.reads.fetch_add(1, Ordering::Relaxed) + 1;
+        let fail = match &*self.plan.lock() {
+            FaultPlan::None => false,
+            FaultPlan::EveryNthRead(k) => *k > 0 && n.is_multiple_of(*k),
+            FaultPlan::Pages(keys) => keys.contains(&key),
+            FaultPlan::AfterReads(k) => n > *k,
+        };
+        if fail {
+            return Err(StorageError::InjectedFault(key));
+        }
+        self.inner.read_page(key)
+    }
+    fn chain_len(&self, chain: ChainId) -> StorageResult<u64> {
+        self.inner.chain_len(chain)
+    }
+    fn page_size(&self, chain: ChainId) -> StorageResult<usize> {
+        self.inner.page_size(chain)
+    }
+    fn drop_chain(&self, chain: ChainId) -> StorageResult<()> {
+        self.inner.drop_chain(chain)
+    }
+    fn chains(&self) -> Vec<ChainId> {
+        self.inner.chains()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn exercise_store(store: &dyn PageStore) {
+        let c = store.create_chain(64).unwrap();
+        assert_eq!(store.page_size(c).unwrap(), 64);
+        assert_eq!(store.chain_len(c).unwrap(), 0);
+        let p0 = store.append_page(c, b"hello").unwrap();
+        let p1 = store.append_page(c, &[0xAB; 64]).unwrap();
+        assert_eq!((p0, p1), (0, 1));
+        assert_eq!(store.chain_len(c).unwrap(), 2);
+        let page = store.read_page(PageKey::new(c, 0)).unwrap();
+        assert_eq!(&page[..5], b"hello");
+        assert!(page[5..].iter().all(|&b| b == 0), "padded with zeros");
+        let page = store.read_page(PageKey::new(c, 1)).unwrap();
+        assert!(page.iter().all(|&b| b == 0xAB));
+        // Bounds and size violations.
+        assert!(matches!(
+            store.read_page(PageKey::new(c, 2)),
+            Err(StorageError::PageOutOfBounds { .. })
+        ));
+        assert!(matches!(
+            store.append_page(c, &[0; 65]),
+            Err(StorageError::PageTooLarge { .. })
+        ));
+        store.drop_chain(c).unwrap();
+        assert!(matches!(store.chain_len(c), Err(StorageError::UnknownChain(_))));
+    }
+
+    #[test]
+    fn mem_store_basics() {
+        exercise_store(&MemStore::new());
+    }
+
+    #[test]
+    fn file_store_basics() {
+        let dir = std::env::temp_dir().join(format!("payg-store-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        exercise_store(&FileStore::open(&dir).unwrap());
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn file_store_reopens_chains() {
+        let dir = std::env::temp_dir().join(format!("payg-reopen-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let (c1, c2);
+        {
+            let store = FileStore::open(&dir).unwrap();
+            c1 = store.create_chain(32).unwrap();
+            c2 = store.create_chain(128).unwrap();
+            store.append_page(c1, b"one").unwrap();
+            store.append_page(c1, b"two").unwrap();
+            store.append_page(c2, b"big page").unwrap();
+        }
+        let store = FileStore::open(&dir).unwrap();
+        assert_eq!(store.chains(), vec![c1, c2]);
+        assert_eq!(store.chain_len(c1).unwrap(), 2);
+        assert_eq!(store.page_size(c2).unwrap(), 128);
+        assert_eq!(&store.read_page(PageKey::new(c1, 1)).unwrap()[..3], b"two");
+        // New chains after reopen don't collide with recovered ids.
+        let c3 = store.create_chain(32).unwrap();
+        assert!(c3.0 > c2.0);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn faulty_store_injects_per_plan() {
+        let store = FaultyStore::new(MemStore::new(), FaultPlan::None);
+        let c = store.create_chain(16).unwrap();
+        store.append_page(c, b"x").unwrap();
+        let key = PageKey::new(c, 0);
+        assert!(store.read_page(key).is_ok());
+        store.set_plan(FaultPlan::EveryNthRead(2));
+        assert!(store.read_page(key).is_err()); // read #2
+        assert!(store.read_page(key).is_ok()); // read #3
+        store.set_plan(FaultPlan::Pages(vec![key]));
+        assert!(matches!(store.read_page(key), Err(StorageError::InjectedFault(k)) if k == key));
+        store.set_plan(FaultPlan::AfterReads(5));
+        assert!(store.read_page(key).is_ok()); // read #5
+        assert!(store.read_page(key).is_err()); // read #6
+        assert_eq!(store.reads(), 6);
+    }
+
+    #[test]
+    fn tiered_store_places_chains_per_tier() {
+        use std::time::Instant;
+        let store = TieredStore::new(
+            MemStore::new(),
+            Duration::ZERO,
+            Duration::from_millis(3),
+        );
+        let fast = store.create_chain(16).unwrap();
+        let slow = store.create_chain(16).unwrap();
+        store.append_page(fast, b"f").unwrap();
+        store.append_page(slow, b"s").unwrap();
+        store.place_on_fast_tier(fast);
+        assert!(store.is_fast(fast));
+        assert!(!store.is_fast(slow));
+        let t0 = Instant::now();
+        store.read_page(PageKey::new(fast, 0)).unwrap();
+        let fast_t = t0.elapsed();
+        let t1 = Instant::now();
+        store.read_page(PageKey::new(slow, 0)).unwrap();
+        let slow_t = t1.elapsed();
+        assert!(slow_t > fast_t, "slow tier must pay its latency ({slow_t:?} vs {fast_t:?})");
+        assert!(slow_t >= Duration::from_millis(3));
+        // Demote and the latency follows.
+        store.place_on_slow_tier(fast);
+        assert!(!store.is_fast(fast));
+    }
+
+    #[test]
+    fn file_store_rejects_corrupt_header() {
+        let dir = std::env::temp_dir().join(format!("payg-corrupt-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        std::fs::write(dir.join("chain_0000000000000001.pg"), b"NOTMAGIC00000000").unwrap();
+        assert!(matches!(FileStore::open(&dir), Err(StorageError::Corrupt(_))));
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+}

@@ -1,0 +1,67 @@
+//! Property tests for the storage layer: arbitrary chain contents round-trip
+//! through the pool under arbitrary interleavings of pins and evictions.
+
+use payg_resman::{PoolLimits, ResourceManager};
+use payg_storage::{BufferPool, ChainWriter, MemStore, PageKey, PageStore};
+use proptest::prelude::*;
+use std::sync::Arc;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Whatever the writer pushed comes back byte-identical through the
+    /// pool, no matter how reads interleave with evictions.
+    #[test]
+    fn chain_roundtrip_under_eviction(
+        pages in prop::collection::vec(prop::collection::vec(any::<u8>(), 1..64), 1..20),
+        page_size in 64usize..128,
+        ops in prop::collection::vec((any::<u16>(), any::<bool>()), 1..60),
+    ) {
+        let store: Arc<dyn PageStore> = Arc::new(MemStore::new());
+        let mut w = ChainWriter::new(Arc::clone(&store), page_size).unwrap();
+        for p in &pages {
+            w.push(p).unwrap();
+            w.finish_page().unwrap();
+        }
+        let chain = w.finish().unwrap();
+        prop_assert_eq!(chain.pages, pages.len() as u64);
+        let resman = ResourceManager::new();
+        resman.set_paged_limits(Some(PoolLimits::new(0, usize::MAX)));
+        let pool = BufferPool::new(store, resman.clone());
+        for (sel, evict) in ops {
+            let page_no = u64::from(sel) % chain.pages;
+            let guard = pool.pin(PageKey::new(chain.chain, page_no)).unwrap();
+            let expect = &pages[page_no as usize];
+            prop_assert_eq!(&guard[..expect.len()], expect.as_slice());
+            prop_assert!(guard[expect.len()..].iter().all(|&b| b == 0), "zero padding");
+            drop(guard);
+            if evict {
+                resman.reactive_unload();
+                prop_assert_eq!(resman.stats().paged_bytes, 0);
+            }
+        }
+    }
+
+    /// Pool metrics: loads + hits equals pin calls, and every load reads
+    /// exactly one page worth of bytes.
+    #[test]
+    fn pool_metrics_are_consistent(
+        n_pages in 1u64..12,
+        pins in prop::collection::vec(any::<u8>(), 1..80),
+    ) {
+        let store = MemStore::new();
+        let chain = store.create_chain(32).unwrap();
+        for i in 0..n_pages {
+            store.append_page(chain, &[i as u8]).unwrap();
+        }
+        let pool = BufferPool::new(Arc::new(store), ResourceManager::new());
+        for sel in &pins {
+            let key = PageKey::new(chain, u64::from(*sel) % n_pages);
+            let _ = pool.pin(key).unwrap();
+        }
+        let m = pool.metrics();
+        prop_assert_eq!(m.loads + m.hits, pins.len() as u64);
+        prop_assert_eq!(m.bytes_loaded, m.loads * 32);
+        prop_assert!(m.loads <= n_pages, "never more loads than distinct pages");
+    }
+}

@@ -1,0 +1,190 @@
+//! Data aging (paper §4).
+//!
+//! Aging-aware tables carry an artificial *temperature* column (the
+//! schema's partition column). The application marks a business object
+//! closed by setting that column to its close date — an ordinary update
+//! that, because it touches the partition column, deletes the row from its
+//! hot fragments and inserts it into the cold partition's delta (§4.2).
+//! The asynchronous delta merge later persists it as page-loadable main
+//! data. Cold data stays in the same table and remains visible to every
+//! query.
+//!
+//! Two administrative motions are provided on top of the DML:
+//!
+//! * [`AgingPolicy::close_rows`] — the application-side close: set the
+//!   temperature of selected rows, letting routing move them.
+//! * [`AgingPolicy::run`] — relocate rows left misplaced by a boundary
+//!   shift or a fresh `ADD PARTITION`, then (optionally) delta merge so
+//!   the moved rows become page-loadable main fragments.
+
+use crate::table::Table;
+use crate::TableResult;
+use payg_core::{Value, ValuePredicate};
+
+/// Policy driving aging motions for one table.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AgingPolicy {
+    /// The temperature column (must be the table's partition column).
+    pub temperature_column: String,
+    /// Run every partition's delta merge at the end of [`AgingPolicy::run`]
+    /// (the paper's merge is asynchronous; `true` models "merge happened").
+    pub merge_after: bool,
+}
+
+/// Statistics of one aging run.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct AgingRunStats {
+    /// Rows moved between partitions.
+    pub rows_moved: u64,
+}
+
+impl AgingPolicy {
+    /// The application-side close: sets the temperature of every row
+    /// matching `pred` on `filter_col` to `close_date`. Routing moves the
+    /// rows whose new temperature belongs to another partition — into that
+    /// partition's delta, without blocking other operations.
+    pub fn close_rows(
+        &self,
+        table: &mut Table,
+        filter_col: &str,
+        pred: &ValuePredicate,
+        close_date: &Value,
+    ) -> TableResult<u64> {
+        table.update_rows(filter_col, pred, &self.temperature_column, close_date)
+    }
+
+    /// The aging run: relocates rows misplaced by partition-range changes
+    /// and optionally merges so relocated rows become main data.
+    pub fn run(&self, table: &mut Table) -> TableResult<AgingRunStats> {
+        let rows_moved = table.relocate_misplaced()?;
+        if self.merge_after {
+            table.delta_merge_all()?;
+        }
+        Ok(AgingRunStats { rows_moved })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::partition::{PartitionId, PartitionRange, PartitionSpec};
+    use crate::query::{Projection, Query};
+    use crate::schema::{ColumnSpec, Schema};
+    use payg_core::{DataType, LoadPolicy, PageConfig};
+    use payg_resman::ResourceManager;
+    use payg_storage::{BufferPool, MemStore};
+    use std::sync::Arc;
+
+    fn orders() -> Table {
+        let schema = Schema::new(vec![
+            ColumnSpec::new("id", DataType::Integer),
+            ColumnSpec::new("item", DataType::Varchar),
+            ColumnSpec::new("close_date", DataType::Integer),
+        ])
+        .unwrap()
+        .with_primary_key("id")
+        .unwrap()
+        .with_partition_column("close_date")
+        .unwrap();
+        let pool = BufferPool::new(Arc::new(MemStore::new()), ResourceManager::new());
+        let mut t = Table::create(
+            pool,
+            PageConfig::tiny(),
+            schema,
+            vec![
+                PartitionSpec::hot("hot", PartitionRange::AtLeast(Value::Integer(2000))),
+                PartitionSpec::cold("cold", PartitionRange::Below(Value::Integer(2000))),
+            ],
+        )
+        .unwrap();
+        for i in 0..100i64 {
+            t.insert(vec![
+                Value::Integer(i),
+                Value::Varchar(format!("item-{}", i % 11)),
+                Value::Integer(1990 + i),
+            ])
+            .unwrap();
+        }
+        t.delta_merge_all().unwrap();
+        t
+    }
+
+    fn policy() -> AgingPolicy {
+        AgingPolicy { temperature_column: "close_date".into(), merge_after: true }
+    }
+
+    #[test]
+    fn closing_an_order_moves_it_to_cold() {
+        let mut t = orders();
+        // The application closes order 50 (hot, date 2040 → closed 1995).
+        let moved = policy()
+            .close_rows(
+                &mut t,
+                "id",
+                &ValuePredicate::Eq(Value::Integer(50)),
+                &Value::Integer(1995),
+            )
+            .unwrap();
+        assert_eq!(moved, 1);
+        // It is now in the cold partition's delta…
+        assert_eq!(t.partitions()[1].delta().visible_rows(), 1);
+        // …and still found by a point query, with the new date.
+        let q = Query::filtered(
+            "id",
+            ValuePredicate::Eq(Value::Integer(50)),
+            Projection::Columns(vec!["close_date".into()]),
+        );
+        assert_eq!(
+            t.execute(&q).unwrap().into_rows(),
+            vec![vec![Value::Integer(1995)]]
+        );
+        // After the aging run (merge) it is page-loadable main data.
+        policy().run(&mut t).unwrap();
+        assert_eq!(t.partitions()[1].delta().visible_rows(), 0);
+        assert_eq!(
+            t.partitions()[1].main().column(0).policy(),
+            LoadPolicy::PageLoadable
+        );
+        assert_eq!(t.execute(&Query::full(Projection::Count)).unwrap().count(), 100);
+    }
+
+    #[test]
+    fn boundary_shift_relocates_misplaced_rows() {
+        let mut t = orders();
+        // Initially: dates 1990..1999 cold (10 rows), 2000..2089 hot (90).
+        assert_eq!(t.partitions()[0].visible_rows(), 90);
+        assert_eq!(t.partitions()[1].visible_rows(), 10);
+        // Shift the hot boundary: everything before 2050 is now cold.
+        t.set_partition_range(
+            PartitionId(0),
+            PartitionRange::AtLeast(Value::Integer(2050)),
+        );
+        t.set_partition_range(PartitionId(1), PartitionRange::Below(Value::Integer(2050)));
+        let stats = policy().run(&mut t).unwrap();
+        assert_eq!(stats.rows_moved, 50, "dates 2000..2049 relocate to cold");
+        assert_eq!(t.partitions()[0].visible_rows(), 40);
+        assert_eq!(t.partitions()[1].visible_rows(), 60);
+        // Nothing is lost and a second run is a no-op.
+        assert_eq!(t.execute(&Query::full(Projection::Count)).unwrap().count(), 100);
+        assert_eq!(policy().run(&mut t).unwrap().rows_moved, 0);
+    }
+
+    #[test]
+    fn add_partition_then_relocate() {
+        let mut t = orders();
+        // Narrow the cold partition and add a deep-cold one below 1995.
+        t.set_partition_range(
+            PartitionId(1),
+            PartitionRange::Between(Value::Integer(1995), Value::Integer(2000)),
+        );
+        t.add_partition(PartitionSpec::cold(
+            "deep-cold",
+            PartitionRange::Below(Value::Integer(1995)),
+        ))
+        .unwrap();
+        let stats = policy().run(&mut t).unwrap();
+        assert_eq!(stats.rows_moved, 5, "dates 1990..1994 move to deep-cold");
+        assert_eq!(t.partitions()[2].visible_rows(), 5);
+        assert_eq!(t.execute(&Query::full(Projection::Count)).unwrap().count(), 100);
+    }
+}

@@ -1,0 +1,93 @@
+//! A plain growable bitmap, used for row-visibility (deleted rows).
+
+/// A dense bitmap over row positions.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct RowBitmap {
+    words: Vec<u64>,
+    set_count: u64,
+}
+
+impl RowBitmap {
+    /// An empty bitmap.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Sets bit `pos` (idempotent).
+    pub fn set(&mut self, pos: u64) {
+        let w = (pos / 64) as usize;
+        if w >= self.words.len() {
+            self.words.resize(w + 1, 0);
+        }
+        let mask = 1u64 << (pos % 64);
+        if self.words[w] & mask == 0 {
+            self.words[w] |= mask;
+            self.set_count += 1;
+        }
+    }
+
+    /// Tests bit `pos`.
+    #[inline]
+    pub fn get(&self, pos: u64) -> bool {
+        let w = (pos / 64) as usize;
+        w < self.words.len() && (self.words[w] >> (pos % 64)) & 1 == 1
+    }
+
+    /// Number of set bits.
+    pub fn count(&self) -> u64 {
+        self.set_count
+    }
+
+    /// True when no bit is set.
+    pub fn is_empty(&self) -> bool {
+        self.set_count == 0
+    }
+
+    /// Iterates set positions in ascending order.
+    pub fn iter(&self) -> impl Iterator<Item = u64> + '_ {
+        self.words.iter().enumerate().flat_map(|(wi, &word)| {
+            let base = wi as u64 * 64;
+            std::iter::successors((word != 0).then_some(word), |&w| {
+                let next = w & (w - 1);
+                (next != 0).then_some(next)
+            })
+            .map(move |w| base + w.trailing_zeros() as u64)
+        })
+    }
+
+    /// Heap bytes.
+    pub fn heap_bytes(&self) -> usize {
+        self.words.capacity() * 8
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn set_get_count() {
+        let mut b = RowBitmap::new();
+        assert!(b.is_empty());
+        assert!(!b.get(100));
+        b.set(3);
+        b.set(64);
+        b.set(64); // idempotent
+        b.set(1000);
+        assert!(b.get(3) && b.get(64) && b.get(1000));
+        assert!(!b.get(4) && !b.get(65) && !b.get(999));
+        assert_eq!(b.count(), 3);
+        let positions: Vec<u64> = b.iter().collect();
+        assert_eq!(positions, vec![3, 64, 1000]);
+    }
+
+    #[test]
+    fn iter_dense_word() {
+        let mut b = RowBitmap::new();
+        for i in 0..64 {
+            b.set(i);
+        }
+        assert_eq!(b.iter().count(), 64);
+        assert_eq!(b.count(), 64);
+    }
+}

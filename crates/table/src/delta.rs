@@ -1,0 +1,236 @@
+//! The write-optimized delta fragment (paper §2).
+//!
+//! Changes never modify rows in place: inserts append to the delta. Each
+//! delta column keeps an **unsorted** dictionary — identifiers are assigned
+//! in arrival order, because keeping delta dictionaries sorted on every
+//! insert would be too costly — plus the per-row identifier vector. Scans on
+//! the delta therefore first scan the (small) dictionary to find matching
+//! identifiers, then scan the identifier vector. Delta fragments are always
+//! memory resident (the regular delta merge keeps them small).
+
+use crate::bitmap::RowBitmap;
+use crate::schema::{Row, Schema};
+use crate::{TableError, TableResult};
+use payg_core::{Value, ValuePredicate};
+use payg_encoding::VidSet;
+use std::collections::HashMap;
+
+/// One delta column: unsorted dictionary + append-order identifier vector.
+#[derive(Debug, Default)]
+pub struct DeltaColumn {
+    /// Keys in identifier order (arrival order, NOT sorted).
+    keys: Vec<Vec<u8>>,
+    /// key → identifier.
+    lookup: HashMap<Vec<u8>, u64>,
+    /// Per-row identifiers.
+    vids: Vec<u64>,
+}
+
+impl DeltaColumn {
+    fn append(&mut self, v: &Value) {
+        let key = v.to_key();
+        let vid = match self.lookup.get(&key) {
+            Some(&vid) => vid,
+            None => {
+                let vid = self.keys.len() as u64;
+                self.keys.push(key.clone());
+                self.lookup.insert(key, vid);
+                vid
+            }
+        };
+        self.vids.push(vid);
+    }
+
+    /// The value of row `rpos`.
+    pub fn value(&self, rpos: u64, ty: payg_core::DataType) -> TableResult<Value> {
+        let vid = self.vids[rpos as usize];
+        Value::from_key(ty, &self.keys[vid as usize]).map_err(TableError::Core)
+    }
+
+    /// Identifiers matching a predicate, found by scanning the dictionary.
+    fn matching_vids(&self, pred: &ValuePredicate, ty: payg_core::DataType) -> TableResult<VidSet> {
+        let mut vids = Vec::new();
+        for (vid, key) in self.keys.iter().enumerate() {
+            let v = Value::from_key(ty, key).map_err(TableError::Core)?;
+            if pred.matches(&v) {
+                vids.push(vid as u64);
+            }
+        }
+        Ok(VidSet::from_vids(vids))
+    }
+
+    /// Heap bytes (delta fragments are always fully resident).
+    pub fn heap_bytes(&self) -> usize {
+        self.vids.len() * 8
+            + self.keys.iter().map(|k| k.capacity() + 48).sum::<usize>()
+            + self.lookup.len() * 48
+    }
+}
+
+/// The delta fragment of one partition: one [`DeltaColumn`] per schema
+/// column, plus a deleted-row bitmap for visibility.
+pub struct DeltaFragment {
+    columns: Vec<DeltaColumn>,
+    deleted: RowBitmap,
+    rows: u64,
+}
+
+impl DeltaFragment {
+    /// An empty delta for `schema`.
+    pub fn new(schema: &Schema) -> Self {
+        DeltaFragment {
+            columns: (0..schema.arity()).map(|_| DeltaColumn::default()).collect(),
+            deleted: RowBitmap::new(),
+            rows: 0,
+        }
+    }
+
+    /// Appends a validated row; returns its delta row position.
+    pub fn append(&mut self, row: &Row) -> u64 {
+        for (col, v) in self.columns.iter_mut().zip(row) {
+            col.append(v);
+        }
+        let rpos = self.rows;
+        self.rows += 1;
+        rpos
+    }
+
+    /// Total rows ever appended (including deleted).
+    pub fn rows(&self) -> u64 {
+        self.rows
+    }
+
+    /// Visible (non-deleted) rows.
+    pub fn visible_rows(&self) -> u64 {
+        self.rows - self.deleted.count()
+    }
+
+    /// True when the fragment holds no rows at all.
+    pub fn is_empty(&self) -> bool {
+        self.rows == 0
+    }
+
+    /// Marks a row deleted (it stays physically present until delta merge).
+    pub fn delete(&mut self, rpos: u64) {
+        debug_assert!(rpos < self.rows);
+        self.deleted.set(rpos);
+    }
+
+    /// True when `rpos` is visible.
+    pub fn is_visible(&self, rpos: u64) -> bool {
+        !self.deleted.get(rpos)
+    }
+
+    /// The value at (`rpos`, `col`).
+    pub fn value(&self, rpos: u64, col: usize, schema: &Schema) -> TableResult<Value> {
+        self.columns[col].value(rpos, schema.columns()[col].data_type)
+    }
+
+    /// Materializes a whole visible row.
+    pub fn row(&self, rpos: u64, schema: &Schema) -> TableResult<Row> {
+        (0..schema.arity()).map(|c| self.value(rpos, c, schema)).collect()
+    }
+
+    /// Visible row positions matching `pred` on column `col` (ascending).
+    pub fn find_rows(
+        &self,
+        col: usize,
+        pred: &ValuePredicate,
+        schema: &Schema,
+    ) -> TableResult<Vec<u64>> {
+        let ty = schema.columns()[col].data_type;
+        let set = self.columns[col].matching_vids(pred, ty)?;
+        if set.is_empty() {
+            return Ok(Vec::new());
+        }
+        Ok(self.columns[col]
+            .vids
+            .iter()
+            .enumerate()
+            .filter(|&(rpos, vid)| set.contains(*vid) && !self.deleted.get(rpos as u64))
+            .map(|(rpos, _)| rpos as u64)
+            .collect())
+    }
+
+    /// Materializes every visible row (for delta merge).
+    pub fn visible_row_values(&self, schema: &Schema) -> TableResult<Vec<Row>> {
+        (0..self.rows)
+            .filter(|&r| !self.deleted.get(r))
+            .map(|r| self.row(r, schema))
+            .collect()
+    }
+
+    /// Heap bytes.
+    pub fn heap_bytes(&self) -> usize {
+        self.columns.iter().map(|c| c.heap_bytes()).sum::<usize>() + self.deleted.heap_bytes()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::ColumnSpec;
+    use payg_core::DataType;
+
+    fn schema() -> Schema {
+        Schema::new(vec![
+            ColumnSpec::new("id", DataType::Integer),
+            ColumnSpec::new("name", DataType::Varchar),
+        ])
+        .unwrap()
+    }
+
+    fn populated() -> (Schema, DeltaFragment) {
+        let s = schema();
+        let mut d = DeltaFragment::new(&s);
+        for (id, name) in [(5, "echo"), (1, "alpha"), (3, "alpha"), (2, "bravo")] {
+            d.append(&vec![Value::Integer(id), Value::Varchar(name.into())]);
+        }
+        (s, d)
+    }
+
+    #[test]
+    fn append_and_read_back() {
+        let (s, d) = populated();
+        assert_eq!(d.rows(), 4);
+        assert_eq!(d.value(0, 1, &s).unwrap(), Value::Varchar("echo".into()));
+        assert_eq!(d.value(3, 0, &s).unwrap(), Value::Integer(2));
+        assert_eq!(
+            d.row(1, &s).unwrap(),
+            vec![Value::Integer(1), Value::Varchar("alpha".into())]
+        );
+    }
+
+    #[test]
+    fn unsorted_dictionary_shares_duplicates() {
+        let (_, d) = populated();
+        // "alpha" appears twice but is stored once.
+        assert_eq!(d.columns[1].keys.len(), 3);
+        // Arrival order: echo, alpha, bravo.
+        assert_eq!(d.columns[1].keys[0], b"echo");
+    }
+
+    #[test]
+    fn scans_respect_predicates_and_visibility() {
+        let (s, mut d) = populated();
+        let eq = ValuePredicate::Eq(Value::Varchar("alpha".into()));
+        assert_eq!(d.find_rows(1, &eq, &s).unwrap(), vec![1, 2]);
+        let range = ValuePredicate::Between(Value::Integer(2), Value::Integer(5));
+        assert_eq!(d.find_rows(0, &range, &s).unwrap(), vec![0, 2, 3]);
+        d.delete(2);
+        assert_eq!(d.find_rows(1, &eq, &s).unwrap(), vec![1]);
+        assert_eq!(d.visible_rows(), 3);
+        assert!(!d.is_visible(2));
+    }
+
+    #[test]
+    fn visible_row_values_skips_deleted() {
+        let (s, mut d) = populated();
+        d.delete(0);
+        d.delete(3);
+        let rows = d.visible_row_values(&s).unwrap();
+        assert_eq!(rows.len(), 2);
+        assert_eq!(rows[0][0], Value::Integer(1));
+        assert_eq!(rows[1][0], Value::Integer(3));
+    }
+}

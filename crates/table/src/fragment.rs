@@ -1,0 +1,200 @@
+//! The read-optimized main fragment.
+//!
+//! Built by delta merge and immutable until the next one (§2). Holds one
+//! [`payg_core::column::Column`] per schema column — fully resident or page
+//! loadable depending on the owning partition's load policy — plus a
+//! deleted-row bitmap: deletes (e.g. rows aged out to a cold partition) only
+//! flip visibility; the rows physically disappear at the next delta merge.
+
+use crate::bitmap::RowBitmap;
+use crate::schema::{Row, Schema};
+use crate::TableResult;
+use payg_core::column::{Column, ColumnRead};
+use payg_core::{ColumnBuilder, LoadPolicy, PageConfig, Value, ValuePredicate};
+use payg_resman::Disposition;
+use payg_storage::BufferPool;
+
+/// The main fragment of one partition.
+pub struct MainFragment {
+    columns: Vec<Column>,
+    rows: u64,
+    deleted: RowBitmap,
+}
+
+impl MainFragment {
+    /// Builds a main fragment from materialized rows (the delta-merge
+    /// output path). Columns are persisted and constructed per `policy`.
+    pub fn build(
+        pool: &BufferPool,
+        config: &PageConfig,
+        schema: &Schema,
+        rows: &[Row],
+        policy: LoadPolicy,
+        disposition: Disposition,
+    ) -> TableResult<Self> {
+        let mut columns = Vec::with_capacity(schema.arity());
+        for (c, spec) in schema.columns().iter().enumerate() {
+            let values: Vec<Value> = rows.iter().map(|r| r[c].clone()).collect();
+            let built = ColumnBuilder::new(spec.data_type)
+                .policy(spec.load_policy.unwrap_or(policy))
+                .with_index(spec.with_index)
+                .resident_disposition(disposition)
+                .build(pool, config, &values)?;
+            columns.push(built.column);
+        }
+        Ok(MainFragment { columns, rows: rows.len() as u64, deleted: RowBitmap::new() })
+    }
+
+    /// Reassembles a fragment from reopened columns (catalog restore).
+    /// Checkpoints require merged fragments, so the deleted bitmap is empty.
+    pub(crate) fn from_columns(columns: Vec<Column>, rows: u64) -> Self {
+        MainFragment { columns, rows, deleted: RowBitmap::new() }
+    }
+
+    /// Total rows (including deleted).
+    pub fn rows(&self) -> u64 {
+        self.rows
+    }
+
+    /// Visible rows.
+    pub fn visible_rows(&self) -> u64 {
+        self.rows - self.deleted.count()
+    }
+
+    /// The columns (schema order).
+    pub fn columns(&self) -> &[Column] {
+        &self.columns
+    }
+
+    /// One column.
+    pub fn column(&self, idx: usize) -> &Column {
+        &self.columns[idx]
+    }
+
+    /// Marks a row deleted.
+    pub fn delete(&mut self, rpos: u64) {
+        debug_assert!(rpos < self.rows);
+        self.deleted.set(rpos);
+    }
+
+    /// True when `rpos` is visible.
+    pub fn is_visible(&self, rpos: u64) -> bool {
+        !self.deleted.get(rpos)
+    }
+
+    /// The value at (`rpos`, `col`).
+    pub fn value(&self, rpos: u64, col: usize) -> TableResult<Value> {
+        Ok(self.columns[col].get_value(rpos)?)
+    }
+
+    /// Materializes a whole row.
+    pub fn row(&self, rpos: u64) -> TableResult<Row> {
+        self.columns.iter().map(|c| Ok(c.get_value(rpos)?)).collect()
+    }
+
+    /// Visible row positions matching `pred` on `col`, ascending.
+    pub fn find_rows(&self, col: usize, pred: &ValuePredicate) -> TableResult<Vec<u64>> {
+        let mut rows = self.columns[col].find_rows(pred, 0, self.rows)?;
+        if !self.deleted.is_empty() {
+            rows.retain(|&r| !self.deleted.get(r));
+        }
+        Ok(rows)
+    }
+
+    /// Materializes every visible row (the delta-merge input path).
+    pub fn visible_row_values(&self) -> TableResult<Vec<Row>> {
+        // Column-wise materialization: one pass per column.
+        let visible: Vec<u64> = (0..self.rows).filter(|&r| !self.deleted.get(r)).collect();
+        let mut rows: Vec<Row> = vec![Vec::with_capacity(self.columns.len()); visible.len()];
+        for col in &self.columns {
+            let values = col.get_values(&visible)?;
+            for (row, v) in rows.iter_mut().zip(values) {
+                row.push(v);
+            }
+        }
+        Ok(rows)
+    }
+
+    /// Unloads all fully-resident columns (cold restart simulation).
+    pub fn unload(&self) {
+        for c in &self.columns {
+            c.unload();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::ColumnSpec;
+    use payg_core::DataType;
+    use payg_resman::ResourceManager;
+    use payg_storage::MemStore;
+    use std::sync::Arc;
+
+    fn setup(policy: LoadPolicy) -> (Schema, MainFragment) {
+        let schema = Schema::new(vec![
+            ColumnSpec::indexed("id", DataType::Integer),
+            ColumnSpec::new("grade", DataType::Varchar),
+        ])
+        .unwrap();
+        let rows: Vec<Row> = (0..200)
+            .map(|i| {
+                vec![
+                    Value::Integer(i),
+                    Value::Varchar(format!("grade-{}", i % 7)),
+                ]
+            })
+            .collect();
+        let pool = BufferPool::new(Arc::new(MemStore::new()), ResourceManager::new());
+        let main = MainFragment::build(
+            &pool,
+            &PageConfig::tiny(),
+            &schema,
+            &rows,
+            policy,
+            Disposition::MidTerm,
+        )
+        .unwrap();
+        (schema, main)
+    }
+
+    #[test]
+    fn build_and_read_both_policies() {
+        for policy in [LoadPolicy::FullyResident, LoadPolicy::PageLoadable] {
+            let (_, main) = setup(policy);
+            assert_eq!(main.rows(), 200);
+            assert_eq!(main.value(13, 0).unwrap(), Value::Integer(13));
+            assert_eq!(main.value(13, 1).unwrap(), Value::Varchar("grade-6".into()));
+            assert_eq!(
+                main.row(7).unwrap(),
+                vec![Value::Integer(7), Value::Varchar("grade-0".into())]
+            );
+        }
+    }
+
+    #[test]
+    fn deletes_hide_rows_from_scans() {
+        let (_, mut main) = setup(LoadPolicy::PageLoadable);
+        let pred = ValuePredicate::Eq(Value::Varchar("grade-3".into()));
+        let before = main.find_rows(1, &pred).unwrap();
+        assert!(before.contains(&3));
+        main.delete(3);
+        let after = main.find_rows(1, &pred).unwrap();
+        assert!(!after.contains(&3));
+        assert_eq!(after.len(), before.len() - 1);
+        assert_eq!(main.visible_rows(), 199);
+        assert!(!main.is_visible(3));
+    }
+
+    #[test]
+    fn visible_row_values_roundtrip() {
+        let (_, mut main) = setup(LoadPolicy::FullyResident);
+        main.delete(0);
+        main.delete(199);
+        let rows = main.visible_row_values().unwrap();
+        assert_eq!(rows.len(), 198);
+        assert_eq!(rows[0][0], Value::Integer(1));
+        assert_eq!(rows[197][0], Value::Integer(198));
+    }
+}

@@ -1,0 +1,153 @@
+//! Range partitioning (paper §4.2).
+//!
+//! Aging-aware tables are range partitioned on the temperature column: one
+//! hot partition (default columns) plus cold partitions added with
+//! `ADD PARTITION` (page-loadable columns, typically a higher unload
+//! priority). Partition ranges compare on the order-preserving byte keys,
+//! so any column type can partition.
+
+use payg_core::{LoadPolicy, Value, ValuePredicate};
+use payg_resman::Disposition;
+
+/// Identifies a partition within its table.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct PartitionId(pub usize);
+
+/// The value range a partition accepts (on the partition column).
+#[derive(Debug, Clone, PartialEq)]
+pub enum PartitionRange {
+    /// Accepts everything (unpartitioned tables' single partition).
+    All,
+    /// Accepts values `< bound` (typical cold partition: old dates).
+    Below(Value),
+    /// Accepts values `>= bound` (typical hot partition: recent dates).
+    AtLeast(Value),
+    /// Accepts `lo <= value < hi`.
+    Between(Value, Value),
+}
+
+impl PartitionRange {
+    /// True when the partition accepts `value`.
+    pub fn accepts(&self, value: &Value) -> bool {
+        let k = value.to_key();
+        match self {
+            PartitionRange::All => true,
+            PartitionRange::Below(b) => k < b.to_key(),
+            PartitionRange::AtLeast(b) => k >= b.to_key(),
+            PartitionRange::Between(lo, hi) => k >= lo.to_key() && k < hi.to_key(),
+        }
+    }
+
+    /// True when some value matching `pred` could live in this partition —
+    /// used to prune partitions when the filter is on the partition column
+    /// ("only the columns of relevant partitions are touched", §4.1).
+    pub fn may_match(&self, pred: &ValuePredicate) -> bool {
+        match pred {
+            ValuePredicate::Eq(v) => self.accepts(v),
+            ValuePredicate::In(vs) => vs.iter().any(|v| self.accepts(v)),
+            // Prefix predicates on the partition column are rare; stay
+            // conservative (no pruning) rather than reason about key ranges.
+            ValuePredicate::StartsWith(_) => true,
+            ValuePredicate::Between(lo, hi) => {
+                let (plo, phi) = (lo.to_key(), hi.to_key());
+                if plo > phi {
+                    return false;
+                }
+                match self {
+                    PartitionRange::All => true,
+                    PartitionRange::Below(b) => plo < b.to_key(),
+                    PartitionRange::AtLeast(b) => phi >= b.to_key(),
+                    PartitionRange::Between(lo2, hi2) => {
+                        plo < hi2.to_key() && phi >= lo2.to_key()
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Configuration of one partition.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PartitionSpec {
+    /// Human-readable name ("hot", "cold-2024", …).
+    pub name: String,
+    /// Accepted partition-column range.
+    pub range: PartitionRange,
+    /// Load policy of this partition's main-fragment columns.
+    pub load_policy: LoadPolicy,
+    /// Eviction disposition for fully-resident columns of this partition
+    /// (cold default columns get a cheaper-to-evict disposition).
+    pub disposition: Disposition,
+}
+
+impl PartitionSpec {
+    /// A hot partition: fully resident, ordinary disposition.
+    pub fn hot(name: impl Into<String>, range: PartitionRange) -> Self {
+        PartitionSpec {
+            name: name.into(),
+            range,
+            load_policy: LoadPolicy::FullyResident,
+            disposition: Disposition::MidTerm,
+        }
+    }
+
+    /// A cold partition: page loadable.
+    pub fn cold(name: impl Into<String>, range: PartitionRange) -> Self {
+        PartitionSpec {
+            name: name.into(),
+            range,
+            load_policy: LoadPolicy::PageLoadable,
+            disposition: Disposition::ShortTerm,
+        }
+    }
+
+    /// A single catch-all partition for unpartitioned tables.
+    pub fn single(load_policy: LoadPolicy) -> Self {
+        PartitionSpec {
+            name: "default".into(),
+            range: PartitionRange::All,
+            load_policy,
+            disposition: Disposition::MidTerm,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ranges_accept_correctly() {
+        let below = PartitionRange::Below(Value::Integer(10));
+        assert!(below.accepts(&Value::Integer(9)));
+        assert!(!below.accepts(&Value::Integer(10)));
+        let atleast = PartitionRange::AtLeast(Value::Integer(10));
+        assert!(atleast.accepts(&Value::Integer(10)));
+        assert!(!atleast.accepts(&Value::Integer(9)));
+        let between = PartitionRange::Between(Value::Integer(5), Value::Integer(10));
+        assert!(between.accepts(&Value::Integer(5)));
+        assert!(between.accepts(&Value::Integer(9)));
+        assert!(!between.accepts(&Value::Integer(10)));
+        assert!(PartitionRange::All.accepts(&Value::Varchar("anything".into())));
+    }
+
+    #[test]
+    fn pruning_on_predicates() {
+        let cold = PartitionRange::Below(Value::Integer(100));
+        let hot = PartitionRange::AtLeast(Value::Integer(100));
+        let eq_cold = ValuePredicate::Eq(Value::Integer(50));
+        assert!(cold.may_match(&eq_cold));
+        assert!(!hot.may_match(&eq_cold));
+        let range_both = ValuePredicate::Between(Value::Integer(90), Value::Integer(110));
+        assert!(cold.may_match(&range_both));
+        assert!(hot.may_match(&range_both));
+        let range_hot = ValuePredicate::Between(Value::Integer(100), Value::Integer(110));
+        assert!(!cold.may_match(&range_hot));
+        assert!(hot.may_match(&range_hot));
+        let empty = ValuePredicate::Between(Value::Integer(10), Value::Integer(5));
+        assert!(!cold.may_match(&empty));
+        let in_pred = ValuePredicate::In(vec![Value::Integer(99), Value::Integer(150)]);
+        assert!(cold.may_match(&in_pred));
+        assert!(hot.may_match(&in_pred));
+    }
+}

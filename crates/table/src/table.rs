@@ -1,0 +1,470 @@
+//! The partitioned columnar table.
+
+use crate::delta::DeltaFragment;
+use crate::fragment::MainFragment;
+use crate::partition::{PartitionId, PartitionSpec};
+use crate::schema::{Row, Schema};
+use crate::{TableError, TableResult};
+use payg_core::{PageConfig, Value, ValuePredicate};
+use payg_storage::BufferPool;
+
+/// One partition: spec + main fragment + delta fragment.
+pub struct Partition {
+    spec: PartitionSpec,
+    main: MainFragment,
+    delta: DeltaFragment,
+}
+
+impl Partition {
+    /// The partition's configuration.
+    pub fn spec(&self) -> &PartitionSpec {
+        &self.spec
+    }
+
+    /// The read-optimized fragment.
+    pub fn main(&self) -> &MainFragment {
+        &self.main
+    }
+
+    /// The write-optimized fragment.
+    pub fn delta(&self) -> &DeltaFragment {
+        &self.delta
+    }
+
+    /// Visible rows across both fragments.
+    pub fn visible_rows(&self) -> u64 {
+        self.main.visible_rows() + self.delta.visible_rows()
+    }
+}
+
+/// A partitioned columnar table (paper §2, §4).
+pub struct Table {
+    schema: Schema,
+    pool: BufferPool,
+    config: PageConfig,
+    partitions: Vec<Partition>,
+}
+
+impl Table {
+    /// Creates a table with the given partitions. Multi-partition tables
+    /// require a partition column in the schema.
+    pub fn create(
+        pool: BufferPool,
+        config: PageConfig,
+        schema: Schema,
+        specs: Vec<PartitionSpec>,
+    ) -> TableResult<Self> {
+        if specs.is_empty() {
+            return Err(TableError::Invalid("a table needs at least one partition".into()));
+        }
+        if specs.len() > 1 && schema.partition_column().is_none() {
+            return Err(TableError::Invalid(
+                "multi-partition tables need a partition column".into(),
+            ));
+        }
+        config.validate().map_err(TableError::Invalid)?;
+        let mut table = Table { schema, pool, config, partitions: Vec::new() };
+        for spec in specs {
+            table.add_partition(spec)?;
+        }
+        Ok(table)
+    }
+
+    /// Adds a partition (`ADD PARTITION`, §4.2): constant-time, no data
+    /// reorganization — the new partition starts with empty fragments.
+    pub fn add_partition(&mut self, spec: PartitionSpec) -> TableResult<PartitionId> {
+        let main = MainFragment::build(
+            &self.pool,
+            &self.config,
+            &self.schema,
+            &[],
+            spec.load_policy,
+            spec.disposition,
+        )?;
+        self.partitions.push(Partition {
+            spec,
+            main,
+            delta: DeltaFragment::new(&self.schema),
+        });
+        Ok(PartitionId(self.partitions.len() - 1))
+    }
+
+    /// The schema.
+    pub fn schema(&self) -> &Schema {
+        &self.schema
+    }
+
+    /// The buffer pool backing this table.
+    pub fn pool(&self) -> &BufferPool {
+        &self.pool
+    }
+
+    /// The partitions in order.
+    pub fn partitions(&self) -> &[Partition] {
+        &self.partitions
+    }
+
+    /// Visible rows across all partitions and fragments.
+    pub fn visible_rows(&self) -> u64 {
+        self.partitions.iter().map(|p| p.visible_rows()).sum()
+    }
+
+    /// Routes a row to its partition by the partition-column value.
+    pub fn route(&self, row: &Row) -> TableResult<PartitionId> {
+        let value = match self.schema.partition_column() {
+            Some(c) => &row[c],
+            None => return Ok(PartitionId(0)),
+        };
+        self.partitions
+            .iter()
+            .position(|p| p.spec.range.accepts(value))
+            .map(PartitionId)
+            .ok_or_else(|| TableError::NoPartitionForRow(value.to_string()))
+    }
+
+    /// Inserts a row: validated, routed, appended to the target partition's
+    /// delta (new data always lands in a delta first, §4.2).
+    pub fn insert(&mut self, row: Row) -> TableResult<()> {
+        self.schema.check_row(&row)?;
+        let PartitionId(p) = self.route(&row)?;
+        self.partitions[p].delta.append(&row);
+        Ok(())
+    }
+
+    /// Inserts many rows.
+    pub fn insert_all(&mut self, rows: impl IntoIterator<Item = Row>) -> TableResult<u64> {
+        let mut n = 0;
+        for row in rows {
+            self.insert(row)?;
+            n += 1;
+        }
+        Ok(n)
+    }
+
+    /// Delta merge of one partition (§2): all visible rows from the old
+    /// main and the delta move into a freshly built main fragment — every
+    /// structure (data vector, dictionary, inverted index, and for
+    /// page-loadable columns their page chains) is rebuilt — and the delta
+    /// resets to empty.
+    pub fn delta_merge(&mut self, pid: PartitionId) -> TableResult<()> {
+        let p = &mut self.partitions[pid.0];
+        if p.delta.is_empty() && p.main.visible_rows() == p.main.rows() {
+            return Ok(()); // nothing to merge, nothing deleted
+        }
+        let mut rows = p.main.visible_row_values()?;
+        rows.extend(p.delta.visible_row_values(&self.schema)?);
+        let new_main = MainFragment::build(
+            &self.pool,
+            &self.config,
+            &self.schema,
+            &rows,
+            p.spec.load_policy,
+            p.spec.disposition,
+        )?;
+        p.main = new_main;
+        p.delta = DeltaFragment::new(&self.schema);
+        Ok(())
+    }
+
+    /// Delta merge of every partition.
+    pub fn delta_merge_all(&mut self) -> TableResult<()> {
+        for p in 0..self.partitions.len() {
+            self.delta_merge(PartitionId(p))?;
+        }
+        Ok(())
+    }
+
+    /// The aging/update DML: for every visible row matching `pred` on
+    /// `filter_col`, sets `set_col` to `new_value`. No in-place update —
+    /// the original row is deleted and the updated row re-inserted through
+    /// normal routing, so updates to the partition column *move* rows
+    /// between partitions (into the target's delta). Returns the number of
+    /// rows updated.
+    pub fn update_rows(
+        &mut self,
+        filter_col: &str,
+        pred: &ValuePredicate,
+        set_col: &str,
+        new_value: &Value,
+    ) -> TableResult<u64> {
+        let fcol = self.schema.column_index(filter_col)?;
+        let scol = self.schema.column_index(set_col)?;
+        new_value
+            .check_type(self.schema.columns()[scol].data_type)
+            .map_err(TableError::Core)?;
+        let mut moved_rows: Vec<Row> = Vec::new();
+        for p in 0..self.partitions.len() {
+            if !self.partitions[p].spec.range.may_match_on(fcol, self.schema.partition_column(), pred)
+            {
+                continue;
+            }
+            // Main fragment matches.
+            let main_rows = self.partitions[p].main.find_rows(fcol, pred)?;
+            for rpos in main_rows {
+                let mut row = self.partitions[p].main.row(rpos)?;
+                row[scol] = new_value.clone();
+                self.partitions[p].main.delete(rpos);
+                moved_rows.push(row);
+            }
+            // Delta fragment matches.
+            let delta_rows = self.partitions[p].delta.find_rows(fcol, pred, &self.schema)?;
+            for rpos in delta_rows {
+                let mut row = self.partitions[p].delta.row(rpos, &self.schema)?;
+                row[scol] = new_value.clone();
+                self.partitions[p].delta.delete(rpos);
+                moved_rows.push(row);
+            }
+        }
+        let n = moved_rows.len() as u64;
+        for row in moved_rows {
+            self.insert(row)?;
+        }
+        Ok(n)
+    }
+
+    /// Changes a partition's accepted range (the periodic hot-boundary
+    /// shift of an aging setup). Existing rows are not touched; call
+    /// [`Table::relocate_misplaced`] to move them.
+    pub fn set_partition_range(&mut self, pid: PartitionId, range: crate::PartitionRange) {
+        self.partitions[pid.0].spec.range = range;
+    }
+
+    /// Moves every visible row whose partition-column value routes to a
+    /// different partition (after a boundary shift or `ADD PARTITION`) into
+    /// that partition's delta, exactly like the update-driven move of
+    /// §4.2. Returns the number of rows moved.
+    pub fn relocate_misplaced(&mut self) -> TableResult<u64> {
+        let Some(tcol) = self.schema.partition_column() else { return Ok(0) };
+        let mut moved: Vec<Row> = Vec::new();
+        for pi in 0..self.partitions.len() {
+            // Main fragment.
+            let main_rows = self.partitions[pi].main.rows();
+            for rpos in 0..main_rows {
+                if !self.partitions[pi].main.is_visible(rpos) {
+                    continue;
+                }
+                let temp = self.partitions[pi].main.value(rpos, tcol)?;
+                if !self.partitions[pi].spec.range.accepts(&temp) {
+                    let row = self.partitions[pi].main.row(rpos)?;
+                    self.partitions[pi].main.delete(rpos);
+                    moved.push(row);
+                }
+            }
+            // Delta fragment.
+            let delta_rows = self.partitions[pi].delta.rows();
+            for rpos in 0..delta_rows {
+                if !self.partitions[pi].delta.is_visible(rpos) {
+                    continue;
+                }
+                let temp = self.partitions[pi].delta.value(rpos, tcol, &self.schema)?;
+                if !self.partitions[pi].spec.range.accepts(&temp) {
+                    let row = self.partitions[pi].delta.row(rpos, &self.schema)?;
+                    self.partitions[pi].delta.delete(rpos);
+                    moved.push(row);
+                }
+            }
+        }
+        let n = moved.len() as u64;
+        for row in moved {
+            self.insert(row)?;
+        }
+        Ok(n)
+    }
+
+    /// Unloads every resident column and drops all unpinned pool frames —
+    /// the experiments' cold-restart simulation.
+    pub fn unload_all(&self) {
+        for p in &self.partitions {
+            p.main.unload();
+        }
+        self.pool.clear();
+    }
+}
+
+impl crate::partition::PartitionRange {
+    /// [`crate::partition::PartitionRange::may_match`] guarded on the filter
+    /// actually being the partition column.
+    pub(crate) fn may_match_on(
+        &self,
+        filter_col: usize,
+        partition_col: Option<usize>,
+        pred: &ValuePredicate,
+    ) -> bool {
+        match partition_col {
+            Some(pc) if pc == filter_col => self.may_match(pred),
+            _ => true,
+        }
+    }
+}
+
+
+impl Table {
+    /// Reassembles a table from restored parts (catalog restore).
+    pub(crate) fn from_parts(
+        schema: Schema,
+        pool: BufferPool,
+        config: PageConfig,
+        partitions: Vec<Partition>,
+    ) -> Self {
+        Table { schema, pool, config, partitions }
+    }
+
+    /// The table's page configuration.
+    pub fn page_config(&self) -> &PageConfig {
+        &self.config
+    }
+}
+
+impl Partition {
+    /// Reassembles a partition from restored parts (catalog restore).
+    pub(crate) fn from_parts(spec: PartitionSpec, main: MainFragment, delta: DeltaFragment) -> Self {
+        Partition { spec, main, delta }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::partition::PartitionRange;
+    use crate::schema::ColumnSpec;
+    use payg_core::{DataType, LoadPolicy};
+    use payg_resman::ResourceManager;
+    use payg_storage::MemStore;
+    use std::sync::Arc;
+
+    fn pool() -> BufferPool {
+        BufferPool::new(Arc::new(MemStore::new()), ResourceManager::new())
+    }
+
+    fn orders_schema() -> Schema {
+        Schema::new(vec![
+            ColumnSpec::new("id", DataType::Integer),
+            ColumnSpec::new("status", DataType::Varchar),
+            ColumnSpec::new("close_date", DataType::Integer),
+        ])
+        .unwrap()
+        .with_primary_key("id")
+        .unwrap()
+        .with_partition_column("close_date")
+        .unwrap()
+    }
+
+    fn aged_table() -> Table {
+        // close_date >= 100 → hot; < 100 → cold.
+        let mut t = Table::create(
+            pool(),
+            PageConfig::tiny(),
+            orders_schema(),
+            vec![
+                PartitionSpec::hot("hot", PartitionRange::AtLeast(Value::Integer(100))),
+                PartitionSpec::cold("cold", PartitionRange::Below(Value::Integer(100))),
+            ],
+        )
+        .unwrap();
+        for i in 0..50 {
+            t.insert(vec![
+                Value::Integer(i),
+                Value::Varchar("open".into()),
+                Value::Integer(100 + i),
+            ])
+            .unwrap();
+        }
+        t
+    }
+
+    #[test]
+    fn insert_routes_by_partition_column() {
+        let mut t = aged_table();
+        assert_eq!(t.partitions()[0].visible_rows(), 50);
+        assert_eq!(t.partitions()[1].visible_rows(), 0);
+        t.insert(vec![Value::Integer(99), Value::Varchar("closed".into()), Value::Integer(5)])
+            .unwrap();
+        assert_eq!(t.partitions()[1].visible_rows(), 1);
+    }
+
+    #[test]
+    fn rows_outside_every_partition_are_rejected() {
+        let mut t = Table::create(
+            pool(),
+            PageConfig::tiny(),
+            orders_schema(),
+            vec![PartitionSpec::hot("hot", PartitionRange::AtLeast(Value::Integer(100)))],
+        )
+        .unwrap();
+        let r = t.insert(vec![Value::Integer(1), Value::Varchar("x".into()), Value::Integer(5)]);
+        assert!(matches!(r, Err(TableError::NoPartitionForRow(_))));
+    }
+
+    #[test]
+    fn delta_merge_moves_rows_to_main() {
+        let mut t = aged_table();
+        assert_eq!(t.partitions()[0].delta().visible_rows(), 50);
+        assert_eq!(t.partitions()[0].main().rows(), 0);
+        t.delta_merge(PartitionId(0)).unwrap();
+        assert_eq!(t.partitions()[0].delta().visible_rows(), 0);
+        assert_eq!(t.partitions()[0].main().visible_rows(), 50);
+        // Values survive the merge, and the main dictionary is sorted, so
+        // lookups work.
+        assert_eq!(t.partitions()[0].main().value(0, 0).unwrap(), Value::Integer(0));
+        let rows = t.partitions()[0]
+            .main()
+            .find_rows(1, &ValuePredicate::Eq(Value::Varchar("open".into())))
+            .unwrap();
+        assert_eq!(rows.len(), 50);
+    }
+
+    #[test]
+    fn update_on_partition_column_moves_rows_to_cold_delta() {
+        let mut t = aged_table();
+        t.delta_merge_all().unwrap();
+        // Age orders with id < 10: set close_date to 1 (cold range).
+        let moved = t
+            .update_rows(
+                "id",
+                &ValuePredicate::Between(Value::Integer(0), Value::Integer(9)),
+                "close_date",
+                &Value::Integer(1),
+            )
+            .unwrap();
+        assert_eq!(moved, 10);
+        // Rows are now invisible in hot main, present in cold delta.
+        assert_eq!(t.partitions()[0].visible_rows(), 40);
+        assert_eq!(t.partitions()[1].delta().visible_rows(), 10);
+        assert_eq!(t.visible_rows(), 50);
+        // After merging the cold partition they land in page-loadable main.
+        t.delta_merge(PartitionId(1)).unwrap();
+        assert_eq!(t.partitions()[1].main().visible_rows(), 10);
+        assert_eq!(
+            t.partitions()[1].main().column(0).policy(),
+            LoadPolicy::PageLoadable
+        );
+        // And the next hot merge physically drops the deleted rows.
+        t.delta_merge(PartitionId(0)).unwrap();
+        assert_eq!(t.partitions()[0].main().rows(), 40);
+    }
+
+    #[test]
+    fn repeated_merges_are_stable() {
+        let mut t = aged_table();
+        t.delta_merge_all().unwrap();
+        let before = t.visible_rows();
+        t.delta_merge_all().unwrap();
+        t.delta_merge_all().unwrap();
+        assert_eq!(t.visible_rows(), before);
+    }
+
+    #[test]
+    fn multi_partition_requires_partition_column() {
+        let schema = Schema::new(vec![ColumnSpec::new("a", DataType::Integer)]).unwrap();
+        let r = Table::create(
+            pool(),
+            PageConfig::tiny(),
+            schema,
+            vec![
+                PartitionSpec::hot("h", PartitionRange::AtLeast(Value::Integer(0))),
+                PartitionSpec::cold("c", PartitionRange::Below(Value::Integer(0))),
+            ],
+        );
+        assert!(matches!(r, Err(TableError::Invalid(_))));
+    }
+}

@@ -1,0 +1,159 @@
+//! Property-based tests for the table layer: delta merge and aging moves
+//! preserve the visible row multiset; queries agree with brute force.
+
+use payg_core::{DataType, LoadPolicy, PageConfig, Value, ValuePredicate};
+use payg_resman::ResourceManager;
+use payg_storage::{BufferPool, MemStore};
+use payg_table::{
+    ColumnSpec, PartitionRange, PartitionSpec, Projection, Query, Row, Schema, Table,
+};
+use proptest::prelude::*;
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+fn schema() -> Schema {
+    Schema::new(vec![
+        ColumnSpec::new("id", DataType::Integer),
+        ColumnSpec::new("tag", DataType::Varchar),
+        ColumnSpec::new("temp", DataType::Integer),
+    ])
+    .unwrap()
+    .with_primary_key("id")
+    .unwrap()
+    .with_partition_column("temp")
+    .unwrap()
+}
+
+fn table(policy: LoadPolicy) -> Table {
+    let pool = BufferPool::new(Arc::new(MemStore::new()), ResourceManager::new());
+    Table::create(
+        pool,
+        PageConfig::tiny(),
+        schema(),
+        vec![
+            PartitionSpec::hot("hot", PartitionRange::AtLeast(Value::Integer(100))),
+            {
+                let mut c = PartitionSpec::cold("cold", PartitionRange::Below(Value::Integer(100)));
+                c.load_policy = policy;
+                c
+            },
+        ],
+    )
+    .unwrap()
+}
+
+fn row(id: i64, tag: u8, temp: i64) -> Row {
+    vec![Value::Integer(id), Value::Varchar(format!("tag-{tag}")), Value::Integer(temp)]
+}
+
+/// Canonical multiset of visible rows, keyed by id.
+fn visible(t: &Table) -> BTreeMap<i64, (String, i64)> {
+    let rows = t.execute(&Query::full(Projection::All)).unwrap().into_rows();
+    rows.into_iter()
+        .map(|r| match (&r[0], &r[1], &r[2]) {
+            (Value::Integer(id), Value::Varchar(tag), Value::Integer(temp)) => {
+                (*id, (tag.clone(), *temp))
+            }
+            other => panic!("{other:?}"),
+        })
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Inserts followed by any interleaving of delta merges never lose or
+    /// duplicate rows, on either storage policy.
+    #[test]
+    fn merges_preserve_visible_rows(
+        rows in prop::collection::vec((0i64..5_000, 0u8..6, 0i64..200), 1..120),
+        merge_points in prop::collection::vec(any::<bool>(), 1..120),
+        policy_paged in any::<bool>(),
+    ) {
+        let policy = if policy_paged { LoadPolicy::PageLoadable } else { LoadPolicy::FullyResident };
+        let mut t = table(policy);
+        let mut expected: BTreeMap<i64, (String, i64)> = BTreeMap::new();
+        for (i, &(id, tag, temp)) in rows.iter().enumerate() {
+            // Make ids unique so the multiset is a map: disjoint per-row
+            // ranges of width 5000.
+            let id = i as i64 * 5_000 + id;
+            t.insert(row(id, tag, temp)).unwrap();
+            expected.insert(id, (format!("tag-{tag}"), temp));
+            if merge_points.get(i).copied().unwrap_or(false) {
+                t.delta_merge_all().unwrap();
+            }
+        }
+        prop_assert_eq!(visible(&t), expected.clone());
+        t.delta_merge_all().unwrap();
+        prop_assert_eq!(visible(&t), expected);
+    }
+
+    /// Updates to the partition column relocate rows without losing any,
+    /// and queries find the updated values afterwards.
+    #[test]
+    fn partition_moves_preserve_rows(
+        seeds in prop::collection::vec((0u8..6, 0i64..200), 5..60),
+        move_to_cold in prop::collection::vec(any::<bool>(), 5..60),
+        merge_between in any::<bool>(),
+    ) {
+        let mut t = table(LoadPolicy::PageLoadable);
+        for (i, &(tag, temp)) in seeds.iter().enumerate() {
+            t.insert(row(i as i64, tag, temp)).unwrap();
+        }
+        if merge_between {
+            t.delta_merge_all().unwrap();
+        }
+        let mut expected = visible(&t);
+        for (i, &mv) in move_to_cold.iter().enumerate() {
+            if !mv || i >= seeds.len() {
+                continue;
+            }
+            let id = i as i64;
+            let new_temp = 5i64; // cold range
+            let n = t
+                .update_rows(
+                    "id",
+                    &ValuePredicate::Eq(Value::Integer(id)),
+                    "temp",
+                    &Value::Integer(new_temp),
+                )
+                .unwrap();
+            prop_assert_eq!(n, 1);
+            expected.get_mut(&id).unwrap().1 = new_temp;
+        }
+        prop_assert_eq!(visible(&t), expected.clone());
+        t.delta_merge_all().unwrap();
+        prop_assert_eq!(visible(&t), expected);
+    }
+
+    /// Every filter shape agrees with brute-force evaluation over the rows.
+    #[test]
+    fn queries_agree_with_brute_force(
+        seeds in prop::collection::vec((0u8..6, 0i64..200), 10..80),
+        probe_tag in 0u8..6,
+        lo in 0i64..200,
+        span in 0i64..80,
+    ) {
+        let mut t = table(LoadPolicy::PageLoadable);
+        let mut raw: Vec<Row> = Vec::new();
+        for (i, &(tag, temp)) in seeds.iter().enumerate() {
+            let r = row(i as i64, tag, temp);
+            raw.push(r.clone());
+            t.insert(r).unwrap();
+        }
+        t.delta_merge_all().unwrap();
+        for pred in [
+            ValuePredicate::Eq(Value::Varchar(format!("tag-{probe_tag}"))),
+            ValuePredicate::StartsWith("tag-".into()),
+            ValuePredicate::StartsWith(format!("tag-{probe_tag}")),
+        ] {
+            let q = Query::filtered("tag", pred.clone(), Projection::Count);
+            let expect = raw.iter().filter(|r| pred.matches(&r[1])).count() as u64;
+            prop_assert_eq!(t.execute(&q).unwrap().count(), expect, "{:?}", pred);
+        }
+        let pred = ValuePredicate::Between(Value::Integer(lo), Value::Integer(lo + span));
+        let q = Query::filtered("temp", pred.clone(), Projection::Count);
+        let expect = raw.iter().filter(|r| pred.matches(&r[2])).count() as u64;
+        prop_assert_eq!(t.execute(&q).unwrap().count(), expect);
+    }
+}

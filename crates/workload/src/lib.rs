@@ -1,0 +1,22 @@
+//! Workload generation: an ERP-like dataset and the paper's Table 2 query
+//! mix (§6.1).
+//!
+//! The paper's in-house generator produces a 100 M-row, 128-column table
+//! resembling a real ERP system: types INTEGER, DECIMAL, DOUBLE, CHAR and
+//! VARCHAR; column cardinalities from 1 to 10 M; 112 of 128 columns with
+//! fewer than 100 distinct values and 14 with more than 1 000. This crate
+//! reproduces that *profile* at a configurable scale: the fraction of
+//! low-cardinality columns (87.5 %), the type mix, a VARCHAR primary key
+//! (the paper's Fig. 7 note), and deterministic seeded generation so every
+//! experiment is reproducible.
+
+#![deny(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod gen;
+pub mod queries;
+pub mod spec;
+
+pub use gen::{column_values, generate_rows};
+pub use queries::QueryGen;
+pub use spec::{GenColumnSpec, TableProfile};

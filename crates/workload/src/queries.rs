@@ -1,0 +1,245 @@
+//! Generators for the paper's Table 2 query workloads.
+
+use crate::gen::{domain_value, value_at};
+use crate::spec::TableProfile;
+use payg_core::{DataType, Value, ValuePredicate};
+use payg_table::{Projection, Query};
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+/// Draws random queries of each Table 2 shape against a generated table.
+/// Deterministic per seed.
+pub struct QueryGen {
+    profile: TableProfile,
+    rng: StdRng,
+}
+
+impl QueryGen {
+    /// A generator over `profile` with its own seed.
+    pub fn new(profile: TableProfile, seed: u64) -> Self {
+        QueryGen { profile, rng: StdRng::seed_from_u64(seed) }
+    }
+
+    /// The generated table's profile.
+    pub fn profile(&self) -> &TableProfile {
+        &self.profile
+    }
+
+    fn random_row(&mut self) -> u64 {
+        self.rng.random_range(0..self.profile.rows)
+    }
+
+    fn pk_name(&self) -> String {
+        self.profile.columns[0].name.clone()
+    }
+
+    /// The PK value of `row` (PKs are a sorted permutation of the domain).
+    pub fn pk_of_row(&self, row: u64) -> Value {
+        domain_value(&self.profile, 0, row)
+    }
+
+    fn random_column_of(&mut self, types: &[DataType]) -> usize {
+        let candidates: Vec<usize> = (1..self.profile.columns.len())
+            .filter(|&c| types.contains(&self.profile.columns[c].data_type))
+            .collect();
+        assert!(!candidates.is_empty(), "profile lacks a column of {types:?}");
+        candidates[self.rng.random_range(0..candidates.len())]
+    }
+
+    const NUMERIC: &'static [DataType] =
+        &[DataType::Integer, DataType::Decimal, DataType::Double];
+
+    /// `Q_pk^num`: `SELECT C_num FROM T WHERE C_pk = value` for a random
+    /// row and a random numeric column.
+    pub fn q_pk_num(&mut self) -> Query {
+        let row = self.random_row();
+        let col = self.random_column_of(Self::NUMERIC);
+        Query::filtered(
+            self.pk_name(),
+            ValuePredicate::Eq(self.pk_of_row(row)),
+            Projection::Columns(vec![self.profile.columns[col].name.clone()]),
+        )
+    }
+
+    /// `Q_pk^str`: `SELECT C_str FROM T WHERE C_pk = value` for a random
+    /// row and a random string column.
+    pub fn q_pk_str(&mut self) -> Query {
+        let row = self.random_row();
+        let col = self.random_column_of(&[DataType::Varchar]);
+        Query::filtered(
+            self.pk_name(),
+            ValuePredicate::Eq(self.pk_of_row(row)),
+            Projection::Columns(vec![self.profile.columns[col].name.clone()]),
+        )
+    }
+
+    /// `Q_pk^*`: `SELECT * FROM T WHERE C_pk = value` for a random row.
+    pub fn q_pk_star(&mut self) -> Query {
+        let row = self.random_row();
+        Query::filtered(
+            self.pk_name(),
+            ValuePredicate::Eq(self.pk_of_row(row)),
+            Projection::All,
+        )
+    }
+
+    /// `Q_pk^rid`: `SELECT ROWID() FROM T WHERE C_pk = value`.
+    pub fn q_pk_rid(&mut self) -> Query {
+        let row = self.random_row();
+        Query::filtered(
+            self.pk_name(),
+            ValuePredicate::Eq(self.pk_of_row(row)),
+            Projection::RowIds,
+        )
+    }
+
+    /// `Q_num^count`: `SELECT COUNT(*) FROM T WHERE C_num = value` — the
+    /// value a random row actually holds, so counts are nonzero.
+    pub fn q_num_count(&mut self) -> Query {
+        let col = self.random_column_of(Self::NUMERIC);
+        let row = self.random_row();
+        Query::filtered(
+            self.profile.columns[col].name.clone(),
+            ValuePredicate::Eq(value_at(&self.profile, col, row)),
+            Projection::Count,
+        )
+    }
+
+    /// `Q_str^count`: `SELECT COUNT(*) FROM T WHERE C_str = value`.
+    pub fn q_str_count(&mut self) -> Query {
+        let col = self.random_column_of(&[DataType::Varchar]);
+        let row = self.random_row();
+        Query::filtered(
+            self.profile.columns[col].name.clone(),
+            ValuePredicate::Eq(value_at(&self.profile, col, row)),
+            Projection::Count,
+        )
+    }
+
+    /// The PK range covering `selectivity` of the rows at a random start:
+    /// `v1 <= C_pk <= v2`. `selectivity == 0.0` yields a single row.
+    pub fn pk_range(&mut self, selectivity: f64) -> ValuePredicate {
+        let span = ((self.profile.rows as f64 * selectivity).ceil() as u64).max(1);
+        let start = self.rng.random_range(0..self.profile.rows - span + 1);
+        ValuePredicate::Between(self.pk_of_row(start), self.pk_of_row(start + span - 1))
+    }
+
+    /// `Q*_{σpk}`: `SELECT * FROM T WHERE v1 <= C_pk <= v2`.
+    pub fn q_range_star(&mut self, selectivity: f64) -> Query {
+        Query::filtered(self.pk_name(), self.pk_range(selectivity), Projection::All)
+    }
+
+    /// `Q^{sum}_{σpk}`: `SELECT SUM(C_num) FROM T WHERE v1 <= C_pk <= v2`.
+    pub fn q_range_sum(&mut self, selectivity: f64) -> Query {
+        let col = self.random_column_of(&[DataType::Integer, DataType::Decimal]);
+        Query::filtered(
+            self.pk_name(),
+            self.pk_range(selectivity),
+            Projection::Sum(self.profile.columns[col].name.clone()),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use payg_core::{LoadPolicy, PageConfig};
+    use payg_resman::ResourceManager;
+    use payg_storage::{BufferPool, MemStore};
+    use payg_table::{PartitionSpec, QueryResult, Table};
+    use std::sync::Arc;
+
+    fn small_table() -> (Table, TableProfile) {
+        let profile = TableProfile::erp(500, 11, 7);
+        let schema = profile.schema(false).unwrap();
+        let pool = BufferPool::new(Arc::new(MemStore::new()), ResourceManager::new());
+        let mut t = Table::create(
+            pool,
+            PageConfig::tiny(),
+            schema,
+            vec![PartitionSpec::single(LoadPolicy::PageLoadable)],
+        )
+        .unwrap();
+        t.insert_all(crate::gen::generate_rows(&profile)).unwrap();
+        t.delta_merge_all().unwrap();
+        (t, profile)
+    }
+
+    #[test]
+    fn point_queries_hit_exactly_one_row() {
+        let (t, profile) = small_table();
+        let mut g = QueryGen::new(profile.clone(), 1);
+        for _ in 0..20 {
+            let q = g.q_pk_star();
+            let rows = t.execute(&q).unwrap().into_rows();
+            assert_eq!(rows.len(), 1, "PK point query returns exactly one row");
+            assert_eq!(rows[0].len(), profile.columns.len());
+        }
+        for _ in 0..10 {
+            let q = g.q_pk_rid();
+            match t.execute(&q).unwrap() {
+                QueryResult::RowIds(ids) => assert_eq!(ids.len(), 1),
+                other => panic!("{other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn projected_point_queries_return_right_column_types() {
+        let (t, profile) = small_table();
+        let mut g = QueryGen::new(profile, 2);
+        for _ in 0..10 {
+            let rows = t.execute(&g.q_pk_num()).unwrap().into_rows();
+            assert_eq!(rows.len(), 1);
+            assert!(matches!(
+                rows[0][0],
+                Value::Integer(_) | Value::Decimal(_) | Value::Double(_)
+            ));
+            let rows = t.execute(&g.q_pk_str()).unwrap().into_rows();
+            assert!(matches!(rows[0][0], Value::Varchar(_)));
+        }
+    }
+
+    #[test]
+    fn count_queries_are_nonzero() {
+        let (t, profile) = small_table();
+        let mut g = QueryGen::new(profile, 3);
+        for _ in 0..10 {
+            assert!(t.execute(&g.q_num_count()).unwrap().count() >= 1);
+            assert!(t.execute(&g.q_str_count()).unwrap().count() >= 1);
+        }
+    }
+
+    #[test]
+    fn range_selectivity_is_respected() {
+        let (t, profile) = small_table();
+        let rows = profile.rows;
+        let mut g = QueryGen::new(profile, 4);
+        for sel in [0.0, 0.01, 0.1] {
+            let expect = ((rows as f64 * sel).ceil() as u64).max(1);
+            let q = Query {
+                filter: g.q_range_star(sel).filter,
+                projection: Projection::Count,
+            };
+            assert_eq!(t.execute(&q).unwrap().count(), expect, "selectivity {sel}");
+        }
+        // SUM over a range executes without error.
+        let q = g.q_range_sum(0.05);
+        assert!(matches!(
+            t.execute(&q).unwrap(),
+            QueryResult::Sum(Value::Integer(_) | Value::Decimal(_))
+        ));
+    }
+
+    #[test]
+    fn generators_are_deterministic_per_seed() {
+        let profile = TableProfile::erp(500, 11, 7);
+        let mut a = QueryGen::new(profile.clone(), 9);
+        let mut b = QueryGen::new(profile, 9);
+        for _ in 0..10 {
+            assert_eq!(a.q_pk_star(), b.q_pk_star());
+            assert_eq!(a.q_str_count(), b.q_str_count());
+            assert_eq!(a.q_range_sum(0.01), b.q_range_sum(0.01));
+        }
+    }
+}

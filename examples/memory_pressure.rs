@@ -1,0 +1,77 @@
+//! Memory management under pressure (paper §5): the paged pool's
+//! lower/upper limits, the asynchronous proactive unload, the reactive
+//! unload, and weighted-LRU eviction of whole resident columns.
+//!
+//! Run with: `cargo run --release --example memory_pressure`
+
+use page_as_you_go::core::{LoadPolicy, PageConfig};
+use page_as_you_go::resman::{PoolLimits, ResourceManager};
+use page_as_you_go::storage::{BufferPool, MemStore};
+use page_as_you_go::table::{PartitionSpec, Table};
+use page_as_you_go::workload::{generate_rows, QueryGen, TableProfile};
+use std::sync::Arc;
+
+fn mib(b: usize) -> f64 {
+    b as f64 / (1024.0 * 1024.0)
+}
+
+fn main() {
+    // A paged pool capped at [256 KiB, 512 KiB]: crossing 512 KiB wakes the
+    // asynchronous proactive unloader, which evicts LRU pages down to 256 KiB.
+    const LOWER: usize = 256 << 10;
+    const UPPER: usize = 512 << 10;
+    let resman = ResourceManager::with_paged_limits(PoolLimits::new(LOWER, UPPER));
+    let pool = BufferPool::new(Arc::new(MemStore::new()), resman.clone());
+
+    let profile = TableProfile::erp(50_000, 13, 3);
+    let mut table = Table::create(
+        pool,
+        PageConfig::default(),
+        profile.schema(false).unwrap(),
+        vec![PartitionSpec::single(LoadPolicy::PageLoadable)],
+    )
+    .unwrap();
+    table.insert_all(generate_rows(&profile)).unwrap();
+    table.delta_merge_all().unwrap();
+    table.unload_all();
+
+    // A stream of point queries keeps pulling pages in; the proactive
+    // unloader keeps pushing old ones out. Loads are never blocked, so the
+    // pool may transiently exceed the upper limit.
+    let mut qg = QueryGen::new(profile, 11);
+    let mut peak = 0usize;
+    for i in 0..2_000u32 {
+        let q = qg.q_pk_star();
+        table.execute(&q).unwrap();
+        let paged = resman.stats().paged_bytes;
+        peak = peak.max(paged);
+        if i % 400 == 0 {
+            println!(
+                "after {:>5} queries: paged pool {:>6.2} MiB (peak {:>6.2} MiB), \
+                 proactive evictions {:>6}",
+                i + 1,
+                mib(paged),
+                mib(peak),
+                resman.stats().proactive_evictions
+            );
+        }
+    }
+    resman.quiesce();
+    let s = resman.stats();
+    println!(
+        "\nquiesced: paged pool {:.2} MiB — at or below the 512 KiB upper limit: {}",
+        mib(s.paged_bytes),
+        s.paged_bytes <= UPPER
+    );
+    println!(
+        "peak observed {:.2} MiB — transient overshoot past the upper limit is \
+         expected: the proactive unload is asynchronous and never blocks a load",
+        mib(peak)
+    );
+
+    // Reactive path: a sudden low-memory situation drains the pool to the
+    // lower limit synchronously, then takes other victims by weighted LRU.
+    let freed = resman.handle_low_memory(8 << 20);
+    println!("\nlow-memory call freed {:.2} MiB synchronously", mib(freed));
+    println!("queries still work afterwards: {:?}", table.execute(&qg.q_pk_rid()).unwrap());
+}

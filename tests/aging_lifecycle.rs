@@ -1,0 +1,168 @@
+//! The complete data-aging lifecycle (paper §4) as an integration test:
+//! inserts → merges → closes → aging runs → boundary shifts → audits.
+
+use page_as_you_go::core::{DataType, LoadPolicy, PageConfig, Value, ValuePredicate};
+use page_as_you_go::resman::ResourceManager;
+use page_as_you_go::storage::{BufferPool, MemStore};
+use page_as_you_go::table::aging::AgingPolicy;
+use page_as_you_go::table::{
+    ColumnSpec, PartitionId, PartitionRange, PartitionSpec, Projection, Query, Schema, Table,
+};
+use std::sync::Arc;
+
+const OPEN: i64 = 99_991_231;
+
+fn orders_table() -> (Table, ResourceManager) {
+    let resman = ResourceManager::new();
+    let pool = BufferPool::new(Arc::new(MemStore::new()), resman.clone());
+    let schema = Schema::new(vec![
+        ColumnSpec::new("id", DataType::Integer),
+        ColumnSpec::new("status", DataType::Varchar),
+        ColumnSpec::new("amount", DataType::Decimal),
+        ColumnSpec::new("closed_on", DataType::Integer),
+    ])
+    .unwrap()
+    .with_primary_key("id")
+    .unwrap()
+    .with_partition_column("closed_on")
+    .unwrap();
+    let table = Table::create(
+        pool,
+        PageConfig::tiny(),
+        schema,
+        vec![
+            PartitionSpec::hot("hot", PartitionRange::AtLeast(Value::Integer(20_240_101))),
+            PartitionSpec::cold("cold", PartitionRange::Below(Value::Integer(20_240_101))),
+        ],
+    )
+    .unwrap();
+    (table, resman)
+}
+
+fn count(t: &Table, q: &Query) -> u64 {
+    match t.execute(q).unwrap() {
+        page_as_you_go::table::QueryResult::Count(n) => n,
+        other => panic!("{other:?}"),
+    }
+}
+
+#[test]
+fn lifecycle_preserves_every_row_and_moves_storage() {
+    let (mut t, _resman) = orders_table();
+    let policy = AgingPolicy { temperature_column: "closed_on".into(), merge_after: true };
+    // Month 1: 600 open orders.
+    for i in 0..600i64 {
+        t.insert(vec![
+            Value::Integer(i),
+            Value::Varchar("open".into()),
+            Value::Decimal(i as i128 * 99),
+            Value::Integer(OPEN),
+        ])
+        .unwrap();
+    }
+    t.delta_merge_all().unwrap();
+    assert_eq!(t.partitions()[0].visible_rows(), 600);
+
+    // Business closes orders in waves; each wave is ordinary DML.
+    for (wave, (lo, hi, date)) in
+        [(0i64, 199i64, 20_230_301i64), (200, 399, 20_230_902), (400, 499, 20_231_115)]
+            .iter()
+            .enumerate()
+    {
+        let moved = policy
+            .close_rows(
+                &mut t,
+                "id",
+                &ValuePredicate::Between(Value::Integer(*lo), Value::Integer(*hi)),
+                &Value::Integer(*date),
+            )
+            .unwrap();
+        assert_eq!(moved, (*hi - *lo + 1) as u64, "wave {wave}");
+        // Nothing lost mid-flight.
+        assert_eq!(count(&t, &Query::full(Projection::Count)), 600);
+    }
+    // Orders 500..599 stay open/hot.
+    policy.run(&mut t).unwrap();
+    assert_eq!(t.partitions()[0].visible_rows(), 100);
+    assert_eq!(t.partitions()[1].visible_rows(), 500);
+    // Cold main is page loadable; hot main resident.
+    assert_eq!(t.partitions()[1].main().column(0).policy(), LoadPolicy::PageLoadable);
+    assert_eq!(t.partitions()[0].main().column(0).policy(), LoadPolicy::FullyResident);
+
+    // Audits span both temperatures transparently.
+    let q = Query::filtered(
+        "status",
+        ValuePredicate::Eq(Value::Varchar("open".into())),
+        Projection::Count,
+    );
+    assert_eq!(count(&t, &q), 600, "status was never updated, rows just moved");
+    let q = Query::filtered(
+        "id",
+        ValuePredicate::Eq(Value::Integer(123)),
+        Projection::Columns(vec!["closed_on".into()]),
+    );
+    assert_eq!(
+        t.execute(&q).unwrap(),
+        page_as_you_go::table::QueryResult::Rows(vec![vec![Value::Integer(20_230_301)]])
+    );
+
+    // Deep-cold split: add a partition for pre-September closures and shift
+    // the cold boundary — relocation is an aging run, no data loss.
+    t.set_partition_range(
+        PartitionId(1),
+        PartitionRange::Between(Value::Integer(20_230_901), Value::Integer(20_240_101)),
+    );
+    t.add_partition(PartitionSpec::cold(
+        "deep-cold",
+        PartitionRange::Below(Value::Integer(20_230_901)),
+    ))
+    .unwrap();
+    let stats = policy.run(&mut t).unwrap();
+    assert_eq!(stats.rows_moved, 200, "march closures relocate");
+    assert_eq!(t.partitions()[2].visible_rows(), 200);
+    assert_eq!(count(&t, &Query::full(Projection::Count)), 600);
+
+    // A cold restart changes nothing observable.
+    t.unload_all();
+    assert_eq!(count(&t, &Query::full(Projection::Count)), 600);
+    assert_eq!(
+        t.execute(&q).unwrap(),
+        page_as_you_go::table::QueryResult::Rows(vec![vec![Value::Integer(20_230_301)]])
+    );
+}
+
+#[test]
+fn aging_footprint_shifts_from_resident_to_paged() {
+    let (mut t, resman) = orders_table();
+    for i in 0..2_000i64 {
+        t.insert(vec![
+            Value::Integer(i),
+            Value::Varchar(format!("state-{}", i % 5)),
+            Value::Decimal(i as i128),
+            Value::Integer(OPEN),
+        ])
+        .unwrap();
+    }
+    t.delta_merge_all().unwrap();
+    let policy = AgingPolicy { temperature_column: "closed_on".into(), merge_after: true };
+    policy
+        .close_rows(
+            &mut t,
+            "id",
+            &ValuePredicate::Between(Value::Integer(0), Value::Integer(1_799)),
+            &Value::Integer(20_200_101),
+        )
+        .unwrap();
+    policy.run(&mut t).unwrap();
+    t.unload_all();
+    // Touch one cold row: only paged resources appear.
+    let q = Query::filtered("id", ValuePredicate::Eq(Value::Integer(7)), Projection::All);
+    let _ = t.execute(&q).unwrap();
+    let stats = resman.stats();
+    assert!(stats.paged_bytes > 0, "cold access goes through the paged pool");
+    // Touch one hot row: a resident (non-paged) column load appears.
+    let q = Query::filtered("id", ValuePredicate::Eq(Value::Integer(1_900)), Projection::All);
+    let _ = t.execute(&q).unwrap();
+    let stats2 = resman.stats();
+    assert!(stats2.total_bytes > stats2.paged_bytes, "hot partitions load whole columns");
+}

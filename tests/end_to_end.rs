@@ -1,0 +1,121 @@
+//! End-to-end integration: the full stack (storage → resman → core → table)
+//! behaves identically under both load policies on a realistic workload.
+
+use page_as_you_go::core::{LoadPolicy, PageConfig};
+use page_as_you_go::resman::ResourceManager;
+use page_as_you_go::storage::{BufferPool, FileStore, MemStore};
+use page_as_you_go::table::{PartitionSpec, Query, Table};
+use page_as_you_go::workload::{generate_rows, QueryGen, TableProfile};
+use std::sync::Arc;
+
+fn build(profile: &TableProfile, policy: LoadPolicy) -> (Table, ResourceManager) {
+    let resman = ResourceManager::new();
+    let pool = BufferPool::new(Arc::new(MemStore::new()), resman.clone());
+    let mut t = Table::create(
+        pool,
+        PageConfig::tiny(),
+        profile.schema(true).unwrap(),
+        vec![PartitionSpec::single(policy)],
+    )
+    .unwrap();
+    t.insert_all(generate_rows(profile)).unwrap();
+    t.delta_merge_all().unwrap();
+    (t, resman)
+}
+
+#[test]
+fn full_workload_equivalence_across_policies() {
+    let profile = TableProfile::erp(3_000, 13, 11);
+    let (resident, _) = build(&profile, LoadPolicy::FullyResident);
+    let (paged, _) = build(&profile, LoadPolicy::PageLoadable);
+    let mut qg = QueryGen::new(profile, 5);
+    // A mixed stream of every Table 2 query shape.
+    for i in 0..120 {
+        let q = match i % 8 {
+            0 => qg.q_pk_num(),
+            1 => qg.q_pk_str(),
+            2 => qg.q_pk_star(),
+            3 => qg.q_pk_rid(),
+            4 => qg.q_num_count(),
+            5 => qg.q_str_count(),
+            6 => qg.q_range_star(0.01),
+            _ => qg.q_range_sum(0.005),
+        };
+        let a = resident.table_result(&q);
+        let b = paged.table_result(&q);
+        assert_eq!(a, b, "query {i} diverged: {q:?}");
+    }
+}
+
+trait Exec {
+    fn table_result(&self, q: &Query) -> String;
+}
+
+impl Exec for Table {
+    fn table_result(&self, q: &Query) -> String {
+        format!("{:?}", self.execute(q).unwrap())
+    }
+}
+
+#[test]
+fn eviction_during_workload_is_transparent() {
+    let profile = TableProfile::erp(2_000, 9, 3);
+    let (paged, resman) = build(&profile, LoadPolicy::PageLoadable);
+    let mut qg = QueryGen::new(profile, 9);
+    let mut expected = Vec::new();
+    let queries: Vec<Query> = (0..40).map(|_| qg.q_pk_star()).collect();
+    for q in &queries {
+        expected.push(format!("{:?}", paged.execute(q).unwrap()));
+    }
+    // Evict everything, replay: answers must be identical.
+    resman.set_paged_limits(Some(page_as_you_go::resman::PoolLimits::new(0, usize::MAX)));
+    resman.reactive_unload();
+    assert_eq!(resman.stats().paged_bytes, 0);
+    for (q, want) in queries.iter().zip(&expected) {
+        assert_eq!(&format!("{:?}", paged.execute(q).unwrap()), want);
+    }
+}
+
+#[test]
+fn file_backed_tables_survive_pool_clears() {
+    let dir = std::env::temp_dir().join(format!("payg-e2e-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let profile = TableProfile::erp(1_500, 9, 21);
+    let resman = ResourceManager::new();
+    let pool = BufferPool::new(Arc::new(FileStore::open(&dir).unwrap()), resman.clone());
+    let mut t = Table::create(
+        pool,
+        PageConfig::tiny(),
+        profile.schema(false).unwrap(),
+        vec![PartitionSpec::single(LoadPolicy::PageLoadable)],
+    )
+    .unwrap();
+    t.insert_all(generate_rows(&profile)).unwrap();
+    t.delta_merge_all().unwrap();
+    let mut qg = QueryGen::new(profile, 2);
+    let q = qg.q_pk_star();
+    let before = format!("{:?}", t.execute(&q).unwrap());
+    // Cold restart: every page must come back from disk.
+    t.unload_all();
+    assert_eq!(resman.stats().total_bytes, 0);
+    assert_eq!(format!("{:?}", t.execute(&q).unwrap()), before);
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn counts_match_brute_force() {
+    let profile = TableProfile::erp(2_500, 11, 17);
+    let rows = generate_rows(&profile);
+    let (paged, _) = build(&profile, LoadPolicy::PageLoadable);
+    let mut qg = QueryGen::new(profile.clone(), 3);
+    for _ in 0..25 {
+        let q = qg.q_str_count();
+        let (col_name, pred) = q.filter.clone().unwrap();
+        let col = profile.columns.iter().position(|c| c.name == col_name).unwrap();
+        let expect = rows.iter().filter(|r| pred.matches(&r[col])).count() as u64;
+        match paged.execute(&q).unwrap() {
+            page_as_you_go::table::QueryResult::Count(n) => assert_eq!(n, expect),
+            other => panic!("{other:?}"),
+        }
+    }
+}

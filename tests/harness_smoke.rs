@@ -1,0 +1,49 @@
+//! Smoke test of the experiment harness itself at tiny scale: every
+//! experiment must run to completion and produce a well-formed report.
+//! (Shape checks against the paper need realistic scale and are evaluated
+//! by `cargo bench`; at smoke scale a single page can exceed a whole
+//! column, so they are not asserted here.)
+
+use payg_bench::experiments;
+use payg_bench::setup::TableSet;
+use payg_bench::BenchConfig;
+
+fn suppress_csv() {
+    // Keep `cargo test` from overwriting the full-scale CSV artifacts the
+    // bench suite writes to `results/`.
+    std::env::set_var("PAYG_NO_CSV", "1");
+}
+
+#[test]
+fn every_experiment_runs_at_smoke_scale() {
+    suppress_csv();
+    let cfg = BenchConfig::smoke();
+    let tables = TableSet::new(&cfg);
+    let reports = vec![
+        experiments::fig1::run(&BenchConfig { rows: 300, ..cfg.clone() }),
+        experiments::fig4::run(&cfg, &tables),
+        experiments::fig5::run(&cfg, &tables),
+        experiments::fig6::run(&cfg, &tables),
+        experiments::fig7::run(&cfg, &tables),
+        experiments::fig8::run(&cfg, &tables),
+        experiments::fig9::run(&cfg, &tables),
+        experiments::table3::run(&cfg, &tables),
+    ];
+    for r in &reports {
+        let text = r.render();
+        assert!(text.contains(&r.id), "report renders its id");
+        assert!(!r.lines.is_empty(), "{} produced no result lines", r.id);
+        assert!(!r.checks.is_empty(), "{} evaluated no shape checks", r.id);
+    }
+    // The ids cover every figure and table of the evaluation section.
+    let ids: Vec<&str> = reports.iter().map(|r| r.id.as_str()).collect();
+    assert_eq!(ids, vec!["fig1", "fig4", "fig5", "fig6", "fig7", "fig8", "fig9", "table3"]);
+}
+
+#[test]
+fn run_all_matches_individual_runs() {
+    suppress_csv();
+    let cfg = BenchConfig::smoke();
+    let reports = experiments::run_all(&cfg);
+    assert_eq!(reports.len(), 8);
+}

@@ -1,0 +1,132 @@
+//! True restart durability: checkpoint a table to a file-backed store, drop
+//! every in-memory object (as a process exit would), reopen the directory
+//! with a fresh store, and restore the table from its catalog.
+
+use page_as_you_go::core::{LoadPolicy, PageConfig, Value, ValuePredicate};
+use page_as_you_go::resman::ResourceManager;
+use page_as_you_go::storage::{BufferPool, ChainId, FileStore};
+use page_as_you_go::table::{
+    ColumnSpec, PartitionRange, PartitionSpec, Projection, Query, Schema, Table,
+};
+use page_as_you_go::workload::{generate_rows, QueryGen, TableProfile};
+use std::sync::Arc;
+
+fn tmp_dir(tag: &str) -> std::path::PathBuf {
+    let d = std::env::temp_dir().join(format!("payg-restart-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&d);
+    d
+}
+
+#[test]
+fn erp_table_survives_a_full_restart() {
+    let dir = tmp_dir("erp");
+    let profile = TableProfile::erp(2_000, 11, 77);
+    let catalog: ChainId;
+    let queries: Vec<Query>;
+    let expected: Vec<String>;
+    {
+        // "First process": build, merge, checkpoint.
+        let pool = BufferPool::new(
+            Arc::new(FileStore::open(&dir).unwrap()),
+            ResourceManager::new(),
+        );
+        let mut t = Table::create(
+            pool,
+            PageConfig::tiny(),
+            profile.schema(true).unwrap(),
+            vec![PartitionSpec::single(LoadPolicy::PageLoadable)],
+        )
+        .unwrap();
+        t.insert_all(generate_rows(&profile)).unwrap();
+        t.delta_merge_all().unwrap();
+        catalog = t.checkpoint().unwrap();
+        let mut qg = QueryGen::new(profile.clone(), 5);
+        queries = (0..40)
+            .map(|i| match i % 4 {
+                0 => qg.q_pk_star(),
+                1 => qg.q_str_count(),
+                2 => qg.q_range_sum(0.01),
+                _ => qg.q_pk_rid(),
+            })
+            .collect();
+        expected = queries.iter().map(|q| format!("{:?}", t.execute(q).unwrap())).collect();
+        // Everything dropped here: pool, resource manager, table metadata.
+    }
+    {
+        // "Second process": a fresh store over the same directory.
+        let resman = ResourceManager::new();
+        let pool =
+            BufferPool::new(Arc::new(FileStore::open(&dir).unwrap()), resman.clone());
+        let t = Table::open(pool, catalog).unwrap();
+        assert_eq!(t.visible_rows(), profile.rows);
+        assert_eq!(resman.stats().total_bytes, 0, "restored tables start cold");
+        for (q, want) in queries.iter().zip(&expected) {
+            assert_eq!(&format!("{:?}", t.execute(q).unwrap()), want);
+        }
+        assert!(resman.stats().paged_count > 0, "queries page data back in");
+    }
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn aged_partitions_keep_policies_across_restart() {
+    let dir = tmp_dir("aged");
+    let schema = || {
+        Schema::new(vec![
+            ColumnSpec::new("id", DataType::Integer),
+            ColumnSpec::new("closed_on", DataType::Integer),
+        ])
+        .unwrap()
+        .with_primary_key("id")
+        .unwrap()
+        .with_partition_column("closed_on")
+        .unwrap()
+    };
+    use page_as_you_go::core::DataType;
+    let catalog: ChainId;
+    {
+        let pool = BufferPool::new(
+            Arc::new(FileStore::open(&dir).unwrap()),
+            ResourceManager::new(),
+        );
+        let mut t = Table::create(
+            pool,
+            PageConfig::tiny(),
+            schema(),
+            vec![
+                PartitionSpec::hot("hot", PartitionRange::AtLeast(Value::Integer(2024))),
+                PartitionSpec::cold("cold", PartitionRange::Below(Value::Integer(2024))),
+            ],
+        )
+        .unwrap();
+        for i in 0..300i64 {
+            t.insert(vec![
+                Value::Integer(i),
+                Value::Integer(if i < 100 { 2020 } else { 2025 }),
+            ])
+            .unwrap();
+        }
+        t.delta_merge_all().unwrap();
+        catalog = t.checkpoint().unwrap();
+    }
+    let pool = BufferPool::new(
+        Arc::new(FileStore::open(&dir).unwrap()),
+        ResourceManager::new(),
+    );
+    let mut t = Table::open(pool, catalog).unwrap();
+    // Partition specs, policies and routing all survive.
+    assert_eq!(t.partitions()[0].spec().load_policy, LoadPolicy::FullyResident);
+    assert_eq!(t.partitions()[1].spec().load_policy, LoadPolicy::PageLoadable);
+    assert_eq!(t.partitions()[0].visible_rows(), 200);
+    assert_eq!(t.partitions()[1].visible_rows(), 100);
+    // New cold inserts route correctly after the restart.
+    t.insert(vec![Value::Integer(9_999), Value::Integer(1_999)]).unwrap();
+    assert_eq!(t.partitions()[1].delta().visible_rows(), 1);
+    let q = Query::filtered(
+        "closed_on",
+        ValuePredicate::Between(Value::Integer(0), Value::Integer(2023)),
+        Projection::Count,
+    );
+    assert_eq!(t.execute(&q).unwrap().count(), 101);
+    std::fs::remove_dir_all(&dir).unwrap();
+}

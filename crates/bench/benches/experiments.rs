@@ -50,4 +50,11 @@ fn main() {
         reports.push(report);
     }
     print!("{}", render_footer(&reports));
+    let built = tables.built();
+    if !built.is_empty() {
+        println!("\n=== buffer pool (cumulative, per variant) ===");
+        for t in built {
+            println!("{}", t.pool_report());
+        }
+    }
 }

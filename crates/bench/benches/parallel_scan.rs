@@ -1,0 +1,195 @@
+//! `ablation/parallel_scan` — segmented parallel scans vs the sequential
+//! path, cold (LatencyStore-backed, 150 µs/page) and warm (all pages
+//! resident). Emits `BENCH_parallel_scan.json` at the workspace root with
+//! the measured speedups and the sharded pool's counters.
+//!
+//! Cold scans are I/O-bound: workers overlap their synthetic page-load
+//! sleeps, so the speedup approaches the worker count even on one CPU. Warm
+//! scans are CPU-bound: their speedup is capped by the cores actually
+//! available (reported as `cpus` in the JSON).
+
+use payg_core::datavec::PagedDataVector;
+use payg_core::{PageConfig, ScanOptions};
+use payg_encoding::{BitPackedVec, VidSet};
+use payg_resman::ResourceManager;
+use payg_storage::{BufferPool, LatencyStore, MemStore, PageStore, PoolMetrics};
+use std::fmt::Write as _;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+const ROWS: u64 = 400_000;
+const CARDINALITY: u64 = 1000;
+const WORKERS: usize = 4;
+const PAGE_LATENCY: Duration = Duration::from_micros(150);
+const COLD_ITERS: usize = 3;
+const WARM_ITERS: usize = 7;
+
+fn values() -> Vec<u64> {
+    (0..ROWS)
+        .map(|i| i.wrapping_mul(0x9E37_79B9_7F4A_7C15).wrapping_add(i >> 7) % CARDINALITY)
+        .collect()
+}
+
+fn median(mut ns: Vec<u128>) -> u128 {
+    ns.sort_unstable();
+    ns[ns.len() / 2]
+}
+
+struct Measurement {
+    seq_ns: u128,
+    par_ns: u128,
+}
+
+impl Measurement {
+    fn speedup(&self) -> f64 {
+        self.seq_ns as f64 / self.par_ns.max(1) as f64
+    }
+}
+
+/// Runs `scan` `iters` times for each path, interleaved, `reset` before
+/// every run (pool clear for cold, no-op for warm).
+fn measure(
+    iters: usize,
+    mut reset: impl FnMut(),
+    mut scan: impl FnMut(ScanOptions) -> usize,
+) -> Measurement {
+    let seq = ScanOptions::sequential();
+    let par = ScanOptions::with_workers(WORKERS);
+    let mut seq_ns = Vec::with_capacity(iters);
+    let mut par_ns = Vec::with_capacity(iters);
+    let mut expect = None;
+    for _ in 0..iters {
+        for (opts, samples) in [(seq, &mut seq_ns), (par, &mut par_ns)] {
+            reset();
+            let t0 = Instant::now();
+            let n = scan(opts);
+            samples.push(t0.elapsed().as_nanos());
+            match expect {
+                None => expect = Some(n),
+                Some(e) => assert_eq!(n, e, "parallel and sequential scans disagree"),
+            }
+        }
+    }
+    Measurement { seq_ns: median(seq_ns), par_ns: median(par_ns) }
+}
+
+fn metrics_delta(after: PoolMetrics, before: PoolMetrics) -> PoolMetrics {
+    PoolMetrics {
+        loads: after.loads - before.loads,
+        hits: after.hits - before.hits,
+        bytes_loaded: after.bytes_loaded - before.bytes_loaded,
+        load_waits: after.load_waits - before.load_waits,
+        contended: after.contended - before.contended,
+        prefetches: after.prefetches - before.prefetches,
+    }
+}
+
+fn main() {
+    let cpus = std::thread::available_parallelism().map_or(1, |n| n.get());
+    let store: Arc<dyn PageStore> = Arc::new(LatencyStore::new(MemStore::new(), PAGE_LATENCY));
+    let pool = BufferPool::new(store, ResourceManager::new());
+    let config = PageConfig {
+        datavec_page: 4096,
+        dict_page: 4096,
+        overflow_page: 4096,
+        helper_page: 4096,
+        index_page: 4096,
+        inline_limit: 128,
+    };
+    let packed = BitPackedVec::from_values(&values());
+    let paged = PagedDataVector::build(&pool, &config, &packed).unwrap();
+    let set = VidSet::range(0, CARDINALITY - 1); // nothing prunes: every page is read
+    let scan = |opts: ScanOptions| paged.par_search(0, ROWS, &set, opts).unwrap().len();
+
+    println!("=== ablation/parallel_scan ===");
+    println!(
+        "rows {ROWS}  pages {}  workers {WORKERS}  page latency {PAGE_LATENCY:?}  cpus {cpus}",
+        paged.pages()
+    );
+
+    // Cold: every page load pays the store latency; clear() empties the pool
+    // between runs. Workers overlap their loads (plus one read-ahead each).
+    let cold_before = pool.metrics();
+    let cold = measure(COLD_ITERS, || pool.clear(), scan);
+    let cold_metrics = metrics_delta(pool.metrics(), cold_before);
+
+    // Warm: one priming scan leaves every page resident; no loads remain.
+    let _ = scan(ScanOptions::sequential());
+    let warm_before = pool.metrics();
+    let warm = measure(WARM_ITERS, || (), scan);
+    let warm_metrics = metrics_delta(pool.metrics(), warm_before);
+
+    let cold_target = 2.0;
+    let warm_target = 1.5;
+    println!(
+        "cold: sequential {:.2}ms  {WORKERS}-worker {:.2}ms  speedup {:.2}x (target >= {cold_target}x)",
+        cold.seq_ns as f64 / 1e6,
+        cold.par_ns as f64 / 1e6,
+        cold.speedup()
+    );
+    println!(
+        "warm: sequential {:.2}ms  {WORKERS}-worker {:.2}ms  speedup {:.2}x (target >= {warm_target}x, cpu-bound: capped by {cpus} cpu(s))",
+        warm.seq_ns as f64 / 1e6,
+        warm.par_ns as f64 / 1e6,
+        warm.speedup()
+    );
+    println!(
+        "cold pool counters: loads {}  hits {}  load waits {}  prefetches {}  shard contention {}",
+        cold_metrics.loads,
+        cold_metrics.hits,
+        cold_metrics.load_waits,
+        cold_metrics.prefetches,
+        cold_metrics.contended
+    );
+    println!(
+        "warm pool counters: loads {}  hits {}  shard contention {}",
+        warm_metrics.loads, warm_metrics.hits, warm_metrics.contended
+    );
+    let shards = pool.shard_metrics();
+    let used = shards.iter().filter(|s| s.hits + s.misses > 0).count();
+    println!("shards: {} of {} striped ({:?} hits on the busiest)",
+        used,
+        shards.len(),
+        shards.iter().map(|s| s.hits).max().unwrap_or(0)
+    );
+
+    let mut json = String::from("{\n");
+    let _ = writeln!(json, "  \"bench\": \"ablation/parallel_scan\",");
+    let _ = writeln!(json, "  \"rows\": {ROWS},");
+    let _ = writeln!(json, "  \"pages\": {},", paged.pages());
+    let _ = writeln!(json, "  \"workers\": {WORKERS},");
+    let _ = writeln!(json, "  \"cpus\": {cpus},");
+    let _ = writeln!(json, "  \"page_latency_us\": {},", PAGE_LATENCY.as_micros());
+    let _ = writeln!(json, "  \"cold\": {{");
+    let _ = writeln!(json, "    \"sequential_ns\": {},", cold.seq_ns);
+    let _ = writeln!(json, "    \"parallel_ns\": {},", cold.par_ns);
+    let _ = writeln!(json, "    \"speedup\": {:.3},", cold.speedup());
+    let _ = writeln!(json, "    \"target\": {cold_target},");
+    let _ = writeln!(json, "    \"met\": {},", cold.speedup() >= cold_target);
+    let _ = writeln!(json, "    \"loads\": {},", cold_metrics.loads);
+    let _ = writeln!(json, "    \"load_waits\": {},", cold_metrics.load_waits);
+    let _ = writeln!(json, "    \"prefetches\": {}", cold_metrics.prefetches);
+    let _ = writeln!(json, "  }},");
+    let _ = writeln!(json, "  \"warm\": {{");
+    let _ = writeln!(json, "    \"sequential_ns\": {},", warm.seq_ns);
+    let _ = writeln!(json, "    \"parallel_ns\": {},", warm.par_ns);
+    let _ = writeln!(json, "    \"speedup\": {:.3},", warm.speedup());
+    let _ = writeln!(json, "    \"target\": {warm_target},");
+    let _ = writeln!(json, "    \"met\": {},", warm.speedup() >= warm_target);
+    let _ = writeln!(json, "    \"loads\": {},", warm_metrics.loads);
+    let _ = writeln!(json, "    \"hits\": {}", warm_metrics.hits);
+    let _ = writeln!(json, "  }},");
+    let _ = writeln!(json, "  \"pool\": {{");
+    let _ = writeln!(json, "    \"shards\": {},", shards.len());
+    let _ = writeln!(json, "    \"shards_used\": {used},");
+    let _ = writeln!(json, "    \"contended\": {}", pool.metrics().contended);
+    let _ = writeln!(json, "  }}");
+    json.push_str("}\n");
+
+    // CARGO_MANIFEST_DIR of payg-bench is <workspace>/crates/bench.
+    let path = std::path::PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("../..")
+        .join("BENCH_parallel_scan.json");
+    std::fs::write(&path, &json).unwrap();
+    println!("wrote {}", path.display());
+}

@@ -81,6 +81,20 @@ impl ExperimentTable {
     pub fn cold_restart(&self) {
         self.table.unload_all();
     }
+
+    /// One-line buffer pool counter summary (cumulative over every
+    /// experiment this variant served) — the sharded pool's observability
+    /// rollup.
+    pub fn pool_report(&self) -> String {
+        let m = self.table.pool().metrics();
+        let shards = self.table.pool().shard_metrics();
+        let used = shards.iter().filter(|s| s.hits + s.misses > 0).count();
+        format!(
+            "{:<6} loads {:<9} hits {:<10} load-waits {:<6} prefetches {:<6} lock contention {:<5} shards used {}/{}",
+            self.label, m.loads, m.hits, m.load_waits, m.prefetches, m.contended, used,
+            shards.len()
+        )
+    }
 }
 
 /// Builds one variant of the generated table: insert everything (streamed,
@@ -157,6 +171,14 @@ impl TableSet {
         t.cold_restart();
         t.resman.quiesce();
         t
+    }
+
+    /// Every variant built so far (label order), for end-of-run reporting.
+    pub fn built(&self) -> Vec<Arc<ExperimentTable>> {
+        let cells = self.cells.lock();
+        let mut all: Vec<Arc<ExperimentTable>> = cells.values().cloned().collect();
+        all.sort_by_key(|t| t.label);
+        all
     }
 }
 

@@ -23,6 +23,7 @@ pub use paged::{IndexMode, PagedColumn};
 pub use read::ColumnRead;
 pub use resident::ResidentColumn;
 
+use crate::datavec::ScanOptions;
 use crate::meta::{MetaReader, MetaWriter};
 use crate::{CoreError, CoreResult, DataType, PageConfig, Value, ValuePredicate};
 use payg_encoding::VidSet;
@@ -322,6 +323,32 @@ impl ColumnRead for Column {
         match self {
             Column::Resident(c) => c.count_rows(pred, from, to),
             Column::Paged(c) => c.count_rows(pred, from, to),
+        }
+    }
+
+    fn find_rows_par(
+        &self,
+        pred: &ValuePredicate,
+        from: u64,
+        to: u64,
+        opts: ScanOptions,
+    ) -> CoreResult<Vec<u64>> {
+        match self {
+            Column::Resident(c) => c.find_rows_par(pred, from, to, opts),
+            Column::Paged(c) => c.find_rows_par(pred, from, to, opts),
+        }
+    }
+
+    fn count_rows_par(
+        &self,
+        pred: &ValuePredicate,
+        from: u64,
+        to: u64,
+        opts: ScanOptions,
+    ) -> CoreResult<u64> {
+        match self {
+            Column::Resident(c) => c.count_rows_par(pred, from, to, opts),
+            Column::Paged(c) => c.count_rows_par(pred, from, to, opts),
         }
     }
 }

@@ -1,6 +1,7 @@
 //! The page-loadable column.
 
 use crate::column::read::ColumnRead;
+use crate::datavec::ScanOptions;
 use crate::dict::HandleCache;
 use crate::invidx::PagedInvertedIndex;
 use crate::{CoreResult, DataType, PageConfig, Value, ValuePredicate};
@@ -160,6 +161,79 @@ impl PagedColumn {
             }
         })
     }
+
+    /// Shared body of `find_rows` / `find_rows_par`: translate the predicate,
+    /// then answer from the index (always sequential — postings are vid-major,
+    /// not row-major) or scan the data vector, segmented when `opts` allows.
+    fn find_rows_impl(
+        &self,
+        pred: &ValuePredicate,
+        from: u64,
+        to: u64,
+        opts: ScanOptions,
+    ) -> CoreResult<Vec<u64>> {
+        let mut cache = self.cache();
+        let set = self.vid_set_cached(pred, &mut cache)?;
+        let mut out = Vec::new();
+        if set.is_empty() {
+            return Ok(out);
+        }
+        match self.parts.index_for_search()? {
+            // Alg. 5: answer from the paged inverted index.
+            Some(index) => {
+                let mut it = index.iter();
+                for vid in set.iter() {
+                    if let Some(first) = it.get_first_row_pos(vid)? {
+                        if first >= from && first < to {
+                            out.push(first);
+                        }
+                        while let Some(rpos) = it.get_next_row_pos()? {
+                            if rpos >= from && rpos < to {
+                                out.push(rpos);
+                            }
+                        }
+                    }
+                }
+                out.sort_unstable();
+            }
+            // Alg. 1: scan the paged data vector, loading only the pages
+            // that overlap the row range — segmented across workers when
+            // `opts` allows.
+            None => {
+                let to = to.min(self.parts.len);
+                if opts.workers > 1 {
+                    out = self.parts.data.par_search(from, to, &set, opts)?;
+                } else {
+                    self.parts.data.iter().search(from, to, &set, &mut out)?;
+                }
+            }
+        }
+        Ok(out)
+    }
+
+    /// Full-range counts with an inverted index come straight from the
+    /// directory — no postinglist pages load. `None` when the shortcut does
+    /// not apply.
+    fn count_from_directory(
+        &self,
+        pred: &ValuePredicate,
+        from: u64,
+        to: u64,
+    ) -> CoreResult<Option<u64>> {
+        if let Some(index) = self.parts.index_for_search()? {
+            if from == 0 && to >= self.parts.len {
+                let mut cache = self.cache();
+                let set = self.vid_set_cached(pred, &mut cache)?;
+                let mut it = index.iter();
+                let mut n = 0u64;
+                for vid in set.iter() {
+                    n += it.posting_count(vid)?;
+                }
+                return Ok(Some(n));
+            }
+        }
+        Ok(None)
+    }
 }
 
 impl ColumnRead for PagedColumn {
@@ -219,37 +293,30 @@ impl ColumnRead for PagedColumn {
     }
 
     fn find_rows(&self, pred: &ValuePredicate, from: u64, to: u64) -> CoreResult<Vec<u64>> {
-        let mut cache = self.cache();
-        let set = self.vid_set_cached(pred, &mut cache)?;
-        let mut out = Vec::new();
-        if set.is_empty() {
-            return Ok(out);
+        self.find_rows_impl(pred, from, to, ScanOptions::sequential())
+    }
+
+    fn find_rows_par(
+        &self,
+        pred: &ValuePredicate,
+        from: u64,
+        to: u64,
+        opts: ScanOptions,
+    ) -> CoreResult<Vec<u64>> {
+        self.find_rows_impl(pred, from, to, opts)
+    }
+
+    fn count_rows_par(
+        &self,
+        pred: &ValuePredicate,
+        from: u64,
+        to: u64,
+        opts: ScanOptions,
+    ) -> CoreResult<u64> {
+        if let Some(n) = self.count_from_directory(pred, from, to)? {
+            return Ok(n);
         }
-        match self.parts.index_for_search()? {
-            // Alg. 5: answer from the paged inverted index.
-            Some(index) => {
-                let mut it = index.iter();
-                for vid in set.iter() {
-                    if let Some(first) = it.get_first_row_pos(vid)? {
-                        if first >= from && first < to {
-                            out.push(first);
-                        }
-                        while let Some(rpos) = it.get_next_row_pos()? {
-                            if rpos >= from && rpos < to {
-                                out.push(rpos);
-                            }
-                        }
-                    }
-                }
-                out.sort_unstable();
-            }
-            // Alg. 1: scan the paged data vector, loading only the pages
-            // that overlap the row range.
-            None => {
-                self.parts.data.iter().search(from, to.min(self.parts.len), &set, &mut out)?;
-            }
-        }
-        Ok(out)
+        Ok(self.find_rows_impl(pred, from, to, opts)?.len() as u64)
     }
 
     fn key_by_vid(&self, vid: u64) -> CoreResult<Vec<u8>> {
@@ -258,19 +325,8 @@ impl ColumnRead for PagedColumn {
     }
 
     fn count_rows(&self, pred: &ValuePredicate, from: u64, to: u64) -> CoreResult<u64> {
-        // Full-range counts with an inverted index come straight from the
-        // directory — no postinglist pages load.
-        if let Some(index) = self.parts.index_for_search()? {
-            if from == 0 && to >= self.parts.len {
-                let mut cache = self.cache();
-                let set = self.vid_set_cached(pred, &mut cache)?;
-                let mut it = index.iter();
-                let mut n = 0u64;
-                for vid in set.iter() {
-                    n += it.posting_count(vid)?;
-                }
-                return Ok(n);
-            }
+        if let Some(n) = self.count_from_directory(pred, from, to)? {
+            return Ok(n);
         }
         Ok(self.find_rows(pred, from, to)?.len() as u64)
     }

@@ -1,5 +1,6 @@
 //! The uniform read interface over both column kinds.
 
+use crate::datavec::ScanOptions;
 use crate::{CoreResult, DataType, Value, ValuePredicate};
 use payg_encoding::VidSet;
 
@@ -52,5 +53,32 @@ pub trait ColumnRead {
     /// Counts rows in `from..to` matching `pred`.
     fn count_rows(&self, pred: &ValuePredicate, from: u64, to: u64) -> CoreResult<u64> {
         Ok(self.find_rows(pred, from, to)?.len() as u64)
+    }
+
+    /// [`ColumnRead::find_rows`] with an explicit parallelism budget. The
+    /// result is bit-identical to the sequential scan; implementations that
+    /// cannot parallelize fall back to it. Index-backed answers stay
+    /// sequential — segmenting pays off on data-vector scans, where each
+    /// partition touches disjoint pages.
+    fn find_rows_par(
+        &self,
+        pred: &ValuePredicate,
+        from: u64,
+        to: u64,
+        opts: ScanOptions,
+    ) -> CoreResult<Vec<u64>> {
+        let _ = opts;
+        self.find_rows(pred, from, to)
+    }
+
+    /// [`ColumnRead::count_rows`] with an explicit parallelism budget.
+    fn count_rows_par(
+        &self,
+        pred: &ValuePredicate,
+        from: u64,
+        to: u64,
+        opts: ScanOptions,
+    ) -> CoreResult<u64> {
+        Ok(self.find_rows_par(pred, from, to, opts)?.len() as u64)
     }
 }

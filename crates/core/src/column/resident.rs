@@ -2,6 +2,7 @@
 
 use crate::column::paged::ColumnParts;
 use crate::column::read::ColumnRead;
+use crate::datavec::{par_search_resident, ScanOptions};
 use crate::dict::InMemoryDict;
 use crate::invidx::InMemoryInvertedIndex;
 use crate::{CoreError, CoreResult, DataType, Value, ValuePredicate};
@@ -171,6 +172,44 @@ impl ResidentColumn {
             }
         })
     }
+
+    /// Shared body of `find_rows` / `find_rows_par`: index postings stay
+    /// sequential; the packed-vector scan segments across chunk-aligned
+    /// ranges when `opts` allows.
+    fn find_rows_impl(
+        &self,
+        pred: &ValuePredicate,
+        from: u64,
+        to: u64,
+        opts: ScanOptions,
+    ) -> CoreResult<Vec<u64>> {
+        let image = self.image()?;
+        if from > to || to > self.parts.len {
+            return Err(CoreError::RowOutOfBounds { rpos: to, len: self.parts.len });
+        }
+        let set = self.vid_set_from_image(&image, pred)?;
+        let mut out = Vec::new();
+        if set.is_empty() {
+            return Ok(out);
+        }
+        match &image.index {
+            Some(index) => {
+                for vid in set.iter() {
+                    for rpos in index.postings(vid)? {
+                        if rpos >= from && rpos < to {
+                            out.push(rpos);
+                        }
+                    }
+                }
+                out.sort_unstable();
+            }
+            None if opts.workers > 1 => {
+                out = par_search_resident(&image.data, from, to, &set, opts.workers);
+            }
+            None => scan::search(&image.data, from, to, &set, &mut out),
+        }
+        Ok(out)
+    }
 }
 
 impl ColumnRead for ResidentColumn {
@@ -236,29 +275,17 @@ impl ColumnRead for ResidentColumn {
     }
 
     fn find_rows(&self, pred: &ValuePredicate, from: u64, to: u64) -> CoreResult<Vec<u64>> {
-        let image = self.image()?;
-        if from > to || to > self.parts.len {
-            return Err(CoreError::RowOutOfBounds { rpos: to, len: self.parts.len });
-        }
-        let set = self.vid_set_from_image(&image, pred)?;
-        let mut out = Vec::new();
-        if set.is_empty() {
-            return Ok(out);
-        }
-        match &image.index {
-            Some(index) => {
-                for vid in set.iter() {
-                    for rpos in index.postings(vid)? {
-                        if rpos >= from && rpos < to {
-                            out.push(rpos);
-                        }
-                    }
-                }
-                out.sort_unstable();
-            }
-            None => scan::search(&image.data, from, to, &set, &mut out),
-        }
-        Ok(out)
+        self.find_rows_impl(pred, from, to, ScanOptions::sequential())
+    }
+
+    fn find_rows_par(
+        &self,
+        pred: &ValuePredicate,
+        from: u64,
+        to: u64,
+        opts: ScanOptions,
+    ) -> CoreResult<Vec<u64>> {
+        self.find_rows_impl(pred, from, to, opts)
     }
 
     fn key_by_vid(&self, vid: u64) -> CoreResult<Vec<u8>> {

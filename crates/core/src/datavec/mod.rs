@@ -7,6 +7,8 @@
 //! stateful, repositioning iterator.
 
 mod paged;
+mod parallel;
 
 pub use paged::{PagedDataVector, PagedDataVectorIterator};
+pub use parallel::{par_search_resident, scan_partitions, ScanOptions, ScanPartition};
 pub use payg_encoding::BitPackedVec;

@@ -125,6 +125,21 @@ impl PagedDataVector {
         Some(chunk::chunk_of(rpos) / self.meta.chunks_per_page)
     }
 
+    /// Rows covered by one full page (0 at width 0, where no pages exist).
+    pub fn rows_per_page(&self) -> u64 {
+        self.meta.chunks_per_page * CHUNK_LEN as u64
+    }
+
+    /// The store address of logical page `page_no`.
+    pub fn page_key(&self, page_no: u64) -> PageKey {
+        PageKey::new(self.meta.chain.chain, page_no)
+    }
+
+    /// The buffer pool this vector reads through.
+    pub fn pool(&self) -> &BufferPool {
+        &self.pool
+    }
+
     /// Creates a stateful read iterator (§3.1.2). The iterator holds at most
     /// one pinned page and repositions — releasing the previous pin, then
     /// pinning the next page — as accesses cross page boundaries.

@@ -1,0 +1,386 @@
+//! Parallel segmented scans over data vectors.
+//!
+//! A scan splits its row range into page-aligned [`ScanPartition`]s *after*
+//! page-summary pruning (§3.3): pages whose (min, max) summary cannot match
+//! the predicate are excluded before the split, so workers divide only the
+//! pages that will actually be read. Each worker drives its own stateful,
+//! repositioning iterator — holding exactly one pinned page at a time, as
+//! §3.1.2 prescribes — plus one asynchronous read-ahead slot that loads the
+//! worker's next surviving page while the current one is being scanned.
+//! Per-segment results are concatenated in partition order, which makes the
+//! output bit-identical to the sequential scan.
+
+use crate::datavec::PagedDataVector;
+use crate::{CoreError, CoreResult};
+use payg_encoding::chunk::CHUNK_LEN;
+use payg_encoding::{scan, BitPackedVec, VidSet};
+use payg_storage::Prefetcher;
+
+/// How a scan may parallelize.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ScanOptions {
+    /// Maximum worker threads (1 = sequential on the calling thread).
+    pub workers: usize,
+    /// Whether each worker runs an async read-ahead slot for its next page.
+    /// Only affects paged scans.
+    pub prefetch: bool,
+}
+
+impl ScanOptions {
+    /// Sequential scan on the calling thread (the default).
+    pub const fn sequential() -> Self {
+        ScanOptions { workers: 1, prefetch: false }
+    }
+
+    /// Parallel scan with `workers` threads and read-ahead enabled.
+    pub fn with_workers(workers: usize) -> Self {
+        ScanOptions { workers: workers.max(1), prefetch: true }
+    }
+}
+
+impl Default for ScanOptions {
+    fn default() -> Self {
+        Self::sequential()
+    }
+}
+
+/// One worker's share of a segmented scan: a row range whose interior
+/// boundaries fall on page (paged) or chunk (resident) boundaries.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ScanPartition {
+    /// First row (inclusive).
+    pub from: u64,
+    /// One past the last row.
+    pub to: u64,
+}
+
+impl ScanPartition {
+    /// Rows covered.
+    pub fn rows(&self) -> u64 {
+        self.to - self.from
+    }
+}
+
+/// Splits the scan range `from..to` over `vec`'s page chain into at most
+/// `workers` partitions. Pages whose summary does not overlap `set` are
+/// pruned *first*; the surviving pages are divided into contiguous groups of
+/// near-equal size, so workers are balanced by pages actually read, not by
+/// raw row count. Returns no partitions when every page is pruned.
+pub fn scan_partitions(
+    vec: &PagedDataVector,
+    from: u64,
+    to: u64,
+    set: Option<&VidSet>,
+    workers: usize,
+) -> Vec<ScanPartition> {
+    if from >= to {
+        return Vec::new();
+    }
+    let rpp = vec.rows_per_page();
+    if rpp == 0 {
+        // Width 0: no pages exist, the scan is pure arithmetic.
+        return vec![ScanPartition { from, to }];
+    }
+    let first = from / rpp;
+    let last = (to - 1) / rpp;
+    let surviving: Vec<u64> = (first..=last)
+        .filter(|&p| {
+            set.is_none_or(|s| {
+                let (lo, hi) = vec.page_summary(p);
+                s.overlaps(lo, hi)
+            })
+        })
+        .collect();
+    if surviving.is_empty() {
+        return Vec::new();
+    }
+    let w = workers.max(1).min(surviving.len());
+    let base = surviving.len() / w;
+    let rem = surviving.len() % w;
+    let mut parts = Vec::with_capacity(w);
+    let mut idx = 0;
+    for i in 0..w {
+        let take = base + usize::from(i < rem);
+        let group = &surviving[idx..idx + take];
+        idx += take;
+        parts.push(ScanPartition {
+            from: from.max(group[0] * rpp),
+            to: to.min((group[group.len() - 1] + 1) * rpp),
+        });
+    }
+    parts
+}
+
+/// Scans one partition with a private repositioning iterator (one pin) and,
+/// when enabled, a private read-ahead slot for the next surviving page.
+fn scan_partition_worker(
+    vec: &PagedDataVector,
+    part: ScanPartition,
+    set: &VidSet,
+    prefetch: bool,
+) -> CoreResult<Vec<u64>> {
+    let mut out = Vec::new();
+    let rpp = vec.rows_per_page();
+    let mut it = vec.iter();
+    if !prefetch || rpp == 0 {
+        it.search(part.from, part.to, set, &mut out)?;
+        return Ok(out);
+    }
+    let survives = |p: u64| {
+        let (lo, hi) = vec.page_summary(p);
+        set.overlaps(lo, hi)
+    };
+    // The read-ahead slot spawns lazily: a warm scan (every page resident)
+    // never pays for the thread.
+    let mut slot: Option<Prefetcher> = None;
+    let first = part.from / rpp;
+    let last = (part.to - 1) / rpp;
+    for page in first..=last {
+        if !survives(page) {
+            continue;
+        }
+        // Read ahead: start loading the next surviving page before scanning
+        // this one, so the store latency overlaps the predicate work. The
+        // pool's single-flight load states make our later pin join that load
+        // instead of duplicating it.
+        if let Some(next) = (page + 1..=last).find(|&p| survives(p)) {
+            let key = vec.page_key(next);
+            if !vec.pool().is_resident(key) {
+                slot.get_or_insert_with(|| vec.pool().prefetcher()).request(key);
+            }
+        }
+        let lo = part.from.max(page * rpp);
+        let hi = part.to.min((page + 1) * rpp);
+        it.search(lo, hi, set, &mut out)?;
+    }
+    Ok(out)
+}
+
+impl PagedDataVector {
+    /// Parallel `search(range-of-rows, set-of-vids)`: identical results to
+    /// [`crate::datavec::PagedDataVectorIterator::search`] over the same
+    /// range, computed by up to `opts.workers` segment workers. Each worker
+    /// holds one pinned page (plus one read-ahead slot when enabled); pruned
+    /// pages are skipped before partitioning.
+    pub fn par_search(
+        &self,
+        from: u64,
+        to: u64,
+        set: &VidSet,
+        opts: ScanOptions,
+    ) -> CoreResult<Vec<u64>> {
+        if from > to || to > self.len() {
+            return Err(CoreError::RowOutOfBounds { rpos: to, len: self.len() });
+        }
+        let mut out = Vec::new();
+        if from == to || set.is_empty() {
+            return Ok(out);
+        }
+        if self.width().bits() == 0 {
+            self.iter().search(from, to, set, &mut out)?;
+            return Ok(out);
+        }
+        // Cold scans are I/O-bound: more workers than cores still helps,
+        // because they overlap page-load latency. A fully-resident range is
+        // CPU-bound, so extra workers beyond the actual cores only add
+        // scheduling overhead — cap them.
+        let mut workers = opts.workers;
+        if workers > 1 {
+            let rpp = self.rows_per_page();
+            let all_resident = ((from / rpp)..=((to - 1) / rpp))
+                .all(|p| self.pool().is_resident(self.page_key(p)));
+            if all_resident {
+                let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+                workers = workers.min(cores);
+            }
+        }
+        let parts = scan_partitions(self, from, to, Some(set), workers);
+        match parts.as_slice() {
+            [] => Ok(out),
+            [only] => scan_partition_worker(self, *only, set, opts.prefetch),
+            many => std::thread::scope(|s| {
+                let handles: Vec<_> = many
+                    .iter()
+                    .map(|&part| {
+                        s.spawn(move || scan_partition_worker(self, part, set, opts.prefetch))
+                    })
+                    .collect();
+                // Joining in partition order keeps the concatenation
+                // ascending — bit-identical to the sequential scan.
+                for h in handles {
+                    let segment = h.join().unwrap_or_else(|e| std::panic::resume_unwind(e))?;
+                    out.extend(segment);
+                }
+                Ok(out)
+            }),
+        }
+    }
+}
+
+/// Parallel scan over a fully-resident packed vector: identical results to
+/// [`scan::search`] over `from..to`, computed by up to `workers` threads on
+/// chunk-aligned segments.
+pub fn par_search_resident(
+    vec: &BitPackedVec,
+    from: u64,
+    to: u64,
+    set: &VidSet,
+    workers: usize,
+) -> Vec<u64> {
+    let mut out = Vec::new();
+    if from >= to || set.is_empty() {
+        return out;
+    }
+    let first = from / CHUNK_LEN as u64;
+    let last = (to - 1) / CHUNK_LEN as u64;
+    let chunks = last - first + 1;
+    // Always CPU-bound (no I/O to overlap): workers beyond the actual cores
+    // only add scheduling overhead.
+    let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+    let w = workers.max(1).min(cores).min(chunks as usize).min(u32::MAX as usize) as u64;
+    if w <= 1 {
+        scan::search(vec, from, to, set, &mut out);
+        return out;
+    }
+    let base = chunks / w;
+    let rem = chunks % w;
+    let mut parts = Vec::with_capacity(w as usize);
+    let mut chunk = first;
+    for i in 0..w {
+        let take = base + u64::from(i < rem);
+        let begin = chunk;
+        chunk += take;
+        parts.push(ScanPartition {
+            from: from.max(begin * CHUNK_LEN as u64),
+            to: to.min(chunk * CHUNK_LEN as u64),
+        });
+    }
+    std::thread::scope(|s| {
+        let handles: Vec<_> = parts
+            .into_iter()
+            .map(|part| {
+                s.spawn(move || {
+                    let mut local = Vec::new();
+                    scan::search(vec, part.from, part.to, set, &mut local);
+                    local
+                })
+            })
+            .collect();
+        for h in handles {
+            out.extend(h.join().unwrap_or_else(|e| std::panic::resume_unwind(e)));
+        }
+    });
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::PageConfig;
+    use payg_resman::ResourceManager;
+    use payg_storage::{BufferPool, MemStore};
+    use std::sync::Arc;
+
+    fn sample(len: usize, card: u64, seed: u64) -> Vec<u64> {
+        (0..len as u64)
+            .map(|i| {
+                seed.wrapping_mul(0x9E37_79B9_7F4A_7C15)
+                    .wrapping_add(i)
+                    .wrapping_mul(0xBF58_476D_1CE4_E5B9)
+                    % card
+            })
+            .collect()
+    }
+
+    fn build(values: &[u64]) -> (BufferPool, PagedDataVector, BitPackedVec) {
+        let pool = BufferPool::new(Arc::new(MemStore::new()), ResourceManager::new());
+        let packed = BitPackedVec::from_values(values);
+        let paged = PagedDataVector::build(&pool, &PageConfig::tiny(), &packed).unwrap();
+        (pool, paged, packed)
+    }
+
+    #[test]
+    fn partitions_are_page_aligned_and_cover_the_range() {
+        let values = sample(4000, 500, 11);
+        let (_pool, paged, _) = build(&values);
+        let rpp = paged.rows_per_page();
+        assert!(rpp > 0);
+        for workers in [1, 2, 3, 4, 7] {
+            let parts = scan_partitions(&paged, 100, 3900, None, workers);
+            assert!(parts.len() <= workers);
+            assert_eq!(parts.first().unwrap().from, 100);
+            assert_eq!(parts.last().unwrap().to, 3900);
+            for pair in parts.windows(2) {
+                assert_eq!(pair[0].to, pair[1].from, "contiguous without pruning");
+                assert_eq!(pair[0].to % rpp, 0, "interior boundaries page-aligned");
+            }
+        }
+    }
+
+    #[test]
+    fn pruned_pages_are_excluded_before_partitioning() {
+        // Clustered values give disjoint page summaries.
+        let values: Vec<u64> = (0..4096u64).map(|i| i / 16).collect();
+        let (_pool, paged, _) = build(&values);
+        let set = VidSet::range(0, 10); // only the first pages survive
+        let parts = scan_partitions(&paged, 0, 4096, Some(&set), 4);
+        let covered: u64 = parts.iter().map(|p| p.rows()).sum();
+        assert!(covered < 4096, "pruning shrank the partitioned rows");
+        // A fully disjoint predicate yields no partitions at all.
+        assert!(scan_partitions(&paged, 0, 4096, Some(&VidSet::Single(9999)), 4).is_empty());
+    }
+
+    #[test]
+    fn par_search_matches_sequential_paged() {
+        let values = sample(6000, 97, 12);
+        let (_pool, paged, _) = build(&values);
+        for set in [VidSet::Single(13), VidSet::range(20, 60), VidSet::from_vids(vec![0, 50, 96])] {
+            for (from, to) in [(0u64, 6000u64), (123, 5991), (64, 128), (0, 1)] {
+                let mut seq = Vec::new();
+                paged.iter().search(from, to, &set, &mut seq).unwrap();
+                for workers in [1, 2, 4, 7] {
+                    for prefetch in [false, true] {
+                        let par = paged
+                            .par_search(from, to, &set, ScanOptions { workers, prefetch })
+                            .unwrap();
+                        assert_eq!(par, seq, "workers={workers} prefetch={prefetch} {from}..{to}");
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn par_search_matches_sequential_resident() {
+        let values = sample(5000, 250, 13);
+        let packed = BitPackedVec::from_values(&values);
+        let set = VidSet::range(10, 100);
+        for (from, to) in [(0u64, 5000u64), (77, 4800), (0, 63)] {
+            let mut seq = Vec::new();
+            scan::search(&packed, from, to, &set, &mut seq);
+            for workers in [1, 2, 4, 9] {
+                assert_eq!(par_search_resident(&packed, from, to, &set, workers), seq);
+            }
+        }
+    }
+
+    #[test]
+    fn par_search_zero_width_and_bounds() {
+        let values = vec![0u64; 1000];
+        let (_pool, paged, _) = build(&values);
+        let out = paged.par_search(10, 20, &VidSet::Single(0), ScanOptions::with_workers(4)).unwrap();
+        assert_eq!(out, (10..20).collect::<Vec<u64>>());
+        assert!(paged.par_search(0, 1001, &VidSet::Single(0), ScanOptions::with_workers(4)).is_err());
+    }
+
+    #[test]
+    fn parallel_workers_load_disjoint_pages_once() {
+        let values = sample(4000, 500, 14);
+        let (pool, paged, _) = build(&values);
+        let set = VidSet::range(0, 499); // nothing prunes: every page loads
+        let out = paged.par_search(0, 4000, &set, ScanOptions::with_workers(4)).unwrap();
+        assert_eq!(out.len(), 4000);
+        let m = pool.metrics();
+        assert_eq!(m.loads, paged.pages(), "each page loaded exactly once across workers");
+    }
+}

@@ -34,5 +34,6 @@ pub mod value;
 
 pub use column::{Column, ColumnBuilder, ColumnRead, IndexMode, LoadPolicy};
 pub use config::PageConfig;
+pub use datavec::{ScanOptions, ScanPartition};
 pub use error::{CoreError, CoreResult};
 pub use value::{DataType, Value, ValuePredicate};

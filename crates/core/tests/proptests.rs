@@ -207,6 +207,91 @@ proptest! {
 }
 
 proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Parallel segmented scans are bit-identical to the sequential
+    /// iterator at the data-vector level, across random bit widths, search
+    /// ranges, vid sets and partition counts, with and without read-ahead.
+    #[test]
+    fn par_search_equals_sequential_datavec(
+        bits in 1u32..16,
+        n in 1usize..1500,
+        seed in any::<u64>(),
+        workers in 1usize..8,
+        prefetch in any::<bool>(),
+        set_kind in 0u8..3,
+    ) {
+        let mask = (1u64 << bits) - 1;
+        let values: Vec<u64> = (0..n as u64)
+            .map(|i| seed.wrapping_mul(0x9E37_79B9_7F4A_7C15).wrapping_add(i * 0x1000_0001) & mask)
+            .collect();
+        let packed = BitPackedVec::from_values_with_width(
+            &values,
+            payg_encoding::BitWidth::new(bits).unwrap(),
+        );
+        let paged = PagedDataVector::build(&pool(), &PageConfig::tiny(), &packed).unwrap();
+        let probe = values[seed as usize % n];
+        let set = match set_kind {
+            0 => VidSet::Single(probe),
+            1 => VidSet::range(probe / 2, probe.max(1)),
+            _ => VidSet::from_vids(vec![probe, probe ^ 1, mask / 2]),
+        };
+        let from = seed % (n as u64 + 1);
+        let to = from + (seed >> 7) % (n as u64 - from + 1);
+        let mut seq = Vec::new();
+        paged.iter().search(from, to, &set, &mut seq).unwrap();
+        let par = paged
+            .par_search(from, to, &set, payg_core::ScanOptions { workers, prefetch })
+            .unwrap();
+        prop_assert_eq!(&par, &seq);
+        // And the resident parallel scan agrees with the resident reference.
+        let mut res_seq = Vec::new();
+        payg_encoding::scan::search(&packed, from, to, &set, &mut res_seq);
+        prop_assert_eq!(&res_seq, &seq);
+        let res_par =
+            payg_core::datavec::par_search_resident(&packed, from, to, &set, workers);
+        prop_assert_eq!(&res_par, &seq);
+    }
+
+    /// `find_rows_par` ≡ `find_rows` ≡ direct evaluation for paged and
+    /// resident columns across random predicates and partition counts.
+    #[test]
+    fn find_rows_par_equals_sequential_columns(
+        ints in prop::collection::vec(-60i64..60, 1..400),
+        probe in -60i64..60,
+        lo in -60i64..60,
+        span in 0i64..50,
+        workers in 2usize..7,
+    ) {
+        let values: Vec<Value> = ints.iter().map(|&i| Value::Integer(i)).collect();
+        let pool = pool();
+        let opts = payg_core::ScanOptions::with_workers(workers);
+        for policy in [LoadPolicy::FullyResident, LoadPolicy::PageLoadable] {
+            let col = ColumnBuilder::new(DataType::Integer)
+                .policy(policy)
+                .build(&pool, &PageConfig::tiny(), &values)
+                .unwrap()
+                .column;
+            for pred in [
+                ValuePredicate::Eq(Value::Integer(probe)),
+                ValuePredicate::Between(Value::Integer(lo), Value::Integer(lo + span)),
+                ValuePredicate::In(vec![Value::Integer(probe), Value::Integer(lo)]),
+            ] {
+                let expect: Vec<u64> = (0..values.len() as u64)
+                    .filter(|&i| pred.matches(&values[i as usize]))
+                    .collect();
+                prop_assert_eq!(col.find_rows(&pred, 0, values.len() as u64).unwrap(), expect.clone());
+                prop_assert_eq!(col.find_rows_par(&pred, 0, values.len() as u64, opts).unwrap(), expect.clone());
+                prop_assert_eq!(
+                    col.count_rows_par(&pred, 0, values.len() as u64, opts).unwrap(),
+                    expect.len() as u64
+                );
+            }
+        }
+    }
+}
+
+proptest! {
     #![proptest_config(ProptestConfig::with_cases(12))]
 
     /// Checkpoint round-trip: a column reopened from its serialized

@@ -461,9 +461,11 @@ mod tests {
     fn pinned_resources_are_never_evicted() {
         let hits = Arc::new(AtomicUsize::new(0));
         let m = ResourceManager::new();
-        m.set_paged_limits(Some(PoolLimits::new(0, 10)));
+        // Pin before limits exist: registering an unpinned resource over the
+        // upper limit would race the async worker against our `pin` below.
         let id = m.register(100, Disposition::PagedAttribute, counter_evict(&hits));
         assert!(m.pin(id));
+        m.set_paged_limits(Some(PoolLimits::new(0, 10)));
         m.quiesce();
         assert_eq!(m.reactive_unload(), 0);
         assert_eq!(hits.load(Ordering::SeqCst), 0);
@@ -477,12 +479,16 @@ mod tests {
 
     #[test]
     fn proactive_unload_fires_above_upper_and_stops_at_lower() {
-        let m = ResourceManager::with_paged_limits(PoolLimits::new(150, 250));
+        let m = ResourceManager::new();
+        // Register everything first: with limits already set, the worker may
+        // run mid-loop, leaving the pool between the limits (no wake) at the
+        // end. Setting limits afterwards wakes exactly one decisive pass.
         for _ in 0..10 {
             m.register(50, Disposition::PagedAttribute, || {});
         }
         // 500 bytes > upper 250: the background worker must bring the pool
         // down to <= 150.
+        m.set_paged_limits(Some(PoolLimits::new(150, 250)));
         m.quiesce();
         let s = m.stats();
         assert!(s.paged_bytes <= 150, "pool {} > lower limit", s.paged_bytes);

@@ -28,7 +28,7 @@ mod store;
 
 pub use chain::{ChainRef, ChainWriter};
 pub use error::{StorageError, StorageResult};
-pub use metrics::PoolMetrics;
+pub use metrics::{PoolMetrics, ShardMetrics};
 pub use page::{ChainId, PageKey};
-pub use pool::{BufferPool, PageGuard};
+pub use pool::{BufferPool, PageGuard, Prefetcher, DEFAULT_SHARD_COUNT};
 pub use store::{FaultPlan, FaultyStore, FileStore, IoProfile, LatencyStore, MemStore, PageStore, TieredStore};

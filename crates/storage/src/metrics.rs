@@ -1,32 +1,62 @@
-//! Buffer-pool metrics.
+//! Buffer-pool metrics: pool-wide counters plus per-shard activity.
 
 use std::sync::atomic::{AtomicU64, Ordering};
 
+/// Pool-wide counters (not attributable to a single shard).
 #[derive(Default)]
 pub(crate) struct MetricCounters {
     pub loads: AtomicU64,
-    pub hits: AtomicU64,
     pub bytes_loaded: AtomicU64,
+    pub load_waits: AtomicU64,
+    pub prefetches: AtomicU64,
 }
 
-impl MetricCounters {
-    pub fn snapshot(&self) -> PoolMetrics {
-        PoolMetrics {
-            loads: self.loads.load(Ordering::Relaxed),
+/// Per-shard counters. `hits`/`misses` partition the pin calls that reached
+/// this shard; `contended` counts lock acquisitions that had to block.
+#[derive(Default)]
+pub(crate) struct ShardCounters {
+    pub hits: AtomicU64,
+    pub misses: AtomicU64,
+    pub contended: AtomicU64,
+}
+
+impl ShardCounters {
+    pub fn snapshot(&self) -> ShardMetrics {
+        ShardMetrics {
             hits: self.hits.load(Ordering::Relaxed),
-            bytes_loaded: self.bytes_loaded.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            contended: self.contended.load(Ordering::Relaxed),
         }
     }
 }
 
+/// A snapshot of one shard's activity.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ShardMetrics {
+    /// Pin calls served from a resident frame.
+    pub hits: u64,
+    /// Pin calls that started a load (includes failed loads).
+    pub misses: u64,
+    /// Shard-lock acquisitions that found the lock held (contention probe).
+    pub contended: u64,
+}
+
 /// A snapshot of buffer-pool activity. Experiments use `loads` to count page
-/// I/O per query (the source of the paper's run-time-ratio spikes).
+/// I/O per query (the source of the paper's run-time-ratio spikes). The
+/// hit/miss/contention fields are rolled up over all shards; call
+/// [`crate::BufferPool::shard_metrics`] for the per-shard breakdown.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct PoolMetrics {
-    /// Page loads (pool misses that read from the store).
+    /// Page loads (pool misses that read from the store successfully).
     pub loads: u64,
     /// Pool hits (page already resident).
     pub hits: u64,
     /// Total bytes read from the store.
     pub bytes_loaded: u64,
+    /// Pin calls that waited for another thread's in-flight load.
+    pub load_waits: u64,
+    /// Shard-lock acquisitions that found the lock held, over all shards.
+    pub contended: u64,
+    /// Pages pinned by prefetch workers.
+    pub prefetches: u64,
 }

@@ -1,14 +1,20 @@
 //! The buffer pool: load-on-miss page frames with RAII pin guards.
 
-use crate::metrics::MetricCounters;
+use crate::metrics::{MetricCounters, ShardCounters, ShardMetrics};
 use crate::{IoProfile, PageKey, PageStore, PoolMetrics, StorageResult};
-use parking_lot::{Mutex, RwLock};
+use crossbeam::channel::{unbounded, Sender};
+use parking_lot::{Condvar, Mutex, MutexGuard, RwLock};
 use payg_resman::{Disposition, ResourceId, ResourceManager};
 use std::any::Any;
 use std::collections::HashMap;
 use std::ops::Deref;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Arc, OnceLock, Weak};
+use std::thread::JoinHandle;
+
+/// Default number of lock-striped shards (a power of two; plenty for the
+/// worker counts the scan experiments use).
+pub const DEFAULT_SHARD_COUNT: usize = 16;
 
 /// One resident page. Page data is immutable after load (main fragments are
 /// read-only between delta merges), so frames can be shared freely.
@@ -28,12 +34,82 @@ impl Frame {
     }
 }
 
+/// Tracks one in-flight page load so concurrent pins of the same key wait
+/// for the loading thread instead of issuing duplicate reads.
+struct LoadState {
+    done: Mutex<bool>,
+    cv: Condvar,
+}
+
+impl LoadState {
+    fn new() -> Arc<Self> {
+        Arc::new(LoadState { done: Mutex::new(false), cv: Condvar::new() })
+    }
+
+    fn complete(&self) {
+        *self.done.lock() = true;
+        self.cv.notify_all();
+    }
+
+    fn wait(&self) {
+        let mut done = self.done.lock();
+        while !*done {
+            self.cv.wait(&mut done);
+        }
+    }
+}
+
+/// A shard's slot: either a resident frame or a load in flight.
+enum Slot {
+    Resident(Arc<Frame>),
+    Loading(Arc<LoadState>),
+}
+
+struct Shard {
+    slots: Mutex<HashMap<PageKey, Slot>>,
+    counters: ShardCounters,
+}
+
+impl Shard {
+    fn new() -> Self {
+        Shard { slots: Mutex::new(HashMap::new()), counters: ShardCounters::default() }
+    }
+
+    /// Locks the slot map, counting acquisitions that had to block.
+    fn lock(&self) -> MutexGuard<'_, HashMap<PageKey, Slot>> {
+        match self.slots.try_lock() {
+            Some(guard) => guard,
+            None => {
+                self.counters.contended.fetch_add(1, Ordering::Relaxed);
+                self.slots.lock()
+            }
+        }
+    }
+}
+
 struct PoolInner {
     store: Arc<dyn PageStore>,
     resman: ResourceManager,
     io: IoProfile,
-    frames: Mutex<HashMap<PageKey, Arc<Frame>>>,
+    shards: Box<[Shard]>,
     metrics: MetricCounters,
+}
+
+impl PoolInner {
+    fn shard(&self, key: PageKey) -> &Shard {
+        // Cheap multiplicative hash over (chain, page_no); the shard count
+        // need not be a power of two.
+        let mut h = key.chain.0.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        h ^= key.page_no.wrapping_mul(0xC2B2_AE3D_27D4_EB4F);
+        h ^= h >> 32;
+        &self.shards[(h % self.shards.len() as u64) as usize]
+    }
+}
+
+/// What `pin` decided to do after inspecting the shard slot.
+enum PinAction {
+    Load(Arc<LoadState>),
+    Wait(Arc<LoadState>),
 }
 
 /// The buffer pool for page-loadable structures.
@@ -43,10 +119,12 @@ struct PoolInner {
 /// proactive) drops the frame and its transient data. Pinned pages (live
 /// [`PageGuard`]s) are never evicted.
 ///
-/// Note on concurrency: the frame map lock is held across the store read on
-/// a miss, so concurrent loads serialize. This matches the experiments'
-/// single-query-stream workloads; a production pool would use per-key load
-/// states.
+/// Concurrency: the frame map is **lock-striped** over
+/// [`DEFAULT_SHARD_COUNT`] shards keyed by page-key hash, so pins of
+/// different pages rarely contend. A miss installs a per-key *load state*
+/// and performs the store read **outside** the shard lock; concurrent pins
+/// of the same key block on that load state rather than issuing duplicate
+/// reads ("single-flight" loads).
 #[derive(Clone)]
 pub struct BufferPool {
     inner: Arc<PoolInner>,
@@ -64,12 +142,24 @@ impl BufferPool {
         resman: ResourceManager,
         io: IoProfile,
     ) -> Self {
+        Self::with_shards(store, resman, io, DEFAULT_SHARD_COUNT)
+    }
+
+    /// Creates a pool with an explicit shard count (tests use `1` to force
+    /// maximal contention).
+    pub fn with_shards(
+        store: Arc<dyn PageStore>,
+        resman: ResourceManager,
+        io: IoProfile,
+        shards: usize,
+    ) -> Self {
+        let shards = shards.max(1);
         BufferPool {
             inner: Arc::new(PoolInner {
                 store,
                 resman,
                 io,
-                frames: Mutex::new(HashMap::new()),
+                shards: (0..shards).map(|_| Shard::new()).collect(),
                 metrics: MetricCounters::default(),
             }),
         }
@@ -85,21 +175,86 @@ impl BufferPool {
         &self.inner.resman
     }
 
+    /// Number of lock stripes.
+    pub fn shard_count(&self) -> usize {
+        self.inner.shards.len()
+    }
+
     /// Pins a page, loading it on a miss. The returned guard keeps the page
-    /// resident until dropped.
+    /// resident until dropped. Concurrent pins of the same absent page
+    /// perform one store read between them.
     pub fn pin(&self, key: PageKey) -> StorageResult<PageGuard> {
-        let mut frames = self.inner.frames.lock();
-        if let Some(frame) = frames.get(&key) {
-            let frame = Arc::clone(frame);
-            if self.inner.resman.pin(frame.rid()) {
-                self.inner.metrics.hits.fetch_add(1, Ordering::Relaxed);
-                return Ok(PageGuard { frame, pool: Arc::clone(&self.inner) });
+        let shard = self.inner.shard(key);
+        loop {
+            let action = {
+                let mut slots = shard.lock();
+                match slots.get(&key) {
+                    Some(Slot::Resident(frame)) => {
+                        let frame = Arc::clone(frame);
+                        if self.inner.resman.pin(frame.rid()) {
+                            shard.counters.hits.fetch_add(1, Ordering::Relaxed);
+                            return Ok(PageGuard { frame, pool: Arc::clone(&self.inner) });
+                        }
+                        // Evicted between the handler firing and us observing
+                        // the map: replace the stale frame with a fresh load.
+                        let ls = LoadState::new();
+                        slots.insert(key, Slot::Loading(Arc::clone(&ls)));
+                        PinAction::Load(ls)
+                    }
+                    Some(Slot::Loading(ls)) => PinAction::Wait(Arc::clone(ls)),
+                    None => {
+                        let ls = LoadState::new();
+                        slots.insert(key, Slot::Loading(Arc::clone(&ls)));
+                        PinAction::Load(ls)
+                    }
+                }
+            };
+            match action {
+                PinAction::Load(ls) => return self.load_and_publish(key, shard, &ls),
+                PinAction::Wait(ls) => {
+                    // Wait outside the shard lock, then re-inspect: the loader
+                    // publishes a resident frame (hit next round) or removes
+                    // the slot on error (we become the loader).
+                    self.inner.metrics.load_waits.fetch_add(1, Ordering::Relaxed);
+                    ls.wait();
+                }
             }
-            // The resource was evicted between the handler firing and us
-            // observing the map: drop the stale frame and reload below.
-            frames.remove(&key);
         }
-        // Miss: load while holding the map lock (see type docs).
+    }
+
+    /// Reads the page from the store (shard lock *not* held), publishes the
+    /// frame into the shard, and signals waiters.
+    fn load_and_publish(
+        &self,
+        key: PageKey,
+        shard: &Shard,
+        ls: &Arc<LoadState>,
+    ) -> StorageResult<PageGuard> {
+        shard.counters.misses.fetch_add(1, Ordering::Relaxed);
+        let result = self.load_frame(key);
+        {
+            let mut slots = shard.lock();
+            match &result {
+                Ok(frame) => {
+                    slots.insert(key, Slot::Resident(Arc::clone(frame)));
+                }
+                Err(_) => {
+                    // Remove our load state so waiters retry as loaders; a
+                    // ptr check guards against ABA with a newer load.
+                    if matches!(slots.get(&key), Some(Slot::Loading(cur)) if Arc::ptr_eq(cur, ls))
+                    {
+                        slots.remove(&key);
+                    }
+                }
+            }
+        }
+        ls.complete();
+        result.map(|frame| PageGuard { frame, pool: Arc::clone(&self.inner) })
+    }
+
+    /// Performs the store read and registers the frame (pinned) with the
+    /// resource manager.
+    fn load_frame(&self, key: PageKey) -> StorageResult<Arc<Frame>> {
         self.inner.io.apply_read();
         let data = self.inner.store.read_page(key)?;
         self.inner.metrics.loads.fetch_add(1, Ordering::Relaxed);
@@ -123,52 +278,150 @@ impl BufferPool {
                 let (Some(pool), Some(frame)) = (pool_weak.upgrade(), frame_weak.upgrade()) else {
                     return;
                 };
-                let mut frames = pool.frames.lock();
+                let shard = pool.shard(frame.key);
+                let mut slots = shard.lock();
                 // Only remove the exact frame this resource backs; a newer
-                // frame may already occupy the key.
-                if frames
-                    .get(&frame.key)
-                    .is_some_and(|cur| Arc::ptr_eq(cur, &frame))
-                {
-                    frames.remove(&frame.key);
+                // frame or an in-flight load may already occupy the key.
+                if matches!(
+                    slots.get(&frame.key),
+                    Some(Slot::Resident(cur)) if Arc::ptr_eq(cur, &frame)
+                ) {
+                    slots.remove(&frame.key);
                 }
                 *frame.transient.write() = None;
             },
         );
         frame.rid.set(rid).expect("rid set once");
-        frames.insert(key, Arc::clone(&frame));
-        Ok(PageGuard { frame, pool: Arc::clone(&self.inner) })
+        Ok(frame)
     }
 
     /// True when the page is currently resident (regardless of pins).
     pub fn is_resident(&self, key: PageKey) -> bool {
-        self.inner.frames.lock().contains_key(&key)
+        matches!(self.inner.shard(key).lock().get(&key), Some(Slot::Resident(_)))
     }
 
     /// Number of resident frames.
     pub fn resident_pages(&self) -> usize {
-        self.inner.frames.lock().len()
+        self.inner
+            .shards
+            .iter()
+            .map(|s| {
+                s.lock()
+                    .values()
+                    .filter(|slot| matches!(slot, Slot::Resident(_)))
+                    .count()
+            })
+            .sum()
     }
 
     /// Drops every unpinned frame, deregistering its resource. Pinned frames
-    /// survive. Used to simulate a cold restart between experiment runs.
+    /// and in-flight loads survive. Used to simulate a cold restart between
+    /// experiment runs.
     pub fn clear(&self) {
-        let mut frames = self.inner.frames.lock();
-        frames.retain(|_, frame| {
-            // Strong count > 1 means live guards exist (the map holds one
-            // reference; eviction closures hold only weak ones).
-            if Arc::strong_count(frame) > 1 {
-                return true;
-            }
-            self.inner.resman.deregister(frame.rid());
-            *frame.transient.write() = None;
-            false
-        });
+        for shard in self.inner.shards.iter() {
+            let mut slots = shard.lock();
+            slots.retain(|_, slot| {
+                let Slot::Resident(frame) = slot else {
+                    return true;
+                };
+                // Strong count > 1 means live guards exist (the map holds one
+                // reference; eviction closures hold only weak ones).
+                if Arc::strong_count(frame) > 1 {
+                    return true;
+                }
+                self.inner.resman.deregister(frame.rid());
+                *frame.transient.write() = None;
+                false
+            });
+        }
     }
 
-    /// Pool activity counters.
+    /// Pool activity counters, rolled up over all shards.
     pub fn metrics(&self) -> PoolMetrics {
-        self.inner.metrics.snapshot()
+        let mut hits = 0;
+        let mut misses = 0;
+        let mut contended = 0;
+        for s in self.inner.shards.iter() {
+            let m = s.counters.snapshot();
+            hits += m.hits;
+            misses += m.misses;
+            contended += m.contended;
+        }
+        let _ = misses; // loads (successful) is the established miss metric
+        PoolMetrics {
+            loads: self.inner.metrics.loads.load(Ordering::Relaxed),
+            hits,
+            bytes_loaded: self.inner.metrics.bytes_loaded.load(Ordering::Relaxed),
+            load_waits: self.inner.metrics.load_waits.load(Ordering::Relaxed),
+            contended,
+            prefetches: self.inner.metrics.prefetches.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Per-shard hit/miss/contention counters, in shard order.
+    pub fn shard_metrics(&self) -> Vec<ShardMetrics> {
+        self.inner
+            .shards
+            .iter()
+            .map(|s| s.counters.snapshot())
+            .collect()
+    }
+
+    /// Spawns a read-ahead worker bound to this pool. Each scan worker owns
+    /// one [`Prefetcher`] (its "read-ahead slot"): requesting a page pins it
+    /// on the worker thread so the store read overlaps the caller's compute;
+    /// the caller's own later `pin` then hits (or joins the in-flight load).
+    pub fn prefetcher(&self) -> Prefetcher {
+        let pool = self.clone();
+        let (tx, rx) = unbounded::<PageKey>();
+        let handle = std::thread::Builder::new()
+            .name("payg-prefetch".into())
+            .spawn(move || {
+                // The slot holds the most recent prefetched guard so the page
+                // stays resident until the next request supersedes it.
+                let mut slot: Option<PageGuard> = None;
+                while let Ok(mut key) = rx.recv() {
+                    // Coalesce a backlog to the newest request; older ones
+                    // are behind the consumer already.
+                    while let Ok(next) = rx.try_recv() {
+                        key = next;
+                    }
+                    pool.inner.metrics.prefetches.fetch_add(1, Ordering::Relaxed);
+                    // Errors are ignored: prefetch is advisory, the consumer's
+                    // own pin will surface them.
+                    slot = pool.pin(key).ok();
+                }
+                drop(slot);
+            })
+            .expect("spawn prefetch worker");
+        Prefetcher { tx: Some(tx), handle: Some(handle) }
+    }
+}
+
+/// An asynchronous read-ahead slot: one background thread that pins
+/// requested pages so their load latency overlaps the owner's compute.
+/// Dropping the prefetcher releases its held pin and joins the thread.
+pub struct Prefetcher {
+    tx: Option<Sender<PageKey>>,
+    handle: Option<JoinHandle<()>>,
+}
+
+impl Prefetcher {
+    /// Requests `key` to be loaded and held resident. Supersedes any earlier
+    /// request that has not started yet; never blocks.
+    pub fn request(&self, key: PageKey) {
+        if let Some(tx) = &self.tx {
+            let _ = tx.send(key);
+        }
+    }
+}
+
+impl Drop for Prefetcher {
+    fn drop(&mut self) {
+        drop(self.tx.take());
+        if let Some(handle) = self.handle.take() {
+            let _ = handle.join();
+        }
     }
 }
 
@@ -406,5 +659,95 @@ mod tests {
         assert!(pool.is_resident(PageKey::new(chain, 0)));
         drop(g2);
         assert_eq!(resman.reactive_unload(), 16);
+    }
+
+    #[test]
+    fn concurrent_pins_single_flight_one_load() {
+        // A slow store makes the in-flight window wide: all threads pin the
+        // same absent page, exactly one read must reach the store.
+        let store = crate::LatencyStore::new(MemStore::new(), std::time::Duration::from_millis(20));
+        let chain = store.create_chain(32).unwrap();
+        store.append_page(chain, &[9; 8]).unwrap();
+        let pool = BufferPool::new(Arc::new(store), ResourceManager::new());
+        let key = PageKey::new(chain, 0);
+        std::thread::scope(|s| {
+            for _ in 0..8 {
+                let pool = pool.clone();
+                s.spawn(move || {
+                    let g = pool.pin(key).unwrap();
+                    assert_eq!(g[0], 9);
+                });
+            }
+        });
+        let m = pool.metrics();
+        assert_eq!(m.loads, 1, "single-flight: one store read");
+        assert_eq!(m.hits + m.load_waits + m.loads, 8 + m.load_waits, "all pins accounted");
+    }
+
+    #[test]
+    fn failed_load_wakes_waiters_who_retry() {
+        // First read fails; a waiter must not hang, it retries and succeeds.
+        let store = crate::FaultyStore::new(MemStore::new(), crate::FaultPlan::None);
+        let chain = store.create_chain(16).unwrap();
+        store.append_page(chain, &[3; 4]).unwrap();
+        store.set_plan(crate::FaultPlan::EveryNthRead(2));
+        let pool = BufferPool::new(Arc::new(store), ResourceManager::new());
+        let key = PageKey::new(chain, 0);
+        let mut oks = 0;
+        for _ in 0..4 {
+            if pool.pin(key).is_ok() {
+                oks += 1;
+            }
+        }
+        assert!(oks >= 2, "retries after a failed load succeed");
+        assert!(pool.is_resident(key));
+    }
+
+    #[test]
+    fn shard_metrics_roll_up_into_pool_metrics() {
+        let store = MemStore::new();
+        let chain = store.create_chain(32).unwrap();
+        for i in 0..16 {
+            store.append_page(chain, &[i as u8]).unwrap();
+        }
+        let pool = BufferPool::with_shards(
+            Arc::new(store),
+            ResourceManager::new(),
+            IoProfile::NONE,
+            4,
+        );
+        for i in 0..16 {
+            drop(pool.pin(PageKey::new(chain, i)).unwrap());
+            drop(pool.pin(PageKey::new(chain, i)).unwrap());
+        }
+        let shards = pool.shard_metrics();
+        assert_eq!(shards.len(), 4);
+        let m = pool.metrics();
+        assert_eq!(shards.iter().map(|s| s.hits).sum::<u64>(), m.hits);
+        assert_eq!(shards.iter().map(|s| s.misses).sum::<u64>(), 16);
+        assert_eq!(m.hits, 16);
+        assert_eq!(m.loads, 16);
+        // Keys spread over more than one stripe.
+        assert!(shards.iter().filter(|s| s.misses > 0).count() > 1);
+    }
+
+    #[test]
+    fn prefetcher_overlaps_load_and_counts() {
+        let store = crate::LatencyStore::new(MemStore::new(), std::time::Duration::from_millis(5));
+        let chain = store.create_chain(32).unwrap();
+        for i in 0..3 {
+            store.append_page(chain, &[i as u8]).unwrap();
+        }
+        let pool = BufferPool::new(Arc::new(store), ResourceManager::new());
+        let pf = pool.prefetcher();
+        pf.request(PageKey::new(chain, 1));
+        // The consumer's pin either hits the prefetched frame or joins the
+        // in-flight load; either way exactly one store read happens.
+        let g = pool.pin(PageKey::new(chain, 1)).unwrap();
+        assert_eq!(g[0], 1);
+        drop(pf);
+        let m = pool.metrics();
+        assert_eq!(m.loads, 1);
+        assert_eq!(m.prefetches, 1);
     }
 }

@@ -233,14 +233,15 @@ impl Table {
                 continue;
             }
             if p.main().visible_rows() == p.main().rows() {
-                n += payg_core::column::ColumnRead::count_rows(
+                n += payg_core::column::ColumnRead::count_rows_par(
                     p.main().column(col),
                     pred,
                     0,
                     p.main().rows(),
+                    self.scan_options(),
                 )?;
             } else {
-                n += p.main().find_rows(col, pred)?.len() as u64;
+                n += p.main().find_rows_par(col, pred, self.scan_options())?.len() as u64;
             }
             n += p.delta().find_rows(col, pred, self.schema())?.len() as u64;
         }
@@ -295,7 +296,7 @@ impl Table {
                     if !p.spec().range.may_match_on(col, self.schema().partition_column(), pred) {
                         continue;
                     }
-                    for rpos in p.main().find_rows(col, pred)? {
+                    for rpos in p.main().find_rows_par(col, pred, self.scan_options())? {
                         addrs.push(RowAddr { partition: pi, in_delta: false, rpos });
                     }
                     for rpos in p.delta().find_rows(col, pred, self.schema())? {
@@ -535,6 +536,39 @@ mod tests {
     fn unfiltered_scan_sees_everything_visible() {
         let t = table(LoadPolicy::PageLoadable);
         assert_eq!(t.execute(&Query::full(Projection::Count)).unwrap().count(), 320);
+    }
+
+    #[test]
+    fn parallel_scan_options_do_not_change_results() {
+        for policy in [LoadPolicy::FullyResident, LoadPolicy::PageLoadable] {
+            let mut t = table(policy);
+            let queries = [
+                Query::filtered(
+                    "id",
+                    ValuePredicate::Between(Value::Integer(15), Value::Integer(280)),
+                    Projection::Count,
+                ),
+                Query::filtered(
+                    "region",
+                    ValuePredicate::Eq(Value::Varchar("region-4".into())),
+                    Projection::All,
+                ),
+                Query::filtered(
+                    "id",
+                    ValuePredicate::Between(Value::Integer(10), Value::Integer(200)),
+                    Projection::Sum("amount".into()),
+                ),
+                Query::full(Projection::Count),
+            ];
+            let sequential: Vec<QueryResult> =
+                queries.iter().map(|q| t.execute(q).unwrap()).collect();
+            for workers in [2, 4] {
+                t.set_scan_options(payg_core::ScanOptions::with_workers(workers));
+                for (q, expect) in queries.iter().zip(&sequential) {
+                    assert_eq!(&t.execute(q).unwrap(), expect, "workers={workers} {q:?}");
+                }
+            }
+        }
     }
 
     #[test]

@@ -5,7 +5,7 @@ use crate::fragment::MainFragment;
 use crate::partition::{PartitionId, PartitionSpec};
 use crate::schema::{Row, Schema};
 use crate::{TableError, TableResult};
-use payg_core::{PageConfig, Value, ValuePredicate};
+use payg_core::{PageConfig, ScanOptions, Value, ValuePredicate};
 use payg_storage::BufferPool;
 
 /// One partition: spec + main fragment + delta fragment.
@@ -43,6 +43,7 @@ pub struct Table {
     pool: BufferPool,
     config: PageConfig,
     partitions: Vec<Partition>,
+    scan_options: ScanOptions,
 }
 
 impl Table {
@@ -63,7 +64,13 @@ impl Table {
             ));
         }
         config.validate().map_err(TableError::Invalid)?;
-        let mut table = Table { schema, pool, config, partitions: Vec::new() };
+        let mut table = Table {
+            schema,
+            pool,
+            config,
+            partitions: Vec::new(),
+            scan_options: ScanOptions::sequential(),
+        };
         for spec in specs {
             table.add_partition(spec)?;
         }
@@ -102,6 +109,17 @@ impl Table {
     /// The partitions in order.
     pub fn partitions(&self) -> &[Partition] {
         &self.partitions
+    }
+
+    /// How this table's queries scan main fragments (default: sequential).
+    pub fn scan_options(&self) -> ScanOptions {
+        self.scan_options
+    }
+
+    /// Sets the parallelism budget for this table's query scans. Results are
+    /// bit-identical to sequential execution; only the wall-clock changes.
+    pub fn set_scan_options(&mut self, opts: ScanOptions) {
+        self.scan_options = opts;
     }
 
     /// Visible rows across all partitions and fragments.
@@ -306,7 +324,7 @@ impl Table {
         config: PageConfig,
         partitions: Vec<Partition>,
     ) -> Self {
-        Table { schema, pool, config, partitions }
+        Table { schema, pool, config, partitions, scan_options: ScanOptions::sequential() }
     }
 
     /// The table's page configuration.

@@ -1,0 +1,67 @@
+//! # payg-check — deterministic concurrency checking for the paged stack
+//!
+//! An in-tree, zero-dependency correctness toolkit in the spirit of
+//! `loom`/`shuttle`, sized to what this workspace needs:
+//!
+//! * **[`sync`]** — `Mutex`/`Condvar`/`RwLock`/atomic wrappers that behave
+//!   like plain locks normally, but inside [`model`] become scheduler yield
+//!   points so every interleaving of the wrapped operations can be
+//!   explored deterministically.
+//! * **[`thread`]** — model-aware `spawn`/`join`.
+//! * **[`Checker`]/[`model`]/[`replay`]** — the exploration driver:
+//!   bounded-exhaustive DFS over scheduling choices, seed-driven random
+//!   exploration for huge spaces, and exact replay of a reported failing
+//!   schedule string.
+//! * **[`lockorder`]** — the workspace lock-rank discipline, enforced at
+//!   runtime under the `strict-invariants` feature.
+//! * **[`pintrack`]** — pin-leak detection for RAII page guards, also
+//!   behind `strict-invariants`.
+//! * **[`raw`]** — sanctioned non-modeled locks for scheduler-adjacent
+//!   state (the repo lint forbids raw `std::sync` locks elsewhere).
+//!
+//! `payg-storage` and `payg-resman` route their synchronization through
+//! type aliases that resolve to [`sync`] when built with
+//! `RUSTFLAGS="--cfg payg_check"` and to [`raw`] otherwise, so the *same
+//! source* is both the production implementation and the model under test.
+//!
+//! ## Writing a model-checked test
+//!
+//! ```
+//! use payg_check::{model, sync::Mutex, thread};
+//! use std::sync::Arc;
+//!
+//! model(|| {
+//!     let counter = Arc::new(Mutex::new(0u32));
+//!     let handles: Vec<_> = (0..2)
+//!         .map(|_| {
+//!             let c = Arc::clone(&counter);
+//!             thread::spawn(move || *c.lock() += 1)
+//!         })
+//!         .collect();
+//!     for h in handles {
+//!         h.join().unwrap();
+//!     }
+//!     assert_eq!(*counter.lock(), 2);
+//! });
+//! ```
+//!
+//! A failing run panics with a dot-separated **schedule string**; pass it
+//! to [`replay`] to re-execute exactly that interleaving under a debugger.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod lockorder;
+pub mod pintrack;
+pub mod raw;
+mod sched;
+pub mod sync;
+pub mod thread;
+
+pub use lockorder::LockRank;
+pub use pintrack::{PinTracker, PinToken};
+pub use sched::{model, replay, Checker, Failure, Observations, Report};
+
+/// True when this build is running with the model-checking cfg enabled
+/// (`RUSTFLAGS="--cfg payg_check"`). Lets shared test helpers adapt.
+pub const MODELED_BUILD: bool = cfg!(payg_check);

@@ -1,0 +1,203 @@
+//! Raw (non-modeled) locks for the few places that legitimately bypass the
+//! model: scheduler-internal state, metrics counters read by non-model
+//! threads, and modules outside the checked concurrency core.
+//!
+//! These are thin non-poisoning newtypes over `std::sync` with the same API
+//! shape as [`crate::sync`], including lock-rank participation, so call
+//! sites can switch between the two by changing one import. The repo lint
+//! (`cargo xtask lint`) forbids constructing `std::sync`/`parking_lot`
+//! locks directly outside the sanctioned modules; this module is the
+//! sanctioned escape hatch.
+
+use crate::lockorder::{self, LockRank, OrderToken};
+use std::fmt;
+use std::ops::{Deref, DerefMut};
+use std::sync::PoisonError;
+
+fn recover<T>(r: Result<T, PoisonError<T>>) -> T {
+    r.unwrap_or_else(PoisonError::into_inner)
+}
+
+/// Non-poisoning mutex that never participates in model scheduling.
+pub struct RawMutex<T: ?Sized> {
+    rank: Option<LockRank>,
+    inner: std::sync::Mutex<T>,
+}
+
+impl<T> RawMutex<T> {
+    /// Creates an unranked raw mutex.
+    pub const fn new(value: T) -> Self {
+        RawMutex { rank: None, inner: std::sync::Mutex::new(value) }
+    }
+
+    /// Creates a raw mutex participating in lock-order checking.
+    pub const fn with_rank(value: T, rank: LockRank) -> Self {
+        RawMutex { rank: Some(rank), inner: std::sync::Mutex::new(value) }
+    }
+
+    /// Consumes the mutex, returning the inner value.
+    pub fn into_inner(self) -> T {
+        recover(self.inner.into_inner().map_err(|e| PoisonError::new(e.into_inner())))
+    }
+}
+
+impl<T: ?Sized> RawMutex<T> {
+    /// Acquires the lock.
+    pub fn lock(&self) -> RawMutexGuard<'_, T> {
+        let token = self.rank.map(lockorder::acquire);
+        RawMutexGuard { std: Some(recover(self.inner.lock())), _token: token }
+    }
+
+    /// Attempts the lock without blocking.
+    pub fn try_lock(&self) -> Option<RawMutexGuard<'_, T>> {
+        match self.inner.try_lock() {
+            Ok(g) => Some(RawMutexGuard { std: Some(g), _token: self.rank.map(lockorder::acquire) }),
+            Err(std::sync::TryLockError::Poisoned(p)) => Some(RawMutexGuard {
+                std: Some(p.into_inner()),
+                _token: self.rank.map(lockorder::acquire),
+            }),
+            Err(std::sync::TryLockError::WouldBlock) => None,
+        }
+    }
+
+    /// Mutable access without locking (requires exclusive ownership).
+    pub fn get_mut(&mut self) -> &mut T {
+        recover(self.inner.get_mut().map_err(|e| PoisonError::new(e.into_inner())))
+    }
+}
+
+impl<T: Default> Default for RawMutex<T> {
+    fn default() -> Self {
+        RawMutex::new(T::default())
+    }
+}
+
+impl<T: fmt::Debug> fmt::Debug for RawMutex<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        self.inner.fmt(f)
+    }
+}
+
+/// RAII guard for [`RawMutex`]. The `Option` exists so [`RawCondvar::wait`]
+/// can temporarily surrender the underlying std guard.
+pub struct RawMutexGuard<'a, T: ?Sized> {
+    std: Option<std::sync::MutexGuard<'a, T>>,
+    _token: Option<OrderToken>,
+}
+
+impl<T: ?Sized> Deref for RawMutexGuard<'_, T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        self.std.as_ref().expect("guard present")
+    }
+}
+
+impl<T: ?Sized> DerefMut for RawMutexGuard<'_, T> {
+    fn deref_mut(&mut self) -> &mut T {
+        self.std.as_mut().expect("guard present")
+    }
+}
+
+/// Condition variable paired with [`RawMutex`].
+#[derive(Default)]
+pub struct RawCondvar {
+    inner: std::sync::Condvar,
+}
+
+impl RawCondvar {
+    /// Creates a new condition variable.
+    pub const fn new() -> Self {
+        RawCondvar { inner: std::sync::Condvar::new() }
+    }
+
+    /// Blocks until notified, releasing the guard's lock while waiting.
+    pub fn wait<T>(&self, guard: &mut RawMutexGuard<'_, T>) {
+        let std = guard.std.take().expect("guard present");
+        guard.std = Some(recover(self.inner.wait(std)));
+    }
+
+    /// Wakes one waiter.
+    pub fn notify_one(&self) {
+        self.inner.notify_one();
+    }
+
+    /// Wakes all waiters.
+    pub fn notify_all(&self) {
+        self.inner.notify_all();
+    }
+}
+
+/// Non-poisoning rwlock that never participates in model scheduling.
+pub struct RawRwLock<T: ?Sized> {
+    rank: Option<LockRank>,
+    inner: std::sync::RwLock<T>,
+}
+
+impl<T> RawRwLock<T> {
+    /// Creates an unranked raw rwlock.
+    pub const fn new(value: T) -> Self {
+        RawRwLock { rank: None, inner: std::sync::RwLock::new(value) }
+    }
+
+    /// Creates a raw rwlock participating in lock-order checking.
+    pub const fn with_rank(value: T, rank: LockRank) -> Self {
+        RawRwLock { rank: Some(rank), inner: std::sync::RwLock::new(value) }
+    }
+}
+
+impl<T: ?Sized> RawRwLock<T> {
+    /// Acquires a shared read lock.
+    pub fn read(&self) -> RawReadGuard<'_, T> {
+        let token = self.rank.map(lockorder::acquire);
+        RawReadGuard { std: recover(self.inner.read()), _token: token }
+    }
+
+    /// Acquires an exclusive write lock.
+    pub fn write(&self) -> RawWriteGuard<'_, T> {
+        let token = self.rank.map(lockorder::acquire);
+        RawWriteGuard { std: recover(self.inner.write()), _token: token }
+    }
+
+    /// Mutable access without locking (requires exclusive ownership).
+    pub fn get_mut(&mut self) -> &mut T {
+        recover(self.inner.get_mut().map_err(|e| PoisonError::new(e.into_inner())))
+    }
+}
+
+impl<T: Default> Default for RawRwLock<T> {
+    fn default() -> Self {
+        RawRwLock::new(T::default())
+    }
+}
+
+/// RAII shared guard for [`RawRwLock`].
+pub struct RawReadGuard<'a, T: ?Sized> {
+    std: std::sync::RwLockReadGuard<'a, T>,
+    _token: Option<OrderToken>,
+}
+
+impl<T: ?Sized> Deref for RawReadGuard<'_, T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        &self.std
+    }
+}
+
+/// RAII exclusive guard for [`RawRwLock`].
+pub struct RawWriteGuard<'a, T: ?Sized> {
+    std: std::sync::RwLockWriteGuard<'a, T>,
+    _token: Option<OrderToken>,
+}
+
+impl<T: ?Sized> Deref for RawWriteGuard<'_, T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        &self.std
+    }
+}
+
+impl<T: ?Sized> DerefMut for RawWriteGuard<'_, T> {
+    fn deref_mut(&mut self) -> &mut T {
+        &mut self.std
+    }
+}

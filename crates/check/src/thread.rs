@@ -1,0 +1,71 @@
+//! Model-aware thread spawning.
+//!
+//! Inside a model run, [`spawn`] registers the child with the deterministic
+//! scheduler so its execution interleaves under scheduler control; outside
+//! a model it delegates to `std::thread::spawn`. [`JoinHandle::join`]
+//! likewise routes through the scheduler's join operation when modeled.
+
+use crate::sched::{self, spawn_model_thread};
+use std::sync::{Arc, Mutex as StdMutex};
+
+/// Handle to a spawned thread; joining yields the closure's return value.
+pub struct JoinHandle<T> {
+    inner: Inner<T>,
+}
+
+enum Inner<T> {
+    Std(std::thread::JoinHandle<T>),
+    Model {
+        exec: Arc<sched::ExecInner>,
+        target: usize,
+        os_handle: std::thread::JoinHandle<()>,
+        slot: Arc<StdMutex<Option<T>>>,
+    },
+}
+
+impl<T> JoinHandle<T> {
+    /// Waits for the thread to finish and returns its result. `Err` means
+    /// the thread panicked (under the model, the panic is also recorded as
+    /// a model failure).
+    pub fn join(self) -> std::thread::Result<T> {
+        match self.inner {
+            Inner::Std(h) => h.join(),
+            Inner::Model { exec, target, os_handle, slot } => {
+                let (_, tid) = sched::current_ctx()
+                    .expect("modeled JoinHandle joined from outside the model");
+                exec.op_join(tid, target);
+                let _ = os_handle.join();
+                let v = slot
+                    .lock()
+                    .unwrap_or_else(std::sync::PoisonError::into_inner)
+                    .take();
+                match v {
+                    Some(v) => Ok(v),
+                    None => Err(Box::new("model thread panicked or was aborted")),
+                }
+            }
+        }
+    }
+}
+
+/// Spawns a thread, scheduler-controlled when called from a model run.
+pub fn spawn<T: Send + 'static>(f: impl FnOnce() -> T + Send + 'static) -> JoinHandle<T> {
+    match sched::current_ctx() {
+        Some((exec, tid)) => {
+            let target = exec.register_thread();
+            let (os_handle, slot) = spawn_model_thread(&exec, target, f);
+            // Spawning is itself a scheduling point: the child may run first.
+            exec.yield_point(tid);
+            JoinHandle { inner: Inner::Model { exec, target, os_handle, slot } }
+        }
+        None => JoinHandle { inner: Inner::Std(std::thread::spawn(f)) },
+    }
+}
+
+/// A voluntary scheduling point (no-op outside model runs). Use in model
+/// tests to widen exploration around non-synchronized steps.
+pub fn yield_now() {
+    if let Some((exec, tid)) = sched::current_ctx() {
+        exec.yield_point(tid);
+    }
+}

@@ -155,11 +155,10 @@ impl Column {
             },
             3 => {
                 let threshold = r.u64()?;
+                let index = crate::invidx::PagedInvertedIndex::open(pool, &r.bytes()?)?;
                 let built = std::sync::OnceLock::new();
-                built
-                    .set(crate::invidx::PagedInvertedIndex::open(pool, &r.bytes()?)?)
-                    .ok()
-                    .expect("fresh OnceLock");
+                // A just-created OnceLock cannot already hold a value.
+                let _ = built.set(index);
                 paged::IndexSlot::Adaptive { threshold, searches: Default::default(), built }
             }
             t => {

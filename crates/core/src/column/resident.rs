@@ -5,8 +5,8 @@ use crate::column::read::ColumnRead;
 use crate::datavec::{par_search_resident, ScanOptions};
 use crate::dict::InMemoryDict;
 use crate::invidx::InMemoryInvertedIndex;
+use crate::sync::{LockRank, Mutex};
 use crate::{CoreError, CoreResult, DataType, Value, ValuePredicate};
-use parking_lot::Mutex;
 use payg_encoding::scan;
 use payg_encoding::{BitPackedVec, VidSet};
 use payg_resman::{Disposition, ResourceId};
@@ -51,7 +51,7 @@ impl ResidentColumn {
         ResidentColumn {
             parts,
             disposition,
-            state: Arc::new(Mutex::new(None)),
+            state: Arc::new(Mutex::with_rank(None, LockRank::CoreColumn)),
             load_count: AtomicU64::new(0),
         }
     }

@@ -222,7 +222,7 @@ impl PagedDataVector {
                 let base = ci * per_chunk;
                 for w in 0..n {
                     let o = base + w * 8;
-                    words.push(u64::from_le_bytes(page[o..o + 8].try_into().unwrap()));
+                    words.push(crate::util::le_u64(&page[o..o + 8]));
                 }
             }
             remaining -= on_page as u64;
@@ -258,7 +258,10 @@ impl PagedDataVectorIterator<'_> {
             let guard = self.vec.pool.pin(key).map_err(CoreError::Storage)?;
             self.cur = Some((page_no, guard));
         }
-        Ok(&self.cur.as_ref().unwrap().1)
+        match &self.cur {
+            Some((_, guard)) => Ok(guard),
+            None => unreachable!("reposition always leaves a pinned page"),
+        }
     }
 
     /// Copies the words of chunk `chunk_no` into `words`, returning the word
@@ -277,7 +280,7 @@ impl PagedDataVectorIterator<'_> {
         let base = in_page * per_chunk;
         let bytes = &guard[base..base + per_chunk];
         for (i, w) in words[..n].iter_mut().enumerate() {
-            *w = u64::from_le_bytes(bytes[i * 8..i * 8 + 8].try_into().unwrap());
+            *w = crate::util::le_u64(&bytes[i * 8..i * 8 + 8]);
         }
         Ok(n)
     }

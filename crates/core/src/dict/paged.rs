@@ -92,8 +92,8 @@ impl PageTransient {
         if bytes.len() < 12 {
             return Err(StorageError::Corrupt("dictionary page shorter than header".into()));
         }
-        let first_idx = u64::from_le_bytes(bytes[0..8].try_into().unwrap());
-        let nblocks = u32::from_le_bytes(bytes[8..12].try_into().unwrap()) as usize;
+        let first_idx = crate::util::le_u64(&bytes[0..8]);
+        let nblocks = crate::util::le_u32(&bytes[8..12]) as usize;
         let need = 12 + nblocks * 4;
         if nblocks == 0 || bytes.len() < need {
             return Err(StorageError::Corrupt(format!(
@@ -103,7 +103,7 @@ impl PageTransient {
         }
         let mut offsets = Vec::with_capacity(nblocks);
         for i in 0..nblocks {
-            let off = u32::from_le_bytes(bytes[12 + i * 4..16 + i * 4].try_into().unwrap());
+            let off = crate::util::le_u32(&bytes[12 + i * 4..16 + i * 4]);
             if (off as usize) < need || off as usize >= bytes.len() {
                 return Err(StorageError::Corrupt(format!("block offset {off} out of page")));
             }
@@ -149,7 +149,7 @@ pub struct PagedDictionary {
     /// Guards held when the helper chains are pinned permanently
     /// (§6.2.2's "more effective to have these auxiliary dictionaries
     /// always loaded in memory").
-    pinned_helpers: parking_lot::Mutex<Vec<PageGuard>>,
+    pinned_helpers: crate::sync::Mutex<Vec<PageGuard>>,
 }
 
 impl PagedDictionary {
@@ -227,13 +227,15 @@ impl PagedDictionary {
         let mut vid_helper_page_last = Vec::new();
         let mut vid_helper_pages = 0u64;
         for page_vids in page_last_vids.chunks(epp.max(1)) {
+            // `chunks` never yields an empty slice, but make that local.
+            let Some(&last) = page_vids.last() else { continue };
             let mut bytes = Vec::with_capacity(page_vids.len() * 8);
             for &v in page_vids {
                 bytes.extend_from_slice(&v.to_le_bytes());
             }
             store.append_page(vid_helper_chain, &bytes)?;
             vid_helper_pages += 1;
-            vid_helper_page_last.push(*page_vids.last().unwrap());
+            vid_helper_page_last.push(last);
         }
 
         // ipDict_Value: separator blocks, same page format as the dictionary.
@@ -297,7 +299,7 @@ impl PagedDictionary {
                 pool: pool.clone(),
                 meta: Arc::new(meta),
                 helpers_preloaded: AtomicBool::new(false),
-                pinned_helpers: parking_lot::Mutex::new(Vec::new()),
+                pinned_helpers: crate::sync::Mutex::with_rank(Vec::new(), crate::sync::LockRank::CoreColumn),
             },
             stats,
         ))
@@ -351,7 +353,7 @@ impl PagedDictionary {
                 dict_pages,
             }),
             helpers_preloaded: AtomicBool::new(false),
-            pinned_helpers: parking_lot::Mutex::new(Vec::new()),
+            pinned_helpers: crate::sync::Mutex::with_rank(Vec::new(), crate::sync::LockRank::CoreColumn),
         })
     }
 
@@ -561,9 +563,7 @@ impl PagedDictionary {
         let count = (self.meta.dict_pages as usize - start).min(epp);
         // Binary search the little-endian u64 array for the first last-vid
         // >= vid.
-        let read = |i: usize| -> u64 {
-            u64::from_le_bytes(guard[i * 8..i * 8 + 8].try_into().unwrap())
-        };
+        let read = |i: usize| -> u64 { crate::util::le_u64(&guard[i * 8..i * 8 + 8]) };
         let mut lo = 0usize;
         let mut hi = count;
         while lo < hi {

@@ -328,15 +328,20 @@ impl PagedIndexIterator<'_> {
         let meta = &self.idx.meta;
         let chunk_no = e / CHUNK_LEN as u64;
         let slot = (e % CHUNK_LEN as u64) as usize;
-        if !matches!(self.dir_chunk, Some((c, _)) if c == chunk_no) {
-            let (page, offset, _) = self.idx.dir_location(e);
-            Self::pin(&self.idx.pool, &meta.chain, &mut self.dir_guard, page)?;
-            let guard = &self.dir_guard.as_ref().unwrap().1;
-            let mut buf = [0u64; CHUNK_LEN];
-            decode_packed_chunk(guard, offset, meta.wd, &mut buf);
-            self.dir_chunk = Some((chunk_no, buf));
+        if let Some((c, buf)) = &self.dir_chunk {
+            if *c == chunk_no {
+                return Ok(buf[slot]);
+            }
         }
-        Ok(self.dir_chunk.as_ref().unwrap().1[slot])
+        let (page, offset, _) = self.idx.dir_location(e);
+        Self::pin(&self.idx.pool, &meta.chain, &mut self.dir_guard, page)?;
+        let Some((_, guard)) = self.dir_guard.as_ref() else {
+            unreachable!("pin above populated the guard slot")
+        };
+        let mut buf = [0u64; CHUNK_LEN];
+        decode_packed_chunk(guard, offset, meta.wd, &mut buf);
+        self.dir_chunk = Some((chunk_no, buf));
+        Ok(buf[slot])
     }
 
     fn read_post(&mut self, k: u64) -> CoreResult<u64> {
@@ -346,15 +351,20 @@ impl PagedIndexIterator<'_> {
         }
         let chunk_no = k / CHUNK_LEN as u64;
         let slot = (k % CHUNK_LEN as u64) as usize;
-        if !matches!(self.post_chunk, Some((c, _)) if c == chunk_no) {
-            let (page, offset, _) = self.idx.post_location(k);
-            Self::pin(&self.idx.pool, &meta.chain, &mut self.post_guard, page)?;
-            let guard = &self.post_guard.as_ref().unwrap().1;
-            let mut buf = [0u64; CHUNK_LEN];
-            decode_packed_chunk(guard, offset, meta.wp, &mut buf);
-            self.post_chunk = Some((chunk_no, buf));
+        if let Some((c, buf)) = &self.post_chunk {
+            if *c == chunk_no {
+                return Ok(buf[slot]);
+            }
         }
-        Ok(self.post_chunk.as_ref().unwrap().1[slot])
+        let (page, offset, _) = self.idx.post_location(k);
+        Self::pin(&self.idx.pool, &meta.chain, &mut self.post_guard, page)?;
+        let Some((_, guard)) = self.post_guard.as_ref() else {
+            unreachable!("pin above populated the guard slot")
+        };
+        let mut buf = [0u64; CHUNK_LEN];
+        decode_packed_chunk(guard, offset, meta.wp, &mut buf);
+        self.post_chunk = Some((chunk_no, buf));
+        Ok(buf[slot])
     }
 
     /// Positions the iterator on `vid` and returns its first row position
@@ -417,7 +427,7 @@ fn decode_packed_chunk(page: &PageGuard, offset: usize, w: BitWidth, out: &mut [
     let mut words = [0u64; 64];
     let bytes = &page[offset..offset + n * 8];
     for (i, word) in words[..n].iter_mut().enumerate() {
-        *word = u64::from_le_bytes(bytes[i * 8..i * 8 + 8].try_into().unwrap());
+        *word = crate::util::le_u64(&bytes[i * 8..i * 8 + 8]);
     }
     payg_encoding::chunk::decode_chunk(&words[..n], w, out);
 }

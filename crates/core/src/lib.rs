@@ -30,6 +30,8 @@ pub mod dict;
 pub mod error;
 pub mod invidx;
 pub mod meta;
+pub mod sync;
+mod util;
 pub mod value;
 
 pub use column::{Column, ColumnBuilder, ColumnRead, IndexMode, LoadPolicy};

@@ -92,7 +92,7 @@ impl<'a> MetaReader<'a> {
 
     /// Reads a `u64`.
     pub fn u64(&mut self) -> CoreResult<u64> {
-        Ok(u64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+        Ok(crate::util::le_u64(self.take(8)?))
     }
 
     /// Reads a `u64` length prefix validated to fit `usize`.

@@ -1,0 +1,11 @@
+//! Synchronization alias layer (the only module allowed to name raw lock
+//! types — enforced by `cargo xtask lint` rule `raw-lock`).
+//!
+//! Core-level locks (resident-image slot, permanent helper pins) are
+//! coarse and never nest inside storage or resman locks, so they always
+//! resolve to `payg-check`'s zero-overhead raw wrappers with lock-rank
+//! tracking under `strict-invariants`. The modeled (`--cfg payg_check`)
+//! wrappers are only needed by the storage/resman hot paths.
+
+pub use payg_check::raw::{RawMutex as Mutex, RawMutexGuard as MutexGuard};
+pub use payg_check::LockRank;

@@ -1,0 +1,30 @@
+//! Byte-order helpers for on-page structures.
+//!
+//! Every on-disk integer in this crate is little-endian. These helpers
+//! centralize the slice-to-array conversion so call sites carry no
+//! `unwrap`; the bounds are the caller's responsibility (slicing panics
+//! exactly where a framing bug would).
+
+/// Reads a little-endian `u64` from the first 8 bytes of `b`.
+pub(crate) fn le_u64(b: &[u8]) -> u64 {
+    // lint: allow(unwrap) an 8-byte slice converts to [u8; 8] infallibly
+    u64::from_le_bytes(b[..8].try_into().unwrap())
+}
+
+/// Reads a little-endian `u32` from the first 4 bytes of `b`.
+pub(crate) fn le_u32(b: &[u8]) -> u32 {
+    // lint: allow(unwrap) a 4-byte slice converts to [u8; 4] infallibly
+    u32::from_le_bytes(b[..4].try_into().unwrap())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reads_prefix_of_longer_slices() {
+        let bytes = [1u8, 0, 0, 0, 0, 0, 0, 0, 0xFF, 0xFF];
+        assert_eq!(le_u64(&bytes), 1);
+        assert_eq!(le_u32(&bytes), 1);
+    }
+}

@@ -149,11 +149,11 @@ impl ValuePredicate {
 /// string exists (all bytes 0xFF ⇒ the range is unbounded above).
 pub(crate) fn prefix_successor(p: &[u8]) -> Option<Vec<u8>> {
     let mut s = p.to_vec();
-    while let Some(&last) = s.last() {
-        if last == 0xFF {
+    while let Some(last) = s.last_mut() {
+        if *last == 0xFF {
             s.pop();
         } else {
-            *s.last_mut().unwrap() += 1;
+            *last += 1;
             return Some(s);
         }
     }

@@ -30,6 +30,7 @@ mod disposition;
 mod manager;
 mod proactive;
 mod stats;
+pub mod sync;
 
 pub use disposition::Disposition;
 pub use manager::{PoolLimits, ResourceId, ResourceManager};

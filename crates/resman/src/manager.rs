@@ -1,8 +1,8 @@
 //! The resource manager proper.
 
 use crate::proactive::ProactiveWorker;
+use crate::sync::{LockRank, Mutex};
 use crate::{Disposition, MemoryStats};
-use parking_lot::Mutex;
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
@@ -86,12 +86,12 @@ impl ResourceManager {
     pub fn new() -> Self {
         ResourceManager {
             inner: Arc::new(Inner {
-                state: Mutex::new(State::default()),
-                limits: Mutex::new(None),
+                state: Mutex::with_rank(State::default(), LockRank::ResmanState),
+                limits: Mutex::with_rank(None, LockRank::ResmanLimits),
                 clock: AtomicU64::new(0),
                 next_id: AtomicU64::new(1),
                 counters: Counters::default(),
-                proactive: Mutex::new(None),
+                proactive: Mutex::with_rank(None, LockRank::ResmanProactive),
             }),
         }
     }
@@ -115,6 +115,16 @@ impl ResourceManager {
             }
         }
         self.maybe_wake_proactive();
+    }
+
+    /// Sets (or clears) the paged-pool limits **without** starting the
+    /// asynchronous proactive worker. Unload passes must then be driven
+    /// explicitly via [`ResourceManager::proactive_unload`] or
+    /// [`ResourceManager::reactive_unload`]. Deterministic tests and model
+    /// checks use this so no unmanaged background thread races the schedule
+    /// being explored.
+    pub fn set_paged_limits_manual(&self, limits: Option<PoolLimits>) {
+        *self.inner.limits.lock() = limits;
     }
 
     /// Current paged-pool limits, if any.
@@ -149,6 +159,7 @@ impl ResourceManager {
                 id,
                 Entry { size, disposition, last_touch: now, pins: 0, on_evict: Box::new(on_evict) },
             );
+            assert_accounting(&st);
         }
         self.inner.counters.registrations.fetch_add(1, Ordering::Relaxed);
         self.maybe_wake_proactive();
@@ -178,6 +189,7 @@ impl ResourceManager {
                 id,
                 Entry { size, disposition, last_touch: now, pins: 1, on_evict: Box::new(on_evict) },
             );
+            assert_accounting(&st);
         }
         self.inner.counters.registrations.fetch_add(1, Ordering::Relaxed);
         self.maybe_wake_proactive();
@@ -212,6 +224,7 @@ impl ResourceManager {
             if paged {
                 st.paged_bytes = st.paged_bytes - old + new_size;
             }
+            assert_accounting(&st);
         }
         self.maybe_wake_proactive();
     }
@@ -394,8 +407,27 @@ fn remove_entry(st: &mut State, id: u64) -> Option<Entry> {
         st.paged_bytes -= e.size;
         st.paged_count -= 1;
     }
+    assert_accounting(st);
     Some(e)
 }
+
+/// Recomputes the aggregate accounting from the entry map and asserts it
+/// matches the incrementally maintained totals. Called after every
+/// disposition/size change; O(entries), so it only does work under the
+/// `strict-invariants` feature.
+#[cfg(feature = "strict-invariants")]
+fn assert_accounting(st: &State) {
+    let total: usize = st.entries.values().map(|e| e.size).sum();
+    let paged: usize =
+        st.entries.values().filter(|e| e.disposition.is_paged()).map(|e| e.size).sum();
+    let paged_count = st.entries.values().filter(|e| e.disposition.is_paged()).count();
+    assert_eq!(st.total_bytes, total, "resman budget accounting: total_bytes drifted");
+    assert_eq!(st.paged_bytes, paged, "resman budget accounting: paged_bytes drifted");
+    assert_eq!(st.paged_count, paged_count, "resman budget accounting: paged_count drifted");
+}
+
+#[cfg(not(feature = "strict-invariants"))]
+fn assert_accounting(_st: &State) {}
 
 // The proactive worker needs access to proactive_unload through a weak ref.
 impl Inner {

@@ -30,6 +30,7 @@ impl ProactiveWorker {
         let handle = std::thread::Builder::new()
             .name("payg-proactive-unload".into())
             .spawn(move || run(inner, rx))
+            // lint: allow(unwrap) thread spawn fails only on OS resource exhaustion
             .expect("spawn proactive unload worker");
         ProactiveWorker { tx, _handle: handle }
     }

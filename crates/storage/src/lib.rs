@@ -25,10 +25,14 @@ mod metrics;
 mod page;
 mod pool;
 mod store;
+pub mod sync;
 
 pub use chain::{ChainRef, ChainWriter};
 pub use error::{StorageError, StorageResult};
 pub use metrics::{PoolMetrics, ShardMetrics};
 pub use page::{ChainId, PageKey};
 pub use pool::{BufferPool, PageGuard, Prefetcher, DEFAULT_SHARD_COUNT};
-pub use store::{FaultPlan, FaultyStore, FileStore, IoProfile, LatencyStore, MemStore, PageStore, TieredStore};
+pub use store::{
+    real_sleeper, FaultPlan, FaultyStore, FileStore, GateStore, IoProfile, LatencyStore, MemStore,
+    PageStore, Sleeper, TieredStore,
+};

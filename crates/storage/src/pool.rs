@@ -1,9 +1,10 @@
 //! The buffer pool: load-on-miss page frames with RAII pin guards.
 
 use crate::metrics::{MetricCounters, ShardCounters, ShardMetrics};
+use crate::sync::{Condvar, LockRank, Mutex, MutexGuard, RwLock};
 use crate::{IoProfile, PageKey, PageStore, PoolMetrics, StorageResult};
 use crossbeam::channel::{unbounded, Sender};
-use parking_lot::{Condvar, Mutex, MutexGuard, RwLock};
+use payg_check::PinTracker;
 use payg_resman::{Disposition, ResourceId, ResourceManager};
 use std::any::Any;
 use std::collections::HashMap;
@@ -30,6 +31,7 @@ pub struct Frame {
 
 impl Frame {
     fn rid(&self) -> ResourceId {
+        // lint: allow(unwrap) invariant: set by load_frame before the frame is published
         *self.rid.get().expect("frame registered")
     }
 }
@@ -43,7 +45,10 @@ struct LoadState {
 
 impl LoadState {
     fn new() -> Arc<Self> {
-        Arc::new(LoadState { done: Mutex::new(false), cv: Condvar::new() })
+        Arc::new(LoadState {
+            done: Mutex::with_rank(false, LockRank::LoadState),
+            cv: Condvar::new(),
+        })
     }
 
     fn complete(&self) {
@@ -72,7 +77,10 @@ struct Shard {
 
 impl Shard {
     fn new() -> Self {
-        Shard { slots: Mutex::new(HashMap::new()), counters: ShardCounters::default() }
+        Shard {
+            slots: Mutex::with_rank(HashMap::new(), LockRank::PoolShard),
+            counters: ShardCounters::default(),
+        }
     }
 
     /// Locks the slot map, counting acquisitions that had to block.
@@ -93,6 +101,8 @@ struct PoolInner {
     io: IoProfile,
     shards: Box<[Shard]>,
     metrics: MetricCounters,
+    /// Pin-leak detector (`strict-invariants` only; zero-sized otherwise).
+    pins: PinTracker,
 }
 
 impl PoolInner {
@@ -161,6 +171,7 @@ impl BufferPool {
                 io,
                 shards: (0..shards).map(|_| Shard::new()).collect(),
                 metrics: MetricCounters::default(),
+                pins: PinTracker::new(),
             }),
         }
     }
@@ -183,7 +194,9 @@ impl BufferPool {
     /// Pins a page, loading it on a miss. The returned guard keeps the page
     /// resident until dropped. Concurrent pins of the same absent page
     /// perform one store read between them.
+    #[track_caller]
     pub fn pin(&self, key: PageKey) -> StorageResult<PageGuard> {
+        let caller = std::panic::Location::caller();
         let shard = self.inner.shard(key);
         loop {
             let action = {
@@ -193,7 +206,7 @@ impl BufferPool {
                         let frame = Arc::clone(frame);
                         if self.inner.resman.pin(frame.rid()) {
                             shard.counters.hits.fetch_add(1, Ordering::Relaxed);
-                            return Ok(PageGuard { frame, pool: Arc::clone(&self.inner) });
+                            return Ok(PageGuard::new(Arc::clone(&self.inner), frame, caller));
                         }
                         // Evicted between the handler firing and us observing
                         // the map: replace the stale frame with a fresh load.
@@ -210,7 +223,7 @@ impl BufferPool {
                 }
             };
             match action {
-                PinAction::Load(ls) => return self.load_and_publish(key, shard, &ls),
+                PinAction::Load(ls) => return self.load_and_publish(key, shard, &ls, caller),
                 PinAction::Wait(ls) => {
                     // Wait outside the shard lock, then re-inspect: the loader
                     // publishes a resident frame (hit next round) or removes
@@ -229,6 +242,7 @@ impl BufferPool {
         key: PageKey,
         shard: &Shard,
         ls: &Arc<LoadState>,
+        caller: &'static std::panic::Location<'static>,
     ) -> StorageResult<PageGuard> {
         shard.counters.misses.fetch_add(1, Ordering::Relaxed);
         let result = self.load_frame(key);
@@ -249,7 +263,7 @@ impl BufferPool {
             }
         }
         ls.complete();
-        result.map(|frame| PageGuard { frame, pool: Arc::clone(&self.inner) })
+        result.map(|frame| PageGuard::new(Arc::clone(&self.inner), frame, caller))
     }
 
     /// Performs the store read and registers the frame (pinned) with the
@@ -266,7 +280,7 @@ impl BufferPool {
             key,
             data,
             rid: OnceLock::new(),
-            transient: RwLock::new(None),
+            transient: RwLock::with_rank(None, LockRank::FrameTransient),
             transient_bytes: AtomicUsize::new(0),
         });
         let pool_weak: Weak<PoolInner> = Arc::downgrade(&self.inner);
@@ -291,6 +305,7 @@ impl BufferPool {
                 *frame.transient.write() = None;
             },
         );
+        // lint: allow(unwrap) invariant: the OnceLock is fresh, set exactly here
         frame.rid.set(rid).expect("rid set once");
         Ok(frame)
     }
@@ -358,6 +373,20 @@ impl BufferPool {
         }
     }
 
+    /// Number of live [`PageGuard`]s as seen by the pin-leak detector.
+    /// Always 0 unless the `strict-invariants` feature is enabled.
+    pub fn live_pins(&self) -> usize {
+        self.inner.pins.live_count()
+    }
+
+    /// Panics listing every leaked [`PageGuard`] (owner tag: pin call site
+    /// and thread) when any guard is still live. No-op without the
+    /// `strict-invariants` feature. Call at quiesce points where all
+    /// guards are expected to have been dropped.
+    pub fn assert_no_live_pins(&self, context: &str) {
+        self.inner.pins.assert_none_live(context);
+    }
+
     /// Per-shard hit/miss/contention counters, in shard order.
     pub fn shard_metrics(&self) -> Vec<ShardMetrics> {
         self.inner
@@ -393,6 +422,7 @@ impl BufferPool {
                 }
                 drop(slot);
             })
+            // lint: allow(unwrap) invariant: thread spawn fails only on OS resource exhaustion
             .expect("spawn prefetch worker");
         Prefetcher { tx: Some(tx), handle: Some(handle) }
     }
@@ -432,9 +462,23 @@ impl Drop for Prefetcher {
 pub struct PageGuard {
     frame: Arc<Frame>,
     pool: Arc<PoolInner>,
+    /// Pin-leak detector token (`strict-invariants` only; zero-sized
+    /// otherwise).
+    pin_token: payg_check::PinToken,
 }
 
 impl PageGuard {
+    fn new(
+        pool: Arc<PoolInner>,
+        frame: Arc<Frame>,
+        caller: &'static std::panic::Location<'static>,
+    ) -> Self {
+        let pin_token = pool
+            .pins
+            .pin(|| format!("page {:?} pinned at {caller}", frame.key));
+        PageGuard { frame, pool, pin_token }
+    }
+
     /// The page's address.
     pub fn key(&self) -> PageKey {
         self.frame.key
@@ -462,6 +506,7 @@ impl PageGuard {
             if let Some(t) = read.as_ref() {
                 return Ok(Arc::clone(t)
                     .downcast::<T>()
+                    // lint: allow(unwrap) invariant: one transient type per page structure
                     .expect("transient type is stable per page"));
             }
         }
@@ -469,6 +514,7 @@ impl PageGuard {
         if let Some(t) = write.as_ref() {
             return Ok(Arc::clone(t)
                 .downcast::<T>()
+                // lint: allow(unwrap) invariant: one transient type per page structure
                 .expect("transient type is stable per page"));
         }
         let (value, bytes) = build(&self.frame.data)?;
@@ -496,16 +542,22 @@ impl Deref for PageGuard {
 }
 
 impl Clone for PageGuard {
+    #[track_caller]
     fn clone(&self) -> Self {
         // A clone is another pin; pin can only fail for evicted resources
         // and a live guard prevents eviction.
         assert!(self.pool.resman.pin(self.frame.rid()), "pinned frame cannot vanish");
-        PageGuard { frame: Arc::clone(&self.frame), pool: Arc::clone(&self.pool) }
+        PageGuard::new(
+            Arc::clone(&self.pool),
+            Arc::clone(&self.frame),
+            std::panic::Location::caller(),
+        )
     }
 }
 
 impl Drop for PageGuard {
     fn drop(&mut self) {
+        self.pool.pins.unpin(&self.pin_token);
         self.pool.resman.unpin(self.frame.rid());
     }
 }
@@ -663,13 +715,16 @@ mod tests {
 
     #[test]
     fn concurrent_pins_single_flight_one_load() {
-        // A slow store makes the in-flight window wide: all threads pin the
-        // same absent page, exactly one read must reach the store.
-        let store = crate::LatencyStore::new(MemStore::new(), std::time::Duration::from_millis(20));
+        // Deterministic: the gate holds the in-flight window open until we
+        // have *observed* that exactly one read reached the store. All
+        // threads pin the same absent page; one read must reach the store.
+        let store = Arc::new(crate::GateStore::new(MemStore::new()));
         let chain = store.create_chain(32).unwrap();
         store.append_page(chain, &[9; 8]).unwrap();
-        let pool = BufferPool::new(Arc::new(store), ResourceManager::new());
+        let pool = BufferPool::new(Arc::clone(&store) as Arc<dyn crate::PageStore>,
+                                   ResourceManager::new());
         let key = PageKey::new(chain, 0);
+        store.close();
         std::thread::scope(|s| {
             for _ in 0..8 {
                 let pool = pool.clone();
@@ -678,6 +733,11 @@ mod tests {
                     assert_eq!(g[0], 9);
                 });
             }
+            // Single-flight: only the elected loader may appear at the
+            // store, no matter how long the window stays open.
+            store.wait_for_waiters(1);
+            assert_eq!(store.waiting(), 1, "exactly one reader at the store");
+            store.open();
         });
         let m = pool.metrics();
         assert_eq!(m.loads, 1, "single-flight: one store read");
@@ -733,14 +793,20 @@ mod tests {
 
     #[test]
     fn prefetcher_overlaps_load_and_counts() {
-        let store = crate::LatencyStore::new(MemStore::new(), std::time::Duration::from_millis(5));
+        // Deterministic: the gate proves the prefetch thread reached the
+        // store *before* the consumer pinned — a real overlap, not a sleep.
+        let store = Arc::new(crate::GateStore::new(MemStore::new()));
         let chain = store.create_chain(32).unwrap();
         for i in 0..3 {
             store.append_page(chain, &[i as u8]).unwrap();
         }
-        let pool = BufferPool::new(Arc::new(store), ResourceManager::new());
+        let pool = BufferPool::new(Arc::clone(&store) as Arc<dyn crate::PageStore>,
+                                   ResourceManager::new());
         let pf = pool.prefetcher();
+        store.close();
         pf.request(PageKey::new(chain, 1));
+        store.wait_for_waiters(1); // prefetch load is in flight at the store
+        store.open();
         // The consumer's pin either hits the prefetched frame or joins the
         // in-flight load; either way exactly one store read happens.
         let g = pool.pin(PageKey::new(chain, 1)).unwrap();

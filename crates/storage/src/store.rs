@@ -1,13 +1,27 @@
 //! Page stores: durable (file-backed) and in-memory, plus fault injection.
 
+use crate::sync::{Condvar, Mutex};
 use crate::{ChainId, PageKey, StorageError, StorageResult};
-use parking_lot::Mutex;
 use std::collections::HashMap;
 use std::fs::{File, OpenOptions};
 use std::io::{Read, Seek, SeekFrom, Write};
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
 use std::time::Duration;
+
+/// How latency-simulating stores ([`LatencyStore`], [`TieredStore`],
+/// [`IoProfile`]) spend their configured delay. The default performs a real
+/// `thread::sleep`; tests inject a recording sleeper so latency behavior is
+/// asserted on the *requested durations* instead of wall-clock time.
+pub type Sleeper = Arc<dyn Fn(Duration) + Send + Sync>;
+
+/// The real-time sleeper used when none is injected. This is the one
+/// sanctioned blocking sink for simulated I/O latency.
+pub fn real_sleeper() -> Sleeper {
+    // lint: allow(sleep) sole sanctioned real-time sink for simulated I/O latency
+    Arc::new(std::thread::sleep)
+}
 
 /// A store of page chains. Pages are fixed-size raw byte arrays; all layout
 /// (headers, counts, offsets) is the responsibility of the structures
@@ -54,6 +68,7 @@ impl IoProfile {
     /// Blocks for the configured read latency.
     pub fn apply_read(&self) {
         if !self.read_latency.is_zero() {
+            // lint: allow(sleep) IoProfile exists to simulate real I/O latency
             std::thread::sleep(self.read_latency);
         }
     }
@@ -186,7 +201,8 @@ impl FileStore {
             if &header[..8] != FILE_MAGIC {
                 return Err(StorageError::Corrupt(format!("bad magic in {name}")));
             }
-            let page_size = u32::from_le_bytes(header[8..12].try_into().unwrap()) as usize;
+            let page_size =
+                u32::from_le_bytes([header[8], header[9], header[10], header[11]]) as usize;
             if page_size == 0 {
                 return Err(StorageError::Corrupt(format!("zero page size in {name}")));
             }
@@ -301,12 +317,19 @@ impl PageStore for FileStore {
 pub struct LatencyStore<S> {
     inner: S,
     read_latency: Duration,
+    sleeper: Sleeper,
 }
 
 impl<S: PageStore> LatencyStore<S> {
     /// Wraps `inner`, delaying every read by `read_latency`.
     pub fn new(inner: S, read_latency: Duration) -> Self {
-        LatencyStore { inner, read_latency }
+        Self::with_sleeper(inner, read_latency, real_sleeper())
+    }
+
+    /// Like [`new`](Self::new) but spending the delay through `sleeper` —
+    /// tests inject a recording sleeper for deterministic latency checks.
+    pub fn with_sleeper(inner: S, read_latency: Duration, sleeper: Sleeper) -> Self {
+        LatencyStore { inner, read_latency, sleeper }
     }
 }
 
@@ -319,7 +342,7 @@ impl<S: PageStore> PageStore for LatencyStore<S> {
     }
     fn read_page(&self, key: PageKey) -> StorageResult<Box<[u8]>> {
         if !self.read_latency.is_zero() {
-            std::thread::sleep(self.read_latency);
+            (self.sleeper)(self.read_latency);
         }
         self.inner.read_page(key)
     }
@@ -353,17 +376,30 @@ pub struct TieredStore<S> {
     fast_latency: Duration,
     slow_latency: Duration,
     fast_chains: Mutex<std::collections::HashSet<u64>>,
+    sleeper: Sleeper,
 }
 
 impl<S: PageStore> TieredStore<S> {
     /// Wraps `inner` with the two tier latencies. New chains start on the
     /// slow tier.
     pub fn new(inner: S, fast_latency: Duration, slow_latency: Duration) -> Self {
+        Self::with_sleeper(inner, fast_latency, slow_latency, real_sleeper())
+    }
+
+    /// Like [`new`](Self::new) but spending delays through `sleeper` —
+    /// tests inject a recording sleeper for deterministic latency checks.
+    pub fn with_sleeper(
+        inner: S,
+        fast_latency: Duration,
+        slow_latency: Duration,
+        sleeper: Sleeper,
+    ) -> Self {
         TieredStore {
             inner,
             fast_latency,
             slow_latency,
             fast_chains: Mutex::new(std::collections::HashSet::new()),
+            sleeper,
         }
     }
 
@@ -393,7 +429,7 @@ impl<S: PageStore> PageStore for TieredStore<S> {
     fn read_page(&self, key: PageKey) -> StorageResult<Box<[u8]>> {
         let latency = if self.is_fast(key.chain) { self.fast_latency } else { self.slow_latency };
         if !latency.is_zero() {
-            std::thread::sleep(latency);
+            (self.sleeper)(latency);
         }
         self.inner.read_page(key)
     }
@@ -405,6 +441,95 @@ impl<S: PageStore> PageStore for TieredStore<S> {
     }
     fn drop_chain(&self, chain: ChainId) -> StorageResult<()> {
         self.fast_chains.lock().remove(&chain.0);
+        self.inner.drop_chain(chain)
+    }
+    fn chains(&self) -> Vec<ChainId> {
+        self.inner.chains()
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Gated reads (deterministic concurrency testing)
+// ---------------------------------------------------------------------------
+
+struct GateState {
+    open: bool,
+    waiting: usize,
+}
+
+/// A [`PageStore`] decorator whose reads block at an explicit gate while it
+/// is closed. This replaces "make the store slow and hope the race window
+/// stays open" tests: close the gate, start the readers, *observe* that the
+/// expected number of reads is parked via [`wait_for_waiters`], then open.
+///
+/// [`wait_for_waiters`]: GateStore::wait_for_waiters
+pub struct GateStore<S> {
+    inner: S,
+    state: Mutex<GateState>,
+    cv: Condvar,
+}
+
+impl<S: PageStore> GateStore<S> {
+    /// Wraps `inner` with an initially **open** gate.
+    pub fn new(inner: S) -> Self {
+        GateStore {
+            inner,
+            state: Mutex::new(GateState { open: true, waiting: 0 }),
+            cv: Condvar::new(),
+        }
+    }
+
+    /// Closes the gate: subsequent reads park until [`open`](Self::open).
+    pub fn close(&self) {
+        self.state.lock().open = false;
+    }
+
+    /// Opens the gate, releasing every parked read.
+    pub fn open(&self) {
+        self.state.lock().open = true;
+        self.cv.notify_all();
+    }
+
+    /// Number of reads currently parked at the gate.
+    pub fn waiting(&self) -> usize {
+        self.state.lock().waiting
+    }
+
+    /// Blocks until at least `n` reads are parked at the gate.
+    pub fn wait_for_waiters(&self, n: usize) {
+        let mut st = self.state.lock();
+        while st.waiting < n {
+            self.cv.wait(&mut st);
+        }
+    }
+}
+
+impl<S: PageStore> PageStore for GateStore<S> {
+    fn create_chain(&self, page_size: usize) -> StorageResult<ChainId> {
+        self.inner.create_chain(page_size)
+    }
+    fn append_page(&self, chain: ChainId, payload: &[u8]) -> StorageResult<u64> {
+        self.inner.append_page(chain, payload)
+    }
+    fn read_page(&self, key: PageKey) -> StorageResult<Box<[u8]>> {
+        {
+            let mut st = self.state.lock();
+            while !st.open {
+                st.waiting += 1;
+                self.cv.notify_all(); // wake wait_for_waiters observers
+                self.cv.wait(&mut st);
+                st.waiting -= 1;
+            }
+        }
+        self.inner.read_page(key)
+    }
+    fn chain_len(&self, chain: ChainId) -> StorageResult<u64> {
+        self.inner.chain_len(chain)
+    }
+    fn page_size(&self, chain: ChainId) -> StorageResult<usize> {
+        self.inner.page_size(chain)
+    }
+    fn drop_chain(&self, chain: ChainId) -> StorageResult<()> {
         self.inner.drop_chain(chain)
     }
     fn chains(&self) -> Vec<ChainId> {
@@ -575,11 +700,18 @@ mod tests {
 
     #[test]
     fn tiered_store_places_chains_per_tier() {
-        use std::time::Instant;
-        let store = TieredStore::new(
+        // Deterministic: a recording sleeper captures the latency each read
+        // *requests* instead of measuring wall-clock time.
+        let slept: Arc<std::sync::Mutex<Vec<Duration>>> = Arc::default();
+        let recorder: Sleeper = {
+            let slept = Arc::clone(&slept);
+            Arc::new(move |d| slept.lock().unwrap().push(d))
+        };
+        let store = TieredStore::with_sleeper(
             MemStore::new(),
-            Duration::ZERO,
+            Duration::from_micros(1),
             Duration::from_millis(3),
+            recorder,
         );
         let fast = store.create_chain(16).unwrap();
         let slow = store.create_chain(16).unwrap();
@@ -588,17 +720,18 @@ mod tests {
         store.place_on_fast_tier(fast);
         assert!(store.is_fast(fast));
         assert!(!store.is_fast(slow));
-        let t0 = Instant::now();
         store.read_page(PageKey::new(fast, 0)).unwrap();
-        let fast_t = t0.elapsed();
-        let t1 = Instant::now();
         store.read_page(PageKey::new(slow, 0)).unwrap();
-        let slow_t = t1.elapsed();
-        assert!(slow_t > fast_t, "slow tier must pay its latency ({slow_t:?} vs {fast_t:?})");
-        assert!(slow_t >= Duration::from_millis(3));
+        assert_eq!(
+            *slept.lock().unwrap(),
+            vec![Duration::from_micros(1), Duration::from_millis(3)],
+            "each tier pays exactly its configured latency"
+        );
         // Demote and the latency follows.
         store.place_on_slow_tier(fast);
         assert!(!store.is_fast(fast));
+        store.read_page(PageKey::new(fast, 0)).unwrap();
+        assert_eq!(slept.lock().unwrap().last(), Some(&Duration::from_millis(3)));
     }
 
     #[test]

@@ -1,0 +1,445 @@
+//! Source-analysis lint: line-based enforcement of repo rules, no external
+//! dependencies.
+//!
+//! Rules (names usable in suppressions):
+//!
+//! * `unwrap` — no `.unwrap()` / `.expect(` in non-test library code of
+//!   `payg-storage`, `payg-resman`, `payg-core`. Use typed errors; genuine
+//!   invariants must carry a suppression with a reason.
+//! * `raw-lock` — no `std::sync` `Mutex`/`RwLock`/`Condvar` or
+//!   `parking_lot` usage in those crates outside the per-crate `sync.rs`
+//!   alias module: synchronization must go through the model-checkable
+//!   `payg-check` wrappers so `--cfg payg_check` covers it.
+//! * `safety` — every `unsafe` keyword in library code must have a
+//!   `// SAFETY:` comment on the same line or within the three preceding
+//!   lines.
+//! * `sleep` — no `thread::sleep` in library code anywhere in `crates/*`:
+//!   tests flake and models hang on real time. Inject a sleeper or use
+//!   condvars.
+//!
+//! Suppress a finding with `// lint: allow(<rule>) <reason>` on the same
+//! line or the line directly above. The reason is mandatory.
+//!
+//! Test code is exempt: `tests/`, `benches/`, `examples/` trees and
+//! `#[cfg(test)]` modules (tracked by brace depth).
+
+use std::fmt;
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+
+/// One rule violation.
+pub struct Finding {
+    /// File containing the violation.
+    pub path: PathBuf,
+    /// 1-based line number.
+    pub line: usize,
+    /// Rule name (as used in `lint: allow(...)`).
+    pub rule: &'static str,
+    /// Human-readable description.
+    pub message: String,
+}
+
+impl fmt::Display for Finding {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}:{}: [{}] {}",
+            self.path.display(),
+            self.line,
+            self.rule,
+            self.message
+        )
+    }
+}
+
+/// Entry point for `cargo xtask lint [ROOT_DIR...]`.
+pub fn run(roots: &[String]) -> ExitCode {
+    let workspace = workspace_root();
+    let roots: Vec<PathBuf> = if roots.is_empty() {
+        default_roots(&workspace)
+    } else {
+        roots.iter().map(PathBuf::from).collect()
+    };
+
+    let mut files = Vec::new();
+    for root in &roots {
+        if !root.is_dir() {
+            eprintln!("lint: no such directory: {}", root.display());
+            return ExitCode::FAILURE;
+        }
+        collect_rs_files(root, &mut files);
+    }
+    files.sort();
+
+    let mut findings = Vec::new();
+    let mut checked = 0usize;
+    for file in &files {
+        let Ok(text) = std::fs::read_to_string(file) else {
+            eprintln!("lint: cannot read {}", file.display());
+            return ExitCode::FAILURE;
+        };
+        let rel = file.strip_prefix(&workspace).unwrap_or(file);
+        checked += 1;
+        lint_file(rel, &text, &mut findings);
+    }
+
+    if findings.is_empty() {
+        println!("lint: {} files checked, 0 violations", checked);
+        ExitCode::SUCCESS
+    } else {
+        for f in &findings {
+            println!("{f}");
+        }
+        println!(
+            "lint: {} files checked, {} violation(s)",
+            checked,
+            findings.len()
+        );
+        ExitCode::FAILURE
+    }
+}
+
+fn workspace_root() -> PathBuf {
+    let manifest = std::env::var("CARGO_MANIFEST_DIR").unwrap_or_else(|_| ".".to_string());
+    let p = PathBuf::from(manifest);
+    p.parent().map(Path::to_path_buf).unwrap_or(p)
+}
+
+fn default_roots(workspace: &Path) -> Vec<PathBuf> {
+    let mut roots = vec![workspace.join("src")];
+    if let Ok(entries) = std::fs::read_dir(workspace.join("crates")) {
+        for e in entries.flatten() {
+            roots.push(e.path());
+        }
+    }
+    roots
+}
+
+fn collect_rs_files(root: &Path, out: &mut Vec<PathBuf>) {
+    let Ok(entries) = std::fs::read_dir(root) else {
+        return;
+    };
+    for e in entries.flatten() {
+        let p = e.path();
+        let name = e.file_name();
+        let name = name.to_string_lossy();
+        if p.is_dir() {
+            // Library code only: test/bench/example/fixture trees are exempt.
+            if matches!(
+                name.as_ref(),
+                "target" | "tests" | "benches" | "examples" | "fixtures" | ".git"
+            ) {
+                continue;
+            }
+            collect_rs_files(&p, out);
+        } else if name.ends_with(".rs") {
+            out.push(p);
+        }
+    }
+}
+
+/// Which rules apply to a (workspace-relative) path.
+struct Scope {
+    unwrap: bool,
+    raw_lock: bool,
+    safety: bool,
+    sleep: bool,
+}
+
+fn scope_for(rel: &Path) -> Scope {
+    let s = rel.to_string_lossy().replace('\\', "/");
+    let concurrency_core = s.starts_with("crates/storage/src")
+        || s.starts_with("crates/resman/src")
+        || s.starts_with("crates/core/src");
+    let in_crates_src = (s.starts_with("crates/") && s.contains("/src/")) || s.starts_with("src/");
+    let sync_alias_module = s.ends_with("/sync.rs");
+    // payg-check implements the wrappers: raw std::sync use is its job.
+    let is_check_crate = s.starts_with("crates/check/");
+    Scope {
+        unwrap: concurrency_core,
+        raw_lock: concurrency_core && !sync_alias_module && !is_check_crate,
+        safety: in_crates_src && !is_check_crate,
+        sleep: in_crates_src && !is_check_crate,
+    }
+}
+
+/// Lints one file's text; appends findings.
+pub fn lint_file(rel: &Path, text: &str, findings: &mut Vec<Finding>) {
+    let scope = scope_for(rel);
+    if !(scope.unwrap || scope.raw_lock || scope.safety || scope.sleep) {
+        return;
+    }
+
+    let lines: Vec<&str> = text.lines().collect();
+    let mut in_test_mod = false;
+    let mut test_depth: i64 = 0;
+    let mut pending_test_attr = false;
+
+    for (idx, raw_line) in lines.iter().enumerate() {
+        let lineno = idx + 1;
+        let trimmed = raw_line.trim_start();
+
+        // --- #[cfg(test)] module tracking (line-based brace counting) ---
+        if in_test_mod {
+            test_depth += brace_delta(raw_line);
+            if test_depth <= 0 {
+                in_test_mod = false;
+            }
+            continue;
+        }
+        if trimmed.starts_with("#[cfg(") && trimmed.contains("test") {
+            pending_test_attr = true;
+            continue;
+        }
+        if pending_test_attr {
+            if trimmed.starts_with("mod ") || trimmed.starts_with("pub mod ") {
+                in_test_mod = true;
+                test_depth = brace_delta(raw_line);
+                if test_depth <= 0 && raw_line.contains('{') {
+                    in_test_mod = false; // single-line mod
+                }
+                pending_test_attr = false;
+                continue;
+            }
+            // Attribute applied to fn/use/etc. — skip just that item's line.
+            if !trimmed.starts_with("#[") && !trimmed.is_empty() {
+                pending_test_attr = false;
+                continue;
+            }
+            continue;
+        }
+
+        // --- suppression lookup: same line or the line above ---
+        // A suppression only counts if a non-empty reason follows the tag.
+        let has_reasoned_tag = |line: &str, tag: &str| -> bool {
+            line.find(tag)
+                .is_some_and(|pos| !line[pos + tag.len()..].trim().is_empty())
+        };
+        let suppressed = |rule: &str| -> bool {
+            let tag = format!("lint: allow({rule})");
+            has_reasoned_tag(raw_line, &tag)
+                || (idx > 0 && has_reasoned_tag(lines[idx - 1], &tag))
+        };
+
+        // Match against code only (strip `//` comments, naive but
+        // sufficient for this codebase: no `//` inside string literals
+        // in ways that matter to these patterns).
+        let code = strip_line_comment(raw_line);
+
+        if scope.unwrap
+            && (code.contains(".unwrap()") || code.contains(".expect("))
+            && !suppressed("unwrap")
+        {
+            findings.push(Finding {
+                path: rel.to_path_buf(),
+                line: lineno,
+                rule: "unwrap",
+                message: "unwrap()/expect() in library code: return a typed error, \
+                          or suppress with a reason if this is a real invariant"
+                    .to_string(),
+            });
+        }
+
+        if scope.raw_lock && !suppressed("raw-lock") {
+            let std_lock = code.contains("std::sync")
+                && (code.contains("Mutex") || code.contains("RwLock") || code.contains("Condvar"));
+            let pl = code.contains("parking_lot");
+            if std_lock || pl {
+                findings.push(Finding {
+                    path: rel.to_path_buf(),
+                    line: lineno,
+                    rule: "raw-lock",
+                    message: "raw lock outside the sync alias module: use the \
+                              crate::sync wrappers so payg_check models cover it"
+                        .to_string(),
+                });
+            }
+        }
+
+        if scope.safety && contains_word(code, "unsafe") && !suppressed("safety") {
+            let mut annotated = raw_line.contains("SAFETY:");
+            let lo = idx.saturating_sub(3);
+            for prev in &lines[lo..idx] {
+                if prev.contains("SAFETY:") {
+                    annotated = true;
+                }
+            }
+            if !annotated {
+                findings.push(Finding {
+                    path: rel.to_path_buf(),
+                    line: lineno,
+                    rule: "safety",
+                    message: "unsafe without a `// SAFETY:` comment on this line \
+                              or the three lines above"
+                        .to_string(),
+                });
+            }
+        }
+
+        if scope.sleep && code.contains("thread::sleep") && !suppressed("sleep") {
+            findings.push(Finding {
+                path: rel.to_path_buf(),
+                line: lineno,
+                rule: "sleep",
+                message: "thread::sleep in library code: inject a sleeper/clock \
+                          or synchronize with condvars"
+                    .to_string(),
+            });
+        }
+    }
+}
+
+fn brace_delta(line: &str) -> i64 {
+    let code = strip_line_comment(line);
+    let mut d = 0i64;
+    for c in code.chars() {
+        match c {
+            '{' => d += 1,
+            '}' => d -= 1,
+            _ => {}
+        }
+    }
+    d
+}
+
+fn strip_line_comment(line: &str) -> &str {
+    match line.find("//") {
+        Some(pos) => &line[..pos],
+        None => line,
+    }
+}
+
+fn contains_word(code: &str, word: &str) -> bool {
+    let mut start = 0;
+    while let Some(pos) = code[start..].find(word) {
+        let abs = start + pos;
+        let before_ok = abs == 0
+            || !code.as_bytes()[abs - 1].is_ascii_alphanumeric() && code.as_bytes()[abs - 1] != b'_';
+        let after = abs + word.len();
+        let after_ok = after >= code.len()
+            || !code.as_bytes()[after].is_ascii_alphanumeric() && code.as_bytes()[after] != b'_';
+        if before_ok && after_ok {
+            return true;
+        }
+        start = abs + word.len();
+    }
+    false
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::path::Path;
+
+    fn lint_str(rel: &str, text: &str) -> Vec<Finding> {
+        let mut out = Vec::new();
+        lint_file(Path::new(rel), text, &mut out);
+        out
+    }
+
+    #[test]
+    fn unwrap_flagged_in_core_crates_only() {
+        let bad = "fn f() { x.unwrap(); }\n";
+        assert_eq!(lint_str("crates/storage/src/pool.rs", bad).len(), 1);
+        assert_eq!(lint_str("crates/resman/src/manager.rs", bad).len(), 1);
+        assert_eq!(lint_str("crates/encoding/src/lib.rs", bad).len(), 0);
+    }
+
+    #[test]
+    fn unwrap_or_else_is_not_flagged() {
+        let ok = "fn f() { x.unwrap_or_else(|| 3); y.unwrap_or(0); }\n";
+        assert!(lint_str("crates/storage/src/pool.rs", ok).is_empty());
+    }
+
+    #[test]
+    fn suppression_with_reason_works() {
+        let t = "// lint: allow(unwrap) invariant: set above\nfn f() { x.expect(\"set\"); }\n";
+        assert!(lint_str("crates/storage/src/pool.rs", t).is_empty());
+        let same = "fn f() { x.expect(\"set\") } // lint: allow(unwrap) invariant\n";
+        assert!(lint_str("crates/storage/src/pool.rs", same).is_empty());
+    }
+
+    #[test]
+    fn suppression_without_reason_is_rejected() {
+        let t = "// lint: allow(unwrap)\nfn f() { x.expect(\"set\"); }\n";
+        let v = lint_str("crates/storage/src/pool.rs", t);
+        assert_eq!(v.len(), 1);
+        assert_eq!(v[0].rule, "unwrap");
+    }
+
+    #[test]
+    fn cfg_test_modules_are_exempt() {
+        let t = "fn lib() {}\n#[cfg(test)]\nmod tests {\n    fn t() { x.unwrap(); }\n}\n";
+        assert!(lint_str("crates/storage/src/pool.rs", t).is_empty());
+    }
+
+    #[test]
+    fn raw_lock_flagged_outside_sync_module() {
+        let t = "use std::sync::Mutex;\n";
+        assert_eq!(lint_str("crates/storage/src/pool.rs", t).len(), 1);
+        assert!(lint_str("crates/storage/src/sync.rs", t).is_empty());
+        let pl = "use parking_lot::RwLock;\n";
+        assert_eq!(lint_str("crates/resman/src/manager.rs", pl).len(), 1);
+    }
+
+    #[test]
+    fn atomics_are_not_raw_locks() {
+        let t = "use std::sync::atomic::AtomicU64;\nuse std::sync::Arc;\n";
+        assert!(lint_str("crates/storage/src/pool.rs", t).is_empty());
+    }
+
+    #[test]
+    fn unsafe_requires_safety_comment() {
+        let bad = "fn f() { unsafe { g() } }\n";
+        assert_eq!(lint_str("crates/encoding/src/lib.rs", bad).len(), 1);
+        let good = "// SAFETY: bounds checked above\nfn f() { unsafe { g() } }\n";
+        assert!(lint_str("crates/encoding/src/lib.rs", good).is_empty());
+        // "unsafe" as a substring of an identifier is not the keyword.
+        let ident = "fn not_unsafe_here() {}\n";
+        assert!(lint_str("crates/encoding/src/lib.rs", ident).is_empty());
+    }
+
+    #[test]
+    fn sleep_flagged_in_library_code() {
+        let bad = "fn f() { std::thread::sleep(d); }\n";
+        assert_eq!(lint_str("crates/storage/src/store.rs", bad).len(), 1);
+        assert_eq!(lint_str("crates/table/src/lib.rs", bad).len(), 1);
+    }
+
+    #[test]
+    fn comments_do_not_trigger_rules() {
+        let t = "// calling x.unwrap() here would be wrong\nfn f() {}\n";
+        assert!(lint_str("crates/storage/src/pool.rs", t).is_empty());
+    }
+
+    #[test]
+    fn seeded_violation_fixture_fails() {
+        // The checked-in fixture must keep failing: it is the regression
+        // test that the lint actually detects each rule.
+        let fixture = include_str!("../fixtures/violations.rs");
+        let f = lint_str("crates/storage/src/fixture.rs", fixture);
+        let rules: Vec<&str> = f.iter().map(|x| x.rule).collect();
+        assert!(rules.contains(&"unwrap"), "fixture must trip unwrap: {rules:?}");
+        assert!(rules.contains(&"raw-lock"), "fixture must trip raw-lock: {rules:?}");
+        assert!(rules.contains(&"safety"), "fixture must trip safety: {rules:?}");
+        assert!(rules.contains(&"sleep"), "fixture must trip sleep: {rules:?}");
+    }
+
+    #[test]
+    fn tree_is_clean() {
+        // Run the real lint over the workspace: the repo must stay clean.
+        let ws = super::workspace_root();
+        let mut files = Vec::new();
+        for root in super::default_roots(&ws) {
+            super::collect_rs_files(&root, &mut files);
+        }
+        let mut findings = Vec::new();
+        for file in &files {
+            let text = std::fs::read_to_string(file).unwrap();
+            let rel = file.strip_prefix(&ws).unwrap_or(file);
+            super::lint_file(rel, &text, &mut findings);
+        }
+        let msgs: Vec<String> = findings.iter().map(|f| f.to_string()).collect();
+        assert!(msgs.is_empty(), "lint violations in tree:\n{}", msgs.join("\n"));
+    }
+}

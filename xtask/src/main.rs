@@ -1,0 +1,29 @@
+//! `cargo xtask` — workspace automation without external dependencies.
+//!
+//! Subcommands:
+//!
+//! * `lint` — the repo's source-analysis pass (see [`lint`] module docs).
+//!   Exits nonzero when any rule is violated.
+
+mod lint;
+
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let mut args = std::env::args().skip(1);
+    match args.next().as_deref() {
+        Some("lint") => {
+            let roots: Vec<String> = args.collect();
+            lint::run(&roots)
+        }
+        Some(other) => {
+            eprintln!("unknown xtask subcommand: {other}");
+            eprintln!("usage: cargo xtask lint [ROOT_DIR...]");
+            ExitCode::FAILURE
+        }
+        None => {
+            eprintln!("usage: cargo xtask lint [ROOT_DIR...]");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -1,12 +1,21 @@
 //! `ablation/parallel_scan` — segmented parallel scans vs the sequential
 //! path, cold (LatencyStore-backed, 150 µs/page) and warm (all pages
 //! resident). Emits `BENCH_parallel_scan.json` at the workspace root with
-//! the measured speedups and the sharded pool's counters.
+//! the measured speedups and the sharded pool's counters, and **exits
+//! non-zero when a speedup target is missed** — a warm regression is a
+//! build failure, not a line in a JSON file nobody reads.
 //!
 //! Cold scans are I/O-bound: workers overlap their synthetic page-load
 //! sleeps, so the speedup approaches the worker count even on one CPU. Warm
-//! scans are CPU-bound: their speedup is capped by the cores actually
-//! available (reported as `cpus` in the JSON).
+//! scans are CPU-bound; the warm series compares the **kernel path**
+//! (bit-width-specialized fused page scans, guard-cached pins, parallel
+//! when cores allow) against the **seed path** (sequential per-chunk
+//! runtime-width scan, `search_generic`) — the baseline the warm ≥ 1.5×
+//! target is defined over.
+//!
+//! `PAYG_SMOKE=1` runs a small-row smoke: same series, reduced sizes, JSON
+//! under `target/` (the checked-in numbers are never overwritten), and the
+//! only assertion is that the warm speedup metric is produced.
 
 use payg_core::datavec::PagedDataVector;
 use payg_core::{PageConfig, ScanOptions};
@@ -17,15 +26,30 @@ use std::fmt::Write as _;
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
-const ROWS: u64 = 400_000;
 const CARDINALITY: u64 = 1000;
 const WORKERS: usize = 4;
 const PAGE_LATENCY: Duration = Duration::from_micros(150);
-const COLD_ITERS: usize = 3;
-const WARM_ITERS: usize = 7;
 
-fn values() -> Vec<u64> {
-    (0..ROWS)
+struct BenchParams {
+    smoke: bool,
+    rows: u64,
+    cold_iters: usize,
+    warm_iters: usize,
+}
+
+impl BenchParams {
+    fn from_env() -> Self {
+        let smoke = std::env::var_os("PAYG_SMOKE").is_some_and(|v| v != "0");
+        if smoke {
+            BenchParams { smoke, rows: 20_000, cold_iters: 1, warm_iters: 3 }
+        } else {
+            BenchParams { smoke, rows: 400_000, cold_iters: 3, warm_iters: 7 }
+        }
+    }
+}
+
+fn values(rows: u64) -> Vec<u64> {
+    (0..rows)
         .map(|i| i.wrapping_mul(0x9E37_79B9_7F4A_7C15).wrapping_add(i >> 7) % CARDINALITY)
         .collect()
 }
@@ -46,27 +70,32 @@ impl Measurement {
     }
 }
 
-/// Runs `scan` `iters` times for each path, interleaved, `reset` before
-/// every run (pool clear for cold, no-op for warm).
+/// Runs the baseline and the contender `iters` times each, interleaved,
+/// `reset` before every run (pool clear for cold, no-op for warm). Both
+/// must report the same match count.
 fn measure(
     iters: usize,
     mut reset: impl FnMut(),
-    mut scan: impl FnMut(ScanOptions) -> usize,
+    mut baseline: impl FnMut() -> usize,
+    mut contender: impl FnMut() -> usize,
 ) -> Measurement {
-    let seq = ScanOptions::sequential();
-    let par = ScanOptions::with_workers(WORKERS);
     let mut seq_ns = Vec::with_capacity(iters);
     let mut par_ns = Vec::with_capacity(iters);
     let mut expect = None;
     for _ in 0..iters {
-        for (opts, samples) in [(seq, &mut seq_ns), (par, &mut par_ns)] {
+        for is_baseline in [true, false] {
             reset();
             let t0 = Instant::now();
-            let n = scan(opts);
-            samples.push(t0.elapsed().as_nanos());
+            let n = if is_baseline { baseline() } else { contender() };
+            let ns = t0.elapsed().as_nanos();
+            if is_baseline {
+                seq_ns.push(ns);
+            } else {
+                par_ns.push(ns);
+            }
             match expect {
                 None => expect = Some(n),
-                Some(e) => assert_eq!(n, e, "parallel and sequential scans disagree"),
+                Some(e) => assert_eq!(n, e, "scan paths disagree on the match count"),
             }
         }
     }
@@ -85,6 +114,8 @@ fn metrics_delta(after: PoolMetrics, before: PoolMetrics) -> PoolMetrics {
 }
 
 fn main() {
+    let params = BenchParams::from_env();
+    let rows = params.rows;
     let cpus = std::thread::available_parallelism().map_or(1, |n| n.get());
     let store: Arc<dyn PageStore> = Arc::new(LatencyStore::new(MemStore::new(), PAGE_LATENCY));
     let pool = BufferPool::new(store, ResourceManager::new());
@@ -96,31 +127,73 @@ fn main() {
         index_page: 4096,
         inline_limit: 128,
     };
-    let packed = BitPackedVec::from_values(&values());
+    let packed = BitPackedVec::from_values(&values(rows));
     let paged = PagedDataVector::build(&pool, &config, &packed).unwrap();
-    let set = VidSet::range(0, CARDINALITY - 1); // nothing prunes: every page is read
-    let scan = |opts: ScanOptions| paged.par_search(0, ROWS, &set, opts).unwrap().len();
+    // 20% of the domain. Values are pseudo-random per page, so every page's
+    // (min, max) summary straddles the range: nothing prunes, every page is
+    // read, and the match count (~20% of rows) keeps materialization from
+    // dominating the kernel time on either side.
+    let set = VidSet::range(CARDINALITY / 10, 3 * CARDINALITY / 10 - 1);
+    let kernel_scan =
+        |opts: ScanOptions| paged.par_search(0, rows, &set, opts).unwrap().len();
+    // The seed's warm sequential path: per-chunk runtime-width predicate
+    // evaluation with per-chunk repositioning. Preserved as
+    // `search_generic` exactly so this bench has a stable baseline.
+    let seed_scan = || {
+        let mut out = Vec::new();
+        paged.iter().search_generic(0, rows, &set, &mut out).unwrap();
+        out.len()
+    };
 
-    println!("=== ablation/parallel_scan ===");
+    println!("=== ablation/parallel_scan{} ===", if params.smoke { " (smoke)" } else { "" });
     println!(
-        "rows {ROWS}  pages {}  workers {WORKERS}  page latency {PAGE_LATENCY:?}  cpus {cpus}",
+        "rows {rows}  pages {}  workers {WORKERS}  page latency {PAGE_LATENCY:?}  cpus {cpus}",
         paged.pages()
     );
 
     // Cold: every page load pays the store latency; clear() empties the pool
     // between runs. Workers overlap their loads (plus one read-ahead each).
     let cold_before = pool.metrics();
-    let cold = measure(COLD_ITERS, || pool.clear(), scan);
+    let cold = measure(
+        params.cold_iters,
+        || pool.clear(),
+        || kernel_scan(ScanOptions::sequential()),
+        || kernel_scan(ScanOptions::with_workers(WORKERS)),
+    );
     let cold_metrics = metrics_delta(pool.metrics(), cold_before);
 
     // Warm: one priming scan leaves every page resident; no loads remain.
-    let _ = scan(ScanOptions::sequential());
+    // Baseline is the warm *seed* sequential scan; the contender is the
+    // fused-kernel scan with the full worker budget (capped by cores when
+    // resident, so on a 1-cpu box the win must come from the kernels).
+    let _ = kernel_scan(ScanOptions::sequential());
+    let warm_workers = WORKERS.min(cpus);
     let warm_before = pool.metrics();
-    let warm = measure(WARM_ITERS, || (), scan);
+    let warm = measure(
+        params.warm_iters,
+        || (),
+        seed_scan,
+        || kernel_scan(ScanOptions::with_workers(warm_workers)),
+    );
     let warm_metrics = metrics_delta(pool.metrics(), warm_before);
+    // Also record the fused sequential path so the kernel-vs-parallelism
+    // split is visible in the JSON.
+    let warm_kernel_seq = {
+        let expect = seed_scan();
+        let mut ns = Vec::with_capacity(params.warm_iters);
+        for _ in 0..params.warm_iters {
+            let t0 = Instant::now();
+            let n = kernel_scan(ScanOptions::sequential());
+            ns.push(t0.elapsed().as_nanos());
+            assert_eq!(n, expect, "kernel and seed scans disagree on the match count");
+        }
+        median(ns)
+    };
 
     let cold_target = 2.0;
     let warm_target = 1.5;
+    let cold_met = cold.speedup() >= cold_target;
+    let warm_met = warm.speedup() >= warm_target;
     println!(
         "cold: sequential {:.2}ms  {WORKERS}-worker {:.2}ms  speedup {:.2}x (target >= {cold_target}x)",
         cold.seq_ns as f64 / 1e6,
@@ -128,8 +201,9 @@ fn main() {
         cold.speedup()
     );
     println!(
-        "warm: sequential {:.2}ms  {WORKERS}-worker {:.2}ms  speedup {:.2}x (target >= {warm_target}x, cpu-bound: capped by {cpus} cpu(s))",
+        "warm: seed sequential {:.2}ms  kernel sequential {:.2}ms  kernel {warm_workers}-worker {:.2}ms  speedup {:.2}x (target >= {warm_target}x, {cpus} cpu(s))",
         warm.seq_ns as f64 / 1e6,
+        warm_kernel_seq as f64 / 1e6,
         warm.par_ns as f64 / 1e6,
         warm.speedup()
     );
@@ -147,7 +221,8 @@ fn main() {
     );
     let shards = pool.shard_metrics();
     let used = shards.iter().filter(|s| s.hits + s.misses > 0).count();
-    println!("shards: {} of {} striped ({:?} hits on the busiest)",
+    println!(
+        "shards: {} of {} striped ({:?} hits on the busiest)",
         used,
         shards.len(),
         shards.iter().map(|s| s.hits).max().unwrap_or(0)
@@ -155,7 +230,7 @@ fn main() {
 
     let mut json = String::from("{\n");
     let _ = writeln!(json, "  \"bench\": \"ablation/parallel_scan\",");
-    let _ = writeln!(json, "  \"rows\": {ROWS},");
+    let _ = writeln!(json, "  \"rows\": {rows},");
     let _ = writeln!(json, "  \"pages\": {},", paged.pages());
     let _ = writeln!(json, "  \"workers\": {WORKERS},");
     let _ = writeln!(json, "  \"cpus\": {cpus},");
@@ -165,17 +240,20 @@ fn main() {
     let _ = writeln!(json, "    \"parallel_ns\": {},", cold.par_ns);
     let _ = writeln!(json, "    \"speedup\": {:.3},", cold.speedup());
     let _ = writeln!(json, "    \"target\": {cold_target},");
-    let _ = writeln!(json, "    \"met\": {},", cold.speedup() >= cold_target);
+    let _ = writeln!(json, "    \"met\": {cold_met},");
     let _ = writeln!(json, "    \"loads\": {},", cold_metrics.loads);
     let _ = writeln!(json, "    \"load_waits\": {},", cold_metrics.load_waits);
     let _ = writeln!(json, "    \"prefetches\": {}", cold_metrics.prefetches);
     let _ = writeln!(json, "  }},");
     let _ = writeln!(json, "  \"warm\": {{");
-    let _ = writeln!(json, "    \"sequential_ns\": {},", warm.seq_ns);
-    let _ = writeln!(json, "    \"parallel_ns\": {},", warm.par_ns);
+    let _ = writeln!(json, "    \"baseline\": \"sequential seed path (search_generic)\",");
+    let _ = writeln!(json, "    \"workers\": {warm_workers},");
+    let _ = writeln!(json, "    \"sequential_seed_ns\": {},", warm.seq_ns);
+    let _ = writeln!(json, "    \"sequential_kernel_ns\": {warm_kernel_seq},");
+    let _ = writeln!(json, "    \"parallel_kernel_ns\": {},", warm.par_ns);
     let _ = writeln!(json, "    \"speedup\": {:.3},", warm.speedup());
     let _ = writeln!(json, "    \"target\": {warm_target},");
-    let _ = writeln!(json, "    \"met\": {},", warm.speedup() >= warm_target);
+    let _ = writeln!(json, "    \"met\": {warm_met},");
     let _ = writeln!(json, "    \"loads\": {},", warm_metrics.loads);
     let _ = writeln!(json, "    \"hits\": {}", warm_metrics.hits);
     let _ = writeln!(json, "  }},");
@@ -186,10 +264,36 @@ fn main() {
     let _ = writeln!(json, "  }}");
     json.push_str("}\n");
 
-    // CARGO_MANIFEST_DIR of payg-bench is <workspace>/crates/bench.
-    let path = std::path::PathBuf::from(env!("CARGO_MANIFEST_DIR"))
-        .join("../..")
-        .join("BENCH_parallel_scan.json");
+    // CARGO_MANIFEST_DIR of payg-bench is <workspace>/crates/bench. Smoke
+    // runs write under target/ so the checked-in numbers are preserved.
+    let path = if params.smoke {
+        let dir = std::path::PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../target");
+        std::fs::create_dir_all(&dir).unwrap();
+        dir.join("BENCH_parallel_scan_smoke.json")
+    } else {
+        std::path::PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+            .join("../..")
+            .join("BENCH_parallel_scan.json")
+    };
     std::fs::write(&path, &json).unwrap();
     println!("wrote {}", path.display());
+
+    if params.smoke {
+        // Smoke acceptance: the warm speedup metric exists and is a real
+        // measurement (small sizes make the ratio itself noisy).
+        assert!(
+            warm.speedup().is_finite() && warm.speedup() > 0.0,
+            "smoke run produced no warm speedup metric"
+        );
+        println!("smoke: warm speedup metric produced ({:.2}x)", warm.speedup());
+        return;
+    }
+    if !cold_met || !warm_met {
+        eprintln!(
+            "SPEEDUP TARGET MISSED: cold {:.2}x (target {cold_target}, met {cold_met})  warm {:.2}x (target {warm_target}, met {warm_met})",
+            cold.speedup(),
+            warm.speedup()
+        );
+        std::process::exit(1);
+    }
 }

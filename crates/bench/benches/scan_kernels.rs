@@ -1,0 +1,225 @@
+//! `scan_kernels` — bit-width-specialized kernels vs the one-generic-kernel
+//! baseline, across bit widths, predicate shapes, and selectivities.
+//!
+//! Both sides compute identical per-chunk result bitmaps over the same
+//! packed words; only the kernel differs:
+//!
+//! * **generic**: [`payg_encoding::kernels::chunk_bitmap_generic`] — one
+//!   runtime-width kernel (decode every chunk with runtime shifts, then a
+//!   branchless membership test). This is the MorphStore-style "single
+//!   generic operator" comparator.
+//! * **specialized**: [`payg_encoding::KernelPredicate`] — the const-generic
+//!   width-dispatched kernels (SWAR equality without decoding on aligned
+//!   widths, fully unrolled constant-shift decode elsewhere), called once
+//!   per whole word run.
+//!
+//! Emits `BENCH_scan_kernels.json` at the workspace root and exits non-zero
+//! if any required equality target (specialized ≥ 2× generic at
+//! n ∈ {1, 4, 8, 17}) is missed.
+
+use payg_encoding::kernels::{chunk_bitmap_generic, KernelPredicate};
+use payg_encoding::{BitPackedVec, BitWidth, VidSet};
+use std::fmt::Write as _;
+use std::time::Instant;
+
+const ROWS: u64 = 1 << 19; // 8192 chunks
+const ITERS: usize = 9;
+const WIDTHS: &[u32] = &[1, 2, 4, 8, 10, 16, 17, 24, 32];
+/// Widths the ≥ 2× equality acceptance target applies to.
+const REQUIRED_EQ: &[u32] = &[1, 4, 8, 17];
+const EQ_TARGET: f64 = 2.0;
+
+fn sample_vec(bits: u32) -> BitPackedVec {
+    let w = BitWidth::new(bits).unwrap();
+    let values: Vec<u64> = (0..ROWS)
+        .map(|i| {
+            i.wrapping_mul(0x9E37_79B9_7F4A_7C15)
+                .wrapping_add(i >> 9)
+                .wrapping_mul(0xBF58_476D_1CE4_E5B9)
+                & w.mask()
+        })
+        .collect();
+    BitPackedVec::from_values_with_width(&values, w)
+}
+
+fn median(mut ns: Vec<u128>) -> u128 {
+    ns.sort_unstable();
+    ns[ns.len() / 2]
+}
+
+/// One predicate shape at one width: a label, the set, and the fraction of
+/// the value domain it covers (reported as `selectivity` — values are
+/// near-uniform, so domain fraction ≈ row selectivity).
+struct Case {
+    op: &'static str,
+    selectivity: f64,
+    set: VidSet,
+}
+
+fn cases(w: BitWidth) -> Vec<Case> {
+    let max = w.max_value();
+    let domain = max as f64 + 1.0;
+    let mut cases = vec![Case { op: "eq", selectivity: 1.0 / domain, set: VidSet::Single(max / 2) }];
+    for (label, frac) in [("range_1pct", 0.01), ("range_10pct", 0.10), ("range_50pct", 0.50)] {
+        let span = ((domain * frac) as u64).max(1).min(max);
+        // Skip shapes the width cannot express distinctly (tiny domains).
+        if span < max || max <= 1 {
+            cases.push(Case {
+                op: label,
+                selectivity: (span + 1) as f64 / domain,
+                set: VidSet::range(max / 4, (max / 4 + span).min(max)),
+            });
+        }
+    }
+    if max >= 16 {
+        let vids: Vec<u64> = (0..8u64).map(|k| (k * 2 + 1) * max / 17).collect();
+        let n = vids.len() as f64;
+        cases.push(Case { op: "in_set8", selectivity: n / domain, set: VidSet::from_vids(vids) });
+    }
+    cases
+}
+
+/// Median ns for one kernel over the whole vector; `sink` defeats DCE.
+fn time_kernel(iters: usize, mut run: impl FnMut() -> u64, sink: &mut u64) -> u128 {
+    let mut ns = Vec::with_capacity(iters);
+    for _ in 0..iters {
+        let t0 = Instant::now();
+        *sink ^= run();
+        ns.push(t0.elapsed().as_nanos());
+    }
+    median(ns)
+}
+
+struct Row {
+    bits: u32,
+    op: &'static str,
+    selectivity: f64,
+    generic_ns: u128,
+    specialized_ns: u128,
+}
+
+impl Row {
+    fn speedup(&self) -> f64 {
+        self.generic_ns as f64 / self.specialized_ns.max(1) as f64
+    }
+}
+
+fn main() {
+    let mut rows: Vec<Row> = Vec::new();
+    let mut sink = 0u64;
+    for &bits in WIDTHS {
+        let w = BitWidth::new(bits).unwrap();
+        let vec = sample_vec(bits);
+        let chunks = vec.chunk_count();
+        let wpc = bits as usize;
+        let words = vec.words();
+        for case in cases(w) {
+            let set = &case.set;
+            // Generic: one runtime-width chunk kernel per chunk.
+            let generic = || {
+                let mut acc = 0u64;
+                for ci in 0..chunks {
+                    let chunk = &words[ci as usize * wpc..(ci as usize + 1) * wpc];
+                    acc = acc.wrapping_add(u64::from(
+                        chunk_bitmap_generic(chunk, w, set).count_ones(),
+                    ));
+                }
+                acc
+            };
+            // Specialized: compile once, one fused call over the word run.
+            let mut bitmaps: Vec<u64> = Vec::with_capacity(chunks as usize);
+            let pred = KernelPredicate::new(w, set);
+            let mut specialized = || {
+                bitmaps.clear();
+                pred.scan_chunks(words, &mut bitmaps);
+                bitmaps.iter().map(|b| u64::from(b.count_ones())).sum()
+            };
+            // Equal results are a precondition for comparing their times.
+            assert_eq!(generic(), specialized(), "kernels disagree at {bits} bits ({})", case.op);
+            let generic_ns = time_kernel(ITERS, generic, &mut sink);
+            let specialized_ns = time_kernel(ITERS, &mut specialized, &mut sink);
+            rows.push(Row {
+                bits,
+                op: case.op,
+                selectivity: case.selectivity,
+                generic_ns,
+                specialized_ns,
+            });
+        }
+    }
+
+    println!("=== scan_kernels ({ROWS} rows, median of {ITERS}) ===");
+    println!("{:>5} {:>12} {:>12} {:>12} {:>12} {:>9}", "bits", "op", "sel", "generic", "special", "speedup");
+    for r in &rows {
+        println!(
+            "{:>5} {:>12} {:>12.4} {:>10}us {:>10}us {:>8.2}x",
+            r.bits,
+            r.op,
+            r.selectivity,
+            r.generic_ns / 1000,
+            r.specialized_ns / 1000,
+            r.speedup()
+        );
+    }
+
+    // Acceptance: specialized ≥ 2× generic on equality at the required widths.
+    let mut all_met = true;
+    let mut summary: Vec<(u32, f64, bool)> = Vec::new();
+    for &bits in REQUIRED_EQ {
+        let r = rows
+            .iter()
+            .find(|r| r.bits == bits && r.op == "eq")
+            .expect("required width measured");
+        let met = r.speedup() >= EQ_TARGET;
+        all_met &= met;
+        summary.push((bits, r.speedup(), met));
+        println!(
+            "target eq n={bits}: {:.2}x (target >= {EQ_TARGET}x) {}",
+            r.speedup(),
+            if met { "MET" } else { "MISSED" }
+        );
+    }
+
+    let mut json = String::from("{\n");
+    let _ = writeln!(json, "  \"bench\": \"scan_kernels\",");
+    let _ = writeln!(json, "  \"rows\": {ROWS},");
+    let _ = writeln!(json, "  \"iters\": {ITERS},");
+    let _ = writeln!(json, "  \"baseline\": \"chunk_bitmap_generic (runtime-width decode + compare)\",");
+    let _ = writeln!(json, "  \"series\": [");
+    for (i, r) in rows.iter().enumerate() {
+        let _ = writeln!(
+            json,
+            "    {{\"bits\": {}, \"op\": \"{}\", \"selectivity\": {:.6}, \"generic_ns\": {}, \"specialized_ns\": {}, \"speedup\": {:.3}}}{}",
+            r.bits,
+            r.op,
+            r.selectivity,
+            r.generic_ns,
+            r.specialized_ns,
+            r.speedup(),
+            if i + 1 < rows.len() { "," } else { "" }
+        );
+    }
+    let _ = writeln!(json, "  ],");
+    let _ = writeln!(json, "  \"eq_targets\": {{");
+    for (i, (bits, speedup, met)) in summary.iter().enumerate() {
+        let _ = writeln!(
+            json,
+            "    \"{bits}\": {{\"speedup\": {speedup:.3}, \"target\": {EQ_TARGET}, \"met\": {met}}}{}",
+            if i + 1 < summary.len() { "," } else { "" }
+        );
+    }
+    let _ = writeln!(json, "  }},");
+    let _ = writeln!(json, "  \"all_met\": {all_met}");
+    json.push_str("}\n");
+
+    let path = std::path::PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("../..")
+        .join("BENCH_scan_kernels.json");
+    std::fs::write(&path, &json).unwrap();
+    println!("wrote {} (sink {sink})", path.display());
+
+    if !all_met {
+        eprintln!("KERNEL TARGET MISSED: specialized < {EQ_TARGET}x generic on a required equality width");
+        std::process::exit(1);
+    }
+}

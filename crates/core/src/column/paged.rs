@@ -211,6 +211,40 @@ impl PagedColumn {
         Ok(out)
     }
 
+    /// COUNT body for the no-index case: translate the predicate, then run
+    /// the non-materializing count kernel over the data vector — positions
+    /// are never collected, each page contributes popcounts of its result
+    /// bitmaps. Falls back to an index-driven `find_rows` when an index
+    /// exists (postings are already positional).
+    fn count_rows_impl(
+        &self,
+        pred: &ValuePredicate,
+        from: u64,
+        to: u64,
+        opts: ScanOptions,
+    ) -> CoreResult<u64> {
+        if let Some(n) = self.count_from_directory(pred, from, to)? {
+            return Ok(n);
+        }
+        if self.parts.index_for_search()?.is_some() {
+            return Ok(self.find_rows_impl(pred, from, to, opts)?.len() as u64);
+        }
+        let mut cache = self.cache();
+        let set = self.vid_set_cached(pred, &mut cache)?;
+        if set.is_empty() {
+            return Ok(0);
+        }
+        let to = to.min(self.parts.len);
+        if from >= to {
+            return Ok(0);
+        }
+        if opts.workers > 1 {
+            self.parts.data.par_count(from, to, &set, opts)
+        } else {
+            self.parts.data.iter().count(from, to, &set)
+        }
+    }
+
     /// Full-range counts with an inverted index come straight from the
     /// directory — no postinglist pages load. `None` when the shortcut does
     /// not apply.
@@ -265,12 +299,11 @@ impl ColumnRead for PagedColumn {
         // *distinct* vids in ascending order — vid order is dictionary-page
         // order, so a batch touches each dictionary page once, front to
         // back (the access pattern §3.2.3's handle cache is built for).
-        let mut it = self.parts.data.iter();
+        // `mget_at` visits row positions in sorted order internally, so the
+        // data-vector side also decodes each chunk once and pins each page
+        // once, whatever order the caller asked in.
         let mut vids = Vec::with_capacity(rposs.len());
-        for &rpos in rposs {
-            vids.push(it.get(rpos)?);
-        }
-        drop(it);
+        self.parts.data.iter().mget_at(rposs, &mut vids)?;
         let mut distinct: Vec<u64> = vids.clone();
         distinct.sort_unstable();
         distinct.dedup();
@@ -313,10 +346,7 @@ impl ColumnRead for PagedColumn {
         to: u64,
         opts: ScanOptions,
     ) -> CoreResult<u64> {
-        if let Some(n) = self.count_from_directory(pred, from, to)? {
-            return Ok(n);
-        }
-        Ok(self.find_rows_impl(pred, from, to, opts)?.len() as u64)
+        self.count_rows_impl(pred, from, to, opts)
     }
 
     fn key_by_vid(&self, vid: u64) -> CoreResult<Vec<u8>> {
@@ -325,9 +355,6 @@ impl ColumnRead for PagedColumn {
     }
 
     fn count_rows(&self, pred: &ValuePredicate, from: u64, to: u64) -> CoreResult<u64> {
-        if let Some(n) = self.count_from_directory(pred, from, to)? {
-            return Ok(n);
-        }
-        Ok(self.find_rows(pred, from, to)?.len() as u64)
+        self.count_rows_impl(pred, from, to, ScanOptions::sequential())
     }
 }

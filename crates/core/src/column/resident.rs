@@ -307,7 +307,31 @@ impl ColumnRead for ResidentColumn {
                 }
                 return Ok(n);
             }
+            return Ok(self.find_rows(pred, from, to)?.len() as u64);
         }
-        Ok(self.find_rows(pred, from, to)?.len() as u64)
+        // No index: COUNT never materializes positions — the scan kernel
+        // popcounts per-chunk result bitmaps in place.
+        if from > to || to > self.parts.len {
+            return Err(CoreError::RowOutOfBounds { rpos: to, len: self.parts.len });
+        }
+        let set = self.vid_set_from_image(&image, pred)?;
+        Ok(payg_encoding::kernels::count_matches(&image.data, from, to.min(self.parts.len), &set))
+    }
+
+    fn count_rows_par(
+        &self,
+        pred: &ValuePredicate,
+        from: u64,
+        to: u64,
+        opts: ScanOptions,
+    ) -> CoreResult<u64> {
+        let image = self.image()?;
+        if image.index.is_none() && from <= to && to <= self.parts.len {
+            let set = self.vid_set_from_image(&image, pred)?;
+            let _ = opts; // resident counts are CPU-trivial: stay sequential
+            return Ok(payg_encoding::kernels::count_matches(&image.data, from, to, &set));
+        }
+        drop(image);
+        self.count_rows(pred, from, to)
     }
 }

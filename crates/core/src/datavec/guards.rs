@@ -1,0 +1,134 @@
+//! Pin-amortizing guard cache for warm scans.
+//!
+//! The seed iterator held exactly one pinned page and re-entered the buffer
+//! pool on every page change. That is the right shape cold — it bounds the
+//! iterator's memory charge to one page — but warm it makes `pin()` (a shard
+//! lock + hash probe + resman accounting round-trip) the dominant cost of
+//! access patterns that hop between a few pages (index-driven probes, sorted
+//! `mget` batches, partition scans that revisit a boundary page).
+//!
+//! [`GuardCache`] keeps a small, fixed number of live [`PageGuard`]s,
+//! direct-mapped by logical page number. A hit returns the held guard with
+//! zero pool traffic; a miss pins through the pool and replaces the slot's
+//! previous occupant (releasing that pin). The pin count is therefore bounded
+//! by [`GUARD_CACHE_WAYS`] — still O(1) per iterator, just a slightly wider
+//! window than the seed's single slot.
+
+use payg_storage::PageGuard;
+
+/// Number of direct-mapped slots a [`GuardCache`] holds. Sized for scan
+/// shapes: a sequential scan needs 1, a scan plus read-ahead 2, and a
+/// handful of ways absorbs index-probe hopping without letting one iterator
+/// pin a meaningful fraction of a small pool.
+pub const GUARD_CACHE_WAYS: usize = 8;
+
+/// A small direct-mapped cache of live page pins keyed by logical page
+/// number.
+#[derive(Default)]
+pub struct GuardCache {
+    slots: [Option<(u64, PageGuard)>; GUARD_CACHE_WAYS],
+}
+
+impl GuardCache {
+    /// An empty cache holding no pins.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The guard for `page_no`, pinning via `pin` only on a cache miss. The
+    /// slot's previous guard (a different page mapping to the same way) is
+    /// released on replacement. On pin failure the slot keeps its previous
+    /// occupant and the error is returned unchanged.
+    pub fn get_or_pin<E>(
+        &mut self,
+        page_no: u64,
+        pin: impl FnOnce() -> Result<PageGuard, E>,
+    ) -> Result<&PageGuard, E> {
+        let way = (page_no % GUARD_CACHE_WAYS as u64) as usize;
+        let hit = matches!(&self.slots[way], Some((no, _)) if *no == page_no);
+        if !hit {
+            let guard = pin()?;
+            self.slots[way] = Some((page_no, guard));
+        }
+        match &self.slots[way] {
+            Some((_, guard)) => Ok(guard),
+            None => unreachable!("slot was just filled"),
+        }
+    }
+
+    /// Number of live pins currently held.
+    pub fn live_pins(&self) -> usize {
+        self.slots.iter().filter(|s| s.is_some()).count()
+    }
+
+    /// Releases every held pin.
+    pub fn clear(&mut self) {
+        self.slots = Default::default();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use payg_resman::ResourceManager;
+    use payg_storage::{BufferPool, ChainId, MemStore, PageKey, PageStore};
+    use std::sync::Arc;
+
+    fn pool_with_pages(n: u64) -> (BufferPool, ChainId) {
+        let store = Arc::new(MemStore::new());
+        let chain = store.create_chain(64).unwrap();
+        for p in 0..n {
+            store.append_page(chain, &[p as u8; 64]).unwrap();
+        }
+        (BufferPool::new(store, ResourceManager::new()), chain)
+    }
+
+    #[test]
+    fn hits_avoid_pool_traffic_and_misses_replace() {
+        let (pool, chain) = pool_with_pages(20);
+        let mut cache = GuardCache::new();
+        // First touch of each page: a miss.
+        for p in 0..3u64 {
+            let g = cache.get_or_pin(p, || pool.pin(PageKey::new(chain, p))).unwrap();
+            assert_eq!(g[0], p as u8);
+        }
+        assert_eq!(cache.live_pins(), 3);
+        let loads = pool.metrics().loads;
+        // Re-touching cached pages is free: no loads, no new pins.
+        for p in 0..3u64 {
+            let g = cache.get_or_pin(p, || pool.pin(PageKey::new(chain, p))).unwrap();
+            assert_eq!(g[0], p as u8);
+        }
+        assert_eq!(pool.metrics().loads, loads);
+        assert_eq!(cache.live_pins(), 3);
+        // Page mapping to an occupied way replaces (and releases) it.
+        let p = GUARD_CACHE_WAYS as u64; // same way as page 0
+        let _ = cache.get_or_pin(p, || pool.pin(PageKey::new(chain, p))).unwrap();
+        assert_eq!(cache.live_pins(), 3, "replacement keeps the pin count");
+    }
+
+    #[test]
+    fn pin_count_is_bounded_by_ways() {
+        let (pool, chain) = pool_with_pages(64);
+        let mut cache = GuardCache::new();
+        for p in 0..64u64 {
+            cache.get_or_pin(p, || pool.pin(PageKey::new(chain, p))).unwrap();
+        }
+        assert_eq!(cache.live_pins(), GUARD_CACHE_WAYS);
+        cache.clear();
+        assert_eq!(cache.live_pins(), 0);
+    }
+
+    #[test]
+    fn failed_pin_keeps_previous_occupant() {
+        let (pool, chain) = pool_with_pages(4);
+        let mut cache = GuardCache::new();
+        cache.get_or_pin(1, || pool.pin(PageKey::new(chain, 1))).unwrap();
+        let err: Result<&PageGuard, &str> = cache.get_or_pin(1 + GUARD_CACHE_WAYS as u64, || Err("nope"));
+        assert!(err.is_err());
+        let g = cache
+            .get_or_pin(1, || pool.pin(PageKey::new(chain, 1)))
+            .unwrap();
+        assert_eq!(g[0], 1);
+    }
+}

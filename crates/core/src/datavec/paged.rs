@@ -8,11 +8,13 @@
 //! what lets the iterator load *only* the pages overlapping a requested row
 //! range (§3.1.2).
 
+use crate::datavec::guards::GuardCache;
 use crate::{CoreError, CoreResult, PageConfig};
 use payg_encoding::chunk::{self, bytes_per_chunk, CHUNK_LEN};
+use payg_encoding::kernels::{self, KernelPredicate};
 use payg_encoding::scan::{push_bitmap_positions, CompiledPredicate};
 use payg_encoding::{BitPackedVec, BitWidth, VidSet};
-use payg_storage::{BufferPool, ChainRef, PageGuard, PageKey, StorageError};
+use payg_storage::{BufferPool, ChainRef, PageKey, StorageError};
 use std::sync::Arc;
 
 struct Meta {
@@ -140,11 +142,18 @@ impl PagedDataVector {
         &self.pool
     }
 
-    /// Creates a stateful read iterator (§3.1.2). The iterator holds at most
-    /// one pinned page and repositions — releasing the previous pin, then
-    /// pinning the next page — as accesses cross page boundaries.
+    /// Creates a stateful read iterator (§3.1.2). The iterator holds a small
+    /// bounded set of pinned pages (a [`GuardCache`]) and repositions —
+    /// pinning on first touch, releasing on way replacement — as accesses
+    /// cross page boundaries, so warm access patterns that revisit recent
+    /// pages pay no buffer-pool traffic.
     pub fn iter(&self) -> PagedDataVectorIterator<'_> {
-        PagedDataVectorIterator { vec: self, cur: None }
+        PagedDataVectorIterator {
+            vec: self,
+            guards: GuardCache::new(),
+            scratch: Vec::new(),
+            bitmaps: Vec::new(),
+        }
     }
 
     /// The (min, max) value summary of one page (§3.3's transient page
@@ -241,27 +250,27 @@ impl PagedDataVector {
 /// Stateful iterator over a [`PagedDataVector`].
 pub struct PagedDataVectorIterator<'a> {
     vec: &'a PagedDataVector,
-    /// Iterator state: the currently pinned page (paper: "it pins each new
-    /// page after releasing the handle to the previous page during page
-    /// reposition").
-    cur: Option<(u64, PageGuard)>,
+    /// Iterator state: the pinned pages (paper: "it pins each new page after
+    /// releasing the handle to the previous page during page reposition" —
+    /// widened here to a small bounded guard cache so warm repositioning
+    /// between nearby pages is pool-free).
+    guards: GuardCache,
+    /// Reusable word buffer for fused per-page kernel calls.
+    scratch: Vec<u64>,
+    /// Reusable per-page result-bitmap buffer (one word per chunk).
+    bitmaps: Vec<u64>,
 }
 
 impl PagedDataVectorIterator<'_> {
-    /// Repositions onto `page_no`, pinning it (and releasing the previous
-    /// page's pin, if different).
-    fn reposition(&mut self, page_no: u64) -> CoreResult<&PageGuard> {
-        let stale = !matches!(&self.cur, Some((cur_no, _)) if *cur_no == page_no);
-        if stale {
-            let key = PageKey::new(self.vec.meta.chain.chain, page_no);
-            // Pin the new page first, then drop the old guard by overwrite.
-            let guard = self.vec.pool.pin(key).map_err(CoreError::Storage)?;
-            self.cur = Some((page_no, guard));
-        }
-        match &self.cur {
-            Some((_, guard)) => Ok(guard),
-            None => unreachable!("reposition always leaves a pinned page"),
-        }
+    /// Repositions onto `page_no`: a guard-cache hit is free, a miss pins
+    /// through the pool (replacing — and thereby releasing — that way's
+    /// previous occupant).
+    fn reposition(&mut self, page_no: u64) -> CoreResult<&payg_storage::PageGuard> {
+        let pool = &self.vec.pool;
+        let chain = self.vec.meta.chain.chain;
+        self.guards
+            .get_or_pin(page_no, || pool.pin(PageKey::new(chain, page_no)))
+            .map_err(CoreError::Storage)
     }
 
     /// Copies the words of chunk `chunk_no` into `words`, returning the word
@@ -283,6 +292,30 @@ impl PagedDataVectorIterator<'_> {
             *w = crate::util::le_u64(&bytes[i * 8..i * 8 + 8]);
         }
         Ok(n)
+    }
+
+    /// Pins the page holding chunks `first_ci..=last_ci` once and copies
+    /// their packed words into the reusable scratch buffer, ready for one
+    /// fused kernel call. All chunks must live on the same page.
+    fn load_chunk_run(&mut self, page_no: u64, first_ci: u64, last_ci: u64) -> CoreResult<()> {
+        let per_chunk = bytes_per_chunk(self.vec.meta.width);
+        let cpp = self.vec.meta.chunks_per_page;
+        debug_assert!(first_ci / cpp == page_no && last_ci / cpp == page_no);
+        let base = (first_ci % cpp) as usize * per_chunk;
+        let len = (last_ci - first_ci + 1) as usize * per_chunk;
+        // Field-split borrows: the guard borrows `self.guards`, the copy
+        // target is the disjoint `self.scratch`.
+        let pool = &self.vec.pool;
+        let chain = self.vec.meta.chain.chain;
+        let guard = self
+            .guards
+            .get_or_pin(page_no, || pool.pin(PageKey::new(chain, page_no)))
+            .map_err(CoreError::Storage)?;
+        let bytes = &guard[base..base + len];
+        self.scratch.clear();
+        self.scratch.reserve(len / 8);
+        self.scratch.extend(bytes.chunks_exact(8).map(crate::util::le_u64));
+        Ok(())
     }
 
     /// Decodes the identifier at `rpos`.
@@ -327,8 +360,48 @@ impl PagedDataVectorIterator<'_> {
 
     /// `search(range-of-rows, set-of-vids)`: appends row positions in
     /// `from..to` whose identifier is in `set`. Pages outside the range are
-    /// never loaded.
+    /// never loaded; surviving pages are pinned once and evaluated with a
+    /// single bit-width-specialized kernel call each, producing per-chunk
+    /// result bitmaps that are materialized into positions late.
     pub fn search(
+        &mut self,
+        from: u64,
+        to: u64,
+        set: &VidSet,
+        out: &mut Vec<u64>,
+    ) -> CoreResult<()> {
+        self.vec.check_range(from, to)?;
+        if from == to || set.is_empty() {
+            return Ok(());
+        }
+        let pred = KernelPredicate::new(self.vec.meta.width, set);
+        if pred.never_matches() {
+            return Ok(());
+        }
+        if self.vec.meta.width.bits() == 0 || pred.always_matches() {
+            if pred.always_matches() {
+                out.extend(from..to);
+            }
+            return Ok(());
+        }
+        self.for_each_chunk_run(from, to, set, |it, first_ci, last_ci| {
+            it.bitmaps.clear();
+            pred.scan_chunks(&it.scratch, &mut it.bitmaps);
+            for (k, &bm) in it.bitmaps.iter().enumerate() {
+                if bm != 0 {
+                    push_bitmap_positions(bm, (first_ci + k as u64) * CHUNK_LEN as u64, from, to, out);
+                }
+            }
+            debug_assert_eq!(it.bitmaps.len() as u64, last_ci - first_ci + 1);
+        })
+    }
+
+    /// The seed's unfused scan path: one runtime-width
+    /// [`CompiledPredicate`] evaluation per chunk, repositioning (through
+    /// the guard cache) for every chunk. Kept as the reference
+    /// implementation the fused kernels are benchmarked and
+    /// equivalence-tested against.
+    pub fn search_generic(
         &mut self,
         from: u64,
         to: u64,
@@ -366,6 +439,104 @@ impl PagedDataVectorIterator<'_> {
                 push_bitmap_positions(bm, ci * CHUNK_LEN as u64, from, to, out);
             }
             ci += 1;
+        }
+        Ok(())
+    }
+
+    /// Counts rows in `from..to` whose identifier is in `set` without
+    /// materializing positions: each page's chunk run is evaluated with one
+    /// fused kernel call and the result bitmaps are popcounted in place
+    /// (boundary chunks masked to the row range).
+    pub fn count(&mut self, from: u64, to: u64, set: &VidSet) -> CoreResult<u64> {
+        self.vec.check_range(from, to)?;
+        if from == to || set.is_empty() {
+            return Ok(0);
+        }
+        let pred = KernelPredicate::new(self.vec.meta.width, set);
+        if pred.never_matches() {
+            return Ok(0);
+        }
+        if self.vec.meta.width.bits() == 0 || pred.always_matches() {
+            return Ok(if pred.always_matches() { to - from } else { 0 });
+        }
+        let mut total = 0u64;
+        self.for_each_chunk_run(from, to, set, |it, first_ci, _last_ci| {
+            it.bitmaps.clear();
+            pred.scan_chunks(&it.scratch, &mut it.bitmaps);
+            for (k, &bm) in it.bitmaps.iter().enumerate() {
+                let masked = bm & kernels::boundary_mask(first_ci + k as u64, from, to);
+                total += u64::from(masked.count_ones());
+            }
+        })?;
+        Ok(total)
+    }
+
+    /// Applies `body` to every page-contiguous run of chunks overlapping
+    /// `from..to` that survives page-summary pruning. Each run's packed
+    /// words are loaded into `self.scratch` (one pin, one copy per page)
+    /// before `body(self, first_ci, last_ci)` runs.
+    fn for_each_chunk_run(
+        &mut self,
+        from: u64,
+        to: u64,
+        set: &VidSet,
+        mut body: impl FnMut(&mut Self, u64, u64),
+    ) -> CoreResult<()> {
+        let cpp = self.vec.meta.chunks_per_page;
+        let first = chunk::chunk_of(from);
+        let last = chunk::chunk_of(to - 1);
+        let mut ci = first;
+        while ci <= last {
+            // Page-summary pruning (§3.3): skip whole pages whose value
+            // range cannot match, without loading them.
+            let page_no = ci / cpp;
+            let (pmin, pmax) = self.vec.meta.summaries[page_no as usize];
+            let page_last = ((page_no + 1) * cpp - 1).min(last);
+            if !set.overlaps(pmin, pmax) {
+                ci = page_last + 1;
+                continue;
+            }
+            self.load_chunk_run(page_no, ci, page_last)?;
+            body(self, ci, page_last);
+            ci = page_last + 1;
+        }
+        Ok(())
+    }
+
+    /// Batch point-decode: materializes the identifier at every position in
+    /// `rows` (any order, duplicates allowed) into `out`, in `rows` order.
+    /// Positions are processed in sorted order internally, so each chunk is
+    /// decoded once and each page is pinned at most once per visit — the
+    /// batched-`mget` shape the paper's repositioning iterator serves.
+    pub fn mget_at(&mut self, rows: &[u64], out: &mut Vec<u64>) -> CoreResult<()> {
+        out.clear();
+        if rows.is_empty() {
+            return Ok(());
+        }
+        for &rpos in rows {
+            if rpos >= self.vec.meta.len {
+                return Err(CoreError::RowOutOfBounds { rpos, len: self.vec.meta.len });
+            }
+        }
+        out.resize(rows.len(), 0);
+        if self.vec.meta.width.bits() == 0 {
+            return Ok(());
+        }
+        // Visit rows in ascending order regardless of input order.
+        let mut order: Vec<u32> = (0..rows.len() as u32).collect();
+        order.sort_unstable_by_key(|&i| rows[i as usize]);
+        let mut words = [0u64; 64];
+        let mut decoded = [0u64; CHUNK_LEN];
+        let mut cached_chunk = u64::MAX;
+        for &i in &order {
+            let rpos = rows[i as usize];
+            let ci = chunk::chunk_of(rpos);
+            if ci != cached_chunk {
+                let n = self.chunk_words(ci, &mut words)?;
+                chunk::decode_chunk(&words[..n], self.vec.meta.width, &mut decoded);
+                cached_chunk = ci;
+            }
+            out[i as usize] = decoded[chunk::slot_of(rpos)];
         }
         Ok(())
     }
@@ -515,20 +686,92 @@ mod tests {
     }
 
     #[test]
-    fn iterator_holds_exactly_one_pin() {
+    fn iterator_pins_are_bounded_by_the_guard_cache() {
         let values = sample(3000, 1000, 6);
         let (pool, paged, _) = build(&values);
         let resman = pool.resource_manager().clone();
         let mut it = paged.iter();
         let _ = it.get(0).unwrap();
         let _ = it.get(2999).unwrap();
-        // Only the iterator's current page is pinned: everything else is
-        // evictable.
+        // Only the iterator's guard cache holds pins: everything else is
+        // evictable, and the pin count never exceeds the cache ways.
         resman.set_paged_limits(Some(payg_resman::PoolLimits::new(0, usize::MAX)));
         resman.reactive_unload();
-        assert_eq!(pool.resident_pages(), 1);
-        // The pinned page is still readable.
+        let resident = pool.resident_pages();
+        assert!(
+            (1..=crate::datavec::GUARD_CACHE_WAYS).contains(&resident),
+            "iterator pins {resident} pages, beyond its guard cache"
+        );
+        // The pinned pages are still readable, with no reloads.
+        let loads = pool.metrics().loads;
         let _ = it.get(2999).unwrap();
+        let _ = it.get(0).unwrap();
+        assert_eq!(pool.metrics().loads, loads, "guard-cache hits reload nothing");
+    }
+
+    #[test]
+    fn warm_search_pins_each_page_once() {
+        let values = sample(4000, 500, 9);
+        let (pool, paged, _) = build(&values);
+        let set = VidSet::range(0, 499);
+        let pins = |pool: &BufferPool| {
+            let m = pool.metrics();
+            m.hits + m.loads
+        };
+        let mut it = paged.iter();
+        let mut out = Vec::new();
+        it.search(0, 4000, &set, &mut out).unwrap();
+        assert_eq!(out.len(), 4000);
+        let pins_cold = pins(&pool);
+        assert!(pins_cold <= paged.pages() + 1, "one pin per page on a full scan");
+        // A warm re-scan with the same iterator re-pins only the pages that
+        // fell out of the guard cache — never one pin per chunk.
+        out.clear();
+        it.search(0, 4000, &set, &mut out).unwrap();
+        assert_eq!(out.len(), 4000);
+        let pins_warm = pins(&pool) - pins_cold;
+        assert!(
+            pins_warm <= paged.pages() + 1,
+            "warm re-scan issued {pins_warm} pins for {} pages",
+            paged.pages()
+        );
+    }
+
+    #[test]
+    fn count_and_mget_at_match_naive() {
+        let values = sample(3000, 300, 10);
+        let (_pool, paged, _) = build(&values);
+        let mut it = paged.iter();
+        for set in [VidSet::Single(7), VidSet::range(20, 80), VidSet::from_vids(vec![0, 150, 299])] {
+            for (from, to) in [(0u64, 3000u64), (63, 65), (100, 2500), (2999, 3000), (64, 64)] {
+                let expect =
+                    (from..to).filter(|&i| set.contains(values[i as usize])).count() as u64;
+                assert_eq!(it.count(from, to, &set).unwrap(), expect, "{set:?} {from}..{to}");
+            }
+        }
+        // mget_at returns values in input order, including duplicates and
+        // unsorted positions.
+        let rows = vec![2999u64, 0, 64, 63, 64, 1500, 2, 2];
+        let mut out = Vec::new();
+        it.mget_at(&rows, &mut out).unwrap();
+        let expect: Vec<u64> = rows.iter().map(|&r| values[r as usize]).collect();
+        assert_eq!(out, expect);
+        assert!(it.mget_at(&[3000], &mut out).is_err());
+    }
+
+    #[test]
+    fn search_generic_agrees_with_fused_search() {
+        let values = sample(2500, 97, 11);
+        let (_pool, paged, _) = build(&values);
+        for set in [VidSet::Single(13), VidSet::range(10, 40), VidSet::from_vids(vec![0, 50, 96])] {
+            for (from, to) in [(0u64, 2500u64), (63, 65), (1, 2499), (130, 130)] {
+                let mut fused = Vec::new();
+                paged.iter().search(from, to, &set, &mut fused).unwrap();
+                let mut generic = Vec::new();
+                paged.iter().search_generic(from, to, &set, &mut generic).unwrap();
+                assert_eq!(fused, generic, "{set:?} {from}..{to}");
+            }
+        }
     }
 
     #[test]

@@ -4,9 +4,10 @@
 //! page-summary pruning (§3.3): pages whose (min, max) summary cannot match
 //! the predicate are excluded before the split, so workers divide only the
 //! pages that will actually be read. Each worker drives its own stateful,
-//! repositioning iterator — holding exactly one pinned page at a time, as
-//! §3.1.2 prescribes — plus one asynchronous read-ahead slot that loads the
-//! worker's next surviving page while the current one is being scanned.
+//! repositioning iterator — holding a small bounded set of pinned pages via
+//! its guard cache, in the spirit of §3.1.2's single-pin iterator — plus one
+//! asynchronous read-ahead slot that loads the worker's next surviving page
+//! while the current one is being scanned.
 //! Per-segment results are concatenated in partition order, which makes the
 //! output bit-identical to the sequential scan.
 
@@ -215,6 +216,46 @@ impl PagedDataVector {
             }),
         }
     }
+
+    /// Parallel COUNT over `from..to`: identical to
+    /// `par_search(..).len()` but positions are never materialized — each
+    /// worker popcounts its partition's result bitmaps in place
+    /// ([`crate::datavec::PagedDataVectorIterator::count`]) and the
+    /// per-partition counts are summed.
+    pub fn par_count(
+        &self,
+        from: u64,
+        to: u64,
+        set: &VidSet,
+        opts: ScanOptions,
+    ) -> CoreResult<u64> {
+        if from > to || to > self.len() {
+            return Err(CoreError::RowOutOfBounds { rpos: to, len: self.len() });
+        }
+        if from == to || set.is_empty() {
+            return Ok(0);
+        }
+        if self.width().bits() == 0 {
+            return self.iter().count(from, to, set);
+        }
+        let workers = opts.workers.max(1);
+        let parts = scan_partitions(self, from, to, Some(set), workers);
+        match parts.as_slice() {
+            [] => Ok(0),
+            [only] => self.iter().count(only.from, only.to, set),
+            many => std::thread::scope(|s| {
+                let handles: Vec<_> = many
+                    .iter()
+                    .map(|&part| s.spawn(move || self.iter().count(part.from, part.to, set)))
+                    .collect();
+                let mut total = 0u64;
+                for h in handles {
+                    total += h.join().unwrap_or_else(|e| std::panic::resume_unwind(e))?;
+                }
+                Ok(total)
+            }),
+        }
+    }
 }
 
 /// Parallel scan over a fully-resident packed vector: identical results to
@@ -371,6 +412,26 @@ mod tests {
         let out = paged.par_search(10, 20, &VidSet::Single(0), ScanOptions::with_workers(4)).unwrap();
         assert_eq!(out, (10..20).collect::<Vec<u64>>());
         assert!(paged.par_search(0, 1001, &VidSet::Single(0), ScanOptions::with_workers(4)).is_err());
+    }
+
+    #[test]
+    fn par_count_matches_par_search_len() {
+        let values = sample(6000, 97, 15);
+        let (_pool, paged, _) = build(&values);
+        for set in [VidSet::Single(13), VidSet::range(20, 60), VidSet::from_vids(vec![0, 50, 96])] {
+            for (from, to) in [(0u64, 6000u64), (123, 5991), (64, 128), (0, 1), (50, 50)] {
+                let expect =
+                    (from..to).filter(|&i| set.contains(values[i as usize])).count() as u64;
+                for workers in [1, 4] {
+                    let opts = ScanOptions { workers, prefetch: workers > 1 };
+                    assert_eq!(
+                        paged.par_count(from, to, &set, opts).unwrap(),
+                        expect,
+                        "workers={workers} {set:?} {from}..{to}"
+                    );
+                }
+            }
+        }
     }
 
     #[test]

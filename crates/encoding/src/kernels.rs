@@ -1,0 +1,717 @@
+//! Bit-width-specialized scan kernels (the warm-path `search` fast path).
+//!
+//! The generic kernels in [`crate::scan`] take the bit width as a runtime
+//! value, so every chunk pays runtime-width shifts, a 128-bit carry decode
+//! for non-word-aligned widths, and per-chunk predicate dispatch. Once pages
+//! are pool-resident the scan is CPU-bound and that overhead dominates —
+//! exactly the regime MorphStore's compression-specialized operator variants
+//! target. This module compiles one kernel *per bit width* with the width as
+//! a const generic:
+//!
+//! * `scan_eq::<N>` / `scan_range::<N>` / `scan_in_set::<N>` for `N` in
+//!   `1..=32`, selected once per scan through a dispatch table
+//!   ([`WidthKernels::for_width`]). Shift amounts, lane counts and masks are
+//!   compile-time constants; the per-slot loops fully unroll and
+//!   autovectorize.
+//! * Word-aligned widths (1, 2, 4, 8, 16, 32) evaluate equality without
+//!   decoding at all: an exact SWAR lane-compare produces a per-lane match
+//!   mask, and the byte-aligned widths (8/16/32) collapse it to result bits
+//!   with a single multiply (a portable `movemask`). Non-dividing widths
+//!   `>= 15` also skip the decode for equality: a zero-byte screen over the
+//!   XOR diff rejects whole words, and only candidate lanes are verified.
+//! * Every kernel emits **result bitmaps** — one `u64` per 64-value chunk,
+//!   bit `i` set ⇔ slot `i` matches — instead of pushing row ids. Bitmap
+//!   output costs O(1) per chunk regardless of selectivity; positions are
+//!   materialized late via [`materialize_positions`] / [`bitmap_select`].
+//!
+//! Widths 0 and 33..=64 (cardinality 1 and > 2^32 — both rare) fall back to
+//! the generic chunk kernels; [`KernelPredicate`] hides the split.
+
+use crate::chunk::{decode_chunk, CHUNK_LEN};
+use crate::scan::CompiledPredicate;
+use crate::{BitPackedVec, BitWidth, VidSet};
+
+/// One chunk's match bitmap for an equality predicate at const width `N`.
+///
+/// `chunk` must hold exactly `N` words; `vid` must fit in `N` bits.
+#[inline]
+pub fn chunk_eq<const N: u32>(chunk: &[u64], vid: u64) -> u64 {
+    if N == 1 {
+        // Lanes are single bits: the bitmap is the (possibly inverted) word.
+        return if vid == 0 { !chunk[0] } else { chunk[0] };
+    }
+    if 64 % N == 0 {
+        // SWAR path: no decode. XOR with the replicated probe, then an exact
+        // per-lane zero test (no cross-lane borrows: every lane of `x | msb`
+        // has its top bit set, so subtracting 1 per lane never underflows).
+        let lsb = lane_lsb::<N>();
+        let msb = lsb << (N - 1);
+        let pattern = vid.wrapping_mul(lsb);
+        let mut bm = 0u64;
+        for (wi, &word) in chunk[..N as usize].iter().enumerate() {
+            let x = word ^ pattern;
+            let hits = msb & !(x | ((x | msb).wrapping_sub(lsb)));
+            bm |= movemask::<N>(hits) << (wi * (64 / N as usize));
+        }
+        return bm;
+    }
+    if N >= 15 {
+        let pat = eq_pattern::<N>(vid);
+        return chunk_eq_screened::<N>(chunk, vid, &pat[..N as usize]);
+    }
+    let mut buf = [0u64; CHUNK_LEN];
+    decode_const::<N>(chunk, &mut buf);
+    let mut bm = 0u64;
+    for (i, &v) in buf.iter().enumerate() {
+        bm |= u64::from(v == vid) << i;
+    }
+    bm
+}
+
+/// One chunk's match bitmap for an inclusive range predicate at width `N`.
+///
+/// `lo <= hi` and `hi` must fit in `N` bits.
+#[inline]
+pub fn chunk_range<const N: u32>(chunk: &[u64], lo: u64, hi: u64) -> u64 {
+    let mut buf = [0u64; CHUNK_LEN];
+    decode_const::<N>(chunk, &mut buf);
+    let mut bm = 0u64;
+    for (i, &v) in buf.iter().enumerate() {
+        bm |= u64::from(v.wrapping_sub(lo) <= hi - lo) << i;
+    }
+    bm
+}
+
+/// One chunk's match bitmap for an arbitrary sorted-list / bitmap predicate
+/// at width `N` (single and range shapes are routed to the cheaper kernels
+/// by [`KernelPredicate::new`] before this is reached).
+#[inline]
+pub fn chunk_in_set<const N: u32>(chunk: &[u64], set: &VidSet) -> u64 {
+    let mut buf = [0u64; CHUNK_LEN];
+    decode_const::<N>(chunk, &mut buf);
+    match set {
+        VidSet::Bitmap(words) => {
+            let mut bm = 0u64;
+            for (i, &v) in buf.iter().enumerate() {
+                let wi = (v / 64) as usize;
+                let bit = wi < words.len() && (words[wi] >> (v % 64)) & 1 == 1;
+                bm |= u64::from(bit) << i;
+            }
+            bm
+        }
+        _ => {
+            let mut bm = 0u64;
+            for (i, &v) in buf.iter().enumerate() {
+                bm |= u64::from(set.contains(v)) << i;
+            }
+            bm
+        }
+    }
+}
+
+/// Appends one match bitmap per chunk of `words` (equality probe `vid`).
+///
+/// `words` must be an integral number of `N`-word chunks. This is the
+/// page-granular entry point: a caller pins a page once and hands all of its
+/// chunks to a single kernel call.
+pub fn scan_eq<const N: u32>(words: &[u64], vid: u64, out: &mut Vec<u64>) {
+    if 64 % N != 0 && N >= 15 {
+        // Screened path: hoist the replicated probe once for the whole slice.
+        let pat = eq_pattern::<N>(vid);
+        for chunk in words.chunks_exact(N as usize) {
+            out.push(chunk_eq_screened::<N>(chunk, vid, &pat[..N as usize]));
+        }
+        return;
+    }
+    for chunk in words.chunks_exact(N as usize) {
+        out.push(chunk_eq::<N>(chunk, vid));
+    }
+}
+
+/// `vid` packed at every one of the 64 lanes of one `N`-word chunk (only the
+/// first `N` words of the returned buffer are meaningful).
+#[inline]
+fn eq_pattern<const N: u32>(vid: u64) -> [u64; 32] {
+    let mut pat = [0u64; 32];
+    let n = N as usize;
+    for slot in 0..CHUNK_LEN {
+        let bit = slot * n;
+        let wi = bit >> 6;
+        let sh = (bit & 63) as u32;
+        pat[wi] |= vid << sh;
+        if sh + N > 64 {
+            pat[wi + 1] |= vid >> (64 - sh);
+        }
+    }
+    pat
+}
+
+/// Equality for non-dividing widths `N >= 15` without decoding: XOR the
+/// chunk against the replicated probe (`pat`), so a matching lane is a run
+/// of `N` zero bits in the diff stream. Any zero run of length >= 15 must
+/// fully contain an *aligned* zero byte (the first byte boundary inside the
+/// run is at most 7 bits in, leaving >= 8 zero bits after it), so a SWAR
+/// zero-byte test per diff word screens out non-matching words; only the
+/// rare lane that fully contains a zero byte is extracted and verified.
+///
+/// The screen is conservative — the borrow in the zero-byte trick can flag a
+/// nonzero byte, but only when a lower byte of the same word is itself zero,
+/// so no matching lane is ever missed; false positives just fail the exact
+/// compare.
+#[inline]
+fn chunk_eq_screened<const N: u32>(chunk: &[u64], vid: u64, pat: &[u64]) -> u64 {
+    debug_assert!(N >= 15 && 64 % N != 0);
+    let mask = (1u64 << N) - 1;
+    let mut bm = 0u64;
+    for (wi, (&cw, &pw)) in chunk.iter().zip(pat).enumerate() {
+        let d = cw ^ pw;
+        let mut zb = d.wrapping_sub(0x0101_0101_0101_0101) & !d & 0x8080_8080_8080_8080;
+        while zb != 0 {
+            // High bit of a (probable) zero byte -> the byte's base bit.
+            let byte_bit = 64 * wi as u64 + u64::from(zb.trailing_zeros() & !7);
+            zb &= zb - 1;
+            // At most one lane fully contains the byte: the one whose start
+            // is at or below the byte and whose end covers it.
+            let k = byte_bit / u64::from(N);
+            if k < 64 && byte_bit + 8 <= (k + 1) * u64::from(N) {
+                let bit = k * u64::from(N);
+                let lane_wi = (bit >> 6) as usize;
+                let sh = (bit & 63) as u32;
+                let mut v = chunk[lane_wi] >> sh;
+                if sh + N > 64 {
+                    v |= chunk[lane_wi + 1] << (64 - sh);
+                }
+                bm |= u64::from(v & mask == vid) << k;
+            }
+        }
+    }
+    bm
+}
+
+/// Appends one match bitmap per chunk of `words` (range probe `lo..=hi`).
+pub fn scan_range<const N: u32>(words: &[u64], lo: u64, hi: u64, out: &mut Vec<u64>) {
+    for chunk in words.chunks_exact(N as usize) {
+        out.push(chunk_range::<N>(chunk, lo, hi));
+    }
+}
+
+/// Appends one match bitmap per chunk of `words` (membership in `set`).
+pub fn scan_in_set<const N: u32>(words: &[u64], set: &VidSet, out: &mut Vec<u64>) {
+    for chunk in words.chunks_exact(N as usize) {
+        out.push(chunk_in_set::<N>(chunk, set));
+    }
+}
+
+/// The low bit of every `N`-bit lane (`N` divides 64), as a compile-time
+/// constant.
+#[inline]
+fn lane_lsb<const N: u32>() -> u64 {
+    let mut p = 1u64;
+    let mut width = N;
+    while width < 64 {
+        p |= p << width;
+        width *= 2;
+    }
+    p
+}
+
+/// Collapses a per-lane mask (bit at each matching lane's *top* bit) into a
+/// dense `64 / N`-bit result, lane `i` → bit `i`. For byte-aligned lanes one
+/// multiply gathers every lane bit at once; other aligned widths use a
+/// fully-unrolled constant-shift loop.
+#[inline]
+fn movemask<const N: u32>(lane_msb_hits: u64) -> u64 {
+    // Move each lane's hit bit down to the lane's base position first.
+    let low = lane_msb_hits >> (N - 1);
+    match N {
+        1 => low,
+        32 => (low & 1) | ((low >> 31) & 2),
+        // Bits at 8i gather to 56+i via 0x0102_0408_1020_4080 (the classic
+        // byte-movemask multiply; cross terms never land in the top byte).
+        8 => low.wrapping_mul(0x0102_0408_1020_4080) >> 56,
+        // Bits at 16i gather to 48+i: constants 2^(48-15i).
+        16 => low.wrapping_mul(0x0001_0002_0004_0008) >> 48,
+        _ => {
+            let per_word = 64 / N as usize;
+            let mut bm = 0u64;
+            for lane in 0..per_word {
+                bm |= ((low >> (lane * N as usize)) & 1) << lane;
+            }
+            bm
+        }
+    }
+}
+
+/// Decodes one `N`-word chunk into 64 slots with compile-time shift
+/// geometry. With `N` const the loop fully unrolls: every word index and
+/// shift amount is a literal, and the straddle test disappears where it
+/// cannot apply.
+#[inline]
+pub fn decode_const<const N: u32>(chunk: &[u64], out: &mut [u64; CHUNK_LEN]) {
+    let n = N as usize;
+    let mask = if N == 64 { u64::MAX } else { (1u64 << N) - 1 };
+    let words = &chunk[..n];
+    for (slot, o) in out.iter_mut().enumerate() {
+        let bit = slot * n;
+        let wi = bit >> 6;
+        let sh = (bit & 63) as u32;
+        let mut v = words[wi] >> sh;
+        if sh + N > 64 {
+            v |= words[wi + 1] << (64 - sh);
+        }
+        *o = v & mask;
+    }
+}
+
+/// The kernel entry points compiled for one bit width: slice-granular
+/// (`eq`/`range`/`in_set` take a multi-chunk word slice and append one match
+/// bitmap per chunk — the fused per-page call) and chunk-granular
+/// (`chunk_*`, for isolated boundary chunks and point repositioning).
+#[derive(Clone, Copy)]
+pub struct WidthKernels {
+    /// Equality kernel: `(words, vid, out_bitmaps)`.
+    pub eq: fn(&[u64], u64, &mut Vec<u64>),
+    /// Inclusive-range kernel: `(words, lo, hi, out_bitmaps)`.
+    pub range: fn(&[u64], u64, u64, &mut Vec<u64>),
+    /// Set-membership kernel: `(words, set, out_bitmaps)`.
+    pub in_set: fn(&[u64], &VidSet, &mut Vec<u64>),
+    /// Single-chunk equality kernel: `(chunk, vid) -> bitmap`.
+    pub chunk_eq: fn(&[u64], u64) -> u64,
+    /// Single-chunk range kernel: `(chunk, lo, hi) -> bitmap`.
+    pub chunk_range: fn(&[u64], u64, u64) -> u64,
+    /// Single-chunk membership kernel: `(chunk, set) -> bitmap`.
+    pub chunk_in_set: fn(&[u64], &VidSet) -> u64,
+}
+
+macro_rules! width_kernel_table {
+    ($($n:literal)*) => {
+        [$(WidthKernels {
+            eq: scan_eq::<$n>,
+            range: scan_range::<$n>,
+            in_set: scan_in_set::<$n>,
+            chunk_eq: chunk_eq::<$n>,
+            chunk_range: chunk_range::<$n>,
+            chunk_in_set: chunk_in_set::<$n>,
+        }),*]
+    };
+}
+
+/// Kernels for widths 1..=32, indexed by `bits - 1`.
+static KERNELS: [WidthKernels; 32] = width_kernel_table!(
+    1 2 3 4 5 6 7 8 9 10 11 12 13 14 15 16
+    17 18 19 20 21 22 23 24 25 26 27 28 29 30 31 32
+);
+
+impl WidthKernels {
+    /// The specialized kernel set for `w`, or `None` for widths 0 and
+    /// 33..=64 (callers fall back to the generic chunk kernels).
+    pub fn for_width(w: BitWidth) -> Option<&'static WidthKernels> {
+        let bits = w.bits();
+        if (1..=32).contains(&bits) {
+            Some(&KERNELS[(bits - 1) as usize])
+        } else {
+            None
+        }
+    }
+}
+
+/// The operation a [`KernelPredicate`] routes to.
+enum Op<'a> {
+    /// Nothing matches (empty set, or the probe exceeds the width).
+    Never,
+    /// Everything matches (width-0 vector whose single value is in the set,
+    /// or a range covering the whole domain).
+    Always,
+    Eq(u64),
+    Range(u64, u64),
+    In(&'a VidSet),
+}
+
+/// A scan predicate compiled against a bit width: picks the specialized
+/// kernel for widths 1..=32 and the generic [`CompiledPredicate`] otherwise,
+/// normalizing degenerate shapes (out-of-domain probes, full-domain ranges)
+/// up front so the per-chunk path never re-checks them.
+pub struct KernelPredicate<'a> {
+    width: BitWidth,
+    op: Op<'a>,
+    kernels: Option<&'static WidthKernels>,
+    fallback: Option<CompiledPredicate<'a>>,
+}
+
+impl<'a> KernelPredicate<'a> {
+    /// Compiles `set` for scans at `width`.
+    pub fn new(width: BitWidth, set: &'a VidSet) -> Self {
+        let max = width.max_value();
+        let op = if set.is_empty() {
+            Op::Never
+        } else if width.bits() == 0 {
+            if set.contains(0) {
+                Op::Always
+            } else {
+                Op::Never
+            }
+        } else {
+            match set {
+                VidSet::Single(v) if *v > max => Op::Never,
+                VidSet::Single(v) => Op::Eq(*v),
+                VidSet::Range { lo, .. } if *lo > max => Op::Never,
+                VidSet::Range { lo, hi } if *lo == 0 && *hi >= max => Op::Always,
+                VidSet::Range { lo, hi } => Op::Range(*lo, (*hi).min(max)),
+                other => Op::In(other),
+            }
+        };
+        let kernels = WidthKernels::for_width(width);
+        let fallback = match (&op, kernels) {
+            (Op::Eq(_) | Op::Range(..) | Op::In(_), None) => {
+                Some(CompiledPredicate::new(width, set))
+            }
+            _ => None,
+        };
+        KernelPredicate { width, op, kernels, fallback }
+    }
+
+    /// The compiled width.
+    pub fn width(&self) -> BitWidth {
+        self.width
+    }
+
+    /// True when no slot can ever match.
+    pub fn never_matches(&self) -> bool {
+        matches!(self.op, Op::Never)
+    }
+
+    /// True when every slot trivially matches.
+    pub fn always_matches(&self) -> bool {
+        matches!(self.op, Op::Always)
+    }
+
+    /// Appends one match bitmap per chunk of `words` (an integral number of
+    /// chunks at the compiled width) — the single fused call a caller makes
+    /// per pinned page.
+    pub fn scan_chunks(&self, words: &[u64], out: &mut Vec<u64>) {
+        let n = self.width.bits() as usize;
+        debug_assert!(n > 0 && words.len().is_multiple_of(n), "whole chunks required");
+        let chunks = words.len().checked_div(n).unwrap_or(0);
+        match (&self.op, self.kernels) {
+            (Op::Never, _) => out.extend(std::iter::repeat_n(0u64, chunks)),
+            (Op::Always, _) => out.extend(std::iter::repeat_n(u64::MAX, chunks)),
+            (Op::Eq(v), Some(k)) => (k.eq)(words, *v, out),
+            (Op::Range(lo, hi), Some(k)) => (k.range)(words, *lo, *hi, out),
+            (Op::In(set), Some(k)) => (k.in_set)(words, set, out),
+            // Widths 33..=64: generic per-chunk kernel.
+            (_, None) => match &self.fallback {
+                Some(pred) => {
+                    for chunk in words.chunks_exact(n) {
+                        out.push(pred.chunk_bitmap(chunk));
+                    }
+                }
+                None => unreachable!("fallback compiled for non-trivial ops"),
+            },
+        }
+    }
+
+    /// One chunk's match bitmap (used for isolated boundary chunks).
+    #[inline]
+    pub fn chunk_bitmap(&self, chunk: &[u64]) -> u64 {
+        match (&self.op, self.kernels) {
+            (Op::Never, _) => 0,
+            (Op::Always, _) => u64::MAX,
+            (Op::Eq(v), Some(k)) => (k.chunk_eq)(chunk, *v),
+            (Op::Range(lo, hi), Some(k)) => (k.chunk_range)(chunk, *lo, *hi),
+            (Op::In(set), Some(k)) => (k.chunk_in_set)(chunk, set),
+            (_, None) => match &self.fallback {
+                Some(pred) => pred.chunk_bitmap(chunk),
+                None => unreachable!("fallback compiled for non-trivial ops"),
+            },
+        }
+    }
+}
+
+/// The unspecialized reference kernel: runtime-width decode of the whole
+/// chunk followed by a branchless membership test. This is the "one generic
+/// kernel" baseline the specialized dispatch is measured against (and the
+/// middle term of the specialized ≡ generic ≡ naive equivalence tests).
+pub fn chunk_bitmap_generic(chunk_words: &[u64], w: BitWidth, set: &VidSet) -> u64 {
+    if w.bits() == 0 {
+        return if set.contains(0) { u64::MAX } else { 0 };
+    }
+    let mut buf = [0u64; CHUNK_LEN];
+    decode_chunk(chunk_words, w, &mut buf);
+    let mut bm = 0u64;
+    match set {
+        VidSet::Single(v) => {
+            for (i, &x) in buf.iter().enumerate() {
+                bm |= u64::from(x == *v) << i;
+            }
+        }
+        VidSet::Range { lo, hi } => {
+            for (i, &x) in buf.iter().enumerate() {
+                bm |= u64::from(x >= *lo && x <= *hi) << i;
+            }
+        }
+        other => {
+            for (i, &x) in buf.iter().enumerate() {
+                bm |= u64::from(other.contains(x)) << i;
+            }
+        }
+    }
+    bm
+}
+
+/// Number of matches in `vec[from..to]` without materializing positions (or
+/// even per-chunk bitmaps): each chunk's bitmap is popcounted on the fly.
+/// This is the COUNT(*) kernel — output cost is one add per 64 rows.
+pub fn count_matches(vec: &BitPackedVec, from: u64, to: u64, set: &VidSet) -> u64 {
+    assert!(from <= to && to <= vec.len(), "count range {from}..{to} out of bounds");
+    if from == to {
+        return 0;
+    }
+    let pred = KernelPredicate::new(vec.width(), set);
+    if pred.never_matches() {
+        return 0;
+    }
+    if pred.always_matches() {
+        return to - from;
+    }
+    let first = from / CHUNK_LEN as u64;
+    let last = (to - 1) / CHUNK_LEN as u64;
+    let mut n = 0u64;
+    for ci in first..=last {
+        let mut bm = pred.chunk_bitmap(vec.chunk_words(ci));
+        bm &= boundary_mask(ci, from, to);
+        n += u64::from(bm.count_ones());
+    }
+    n
+}
+
+/// The mask of slots of chunk `ci` that fall inside `from..to`.
+#[inline]
+pub fn boundary_mask(ci: u64, from: u64, to: u64) -> u64 {
+    let base = ci * CHUNK_LEN as u64;
+    let mut mask = u64::MAX;
+    if base < from {
+        let skip = from - base;
+        mask = if skip >= 64 { 0 } else { mask << skip };
+    }
+    if base + 64 > to {
+        mask = if to <= base { 0 } else { mask & (u64::MAX >> (base + 64 - to)) };
+    }
+    mask
+}
+
+/// Number of set bits in `bitmaps[..]` strictly before bit position `pos`
+/// (positions count from bit 0 of the first word).
+pub fn bitmap_rank(bitmaps: &[u64], pos: u64) -> u64 {
+    let wi = (pos / 64) as usize;
+    let mut n = 0u64;
+    for &w in bitmaps.iter().take(wi.min(bitmaps.len())) {
+        n += u64::from(w.count_ones());
+    }
+    if wi < bitmaps.len() && !pos.is_multiple_of(64) {
+        n += u64::from((bitmaps[wi] & ((1u64 << (pos % 64)) - 1)).count_ones());
+    }
+    n
+}
+
+/// Position of the `k`-th (0-based) set bit across `bitmaps`, or `None` when
+/// fewer than `k + 1` bits are set. The inverse of [`bitmap_rank`]; together
+/// they let a caller materialize an arbitrary sub-range of match positions
+/// from a stored result bitmap without rescanning.
+pub fn bitmap_select(bitmaps: &[u64], k: u64) -> Option<u64> {
+    let mut remaining = k;
+    for (wi, &w) in bitmaps.iter().enumerate() {
+        let ones = u64::from(w.count_ones());
+        if remaining < ones {
+            return Some(wi as u64 * 64 + select_in_word(w, remaining as u32));
+        }
+        remaining -= ones;
+    }
+    None
+}
+
+/// Bit index of the `k`-th (0-based) set bit of `w`; `k < w.count_ones()`.
+#[inline]
+fn select_in_word(mut w: u64, k: u32) -> u64 {
+    for _ in 0..k {
+        w &= w - 1;
+    }
+    w.trailing_zeros() as u64
+}
+
+/// Late materialization: appends the positions of every set bit of
+/// `bitmaps` (bit `i` of word `wi` → `base + wi * 64 + i`) to `out`, with a
+/// fast path for saturated words (dense matches extend a whole run at once).
+pub fn materialize_positions(bitmaps: &[u64], base: u64, out: &mut Vec<u64>) {
+    for (wi, &w) in bitmaps.iter().enumerate() {
+        let start = base + wi as u64 * 64;
+        if w == u64::MAX {
+            out.extend(start..start + 64);
+            continue;
+        }
+        let mut w = w;
+        while w != 0 {
+            out.push(start + w.trailing_zeros() as u64);
+            w &= w - 1;
+        }
+    }
+}
+
+/// Total set bits across `bitmaps`.
+pub fn bitmap_count(bitmaps: &[u64]) -> u64 {
+    bitmaps.iter().map(|w| u64::from(w.count_ones())).sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::chunk::encode_chunk;
+
+    fn chunk_for(values: &[u64; CHUNK_LEN], bits: u32) -> (BitWidth, Vec<u64>) {
+        let w = BitWidth::new(bits).unwrap();
+        let mut words = vec![0u64; bits as usize];
+        encode_chunk(values, w, &mut words);
+        (w, words)
+    }
+
+    fn pseudo_values(bits: u32, seed: u64) -> [u64; CHUNK_LEN] {
+        let mask = BitWidth::new(bits).unwrap().mask();
+        let mut values = [0u64; CHUNK_LEN];
+        for (i, v) in values.iter_mut().enumerate() {
+            *v = seed
+                .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+                .wrapping_add(i as u64)
+                .wrapping_mul(0xBF58_476D_1CE4_E5B9)
+                .rotate_left(i as u32)
+                & mask;
+        }
+        values
+    }
+
+    fn naive_bitmap(values: &[u64; CHUNK_LEN], pred: impl Fn(u64) -> bool) -> u64 {
+        let mut bm = 0u64;
+        for (i, &v) in values.iter().enumerate() {
+            bm |= u64::from(pred(v)) << i;
+        }
+        bm
+    }
+
+    #[test]
+    fn specialized_eq_matches_naive_all_widths() {
+        for bits in 1..=32u32 {
+            let values = pseudo_values(bits, u64::from(bits) * 7 + 1);
+            let (w, words) = chunk_for(&values, bits);
+            let k = WidthKernels::for_width(w).unwrap();
+            for vid in [values[0], values[63], 0, w.max_value()] {
+                let mut out = Vec::new();
+                (k.eq)(&words, vid, &mut out);
+                assert_eq!(out.len(), 1);
+                assert_eq!(out[0], naive_bitmap(&values, |v| v == vid), "bits={bits} vid={vid}");
+            }
+        }
+    }
+
+    #[test]
+    fn specialized_range_and_set_match_naive() {
+        for bits in 1..=32u32 {
+            let values = pseudo_values(bits, u64::from(bits) + 100);
+            let (w, words) = chunk_for(&values, bits);
+            let k = WidthKernels::for_width(w).unwrap();
+            let max = w.max_value();
+            let (lo, hi) = (max / 4, max / 2 + 1);
+            let mut out = Vec::new();
+            (k.range)(&words, lo, hi, &mut out);
+            assert_eq!(out[0], naive_bitmap(&values, |v| v >= lo && v <= hi), "bits={bits}");
+            let set = VidSet::from_vids(values[..7].to_vec());
+            out.clear();
+            (k.in_set)(&words, &set, &mut out);
+            assert_eq!(out[0], naive_bitmap(&values, |v| set.contains(v)), "bits={bits}");
+        }
+    }
+
+    #[test]
+    fn generic_reference_matches_naive_all_widths() {
+        for bits in [0u32, 1, 3, 8, 13, 17, 32, 33, 47, 64] {
+            let values = if bits == 0 { [0u64; CHUNK_LEN] } else { pseudo_values(bits, 5) };
+            let (w, words) = chunk_for(&values, bits);
+            for set in [
+                VidSet::Single(values[10]),
+                VidSet::range(0, w.max_value() / 2),
+                VidSet::from_vids(values[..5].to_vec()),
+            ] {
+                let bm = chunk_bitmap_generic(&words, w, &set);
+                assert_eq!(bm, naive_bitmap(&values, |v| set.contains(v)), "bits={bits} {set:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn kernel_predicate_normalizes_degenerate_shapes() {
+        let w = BitWidth::new(6).unwrap();
+        // Probe above the width's domain: never matches.
+        let over = VidSet::Single(1 << 10);
+        assert!(KernelPredicate::new(w, &over).never_matches());
+        // Full-domain range: always matches.
+        let full = VidSet::range(0, u64::MAX);
+        assert!(KernelPredicate::new(w, &full).always_matches());
+        // Width 0 with 0 in the set: always; without: never.
+        let zero = VidSet::Single(0);
+        assert!(KernelPredicate::new(BitWidth::ZERO, &zero).always_matches());
+        let one = VidSet::Single(1);
+        assert!(KernelPredicate::new(BitWidth::ZERO, &one).never_matches());
+    }
+
+    #[test]
+    fn scan_chunks_covers_multiple_chunks() {
+        let bits = 9u32;
+        let w = BitWidth::new(bits).unwrap();
+        let a = pseudo_values(bits, 1);
+        let b = pseudo_values(bits, 2);
+        let mut words = vec![0u64; 2 * bits as usize];
+        encode_chunk(&a, w, &mut words[..bits as usize]);
+        encode_chunk(&b, w, &mut words[bits as usize..]);
+        let set = VidSet::range(10, 300);
+        let pred = KernelPredicate::new(w, &set);
+        let mut out = Vec::new();
+        pred.scan_chunks(&words, &mut out);
+        assert_eq!(out.len(), 2);
+        assert_eq!(out[0], naive_bitmap(&a, |v| set.contains(v)));
+        assert_eq!(out[1], naive_bitmap(&b, |v| set.contains(v)));
+        assert_eq!(pred.chunk_bitmap(&words[..bits as usize]), out[0]);
+    }
+
+    #[test]
+    fn rank_select_materialize_roundtrip() {
+        let bitmaps = vec![0b1011u64, 0, u64::MAX, 1 << 63];
+        let mut positions = Vec::new();
+        materialize_positions(&bitmaps, 1000, &mut positions);
+        assert_eq!(positions.len() as u64, bitmap_count(&bitmaps));
+        for (k, &pos) in positions.iter().enumerate() {
+            assert_eq!(bitmap_select(&bitmaps, k as u64), Some(pos - 1000));
+            assert_eq!(bitmap_rank(&bitmaps, pos - 1000), k as u64);
+        }
+        assert_eq!(bitmap_select(&bitmaps, positions.len() as u64), None);
+        assert_eq!(bitmap_rank(&bitmaps, 256), bitmap_count(&bitmaps));
+    }
+
+    #[test]
+    fn count_matches_never_materializes_but_agrees() {
+        let values: Vec<u64> = (0..1000u64).map(|i| i % 97).collect();
+        let vec = BitPackedVec::from_values(&values);
+        for set in [VidSet::Single(13), VidSet::range(10, 40), VidSet::from_vids(vec![0, 96])] {
+            for (from, to) in [(0u64, 1000u64), (63, 65), (1, 999), (130, 130)] {
+                let expect =
+                    (from..to).filter(|&i| set.contains(values[i as usize])).count() as u64;
+                assert_eq!(count_matches(&vec, from, to, &set), expect, "{set:?} {from}..{to}");
+            }
+        }
+    }
+
+    #[test]
+    fn boundary_mask_trims() {
+        assert_eq!(boundary_mask(0, 0, 64), u64::MAX);
+        assert_eq!(boundary_mask(0, 3, 64), u64::MAX << 3);
+        assert_eq!(boundary_mask(1, 0, 70), (1u64 << 6) - 1);
+        assert_eq!(boundary_mask(2, 0, 70), 0);
+        assert_eq!(boundary_mask(0, 70, 200), 0);
+    }
+}

@@ -26,6 +26,7 @@
 pub mod bitpack;
 pub mod bitwidth;
 pub mod chunk;
+pub mod kernels;
 pub mod okey;
 pub mod prefix;
 pub mod scan;
@@ -34,6 +35,7 @@ pub mod vidset;
 pub use bitpack::{BitPackedBuilder, BitPackedVec};
 pub use bitwidth::BitWidth;
 pub use chunk::CHUNK_LEN;
+pub use kernels::{KernelPredicate, WidthKernels};
 pub use vidset::VidSet;
 
 /// Errors produced when decoding persisted encodings from (possibly

@@ -152,6 +152,12 @@ pub fn push_bitmap_positions(mut bitmap: u64, base: u64, from: u64, to: u64, out
             bitmap &= (1u64 << keep) - 1;
         }
     }
+    // Saturated chunk (common on low-selectivity predicates): extend the
+    // whole run instead of peeling 64 bits one at a time.
+    if bitmap == u64::MAX {
+        out.extend(base..base + 64);
+        return;
+    }
     while bitmap != 0 {
         let slot = bitmap.trailing_zeros() as u64;
         out.push(base + slot);
@@ -255,7 +261,14 @@ pub fn search(vec: &BitPackedVec, from: u64, to: u64, set: &VidSet, out: &mut Ve
     if from == to || set.is_empty() {
         return;
     }
-    let pred = CompiledPredicate::new(vec.width(), set);
+    let pred = crate::kernels::KernelPredicate::new(vec.width(), set);
+    if pred.never_matches() {
+        return;
+    }
+    if pred.always_matches() {
+        out.extend(from..to);
+        return;
+    }
     let first = from / CHUNK_LEN as u64;
     let last = (to - 1) / CHUNK_LEN as u64;
     for ci in first..=last {
@@ -278,19 +291,26 @@ pub fn search_bitmap(vec: &BitPackedVec, from: u64, to: u64, set: &VidSet, out: 
         return;
     }
     assert!(from.is_multiple_of(CHUNK_LEN as u64), "bitmap search starts on a chunk boundary");
-    let pred = CompiledPredicate::new(vec.width(), set);
+    let pred = crate::kernels::KernelPredicate::new(vec.width(), set);
     let first = from / CHUNK_LEN as u64;
     let last = (to - 1) / CHUNK_LEN as u64;
     out.reserve((last - first + 1) as usize);
-    for ci in first..=last {
-        let mut bm = pred.chunk_bitmap(vec.chunk_words(ci));
-        if ci == last {
-            let keep = to - ci * CHUNK_LEN as u64;
-            if keep < 64 {
-                bm &= (1u64 << keep) - 1;
-            }
+    if vec.width().bits() > 0 && !pred.never_matches() && !pred.always_matches() {
+        // Fused path: the packed words are contiguous, so the whole range is
+        // one kernel call.
+        let wpc = vec.width().bits() as usize;
+        let words = vec.words();
+        pred.scan_chunks(&words[first as usize * wpc..(last + 1) as usize * wpc], out);
+    } else {
+        for ci in first..=last {
+            out.push(pred.chunk_bitmap(vec.chunk_words(ci)));
         }
-        out.push(bm);
+    }
+    let keep = to - last * CHUNK_LEN as u64;
+    if keep < 64 {
+        if let Some(bm) = out.last_mut() {
+            *bm &= (1u64 << keep) - 1;
+        }
     }
 }
 

@@ -230,3 +230,115 @@ proptest! {
         prop_assert_eq!(from_bitmap, positions);
     }
 }
+
+/// A width and a value vector whose last chunk is usually partial, covering
+/// the specialized table (1..=32) and the generic fallback (33..).
+fn kernel_width_and_values() -> impl Strategy<Value = (u32, Vec<u64>)> {
+    (1u32..=36).prop_flat_map(|bits| {
+        let max = BitWidth::new(bits).unwrap().max_value();
+        (Just(bits), prop::collection::vec(0..=max, 1..300))
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// The width-specialized kernels, the generic reference kernel, and a
+    /// naive per-value decode agree bit-for-bit on every chunk — including
+    /// the trailing partial chunk — for equality, range, and in-set
+    /// predicates at random widths.
+    #[test]
+    fn specialized_generic_and_naive_kernels_agree(
+        (bits, values) in kernel_width_and_values(),
+        probe_seed in any::<u64>(),
+        lo_raw in any::<u64>(),
+        span in 0u64..200,
+    ) {
+        use payg_encoding::kernels::{boundary_mask, chunk_bitmap_generic, KernelPredicate};
+        let w = BitWidth::new(bits).unwrap();
+        let v = BitPackedVec::from_values_with_width(&values, w);
+        let lo = lo_raw & w.mask();
+        let hi = lo.saturating_add(span).min(w.max_value());
+        let probe = values[(probe_seed % values.len() as u64) as usize];
+        let sets = [
+            VidSet::Single(probe),
+            VidSet::Single(probe_seed & w.mask()),
+            VidSet::range(lo, hi),
+            VidSet::from_vids(values.iter().step_by(7).copied().collect()),
+        ];
+        let n = bits as usize;
+        let chunks = v.chunk_count() as usize;
+        for set in sets {
+            let pred = KernelPredicate::new(w, &set);
+            let mut specialized = Vec::new();
+            pred.scan_chunks(v.words(), &mut specialized);
+            prop_assert_eq!(specialized.len(), chunks);
+            for (ci, &spec_bm) in specialized.iter().enumerate() {
+                // Padding slots past len() hold zero and may "match"; mask
+                // every kernel the same way before comparing.
+                let live = boundary_mask(ci as u64, 0, v.len());
+                let chunk = &v.words()[ci * n..(ci + 1) * n];
+                let generic = chunk_bitmap_generic(chunk, w, &set);
+                let mut naive = 0u64;
+                for slot in 0..64usize {
+                    let row = ci * 64 + slot;
+                    if row < values.len() {
+                        naive |= u64::from(set.contains(values[row])) << slot;
+                    }
+                }
+                prop_assert_eq!(
+                    spec_bm & live, naive,
+                    "specialized != naive: width {} chunk {} {:?}", bits, ci, &set
+                );
+                prop_assert_eq!(
+                    generic & live, naive,
+                    "generic != naive: width {} chunk {} {:?}", bits, ci, &set
+                );
+                prop_assert_eq!(pred.chunk_bitmap(chunk) & live, naive);
+            }
+        }
+    }
+
+    /// COUNT never materializes positions yet always equals the length of
+    /// the materialized search over the same sub-range, and rank/select over
+    /// the result bitmaps round-trips every match position.
+    #[test]
+    fn count_rank_select_agree_with_search(
+        (bits, values) in kernel_width_and_values(),
+        a in any::<u64>(),
+        b in any::<u64>(),
+        lo_raw in any::<u64>(),
+        span in 0u64..200,
+    ) {
+        use payg_encoding::kernels::{
+            bitmap_count, bitmap_rank, bitmap_select, count_matches, materialize_positions,
+        };
+        use payg_encoding::scan::{search, search_bitmap};
+        let w = BitWidth::new(bits).unwrap();
+        let v = BitPackedVec::from_values_with_width(&values, w);
+        let (x, y) = (a % (v.len() + 1), b % (v.len() + 1));
+        let (from, to) = (x.min(y), x.max(y));
+        let lo = lo_raw & w.mask();
+        let set = VidSet::range(lo, lo.saturating_add(span).min(w.max_value()));
+
+        let mut positions = Vec::new();
+        search(&v, from, to, &set, &mut positions);
+        prop_assert_eq!(count_matches(&v, from, to, &set), positions.len() as u64);
+
+        // Full-range bitmaps: materialization and rank/select both recover
+        // exactly the searched positions.
+        let mut bitmaps = Vec::new();
+        search_bitmap(&v, 0, v.len(), &set, &mut bitmaps);
+        let mut full = Vec::new();
+        search(&v, 0, v.len(), &set, &mut full);
+        let mut materialized = Vec::new();
+        materialize_positions(&bitmaps, 0, &mut materialized);
+        prop_assert_eq!(&materialized, &full);
+        prop_assert_eq!(bitmap_count(&bitmaps), full.len() as u64);
+        for (k, &pos) in full.iter().enumerate() {
+            prop_assert_eq!(bitmap_select(&bitmaps, k as u64), Some(pos));
+            prop_assert_eq!(bitmap_rank(&bitmaps, pos), k as u64);
+        }
+        prop_assert_eq!(bitmap_select(&bitmaps, full.len() as u64), None);
+    }
+}

@@ -1,0 +1,33 @@
+// Seeded pin-in-loop violations: linted as if under crates/core/src/datavec/
+// (see lint.rs tests). Must keep tripping the rule — this is the regression
+// test that the lint detects per-chunk pinning.
+
+fn per_chunk_pin(pool: &BufferPool, pages: u64) {
+    for page_no in 0..pages {
+        let guard = pool.pin(PageKey::new(chain, page_no));
+        consume(guard);
+    }
+}
+
+fn per_chunk_pin_while(pool: &BufferPool, mut page_no: u64) {
+    while page_no > 0 {
+        let guard = pool.pin(PageKey::new(chain, page_no));
+        consume(guard);
+        page_no -= 1;
+    }
+}
+
+fn hoisted_pin_is_fine(pool: &BufferPool) {
+    let guard = pool.pin(PageKey::new(chain, 0));
+    for chunk in guard.bytes().chunks_exact(8) {
+        consume(chunk);
+    }
+}
+
+fn suppressed_repin(pool: &BufferPool, pages: u64) {
+    for page_no in 0..pages {
+        // lint: allow(pin-in-loop) boundary chunk straddles two pages: the second pin is the point
+        let guard = pool.pin(PageKey::new(chain, page_no));
+        consume(guard);
+    }
+}

@@ -16,6 +16,10 @@
 //! * `sleep` — no `thread::sleep` in library code anywhere in `crates/*`:
 //!   tests flake and models hang on real time. Inject a sleeper or use
 //!   condvars.
+//! * `pin-in-loop` — no `.pin(` calls inside a loop body in the scan code
+//!   under `crates/core/src/datavec/`: warm scans must pin each page once
+//!   per run (guard cache / `load_chunk_run`), not once per chunk. Hoist
+//!   the pin into a per-page helper, or suppress with a reason.
 //!
 //! Suppress a finding with `// lint: allow(<rule>) <reason>` on the same
 //! line or the line directly above. The reason is mandatory.
@@ -144,6 +148,7 @@ struct Scope {
     raw_lock: bool,
     safety: bool,
     sleep: bool,
+    pin_in_loop: bool,
 }
 
 fn scope_for(rel: &Path) -> Scope {
@@ -160,13 +165,14 @@ fn scope_for(rel: &Path) -> Scope {
         raw_lock: concurrency_core && !sync_alias_module && !is_check_crate,
         safety: in_crates_src && !is_check_crate,
         sleep: in_crates_src && !is_check_crate,
+        pin_in_loop: s.starts_with("crates/core/src/datavec/"),
     }
 }
 
 /// Lints one file's text; appends findings.
 pub fn lint_file(rel: &Path, text: &str, findings: &mut Vec<Finding>) {
     let scope = scope_for(rel);
-    if !(scope.unwrap || scope.raw_lock || scope.safety || scope.sleep) {
+    if !(scope.unwrap || scope.raw_lock || scope.safety || scope.sleep || scope.pin_in_loop) {
         return;
     }
 
@@ -174,6 +180,10 @@ pub fn lint_file(rel: &Path, text: &str, findings: &mut Vec<Finding>) {
     let mut in_test_mod = false;
     let mut test_depth: i64 = 0;
     let mut pending_test_attr = false;
+    // Loop tracking for pin-in-loop: brace depth of every loop body whose
+    // braces are still open (line-based, assumes rustfmt's `{` placement).
+    let mut depth: i64 = 0;
+    let mut loop_stack: Vec<i64> = Vec::new();
 
     for (idx, raw_line) in lines.iter().enumerate() {
         let lineno = idx + 1;
@@ -285,6 +295,34 @@ pub fn lint_file(rel: &Path, text: &str, findings: &mut Vec<Finding>) {
                           or synchronize with condvars"
                     .to_string(),
             });
+        }
+
+        if scope.pin_in_loop {
+            let is_loop_header = (contains_word(code, "for")
+                || contains_word(code, "while")
+                || contains_word(code, "loop"))
+                && code.contains('{');
+            if (!loop_stack.is_empty() || is_loop_header)
+                && code.contains(".pin(")
+                && !suppressed("pin-in-loop")
+            {
+                findings.push(Finding {
+                    path: rel.to_path_buf(),
+                    line: lineno,
+                    rule: "pin-in-loop",
+                    message: "pool pin inside a per-chunk loop: warm scans must pin \
+                              each page once per run — hoist into a per-page helper \
+                              (guard cache / load_chunk_run) or suppress with a reason"
+                        .to_string(),
+                });
+            }
+            if is_loop_header {
+                loop_stack.push(depth + 1);
+            }
+            depth += brace_delta(raw_line);
+            while loop_stack.last().is_some_and(|&d| depth < d) {
+                loop_stack.pop();
+            }
         }
     }
 }
@@ -423,6 +461,39 @@ mod tests {
         assert!(rules.contains(&"raw-lock"), "fixture must trip raw-lock: {rules:?}");
         assert!(rules.contains(&"safety"), "fixture must trip safety: {rules:?}");
         assert!(rules.contains(&"sleep"), "fixture must trip sleep: {rules:?}");
+    }
+
+    #[test]
+    fn pin_in_loop_flagged_only_in_datavec_loops() {
+        let bad = "fn f() {\n    for p in 0..n {\n        let g = pool.pin(key);\n    }\n    let h = pool.pin(other);\n}\n";
+        let v = lint_str("crates/core/src/datavec/paged.rs", bad);
+        assert_eq!(v.len(), 1, "only the in-loop pin is flagged");
+        assert_eq!(v[0].rule, "pin-in-loop");
+        assert_eq!(v[0].line, 3);
+        // Outside the datavec scan code the rule does not apply.
+        assert!(lint_str("crates/core/src/column/paged.rs", bad).is_empty());
+        // A pin hoisted above the loop is the intended shape.
+        let ok = "fn f() {\n    let g = pool.pin(key);\n    for c in g.chunks() {\n        use_chunk(c);\n    }\n}\n";
+        assert!(lint_str("crates/core/src/datavec/paged.rs", ok).is_empty());
+        // get_or_pin (the guard cache) is not a raw pool pin.
+        let cached = "fn f() {\n    for p in 0..n {\n        let g = self.guards.get_or_pin(p, pin_fn);\n    }\n}\n";
+        assert!(lint_str("crates/core/src/datavec/paged.rs", cached).is_empty());
+        // Suppression with a reason is honored.
+        let sup = "fn f() {\n    for p in 0..n {\n        // lint: allow(pin-in-loop) boundary repin\n        let g = pool.pin(key);\n    }\n}\n";
+        assert!(lint_str("crates/core/src/datavec/paged.rs", sup).is_empty());
+    }
+
+    #[test]
+    fn seeded_pin_in_loop_fixture_fails() {
+        let fixture = include_str!("../fixtures/pin_in_loop.rs");
+        let f = lint_str("crates/core/src/datavec/fixture.rs", fixture);
+        let rules: Vec<&str> = f.iter().map(|x| x.rule).collect();
+        assert_eq!(
+            f.len(),
+            2,
+            "fixture must trip exactly its two unsuppressed loops: {rules:?}"
+        );
+        assert!(f.iter().all(|x| x.rule == "pin-in-loop"), "{rules:?}");
     }
 
     #[test]

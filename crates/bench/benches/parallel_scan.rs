@@ -106,6 +106,7 @@ fn metrics_delta(after: PoolMetrics, before: PoolMetrics) -> PoolMetrics {
     PoolMetrics {
         loads: after.loads - before.loads,
         hits: after.hits - before.hits,
+        misses: after.misses - before.misses,
         bytes_loaded: after.bytes_loaded - before.bytes_loaded,
         load_waits: after.load_waits - before.load_waits,
         contended: after.contended - before.contended,
@@ -261,7 +262,23 @@ fn main() {
     let _ = writeln!(json, "    \"shards\": {},", shards.len());
     let _ = writeln!(json, "    \"shards_used\": {used},");
     let _ = writeln!(json, "    \"contended\": {}", pool.metrics().contended);
-    let _ = writeln!(json, "  }}");
+    let _ = writeln!(json, "  }},");
+    // One profiled warm scan plus the full registry snapshot: the report
+    // carries the system's observability state, not just the stopwatch.
+    let (profiled_out, warm_profile) = paged
+        .par_search_profiled(0, rows, &set, ScanOptions::with_workers(warm_workers))
+        .unwrap();
+    assert_eq!(
+        profiled_out.len(),
+        kernel_scan(ScanOptions::sequential()),
+        "profiled scan disagrees on matches"
+    );
+    let snap = payg_obs::ObsSnapshot::collect(pool.registry());
+    let _ = writeln!(
+        json,
+        "  \"obs\": {}",
+        payg_bench::obs::obs_json(&snap, Some(&warm_profile), "  ")
+    );
     json.push_str("}\n");
 
     // CARGO_MANIFEST_DIR of payg-bench is <workspace>/crates/bench. Smoke

@@ -17,9 +17,15 @@
 //! if any required equality target (specialized ≥ 2× generic at
 //! n ∈ {1, 4, 8, 17}) is missed.
 
+use payg_core::datavec::PagedDataVector;
+use payg_core::{PageConfig, ScanOptions};
 use payg_encoding::kernels::{chunk_bitmap_generic, KernelPredicate};
 use payg_encoding::{BitPackedVec, BitWidth, VidSet};
+use payg_obs::ObsSnapshot;
+use payg_resman::ResourceManager;
+use payg_storage::{BufferPool, MemStore};
 use std::fmt::Write as _;
+use std::sync::Arc;
 use std::time::Instant;
 
 const ROWS: u64 = 1 << 19; // 8192 chunks
@@ -209,6 +215,27 @@ fn main() {
         );
     }
     let _ = writeln!(json, "  }},");
+
+    // A small paged pass through the full stack (pool → guard cache →
+    // kernel dispatch) so the report embeds the obs registry's view —
+    // hit rate, pin-latency percentiles, per-scan profile — alongside the
+    // raw kernel stopwatches above.
+    let pool = BufferPool::new(Arc::new(MemStore::new()), ResourceManager::new());
+    let paged = PagedDataVector::build(&pool, &PageConfig::default(), &sample_vec(8)).unwrap();
+    let cold = paged
+        .par_search_profiled(0, ROWS, &VidSet::range(16, 80), ScanOptions::sequential())
+        .unwrap();
+    let warm = paged
+        .par_search_profiled(0, ROWS, &VidSet::range(16, 80), ScanOptions::sequential())
+        .unwrap();
+    assert_eq!(cold.0.len(), warm.0.len(), "cold and warm profiled scans disagree");
+    assert!(warm.1.cold_loads == 0 && warm.1.warm_hits > 0, "second scan must be warm");
+    let snap = ObsSnapshot::collect(pool.registry());
+    let _ = writeln!(
+        json,
+        "  \"obs\": {},",
+        payg_bench::obs::obs_json(&snap, Some(&warm.1), "  ")
+    );
     let _ = writeln!(json, "  \"all_met\": {all_met}");
     json.push_str("}\n");
 

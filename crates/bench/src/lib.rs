@@ -23,6 +23,7 @@
 
 pub mod config;
 pub mod experiments;
+pub mod obs;
 pub mod report;
 pub mod series;
 pub mod setup;

@@ -8,7 +8,6 @@ use crate::{CoreResult, DataType, PageConfig, Value, ValuePredicate};
 use payg_encoding::VidSet;
 use payg_storage::BufferPool;
 use std::collections::HashMap;
-use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, OnceLock};
 
 /// When (and whether) a column's inverted index exists (paper §8: the
@@ -35,7 +34,9 @@ pub(crate) enum IndexSlot {
     Eager(PagedInvertedIndex),
     Adaptive {
         threshold: u64,
-        searches: AtomicU64,
+        /// Detached [`payg_obs::Counter`] (not a registry series): the count
+        /// drives the build decision, it is not exported.
+        searches: payg_obs::Counter,
         built: OnceLock<PagedInvertedIndex>,
     },
 }
@@ -75,7 +76,7 @@ impl ColumnParts {
                 if let Some(i) = built.get() {
                     return Ok(Some(i));
                 }
-                let n = searches.fetch_add(1, Ordering::Relaxed) + 1;
+                let n = searches.add(1);
                 if n < *threshold {
                     return Ok(None);
                 }

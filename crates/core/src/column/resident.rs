@@ -9,9 +9,9 @@ use crate::sync::{LockRank, Mutex};
 use crate::{CoreError, CoreResult, DataType, Value, ValuePredicate};
 use payg_encoding::scan;
 use payg_encoding::{BitPackedVec, VidSet};
+use payg_obs::{names, Counter};
 use payg_resman::{Disposition, ResourceId};
 use std::collections::HashMap;
-use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
 /// The contiguous in-memory image of a loaded column.
@@ -43,16 +43,22 @@ pub struct ResidentColumn {
     parts: Arc<ColumnParts>,
     disposition: Disposition,
     state: Arc<Mutex<Option<Loaded>>>,
-    load_count: AtomicU64,
+    /// Detached per-column counter behind [`ResidentColumn::load_count`];
+    /// the registry's `column_full_loads` series (shared by every column on
+    /// the pool's registry) is bumped alongside it.
+    load_count: Counter,
+    full_loads: Counter,
 }
 
 impl ResidentColumn {
     pub(crate) fn new(parts: Arc<ColumnParts>, disposition: Disposition) -> Self {
+        let full_loads = parts.pool.registry().counter(names::COLUMN_FULL_LOADS);
         ResidentColumn {
             parts,
             disposition,
             state: Arc::new(Mutex::with_rank(None, LockRank::CoreColumn)),
-            load_count: AtomicU64::new(0),
+            load_count: Counter::new(),
+            full_loads,
         }
     }
 
@@ -82,7 +88,8 @@ impl ResidentColumn {
             }
         });
         *st = Some(Loaded { image: Arc::clone(&image), rid });
-        self.load_count.fetch_add(1, Ordering::Relaxed);
+        self.load_count.inc();
+        self.full_loads.inc();
         Ok(image)
     }
 
@@ -115,7 +122,7 @@ impl ResidentColumn {
     /// How many times the column has been (re)loaded — each one is the
     /// paper's expensive whole-column load.
     pub fn load_count(&self) -> u64 {
-        self.load_count.load(Ordering::Relaxed)
+        self.load_count.get()
     }
 
     fn vid_set_from_image(&self, image: &Image, pred: &ValuePredicate) -> CoreResult<VidSet> {

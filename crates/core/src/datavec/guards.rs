@@ -27,6 +27,12 @@ pub const GUARD_CACHE_WAYS: usize = 8;
 #[derive(Default)]
 pub struct GuardCache {
     slots: [Option<(u64, PageGuard)>; GUARD_CACHE_WAYS],
+    /// Touches served by an already-held guard (no pool traffic). Plain
+    /// counters: the cache is single-owner, observability flushes them to
+    /// the shared registry when the owning iterator is dropped.
+    hits: u64,
+    /// Touches that pinned through the pool.
+    misses: u64,
 }
 
 impl GuardCache {
@@ -46,8 +52,11 @@ impl GuardCache {
     ) -> Result<&PageGuard, E> {
         let way = (page_no % GUARD_CACHE_WAYS as u64) as usize;
         let hit = matches!(&self.slots[way], Some((no, _)) if *no == page_no);
-        if !hit {
+        if hit {
+            self.hits += 1;
+        } else {
             let guard = pin()?;
+            self.misses += 1;
             self.slots[way] = Some((page_no, guard));
         }
         match &self.slots[way] {
@@ -59,6 +68,12 @@ impl GuardCache {
     /// Number of live pins currently held.
     pub fn live_pins(&self) -> usize {
         self.slots.iter().filter(|s| s.is_some()).count()
+    }
+
+    /// Lifetime `(hits, misses)` of this cache: touches served by a held
+    /// guard vs touches that pinned through the pool.
+    pub fn stats(&self) -> (u64, u64) {
+        (self.hits, self.misses)
     }
 
     /// Releases every held pin.

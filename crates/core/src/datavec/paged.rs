@@ -14,8 +14,40 @@ use payg_encoding::chunk::{self, bytes_per_chunk, CHUNK_LEN};
 use payg_encoding::kernels::{self, KernelPredicate};
 use payg_encoding::scan::{push_bitmap_positions, CompiledPredicate};
 use payg_encoding::{BitPackedVec, BitWidth, VidSet};
+use payg_obs::{names, Counter, Gauge, Histogram, Registry, ScanProfile};
 use payg_storage::{BufferPool, ChainRef, PageKey, StorageError};
 use std::sync::Arc;
+use std::time::Instant;
+
+/// Registry handles for scan activity, shared by every vector reporting
+/// into the same registry (the `scan_*` names carry system-wide totals;
+/// per-scan exactness comes from the iterator's [`ScanProfile`], which is
+/// flushed into these on iterator drop).
+pub(crate) struct ScanCounters {
+    pub(crate) scans: Counter,
+    pub(crate) chunks: Counter,
+    pub(crate) guard_hits: Counter,
+    pub(crate) pages_pinned: Counter,
+    pub(crate) matches: Counter,
+    pub(crate) pruned: Counter,
+    pub(crate) dispatch_width: Gauge,
+    pub(crate) scan_ns: Histogram,
+}
+
+impl ScanCounters {
+    fn register(registry: &Registry) -> Self {
+        ScanCounters {
+            scans: registry.counter(names::SCAN_SCANS),
+            chunks: registry.counter(names::SCAN_CHUNKS_SCANNED),
+            guard_hits: registry.counter(names::SCAN_GUARD_CACHE_HITS),
+            pages_pinned: registry.counter(names::SCAN_PAGES_PINNED),
+            matches: registry.counter(names::SCAN_BITMAP_MATCHES),
+            pruned: registry.counter(names::SCAN_PAGES_PRUNED),
+            dispatch_width: registry.gauge(names::SCAN_DISPATCH_WIDTH),
+            scan_ns: registry.histogram(names::SCAN_NS),
+        }
+    }
+}
 
 struct Meta {
     chain: ChainRef,
@@ -32,6 +64,7 @@ struct Meta {
 pub struct PagedDataVector {
     pool: BufferPool,
     meta: Arc<Meta>,
+    pub(crate) scan: ScanCounters,
 }
 
 impl PagedDataVector {
@@ -87,6 +120,7 @@ impl PagedDataVector {
             }
         }
         Ok(PagedDataVector {
+            scan: ScanCounters::register(pool.registry()),
             pool: pool.clone(),
             meta: Arc::new(Meta {
                 chain: ChainRef { chain, pages, page_size: config.datavec_page },
@@ -153,7 +187,34 @@ impl PagedDataVector {
             guards: GuardCache::new(),
             scratch: Vec::new(),
             bitmaps: Vec::new(),
+            profile: ScanProfile::default(),
         }
+    }
+
+    /// Like [`PagedDataVectorIterator::search`] over a fresh iterator, but
+    /// returns the scan's [`ScanProfile`] alongside the matches: pool
+    /// traffic (cold loads vs warm hits), guard-cache behaviour, kernel
+    /// work, and wall-clock time. The duration is also recorded in the
+    /// registry's `scan_ns` histogram.
+    pub fn search_profiled(
+        &self,
+        from: u64,
+        to: u64,
+        set: &VidSet,
+    ) -> CoreResult<(Vec<u64>, ScanProfile)> {
+        let before = self.pool.metrics();
+        let started = Instant::now();
+        let mut out = Vec::new();
+        let mut it = self.iter();
+        it.search(from, to, set, &mut out)?;
+        let mut p = it.profile();
+        drop(it);
+        p.elapsed_ns = started.elapsed().as_nanos() as u64;
+        let after = self.pool.metrics();
+        p.cold_loads = after.loads - before.loads;
+        p.warm_hits = after.hits - before.hits;
+        self.scan.scan_ns.record(p.elapsed_ns);
+        Ok((out, p))
     }
 
     /// The (min, max) value summary of one page (§3.3's transient page
@@ -206,6 +267,7 @@ impl PagedDataVector {
             )));
         }
         Ok(PagedDataVector {
+            scan: ScanCounters::register(pool.registry()),
             pool: pool.clone(),
             meta: Arc::new(Meta { chain, width, len, chunks_per_page, summaries }),
         })
@@ -259,6 +321,11 @@ pub struct PagedDataVectorIterator<'a> {
     scratch: Vec<u64>,
     /// Reusable per-page result-bitmap buffer (one word per chunk).
     bitmaps: Vec<u64>,
+    /// Accumulated scan costs over this iterator's lifetime (guard-cache
+    /// figures live in `guards` and are folded in by
+    /// [`PagedDataVectorIterator::profile`]). Flushed to the registry's
+    /// `scan_*` counters on drop.
+    profile: ScanProfile,
 }
 
 impl PagedDataVectorIterator<'_> {
@@ -371,6 +438,7 @@ impl PagedDataVectorIterator<'_> {
         out: &mut Vec<u64>,
     ) -> CoreResult<()> {
         self.vec.check_range(from, to)?;
+        self.vec.scan.scans.inc();
         if from == to || set.is_empty() {
             return Ok(());
         }
@@ -384,16 +452,21 @@ impl PagedDataVectorIterator<'_> {
             }
             return Ok(());
         }
+        self.note_dispatch_width();
+        let matched_from = out.len();
         self.for_each_chunk_run(from, to, set, |it, first_ci, last_ci| {
             it.bitmaps.clear();
             pred.scan_chunks(&it.scratch, &mut it.bitmaps);
+            it.profile.chunks_scanned += it.bitmaps.len() as u64;
             for (k, &bm) in it.bitmaps.iter().enumerate() {
                 if bm != 0 {
                     push_bitmap_positions(bm, (first_ci + k as u64) * CHUNK_LEN as u64, from, to, out);
                 }
             }
             debug_assert_eq!(it.bitmaps.len() as u64, last_ci - first_ci + 1);
-        })
+        })?;
+        self.profile.bitmap_matches += (out.len() - matched_from) as u64;
+        Ok(())
     }
 
     /// The seed's unfused scan path: one runtime-width
@@ -409,6 +482,7 @@ impl PagedDataVectorIterator<'_> {
         out: &mut Vec<u64>,
     ) -> CoreResult<()> {
         self.vec.check_range(from, to)?;
+        self.vec.scan.scans.inc();
         if from == to || set.is_empty() {
             return Ok(());
         }
@@ -419,6 +493,7 @@ impl PagedDataVectorIterator<'_> {
             return Ok(());
         }
         let pred = CompiledPredicate::new(self.vec.meta.width, set);
+        let matched_from = out.len();
         let mut words = [0u64; 64];
         let cpp = self.vec.meta.chunks_per_page;
         let first = chunk::chunk_of(from);
@@ -431,15 +506,18 @@ impl PagedDataVectorIterator<'_> {
             let (pmin, pmax) = self.vec.meta.summaries[page_no as usize];
             if !set.overlaps(pmin, pmax) {
                 ci = (page_no + 1) * cpp;
+                self.profile.pages_pruned += 1;
                 continue;
             }
             let n = self.chunk_words(ci, &mut words)?;
             let bm = pred.chunk_bitmap(&words[..n]);
+            self.profile.chunks_scanned += 1;
             if bm != 0 {
                 push_bitmap_positions(bm, ci * CHUNK_LEN as u64, from, to, out);
             }
             ci += 1;
         }
+        self.profile.bitmap_matches += (out.len() - matched_from) as u64;
         Ok(())
     }
 
@@ -449,6 +527,7 @@ impl PagedDataVectorIterator<'_> {
     /// (boundary chunks masked to the row range).
     pub fn count(&mut self, from: u64, to: u64, set: &VidSet) -> CoreResult<u64> {
         self.vec.check_range(from, to)?;
+        self.vec.scan.scans.inc();
         if from == to || set.is_empty() {
             return Ok(0);
         }
@@ -459,15 +538,18 @@ impl PagedDataVectorIterator<'_> {
         if self.vec.meta.width.bits() == 0 || pred.always_matches() {
             return Ok(if pred.always_matches() { to - from } else { 0 });
         }
+        self.note_dispatch_width();
         let mut total = 0u64;
         self.for_each_chunk_run(from, to, set, |it, first_ci, _last_ci| {
             it.bitmaps.clear();
             pred.scan_chunks(&it.scratch, &mut it.bitmaps);
+            it.profile.chunks_scanned += it.bitmaps.len() as u64;
             for (k, &bm) in it.bitmaps.iter().enumerate() {
                 let masked = bm & kernels::boundary_mask(first_ci + k as u64, from, to);
                 total += u64::from(masked.count_ones());
             }
         })?;
+        self.profile.bitmap_matches += total;
         Ok(total)
     }
 
@@ -494,6 +576,7 @@ impl PagedDataVectorIterator<'_> {
             let page_last = ((page_no + 1) * cpp - 1).min(last);
             if !set.overlaps(pmin, pmax) {
                 ci = page_last + 1;
+                self.profile.pages_pruned += 1;
                 continue;
             }
             self.load_chunk_run(page_no, ci, page_last)?;
@@ -577,6 +660,47 @@ impl PagedDataVectorIterator<'_> {
             }
         }
         Ok(())
+    }
+
+    /// Records the bit width the specialized kernels dispatched on, in both
+    /// this iterator's profile and the shared `scan_dispatch_width` gauge.
+    fn note_dispatch_width(&mut self) {
+        let bits = self.vec.meta.width.bits();
+        self.profile.dispatch_width = self.profile.dispatch_width.max(bits);
+        self.vec.scan.dispatch_width.set(u64::from(bits));
+    }
+
+    /// The scan costs accumulated by this iterator so far, with the
+    /// guard-cache figures folded in: cache hits become `guard_cache_hits`,
+    /// cache misses — each of which pinned a page through the pool — become
+    /// `pages_pinned`.
+    pub fn profile(&self) -> ScanProfile {
+        let mut p = self.profile;
+        let (hits, misses) = self.guards.stats();
+        p.guard_cache_hits = hits;
+        p.pages_pinned = misses;
+        p
+    }
+}
+
+impl Drop for PagedDataVectorIterator<'_> {
+    /// Flushes the iterator's accumulated profile into the registry's
+    /// `scan_*` counters so system-wide snapshots see per-scan costs without
+    /// the callers having to thread profiles around.
+    fn drop(&mut self) {
+        let p = self.profile();
+        let s = &self.vec.scan;
+        for (counter, v) in [
+            (&s.chunks, p.chunks_scanned),
+            (&s.guard_hits, p.guard_cache_hits),
+            (&s.pages_pinned, p.pages_pinned),
+            (&s.matches, p.bitmap_matches),
+            (&s.pruned, p.pages_pruned),
+        ] {
+            if v != 0 {
+                counter.add(v);
+            }
+        }
     }
 }
 

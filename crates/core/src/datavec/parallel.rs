@@ -15,7 +15,9 @@ use crate::datavec::PagedDataVector;
 use crate::{CoreError, CoreResult};
 use payg_encoding::chunk::CHUNK_LEN;
 use payg_encoding::{scan, BitPackedVec, VidSet};
+use payg_obs::ScanProfile;
 use payg_storage::Prefetcher;
+use std::time::Instant;
 
 /// How a scan may parallelize.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -114,18 +116,19 @@ pub fn scan_partitions(
 
 /// Scans one partition with a private repositioning iterator (one pin) and,
 /// when enabled, a private read-ahead slot for the next surviving page.
+/// Returns the matches alongside the worker's own [`ScanProfile`].
 fn scan_partition_worker(
     vec: &PagedDataVector,
     part: ScanPartition,
     set: &VidSet,
     prefetch: bool,
-) -> CoreResult<Vec<u64>> {
+) -> CoreResult<(Vec<u64>, ScanProfile)> {
     let mut out = Vec::new();
     let rpp = vec.rows_per_page();
     let mut it = vec.iter();
     if !prefetch || rpp == 0 {
         it.search(part.from, part.to, set, &mut out)?;
-        return Ok(out);
+        return Ok((out, it.profile()));
     }
     let survives = |p: u64| {
         let (lo, hi) = vec.page_summary(p);
@@ -154,7 +157,7 @@ fn scan_partition_worker(
         let hi = part.to.min((page + 1) * rpp);
         it.search(lo, hi, set, &mut out)?;
     }
-    Ok(out)
+    Ok((out, it.profile()))
 }
 
 impl PagedDataVector {
@@ -170,51 +173,84 @@ impl PagedDataVector {
         set: &VidSet,
         opts: ScanOptions,
     ) -> CoreResult<Vec<u64>> {
+        self.par_search_profiled(from, to, set, opts).map(|(out, _)| out)
+    }
+
+    /// [`PagedDataVector::par_search`] plus the merged [`ScanProfile`] of
+    /// every segment worker: per-worker kernel figures are summed
+    /// (`dispatch_width` and `elapsed_ns` take the maximum), the cold/warm
+    /// pool split is measured as this pool's metrics delta around the scan,
+    /// and the wall-clock duration is recorded in the registry's `scan_ns`
+    /// histogram.
+    pub fn par_search_profiled(
+        &self,
+        from: u64,
+        to: u64,
+        set: &VidSet,
+        opts: ScanOptions,
+    ) -> CoreResult<(Vec<u64>, ScanProfile)> {
         if from > to || to > self.len() {
             return Err(CoreError::RowOutOfBounds { rpos: to, len: self.len() });
         }
         let mut out = Vec::new();
+        let mut profile = ScanProfile::default();
         if from == to || set.is_empty() {
-            return Ok(out);
+            return Ok((out, profile));
         }
+        let before = self.pool().metrics();
+        let started = Instant::now();
         if self.width().bits() == 0 {
-            self.iter().search(from, to, set, &mut out)?;
-            return Ok(out);
-        }
-        // Cold scans are I/O-bound: more workers than cores still helps,
-        // because they overlap page-load latency. A fully-resident range is
-        // CPU-bound, so extra workers beyond the actual cores only add
-        // scheduling overhead — cap them.
-        let mut workers = opts.workers;
-        if workers > 1 {
-            let rpp = self.rows_per_page();
-            let all_resident = ((from / rpp)..=((to - 1) / rpp))
-                .all(|p| self.pool().is_resident(self.page_key(p)));
-            if all_resident {
-                let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
-                workers = workers.min(cores);
+            let mut it = self.iter();
+            it.search(from, to, set, &mut out)?;
+            profile = it.profile();
+        } else {
+            // Cold scans are I/O-bound: more workers than cores still helps,
+            // because they overlap page-load latency. A fully-resident range
+            // is CPU-bound, so extra workers beyond the actual cores only add
+            // scheduling overhead — cap them.
+            let mut workers = opts.workers;
+            if workers > 1 {
+                let rpp = self.rows_per_page();
+                let all_resident = ((from / rpp)..=((to - 1) / rpp))
+                    .all(|p| self.pool().is_resident(self.page_key(p)));
+                if all_resident {
+                    let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+                    workers = workers.min(cores);
+                }
+            }
+            let parts = scan_partitions(self, from, to, Some(set), workers);
+            match parts.as_slice() {
+                [] => {}
+                [only] => {
+                    let (segment, p) = scan_partition_worker(self, *only, set, opts.prefetch)?;
+                    out = segment;
+                    profile = p;
+                }
+                many => std::thread::scope(|s| -> CoreResult<()> {
+                    let handles: Vec<_> = many
+                        .iter()
+                        .map(|&part| {
+                            s.spawn(move || scan_partition_worker(self, part, set, opts.prefetch))
+                        })
+                        .collect();
+                    // Joining in partition order keeps the concatenation
+                    // ascending — bit-identical to the sequential scan.
+                    for h in handles {
+                        let (segment, p) =
+                            h.join().unwrap_or_else(|e| std::panic::resume_unwind(e))?;
+                        out.extend(segment);
+                        profile.merge(&p);
+                    }
+                    Ok(())
+                })?,
             }
         }
-        let parts = scan_partitions(self, from, to, Some(set), workers);
-        match parts.as_slice() {
-            [] => Ok(out),
-            [only] => scan_partition_worker(self, *only, set, opts.prefetch),
-            many => std::thread::scope(|s| {
-                let handles: Vec<_> = many
-                    .iter()
-                    .map(|&part| {
-                        s.spawn(move || scan_partition_worker(self, part, set, opts.prefetch))
-                    })
-                    .collect();
-                // Joining in partition order keeps the concatenation
-                // ascending — bit-identical to the sequential scan.
-                for h in handles {
-                    let segment = h.join().unwrap_or_else(|e| std::panic::resume_unwind(e))?;
-                    out.extend(segment);
-                }
-                Ok(out)
-            }),
-        }
+        profile.elapsed_ns = started.elapsed().as_nanos() as u64;
+        let after = self.pool().metrics();
+        profile.cold_loads = after.loads - before.loads;
+        profile.warm_hits = after.hits - before.hits;
+        self.scan.scan_ns.record(profile.elapsed_ns);
+        Ok((out, profile))
     }
 
     /// Parallel COUNT over `from..to`: identical to

@@ -1,0 +1,43 @@
+//! Unified observability for the page-as-you-go engine.
+//!
+//! Every layer of the system — buffer pool, resource manager, scan
+//! iterators, tables — reports into one [`Registry`]: a named collection of
+//! lock-free [`Counter`]s, [`Gauge`]s, and power-of-two-bucket
+//! [`Histogram`]s. A [`Registry::snapshot`] (an [`ObsSnapshot`]) captures
+//! the whole system's state at once and renders it as Prometheus
+//! exposition text or JSON.
+//!
+//! The registry's map is behind a mutex, but it is only touched when a
+//! metric is first created (or a snapshot is taken): callers hold cheap
+//! `Arc` handles and the hot path is a single relaxed atomic add.
+//!
+//! Two more facilities ride along:
+//!
+//! - [`Tracer`]: structured page-lifecycle event tracing ([`PageEvent`])
+//!   into per-thread bounded ring buffers. Disabled (the default), an emit
+//!   is one relaxed load. Enabled, events carry a global sequence number so
+//!   a drain can reconstruct the exact system-wide order of loads, pins,
+//!   and evictions.
+//! - [`ScanProfile`]: a plain per-scan cost breakdown (pages pinned,
+//!   guard-cache hits, chunks scanned, kernel dispatch width, match count,
+//!   cold/warm split) filled in by scan iterators and mergeable across
+//!   parallel workers.
+//!
+//! Metric names used by the engine crates live in [`names`] so producers
+//! and consumers (benches, exporters, [`ScanProfile::from_delta`]) agree on
+//! one vocabulary.
+
+#![forbid(unsafe_code)]
+#![deny(missing_docs)]
+
+mod hist;
+mod profile;
+mod registry;
+mod trace;
+
+pub mod names;
+
+pub use hist::{Histogram, HistogramSnapshot, HIST_BUCKETS};
+pub use profile::ScanProfile;
+pub use registry::{Counter, Gauge, MetricValue, ObsSnapshot, Registry};
+pub use trace::{EventKind, PageEvent, Tracer, TRACE_RING_CAPACITY};

@@ -1,0 +1,67 @@
+//! Canonical metric names.
+//!
+//! Producers (pool, resource manager, scan iterators) and consumers
+//! (exporters, benches, [`crate::ScanProfile::from_delta`]) share these
+//! constants so a rename cannot silently split a series. Instance-scoped
+//! metrics (per pool, per shard) add labels on top of these base names;
+//! [`crate::ObsSnapshot::counter`] sums across labels.
+
+/// Successful page loads completed by a buffer pool (labelled `pool`).
+pub const POOL_LOADS: &str = "pool_loads";
+/// Bytes brought in by successful page loads (labelled `pool`).
+pub const POOL_BYTES_LOADED: &str = "pool_bytes_loaded";
+/// Times a `pin()` blocked on another thread's in-flight load of the same
+/// page (labelled `pool`).
+pub const POOL_LOAD_WAITS: &str = "pool_load_waits";
+/// Pages pulled in by the background prefetcher (labelled `pool`).
+pub const POOL_PREFETCHES: &str = "pool_prefetches";
+/// Pin-latency histogram in nanoseconds, hits and misses alike (labelled
+/// `pool`).
+pub const POOL_PIN_NS: &str = "pool_pin_ns";
+/// Per-shard resident hits (labelled `pool`, `shard`).
+pub const POOL_SHARD_HITS: &str = "pool_shard_hits";
+/// Per-shard misses — pin attempts that found no resident frame and became
+/// or joined a load (labelled `pool`, `shard`). Counts attempts, so failed
+/// loads are `misses - loads`.
+pub const POOL_SHARD_MISSES: &str = "pool_shard_misses";
+/// Per-shard lock-contention events (labelled `pool`, `shard`).
+pub const POOL_SHARD_CONTENDED: &str = "pool_shard_contended";
+
+/// Bytes currently registered with the resource manager (gauge).
+pub const RESMAN_TOTAL_BYTES: &str = "resman_total_bytes";
+/// Bytes of paged (evictable) resources currently registered (gauge).
+pub const RESMAN_PAGED_BYTES: &str = "resman_paged_bytes";
+/// Number of registered resources (gauge).
+pub const RESMAN_RESOURCE_COUNT: &str = "resman_resource_count";
+/// Number of registered paged resources (gauge).
+pub const RESMAN_PAGED_COUNT: &str = "resman_paged_count";
+/// Resources evicted by the proactive background sweeper.
+pub const RESMAN_PROACTIVE_EVICTIONS: &str = "resman_proactive_evictions";
+/// Resources evicted reactively on allocation pressure.
+pub const RESMAN_REACTIVE_EVICTIONS: &str = "resman_reactive_evictions";
+/// Resources evicted by the weighted-LRU low-memory handler.
+pub const RESMAN_WEIGHTED_EVICTIONS: &str = "resman_weighted_evictions";
+/// Total bytes reclaimed by evictions of any kind.
+pub const RESMAN_EVICTED_BYTES: &str = "resman_evicted_bytes";
+/// Resource registrations since startup.
+pub const RESMAN_REGISTRATIONS: &str = "resman_registrations";
+
+/// Scan calls (search/count) completed by paged data-vector iterators.
+pub const SCAN_SCANS: &str = "scan_scans";
+/// 64-value chunks decoded or kernel-scanned.
+pub const SCAN_CHUNKS_SCANNED: &str = "scan_chunks_scanned";
+/// Guard-cache hits — page touches served by an already-held pin.
+pub const SCAN_GUARD_CACHE_HITS: &str = "scan_guard_cache_hits";
+/// Pages pinned through the pool by scan iterators (guard-cache misses).
+pub const SCAN_PAGES_PINNED: &str = "scan_pages_pinned";
+/// Bitmap match positions produced by scans.
+pub const SCAN_BITMAP_MATCHES: &str = "scan_bitmap_matches";
+/// Pages skipped via page-summary (min/max) pruning.
+pub const SCAN_PAGES_PRUNED: &str = "scan_pages_pruned";
+/// Kernel dispatch width (bit width of the last dispatched kernel; gauge).
+pub const SCAN_DISPATCH_WIDTH: &str = "scan_dispatch_width";
+/// End-to-end scan latency histogram in nanoseconds (profiled scans only).
+pub const SCAN_NS: &str = "scan_ns";
+
+/// Full-column loads performed by resident columns.
+pub const COLUMN_FULL_LOADS: &str = "column_full_loads";

@@ -1,0 +1,145 @@
+//! Per-scan cost profiles.
+
+use crate::names;
+use crate::registry::ObsSnapshot;
+
+/// What one scan cost, broken down the way the paper's evaluation slices
+/// it: pool traffic (pages pinned, cold loads vs warm hits), guard-cache
+/// effectiveness, kernel work (chunks, dispatch width), and selectivity
+/// (bitmap matches). Plain data — filled in by scan iterators, merged
+/// across parallel workers with [`ScanProfile::merge`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ScanProfile {
+    /// Pages pinned through the buffer pool (guard-cache misses).
+    pub pages_pinned: u64,
+    /// Page touches served by an already-held guard (no pool traffic).
+    pub guard_cache_hits: u64,
+    /// Pages skipped entirely via page-summary pruning.
+    pub pages_pruned: u64,
+    /// 64-value chunks decoded or kernel-scanned.
+    pub chunks_scanned: u64,
+    /// Bit width the scan kernel was dispatched at (0 = no kernel scan).
+    pub dispatch_width: u32,
+    /// Match positions (or counted matches) the scan produced.
+    pub bitmap_matches: u64,
+    /// Pool loads that hit the store during the scan (cold half of the
+    /// cold/warm split; filled by the profiled entry points).
+    pub cold_loads: u64,
+    /// Pool pins served by already-resident frames during the scan (warm
+    /// half; filled by the profiled entry points).
+    pub warm_hits: u64,
+    /// Wall-clock duration of the scan in nanoseconds (profiled entry
+    /// points only).
+    pub elapsed_ns: u64,
+}
+
+impl ScanProfile {
+    /// Folds another profile (e.g. a parallel worker's) into this one.
+    /// Counters add; `dispatch_width` keeps the widest dispatch seen;
+    /// `elapsed_ns` keeps the longer duration (workers overlap in time).
+    pub fn merge(&mut self, other: &ScanProfile) {
+        self.pages_pinned += other.pages_pinned;
+        self.guard_cache_hits += other.guard_cache_hits;
+        self.pages_pruned += other.pages_pruned;
+        self.chunks_scanned += other.chunks_scanned;
+        self.dispatch_width = self.dispatch_width.max(other.dispatch_width);
+        self.bitmap_matches += other.bitmap_matches;
+        self.cold_loads += other.cold_loads;
+        self.warm_hits += other.warm_hits;
+        self.elapsed_ns = self.elapsed_ns.max(other.elapsed_ns);
+    }
+
+    /// Builds a profile from a registry snapshot *delta* spanning the
+    /// scan (see `ObsSnapshot::delta`): scan counters map onto the
+    /// corresponding fields and pool counters fill the cold/warm split.
+    /// Exact when nothing else drives the registry concurrently.
+    pub fn from_delta(d: &ObsSnapshot) -> ScanProfile {
+        ScanProfile {
+            pages_pinned: d.counter(names::SCAN_PAGES_PINNED),
+            guard_cache_hits: d.counter(names::SCAN_GUARD_CACHE_HITS),
+            pages_pruned: d.counter(names::SCAN_PAGES_PRUNED),
+            chunks_scanned: d.counter(names::SCAN_CHUNKS_SCANNED),
+            dispatch_width: d.gauge(names::SCAN_DISPATCH_WIDTH) as u32,
+            bitmap_matches: d.counter(names::SCAN_BITMAP_MATCHES),
+            cold_loads: d.counter(names::POOL_LOADS),
+            warm_hits: d.counter(names::POOL_SHARD_HITS),
+            elapsed_ns: 0,
+        }
+    }
+
+    /// Renders as a JSON object (for embedding in bench reports).
+    pub fn to_json(&self) -> String {
+        format!(
+            "{{\"pages_pinned\": {}, \"guard_cache_hits\": {}, \"pages_pruned\": {}, \
+             \"chunks_scanned\": {}, \"dispatch_width\": {}, \"bitmap_matches\": {}, \
+             \"cold_loads\": {}, \"warm_hits\": {}, \"elapsed_ns\": {}}}",
+            self.pages_pinned,
+            self.guard_cache_hits,
+            self.pages_pruned,
+            self.chunks_scanned,
+            self.dispatch_width,
+            self.bitmap_matches,
+            self.cold_loads,
+            self.warm_hits,
+            self.elapsed_ns,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::registry::Registry;
+
+    #[test]
+    fn merge_adds_and_maxes() {
+        let mut a = ScanProfile {
+            pages_pinned: 1,
+            guard_cache_hits: 10,
+            chunks_scanned: 5,
+            dispatch_width: 8,
+            bitmap_matches: 3,
+            elapsed_ns: 100,
+            ..Default::default()
+        };
+        let b = ScanProfile {
+            pages_pinned: 2,
+            guard_cache_hits: 1,
+            chunks_scanned: 7,
+            dispatch_width: 17,
+            bitmap_matches: 4,
+            elapsed_ns: 60,
+            ..Default::default()
+        };
+        a.merge(&b);
+        assert_eq!(a.pages_pinned, 3);
+        assert_eq!(a.guard_cache_hits, 11);
+        assert_eq!(a.chunks_scanned, 12);
+        assert_eq!(a.dispatch_width, 17);
+        assert_eq!(a.bitmap_matches, 7);
+        assert_eq!(a.elapsed_ns, 100);
+    }
+
+    #[test]
+    fn from_delta_reads_scan_and_pool_names() {
+        let reg = Registry::new();
+        reg.counter(crate::names::SCAN_PAGES_PINNED).add(4);
+        reg.counter(crate::names::SCAN_GUARD_CACHE_HITS).add(9);
+        reg.counter(crate::names::SCAN_CHUNKS_SCANNED).add(64);
+        reg.counter(crate::names::SCAN_BITMAP_MATCHES).add(2);
+        reg.gauge(crate::names::SCAN_DISPATCH_WIDTH).set(17);
+        reg.counter_labeled(crate::names::POOL_LOADS, &[("pool", "0")]).add(3);
+        reg.counter_labeled(crate::names::POOL_SHARD_HITS, &[("pool", "0"), ("shard", "1")])
+            .add(5);
+        let p = ScanProfile::from_delta(&reg.snapshot());
+        assert_eq!(p.pages_pinned, 4);
+        assert_eq!(p.guard_cache_hits, 9);
+        assert_eq!(p.chunks_scanned, 64);
+        assert_eq!(p.bitmap_matches, 2);
+        assert_eq!(p.dispatch_width, 17);
+        assert_eq!(p.cold_loads, 3);
+        assert_eq!(p.warm_hits, 5);
+        let json = p.to_json();
+        assert!(json.contains("\"pages_pinned\": 4"), "{json}");
+    }
+}

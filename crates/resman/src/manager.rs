@@ -3,6 +3,7 @@
 use crate::proactive::ProactiveWorker;
 use crate::sync::{LockRank, Mutex};
 use crate::{Disposition, MemoryStats};
+use payg_obs::{names, Counter, EventKind, Gauge, Registry};
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
@@ -50,21 +51,57 @@ struct State {
     paged_count: usize,
 }
 
-#[derive(Default)]
-struct Counters {
-    proactive_evictions: AtomicU64,
-    reactive_evictions: AtomicU64,
-    weighted_evictions: AtomicU64,
-    evicted_bytes: AtomicU64,
-    registrations: AtomicU64,
+/// The manager's metric handles, registered in its [`Registry`] under the
+/// `resman_*` names. Eviction totals are counters; the accounting
+/// aggregates (bytes, resource counts) are gauges refreshed under the
+/// state lock whenever the totals change.
+struct Obs {
+    registry: Registry,
+    total_bytes: Gauge,
+    paged_bytes: Gauge,
+    resource_count: Gauge,
+    paged_count: Gauge,
+    proactive_evictions: Counter,
+    reactive_evictions: Counter,
+    weighted_evictions: Counter,
+    evicted_bytes: Counter,
+    registrations: Counter,
+}
+
+impl Obs {
+    fn register(registry: Registry) -> Self {
+        Obs {
+            total_bytes: registry.gauge(names::RESMAN_TOTAL_BYTES),
+            paged_bytes: registry.gauge(names::RESMAN_PAGED_BYTES),
+            resource_count: registry.gauge(names::RESMAN_RESOURCE_COUNT),
+            paged_count: registry.gauge(names::RESMAN_PAGED_COUNT),
+            proactive_evictions: registry.counter(names::RESMAN_PROACTIVE_EVICTIONS),
+            reactive_evictions: registry.counter(names::RESMAN_REACTIVE_EVICTIONS),
+            weighted_evictions: registry.counter(names::RESMAN_WEIGHTED_EVICTIONS),
+            evicted_bytes: registry.counter(names::RESMAN_EVICTED_BYTES),
+            registrations: registry.counter(names::RESMAN_REGISTRATIONS),
+            registry,
+        }
+    }
+
+    /// Refreshes the accounting gauges from the state totals. Called with
+    /// the state lock held so gauge values never mix two states.
+    fn sync(&self, st: &State) {
+        self.total_bytes.set(st.total_bytes as u64);
+        self.paged_bytes.set(st.paged_bytes as u64);
+        self.resource_count.set(st.entries.len() as u64);
+        self.paged_count.set(st.paged_count as u64);
+    }
 }
 
 pub(crate) struct Inner {
     state: Mutex<State>,
     limits: Mutex<Option<PoolLimits>>,
+    // lint: allow(raw-counter) logical LRU clock, not a metric
     clock: AtomicU64,
+    // lint: allow(raw-counter) resource id allocator, not a metric
     next_id: AtomicU64,
-    counters: Counters,
+    obs: Obs,
     proactive: Mutex<Option<ProactiveWorker>>,
 }
 
@@ -82,18 +119,32 @@ impl Default for ResourceManager {
 
 impl ResourceManager {
     /// Creates a manager with no paged-pool limits (nothing is evicted until
-    /// explicitly requested or limits are set).
+    /// explicitly requested or limits are set) and a fresh metric
+    /// [`Registry`] of its own.
     pub fn new() -> Self {
+        Self::with_registry(Registry::new())
+    }
+
+    /// Creates a manager that reports into an existing [`Registry`] —
+    /// pools and tables built on this manager register their metrics in
+    /// the same registry, so one snapshot captures the whole system.
+    pub fn with_registry(registry: Registry) -> Self {
         ResourceManager {
             inner: Arc::new(Inner {
                 state: Mutex::with_rank(State::default(), LockRank::ResmanState),
                 limits: Mutex::with_rank(None, LockRank::ResmanLimits),
                 clock: AtomicU64::new(0),
                 next_id: AtomicU64::new(1),
-                counters: Counters::default(),
+                obs: Obs::register(registry),
                 proactive: Mutex::with_rank(None, LockRank::ResmanProactive),
             }),
         }
+    }
+
+    /// The metric registry this manager (and everything built on it)
+    /// reports into.
+    pub fn registry(&self) -> &Registry {
+        &self.inner.obs.registry
     }
 
     /// Creates a manager with paged-pool limits and a running proactive
@@ -160,8 +211,9 @@ impl ResourceManager {
                 Entry { size, disposition, last_touch: now, pins: 0, on_evict: Box::new(on_evict) },
             );
             assert_accounting(&st);
+            self.inner.obs.sync(&st);
         }
-        self.inner.counters.registrations.fetch_add(1, Ordering::Relaxed);
+        self.inner.obs.registrations.inc();
         self.maybe_wake_proactive();
         ResourceId(id)
     }
@@ -190,8 +242,9 @@ impl ResourceManager {
                 Entry { size, disposition, last_touch: now, pins: 1, on_evict: Box::new(on_evict) },
             );
             assert_accounting(&st);
+            self.inner.obs.sync(&st);
         }
-        self.inner.counters.registrations.fetch_add(1, Ordering::Relaxed);
+        self.inner.obs.registrations.inc();
         self.maybe_wake_proactive();
         ResourceId(id)
     }
@@ -201,7 +254,9 @@ impl ResourceManager {
     /// already gone (e.g. just evicted).
     pub fn deregister(&self, id: ResourceId) -> bool {
         let mut st = self.inner.state.lock();
-        remove_entry(&mut st, id.0).is_some()
+        let removed = remove_entry(&mut st, id.0).is_some();
+        self.inner.obs.sync(&st);
+        removed
     }
 
     /// Marks a resource as recently used.
@@ -225,6 +280,7 @@ impl ResourceManager {
                 st.paged_bytes = st.paged_bytes - old + new_size;
             }
             assert_accounting(&st);
+            self.inner.obs.sync(&st);
         }
         self.maybe_wake_proactive();
     }
@@ -252,20 +308,22 @@ impl ResourceManager {
         }
     }
 
-    /// Snapshot of the accounting counters.
+    /// Snapshot of the accounting counters. The same figures are readable
+    /// from [`ResourceManager::registry`] snapshots under the `resman_*`
+    /// metric names.
     pub fn stats(&self) -> MemoryStats {
         let st = self.inner.state.lock();
-        let c = &self.inner.counters;
+        let o = &self.inner.obs;
         MemoryStats {
             total_bytes: st.total_bytes,
             paged_bytes: st.paged_bytes,
             resource_count: st.entries.len(),
             paged_count: st.paged_count,
-            proactive_evictions: c.proactive_evictions.load(Ordering::Relaxed),
-            reactive_evictions: c.reactive_evictions.load(Ordering::Relaxed),
-            weighted_evictions: c.weighted_evictions.load(Ordering::Relaxed),
-            evicted_bytes: c.evicted_bytes.load(Ordering::Relaxed),
-            registrations: c.registrations.load(Ordering::Relaxed),
+            proactive_evictions: o.proactive_evictions.get(),
+            reactive_evictions: o.reactive_evictions.get(),
+            weighted_evictions: o.weighted_evictions.get(),
+            evicted_bytes: o.evicted_bytes.get(),
+            registrations: o.registrations.get(),
         }
     }
 
@@ -312,16 +370,29 @@ impl ResourceManager {
                 pool -= size;
                 picked.push(id);
             }
-            picked
+            let victims = picked
                 .into_iter()
                 .filter_map(|id| remove_entry(&mut st, id))
-                .collect::<Vec<_>>()
+                .collect::<Vec<_>>();
+            self.inner.obs.sync(&st);
+            victims
         };
-        self.run_evictions(victims, if proactive {
-            &self.inner.counters.proactive_evictions
+        let count = victims.len();
+        let freed = self.run_evictions(victims, if proactive {
+            &self.inner.obs.proactive_evictions
         } else {
-            &self.inner.counters.reactive_evictions
-        })
+            &self.inner.obs.reactive_evictions
+        });
+        if proactive && count > 0 {
+            // Sweep summary event: victims in `page_no`, bytes reclaimed.
+            self.inner.obs.registry.tracer().emit(
+                EventKind::ProactiveSweep,
+                0,
+                count as u64,
+                freed as u64,
+            );
+        }
+        freed
     }
 
     /// **Weighted-LRU sweep** for a global low-memory situation: evicts
@@ -355,27 +426,26 @@ impl ResourceManager {
                 acc += size;
                 picked.push(id);
             }
-            picked
+            let victims = picked
                 .into_iter()
                 .filter_map(|id| remove_entry(&mut st, id))
-                .collect::<Vec<_>>()
+                .collect::<Vec<_>>();
+            self.inner.obs.sync(&st);
+            victims
         };
-        freed += self.run_evictions(victims, &self.inner.counters.weighted_evictions);
+        freed += self.run_evictions(victims, &self.inner.obs.weighted_evictions);
         freed
     }
 
     /// Runs callbacks outside the state lock and updates counters.
-    fn run_evictions(&self, victims: Vec<Entry>, counter: &AtomicU64) -> usize {
+    fn run_evictions(&self, victims: Vec<Entry>, counter: &Counter) -> usize {
         let mut freed = 0usize;
         for v in &victims {
             freed += v.size;
             (v.on_evict)();
         }
-        counter.fetch_add(victims.len() as u64, Ordering::Relaxed);
-        self.inner
-            .counters
-            .evicted_bytes
-            .fetch_add(freed as u64, Ordering::Relaxed);
+        counter.add(victims.len() as u64);
+        self.inner.obs.evicted_bytes.add(freed as u64);
         freed
     }
 

@@ -1,31 +1,63 @@
 //! Buffer-pool metrics: pool-wide counters plus per-shard activity.
+//!
+//! All counters are `payg-obs` registry handles, registered in the pool's
+//! [`payg_obs::Registry`] (shared with the resource manager) under the
+//! `pool_*` names with a `pool="<instance>"` label, so one registry
+//! snapshot carries every pool's series next to the `resman_*` ones. The
+//! [`crate::PoolMetrics`] / [`ShardMetrics`] structs remain the exact
+//! per-pool view (reads of this pool's own handles, never another
+//! instance's).
 
-use std::sync::atomic::{AtomicU64, Ordering};
+use payg_obs::{names, Counter, Histogram, Registry};
 
 /// Pool-wide counters (not attributable to a single shard).
-#[derive(Default)]
 pub(crate) struct MetricCounters {
-    pub loads: AtomicU64,
-    pub bytes_loaded: AtomicU64,
-    pub load_waits: AtomicU64,
-    pub prefetches: AtomicU64,
+    pub loads: Counter,
+    pub bytes_loaded: Counter,
+    pub load_waits: Counter,
+    pub prefetches: Counter,
+    /// Pin latency in nanoseconds — hits and misses alike, so the bimodal
+    /// split (warm ~100ns vs cold ~I/O latency) is visible in the buckets.
+    pub pin_ns: Histogram,
+}
+
+impl MetricCounters {
+    pub fn register(registry: &Registry, pool_label: &str) -> Self {
+        let l: &[(&str, &str)] = &[("pool", pool_label)];
+        MetricCounters {
+            loads: registry.counter_labeled(names::POOL_LOADS, l),
+            bytes_loaded: registry.counter_labeled(names::POOL_BYTES_LOADED, l),
+            load_waits: registry.counter_labeled(names::POOL_LOAD_WAITS, l),
+            prefetches: registry.counter_labeled(names::POOL_PREFETCHES, l),
+            pin_ns: registry.histogram_labeled(names::POOL_PIN_NS, l),
+        }
+    }
 }
 
 /// Per-shard counters. `hits`/`misses` partition the pin calls that reached
 /// this shard; `contended` counts lock acquisitions that had to block.
-#[derive(Default)]
 pub(crate) struct ShardCounters {
-    pub hits: AtomicU64,
-    pub misses: AtomicU64,
-    pub contended: AtomicU64,
+    pub hits: Counter,
+    pub misses: Counter,
+    pub contended: Counter,
 }
 
 impl ShardCounters {
+    pub fn register(registry: &Registry, pool_label: &str, shard: usize) -> Self {
+        let shard = shard.to_string();
+        let l: &[(&str, &str)] = &[("pool", pool_label), ("shard", &shard)];
+        ShardCounters {
+            hits: registry.counter_labeled(names::POOL_SHARD_HITS, l),
+            misses: registry.counter_labeled(names::POOL_SHARD_MISSES, l),
+            contended: registry.counter_labeled(names::POOL_SHARD_CONTENDED, l),
+        }
+    }
+
     pub fn snapshot(&self) -> ShardMetrics {
         ShardMetrics {
-            hits: self.hits.load(Ordering::Relaxed),
-            misses: self.misses.load(Ordering::Relaxed),
-            contended: self.contended.load(Ordering::Relaxed),
+            hits: self.hits.get(),
+            misses: self.misses.get(),
+            contended: self.contended.get(),
         }
     }
 }
@@ -51,6 +83,11 @@ pub struct PoolMetrics {
     pub loads: u64,
     /// Pool hits (page already resident).
     pub hits: u64,
+    /// Pin calls that found no resident frame and became (or joined a
+    /// retry as) the loader, successful or not. `misses - loads` is the
+    /// number of *failed* loads; every pin call lands in exactly one of
+    /// `hits` or `misses`.
+    pub misses: u64,
     /// Total bytes read from the store.
     pub bytes_loaded: u64,
     /// Pin calls that waited for another thread's in-flight load.

@@ -5,6 +5,7 @@ use crate::sync::{Condvar, LockRank, Mutex, MutexGuard, RwLock};
 use crate::{IoProfile, PageKey, PageStore, PoolMetrics, StorageResult};
 use crossbeam::channel::{unbounded, Sender};
 use payg_check::PinTracker;
+use payg_obs::{EventKind, Registry, Tracer};
 use payg_resman::{Disposition, ResourceId, ResourceManager};
 use std::any::Any;
 use std::collections::HashMap;
@@ -12,6 +13,7 @@ use std::ops::Deref;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Arc, OnceLock, Weak};
 use std::thread::JoinHandle;
+use std::time::Instant;
 
 /// Default number of lock-striped shards (a power of two; plenty for the
 /// worker counts the scan experiments use).
@@ -76,10 +78,10 @@ struct Shard {
 }
 
 impl Shard {
-    fn new() -> Self {
+    fn new(registry: &Registry, pool_label: &str, index: usize) -> Self {
         Shard {
             slots: Mutex::with_rank(HashMap::new(), LockRank::PoolShard),
-            counters: ShardCounters::default(),
+            counters: ShardCounters::register(registry, pool_label, index),
         }
     }
 
@@ -88,7 +90,7 @@ impl Shard {
         match self.slots.try_lock() {
             Some(guard) => guard,
             None => {
-                self.counters.contended.fetch_add(1, Ordering::Relaxed);
+                self.counters.contended.inc();
                 self.slots.lock()
             }
         }
@@ -101,6 +103,11 @@ struct PoolInner {
     io: IoProfile,
     shards: Box<[Shard]>,
     metrics: MetricCounters,
+    /// The resman's registry; this pool's counters live in it under a
+    /// `pool="<instance>"` label.
+    registry: Registry,
+    /// The registry's page-lifecycle tracer (cached: emit is on hot paths).
+    tracer: Tracer,
     /// Pin-leak detector (`strict-invariants` only; zero-sized otherwise).
     pins: PinTracker,
 }
@@ -118,6 +125,7 @@ impl PoolInner {
 
 /// What `pin` decided to do after inspecting the shard slot.
 enum PinAction {
+    Hit(Arc<Frame>),
     Load(Arc<LoadState>),
     Wait(Arc<LoadState>),
 }
@@ -164,16 +172,31 @@ impl BufferPool {
         shards: usize,
     ) -> Self {
         let shards = shards.max(1);
+        // Report into the resman's registry so pool and resman series land
+        // in one snapshot. Each pool instance gets its own label: metrics()
+        // reads this pool's handles only, never another instance's.
+        let registry = resman.registry().clone();
+        let pool_label = registry.next_instance("pool").to_string();
         BufferPool {
             inner: Arc::new(PoolInner {
                 store,
                 resman,
                 io,
-                shards: (0..shards).map(|_| Shard::new()).collect(),
-                metrics: MetricCounters::default(),
+                shards: (0..shards)
+                    .map(|i| Shard::new(&registry, &pool_label, i))
+                    .collect(),
+                metrics: MetricCounters::register(&registry, &pool_label),
+                tracer: registry.tracer().clone(),
+                registry,
                 pins: PinTracker::new(),
             }),
         }
+    }
+
+    /// The metric registry this pool reports into (the resource manager's).
+    /// Its tracer carries the pool's page-lifecycle events.
+    pub fn registry(&self) -> &Registry {
+        &self.inner.registry
     }
 
     /// The underlying page store.
@@ -197,22 +220,25 @@ impl BufferPool {
     #[track_caller]
     pub fn pin(&self, key: PageKey) -> StorageResult<PageGuard> {
         let caller = std::panic::Location::caller();
+        let started = Instant::now();
         let shard = self.inner.shard(key);
-        loop {
+        let guard = loop {
             let action = {
                 let mut slots = shard.lock();
                 match slots.get(&key) {
                     Some(Slot::Resident(frame)) => {
                         let frame = Arc::clone(frame);
                         if self.inner.resman.pin(frame.rid()) {
-                            shard.counters.hits.fetch_add(1, Ordering::Relaxed);
-                            return Ok(PageGuard::new(Arc::clone(&self.inner), frame, caller));
+                            // Counters and events happen outside the lock.
+                            PinAction::Hit(frame)
+                        } else {
+                            // Evicted between the handler firing and us
+                            // observing the map: replace the stale frame
+                            // with a fresh load.
+                            let ls = LoadState::new();
+                            slots.insert(key, Slot::Loading(Arc::clone(&ls)));
+                            PinAction::Load(ls)
                         }
-                        // Evicted between the handler firing and us observing
-                        // the map: replace the stale frame with a fresh load.
-                        let ls = LoadState::new();
-                        slots.insert(key, Slot::Loading(Arc::clone(&ls)));
-                        PinAction::Load(ls)
                     }
                     Some(Slot::Loading(ls)) => PinAction::Wait(Arc::clone(ls)),
                     None => {
@@ -223,16 +249,28 @@ impl BufferPool {
                 }
             };
             match action {
-                PinAction::Load(ls) => return self.load_and_publish(key, shard, &ls, caller),
+                PinAction::Hit(frame) => {
+                    shard.counters.hits.inc();
+                    break PageGuard::new(Arc::clone(&self.inner), frame, caller);
+                }
+                PinAction::Load(ls) => break self.load_and_publish(key, shard, &ls, caller)?,
                 PinAction::Wait(ls) => {
                     // Wait outside the shard lock, then re-inspect: the loader
                     // publishes a resident frame (hit next round) or removes
                     // the slot on error (we become the loader).
-                    self.inner.metrics.load_waits.fetch_add(1, Ordering::Relaxed);
+                    self.inner.metrics.load_waits.inc();
+                    self.inner
+                        .tracer
+                        .emit(EventKind::SingleFlightWait, key.chain.0, key.page_no, 0);
                     ls.wait();
                 }
             }
-        }
+        };
+        self.inner.metrics.pin_ns.record(started.elapsed().as_nanos() as u64);
+        self.inner
+            .tracer
+            .emit(EventKind::PagePinned, key.chain.0, key.page_no, guard.bytes().len() as u64);
+        Ok(guard)
     }
 
     /// Reads the page from the store (shard lock *not* held), publishes the
@@ -244,7 +282,7 @@ impl BufferPool {
         ls: &Arc<LoadState>,
         caller: &'static std::panic::Location<'static>,
     ) -> StorageResult<PageGuard> {
-        shard.counters.misses.fetch_add(1, Ordering::Relaxed);
+        shard.counters.misses.inc();
         let result = self.load_frame(key);
         {
             let mut slots = shard.lock();
@@ -271,11 +309,11 @@ impl BufferPool {
     fn load_frame(&self, key: PageKey) -> StorageResult<Arc<Frame>> {
         self.inner.io.apply_read();
         let data = self.inner.store.read_page(key)?;
-        self.inner.metrics.loads.fetch_add(1, Ordering::Relaxed);
+        self.inner.metrics.loads.inc();
+        self.inner.metrics.bytes_loaded.add(data.len() as u64);
         self.inner
-            .metrics
-            .bytes_loaded
-            .fetch_add(data.len() as u64, Ordering::Relaxed);
+            .tracer
+            .emit(EventKind::PageLoaded, key.chain.0, key.page_no, data.len() as u64);
         let frame = Arc::new(Frame {
             key,
             data,
@@ -292,17 +330,29 @@ impl BufferPool {
                 let (Some(pool), Some(frame)) = (pool_weak.upgrade(), frame_weak.upgrade()) else {
                     return;
                 };
-                let shard = pool.shard(frame.key);
-                let mut slots = shard.lock();
-                // Only remove the exact frame this resource backs; a newer
-                // frame or an in-flight load may already occupy the key.
-                if matches!(
-                    slots.get(&frame.key),
-                    Some(Slot::Resident(cur)) if Arc::ptr_eq(cur, &frame)
-                ) {
-                    slots.remove(&frame.key);
+                {
+                    let shard = pool.shard(frame.key);
+                    let mut slots = shard.lock();
+                    // Only remove the exact frame this resource backs; a newer
+                    // frame or an in-flight load may already occupy the key.
+                    if matches!(
+                        slots.get(&frame.key),
+                        Some(Slot::Resident(cur)) if Arc::ptr_eq(cur, &frame)
+                    ) {
+                        slots.remove(&frame.key);
+                    }
+                    *frame.transient.write() = None;
                 }
-                *frame.transient.write() = None;
+                // Emitted after the shard lock drops; includes transient
+                // bytes so the event reflects the full reclaimed size.
+                let bytes =
+                    frame.data.len() + frame.transient_bytes.load(Ordering::Relaxed);
+                pool.tracer.emit(
+                    EventKind::PageEvicted,
+                    frame.key.chain.0,
+                    frame.key.page_no,
+                    bytes as u64,
+                );
             },
         );
         // lint: allow(unwrap) invariant: the OnceLock is fresh, set exactly here
@@ -362,14 +412,14 @@ impl BufferPool {
             misses += m.misses;
             contended += m.contended;
         }
-        let _ = misses; // loads (successful) is the established miss metric
         PoolMetrics {
-            loads: self.inner.metrics.loads.load(Ordering::Relaxed),
+            loads: self.inner.metrics.loads.get(),
             hits,
-            bytes_loaded: self.inner.metrics.bytes_loaded.load(Ordering::Relaxed),
-            load_waits: self.inner.metrics.load_waits.load(Ordering::Relaxed),
+            misses,
+            bytes_loaded: self.inner.metrics.bytes_loaded.get(),
+            load_waits: self.inner.metrics.load_waits.get(),
             contended,
-            prefetches: self.inner.metrics.prefetches.load(Ordering::Relaxed),
+            prefetches: self.inner.metrics.prefetches.get(),
         }
     }
 
@@ -415,7 +465,7 @@ impl BufferPool {
                     while let Ok(next) = rx.try_recv() {
                         key = next;
                     }
-                    pool.inner.metrics.prefetches.fetch_add(1, Ordering::Relaxed);
+                    pool.inner.metrics.prefetches.inc();
                     // Errors are ignored: prefetch is advisory, the consumer's
                     // own pin will surface them.
                     slot = pool.pin(key).ok();

@@ -87,6 +87,7 @@ struct MemChain {
 #[derive(Default)]
 pub struct MemStore {
     chains: Mutex<HashMap<u64, MemChain>>,
+    // lint: allow(raw-counter) chain id allocator, not a metric
     next_id: AtomicU64,
 }
 
@@ -175,6 +176,7 @@ struct ChainFile {
 pub struct FileStore {
     dir: PathBuf,
     chains: Mutex<HashMap<u64, ChainFile>>,
+    // lint: allow(raw-counter) chain id allocator, not a metric
     next_id: AtomicU64,
 }
 
@@ -559,6 +561,7 @@ pub enum FaultPlan {
 pub struct FaultyStore<S> {
     inner: S,
     plan: Mutex<FaultPlan>,
+    // lint: allow(raw-counter) fault-injection read clock, not a metric
     reads: AtomicU64,
 }
 

@@ -78,6 +78,48 @@ fn real_pool_pinned_page_survives_unload_race() {
 }
 
 #[test]
+fn registry_counters_consistent_under_pin_evict_race() {
+    // Observability invariant under every explored interleaving of
+    // concurrent pins and a racing eviction sweep: the registry's shard
+    // counters partition the pin calls exactly — hits + misses == pins —
+    // and successful loads never exceed misses.
+    let report = Checker::exhaustive().max_iterations(BOUND).check(|| {
+        let (pool, chain) = pool_with_pages(2);
+        let pool = Arc::new(pool);
+        let resman = pool.resource_manager().clone();
+        resman.set_paged_limits_manual(Some(PoolLimits::new(0, usize::MAX)));
+        let pins = 3u64; // one warm-up + two racing
+        drop(pool.pin(PageKey::new(chain, 0)).expect("warm-up pin"));
+        let threads: Vec<_> = (0..2u64)
+            .map(|i| {
+                let p = Arc::clone(&pool);
+                thread::spawn(move || {
+                    let g = p.pin(PageKey::new(chain, i % 2)).expect("pin");
+                    assert_eq!(g[0], (i % 2) as u8);
+                })
+            })
+            .collect();
+        let r = resman.clone();
+        let evictor = thread::spawn(move || {
+            r.reactive_unload();
+        });
+        for t in threads {
+            t.join().expect("model thread");
+        }
+        evictor.join().expect("model thread");
+        let snap = payg_obs::ObsSnapshot::collect(pool.registry());
+        let hits = snap.counter("pool_shard_hits");
+        let misses = snap.counter("pool_shard_misses");
+        let loads = snap.counter("pool_loads");
+        assert_eq!(hits + misses, pins, "hits({hits}) + misses({misses}) != pins({pins})");
+        assert!(loads <= misses, "loads({loads}) > misses({misses})");
+        assert_eq!(loads, misses, "no failed loads here: every miss loaded");
+        pool.assert_no_live_pins("model quiesce");
+    });
+    assert!(report.failure.is_none(), "unexpected failure: {:?}", report.failure);
+}
+
+#[test]
 fn real_pool_clear_racing_pin_leaves_consistent_state() {
     let report = Checker::exhaustive().max_iterations(BOUND).check(|| {
         let (pool, chain) = pool_with_pages(1);

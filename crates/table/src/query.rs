@@ -110,6 +110,25 @@ impl RowAddr {
 }
 
 impl Table {
+    /// Executes a query and returns the [`payg_obs::ScanProfile`] of the
+    /// work it caused, measured as the registry delta around execution
+    /// (every layer under this table — datavec iterators, buffer pool,
+    /// columns — reports into the table's registry). The profile is exact
+    /// when no other work drives the same registry concurrently.
+    pub fn execute_profiled(
+        &self,
+        q: &Query,
+    ) -> TableResult<(QueryResult, payg_obs::ScanProfile)> {
+        let before = payg_obs::ObsSnapshot::collect(self.registry());
+        let started = std::time::Instant::now();
+        let result = self.execute(q)?;
+        let elapsed_ns = started.elapsed().as_nanos() as u64;
+        let after = payg_obs::ObsSnapshot::collect(self.registry());
+        let mut profile = payg_obs::ScanProfile::from_delta(&after.delta(&before));
+        profile.elapsed_ns = elapsed_ns;
+        Ok((result, profile))
+    }
+
     /// Executes a query.
     pub fn execute(&self, q: &Query) -> TableResult<QueryResult> {
         // COUNT avoids materializing row positions when the inverted index's
@@ -569,6 +588,25 @@ mod tests {
                 }
             }
         }
+    }
+
+    #[test]
+    fn execute_profiled_reports_scan_work() {
+        let t = table(LoadPolicy::PageLoadable);
+        let q = Query::filtered(
+            "region",
+            ValuePredicate::Eq(Value::Varchar("region-1".into())),
+            Projection::Count,
+        );
+        let (result, profile) = t.execute_profiled(&q).unwrap();
+        assert_eq!(result.count(), 64);
+        assert!(profile.chunks_scanned > 0, "paged scan evaluated chunks: {profile:?}");
+        assert!(profile.elapsed_ns > 0);
+        // The same result again is warm: no new cold loads.
+        let (result2, profile2) = t.execute_profiled(&q).unwrap();
+        assert_eq!(result2.count(), 64);
+        assert_eq!(profile2.cold_loads, 0, "second run is warm: {profile2:?}");
+        assert!(profile2.warm_hits > 0);
     }
 
     #[test]

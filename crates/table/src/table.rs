@@ -106,6 +106,12 @@ impl Table {
         &self.pool
     }
 
+    /// The observability registry every layer under this table reports into
+    /// (the pool's, which is the resource manager's).
+    pub fn registry(&self) -> &payg_obs::Registry {
+        self.pool.registry()
+    }
+
     /// The partitions in order.
     pub fn partitions(&self) -> &[Partition] {
         &self.partitions

@@ -12,6 +12,8 @@
 //!
 //! * [`encoding`] — n-bit packing, 64-value chunks, SWAR scans, prefix
 //!   blocks, order-preserving keys
+//! * [`obs`] — metric registry, page-lifecycle event tracing, per-scan
+//!   profiles, Prometheus/JSON exporters
 //! * [`resman`] — dispositions, weighted LRU, paged-pool limits,
 //!   reactive/proactive unload
 //! * [`storage`] — page chains, stores, the buffer pool with RAII pins
@@ -82,6 +84,7 @@
 
 pub use payg_core as core;
 pub use payg_encoding as encoding;
+pub use payg_obs as obs;
 pub use payg_resman as resman;
 pub use payg_storage as storage;
 pub use payg_table as table;

@@ -19,3 +19,7 @@ fn sleep_violation() {
 fn safety_violation(p: *const u32) -> u32 {
     unsafe { *p } // no safety comment anywhere near this block
 }
+
+struct RawCounterViolation {
+    hits: std::sync::atomic::AtomicU64, // raw-counter: use payg_obs::Counter
+}

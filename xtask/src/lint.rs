@@ -20,6 +20,10 @@
 //!   under `crates/core/src/datavec/`: warm scans must pin each page once
 //!   per run (guard cache / `load_chunk_run`), not once per chunk. Hoist
 //!   the pin into a per-page helper, or suppress with a reason.
+//! * `raw-counter` — no `AtomicU64` declarations in library code outside
+//!   `payg-obs` (and `payg-check`): counters belong in the obs registry as
+//!   `payg_obs::Counter`/`Gauge` so one snapshot covers the whole system.
+//!   Non-metric atomics (id allocators, clocks) carry a suppression.
 //!
 //! Suppress a finding with `// lint: allow(<rule>) <reason>` on the same
 //! line or the line directly above. The reason is mandatory.
@@ -149,6 +153,7 @@ struct Scope {
     safety: bool,
     sleep: bool,
     pin_in_loop: bool,
+    raw_counter: bool,
 }
 
 fn scope_for(rel: &Path) -> Scope {
@@ -160,19 +165,28 @@ fn scope_for(rel: &Path) -> Scope {
     let sync_alias_module = s.ends_with("/sync.rs");
     // payg-check implements the wrappers: raw std::sync use is its job.
     let is_check_crate = s.starts_with("crates/check/");
+    // payg-obs implements Counter/Gauge/Histogram on top of raw atomics.
+    let is_obs_crate = s.starts_with("crates/obs/");
     Scope {
         unwrap: concurrency_core,
         raw_lock: concurrency_core && !sync_alias_module && !is_check_crate,
         safety: in_crates_src && !is_check_crate,
         sleep: in_crates_src && !is_check_crate,
         pin_in_loop: s.starts_with("crates/core/src/datavec/"),
+        raw_counter: in_crates_src && !is_check_crate && !is_obs_crate,
     }
 }
 
 /// Lints one file's text; appends findings.
 pub fn lint_file(rel: &Path, text: &str, findings: &mut Vec<Finding>) {
     let scope = scope_for(rel);
-    if !(scope.unwrap || scope.raw_lock || scope.safety || scope.sleep || scope.pin_in_loop) {
+    if !(scope.unwrap
+        || scope.raw_lock
+        || scope.safety
+        || scope.sleep
+        || scope.pin_in_loop
+        || scope.raw_counter)
+    {
         return;
     }
 
@@ -297,6 +311,18 @@ pub fn lint_file(rel: &Path, text: &str, findings: &mut Vec<Finding>) {
             });
         }
 
+        if scope.raw_counter && !suppressed("raw-counter") && is_raw_counter_decl(code) {
+            findings.push(Finding {
+                path: rel.to_path_buf(),
+                line: lineno,
+                rule: "raw-counter",
+                message: "raw AtomicU64 declared outside payg-obs: register a \
+                          payg_obs::Counter/Gauge so the metric is exported, or \
+                          suppress with a reason if this is not a metric"
+                    .to_string(),
+            });
+        }
+
         if scope.pin_in_loop {
             let is_loop_header = (contains_word(code, "for")
                 || contains_word(code, "while")
@@ -325,6 +351,42 @@ pub fn lint_file(rel: &Path, text: &str, findings: &mut Vec<Finding>) {
             }
         }
     }
+}
+
+/// Whether a code line *declares* an `AtomicU64` (`x: AtomicU64`,
+/// `static X: AtomicU64`, optionally path-qualified). `AtomicU64::new(..)`
+/// is the declaration site's constructor and a `use` import is not a
+/// declaration, so neither matches.
+fn is_raw_counter_decl(code: &str) -> bool {
+    const TY: &str = "AtomicU64";
+    let bytes = code.as_bytes();
+    let mut start = 0;
+    while let Some(pos) = code[start..].find(TY) {
+        let abs = start + pos;
+        start = abs + TY.len();
+        let after = &code[abs + TY.len()..];
+        // Constructor/assoc-fn path, or a longer identifier: not a decl.
+        if after.starts_with("::")
+            || after.chars().next().is_some_and(|c| c.is_ascii_alphanumeric() || c == '_')
+        {
+            continue;
+        }
+        // Strip a qualifying module path (`std::sync::atomic::`), then the
+        // type annotation's `:` must be what precedes the type.
+        let mut b = abs;
+        while b > 0 && (bytes[b - 1].is_ascii_alphanumeric() || bytes[b - 1] == b'_' || bytes[b - 1] == b':')
+        {
+            b -= 1;
+        }
+        // The path walk consumes the annotation colon too (`hits: Atomic…`
+        // walks back over `: `-less `std::…` only, stopping at the space),
+        // so look at what the remaining prefix ends with.
+        let prefix = code[..b].trim_end();
+        if prefix.ends_with(':') && !prefix.ends_with("::") {
+            return true;
+        }
+    }
+    false
 }
 
 fn brace_delta(line: &str) -> i64 {
@@ -461,6 +523,7 @@ mod tests {
         assert!(rules.contains(&"raw-lock"), "fixture must trip raw-lock: {rules:?}");
         assert!(rules.contains(&"safety"), "fixture must trip safety: {rules:?}");
         assert!(rules.contains(&"sleep"), "fixture must trip sleep: {rules:?}");
+        assert!(rules.contains(&"raw-counter"), "fixture must trip raw-counter: {rules:?}");
     }
 
     #[test]
@@ -481,6 +544,31 @@ mod tests {
         // Suppression with a reason is honored.
         let sup = "fn f() {\n    for p in 0..n {\n        // lint: allow(pin-in-loop) boundary repin\n        let g = pool.pin(key);\n    }\n}\n";
         assert!(lint_str("crates/core/src/datavec/paged.rs", sup).is_empty());
+    }
+
+    #[test]
+    fn raw_counter_flagged_outside_obs_and_check() {
+        let field = "pub struct S {\n    hits: AtomicU64,\n}\n";
+        let v = lint_str("crates/storage/src/pool.rs", field);
+        assert_eq!(v.len(), 1);
+        assert_eq!(v[0].rule, "raw-counter");
+        assert_eq!(v[0].line, 2);
+        let stat = "static HITS: AtomicU64 = AtomicU64::new(0);\n";
+        assert_eq!(lint_str("crates/bench/src/lib.rs", stat).len(), 1);
+        // The obs and check crates implement the primitives themselves.
+        assert!(lint_str("crates/obs/src/hist.rs", field).is_empty());
+        assert!(lint_str("crates/check/src/sched.rs", stat).is_empty());
+        // A struct-literal constructor is not a second declaration.
+        let ctor = "fn f() { S { hits: AtomicU64::new(0) } }\n";
+        assert!(lint_str("crates/storage/src/pool.rs", ctor).is_empty());
+        // Qualified declarations are caught; a `use` import alone is not.
+        let qualified = "pub struct S {\n    hits: std::sync::atomic::AtomicU64,\n}\n";
+        assert_eq!(lint_str("crates/table/src/table.rs", qualified).len(), 1);
+        let import = "use std::sync::atomic::AtomicU64;\n";
+        assert!(lint_str("crates/storage/src/pool.rs", import).is_empty());
+        // Non-metric atomics are suppressible with a reason.
+        let sup = "pub struct S {\n    // lint: allow(raw-counter) id allocator, not a metric\n    next_id: AtomicU64,\n}\n";
+        assert!(lint_str("crates/storage/src/pool.rs", sup).is_empty());
     }
 
     #[test]

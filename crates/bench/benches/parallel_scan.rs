@@ -111,6 +111,10 @@ fn metrics_delta(after: PoolMetrics, before: PoolMetrics) -> PoolMetrics {
         load_waits: after.load_waits - before.load_waits,
         contended: after.contended - before.contended,
         prefetches: after.prefetches - before.prefetches,
+        load_retries: after.load_retries - before.load_retries,
+        load_faults: after.load_faults - before.load_faults,
+        quarantine_inserts: after.quarantine_inserts - before.quarantine_inserts,
+        quarantine_fail_fast: after.quarantine_fail_fast - before.quarantine_fail_fast,
     }
 }
 

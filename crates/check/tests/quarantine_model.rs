@@ -1,0 +1,273 @@
+//! Model checks of the quarantine/retry state machine.
+//!
+//! `MiniQuarantinePool` ports `payg-storage::pool`'s *failure* paths onto
+//! the modeled primitives: the single-flight load whose loader may fail,
+//! the failure broadcast that wakes waiters with an error (never a
+//! published frame), the per-key quarantine entry whose TTL is measured in
+//! fail-fast pins, and the retry-the-store transition when the entry
+//! drains. The checker explores interleavings of these paths and proves:
+//!
+//! * a quarantined key is **never** simultaneously resident,
+//! * a failed load never strands a `Loading` placeholder (no stuck
+//!   waiters — every schedule terminates),
+//! * fail-fast pins **never** touch the store,
+//! * once the entry drains and the store heals, the next pins reload the
+//!   page and see correct bytes.
+
+use payg_check::sync::{Condvar, Mutex};
+use payg_check::{thread, Checker};
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+const BOUND: usize = 2000;
+const KEY: u32 = 7;
+
+fn page_byte(key: u32) -> u8 {
+    key as u8 ^ 0x5A
+}
+
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+enum PinOutcome {
+    Resident(u8),
+    /// Served from quarantine without a store read.
+    FailFast,
+    /// This pin was the elected loader and its read failed.
+    LoadFailed,
+    /// This pin waited on a load that failed.
+    WaitFailed,
+}
+
+impl PinOutcome {
+    fn is_err(self) -> bool {
+        !matches!(self, PinOutcome::Resident(_))
+    }
+}
+
+struct LoadState {
+    /// `None` = in flight, `Some(true)` = published, `Some(false)` = failed.
+    outcome: Mutex<Option<bool>>,
+    cv: Condvar,
+}
+
+enum Slot {
+    Loading(Arc<LoadState>),
+    Resident(u8),
+}
+
+struct State {
+    map: BTreeMap<u32, Slot>,
+    /// key → fail-fast pins left before the store is retried.
+    quarantine: BTreeMap<u32, usize>,
+}
+
+/// The store: the first `fail_first` reads fail (sticky corruption),
+/// everything after succeeds (the medium was replaced).
+struct StoreSim {
+    reads: usize,
+    fail_first: usize,
+}
+
+struct MiniQuarantinePool {
+    state: Mutex<State>,
+    store: Mutex<StoreSim>,
+    ttl: usize,
+}
+
+impl MiniQuarantinePool {
+    fn new(fail_first: usize, ttl: usize) -> Self {
+        MiniQuarantinePool {
+            state: Mutex::new(State { map: BTreeMap::new(), quarantine: BTreeMap::new() }),
+            store: Mutex::new(StoreSim { reads: 0, fail_first }),
+            ttl,
+        }
+    }
+
+    fn reads(&self) -> usize {
+        self.store.lock().reads
+    }
+
+    fn resident(&self, key: u32) -> bool {
+        matches!(self.state.lock().map.get(&key), Some(Slot::Resident(_)))
+    }
+
+    fn quarantined(&self, key: u32) -> bool {
+        self.state.lock().quarantine.contains_key(&key)
+    }
+
+    /// The store read, outside the state lock — exactly where the real
+    /// pool's `load_frame` does its I/O.
+    fn read_store(&self) -> bool {
+        let mut s = self.store.lock();
+        s.reads += 1;
+        s.reads > s.fail_first
+    }
+
+    /// `BufferPool::pin`'s failure-path protocol: quarantine gate, then
+    /// single-flight with failure broadcast and quarantine insertion.
+    fn pin(&self, key: u32) -> PinOutcome {
+        loop {
+            enum Action {
+                Load(Arc<LoadState>),
+                Wait(Arc<LoadState>),
+            }
+            let action = {
+                let mut st = self.state.lock();
+                if st.quarantine.contains_key(&key) {
+                    assert!(
+                        !matches!(st.map.get(&key), Some(Slot::Resident(_))),
+                        "quarantined key is resident"
+                    );
+                    let left = st.quarantine.get_mut(&key).unwrap();
+                    *left -= 1;
+                    if *left == 0 {
+                        st.quarantine.remove(&key);
+                    }
+                    return PinOutcome::FailFast;
+                }
+                match st.map.get(&key) {
+                    Some(Slot::Resident(byte)) => return PinOutcome::Resident(*byte),
+                    Some(Slot::Loading(ls)) => Action::Wait(Arc::clone(ls)),
+                    None => {
+                        let ls =
+                            Arc::new(LoadState { outcome: Mutex::new(None), cv: Condvar::new() });
+                        st.map.insert(key, Slot::Loading(Arc::clone(&ls)));
+                        Action::Load(ls)
+                    }
+                }
+            };
+            match action {
+                Action::Load(ls) => {
+                    let ok = self.read_store();
+                    {
+                        let mut st = self.state.lock();
+                        let removed = st.map.remove(&key);
+                        assert!(
+                            matches!(removed, Some(Slot::Loading(_))),
+                            "loader's placeholder was stolen"
+                        );
+                        if ok {
+                            assert!(
+                                !st.quarantine.contains_key(&key),
+                                "published a frame for a quarantined key"
+                            );
+                            st.map.insert(key, Slot::Resident(page_byte(key)));
+                        } else {
+                            let prev = st.quarantine.insert(key, self.ttl);
+                            assert!(prev.is_none(), "double quarantine insert for one failure");
+                        }
+                    }
+                    *ls.outcome.lock() = Some(ok);
+                    ls.cv.notify_all();
+                    return if ok {
+                        PinOutcome::Resident(page_byte(key))
+                    } else {
+                        PinOutcome::LoadFailed
+                    };
+                }
+                Action::Wait(ls) => {
+                    let failed = {
+                        let mut o = ls.outcome.lock();
+                        while o.is_none() {
+                            ls.cv.wait(&mut o);
+                        }
+                        *o == Some(false)
+                    };
+                    if failed {
+                        return PinOutcome::WaitFailed;
+                    }
+                    // Published: retry the map (it may have been evicted or
+                    // re-quarantined since — the loop re-decides).
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn failed_load_quarantines_and_wakes_waiters_under_all_interleavings() {
+    // The store never heals: every pin must fail with a typed outcome, the
+    // store must be read exactly once per elected loader, and no schedule
+    // may deadlock a waiter.
+    let report = Checker::exhaustive().max_iterations(BOUND).check(|| {
+        let pool = Arc::new(MiniQuarantinePool::new(usize::MAX, 2));
+        let outcomes: Vec<PinOutcome> = (0..3)
+            .map(|_| {
+                let p = Arc::clone(&pool);
+                thread::spawn(move || p.pin(KEY))
+            })
+            .collect::<Vec<_>>()
+            .into_iter()
+            .map(|t| t.join().expect("model thread"))
+            .collect();
+        assert!(outcomes.iter().all(|o| o.is_err()), "a dead store produced a frame");
+        let loads = outcomes.iter().filter(|o| matches!(o, PinOutcome::LoadFailed)).count();
+        assert!(loads >= 1, "someone was elected loader");
+        assert_eq!(pool.reads(), loads, "exactly one store read per elected loader");
+        assert!(!pool.resident(KEY), "failed key must not be resident");
+    });
+    assert!(report.failure.is_none(), "unexpected failure: {:?}", report.failure);
+    assert!(
+        report.iterations >= 1000,
+        "expected >= 1000 distinct interleavings, got {}",
+        report.iterations
+    );
+}
+
+#[test]
+fn fail_fast_pins_never_touch_the_store() {
+    // With an entry already in quarantine (TTL 3), two racing pins must
+    // both be served from it — zero additional store reads, under every
+    // interleaving.
+    let report = Checker::exhaustive().max_iterations(BOUND).check(|| {
+        let pool = Arc::new(MiniQuarantinePool::new(usize::MAX, 3));
+        assert_eq!(pool.pin(KEY), PinOutcome::LoadFailed, "seeding pin quarantines");
+        assert_eq!(pool.reads(), 1);
+        let threads: Vec<_> = (0..2)
+            .map(|_| {
+                let p = Arc::clone(&pool);
+                thread::spawn(move || p.pin(KEY))
+            })
+            .collect();
+        for t in threads {
+            assert_eq!(t.join().expect("model thread"), PinOutcome::FailFast);
+        }
+        assert_eq!(pool.reads(), 1, "fail-fast pins reached the store");
+        assert!(pool.quarantined(KEY), "TTL 3 outlives 2 fail-fast pins");
+    });
+    assert!(report.failure.is_none(), "unexpected failure: {:?}", report.failure);
+    assert!(report.exhausted, "state space should be fully explored");
+}
+
+#[test]
+fn drained_quarantine_retries_the_store_and_heals() {
+    // The store fails exactly once; TTL is 1. Whatever two racing pins do
+    // (load-fail vs fail-fast vs wait-fail), the parent must reach a
+    // correct resident frame within three more pins, and the quarantine
+    // must be empty with the frame resident — never both states at once.
+    let report = Checker::exhaustive().max_iterations(BOUND).check(|| {
+        let pool = Arc::new(MiniQuarantinePool::new(1, 1));
+        let threads: Vec<_> = (0..2)
+            .map(|_| {
+                let p = Arc::clone(&pool);
+                thread::spawn(move || p.pin(KEY))
+            })
+            .collect();
+        for t in threads {
+            t.join().expect("model thread");
+        }
+        let healed = (0..3).find_map(|_| match pool.pin(KEY) {
+            PinOutcome::Resident(byte) => Some(byte),
+            _ => None,
+        });
+        assert_eq!(healed, Some(page_byte(KEY)), "drained quarantine must retry and heal");
+        assert!(pool.resident(KEY));
+        assert!(!pool.quarantined(KEY), "healed key still quarantined");
+        assert_eq!(pool.reads(), 2, "one failing read, one healing read, nothing else");
+    });
+    assert!(report.failure.is_none(), "unexpected failure: {:?}", report.failure);
+    assert!(
+        report.iterations >= 1000,
+        "expected >= 1000 distinct interleavings, got {}",
+        report.iterations
+    );
+}

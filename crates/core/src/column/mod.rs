@@ -162,15 +162,15 @@ impl Column {
                 paged::IndexSlot::Adaptive { threshold, searches: Default::default(), built }
             }
             t => {
-                return Err(CoreError::Storage(StorageError::Corrupt(format!(
+                return Err(CoreError::Storage(StorageError::corrupt(format!(
                     "catalog: unknown index tag {t}"
                 ))))
             }
         };
         r.expect_end()?;
         if data.len() != len || dict.cardinality() != cardinality {
-            return Err(CoreError::Storage(StorageError::Corrupt(
-                "catalog: column metadata inconsistent with structures".into(),
+            return Err(CoreError::Storage(StorageError::corrupt(
+                "catalog: column metadata inconsistent with structures",
             )));
         }
         let parts = Arc::new(paged::ColumnParts {
@@ -187,7 +187,7 @@ impl Column {
             1 => Column::Paged(PagedColumn::new(parts)),
             0 => Column::Resident(ResidentColumn::new(parts, disposition)),
             t => {
-                return Err(CoreError::Storage(StorageError::Corrupt(format!(
+                return Err(CoreError::Storage(StorageError::corrupt(format!(
                     "catalog: unknown policy tag {t}"
                 ))))
             }
@@ -211,7 +211,7 @@ fn data_type_from(t: u8) -> CoreResult<DataType> {
         2 => DataType::Double,
         3 => DataType::Varchar,
         _ => {
-            return Err(CoreError::Storage(StorageError::Corrupt(format!(
+            return Err(CoreError::Storage(StorageError::corrupt(format!(
                 "catalog: unknown data type tag {t}"
             ))))
         }
@@ -240,7 +240,7 @@ pub fn disposition_from(t: u8) -> CoreResult<Disposition> {
         4 => Disposition::Temporary,
         5 => Disposition::PagedAttribute,
         _ => {
-            return Err(CoreError::Storage(StorageError::Corrupt(format!(
+            return Err(CoreError::Storage(StorageError::corrupt(format!(
                 "catalog: unknown disposition tag {t}"
             ))))
         }

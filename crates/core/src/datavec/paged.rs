@@ -79,7 +79,7 @@ impl PagedDataVector {
             let per_chunk = bytes_per_chunk(width);
             let cpp = config.datavec_page / per_chunk;
             if cpp == 0 {
-                return Err(CoreError::Storage(StorageError::Corrupt(format!(
+                return Err(CoreError::Storage(StorageError::corrupt(format!(
                     "data-vector page of {} bytes cannot hold one chunk at {width} ({per_chunk} bytes)",
                     config.datavec_page
                 ))));
@@ -262,8 +262,8 @@ impl PagedDataVector {
         }
         r.expect_end()?;
         if summaries.len() as u64 != chain.pages {
-            return Err(CoreError::Storage(StorageError::Corrupt(
-                "data-vector summaries do not match page count".into(),
+            return Err(CoreError::Storage(StorageError::corrupt(
+                "data-vector summaries do not match page count",
             )));
         }
         Ok(PagedDataVector {
@@ -660,6 +660,16 @@ impl PagedDataVectorIterator<'_> {
             }
         }
         Ok(())
+    }
+
+    /// Credits one page pruned by an *outer* driver: the parallel scan
+    /// workers consult the same page summaries before asking this iterator
+    /// for a per-page range, so pages they skip never reach
+    /// [`Self::search`]. Folding them in here keeps `pages_pruned` (and the
+    /// registry's `scan_pages_pruned` counter, flushed on drop) identical
+    /// across sequential and parallel scans of the same range.
+    pub(crate) fn note_pruned(&mut self) {
+        self.profile.pages_pruned += 1;
     }
 
     /// Records the bit width the specialized kernels dispatched on, in both

@@ -10,6 +10,11 @@
 //! while the current one is being scanned.
 //! Per-segment results are concatenated in partition order, which makes the
 //! output bit-identical to the sequential scan.
+//!
+//! Faults abort cooperatively: workers poll a shared cancellation flag at
+//! every page boundary, the first failing worker raises it, and the scan
+//! surfaces one [`CoreError::ScanAborted`] naming the failing (chain, page)
+//! while the remaining workers stop instead of finishing doomed partitions.
 
 use crate::datavec::PagedDataVector;
 use crate::{CoreError, CoreResult};
@@ -17,6 +22,7 @@ use payg_encoding::chunk::CHUNK_LEN;
 use payg_encoding::{scan, BitPackedVec, VidSet};
 use payg_obs::ScanProfile;
 use payg_storage::Prefetcher;
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::time::Instant;
 
 /// How a scan may parallelize.
@@ -114,19 +120,38 @@ pub fn scan_partitions(
     parts
 }
 
-/// Scans one partition with a private repositioning iterator (one pin) and,
-/// when enabled, a private read-ahead slot for the next surviving page.
+/// Wraps a worker's failure in [`CoreError::ScanAborted`], naming the page
+/// the scan died on. Storage errors that carry their own page address
+/// (checksum mismatches, quarantine hits, failed single-flight loads) name
+/// it directly; anything else is attributed to the page the worker was
+/// scanning when the error surfaced.
+fn scan_abort(vec: &PagedDataVector, page_no: u64, source: CoreError) -> CoreError {
+    let key = match &source {
+        CoreError::Storage(e) => e.page_key().unwrap_or_else(|| vec.page_key(page_no)),
+        _ => vec.page_key(page_no),
+    };
+    CoreError::ScanAborted { chain: key.chain.0, page_no: key.page_no, source: Box::new(source) }
+}
+
+/// Scans one partition page by page with a private repositioning iterator
+/// (one pin) and, when enabled, a private read-ahead slot for the next
+/// surviving page. Before each page the worker polls the scan-wide `cancel`
+/// flag — first error wins: the worker that hits a bad page raises the flag
+/// and returns [`CoreError::ScanAborted`] naming it, and every other worker
+/// quits at its next page boundary instead of finishing doomed work.
 /// Returns the matches alongside the worker's own [`ScanProfile`].
 fn scan_partition_worker(
     vec: &PagedDataVector,
     part: ScanPartition,
     set: &VidSet,
     prefetch: bool,
+    cancel: &AtomicBool,
 ) -> CoreResult<(Vec<u64>, ScanProfile)> {
     let mut out = Vec::new();
     let rpp = vec.rows_per_page();
     let mut it = vec.iter();
-    if !prefetch || rpp == 0 {
+    if rpp == 0 {
+        // Width 0: no pages exist, the scan is pure arithmetic.
         it.search(part.from, part.to, set, &mut out)?;
         return Ok((out, it.profile()));
     }
@@ -140,24 +165,70 @@ fn scan_partition_worker(
     let first = part.from / rpp;
     let last = (part.to - 1) / rpp;
     for page in first..=last {
+        if cancel.load(Ordering::Relaxed) {
+            break;
+        }
         if !survives(page) {
+            // Credit the pruned page to the iterator so profiles (and the
+            // registry's scan counters) match the sequential scan's.
+            it.note_pruned();
             continue;
         }
         // Read ahead: start loading the next surviving page before scanning
         // this one, so the store latency overlaps the predicate work. The
         // pool's single-flight load states make our later pin join that load
         // instead of duplicating it.
-        if let Some(next) = (page + 1..=last).find(|&p| survives(p)) {
-            let key = vec.page_key(next);
-            if !vec.pool().is_resident(key) {
-                slot.get_or_insert_with(|| vec.pool().prefetcher()).request(key);
+        if prefetch {
+            if let Some(next) = (page + 1..=last).find(|&p| survives(p)) {
+                let key = vec.page_key(next);
+                if !vec.pool().is_resident(key) {
+                    slot.get_or_insert_with(|| vec.pool().prefetcher()).request(key);
+                }
             }
         }
         let lo = part.from.max(page * rpp);
         let hi = part.to.min((page + 1) * rpp);
-        it.search(lo, hi, set, &mut out)?;
+        if let Err(e) = it.search(lo, hi, set, &mut out) {
+            cancel.store(true, Ordering::Relaxed);
+            return Err(scan_abort(vec, page, e));
+        }
     }
     Ok((out, it.profile()))
+}
+
+/// [`scan_partition_worker`]'s COUNT twin: popcounts one partition page by
+/// page, polling `cancel` at every page boundary. Page-summary pruning
+/// happens inside [`crate::datavec::PagedDataVectorIterator::count`], which
+/// sees each page's full chunk run.
+fn count_partition_worker(
+    vec: &PagedDataVector,
+    part: ScanPartition,
+    set: &VidSet,
+    cancel: &AtomicBool,
+) -> CoreResult<u64> {
+    let rpp = vec.rows_per_page();
+    let mut it = vec.iter();
+    if rpp == 0 {
+        return it.count(part.from, part.to, set);
+    }
+    let mut total = 0u64;
+    let first = part.from / rpp;
+    let last = (part.to - 1) / rpp;
+    for page in first..=last {
+        if cancel.load(Ordering::Relaxed) {
+            break;
+        }
+        let lo = part.from.max(page * rpp);
+        let hi = part.to.min((page + 1) * rpp);
+        match it.count(lo, hi, set) {
+            Ok(n) => total += n,
+            Err(e) => {
+                cancel.store(true, Ordering::Relaxed);
+                return Err(scan_abort(vec, page, e));
+            }
+        }
+    }
+    Ok(total)
 }
 
 impl PagedDataVector {
@@ -165,7 +236,8 @@ impl PagedDataVector {
     /// [`crate::datavec::PagedDataVectorIterator::search`] over the same
     /// range, computed by up to `opts.workers` segment workers. Each worker
     /// holds one pinned page (plus one read-ahead slot when enabled); pruned
-    /// pages are skipped before partitioning.
+    /// pages are skipped before partitioning. A failing page aborts the
+    /// whole scan with [`CoreError::ScanAborted`] — see the module docs.
     pub fn par_search(
         &self,
         from: u64,
@@ -219,10 +291,13 @@ impl PagedDataVector {
                 }
             }
             let parts = scan_partitions(self, from, to, Some(set), workers);
+            let cancel = AtomicBool::new(false);
+            let cancel = &cancel;
             match parts.as_slice() {
                 [] => {}
                 [only] => {
-                    let (segment, p) = scan_partition_worker(self, *only, set, opts.prefetch)?;
+                    let (segment, p) =
+                        scan_partition_worker(self, *only, set, opts.prefetch, cancel)?;
                     out = segment;
                     profile = p;
                 }
@@ -230,7 +305,9 @@ impl PagedDataVector {
                     let handles: Vec<_> = many
                         .iter()
                         .map(|&part| {
-                            s.spawn(move || scan_partition_worker(self, part, set, opts.prefetch))
+                            s.spawn(move || {
+                                scan_partition_worker(self, part, set, opts.prefetch, cancel)
+                            })
                         })
                         .collect();
                     // Joining in partition order keeps the concatenation
@@ -276,13 +353,15 @@ impl PagedDataVector {
         }
         let workers = opts.workers.max(1);
         let parts = scan_partitions(self, from, to, Some(set), workers);
+        let cancel = AtomicBool::new(false);
+        let cancel = &cancel;
         match parts.as_slice() {
             [] => Ok(0),
-            [only] => self.iter().count(only.from, only.to, set),
+            [only] => count_partition_worker(self, *only, set, cancel),
             many => std::thread::scope(|s| {
                 let handles: Vec<_> = many
                     .iter()
-                    .map(|&part| s.spawn(move || self.iter().count(part.from, part.to, set)))
+                    .map(|&part| s.spawn(move || count_partition_worker(self, part, set, cancel)))
                     .collect();
                 let mut total = 0u64;
                 for h in handles {
@@ -355,7 +434,9 @@ mod tests {
     use super::*;
     use crate::PageConfig;
     use payg_resman::ResourceManager;
-    use payg_storage::{BufferPool, MemStore};
+    use payg_storage::{
+        BufferPool, FaultPlan, FaultyStore, MemStore, PageKey, PageStore, PoolConfig, RetryPolicy,
+    };
     use std::sync::Arc;
 
     fn sample(len: usize, card: u64, seed: u64) -> Vec<u64> {
@@ -467,6 +548,86 @@ mod tests {
                     );
                 }
             }
+        }
+    }
+
+    /// A paged vector over a [`FaultyStore`] with retries disabled, so one
+    /// injected fault surfaces on the first pin.
+    fn build_faulty(values: &[u64]) -> (Arc<FaultyStore<MemStore>>, BufferPool, PagedDataVector) {
+        let store = Arc::new(FaultyStore::new(MemStore::new(), FaultPlan::None));
+        let pool = BufferPool::with_config(
+            Arc::clone(&store) as Arc<dyn PageStore>,
+            ResourceManager::new(),
+            PoolConfig { retry: RetryPolicy::NONE, ..PoolConfig::default() },
+        );
+        let packed = BitPackedVec::from_values(values);
+        let paged = PagedDataVector::build(&pool, &PageConfig::tiny(), &packed).unwrap();
+        (store, pool, paged)
+    }
+
+    #[test]
+    fn bad_page_aborts_the_parallel_scan_naming_its_address() {
+        let values = sample(4000, 500, 21);
+        let (store, pool, paged) = build_faulty(&values);
+        assert!(paged.pages() > 4, "enough pages for a real fan-out");
+        let bad = PageKey::new(paged.page_key(0).chain, 2);
+        store.set_plan(FaultPlan::CorruptPages(vec![bad]));
+        let set = VidSet::range(0, 499); // nothing prunes: every worker reads
+        for prefetch in [false, true] {
+            pool.clear();
+            pool.clear_quarantine();
+            let err = paged
+                .par_search(0, 4000, &set, ScanOptions { workers: 4, prefetch })
+                .map(|_| ())
+                .unwrap_err();
+            match err {
+                CoreError::ScanAborted { chain, page_no, source } => {
+                    assert_eq!((chain, page_no), (bad.chain.0, bad.page_no), "prefetch={prefetch}");
+                    assert!(
+                        matches!(*source, CoreError::Storage(_)),
+                        "abort wraps the storage failure: {source}"
+                    );
+                }
+                other => panic!("expected ScanAborted, got: {other}"),
+            }
+        }
+        let err = paged.par_count(0, 4000, &set, ScanOptions::with_workers(4)).unwrap_err();
+        assert!(
+            matches!(err, CoreError::ScanAborted { page_no: 2, .. }),
+            "count aborts the same way: {err}"
+        );
+        pool.assert_no_live_pins("after aborted parallel scans");
+        // Recovery: with the fault cleared and the quarantine drained, the
+        // same scan completes and matches the sequential result.
+        store.set_plan(FaultPlan::None);
+        pool.clear_quarantine();
+        let mut seq = Vec::new();
+        paged.iter().search(0, 4000, &set, &mut seq).unwrap();
+        let par = paged.par_search(0, 4000, &set, ScanOptions::with_workers(4)).unwrap();
+        assert_eq!(par, seq);
+    }
+
+    #[test]
+    fn worker_side_pruning_is_credited_to_the_profile() {
+        // Clustered values: only the first and last pages survive a
+        // {0, max} predicate, so every interior page is pruned — by the
+        // iterator in a sequential scan, by the worker loop in a parallel
+        // one. Both must report the same pages_pruned.
+        let values: Vec<u64> = (0..4096u64).map(|i| i / 16).collect();
+        let (_pool, paged, _) = build(&values);
+        let set = VidSet::from_vids(vec![0, 255]);
+        let mut seq = Vec::new();
+        let mut it = paged.iter();
+        it.search(0, 4096, &set, &mut seq).unwrap();
+        let seq_pruned = it.profile().pages_pruned;
+        drop(it);
+        assert!(seq_pruned > 0, "interior pages were pruned");
+        for prefetch in [false, true] {
+            let (out, profile) = paged
+                .par_search_profiled(0, 4096, &set, ScanOptions { workers: 1, prefetch })
+                .unwrap();
+            assert_eq!(out, seq, "prefetch={prefetch}");
+            assert_eq!(profile.pages_pruned, seq_pruned, "prefetch={prefetch}");
         }
     }
 

@@ -90,13 +90,13 @@ struct PageTransient {
 impl PageTransient {
     fn parse(bytes: &[u8]) -> Result<(PageTransient, usize), StorageError> {
         if bytes.len() < 12 {
-            return Err(StorageError::Corrupt("dictionary page shorter than header".into()));
+            return Err(StorageError::corrupt("dictionary page shorter than header"));
         }
         let first_idx = crate::util::le_u64(&bytes[0..8]);
         let nblocks = crate::util::le_u32(&bytes[8..12]) as usize;
         let need = 12 + nblocks * 4;
         if nblocks == 0 || bytes.len() < need {
-            return Err(StorageError::Corrupt(format!(
+            return Err(StorageError::corrupt(format!(
                 "dictionary page header claims {nblocks} blocks but page has {} bytes",
                 bytes.len()
             )));
@@ -105,7 +105,7 @@ impl PageTransient {
         for i in 0..nblocks {
             let off = crate::util::le_u32(&bytes[12 + i * 4..16 + i * 4]);
             if (off as usize) < need || off as usize >= bytes.len() {
-                return Err(StorageError::Corrupt(format!("block offset {off} out of page")));
+                return Err(StorageError::corrupt(format!("block offset {off} out of page")));
             }
             offsets.push(off);
         }
@@ -389,7 +389,7 @@ impl PagedDictionary {
         let guard = cache.pin(PageKey::new(self.meta.dict_chain.chain, dict_page))?;
         let t = page_transient(&guard)?;
         if vid < t.first_idx {
-            return Err(CoreError::Storage(StorageError::Corrupt(format!(
+            return Err(CoreError::Storage(StorageError::corrupt(format!(
                 "vid {vid} routed to dictionary page {dict_page} starting at {}",
                 t.first_idx
             ))));
@@ -397,14 +397,14 @@ impl PagedDictionary {
         let idx = (vid - t.first_idx) as usize;
         let (block_no, slot) = (idx / BLOCK_CAP, idx % BLOCK_CAP);
         if block_no >= t.offsets.len() {
-            return Err(CoreError::Storage(StorageError::Corrupt(format!(
+            return Err(CoreError::Storage(StorageError::corrupt(format!(
                 "vid {vid} maps to block {block_no} of {} on page {dict_page}",
                 t.offsets.len()
             ))));
         }
         let block = parse_block_view(&guard, t.offsets[block_no])?;
         if slot >= block.len() {
-            return Err(CoreError::Storage(StorageError::Corrupt(format!(
+            return Err(CoreError::Storage(StorageError::corrupt(format!(
                 "vid {vid} maps to slot {slot} of a {}-entry block",
                 block.len()
             ))));
@@ -506,7 +506,7 @@ impl PagedDictionary {
             }
         }
         if keys.len() as u64 != self.meta.cardinality {
-            return Err(CoreError::Storage(StorageError::Corrupt(format!(
+            return Err(CoreError::Storage(StorageError::corrupt(format!(
                 "dictionary chain materialized {} keys, expected {}",
                 keys.len(),
                 self.meta.cardinality
@@ -729,7 +729,7 @@ fn choose_inline(
         if inline >= over {
             inline -= over;
         } else {
-            return Err(CoreError::Storage(StorageError::Corrupt(format!(
+            return Err(CoreError::Storage(StorageError::corrupt(format!(
                 "dictionary page of {} bytes cannot hold a 16-entry block: a {}-byte value \
                  needs {nptr} overflow pointers with {}-byte overflow pages; raise dict_page \
                  or overflow_page",
@@ -775,7 +775,7 @@ impl PageAssembler {
             flushed = Some(self.assemble());
         }
         if PAGE_HEADER + extra > self.page_size {
-            return Err(CoreError::Storage(StorageError::Corrupt(format!(
+            return Err(CoreError::Storage(StorageError::corrupt(format!(
                 "value block of {} bytes exceeds page size {}",
                 block.len(),
                 self.page_size

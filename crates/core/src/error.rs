@@ -31,6 +31,18 @@ pub enum CoreError {
         /// The offered value's type.
         got: crate::DataType,
     },
+    /// A parallel scan stopped on its first failing page. The address names
+    /// the page whose load or read failed; the remaining workers observed
+    /// the shared cancellation flag and quit without finishing their
+    /// partitions, so no partial result is returned.
+    ScanAborted {
+        /// The chain the failing page belongs to.
+        chain: u64,
+        /// Zero-based page number within the chain.
+        page_no: u64,
+        /// The failure that triggered the abort.
+        source: Box<CoreError>,
+    },
 }
 
 impl std::fmt::Display for CoreError {
@@ -47,6 +59,9 @@ impl std::fmt::Display for CoreError {
             CoreError::TypeMismatch { expected, got } => {
                 write!(f, "type mismatch: column is {expected:?}, value is {got:?}")
             }
+            CoreError::ScanAborted { chain, page_no, source } => {
+                write!(f, "scan aborted at chain {chain} page {page_no}: {source}")
+            }
         }
     }
 }
@@ -56,6 +71,7 @@ impl std::error::Error for CoreError {
         match self {
             CoreError::Storage(e) => Some(e),
             CoreError::Encoding(e) => Some(e),
+            CoreError::ScanAborted { source, .. } => Some(source.as_ref()),
             _ => None,
         }
     }

@@ -85,7 +85,7 @@ impl PagedInvertedIndex {
         let post_cpp = page.checked_div(bpc_p).unwrap_or(0) as u64;
         let dir_cpp = page.checked_div(bpc_d).unwrap_or(0) as u64;
         if (wp.bits() > 0 && post_cpp == 0) || (dir.is_some() && dir_cpp == 0) {
-            return Err(CoreError::Storage(payg_storage::StorageError::Corrupt(format!(
+            return Err(CoreError::Storage(payg_storage::StorageError::corrupt(format!(
                 "index page of {page} bytes cannot hold one chunk at {wp}/{wd}"
             ))));
         }

@@ -62,7 +62,7 @@ pub struct MetaReader<'a> {
 }
 
 fn corrupt(what: &str) -> CoreError {
-    CoreError::Storage(StorageError::Corrupt(format!("catalog: {what}")))
+    CoreError::Storage(StorageError::corrupt(format!("catalog: {what}")))
 }
 
 impl<'a> MetaReader<'a> {

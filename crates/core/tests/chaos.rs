@@ -1,0 +1,159 @@
+//! Chaos scans: seeded fault storms through the full scan stack — paged
+//! vector → parallel workers → buffer pool → faulty store.
+//!
+//! The trichotomy under test: a scan returns the *correct* rows, or one
+//! clean [`CoreError::ScanAborted`] naming the failing page — never a
+//! panic, a wrong partial result, a leaked pin, or a wedged pool. A
+//! failing seed reproduces with
+//! `PAYG_CHAOS_SEED=<seed> cargo test -p payg-core --test chaos`.
+
+use payg_core::datavec::{PagedDataVector, ScanOptions};
+use payg_core::{CoreError, PageConfig};
+use payg_encoding::{BitPackedVec, VidSet};
+use payg_resman::ResourceManager;
+use payg_storage::{
+    BufferPool, FaultPlan, FaultyStore, FileStore, MemStore, PageStore, PoolConfig,
+};
+use std::sync::Arc;
+
+const ROWS: usize = 6000;
+const CARD: u64 = 97;
+
+fn chaos_seeds() -> Vec<u64> {
+    match std::env::var("PAYG_CHAOS_SEED") {
+        Ok(s) => vec![s.parse().expect("PAYG_CHAOS_SEED must be a u64")],
+        Err(_) => vec![1, 2, 3, 4],
+    }
+}
+
+fn sample(len: usize, card: u64, seed: u64) -> Vec<u64> {
+    (0..len as u64)
+        .map(|i| {
+            seed.wrapping_mul(0x9E37_79B9_7F4A_7C15)
+                .wrapping_add(i)
+                .wrapping_mul(0xBF58_476D_1CE4_E5B9)
+                % card
+        })
+        .collect()
+}
+
+/// Either the exact expected rows, or one typed abort naming a page of the
+/// vector's chain — nothing else.
+fn audit_search(
+    seed: u64,
+    result: Result<Vec<u64>, CoreError>,
+    expected: &[u64],
+    chain: u64,
+    pages: u64,
+) {
+    match result {
+        Ok(rows) => assert_eq!(rows, expected, "seed {seed}: an Ok scan must be exact"),
+        Err(CoreError::ScanAborted { chain: c, page_no, source }) => {
+            assert_eq!(c, chain, "seed {seed}: abort names the scanned chain");
+            assert!(page_no < pages, "seed {seed}: abort names a real page ({page_no})");
+            assert!(
+                matches!(*source, CoreError::Storage(_)),
+                "seed {seed}: abort wraps the storage fault, got {source}"
+            );
+        }
+        Err(other) => panic!("seed {seed}: unexpected scan error shape: {other}"),
+    }
+}
+
+#[test]
+fn seeded_scan_storms_land_in_the_trichotomy() {
+    let values = sample(ROWS, CARD, 7);
+    let store = Arc::new(FaultyStore::new(MemStore::new(), FaultPlan::None));
+    let pool = BufferPool::with_config(
+        Arc::clone(&store) as Arc<dyn PageStore>,
+        ResourceManager::new(),
+        PoolConfig { sleeper: Arc::new(|_| {}), quarantine_ttl: 3, ..PoolConfig::default() },
+    );
+    let packed = BitPackedVec::from_values(&values);
+    let paged = PagedDataVector::build(&pool, &PageConfig::tiny(), &packed).unwrap();
+    let chain = paged.page_key(0).chain.0;
+    let set = VidSet::range(10, 60);
+    let expected: Vec<u64> =
+        (0..ROWS as u64).filter(|&i| set.contains(values[i as usize])).collect();
+
+    for seed in chaos_seeds() {
+        store.set_plan(FaultPlan::Seeded { seed, p_read: 0.1, p_corrupt: 0.05, p_write: 0.0 });
+        for prefetch in [false, true] {
+            pool.clear();
+            pool.clear_quarantine();
+            let opts = ScanOptions { workers: 4, prefetch };
+            audit_search(
+                seed,
+                paged.par_search(0, ROWS as u64, &set, opts),
+                &expected,
+                chain,
+                paged.pages(),
+            );
+            match paged.par_count(0, ROWS as u64, &set, opts) {
+                Ok(n) => assert_eq!(n, expected.len() as u64, "seed {seed}: Ok count is exact"),
+                Err(CoreError::ScanAborted { chain: c, .. }) => assert_eq!(c, chain),
+                Err(other) => panic!("seed {seed}: unexpected count error: {other}"),
+            }
+        }
+        // Recovery: faults lifted, quarantine drained — the same scan must
+        // come back exact. Chaos must never wedge the stack.
+        store.set_plan(FaultPlan::None);
+        pool.clear();
+        pool.clear_quarantine();
+        let rows = paged.par_search(0, ROWS as u64, &set, ScanOptions::with_workers(4)).unwrap();
+        assert_eq!(rows, expected, "seed {seed}: recovery scan");
+        pool.assert_no_live_pins("chaos scan quiesce");
+    }
+}
+
+#[test]
+fn on_disk_bit_rot_surfaces_as_a_named_scan_abort() {
+    let dir = std::env::temp_dir().join(format!("payg-scan-rot-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let values = sample(4000, 50, 9);
+    let store = Arc::new(FileStore::open(&dir).unwrap());
+    let pool =
+        BufferPool::new(Arc::clone(&store) as Arc<dyn PageStore>, ResourceManager::new());
+    let packed = BitPackedVec::from_values(&values);
+    let paged = PagedDataVector::build(&pool, &PageConfig::tiny(), &packed).unwrap();
+    let chain = paged.page_key(0).chain;
+    let set = VidSet::range(0, 49); // matches every page: nothing pruned
+    let expected: Vec<u64> =
+        (0..4000u64).filter(|&i| set.contains(values[i as usize])).collect();
+    assert_eq!(
+        paged.par_search(0, 4000, &set, ScanOptions::with_workers(4)).unwrap(),
+        expected,
+        "clean disk scans exactly"
+    );
+
+    // Flip one payload bit in the middle page's slot on disk, then force
+    // the next scan to re-read it.
+    let path = dir.join(format!("chain_{:016x}.pg", chain.0));
+    let mut bytes = std::fs::read(&path).unwrap();
+    const HEADER_LEN: usize = 16;
+    let slot_len = (bytes.len() - HEADER_LEN) / paged.pages() as usize;
+    let target = paged.pages() / 2;
+    bytes[HEADER_LEN + slot_len * target as usize + 3] ^= 0x10;
+    std::fs::write(&path, &bytes).unwrap();
+    pool.clear();
+
+    let err = paged
+        .par_search(0, 4000, &set, ScanOptions::with_workers(4))
+        .map(|_| ())
+        .unwrap_err();
+    match err {
+        CoreError::ScanAborted { chain: c, page_no, source } => {
+            assert_eq!((c, page_no), (chain.0, target), "abort names the rotten page");
+            assert!(
+                matches!(
+                    &*source,
+                    CoreError::Storage(e) if e.fault_class() == payg_storage::FaultClass::Corrupt
+                ),
+                "bit rot is a corrupt-class fault: {source}"
+            );
+        }
+        other => panic!("expected ScanAborted, got {other}"),
+    }
+    pool.assert_no_live_pins("bit rot quiesce");
+    std::fs::remove_dir_all(&dir).unwrap();
+}

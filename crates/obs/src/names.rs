@@ -26,6 +26,18 @@ pub const POOL_SHARD_HITS: &str = "pool_shard_hits";
 pub const POOL_SHARD_MISSES: &str = "pool_shard_misses";
 /// Per-shard lock-contention events (labelled `pool`, `shard`).
 pub const POOL_SHARD_CONTENDED: &str = "pool_shard_contended";
+/// Load attempts re-issued after a transient store fault (labelled `pool`).
+pub const POOL_LOAD_RETRIES: &str = "pool_load_retries";
+/// Store faults observed by the pool's load path, including ones absorbed
+/// by a successful retry (labelled `pool`, `kind` ∈ transient/corrupt/
+/// logical).
+pub const POOL_LOAD_FAULTS: &str = "pool_load_faults";
+/// Pages placed in per-shard quarantine after a permanent load failure
+/// (labelled `pool`).
+pub const POOL_QUARANTINE_INSERTS: &str = "pool_quarantine_inserts";
+/// Pins failed fast from quarantine without touching the store (labelled
+/// `pool`).
+pub const POOL_QUARANTINE_FAIL_FAST: &str = "pool_quarantine_fail_fast";
 
 /// Bytes currently registered with the resource manager (gauge).
 pub const RESMAN_TOTAL_BYTES: &str = "resman_total_bytes";

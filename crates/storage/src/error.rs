@@ -1,6 +1,14 @@
 //! Storage errors.
+//!
+//! This module is the **only** sanctioned place to construct the stringly
+//! [`StorageError::Corrupt`] variant (enforced by `xtask lint`'s
+//! `stringly-error` rule); callers elsewhere go through the
+//! [`StorageError::corrupt`] / [`StorageError::corrupt_file`] helpers so the
+//! taxonomy below stays the single source of truth for fault classification.
 
 use crate::PageKey;
+use std::path::{Path, PathBuf};
+use std::sync::Arc;
 
 /// Errors from page stores and the buffer pool.
 #[derive(Debug)]
@@ -23,10 +31,163 @@ pub enum StorageError {
         /// The chain's page size.
         page_size: usize,
     },
-    /// An injected fault (tests only).
+    /// An injected read fault (tests only).
     InjectedFault(PageKey),
+    /// An injected write fault while appending to a chain (tests only).
+    InjectedWriteFault(u64),
     /// A persisted structure failed validation while being decoded.
     Corrupt(String),
+    /// A page's stored checksum disagreed with the one recomputed from its
+    /// payload: the page is torn, bit-rotted, or misdirected.
+    ChecksumMismatch {
+        /// The page whose payload failed verification.
+        key: PageKey,
+        /// The checksum persisted alongside the payload.
+        stored: u32,
+        /// The checksum recomputed from the payload as read.
+        computed: u32,
+    },
+    /// A store file failed structural validation (bad magic, impossible
+    /// header field, truncated body). Always names the file and the byte
+    /// offset of the offending field.
+    CorruptFile {
+        /// The store file that failed validation.
+        path: PathBuf,
+        /// Byte offset of the field that failed validation.
+        offset: u64,
+        /// What was wrong at that offset.
+        detail: String,
+    },
+    /// A single-flight load this pin was waiting on failed; carries the
+    /// loader's actual error (shared, since every waiter receives it).
+    LoadFailed {
+        /// The page whose load failed.
+        key: PageKey,
+        /// The error the loading thread observed.
+        source: Arc<StorageError>,
+    },
+    /// The page is quarantined after a permanent load failure; pins fail
+    /// fast without touching the store until the quarantine TTL drains.
+    Quarantined {
+        /// The quarantined page.
+        key: PageKey,
+        /// Fail-fast pins remaining before the store is retried.
+        pins_until_retry: u32,
+        /// The permanent error that put the page in quarantine.
+        source: Arc<StorageError>,
+    },
+}
+
+/// Coarse classification of a storage fault, driving retry and quarantine
+/// policy in the buffer pool.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum FaultClass {
+    /// Plausibly succeeds on retry: OS I/O errors, injected faults.
+    Transient,
+    /// Permanent data corruption: retrying re-reads the same bad bytes.
+    Corrupt,
+    /// Caller error (unknown chain, out-of-bounds page): retrying is
+    /// pointless and the store is healthy.
+    Logical,
+}
+
+impl FaultClass {
+    /// Stable lowercase label, used for the `kind` metric label.
+    pub fn label(self) -> &'static str {
+        match self {
+            FaultClass::Transient => "transient",
+            FaultClass::Corrupt => "corrupt",
+            FaultClass::Logical => "logical",
+        }
+    }
+}
+
+impl StorageError {
+    /// Constructs the stringly corruption error for persisted-structure
+    /// decoders. The one sanctioned constructor outside pattern matches.
+    pub fn corrupt(detail: impl Into<String>) -> Self {
+        StorageError::Corrupt(detail.into())
+    }
+
+    /// Constructs a structural store-file validation error naming the file
+    /// and the byte offset of the offending field.
+    pub fn corrupt_file(path: &Path, offset: u64, detail: impl Into<String>) -> Self {
+        StorageError::CorruptFile { path: path.to_path_buf(), offset, detail: detail.into() }
+    }
+
+    /// Classifies this error for retry/quarantine policy.
+    pub fn fault_class(&self) -> FaultClass {
+        match self {
+            StorageError::Io(_)
+            | StorageError::InjectedFault(_)
+            | StorageError::InjectedWriteFault(_) => FaultClass::Transient,
+            StorageError::Corrupt(_)
+            | StorageError::ChecksumMismatch { .. }
+            | StorageError::CorruptFile { .. } => FaultClass::Corrupt,
+            StorageError::UnknownChain(_)
+            | StorageError::PageOutOfBounds { .. }
+            | StorageError::PageTooLarge { .. } => FaultClass::Logical,
+            StorageError::LoadFailed { source, .. }
+            | StorageError::Quarantined { source, .. } => source.fault_class(),
+        }
+    }
+
+    /// True when a retry of the failing operation could plausibly succeed
+    /// (OS-level I/O hiccups); false for permanent corruption and for
+    /// logical errors, where retrying re-observes the same state.
+    pub fn is_transient(&self) -> bool {
+        self.fault_class() == FaultClass::Transient
+    }
+
+    /// The page this error is about, when it names one.
+    pub fn page_key(&self) -> Option<PageKey> {
+        match self {
+            StorageError::PageOutOfBounds { key, .. }
+            | StorageError::InjectedFault(key)
+            | StorageError::ChecksumMismatch { key, .. }
+            | StorageError::LoadFailed { key, .. }
+            | StorageError::Quarantined { key, .. } => Some(*key),
+            _ => None,
+        }
+    }
+
+    /// A faithful, shareable copy for fan-out to single-flight waiters and
+    /// the quarantine set. `std::io::Error` is not `Clone`, so the I/O
+    /// variant is rebuilt from its kind and message.
+    pub fn to_shared(&self) -> Arc<StorageError> {
+        let copy = match self {
+            StorageError::Io(e) => StorageError::Io(std::io::Error::new(e.kind(), e.to_string())),
+            StorageError::UnknownChain(c) => StorageError::UnknownChain(*c),
+            StorageError::PageOutOfBounds { key, chain_len } => {
+                StorageError::PageOutOfBounds { key: *key, chain_len: *chain_len }
+            }
+            StorageError::PageTooLarge { got, page_size } => {
+                StorageError::PageTooLarge { got: *got, page_size: *page_size }
+            }
+            StorageError::InjectedFault(key) => StorageError::InjectedFault(*key),
+            StorageError::InjectedWriteFault(chain) => StorageError::InjectedWriteFault(*chain),
+            StorageError::Corrupt(msg) => StorageError::Corrupt(msg.clone()),
+            StorageError::ChecksumMismatch { key, stored, computed } => {
+                StorageError::ChecksumMismatch { key: *key, stored: *stored, computed: *computed }
+            }
+            StorageError::CorruptFile { path, offset, detail } => StorageError::CorruptFile {
+                path: path.clone(),
+                offset: *offset,
+                detail: detail.clone(),
+            },
+            StorageError::LoadFailed { key, source } => {
+                StorageError::LoadFailed { key: *key, source: Arc::clone(source) }
+            }
+            StorageError::Quarantined { key, pins_until_retry, source } => {
+                StorageError::Quarantined {
+                    key: *key,
+                    pins_until_retry: *pins_until_retry,
+                    source: Arc::clone(source),
+                }
+            }
+        };
+        Arc::new(copy)
+    }
 }
 
 impl std::fmt::Display for StorageError {
@@ -41,7 +202,25 @@ impl std::fmt::Display for StorageError {
                 write!(f, "page payload of {got} bytes exceeds page size {page_size}")
             }
             StorageError::InjectedFault(key) => write!(f, "injected fault reading {key:?}"),
+            StorageError::InjectedWriteFault(chain) => {
+                write!(f, "injected fault appending to chain {chain}")
+            }
             StorageError::Corrupt(msg) => write!(f, "corrupt page data: {msg}"),
+            StorageError::ChecksumMismatch { key, stored, computed } => write!(
+                f,
+                "checksum mismatch on page {key:?}: stored {stored:#010x}, computed {computed:#010x}"
+            ),
+            StorageError::CorruptFile { path, offset, detail } => {
+                write!(f, "corrupt store file {} at offset {offset}: {detail}", path.display())
+            }
+            StorageError::LoadFailed { key, source } => {
+                write!(f, "load of page {key:?} failed: {source}")
+            }
+            StorageError::Quarantined { key, pins_until_retry, source } => write!(
+                f,
+                "page {key:?} is quarantined ({pins_until_retry} fail-fast pins until the \
+                 store is retried): {source}"
+            ),
         }
     }
 }
@@ -50,6 +229,9 @@ impl std::error::Error for StorageError {
     fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
         match self {
             StorageError::Io(e) => Some(e),
+            StorageError::LoadFailed { source, .. } | StorageError::Quarantined { source, .. } => {
+                Some(source.as_ref())
+            }
             _ => None,
         }
     }
@@ -63,3 +245,70 @@ impl From<std::io::Error> for StorageError {
 
 /// Result alias for storage operations.
 pub type StorageResult<T> = Result<T, StorageError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::page::{ChainId, PageKey};
+
+    fn key() -> PageKey {
+        PageKey::new(ChainId(7), 3)
+    }
+
+    #[test]
+    fn fault_classes_split_transient_from_permanent() {
+        let io = StorageError::Io(std::io::Error::other("disk hiccup"));
+        assert!(io.is_transient());
+        assert!(StorageError::InjectedFault(key()).is_transient());
+        assert!(StorageError::InjectedWriteFault(7).is_transient());
+
+        let bad = StorageError::ChecksumMismatch { key: key(), stored: 1, computed: 2 };
+        assert_eq!(bad.fault_class(), FaultClass::Corrupt);
+        assert!(!bad.is_transient());
+        assert_eq!(StorageError::corrupt("truncated header").fault_class(), FaultClass::Corrupt);
+
+        assert_eq!(StorageError::UnknownChain(9).fault_class(), FaultClass::Logical);
+        let oob = StorageError::PageOutOfBounds { key: key(), chain_len: 1 };
+        assert_eq!(oob.fault_class(), FaultClass::Logical);
+    }
+
+    #[test]
+    fn wrapping_variants_classify_and_source_through_to_the_cause() {
+        let cause = StorageError::ChecksumMismatch { key: key(), stored: 1, computed: 2 };
+        let shared = cause.to_shared();
+        let waited = StorageError::LoadFailed { key: key(), source: Arc::clone(&shared) };
+        assert_eq!(waited.fault_class(), FaultClass::Corrupt);
+        assert_eq!(waited.page_key(), Some(key()));
+        assert!(std::error::Error::source(&waited).is_some());
+
+        let quarantined =
+            StorageError::Quarantined { key: key(), pins_until_retry: 4, source: shared };
+        assert!(!quarantined.is_transient());
+        assert!(quarantined.to_string().contains("quarantined"));
+    }
+
+    #[test]
+    fn shared_io_copy_preserves_kind_and_message() {
+        let io = StorageError::Io(std::io::Error::new(
+            std::io::ErrorKind::TimedOut,
+            "slow spindle",
+        ));
+        let copy = io.to_shared();
+        match copy.as_ref() {
+            StorageError::Io(e) => {
+                assert_eq!(e.kind(), std::io::ErrorKind::TimedOut);
+                assert!(e.to_string().contains("slow spindle"));
+            }
+            other => panic!("expected Io, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn corrupt_file_errors_name_path_and_offset() {
+        let e = StorageError::corrupt_file(Path::new("/tmp/chain_0.pg"), 8, "zero page size");
+        let text = e.to_string();
+        assert!(text.contains("/tmp/chain_0.pg"), "missing path: {text}");
+        assert!(text.contains("offset 8"), "missing offset: {text}");
+        assert!(text.contains("zero page size"), "missing detail: {text}");
+    }
+}

@@ -20,6 +20,7 @@
 #![forbid(unsafe_code)]
 
 mod chain;
+pub mod checksum;
 mod error;
 mod metrics;
 mod page;
@@ -28,10 +29,13 @@ mod store;
 pub mod sync;
 
 pub use chain::{ChainRef, ChainWriter};
-pub use error::{StorageError, StorageResult};
+pub use checksum::{crc32, page_checksum, Crc32};
+pub use error::{FaultClass, StorageError, StorageResult};
 pub use metrics::{PoolMetrics, ShardMetrics};
 pub use page::{ChainId, PageKey};
-pub use pool::{BufferPool, PageGuard, Prefetcher, DEFAULT_SHARD_COUNT};
+pub use pool::{
+    BufferPool, PageGuard, PoolConfig, Prefetcher, RetryPolicy, DEFAULT_SHARD_COUNT,
+};
 pub use store::{
     real_sleeper, FaultPlan, FaultyStore, FileStore, GateStore, IoProfile, LatencyStore, MemStore,
     PageStore, Sleeper, TieredStore,

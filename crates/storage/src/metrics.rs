@@ -8,6 +8,7 @@
 //! per-pool view (reads of this pool's own handles, never another
 //! instance's).
 
+use crate::error::FaultClass;
 use payg_obs::{names, Counter, Histogram, Registry};
 
 /// Pool-wide counters (not attributable to a single shard).
@@ -16,6 +17,18 @@ pub(crate) struct MetricCounters {
     pub bytes_loaded: Counter,
     pub load_waits: Counter,
     pub prefetches: Counter,
+    /// Load attempts re-issued after a transient fault.
+    pub load_retries: Counter,
+    /// Store faults by class — counted per *attempt* (a fault later absorbed
+    /// by a successful retry still counts), so the series measures store
+    /// health, not just surfaced errors.
+    pub faults_transient: Counter,
+    pub faults_corrupt: Counter,
+    pub faults_logical: Counter,
+    /// Pages placed in quarantine after a permanent load failure.
+    pub quarantine_inserts: Counter,
+    /// Pins failed fast from quarantine without touching the store.
+    pub quarantine_fail_fast: Counter,
     /// Pin latency in nanoseconds — hits and misses alike, so the bimodal
     /// split (warm ~100ns vs cold ~I/O latency) is visible in the buckets.
     pub pin_ns: Histogram,
@@ -24,12 +37,30 @@ pub(crate) struct MetricCounters {
 impl MetricCounters {
     pub fn register(registry: &Registry, pool_label: &str) -> Self {
         let l: &[(&str, &str)] = &[("pool", pool_label)];
+        let fault = |kind: &str| {
+            registry.counter_labeled(names::POOL_LOAD_FAULTS, &[("pool", pool_label), ("kind", kind)])
+        };
         MetricCounters {
             loads: registry.counter_labeled(names::POOL_LOADS, l),
             bytes_loaded: registry.counter_labeled(names::POOL_BYTES_LOADED, l),
             load_waits: registry.counter_labeled(names::POOL_LOAD_WAITS, l),
             prefetches: registry.counter_labeled(names::POOL_PREFETCHES, l),
+            load_retries: registry.counter_labeled(names::POOL_LOAD_RETRIES, l),
+            faults_transient: fault(FaultClass::Transient.label()),
+            faults_corrupt: fault(FaultClass::Corrupt.label()),
+            faults_logical: fault(FaultClass::Logical.label()),
+            quarantine_inserts: registry.counter_labeled(names::POOL_QUARANTINE_INSERTS, l),
+            quarantine_fail_fast: registry.counter_labeled(names::POOL_QUARANTINE_FAIL_FAST, l),
             pin_ns: registry.histogram_labeled(names::POOL_PIN_NS, l),
+        }
+    }
+
+    /// The fault counter for one class.
+    pub fn fault_counter(&self, class: FaultClass) -> &Counter {
+        match class {
+            FaultClass::Transient => &self.faults_transient,
+            FaultClass::Corrupt => &self.faults_corrupt,
+            FaultClass::Logical => &self.faults_logical,
         }
     }
 }
@@ -83,10 +114,11 @@ pub struct PoolMetrics {
     pub loads: u64,
     /// Pool hits (page already resident).
     pub hits: u64,
-    /// Pin calls that found no resident frame and became (or joined a
-    /// retry as) the loader, successful or not. `misses - loads` is the
-    /// number of *failed* loads; every pin call lands in exactly one of
-    /// `hits` or `misses`.
+    /// Pin calls that did not find a resident frame: loaders (successful or
+    /// not), waiters whose single-flight load failed, and quarantine
+    /// fail-fasts. `misses - loads` is the number of *failed* pins; every
+    /// pin call lands in exactly one of `hits` or `misses`, so
+    /// `hits + misses == pins` always holds.
     pub misses: u64,
     /// Total bytes read from the store.
     pub bytes_loaded: u64,
@@ -96,4 +128,13 @@ pub struct PoolMetrics {
     pub contended: u64,
     /// Pages pinned by prefetch workers.
     pub prefetches: u64,
+    /// Load attempts re-issued after a transient fault.
+    pub load_retries: u64,
+    /// Store faults observed across all classes, counted per attempt
+    /// (includes faults later absorbed by a successful retry).
+    pub load_faults: u64,
+    /// Pages placed in quarantine after a permanent load failure.
+    pub quarantine_inserts: u64,
+    /// Pins failed fast from quarantine without touching the store.
+    pub quarantine_fail_fast: u64,
 }

@@ -1,8 +1,9 @@
 //! The buffer pool: load-on-miss page frames with RAII pin guards.
 
 use crate::metrics::{MetricCounters, ShardCounters, ShardMetrics};
+use crate::store::{real_sleeper, Sleeper};
 use crate::sync::{Condvar, LockRank, Mutex, MutexGuard, RwLock};
-use crate::{IoProfile, PageKey, PageStore, PoolMetrics, StorageResult};
+use crate::{FaultClass, IoProfile, PageKey, PageStore, PoolMetrics, StorageError, StorageResult};
 use crossbeam::channel::{unbounded, Sender};
 use payg_check::PinTracker;
 use payg_obs::{EventKind, Registry, Tracer};
@@ -13,7 +14,7 @@ use std::ops::Deref;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Arc, OnceLock, Weak};
 use std::thread::JoinHandle;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 /// Default number of lock-striped shards (a power of two; plenty for the
 /// worker counts the scan experiments use).
@@ -38,30 +39,51 @@ impl Frame {
     }
 }
 
+/// How one in-flight single-flight load ended.
+enum LoadOutcome {
+    Pending,
+    /// The frame was published into the shard; waiters re-inspect and hit.
+    Published,
+    /// The load failed; waiters receive the loader's actual error instead
+    /// of blindly retrying as loaders.
+    Failed(Arc<StorageError>),
+}
+
 /// Tracks one in-flight page load so concurrent pins of the same key wait
 /// for the loading thread instead of issuing duplicate reads.
 struct LoadState {
-    done: Mutex<bool>,
+    outcome: Mutex<LoadOutcome>,
     cv: Condvar,
 }
 
 impl LoadState {
     fn new() -> Arc<Self> {
         Arc::new(LoadState {
-            done: Mutex::with_rank(false, LockRank::LoadState),
+            outcome: Mutex::with_rank(LoadOutcome::Pending, LockRank::LoadState),
             cv: Condvar::new(),
         })
     }
 
-    fn complete(&self) {
-        *self.done.lock() = true;
+    fn publish(&self) {
+        *self.outcome.lock() = LoadOutcome::Published;
         self.cv.notify_all();
     }
 
-    fn wait(&self) {
-        let mut done = self.done.lock();
-        while !*done {
-            self.cv.wait(&mut done);
+    fn fail(&self, error: Arc<StorageError>) {
+        *self.outcome.lock() = LoadOutcome::Failed(error);
+        self.cv.notify_all();
+    }
+
+    /// Blocks until the load resolves. `None` means the frame was published
+    /// (re-inspect the shard); `Some(e)` carries the loader's error.
+    fn wait(&self) -> Option<Arc<StorageError>> {
+        let mut outcome = self.outcome.lock();
+        loop {
+            match &*outcome {
+                LoadOutcome::Pending => self.cv.wait(&mut outcome),
+                LoadOutcome::Published => return None,
+                LoadOutcome::Failed(e) => return Some(Arc::clone(e)),
+            }
         }
     }
 }
@@ -72,27 +94,110 @@ enum Slot {
     Loading(Arc<LoadState>),
 }
 
+/// A quarantined page: load failed permanently; pins fail fast until
+/// `pins_left` drains to zero, then the store is retried.
+struct QuarantineEntry {
+    error: Arc<StorageError>,
+    pins_left: u32,
+}
+
+/// Everything a shard guards under its stripe lock: the frame/load slots
+/// plus the quarantine set for keys hashing to this stripe.
+struct ShardState {
+    slots: HashMap<PageKey, Slot>,
+    quarantine: HashMap<PageKey, QuarantineEntry>,
+}
+
 struct Shard {
-    slots: Mutex<HashMap<PageKey, Slot>>,
+    state: Mutex<ShardState>,
     counters: ShardCounters,
 }
 
 impl Shard {
     fn new(registry: &Registry, pool_label: &str, index: usize) -> Self {
         Shard {
-            slots: Mutex::with_rank(HashMap::new(), LockRank::PoolShard),
+            state: Mutex::with_rank(
+                ShardState { slots: HashMap::new(), quarantine: HashMap::new() },
+                LockRank::PoolShard,
+            ),
             counters: ShardCounters::register(registry, pool_label, index),
         }
     }
 
-    /// Locks the slot map, counting acquisitions that had to block.
-    fn lock(&self) -> MutexGuard<'_, HashMap<PageKey, Slot>> {
-        match self.slots.try_lock() {
+    /// Locks the shard state, counting acquisitions that had to block.
+    fn lock(&self) -> MutexGuard<'_, ShardState> {
+        match self.state.try_lock() {
             Some(guard) => guard,
             None => {
                 self.counters.contended.inc();
-                self.slots.lock()
+                self.state.lock()
             }
+        }
+    }
+}
+
+/// Bounded retry with exponential backoff for transient load faults.
+/// Attempt `k`'s failure sleeps `initial_backoff * multiplier^(k-1)` before
+/// attempt `k+1`; permanent (corrupt/logical) faults never retry.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RetryPolicy {
+    /// Total load attempts, including the first (`>= 1`).
+    pub max_attempts: u32,
+    /// Backoff before the second attempt.
+    pub initial_backoff: Duration,
+    /// Backoff growth factor per additional attempt.
+    pub multiplier: u32,
+}
+
+impl RetryPolicy {
+    /// No retries: a single attempt, faults surface immediately (the
+    /// pre-fault-tolerance pool behavior).
+    pub const NONE: RetryPolicy =
+        RetryPolicy { max_attempts: 1, initial_backoff: Duration::ZERO, multiplier: 1 };
+
+    /// Backoff after `failed_attempts` (1-based) have failed.
+    pub fn backoff_for(&self, failed_attempts: u32) -> Duration {
+        self.initial_backoff * self.multiplier.saturating_pow(failed_attempts.saturating_sub(1))
+    }
+}
+
+impl Default for RetryPolicy {
+    /// Three attempts, 100µs then 400µs of backoff — absorbs the short
+    /// transient hiccups real disks produce without adding meaningful
+    /// latency to genuinely failed pins.
+    fn default() -> Self {
+        RetryPolicy { max_attempts: 3, initial_backoff: Duration::from_micros(100), multiplier: 4 }
+    }
+}
+
+/// Construction-time pool tuning: I/O simulation, shard count, fault
+/// tolerance. [`Default`] matches `BufferPool::new`.
+#[derive(Clone)]
+pub struct PoolConfig {
+    /// Synthetic latency applied to every load attempt.
+    pub io: IoProfile,
+    /// Number of lock stripes (clamped to at least 1).
+    pub shards: usize,
+    /// Bounded retry for transient load faults.
+    pub retry: RetryPolicy,
+    /// Fail-fast pins a quarantined page serves before the store is retried.
+    pub quarantine_ttl: u32,
+    /// Maximum quarantined pages per shard; inserting beyond it evicts the
+    /// entry closest to expiry.
+    pub quarantine_cap: usize,
+    /// Where retry backoff is spent; tests inject a recording sleeper.
+    pub sleeper: Sleeper,
+}
+
+impl Default for PoolConfig {
+    fn default() -> Self {
+        PoolConfig {
+            io: IoProfile::NONE,
+            shards: DEFAULT_SHARD_COUNT,
+            retry: RetryPolicy::default(),
+            quarantine_ttl: 8,
+            quarantine_cap: 32,
+            sleeper: real_sleeper(),
         }
     }
 }
@@ -101,6 +206,10 @@ struct PoolInner {
     store: Arc<dyn PageStore>,
     resman: ResourceManager,
     io: IoProfile,
+    retry: RetryPolicy,
+    quarantine_ttl: u32,
+    quarantine_cap: usize,
+    sleeper: Sleeper,
     shards: Box<[Shard]>,
     metrics: MetricCounters,
     /// The resman's registry; this pool's counters live in it under a
@@ -128,6 +237,8 @@ enum PinAction {
     Hit(Arc<Frame>),
     Load(Arc<LoadState>),
     Wait(Arc<LoadState>),
+    /// The key is quarantined: fail without touching the store.
+    FailFast(StorageError),
 }
 
 /// The buffer pool for page-loadable structures.
@@ -160,7 +271,7 @@ impl BufferPool {
         resman: ResourceManager,
         io: IoProfile,
     ) -> Self {
-        Self::with_shards(store, resman, io, DEFAULT_SHARD_COUNT)
+        Self::with_config(store, resman, PoolConfig { io, ..PoolConfig::default() })
     }
 
     /// Creates a pool with an explicit shard count (tests use `1` to force
@@ -171,7 +282,14 @@ impl BufferPool {
         io: IoProfile,
         shards: usize,
     ) -> Self {
-        let shards = shards.max(1);
+        Self::with_config(store, resman, PoolConfig { io, shards, ..PoolConfig::default() })
+    }
+
+    /// Creates a pool with full construction-time tuning — fault-tolerance
+    /// tests use this to inject deterministic retry backoff and small
+    /// quarantine TTLs.
+    pub fn with_config(store: Arc<dyn PageStore>, resman: ResourceManager, config: PoolConfig) -> Self {
+        let shards = config.shards.max(1);
         // Report into the resman's registry so pool and resman series land
         // in one snapshot. Each pool instance gets its own label: metrics()
         // reads this pool's handles only, never another instance's.
@@ -181,7 +299,11 @@ impl BufferPool {
             inner: Arc::new(PoolInner {
                 store,
                 resman,
-                io,
+                io: config.io,
+                retry: config.retry,
+                quarantine_ttl: config.quarantine_ttl.max(1),
+                quarantine_cap: config.quarantine_cap.max(1),
+                sleeper: config.sleeper,
                 shards: (0..shards)
                     .map(|i| Shard::new(&registry, &pool_label, i))
                     .collect(),
@@ -224,27 +346,43 @@ impl BufferPool {
         let shard = self.inner.shard(key);
         let guard = loop {
             let action = {
-                let mut slots = shard.lock();
-                match slots.get(&key) {
-                    Some(Slot::Resident(frame)) => {
-                        let frame = Arc::clone(frame);
-                        if self.inner.resman.pin(frame.rid()) {
-                            // Counters and events happen outside the lock.
-                            PinAction::Hit(frame)
-                        } else {
-                            // Evicted between the handler firing and us
-                            // observing the map: replace the stale frame
-                            // with a fresh load.
+                let mut state = shard.lock();
+                // Quarantine gate: a permanently failed page serves fail-fast
+                // errors (no store traffic) until its pin-count TTL drains.
+                if let Some(entry) = state.quarantine.get_mut(&key) {
+                    entry.pins_left -= 1;
+                    let err = StorageError::Quarantined {
+                        key,
+                        pins_until_retry: entry.pins_left,
+                        source: Arc::clone(&entry.error),
+                    };
+                    if entry.pins_left == 0 {
+                        // Expired: the *next* pin retries the store.
+                        state.quarantine.remove(&key);
+                    }
+                    PinAction::FailFast(err)
+                } else {
+                    match state.slots.get(&key) {
+                        Some(Slot::Resident(frame)) => {
+                            let frame = Arc::clone(frame);
+                            if self.inner.resman.pin(frame.rid()) {
+                                // Counters and events happen outside the lock.
+                                PinAction::Hit(frame)
+                            } else {
+                                // Evicted between the handler firing and us
+                                // observing the map: replace the stale frame
+                                // with a fresh load.
+                                let ls = LoadState::new();
+                                state.slots.insert(key, Slot::Loading(Arc::clone(&ls)));
+                                PinAction::Load(ls)
+                            }
+                        }
+                        Some(Slot::Loading(ls)) => PinAction::Wait(Arc::clone(ls)),
+                        None => {
                             let ls = LoadState::new();
-                            slots.insert(key, Slot::Loading(Arc::clone(&ls)));
+                            state.slots.insert(key, Slot::Loading(Arc::clone(&ls)));
                             PinAction::Load(ls)
                         }
-                    }
-                    Some(Slot::Loading(ls)) => PinAction::Wait(Arc::clone(ls)),
-                    None => {
-                        let ls = LoadState::new();
-                        slots.insert(key, Slot::Loading(Arc::clone(&ls)));
-                        PinAction::Load(ls)
                     }
                 }
             };
@@ -255,14 +393,25 @@ impl BufferPool {
                 }
                 PinAction::Load(ls) => break self.load_and_publish(key, shard, &ls, caller)?,
                 PinAction::Wait(ls) => {
-                    // Wait outside the shard lock, then re-inspect: the loader
-                    // publishes a resident frame (hit next round) or removes
-                    // the slot on error (we become the loader).
+                    // Wait outside the shard lock. The loader publishes a
+                    // resident frame (hit next round) or fails — in which
+                    // case we surface its actual error instead of blindly
+                    // retrying as a loader.
                     self.inner.metrics.load_waits.inc();
                     self.inner
                         .tracer
                         .emit(EventKind::SingleFlightWait, key.chain.0, key.page_no, 0);
-                    ls.wait();
+                    if let Some(err) = ls.wait() {
+                        // A failed pin is a miss: every pin lands in exactly
+                        // one of hits/misses, errors included.
+                        shard.counters.misses.inc();
+                        return Err(StorageError::LoadFailed { key, source: err });
+                    }
+                }
+                PinAction::FailFast(err) => {
+                    shard.counters.misses.inc();
+                    self.inner.metrics.quarantine_fail_fast.inc();
+                    return Err(err);
                 }
             }
         };
@@ -283,32 +432,85 @@ impl BufferPool {
         caller: &'static std::panic::Location<'static>,
     ) -> StorageResult<PageGuard> {
         shard.counters.misses.inc();
-        let result = self.load_frame(key);
-        {
-            let mut slots = shard.lock();
-            match &result {
-                Ok(frame) => {
-                    slots.insert(key, Slot::Resident(Arc::clone(frame)));
-                }
-                Err(_) => {
-                    // Remove our load state so waiters retry as loaders; a
-                    // ptr check guards against ABA with a newer load.
-                    if matches!(slots.get(&key), Some(Slot::Loading(cur)) if Arc::ptr_eq(cur, ls))
-                    {
-                        slots.remove(&key);
+        match self.load_frame(key) {
+            Ok(frame) => {
+                shard.lock().slots.insert(key, Slot::Resident(Arc::clone(&frame)));
+                ls.publish();
+                Ok(PageGuard::new(Arc::clone(&self.inner), frame, caller))
+            }
+            Err(err) => {
+                let shared = err.to_shared();
+                {
+                    let mut state = shard.lock();
+                    // Remove our load state so later pins retry; a ptr check
+                    // guards against ABA with a newer load.
+                    if matches!(
+                        state.slots.get(&key),
+                        Some(Slot::Loading(cur)) if Arc::ptr_eq(cur, ls)
+                    ) {
+                        state.slots.remove(&key);
+                    }
+                    // Permanent corruption quarantines the key so repeated
+                    // pins fail fast instead of hammering the store.
+                    // Transient faults (retries already exhausted) and
+                    // logical errors do not: the store itself is healthy.
+                    if err.fault_class() == FaultClass::Corrupt {
+                        self.quarantine(&mut state, key, Arc::clone(&shared));
                     }
                 }
+                // Wake waiters with the actual error after the slot update
+                // so none of them can observe a stale Loading entry.
+                ls.fail(shared);
+                Err(err)
             }
         }
-        ls.complete();
-        result.map(|frame| PageGuard::new(Arc::clone(&self.inner), frame, caller))
     }
 
-    /// Performs the store read and registers the frame (pinned) with the
-    /// resource manager.
+    /// Inserts `key` into the shard's capped quarantine set.
+    fn quarantine(&self, state: &mut ShardState, key: PageKey, error: Arc<StorageError>) {
+        if state.quarantine.len() >= self.inner.quarantine_cap && !state.quarantine.contains_key(&key)
+        {
+            // Capped: drop the entry closest to expiry (fewest pins left).
+            if let Some(evict) = state
+                .quarantine
+                .iter()
+                .min_by_key(|(_, e)| e.pins_left)
+                .map(|(k, _)| *k)
+            {
+                state.quarantine.remove(&evict);
+            }
+        }
+        state
+            .quarantine
+            .insert(key, QuarantineEntry { error, pins_left: self.inner.quarantine_ttl });
+        self.inner.metrics.quarantine_inserts.inc();
+    }
+
+    /// Performs the store read — retrying transient faults per the pool's
+    /// [`RetryPolicy`] — and registers the frame (pinned) with the resource
+    /// manager. One call is one miss regardless of how many attempts it
+    /// takes, so `misses - loads` stays "failed pins".
     fn load_frame(&self, key: PageKey) -> StorageResult<Arc<Frame>> {
-        self.inner.io.apply_read();
-        let data = self.inner.store.read_page(key)?;
+        let mut attempt = 0u32;
+        let data = loop {
+            attempt += 1;
+            self.inner.io.apply_read();
+            match self.inner.store.read_page(key) {
+                Ok(data) => break data,
+                Err(e) => {
+                    self.inner.metrics.fault_counter(e.fault_class()).inc();
+                    if e.is_transient() && attempt < self.inner.retry.max_attempts {
+                        self.inner.metrics.load_retries.inc();
+                        let backoff = self.inner.retry.backoff_for(attempt);
+                        if !backoff.is_zero() {
+                            (self.inner.sleeper)(backoff);
+                        }
+                        continue;
+                    }
+                    return Err(e);
+                }
+            }
+        };
         self.inner.metrics.loads.inc();
         self.inner.metrics.bytes_loaded.add(data.len() as u64);
         self.inner
@@ -332,14 +534,14 @@ impl BufferPool {
                 };
                 {
                     let shard = pool.shard(frame.key);
-                    let mut slots = shard.lock();
+                    let mut state = shard.lock();
                     // Only remove the exact frame this resource backs; a newer
                     // frame or an in-flight load may already occupy the key.
                     if matches!(
-                        slots.get(&frame.key),
+                        state.slots.get(&frame.key),
                         Some(Slot::Resident(cur)) if Arc::ptr_eq(cur, &frame)
                     ) {
-                        slots.remove(&frame.key);
+                        state.slots.remove(&frame.key);
                     }
                     *frame.transient.write() = None;
                 }
@@ -362,7 +564,7 @@ impl BufferPool {
 
     /// True when the page is currently resident (regardless of pins).
     pub fn is_resident(&self, key: PageKey) -> bool {
-        matches!(self.inner.shard(key).lock().get(&key), Some(Slot::Resident(_)))
+        matches!(self.inner.shard(key).lock().slots.get(&key), Some(Slot::Resident(_)))
     }
 
     /// Number of resident frames.
@@ -372,6 +574,7 @@ impl BufferPool {
             .iter()
             .map(|s| {
                 s.lock()
+                    .slots
                     .values()
                     .filter(|slot| matches!(slot, Slot::Resident(_)))
                     .count()
@@ -379,13 +582,33 @@ impl BufferPool {
             .sum()
     }
 
+    /// True when the page is quarantined (pins fail fast without a store
+    /// read until the TTL drains).
+    pub fn is_quarantined(&self, key: PageKey) -> bool {
+        self.inner.shard(key).lock().quarantine.contains_key(&key)
+    }
+
+    /// Number of quarantined pages across all shards.
+    pub fn quarantined_pages(&self) -> usize {
+        self.inner.shards.iter().map(|s| s.lock().quarantine.len()).sum()
+    }
+
+    /// Empties the quarantine set — e.g. after the operator replaced the
+    /// failing medium — so the next pin of each key retries the store
+    /// immediately instead of draining its TTL.
+    pub fn clear_quarantine(&self) {
+        for shard in self.inner.shards.iter() {
+            shard.lock().quarantine.clear();
+        }
+    }
+
     /// Drops every unpinned frame, deregistering its resource. Pinned frames
     /// and in-flight loads survive. Used to simulate a cold restart between
     /// experiment runs.
     pub fn clear(&self) {
         for shard in self.inner.shards.iter() {
-            let mut slots = shard.lock();
-            slots.retain(|_, slot| {
+            let mut state = shard.lock();
+            state.slots.retain(|_, slot| {
                 let Slot::Resident(frame) = slot else {
                     return true;
                 };
@@ -420,6 +643,12 @@ impl BufferPool {
             load_waits: self.inner.metrics.load_waits.get(),
             contended,
             prefetches: self.inner.metrics.prefetches.get(),
+            load_retries: self.inner.metrics.load_retries.get(),
+            load_faults: self.inner.metrics.faults_transient.get()
+                + self.inner.metrics.faults_corrupt.get()
+                + self.inner.metrics.faults_logical.get(),
+            quarantine_inserts: self.inner.metrics.quarantine_inserts.get(),
+            quarantine_fail_fast: self.inner.metrics.quarantine_fail_fast.get(),
         }
     }
 
@@ -811,6 +1040,205 @@ mod tests {
         }
         assert!(oks >= 2, "retries after a failed load succeed");
         assert!(pool.is_resident(key));
+    }
+
+    /// A recording sleeper: captures each requested backoff instead of
+    /// sleeping, so retry pacing is asserted deterministically.
+    fn recording_sleeper() -> (Arc<std::sync::Mutex<Vec<std::time::Duration>>>, crate::Sleeper) {
+        let slept: Arc<std::sync::Mutex<Vec<std::time::Duration>>> = Arc::default();
+        let sleeper: crate::Sleeper = {
+            let slept = Arc::clone(&slept);
+            Arc::new(move |d| slept.lock().unwrap().push(d))
+        };
+        (slept, sleeper)
+    }
+
+    #[test]
+    fn retry_absorbs_transient_faults_with_backoff() {
+        let store = Arc::new(crate::FaultyStore::new(
+            MemStore::new(),
+            crate::FaultPlan::Transient { after: 0, count: 2 },
+        ));
+        let chain = store.create_chain(16).unwrap();
+        store.append_page(chain, &[9; 16]).unwrap();
+        let (slept, sleeper) = recording_sleeper();
+        let pool = BufferPool::with_config(
+            Arc::clone(&store) as Arc<dyn crate::PageStore>,
+            ResourceManager::new(),
+            PoolConfig {
+                retry: RetryPolicy {
+                    max_attempts: 3,
+                    initial_backoff: std::time::Duration::from_millis(7),
+                    multiplier: 3,
+                },
+                sleeper,
+                ..PoolConfig::default()
+            },
+        );
+        let g = pool.pin(PageKey::new(chain, 0)).expect("third attempt succeeds");
+        assert_eq!(g[0], 9);
+        assert_eq!(store.reads(), 3, "two failed attempts plus the success");
+        assert_eq!(
+            *slept.lock().unwrap(),
+            vec![std::time::Duration::from_millis(7), std::time::Duration::from_millis(21)],
+            "exponential backoff between attempts"
+        );
+        let m = pool.metrics();
+        assert_eq!((m.loads, m.misses, m.hits), (1, 1, 0), "a retried load is still one miss");
+        assert_eq!(m.load_retries, 2);
+        assert_eq!(m.load_faults, 2, "absorbed faults still count");
+    }
+
+    #[test]
+    fn exhausted_retries_surface_the_transient_error() {
+        let store = Arc::new(crate::FaultyStore::new(MemStore::new(), crate::FaultPlan::None));
+        let chain = store.create_chain(16).unwrap();
+        store.append_page(chain, b"x").unwrap();
+        store.set_plan(crate::FaultPlan::EveryNthRead(1));
+        let (_, sleeper) = recording_sleeper();
+        let pool = BufferPool::with_config(
+            Arc::clone(&store) as Arc<dyn crate::PageStore>,
+            ResourceManager::new(),
+            PoolConfig {
+                retry: RetryPolicy { max_attempts: 2, ..RetryPolicy::default() },
+                sleeper,
+                ..PoolConfig::default()
+            },
+        );
+        let key = PageKey::new(chain, 0);
+        let err = pool.pin(key).map(|_| ()).expect_err("every attempt fails");
+        assert!(err.is_transient(), "the surfaced error keeps its class: {err}");
+        assert_eq!(store.reads(), 2, "bounded: max_attempts store reads");
+        assert!(!pool.is_quarantined(key), "transient failures do not quarantine");
+        let m = pool.metrics();
+        assert_eq!((m.loads, m.misses, m.load_retries, m.load_faults), (0, 1, 1, 2));
+    }
+
+    #[test]
+    fn corrupt_load_quarantines_then_ttl_drains_and_recovers() {
+        let store = Arc::new(crate::FaultyStore::new(MemStore::new(), crate::FaultPlan::None));
+        let chain = store.create_chain(16).unwrap();
+        store.append_page(chain, &[5; 16]).unwrap();
+        let key = PageKey::new(chain, 0);
+        store.set_plan(crate::FaultPlan::CorruptPages(vec![key]));
+        let pool = BufferPool::with_config(
+            Arc::clone(&store) as Arc<dyn crate::PageStore>,
+            ResourceManager::new(),
+            PoolConfig { retry: RetryPolicy::NONE, quarantine_ttl: 2, ..PoolConfig::default() },
+        );
+        // Pin 1 reads the store, observes corruption, quarantines.
+        assert!(matches!(pool.pin(key), Err(crate::StorageError::ChecksumMismatch { .. })));
+        assert_eq!(store.reads(), 1, "corruption is never retried");
+        assert!(pool.is_quarantined(key));
+        // Pins 2-3 fail fast without store traffic, draining the TTL.
+        assert!(matches!(
+            pool.pin(key),
+            Err(crate::StorageError::Quarantined { pins_until_retry: 1, .. })
+        ));
+        assert!(matches!(
+            pool.pin(key),
+            Err(crate::StorageError::Quarantined { pins_until_retry: 0, .. })
+        ));
+        assert_eq!(store.reads(), 1, "fail-fast pins never touch the store");
+        assert!(!pool.is_quarantined(key), "TTL drained");
+        // Pin 4: still corrupt — re-reads and re-quarantines.
+        assert!(matches!(pool.pin(key), Err(crate::StorageError::ChecksumMismatch { .. })));
+        assert_eq!(store.reads(), 2);
+        assert!(pool.is_quarantined(key));
+        // Medium replaced: clear quarantine, pin 5 succeeds.
+        store.set_plan(crate::FaultPlan::None);
+        pool.clear_quarantine();
+        let g = pool.pin(key).unwrap();
+        assert_eq!(g[0], 5);
+        let m = pool.metrics();
+        assert_eq!(m.quarantine_inserts, 2);
+        assert_eq!(m.quarantine_fail_fast, 2);
+        assert_eq!((m.hits, m.misses, m.loads), (0, 5, 1));
+    }
+
+    #[test]
+    fn quarantine_cap_evicts_the_entry_closest_to_expiry() {
+        let store = Arc::new(crate::FaultyStore::new(MemStore::new(), crate::FaultPlan::None));
+        let chain = store.create_chain(16).unwrap();
+        for i in 0..3u8 {
+            store.append_page(chain, &[i; 4]).unwrap();
+        }
+        let keys: Vec<_> = (0..3).map(|p| PageKey::new(chain, p)).collect();
+        store.set_plan(crate::FaultPlan::CorruptPages(keys.clone()));
+        let pool = BufferPool::with_config(
+            Arc::clone(&store) as Arc<dyn crate::PageStore>,
+            ResourceManager::new(),
+            PoolConfig {
+                retry: RetryPolicy::NONE,
+                quarantine_cap: 2,
+                shards: 1, // all keys share one quarantine set
+                ..PoolConfig::default()
+            },
+        );
+        for &k in &keys {
+            assert!(pool.pin(k).is_err());
+        }
+        assert_eq!(pool.quarantined_pages(), 2, "cap bounds the set");
+        assert!(pool.is_quarantined(keys[2]), "newest entry always present");
+    }
+
+    /// Satellite regression: a waiter parked on a single-flight load whose
+    /// loader fails must receive the loader's actual error — not observe a
+    /// generic removal and blindly retry as a loader.
+    #[test]
+    fn waiter_receives_the_loaders_actual_error() {
+        let store = Arc::new(crate::GateStore::new(crate::FaultyStore::new(
+            MemStore::new(),
+            crate::FaultPlan::None,
+        )));
+        let chain = store.create_chain(16).unwrap();
+        store.append_page(chain, b"doomed").unwrap();
+        let key = PageKey::new(chain, 0);
+        let pool = BufferPool::with_config(
+            Arc::clone(&store) as Arc<dyn crate::PageStore>,
+            ResourceManager::new(),
+            PoolConfig { retry: RetryPolicy::NONE, ..PoolConfig::default() },
+        );
+        store.close();
+        std::thread::scope(|s| {
+            let loader = {
+                let pool = pool.clone();
+                s.spawn(move || pool.pin(key).map(|_| ()))
+            };
+            // The loader is provably parked at the store before the waiter
+            // starts, so the roles cannot swap.
+            store.wait_for_waiters(1);
+            let waiter = {
+                let pool = pool.clone();
+                s.spawn(move || pool.pin(key).map(|_| ()))
+            };
+            // Observe the waiter parked on the load state, then inject the
+            // corruption and release the gate.
+            while pool.metrics().load_waits < 1 {
+                std::thread::yield_now();
+            }
+            store.inner().set_plan(crate::FaultPlan::CorruptPages(vec![key]));
+            store.open();
+            let loader_err = loader.join().unwrap().expect_err("loader sees corruption");
+            let waiter_err = waiter.join().unwrap().expect_err("waiter must not hang or retry");
+            assert!(matches!(loader_err, crate::StorageError::ChecksumMismatch { .. }));
+            match waiter_err {
+                crate::StorageError::LoadFailed { key: k, source } => {
+                    assert_eq!(k, key);
+                    assert!(
+                        matches!(*source, crate::StorageError::ChecksumMismatch { .. }),
+                        "waiter carries the loader's real cause, got {source}"
+                    );
+                }
+                other => panic!("expected LoadFailed, got {other:?}"),
+            }
+        });
+        let m = pool.metrics();
+        assert_eq!((m.hits, m.misses, m.loads), (0, 2, 0), "both failed pins are misses");
+        assert_eq!(m.load_waits, 1);
+        assert_eq!(store.inner().reads(), 1, "the waiter never re-read the store");
+        assert!(pool.is_quarantined(key), "corruption quarantines for later pins");
+        pool.assert_no_live_pins("waiter error regression");
     }
 
     #[test]

@@ -1,5 +1,6 @@
 //! Page stores: durable (file-backed) and in-memory, plus fault injection.
 
+use crate::checksum::page_checksum;
 use crate::sync::{Condvar, Mutex};
 use crate::{ChainId, PageKey, StorageError, StorageResult};
 use std::collections::HashMap;
@@ -163,12 +164,32 @@ impl PageStore for MemStore {
 // ---------------------------------------------------------------------------
 
 const FILE_MAGIC: &[u8; 8] = b"PAYGPG01";
-const HEADER_LEN: u64 = 16; // magic(8) + page_size(4) + reserved(4)
+const HEADER_LEN: u64 = 16; // magic(8) + page_size(4) + format(4)
+
+/// Original layout: raw page slots, no per-page integrity.
+const FORMAT_LEGACY: u32 = 0;
+/// Current layout: every page slot carries an 8-byte checksum trailer.
+const FORMAT_CHECKSUMMED: u32 = 1;
+
+/// Per-page trailer in [`FORMAT_CHECKSUMMED`] files: CRC-32 of the
+/// little-endian page number + padded payload (4 bytes, LE), then 4 reserved
+/// zero bytes.
+const PAGE_TRAILER_LEN: usize = 8;
 
 struct ChainFile {
     file: File,
     page_size: usize,
     len: u64,
+    /// False only for files recovered from the pre-checksum layout; those
+    /// read without verification for backward compatibility.
+    checksummed: bool,
+}
+
+impl ChainFile {
+    /// On-disk bytes per page: payload plus trailer when checksummed.
+    fn slot_len(&self) -> u64 {
+        self.page_size as u64 + if self.checksummed { PAGE_TRAILER_LEN as u64 } else { 0 }
+    }
 }
 
 /// A durable page store: one file per chain under a directory. Reopening the
@@ -196,27 +217,62 @@ impl FileStore {
                 continue;
             };
             let Ok(id) = u64::from_str_radix(hex, 16) else { continue };
-            let mut file = OpenOptions::new().read(true).write(true).open(entry.path())?;
+            let path = entry.path();
+            let mut file = OpenOptions::new().read(true).write(true).open(&path)?;
+            let file_len = file.metadata()?.len();
+            // Every validation failure below names the offending file and the
+            // byte offset of the bad field, in one format (StorageError::
+            // CorruptFile), so operators can go straight from the message to
+            // a hex dump.
+            if file_len < HEADER_LEN {
+                return Err(StorageError::corrupt_file(
+                    &path,
+                    0,
+                    format!("file of {file_len} bytes is shorter than the {HEADER_LEN}-byte header"),
+                ));
+            }
             let mut header = [0u8; HEADER_LEN as usize];
             file.seek(SeekFrom::Start(0))?;
             file.read_exact(&mut header)?;
             if &header[..8] != FILE_MAGIC {
-                return Err(StorageError::Corrupt(format!("bad magic in {name}")));
+                return Err(StorageError::corrupt_file(
+                    &path,
+                    0,
+                    format!("bad magic {:02x?}, expected {FILE_MAGIC:02x?}", &header[..8]),
+                ));
             }
             let page_size =
                 u32::from_le_bytes([header[8], header[9], header[10], header[11]]) as usize;
             if page_size == 0 {
-                return Err(StorageError::Corrupt(format!("zero page size in {name}")));
+                return Err(StorageError::corrupt_file(&path, 8, "zero page size"));
             }
-            let file_len = file.metadata()?.len();
-            let body = file_len.saturating_sub(HEADER_LEN);
-            if body % page_size as u64 != 0 {
-                return Err(StorageError::Corrupt(format!(
-                    "{name}: body of {body} bytes is not a multiple of page size {page_size}"
-                )));
+            let format = u32::from_le_bytes([header[12], header[13], header[14], header[15]]);
+            let checksummed = match format {
+                FORMAT_LEGACY => false,
+                FORMAT_CHECKSUMMED => true,
+                other => {
+                    return Err(StorageError::corrupt_file(
+                        &path,
+                        12,
+                        format!(
+                            "unknown format {other}, expected {FORMAT_LEGACY} (legacy) or \
+                             {FORMAT_CHECKSUMMED} (checksummed)"
+                        ),
+                    ));
+                }
+            };
+            let c = ChainFile { file, page_size, len: 0, checksummed };
+            let slot = c.slot_len();
+            let body = file_len - HEADER_LEN;
+            if !body.is_multiple_of(slot) {
+                return Err(StorageError::corrupt_file(
+                    &path,
+                    HEADER_LEN,
+                    format!("body of {body} bytes is not a multiple of the {slot}-byte page slot"),
+                ));
             }
             max_id = max_id.max(id);
-            chains.insert(id, ChainFile { file, page_size, len: body / page_size as u64 });
+            chains.insert(id, ChainFile { len: body / slot, ..c });
         }
         Ok(FileStore {
             dir,
@@ -242,10 +298,11 @@ impl PageStore for FileStore {
         let mut header = [0u8; HEADER_LEN as usize];
         header[..8].copy_from_slice(FILE_MAGIC);
         header[8..12].copy_from_slice(&(page_size as u32).to_le_bytes());
+        header[12..16].copy_from_slice(&FORMAT_CHECKSUMMED.to_le_bytes());
         file.write_all(&header)?;
         self.chains
             .lock()
-            .insert(id, ChainFile { file, page_size, len: 0 });
+            .insert(id, ChainFile { file, page_size, len: 0, checksummed: true });
         Ok(ChainId(id))
     }
 
@@ -255,11 +312,18 @@ impl PageStore for FileStore {
         if payload.len() > c.page_size {
             return Err(StorageError::PageTooLarge { got: payload.len(), page_size: c.page_size });
         }
-        let mut page = vec![0u8; c.page_size];
-        page[..payload.len()].copy_from_slice(payload);
-        let offset = HEADER_LEN + c.len * c.page_size as u64;
+        // The whole slot (padded payload + trailer) is written in one call so
+        // a crash tears at most the final page — which the checksum catches
+        // on the next read.
+        let mut slot = vec![0u8; c.slot_len() as usize];
+        slot[..payload.len()].copy_from_slice(payload);
+        if c.checksummed {
+            let crc = page_checksum(c.len, &slot[..c.page_size]);
+            slot[c.page_size..c.page_size + 4].copy_from_slice(&crc.to_le_bytes());
+        }
+        let offset = HEADER_LEN + c.len * c.slot_len();
         c.file.seek(SeekFrom::Start(offset))?;
-        c.file.write_all(&page)?;
+        c.file.write_all(&slot)?;
         c.len += 1;
         Ok(c.len - 1)
     }
@@ -272,10 +336,23 @@ impl PageStore for FileStore {
         if key.page_no >= c.len {
             return Err(StorageError::PageOutOfBounds { key, chain_len: c.len });
         }
-        let mut buf = vec![0u8; c.page_size];
-        let offset = HEADER_LEN + key.page_no * c.page_size as u64;
+        let mut buf = vec![0u8; c.slot_len() as usize];
+        let offset = HEADER_LEN + key.page_no * c.slot_len();
         c.file.seek(SeekFrom::Start(offset))?;
         c.file.read_exact(&mut buf)?;
+        if c.checksummed {
+            let stored = u32::from_le_bytes([
+                buf[c.page_size],
+                buf[c.page_size + 1],
+                buf[c.page_size + 2],
+                buf[c.page_size + 3],
+            ]);
+            let computed = page_checksum(key.page_no, &buf[..c.page_size]);
+            if stored != computed {
+                return Err(StorageError::ChecksumMismatch { key, stored, computed });
+            }
+        }
+        buf.truncate(c.page_size);
         Ok(buf.into_boxed_slice())
     }
 
@@ -497,6 +574,12 @@ impl<S: PageStore> GateStore<S> {
         self.state.lock().waiting
     }
 
+    /// The wrapped store — lets tests compose decorators (e.g. a gate over
+    /// a faulty store) and still reach the inner controls.
+    pub fn inner(&self) -> &S {
+        &self.inner
+    }
+
     /// Blocks until at least `n` reads are parked at the gate.
     pub fn wait_for_waiters(&self, n: usize) {
         let mut st = self.state.lock();
@@ -543,7 +626,21 @@ impl<S: PageStore> PageStore for GateStore<S> {
 // Fault injection
 // ---------------------------------------------------------------------------
 
-/// When the wrapped store should fail reads.
+/// SplitMix64: the deterministic mixer behind [`FaultPlan::Seeded`].
+fn splitmix64(x: u64) -> u64 {
+    let mut z = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Maps a mixed 64-bit value to a uniform float in `[0, 1)`.
+fn unit_uniform(r: u64) -> f64 {
+    (r >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+}
+
+/// When the wrapped store should fail reads (and, for the write-capable
+/// plans, appends).
 #[derive(Debug, Clone)]
 pub enum FaultPlan {
     /// Never fail (pass-through).
@@ -554,21 +651,72 @@ pub enum FaultPlan {
     Pages(Vec<PageKey>),
     /// Fail all reads after the first `n` succeed.
     AfterReads(u64),
+    /// A transient outage: reads `after+1 ..= after+count` fail, everything
+    /// before and after succeeds — the shape a bounded retry must absorb.
+    Transient {
+        /// Reads that succeed before the outage starts.
+        after: u64,
+        /// Number of consecutive failing reads.
+        count: u64,
+    },
+    /// Fail every `n`-th append (1-based), modeling write-path I/O errors.
+    EveryNthWrite(u64),
+    /// Reads of these pages return detectably corrupt payloads: one bit is
+    /// flipped and the store reports the resulting
+    /// [`ChecksumMismatch`](StorageError::ChecksumMismatch), the same way
+    /// [`FileStore`] reports real bit rot. Permanent: every read of a listed
+    /// page fails, so the pool's quarantine path is exercised.
+    CorruptPages(Vec<PageKey>),
+    /// The chaos harness's plan: every read/append decides independently and
+    /// *deterministically* from `(seed, key, per-key attempt number)` whether
+    /// to fail transiently, corrupt, or pass. Two stores driven with the
+    /// same seed make identical decisions regardless of thread interleaving.
+    Seeded {
+        /// Deterministic RNG seed.
+        seed: u64,
+        /// Probability a read fails with a transient injected fault.
+        p_read: f64,
+        /// Probability a read reports a (permanent-looking) checksum
+        /// mismatch. Note: seeded corruption is per *attempt*, so a retry may
+        /// see clean bytes — use [`FaultPlan::CorruptPages`] for the
+        /// sticky-corruption/quarantine path.
+        p_corrupt: f64,
+        /// Probability an append fails with an injected write fault.
+        p_write: f64,
+    },
 }
 
-/// A [`PageStore`] decorator that injects read faults per a [`FaultPlan`].
-/// Writes always pass through.
+enum ReadFault {
+    Pass,
+    Fail,
+    /// Flip the bit chosen by the carried entropy, report the mismatch.
+    Corrupt(u64),
+}
+
+/// A [`PageStore`] decorator that injects faults per a [`FaultPlan`].
 pub struct FaultyStore<S> {
     inner: S,
     plan: Mutex<FaultPlan>,
     // lint: allow(raw-counter) fault-injection read clock, not a metric
     reads: AtomicU64,
+    // lint: allow(raw-counter) fault-injection write clock, not a metric
+    writes: AtomicU64,
+    /// Per-key read-attempt numbers for [`FaultPlan::Seeded`], so fault
+    /// decisions depend only on (seed, key, attempt) — never on cross-thread
+    /// interleaving.
+    seeded_attempts: Mutex<HashMap<PageKey, u64>>,
 }
 
 impl<S: PageStore> FaultyStore<S> {
     /// Wraps `inner` with the given plan.
     pub fn new(inner: S, plan: FaultPlan) -> Self {
-        FaultyStore { inner, plan: Mutex::new(plan), reads: AtomicU64::new(0) }
+        FaultyStore {
+            inner,
+            plan: Mutex::new(plan),
+            reads: AtomicU64::new(0),
+            writes: AtomicU64::new(0),
+            seeded_attempts: Mutex::new(HashMap::new()),
+        }
     }
 
     /// Replaces the fault plan.
@@ -580,6 +728,72 @@ impl<S: PageStore> FaultyStore<S> {
     pub fn reads(&self) -> u64 {
         self.reads.load(Ordering::Relaxed)
     }
+
+    /// Number of append attempts observed (including failed ones).
+    pub fn writes(&self) -> u64 {
+        self.writes.load(Ordering::Relaxed)
+    }
+
+    fn decide_read(&self, key: PageKey, n: u64) -> ReadFault {
+        let plan = self.plan.lock().clone();
+        match plan {
+            FaultPlan::None | FaultPlan::EveryNthWrite(_) => ReadFault::Pass,
+            FaultPlan::EveryNthRead(k) => {
+                if k > 0 && n.is_multiple_of(k) {
+                    ReadFault::Fail
+                } else {
+                    ReadFault::Pass
+                }
+            }
+            FaultPlan::Pages(keys) => {
+                if keys.contains(&key) {
+                    ReadFault::Fail
+                } else {
+                    ReadFault::Pass
+                }
+            }
+            FaultPlan::AfterReads(k) => {
+                if n > k {
+                    ReadFault::Fail
+                } else {
+                    ReadFault::Pass
+                }
+            }
+            FaultPlan::Transient { after, count } => {
+                if n > after && n <= after + count {
+                    ReadFault::Fail
+                } else {
+                    ReadFault::Pass
+                }
+            }
+            FaultPlan::CorruptPages(keys) => {
+                if keys.contains(&key) {
+                    // Deterministic per key so repeated reads observe the
+                    // same corruption.
+                    ReadFault::Corrupt(splitmix64(key.chain.0 ^ splitmix64(key.page_no)))
+                } else {
+                    ReadFault::Pass
+                }
+            }
+            FaultPlan::Seeded { seed, p_read, p_corrupt, .. } => {
+                let attempt = {
+                    let mut attempts = self.seeded_attempts.lock();
+                    let a = attempts.entry(key).or_insert(0);
+                    *a += 1;
+                    *a
+                };
+                let r = splitmix64(seed ^ splitmix64(key.chain.0 ^ splitmix64(key.page_no ^ splitmix64(attempt))));
+                let u = unit_uniform(r);
+                if u < p_read {
+                    ReadFault::Fail
+                } else if u < p_read + p_corrupt {
+                    ReadFault::Corrupt(splitmix64(r))
+                } else {
+                    ReadFault::Pass
+                }
+            }
+        }
+    }
 }
 
 impl<S: PageStore> PageStore for FaultyStore<S> {
@@ -587,20 +801,42 @@ impl<S: PageStore> PageStore for FaultyStore<S> {
         self.inner.create_chain(page_size)
     }
     fn append_page(&self, chain: ChainId, payload: &[u8]) -> StorageResult<u64> {
+        let w = self.writes.fetch_add(1, Ordering::Relaxed) + 1;
+        let fail = match &*self.plan.lock() {
+            FaultPlan::EveryNthWrite(k) => *k > 0 && w.is_multiple_of(*k),
+            FaultPlan::Seeded { seed, p_write, .. } => {
+                *p_write > 0.0
+                    && unit_uniform(splitmix64(seed ^ splitmix64(chain.0 ^ splitmix64(!w)))) < *p_write
+            }
+            _ => false,
+        };
+        if fail {
+            return Err(StorageError::InjectedWriteFault(chain.0));
+        }
         self.inner.append_page(chain, payload)
     }
     fn read_page(&self, key: PageKey) -> StorageResult<Box<[u8]>> {
         let n = self.reads.fetch_add(1, Ordering::Relaxed) + 1;
-        let fail = match &*self.plan.lock() {
-            FaultPlan::None => false,
-            FaultPlan::EveryNthRead(k) => *k > 0 && n.is_multiple_of(*k),
-            FaultPlan::Pages(keys) => keys.contains(&key),
-            FaultPlan::AfterReads(k) => n > *k,
-        };
-        if fail {
-            return Err(StorageError::InjectedFault(key));
+        match self.decide_read(key, n) {
+            ReadFault::Pass => self.inner.read_page(key),
+            ReadFault::Fail => Err(StorageError::InjectedFault(key)),
+            ReadFault::Corrupt(entropy) => {
+                // Model detected bit rot: flip one bit of the real payload
+                // and report it exactly as a checksummed store would — the
+                // stored digest covers the clean bytes, the recomputed one
+                // covers what "came off the platter".
+                let page = self.inner.read_page(key)?;
+                let stored = page_checksum(key.page_no, &page);
+                let mut rotted = page.into_vec();
+                let bits = (rotted.len() * 8).max(1);
+                let bit = (entropy as usize) % bits;
+                if !rotted.is_empty() {
+                    rotted[bit / 8] ^= 1 << (bit % 8);
+                }
+                let computed = page_checksum(key.page_no, &rotted);
+                Err(StorageError::ChecksumMismatch { key, stored, computed })
+            }
         }
-        self.inner.read_page(key)
     }
     fn chain_len(&self, chain: ChainId) -> StorageResult<u64> {
         self.inner.chain_len(chain)
@@ -743,7 +979,220 @@ mod tests {
         let _ = std::fs::remove_dir_all(&dir);
         std::fs::create_dir_all(&dir).unwrap();
         std::fs::write(dir.join("chain_0000000000000001.pg"), b"NOTMAGIC00000000").unwrap();
-        assert!(matches!(FileStore::open(&dir), Err(StorageError::Corrupt(_))));
+        assert!(matches!(FileStore::open(&dir), Err(StorageError::CorruptFile { .. })));
         std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    /// Every `FileStore::open` validation failure uses the same error shape:
+    /// the full file path plus the byte offset of the offending field.
+    #[test]
+    fn file_store_open_errors_name_path_and_offset() {
+        let dir = std::env::temp_dir().join(format!("payg-open-errs-{}", std::process::id()));
+        let name = "chain_0000000000000001.pg";
+        let expect = |bytes: &[u8], offset: u64, needle: &str| {
+            let _ = std::fs::remove_dir_all(&dir);
+            std::fs::create_dir_all(&dir).unwrap();
+            std::fs::write(dir.join(name), bytes).unwrap();
+            match FileStore::open(&dir).map(|_| ()) {
+                Err(StorageError::CorruptFile { path, offset: got, detail }) => {
+                    assert!(path.ends_with(name), "path {path:?} should name the file");
+                    assert!(
+                        path.starts_with(&dir),
+                        "path {path:?} should be the full path, not just the name"
+                    );
+                    assert_eq!(got, offset, "wrong offset for detail {detail:?}");
+                    assert!(detail.contains(needle), "detail {detail:?} missing {needle:?}");
+                }
+                other => panic!("expected CorruptFile, got {other:?}"),
+            }
+        };
+
+        let mut good = Vec::new();
+        good.extend_from_slice(FILE_MAGIC);
+        good.extend_from_slice(&32u32.to_le_bytes());
+        good.extend_from_slice(&FORMAT_CHECKSUMMED.to_le_bytes());
+
+        expect(b"PAYG", 0, "shorter than"); // truncated header
+        expect(b"NOTMAGIC00000000", 0, "bad magic");
+        let mut zero_ps = good.clone();
+        zero_ps[8..12].copy_from_slice(&0u32.to_le_bytes());
+        expect(&zero_ps, 8, "zero page size");
+        let mut bad_fmt = good.clone();
+        bad_fmt[12..16].copy_from_slice(&9u32.to_le_bytes());
+        expect(&bad_fmt, 12, "unknown format");
+        let mut torn = good.clone();
+        torn.extend_from_slice(&[0u8; 17]); // not a multiple of the 40-byte slot
+        expect(&torn, HEADER_LEN, "not a multiple");
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    /// Flipping any payload bit on disk surfaces as a typed
+    /// `ChecksumMismatch` naming the page, not as silent bad data.
+    #[test]
+    fn file_store_detects_bit_rot() {
+        let dir = std::env::temp_dir().join(format!("payg-bitrot-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let store = FileStore::open(&dir).unwrap();
+        let c = store.create_chain(32).unwrap();
+        store.append_page(c, b"healthy page zero").unwrap();
+        store.append_page(c, b"healthy page one").unwrap();
+        let key = PageKey::new(c, 1);
+        assert!(store.read_page(key).is_ok());
+
+        // Rot one byte of page 1's payload behind the store's back.
+        let path = store.chain_path(c.0);
+        let mut bytes = std::fs::read(&path).unwrap();
+        let slot = 32 + PAGE_TRAILER_LEN;
+        bytes[HEADER_LEN as usize + slot + 3] ^= 0x40;
+        std::fs::write(&path, &bytes).unwrap();
+
+        match store.read_page(key) {
+            Err(StorageError::ChecksumMismatch { key: k, stored, computed }) => {
+                assert_eq!(k, key);
+                assert_ne!(stored, computed);
+            }
+            other => panic!("expected ChecksumMismatch, got {other:?}"),
+        }
+        // The sibling page is untouched and still verifies.
+        assert!(store.read_page(PageKey::new(c, 0)).is_ok());
+        // Reopening also still verifies (checksums live per page, on disk).
+        drop(store);
+        let store = FileStore::open(&dir).unwrap();
+        assert!(matches!(
+            store.read_page(key),
+            Err(StorageError::ChecksumMismatch { .. })
+        ));
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    /// Files written before the checksum trailer existed (header format 0)
+    /// still open and read — without verification.
+    #[test]
+    fn file_store_reads_legacy_unchecksummed_format() {
+        let dir = std::env::temp_dir().join(format!("payg-legacy-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        let mut bytes = Vec::new();
+        bytes.extend_from_slice(FILE_MAGIC);
+        bytes.extend_from_slice(&16u32.to_le_bytes());
+        bytes.extend_from_slice(&FORMAT_LEGACY.to_le_bytes());
+        bytes.extend_from_slice(b"legacy page 0..."); // one raw 16-byte slot
+        std::fs::write(dir.join("chain_0000000000000005.pg"), &bytes).unwrap();
+
+        let store = FileStore::open(&dir).unwrap();
+        let c = ChainId(5);
+        assert_eq!(store.chain_len(c).unwrap(), 1);
+        let page = store.read_page(PageKey::new(c, 0)).unwrap();
+        assert_eq!(&page[..], b"legacy page 0...");
+        // New chains created alongside are checksummed from birth.
+        let fresh = store.create_chain(16).unwrap();
+        store.append_page(fresh, b"fresh").unwrap();
+        assert!(store.read_page(PageKey::new(fresh, 0)).is_ok());
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn faulty_store_transient_window_heals() {
+        let store = FaultyStore::new(MemStore::new(), FaultPlan::Transient { after: 2, count: 3 });
+        let c = store.create_chain(16).unwrap();
+        store.append_page(c, b"x").unwrap();
+        let key = PageKey::new(c, 0);
+        assert!(store.read_page(key).is_ok()); // read #1
+        assert!(store.read_page(key).is_ok()); // read #2
+        for i in 0..3 {
+            let e = store.read_page(key).expect_err("outage read should fail");
+            assert!(e.is_transient(), "outage read #{i} should classify transient");
+        }
+        assert!(store.read_page(key).is_ok(), "outage over, reads heal");
+    }
+
+    #[test]
+    fn faulty_store_injects_write_faults() {
+        let store = FaultyStore::new(MemStore::new(), FaultPlan::EveryNthWrite(2));
+        let c = store.create_chain(16).unwrap();
+        assert!(store.append_page(c, b"a").is_ok()); // write #1
+        assert!(matches!(
+            store.append_page(c, b"b"),
+            Err(StorageError::InjectedWriteFault(id)) if id == c.0
+        ));
+        assert!(store.append_page(c, b"c").is_ok()); // write #3
+        assert_eq!(store.writes(), 3);
+        assert_eq!(store.chain_len(c).unwrap(), 2, "failed append left no page behind");
+    }
+
+    #[test]
+    fn faulty_store_corrupt_pages_report_sticky_checksum_mismatch() {
+        let store = FaultyStore::new(MemStore::new(), FaultPlan::None);
+        let c = store.create_chain(16).unwrap();
+        store.append_page(c, b"doomed").unwrap();
+        store.append_page(c, b"fine").unwrap();
+        let bad = PageKey::new(c, 0);
+        store.set_plan(FaultPlan::CorruptPages(vec![bad]));
+        let (s1, c1) = match store.read_page(bad) {
+            Err(StorageError::ChecksumMismatch { stored, computed, .. }) => (stored, computed),
+            other => panic!("expected ChecksumMismatch, got {other:?}"),
+        };
+        assert_ne!(s1, c1);
+        // Sticky and deterministic: the same corruption on every read.
+        let (s2, c2) = match store.read_page(bad) {
+            Err(StorageError::ChecksumMismatch { stored, computed, .. }) => (stored, computed),
+            other => panic!("expected ChecksumMismatch, got {other:?}"),
+        };
+        assert_eq!((s1, c1), (s2, c2));
+        assert!(store.read_page(PageKey::new(c, 1)).is_ok(), "unlisted pages pass");
+    }
+
+    #[test]
+    fn faulty_store_seeded_is_deterministic_and_plausible() {
+        let build = |seed| {
+            let store = FaultyStore::new(
+                MemStore::new(),
+                FaultPlan::Seeded { seed, p_read: 0.3, p_corrupt: 0.1, p_write: 0.0 },
+            );
+            let c = store.create_chain(16).unwrap();
+            for i in 0..4u8 {
+                store.append_page(c, &[i; 4]).unwrap();
+            }
+            (store, c)
+        };
+        let (a, ca) = build(42);
+        let (b, cb) = build(42);
+        let mut outcomes = Vec::new();
+        for round in 0..8 {
+            for p in 0..4 {
+                let ra = a.read_page(PageKey::new(ca, p));
+                let rb = b.read_page(PageKey::new(cb, p));
+                // Same seed, same key, same attempt → same decision.
+                match (&ra, &rb) {
+                    (Ok(x), Ok(y)) => assert_eq!(x, y),
+                    (Err(StorageError::InjectedFault(_)), Err(StorageError::InjectedFault(_)))
+                    | (
+                        Err(StorageError::ChecksumMismatch { .. }),
+                        Err(StorageError::ChecksumMismatch { .. }),
+                    ) => {}
+                    other => panic!("seed-divergent outcomes at round {round}: {other:?}"),
+                }
+                outcomes.push(match ra {
+                    Ok(_) => 0u8,
+                    Err(StorageError::InjectedFault(_)) => 1,
+                    Err(e) => {
+                        assert!(matches!(e, StorageError::ChecksumMismatch { .. }));
+                        2
+                    }
+                });
+            }
+        }
+        // With p_read=0.3 over 32 attempts all three outcomes should appear.
+        assert!(outcomes.contains(&0), "no successful reads at all");
+        assert!(outcomes.contains(&1), "no transient faults drawn");
+        // A different seed draws a different schedule.
+        let (d, cd) = build(43);
+        let diverged = (0..8).any(|round| {
+            (0..4).any(|p| {
+                let rd = d.read_page(PageKey::new(cd, p)).is_ok();
+                rd != (outcomes[round * 4 + p as usize] == 0)
+            })
+        });
+        assert!(diverged, "seed 43 replayed seed 42's schedule exactly");
     }
 }

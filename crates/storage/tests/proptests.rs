@@ -2,7 +2,10 @@
 //! through the pool under arbitrary interleavings of pins and evictions.
 
 use payg_resman::{PoolLimits, ResourceManager};
-use payg_storage::{BufferPool, ChainWriter, MemStore, PageKey, PageStore};
+use payg_storage::{
+    BufferPool, ChainWriter, FaultPlan, FaultyStore, MemStore, PageKey, PageStore, PoolConfig,
+    RetryPolicy,
+};
 use proptest::prelude::*;
 use std::sync::Arc;
 
@@ -63,5 +66,58 @@ proptest! {
         prop_assert_eq!(m.loads + m.hits, pins.len() as u64);
         prop_assert_eq!(m.bytes_loaded, m.loads * 32);
         prop_assert!(m.loads <= n_pages, "never more loads than distinct pages");
+    }
+
+    /// One transient fault injected at an arbitrary point of an arbitrary
+    /// pin/evict workload never breaks the metric invariants: every pin is
+    /// a hit xor a miss, `misses - loads` counts exactly the failed pins,
+    /// and a transient fault never quarantines. With retry enabled the
+    /// fault is absorbed (zero failed pins); with retry disabled it
+    /// surfaces on exactly the pin whose read hit it.
+    #[test]
+    fn single_injected_fault_preserves_metric_invariants(
+        n_pages in 1u64..10,
+        ops in prop::collection::vec((any::<u8>(), any::<bool>()), 1..60),
+        fault_after in 0u64..40,
+        retry in any::<bool>(),
+    ) {
+        let store = Arc::new(FaultyStore::new(MemStore::new(), FaultPlan::None));
+        let chain = store.create_chain(32).unwrap();
+        for i in 0..n_pages {
+            store.append_page(chain, &[i as u8]).unwrap();
+        }
+        store.set_plan(FaultPlan::Transient { after: fault_after, count: 1 });
+        let resman = ResourceManager::new();
+        let pool = BufferPool::with_config(
+            Arc::clone(&store) as Arc<dyn PageStore>,
+            resman.clone(),
+            PoolConfig {
+                retry: if retry { RetryPolicy::default() } else { RetryPolicy::NONE },
+                sleeper: Arc::new(|_| {}),
+                ..PoolConfig::default()
+            },
+        );
+        let mut failures = 0u64;
+        for (sel, evict) in &ops {
+            let key = PageKey::new(chain, u64::from(*sel) % n_pages);
+            match pool.pin(key) {
+                Ok(guard) => prop_assert_eq!(guard[0], key.page_no as u8),
+                Err(_) => failures += 1,
+            }
+            if *evict {
+                resman.reactive_unload();
+            }
+        }
+        let m = pool.metrics();
+        prop_assert_eq!(m.hits + m.misses, ops.len() as u64, "hit xor miss per pin: {:?}", m);
+        prop_assert_eq!(m.misses - m.loads, failures, "failed pins == misses - loads: {:?}", m);
+        prop_assert!(m.load_faults <= 1, "Transient count:1 fires at most once: {:?}", m);
+        prop_assert_eq!(failures, if retry { 0 } else { m.load_faults },
+            "retry absorbs the single fault; no-retry surfaces it: {:?}", m);
+        prop_assert_eq!(m.load_retries, if retry { m.load_faults } else { 0 });
+        prop_assert_eq!(m.quarantine_inserts, 0, "a transient fault never quarantines");
+        prop_assert_eq!(pool.quarantined_pages(), 0);
+        prop_assert_eq!(m.bytes_loaded, m.loads * 32);
+        pool.assert_no_live_pins("proptest quiesce");
     }
 }

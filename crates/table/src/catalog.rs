@@ -27,7 +27,7 @@ use payg_storage::{BufferPool, ChainId, PageKey, StorageError};
 const CATALOG_MAGIC: &[u8; 8] = b"PAYGCAT1";
 
 fn corrupt(what: &str) -> TableError {
-    TableError::Core(CoreError::Storage(StorageError::Corrupt(format!("catalog: {what}"))))
+    TableError::Core(CoreError::Storage(StorageError::corrupt(format!("catalog: {what}"))))
 }
 
 fn write_value(w: &mut MetaWriter, v: &Value) {

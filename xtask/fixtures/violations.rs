@@ -23,3 +23,7 @@ fn safety_violation(p: *const u32) -> u32 {
 struct RawCounterViolation {
     hits: std::sync::atomic::AtomicU64, // raw-counter: use payg_obs::Counter
 }
+
+fn stringly_error_violation(detail: String) -> StorageError {
+    StorageError::Corrupt(detail) // stringly-error: use StorageError::corrupt()
+}

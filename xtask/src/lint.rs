@@ -24,6 +24,11 @@
 //!   `payg-obs` (and `payg-check`): counters belong in the obs registry as
 //!   `payg_obs::Counter`/`Gauge` so one snapshot covers the whole system.
 //!   Non-metric atomics (id allocators, clocks) carry a suppression.
+//! * `stringly-error` — no `StorageError::Corrupt(..)` (or a resurrected
+//!   `StorageError::Other`) constructed in library code outside
+//!   `crates/storage/src/error.rs`: go through `StorageError::corrupt()` /
+//!   `corrupt_file()` or a structured variant, so the retry/quarantine
+//!   fault taxonomy stays the single source of truth.
 //!
 //! Suppress a finding with `// lint: allow(<rule>) <reason>` on the same
 //! line or the line directly above. The reason is mandatory.
@@ -154,6 +159,7 @@ struct Scope {
     sleep: bool,
     pin_in_loop: bool,
     raw_counter: bool,
+    stringly_error: bool,
 }
 
 fn scope_for(rel: &Path) -> Scope {
@@ -167,6 +173,9 @@ fn scope_for(rel: &Path) -> Scope {
     let is_check_crate = s.starts_with("crates/check/");
     // payg-obs implements Counter/Gauge/Histogram on top of raw atomics.
     let is_obs_crate = s.starts_with("crates/obs/");
+    // The error module owns the taxonomy: it is the one sanctioned
+    // construction site for the stringly variants.
+    let is_error_taxonomy = s == "crates/storage/src/error.rs";
     Scope {
         unwrap: concurrency_core,
         raw_lock: concurrency_core && !sync_alias_module && !is_check_crate,
@@ -174,6 +183,7 @@ fn scope_for(rel: &Path) -> Scope {
         sleep: in_crates_src && !is_check_crate,
         pin_in_loop: s.starts_with("crates/core/src/datavec/"),
         raw_counter: in_crates_src && !is_check_crate && !is_obs_crate,
+        stringly_error: in_crates_src && !is_error_taxonomy,
     }
 }
 
@@ -185,7 +195,8 @@ pub fn lint_file(rel: &Path, text: &str, findings: &mut Vec<Finding>) {
         || scope.safety
         || scope.sleep
         || scope.pin_in_loop
-        || scope.raw_counter)
+        || scope.raw_counter
+        || scope.stringly_error)
     {
         return;
     }
@@ -319,6 +330,21 @@ pub fn lint_file(rel: &Path, text: &str, findings: &mut Vec<Finding>) {
                 message: "raw AtomicU64 declared outside payg-obs: register a \
                           payg_obs::Counter/Gauge so the metric is exported, or \
                           suppress with a reason if this is not a metric"
+                    .to_string(),
+            });
+        }
+
+        if scope.stringly_error
+            && (code.contains("StorageError::Corrupt(") || code.contains("StorageError::Other"))
+            && !suppressed("stringly-error")
+        {
+            findings.push(Finding {
+                path: rel.to_path_buf(),
+                line: lineno,
+                rule: "stringly-error",
+                message: "stringly StorageError constructed outside storage::error: \
+                          use StorageError::corrupt()/corrupt_file() or a structured \
+                          variant so the fault taxonomy stays centralized"
                     .to_string(),
             });
         }
@@ -524,6 +550,7 @@ mod tests {
         assert!(rules.contains(&"safety"), "fixture must trip safety: {rules:?}");
         assert!(rules.contains(&"sleep"), "fixture must trip sleep: {rules:?}");
         assert!(rules.contains(&"raw-counter"), "fixture must trip raw-counter: {rules:?}");
+        assert!(rules.contains(&"stringly-error"), "fixture must trip stringly-error: {rules:?}");
     }
 
     #[test]
@@ -569,6 +596,24 @@ mod tests {
         // Non-metric atomics are suppressible with a reason.
         let sup = "pub struct S {\n    // lint: allow(raw-counter) id allocator, not a metric\n    next_id: AtomicU64,\n}\n";
         assert!(lint_str("crates/storage/src/pool.rs", sup).is_empty());
+    }
+
+    #[test]
+    fn stringly_error_flagged_outside_the_taxonomy_module() {
+        let bad = "fn f() -> StorageError { StorageError::Corrupt(format!(\"bad {x}\")) }\n";
+        let v = lint_str("crates/core/src/dict/paged.rs", bad);
+        assert_eq!(v.len(), 1);
+        assert_eq!(v[0].rule, "stringly-error");
+        // The taxonomy module itself is the sanctioned construction site.
+        assert!(lint_str("crates/storage/src/error.rs", bad).is_empty());
+        // The helper spelling is the approved one.
+        let ok = "fn f() -> StorageError { StorageError::corrupt(\"bad page\") }\n";
+        assert!(lint_str("crates/core/src/dict/paged.rs", ok).is_empty());
+        // A resurrected catch-all variant is flagged wherever it appears.
+        let other = "fn f() -> StorageError { StorageError::Other(\"??\".into()) }\n";
+        assert_eq!(lint_str("crates/table/src/catalog.rs", other).len(), 1);
+        // Test trees stay exempt (they assert on error shapes).
+        assert!(lint_str("crates/core/tests/proptests.rs", bad).is_empty());
     }
 
     #[test]

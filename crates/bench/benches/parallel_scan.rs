@@ -103,19 +103,7 @@ fn measure(
 }
 
 fn metrics_delta(after: PoolMetrics, before: PoolMetrics) -> PoolMetrics {
-    PoolMetrics {
-        loads: after.loads - before.loads,
-        hits: after.hits - before.hits,
-        misses: after.misses - before.misses,
-        bytes_loaded: after.bytes_loaded - before.bytes_loaded,
-        load_waits: after.load_waits - before.load_waits,
-        contended: after.contended - before.contended,
-        prefetches: after.prefetches - before.prefetches,
-        load_retries: after.load_retries - before.load_retries,
-        load_faults: after.load_faults - before.load_faults,
-        quarantine_inserts: after.quarantine_inserts - before.quarantine_inserts,
-        quarantine_fail_fast: after.quarantine_fail_fast - before.quarantine_fail_fast,
-    }
+    after.delta(&before)
 }
 
 fn main() {

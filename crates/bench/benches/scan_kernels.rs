@@ -15,7 +15,9 @@
 //!
 //! Emits `BENCH_scan_kernels.json` at the workspace root and exits non-zero
 //! if any required equality target (specialized ≥ 2× generic at
-//! n ∈ {1, 4, 8, 17}) is missed.
+//! n ∈ {1, 4, 8, 17}) is missed, or if the no-regression floor is: the
+//! specialized kernel must be ≥ 1.0× the generic one at *every*
+//! (bits, op) point — specialization may never lose to the baseline.
 
 use payg_core::datavec::PagedDataVector;
 use payg_core::{PageConfig, ScanOptions};
@@ -34,6 +36,8 @@ const WIDTHS: &[u32] = &[1, 2, 4, 8, 10, 16, 17, 24, 32];
 /// Widths the ≥ 2× equality acceptance target applies to.
 const REQUIRED_EQ: &[u32] = &[1, 4, 8, 17];
 const EQ_TARGET: f64 = 2.0;
+/// Every (bits, op) point must clear this: specialization never loses.
+const FLOOR: f64 = 1.0;
 
 fn sample_vec(bits: u32) -> BitPackedVec {
     let w = BitWidth::new(bits).unwrap();
@@ -186,6 +190,23 @@ fn main() {
         );
     }
 
+    // No-regression floor over every measured point: a specialized kernel
+    // slower than the generic baseline is a dispatch bug, not noise.
+    let mut floor_met = true;
+    for r in &rows {
+        if r.speedup() < FLOOR {
+            floor_met = false;
+            println!(
+                "floor n={} op={}: {:.2}x (floor >= {FLOOR}x) MISSED",
+                r.bits,
+                r.op,
+                r.speedup()
+            );
+        }
+    }
+    println!("floor >= {FLOOR}x at every (bits, op) point: {}", if floor_met { "MET" } else { "MISSED" });
+    all_met &= floor_met;
+
     let mut json = String::from("{\n");
     let _ = writeln!(json, "  \"bench\": \"scan_kernels\",");
     let _ = writeln!(json, "  \"rows\": {ROWS},");
@@ -215,6 +236,7 @@ fn main() {
         );
     }
     let _ = writeln!(json, "  }},");
+    let _ = writeln!(json, "  \"floor\": {{\"target\": {FLOOR}, \"met\": {floor_met}}},");
 
     // A small paged pass through the full stack (pool → guard cache →
     // kernel dispatch) so the report embeds the obs registry's view —

@@ -14,6 +14,7 @@ pub fn obs_json(snap: &ObsSnapshot, profile: Option<&ScanProfile>, indent: &str)
     let pins = hits + misses;
     let hit_rate = if pins == 0 { 0.0 } else { hits as f64 / pins as f64 };
     let pin_ns = snap.histogram(names::POOL_PIN_NS);
+    let load_ns = snap.histogram(names::POOL_LOAD_NS);
     let mut entries = vec![
         format!("\"pool_hits\": {hits}"),
         format!("\"pool_misses\": {misses}"),
@@ -36,6 +37,12 @@ pub fn obs_json(snap: &ObsSnapshot, profile: Option<&ScanProfile>, indent: &str)
         format!("\"evicted_bytes\": {}", snap.counter(names::RESMAN_EVICTED_BYTES)),
         format!("\"pin_ns_p50\": {}", pin_ns.percentile(0.50)),
         format!("\"pin_ns_p99\": {}", pin_ns.percentile(0.99)),
+        format!("\"load_ns_p50\": {}", load_ns.percentile(0.50)),
+        format!("\"load_ns_p99\": {}", load_ns.percentile(0.99)),
+        format!("\"io_submitted\": {}", snap.counter(names::POOL_IO_SUBMITTED)),
+        format!("\"io_coalesced\": {}", snap.counter(names::POOL_IO_COALESCED)),
+        format!("\"io_completions\": {}", snap.counter(names::POOL_IO_COMPLETIONS)),
+        format!("\"io_physical_reads\": {}", snap.counter(names::POOL_IO_PHYSICAL_READS)),
     ];
     if let Some(p) = profile {
         entries.push(format!("\"scan_profile\": {}", p.to_json()));
@@ -67,6 +74,8 @@ mod tests {
         assert!(json.contains("\"pool_hit_rate\": 0.7500"), "{json}");
         assert!(json.contains("\"pin_ns_p50\": 255"), "{json}");
         assert!(json.contains("\"pin_ns_p99\": 65535"), "{json}");
+        assert!(json.contains("\"load_ns_p50\": 0"), "cold histogram empty here: {json}");
+        assert!(json.contains("\"io_physical_reads\": 0"), "{json}");
         assert!(json.contains("\"scan_profile\": {\"pages_pinned\": 0"), "{json}");
         assert!(!json.contains(",\n  }"), "no trailing comma: {json}");
     }

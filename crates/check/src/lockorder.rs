@@ -12,7 +12,9 @@
 //! | rank | lock |
 //! |-----:|------|
 //! | 2  | core column state (resident image, permanent helper pins) |
+//! | 3  | I/O stage submission queue |
 //! | 5  | `LoadState.done` (single-flight publish) |
+//! | 6  | I/O stage fetch ticket (completion latch) |
 //! | 10 | pool `Shard.slots` |
 //! | 20 | `Frame.transient` |
 //! | 25 | resman `Inner.limits` |
@@ -30,8 +32,15 @@ pub enum LockRank {
     /// pins): outermost — held while pinning pages or registering
     /// resources, never acquired with a storage/resman lock held.
     CoreColumn = 2,
+    /// I/O stage submission queue — held only to push or pop fetch
+    /// requests, never across a shard lock or a store call.
+    IoQueue = 3,
     /// Single-flight `LoadState` mutex — never nests inside anything.
     LoadState = 5,
+    /// I/O stage fetch ticket (the completion latch between a submitting
+    /// pin and the worker that resolves it) — waited on with no other lock
+    /// held.
+    IoTicket = 6,
     /// Buffer pool shard map.
     PoolShard = 10,
     /// Per-frame transient-object slot.

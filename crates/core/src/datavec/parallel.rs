@@ -5,9 +5,12 @@
 //! the predicate are excluded before the split, so workers divide only the
 //! pages that will actually be read. Each worker drives its own stateful,
 //! repositioning iterator — holding a small bounded set of pinned pages via
-//! its guard cache, in the spirit of §3.1.2's single-pin iterator — plus one
-//! asynchronous read-ahead slot that loads the worker's next surviving page
-//! while the current one is being scanned.
+//! its guard cache, in the spirit of §3.1.2's single-pin iterator — plus
+//! asynchronous read-ahead for its upcoming surviving pages. When the pool's
+//! cold-path I/O stage is active, read-ahead is an adaptive window of
+//! prefetch submissions whose depth tracks completion latency versus
+//! consumption rate ([`StagedReadAhead`]); otherwise each worker falls back
+//! to one legacy read-ahead slot for its next surviving page.
 //! Per-segment results are concatenated in partition order, which makes the
 //! output bit-identical to the sequential scan.
 //!
@@ -133,6 +136,82 @@ fn scan_abort(vec: &PagedDataVector, page_no: u64, source: CoreError) -> CoreErr
     CoreError::ScanAborted { chain: key.chain.0, page_no: key.page_no, source: Box::new(source) }
 }
 
+/// Deadline-aware read-ahead window for a scan worker when the pool's
+/// cold-path I/O stage is active. Instead of one blocking read-ahead slot,
+/// the worker keeps up to `depth` surviving pages submitted ahead of its
+/// cursor via [`payg_storage::BufferPool::prefetch_submit`] — adjacent
+/// submissions coalesce into ranged reads inside the stage. The depth
+/// adapts to completion latency versus consumption rate: arriving at a page
+/// that is *still not resident* means the stage is losing the race, so the
+/// window doubles (up to [`Self::MAX_DEPTH`]); a long streak of warm
+/// arrivals means the window is outrunning the scan, so it shrinks back.
+struct StagedReadAhead {
+    /// Surviving pages to keep submitted ahead of the scan cursor.
+    depth: u64,
+    /// First page number not yet considered for submission.
+    cursor: u64,
+    /// Consecutive pages found resident on arrival.
+    warm_streak: u32,
+}
+
+impl StagedReadAhead {
+    const INITIAL_DEPTH: u64 = 2;
+    const MAX_DEPTH: u64 = 32;
+    /// Warm arrivals in a row before the window halves.
+    const SHRINK_AFTER: u32 = 8;
+
+    fn new() -> Self {
+        StagedReadAhead { depth: Self::INITIAL_DEPTH, cursor: 0, warm_streak: 0 }
+    }
+
+    /// Feed the adaptation signal: was the page the worker just arrived at
+    /// already resident?
+    fn observe(&mut self, resident: bool) {
+        if resident {
+            self.warm_streak += 1;
+            if self.warm_streak >= Self::SHRINK_AFTER && self.depth > Self::INITIAL_DEPTH {
+                self.depth = (self.depth / 2).max(Self::INITIAL_DEPTH);
+                self.warm_streak = 0;
+            }
+        } else {
+            self.warm_streak = 0;
+            self.depth = (self.depth * 2).min(Self::MAX_DEPTH);
+        }
+    }
+
+    /// Submit prefetches so that up to `depth` surviving pages beyond
+    /// `page` (bounded by `last`) are in flight. Pages already considered
+    /// (below the cursor) are never re-submitted; a submission the stage
+    /// sheds under queue pressure is simply dropped — the demand pin will
+    /// load it.
+    fn top_up(
+        &mut self,
+        vec: &PagedDataVector,
+        page: u64,
+        last: u64,
+        survives: &impl Fn(u64) -> bool,
+    ) {
+        let mut ahead = 0u64;
+        for p in (page + 1)..=last {
+            if ahead == self.depth {
+                break;
+            }
+            if !survives(p) {
+                continue;
+            }
+            ahead += 1;
+            if p < self.cursor {
+                continue;
+            }
+            self.cursor = p + 1;
+            let key = vec.page_key(p);
+            if !vec.pool().is_resident(key) {
+                vec.pool().prefetch_submit(key);
+            }
+        }
+    }
+}
+
 /// Scans one partition page by page with a private repositioning iterator
 /// (one pin) and, when enabled, a private read-ahead slot for the next
 /// surviving page. Before each page the worker polls the scan-wide `cancel`
@@ -159,8 +238,13 @@ fn scan_partition_worker(
         let (lo, hi) = vec.page_summary(p);
         set.overlaps(lo, hi)
     };
-    // The read-ahead slot spawns lazily: a warm scan (every page resident)
-    // never pays for the thread.
+    // Read-ahead strategy. With the cold-path I/O stage active the worker
+    // keeps an *adaptive window* of prefetch submissions ahead of its
+    // cursor (see `StagedReadAhead`); otherwise it falls back to the legacy
+    // single read-ahead slot, which spawns lazily so a warm scan (every
+    // page resident) never pays for the thread.
+    let staged = prefetch && vec.pool().io_stage_active();
+    let mut window = StagedReadAhead::new();
     let mut slot: Option<Prefetcher> = None;
     let first = part.from / rpp;
     let last = (part.to - 1) / rpp;
@@ -174,11 +258,14 @@ fn scan_partition_worker(
             it.note_pruned();
             continue;
         }
-        // Read ahead: start loading the next surviving page before scanning
+        // Read ahead: start loading upcoming surviving pages before scanning
         // this one, so the store latency overlaps the predicate work. The
         // pool's single-flight load states make our later pin join that load
         // instead of duplicating it.
-        if prefetch {
+        if staged {
+            window.observe(vec.pool().is_resident(vec.page_key(page)));
+            window.top_up(vec, page, last, &survives);
+        } else if prefetch {
             if let Some(next) = (page + 1..=last).find(|&p| survives(p)) {
                 let key = vec.page_key(next);
                 if !vec.pool().is_resident(key) {

@@ -13,12 +13,16 @@
 //!   ([`WidthKernels::for_width`]). Shift amounts, lane counts and masks are
 //!   compile-time constants; the per-slot loops fully unroll and
 //!   autovectorize.
-//! * Word-aligned widths (1, 2, 4, 8, 16, 32) evaluate equality without
-//!   decoding at all: an exact SWAR lane-compare produces a per-lane match
-//!   mask, and the byte-aligned widths (8/16/32) collapse it to result bits
-//!   with a single multiply (a portable `movemask`). Non-dividing widths
-//!   `>= 15` also skip the decode for equality: a zero-byte screen over the
-//!   XOR diff rejects whole words, and only candidate lanes are verified.
+//! * Word-aligned widths (1, 2, 4, 8, 16, 32) evaluate equality *and
+//!   ranges* without decoding at all: exact SWAR lane-compares (equality
+//!   zero-test, per-lane unsigned less-than for the range bounds) produce a
+//!   per-lane match mask, and the byte-aligned widths (8/16/32) collapse it
+//!   to result bits with a single multiply (a portable `movemask`).
+//!   Non-dividing widths `>= 15` also skip the decode for equality: a
+//!   zero-byte screen over the XOR diff rejects whole words, and only
+//!   candidate lanes are verified. Small sorted sets run as an OR of SWAR
+//!   equality passes (aligned widths `<= 16`) or a decode plus branchless
+//!   linear membership test — never a per-slot binary search.
 //! * Every kernel emits **result bitmaps** — one `u64` per 64-value chunk,
 //!   bit `i` set ⇔ slot `i` matches — instead of pushing row ids. Bitmap
 //!   output costs O(1) per chunk regardless of selectivity; positions are
@@ -73,6 +77,20 @@ pub fn chunk_eq<const N: u32>(chunk: &[u64], vid: u64) -> u64 {
 /// `lo <= hi` and `hi` must fit in `N` bits.
 #[inline]
 pub fn chunk_range<const N: u32>(chunk: &[u64], lo: u64, hi: u64) -> u64 {
+    if 64 % N == 0 {
+        // SWAR path: no decode. Two per-lane unsigned compares against the
+        // replicated bounds — `lo <= v <= hi` is `!(v < lo) & !(hi < v)`.
+        let lsb = lane_lsb::<N>();
+        let h = lsb << (N - 1);
+        let lo_rep = lo.wrapping_mul(lsb);
+        let hi_rep = hi.wrapping_mul(lsb);
+        let mut bm = 0u64;
+        for (wi, &word) in chunk[..N as usize].iter().enumerate() {
+            let hits = h & !lane_lt::<N>(word, lo_rep) & !lane_lt::<N>(hi_rep, word);
+            bm |= movemask::<N>(hits) << (wi * (64 / N as usize));
+        }
+        return bm;
+    }
     let mut buf = [0u64; CHUNK_LEN];
     decode_const::<N>(chunk, &mut buf);
     let mut bm = 0u64;
@@ -82,11 +100,91 @@ pub fn chunk_range<const N: u32>(chunk: &[u64], lo: u64, hi: u64) -> u64 {
     bm
 }
 
+/// Sorted sets up to this size use the linear membership kernels instead of
+/// the per-slot binary search (branchless compares beat the search's
+/// mispredicted branches well past this point, but the cost is linear in the
+/// set size, so cap it).
+const MAX_LINEAR_SET: usize = 16;
+
+/// Per-lane unsigned `x < y` at a dividing width `N`: returns a mask with
+/// the *top* bit of every matching lane set (the same shape [`movemask`]
+/// consumes).
+///
+/// `d`'s lanes hold `x_rest + 2^(N-1) - y_rest` where `*_rest` drops the
+/// lane's top bit; that value stays in `[1, 2^N - 1]`, so the full-word
+/// subtraction never borrows across lanes and each lane's top bit of `d` is
+/// set iff `x_rest >= y_rest`. Lanes where the top bits of `x` and `y`
+/// differ are decided by those bits alone (`~x & y`); equal-top-bit lanes
+/// defer to the rest compare (`~(x^y) & ~d`).
+#[inline]
+fn lane_lt<const N: u32>(x: u64, y: u64) -> u64 {
+    let h = lane_lsb::<N>() << (N - 1);
+    let d = (x | h).wrapping_sub(y & !h);
+    ((!x & y) | (!(x ^ y) & !d)) & h
+}
+
 /// One chunk's match bitmap for an arbitrary sorted-list / bitmap predicate
 /// at width `N` (single and range shapes are routed to the cheaper kernels
 /// by [`KernelPredicate::new`] before this is reached).
 #[inline]
 pub fn chunk_in_set<const N: u32>(chunk: &[u64], set: &VidSet) -> u64 {
+    if let VidSet::Sorted(vids) = set {
+        if vids.len() <= MAX_LINEAR_SET {
+            let mask = if N == 64 { u64::MAX } else { (1u64 << N) - 1 };
+            if N == 1 {
+                // Two possible probes at most; chunk_eq's width-1 special
+                // case is already a plain (inverted) word copy.
+                let mut bm = 0u64;
+                for &vid in vids {
+                    if vid <= mask {
+                        bm |= chunk_eq::<N>(chunk, vid);
+                    }
+                }
+                return bm;
+            }
+            if 64 % N == 0 && N <= 16 {
+                // Fused OR of exact SWAR equality tests, one word pass — no
+                // decode. The per-lane masks of all probes are OR-combined
+                // *before* the movemask multiply (the expensive step), so a
+                // k-probe set costs k XOR/zero-tests but only one compaction
+                // per word, instead of k full chunk_eq passes. Probes beyond
+                // the width's domain can never match.
+                let lsb = lane_lsb::<N>();
+                let msb = lsb << (N - 1);
+                let mut patterns = [0u64; MAX_LINEAR_SET];
+                let mut probes = 0usize;
+                for &vid in vids {
+                    if vid <= mask {
+                        patterns[probes] = vid.wrapping_mul(lsb);
+                        probes += 1;
+                    }
+                }
+                let mut bm = 0u64;
+                for (wi, &word) in chunk[..N as usize].iter().enumerate() {
+                    let mut hits = 0u64;
+                    for &pattern in &patterns[..probes] {
+                        let x = word ^ pattern;
+                        hits |= msb & !(x | ((x | msb).wrapping_sub(lsb)));
+                    }
+                    bm |= movemask::<N>(hits) << (wi * (64 / N as usize));
+                }
+                return bm;
+            }
+            // Decode once, then a branchless linear membership test per
+            // slot — beats the per-slot binary search's mispredicts.
+            let mut buf = [0u64; CHUNK_LEN];
+            decode_const::<N>(chunk, &mut buf);
+            let mut bm = 0u64;
+            for (i, &v) in buf.iter().enumerate() {
+                let mut hit = false;
+                for &vid in vids.iter() {
+                    hit |= v == vid;
+                }
+                bm |= u64::from(hit) << i;
+            }
+            return bm;
+        }
+    }
     let mut buf = [0u64; CHUNK_LEN];
     decode_const::<N>(chunk, &mut buf);
     match set {
@@ -625,6 +723,50 @@ mod tests {
             out.clear();
             (k.in_set)(&words, &set, &mut out);
             assert_eq!(out[0], naive_bitmap(&values, |v| set.contains(v)), "bits={bits}");
+        }
+    }
+
+    #[test]
+    fn swar_range_matches_naive_at_edge_bounds() {
+        // The SWAR less-than path (dividing widths) against every boundary
+        // shape: full domain, degenerate point ranges at 0 and max, and
+        // bounds adjacent to the lane extremes.
+        for bits in [1u32, 2, 4, 8, 16, 32] {
+            let values = pseudo_values(bits, u64::from(bits) * 31 + 3);
+            let (w, words) = chunk_for(&values, bits);
+            let k = WidthKernels::for_width(w).unwrap();
+            let max = w.max_value();
+            let mut bounds = vec![(0, max), (0, 0), (max, max), (max / 2, max / 2)];
+            if max > 0 {
+                bounds.push((0, max - 1));
+                bounds.push((1, max));
+                bounds.push((max / 3, 2 * (max / 3) + 1));
+            }
+            for (lo, hi) in bounds {
+                let got = (k.chunk_range)(&words, lo, hi);
+                let want = naive_bitmap(&values, |v| v >= lo && v <= hi);
+                assert_eq!(got, want, "bits={bits} lo={lo} hi={hi}");
+            }
+        }
+    }
+
+    #[test]
+    fn small_sorted_set_kernels_match_naive_all_widths() {
+        // Both linear-membership paths (SWAR OR-of-eq at aligned widths
+        // <= 16, decode + branchless compare elsewhere), including probes
+        // beyond the width's domain, which must never match.
+        for bits in 1..=32u32 {
+            let values = pseudo_values(bits, u64::from(bits) * 13 + 5);
+            let (w, words) = chunk_for(&values, bits);
+            let k = WidthKernels::for_width(w).unwrap();
+            let mut vids: Vec<u64> = values.iter().take(6).copied().collect();
+            vids.push(w.max_value().saturating_add(7));
+            vids.sort_unstable();
+            vids.dedup();
+            let set = VidSet::Sorted(vids.clone());
+            let got = (k.chunk_in_set)(&words, &set);
+            let want = naive_bitmap(&values, |v| vids.binary_search(&v).is_ok());
+            assert_eq!(got, want, "bits={bits}");
         }
     }
 

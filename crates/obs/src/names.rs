@@ -15,9 +15,13 @@ pub const POOL_BYTES_LOADED: &str = "pool_bytes_loaded";
 pub const POOL_LOAD_WAITS: &str = "pool_load_waits";
 /// Pages pulled in by the background prefetcher (labelled `pool`).
 pub const POOL_PREFETCHES: &str = "pool_prefetches";
-/// Pin-latency histogram in nanoseconds, hits and misses alike (labelled
-/// `pool`).
+/// Warm pin-latency histogram in nanoseconds — pins served from a resident
+/// frame only; cold paths land in [`POOL_LOAD_NS`] (labelled `pool`).
 pub const POOL_PIN_NS: &str = "pool_pin_ns";
+/// Cold pin-latency histogram in nanoseconds — pins that started or joined
+/// a load, so warm latency in [`POOL_PIN_NS`] stays readable (labelled
+/// `pool`).
+pub const POOL_LOAD_NS: &str = "pool_load_ns";
 /// Per-shard resident hits (labelled `pool`, `shard`).
 pub const POOL_SHARD_HITS: &str = "pool_shard_hits";
 /// Per-shard misses — pin attempts that found no resident frame and became
@@ -39,6 +43,23 @@ pub const POOL_QUARANTINE_INSERTS: &str = "pool_quarantine_inserts";
 /// `pool`).
 pub const POOL_QUARANTINE_FAIL_FAST: &str = "pool_quarantine_fail_fast";
 
+/// Fetch requests submitted to the cold-path I/O stage, urgent and
+/// prefetch classes alike (labelled `pool`).
+pub const POOL_IO_SUBMITTED: &str = "pool_io_submitted";
+/// Requests whose page rode a multi-page coalesced read instead of its own
+/// positioned read (labelled `pool`).
+pub const POOL_IO_COALESCED: &str = "pool_io_coalesced";
+/// Fetch requests completed by the I/O stage, successes and failures alike
+/// (labelled `pool`).
+pub const POOL_IO_COMPLETIONS: &str = "pool_io_completions";
+/// Physical store reads issued by the I/O stage — coalesced ranged reads
+/// count once however many pages they cover (labelled `pool`).
+pub const POOL_IO_PHYSICAL_READS: &str = "pool_io_physical_reads";
+/// Pages-per-physical-read histogram for the I/O stage (labelled `pool`).
+pub const POOL_IO_BATCH_PAGES: &str = "pool_io_batch_pages";
+/// Submission-queue depth sampled at each submit (labelled `pool`).
+pub const POOL_IO_QUEUE_DEPTH: &str = "pool_io_queue_depth";
+
 /// Bytes currently registered with the resource manager (gauge).
 pub const RESMAN_TOTAL_BYTES: &str = "resman_total_bytes";
 /// Bytes of paged (evictable) resources currently registered (gauge).
@@ -57,6 +78,11 @@ pub const RESMAN_WEIGHTED_EVICTIONS: &str = "resman_weighted_evictions";
 pub const RESMAN_EVICTED_BYTES: &str = "resman_evicted_bytes";
 /// Resource registrations since startup.
 pub const RESMAN_REGISTRATIONS: &str = "resman_registrations";
+/// Bytes committed to reads in flight through the I/O stage — already
+/// charged against memory but not yet registered as resources (gauge).
+pub const RESMAN_INFLIGHT_BYTES: &str = "resman_inflight_bytes";
+/// Number of in-flight I/O-stage reads currently charged (gauge).
+pub const RESMAN_INFLIGHT_COUNT: &str = "resman_inflight_count";
 
 /// Scan calls (search/count) completed by paged data-vector iterators.
 pub const SCAN_SCANS: &str = "scan_scans";

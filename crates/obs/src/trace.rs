@@ -38,6 +38,14 @@ pub enum EventKind {
     /// The proactive sweeper completed a pass (`page_no` carries the
     /// victim count, `bytes` the bytes reclaimed; `chain` is 0).
     ProactiveSweep,
+    /// A fetch request entered the cold-path I/O stage's submission queue.
+    IoSubmitted,
+    /// An I/O-stage worker issued one physical read (`page_no` is the first
+    /// page of the coalesced run, `bytes` the number of pages it covers).
+    IoBatchIssued,
+    /// The I/O stage completed one fetch request (`bytes` is the page size
+    /// on success, 0 on failure).
+    IoCompleted,
 }
 
 /// One traced page-lifecycle event.

@@ -49,6 +49,12 @@ struct State {
     total_bytes: usize,
     paged_bytes: usize,
     paged_count: usize,
+    /// Bytes committed to store reads currently in flight through the I/O
+    /// stage: charged before the read is issued and released when the data
+    /// either becomes a registered resource or the read fails, so the
+    /// footprint series never under-reports a burst of batched loads.
+    inflight_bytes: usize,
+    inflight_count: usize,
 }
 
 /// The manager's metric handles, registered in its [`Registry`] under the
@@ -61,6 +67,8 @@ struct Obs {
     paged_bytes: Gauge,
     resource_count: Gauge,
     paged_count: Gauge,
+    inflight_bytes: Gauge,
+    inflight_count: Gauge,
     proactive_evictions: Counter,
     reactive_evictions: Counter,
     weighted_evictions: Counter,
@@ -75,6 +83,8 @@ impl Obs {
             paged_bytes: registry.gauge(names::RESMAN_PAGED_BYTES),
             resource_count: registry.gauge(names::RESMAN_RESOURCE_COUNT),
             paged_count: registry.gauge(names::RESMAN_PAGED_COUNT),
+            inflight_bytes: registry.gauge(names::RESMAN_INFLIGHT_BYTES),
+            inflight_count: registry.gauge(names::RESMAN_INFLIGHT_COUNT),
             proactive_evictions: registry.counter(names::RESMAN_PROACTIVE_EVICTIONS),
             reactive_evictions: registry.counter(names::RESMAN_REACTIVE_EVICTIONS),
             weighted_evictions: registry.counter(names::RESMAN_WEIGHTED_EVICTIONS),
@@ -91,6 +101,8 @@ impl Obs {
         self.paged_bytes.set(st.paged_bytes as u64);
         self.resource_count.set(st.entries.len() as u64);
         self.paged_count.set(st.paged_count as u64);
+        self.inflight_bytes.set(st.inflight_bytes as u64);
+        self.inflight_count.set(st.inflight_count as u64);
     }
 }
 
@@ -308,6 +320,32 @@ impl ResourceManager {
         }
     }
 
+    /// Charges `bytes` of store reads about to be issued by the I/O stage.
+    /// The bytes count toward the memory footprint from the moment the read
+    /// is committed, not only once the frame is registered — a burst of
+    /// coalesced loads is visible to the footprint series while in flight.
+    /// Must be paired with exactly one [`ResourceManager::end_inflight`].
+    pub fn begin_inflight(&self, bytes: usize) {
+        let mut st = self.inner.state.lock();
+        st.inflight_bytes += bytes;
+        st.inflight_count += 1;
+        self.inner.obs.sync(&st);
+    }
+
+    /// Releases an in-flight charge taken by
+    /// [`ResourceManager::begin_inflight`] — the read completed (the frame
+    /// is now a registered resource) or failed.
+    pub fn end_inflight(&self, bytes: usize) {
+        let mut st = self.inner.state.lock();
+        debug_assert!(
+            st.inflight_bytes >= bytes && st.inflight_count > 0,
+            "end_inflight without matching begin_inflight"
+        );
+        st.inflight_bytes = st.inflight_bytes.saturating_sub(bytes);
+        st.inflight_count = st.inflight_count.saturating_sub(1);
+        self.inner.obs.sync(&st);
+    }
+
     /// Snapshot of the accounting counters. The same figures are readable
     /// from [`ResourceManager::registry`] snapshots under the `resman_*`
     /// metric names.
@@ -317,6 +355,8 @@ impl ResourceManager {
         MemoryStats {
             total_bytes: st.total_bytes,
             paged_bytes: st.paged_bytes,
+            inflight_bytes: st.inflight_bytes,
+            inflight_count: st.inflight_count,
             resource_count: st.entries.len(),
             paged_count: st.paged_count,
             proactive_evictions: o.proactive_evictions.get(),

@@ -12,6 +12,11 @@ pub struct MemoryStats {
     /// Bytes registered with [`crate::Disposition::PagedAttribute`]
     /// (the paged pool).
     pub paged_bytes: usize,
+    /// Bytes committed to I/O-stage reads currently in flight (charged via
+    /// [`crate::ResourceManager::begin_inflight`], not yet resources).
+    pub inflight_bytes: usize,
+    /// Number of in-flight I/O-stage reads currently charged.
+    pub inflight_count: usize,
     /// Number of currently registered resources.
     pub resource_count: usize,
     /// Number of currently registered paged-attribute resources.

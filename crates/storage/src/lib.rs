@@ -22,6 +22,7 @@
 mod chain;
 pub mod checksum;
 mod error;
+mod iostage;
 mod metrics;
 mod page;
 mod pool;
@@ -31,6 +32,7 @@ pub mod sync;
 pub use chain::{ChainRef, ChainWriter};
 pub use checksum::{crc32, page_checksum, Crc32};
 pub use error::{FaultClass, StorageError, StorageResult};
+pub use iostage::{DeadlineClass, IoStageConfig};
 pub use metrics::{PoolMetrics, ShardMetrics};
 pub use page::{ChainId, PageKey};
 pub use pool::{

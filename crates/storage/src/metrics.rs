@@ -29,9 +29,25 @@ pub(crate) struct MetricCounters {
     pub quarantine_inserts: Counter,
     /// Pins failed fast from quarantine without touching the store.
     pub quarantine_fail_fast: Counter,
-    /// Pin latency in nanoseconds — hits and misses alike, so the bimodal
-    /// split (warm ~100ns vs cold ~I/O latency) is visible in the buckets.
+    /// Warm pin latency in nanoseconds — pins served from a resident frame
+    /// only. Cold pins (loaders and single-flight waiters) record into
+    /// `load_ns` instead, so this series stays readable at ~100ns scale.
     pub pin_ns: Histogram,
+    /// Cold pin latency in nanoseconds — pins that started or joined a load.
+    pub load_ns: Histogram,
+    /// Fetch requests submitted to the I/O stage (urgent + prefetch).
+    pub io_submitted: Counter,
+    /// Requests served by a multi-page coalesced read.
+    pub io_coalesced: Counter,
+    /// Requests completed by the I/O stage (successes and failures).
+    pub io_completions: Counter,
+    /// Physical store reads issued by the I/O stage (a coalesced ranged
+    /// read counts once however many pages it covers).
+    pub io_physical_reads: Counter,
+    /// Pages-per-physical-read histogram.
+    pub io_batch_pages: Histogram,
+    /// Submission-queue depth, sampled at each submit.
+    pub io_queue_depth: Histogram,
 }
 
 impl MetricCounters {
@@ -52,6 +68,13 @@ impl MetricCounters {
             quarantine_inserts: registry.counter_labeled(names::POOL_QUARANTINE_INSERTS, l),
             quarantine_fail_fast: registry.counter_labeled(names::POOL_QUARANTINE_FAIL_FAST, l),
             pin_ns: registry.histogram_labeled(names::POOL_PIN_NS, l),
+            load_ns: registry.histogram_labeled(names::POOL_LOAD_NS, l),
+            io_submitted: registry.counter_labeled(names::POOL_IO_SUBMITTED, l),
+            io_coalesced: registry.counter_labeled(names::POOL_IO_COALESCED, l),
+            io_completions: registry.counter_labeled(names::POOL_IO_COMPLETIONS, l),
+            io_physical_reads: registry.counter_labeled(names::POOL_IO_PHYSICAL_READS, l),
+            io_batch_pages: registry.histogram_labeled(names::POOL_IO_BATCH_PAGES, l),
+            io_queue_depth: registry.histogram_labeled(names::POOL_IO_QUEUE_DEPTH, l),
         }
     }
 
@@ -137,4 +160,44 @@ pub struct PoolMetrics {
     pub quarantine_inserts: u64,
     /// Pins failed fast from quarantine without touching the store.
     pub quarantine_fail_fast: u64,
+    /// Fetch requests submitted to the cold-path I/O stage (urgent demand
+    /// loads plus accepted prefetches). 0 when the stage is disabled.
+    pub io_submitted: u64,
+    /// Requests whose page rode a multi-page coalesced read.
+    pub io_coalesced: u64,
+    /// Fetch requests completed by the I/O stage, successes and failures
+    /// alike.
+    pub io_completions: u64,
+    /// Physical store reads issued by the I/O stage; a coalesced ranged
+    /// read counts once. `io_completions / io_physical_reads` is the
+    /// stage's coalescing ratio (pages per physical read).
+    pub io_physical_reads: u64,
+}
+
+impl PoolMetrics {
+    /// Field-wise difference against an earlier snapshot of the same pool
+    /// (saturating, so a mismatched baseline degrades to zeros rather than
+    /// wrapping). Benches use this to attribute counter movement to one
+    /// measured phase.
+    pub fn delta(&self, earlier: &PoolMetrics) -> PoolMetrics {
+        PoolMetrics {
+            loads: self.loads.saturating_sub(earlier.loads),
+            hits: self.hits.saturating_sub(earlier.hits),
+            misses: self.misses.saturating_sub(earlier.misses),
+            bytes_loaded: self.bytes_loaded.saturating_sub(earlier.bytes_loaded),
+            load_waits: self.load_waits.saturating_sub(earlier.load_waits),
+            contended: self.contended.saturating_sub(earlier.contended),
+            prefetches: self.prefetches.saturating_sub(earlier.prefetches),
+            load_retries: self.load_retries.saturating_sub(earlier.load_retries),
+            load_faults: self.load_faults.saturating_sub(earlier.load_faults),
+            quarantine_inserts: self.quarantine_inserts.saturating_sub(earlier.quarantine_inserts),
+            quarantine_fail_fast: self
+                .quarantine_fail_fast
+                .saturating_sub(earlier.quarantine_fail_fast),
+            io_submitted: self.io_submitted.saturating_sub(earlier.io_submitted),
+            io_coalesced: self.io_coalesced.saturating_sub(earlier.io_coalesced),
+            io_completions: self.io_completions.saturating_sub(earlier.io_completions),
+            io_physical_reads: self.io_physical_reads.saturating_sub(earlier.io_physical_reads),
+        }
+    }
 }

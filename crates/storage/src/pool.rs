@@ -1,5 +1,6 @@
 //! The buffer pool: load-on-miss page frames with RAII pin guards.
 
+use crate::iostage::{self, Completion, DeadlineClass, FetchRequest, IoStage, IoStageConfig, Ticket};
 use crate::metrics::{MetricCounters, ShardCounters, ShardMetrics};
 use crate::store::{real_sleeper, Sleeper};
 use crate::sync::{Condvar, LockRank, Mutex, MutexGuard, RwLock};
@@ -33,7 +34,7 @@ pub struct Frame {
 }
 
 impl Frame {
-    fn rid(&self) -> ResourceId {
+    pub(crate) fn rid(&self) -> ResourceId {
         // lint: allow(unwrap) invariant: set by load_frame before the frame is published
         *self.rid.get().expect("frame registered")
     }
@@ -51,7 +52,7 @@ enum LoadOutcome {
 
 /// Tracks one in-flight page load so concurrent pins of the same key wait
 /// for the loading thread instead of issuing duplicate reads.
-struct LoadState {
+pub(crate) struct LoadState {
     outcome: Mutex<LoadOutcome>,
     cv: Condvar,
 }
@@ -64,12 +65,12 @@ impl LoadState {
         })
     }
 
-    fn publish(&self) {
+    pub(crate) fn publish(&self) {
         *self.outcome.lock() = LoadOutcome::Published;
         self.cv.notify_all();
     }
 
-    fn fail(&self, error: Arc<StorageError>) {
+    pub(crate) fn fail(&self, error: Arc<StorageError>) {
         *self.outcome.lock() = LoadOutcome::Failed(error);
         self.cv.notify_all();
     }
@@ -89,7 +90,7 @@ impl LoadState {
 }
 
 /// A shard's slot: either a resident frame or a load in flight.
-enum Slot {
+pub(crate) enum Slot {
     Resident(Arc<Frame>),
     Loading(Arc<LoadState>),
 }
@@ -103,12 +104,12 @@ struct QuarantineEntry {
 
 /// Everything a shard guards under its stripe lock: the frame/load slots
 /// plus the quarantine set for keys hashing to this stripe.
-struct ShardState {
-    slots: HashMap<PageKey, Slot>,
+pub(crate) struct ShardState {
+    pub(crate) slots: HashMap<PageKey, Slot>,
     quarantine: HashMap<PageKey, QuarantineEntry>,
 }
 
-struct Shard {
+pub(crate) struct Shard {
     state: Mutex<ShardState>,
     counters: ShardCounters,
 }
@@ -125,7 +126,7 @@ impl Shard {
     }
 
     /// Locks the shard state, counting acquisitions that had to block.
-    fn lock(&self) -> MutexGuard<'_, ShardState> {
+    pub(crate) fn lock(&self) -> MutexGuard<'_, ShardState> {
         match self.state.try_lock() {
             Some(guard) => guard,
             None => {
@@ -187,6 +188,10 @@ pub struct PoolConfig {
     pub quarantine_cap: usize,
     /// Where retry backoff is spent; tests inject a recording sleeper.
     pub sleeper: Sleeper,
+    /// The cold-path I/O stage (batched asynchronous fetch). `None` — or a
+    /// config with `workers == 0` — fetches misses inline on the pinning
+    /// thread, the pre-stage behavior.
+    pub io_stage: Option<IoStageConfig>,
 }
 
 impl Default for PoolConfig {
@@ -198,37 +203,120 @@ impl Default for PoolConfig {
             quarantine_ttl: 8,
             quarantine_cap: 32,
             sleeper: real_sleeper(),
+            io_stage: Some(IoStageConfig::default()),
         }
     }
 }
 
-struct PoolInner {
-    store: Arc<dyn PageStore>,
-    resman: ResourceManager,
-    io: IoProfile,
-    retry: RetryPolicy,
+pub(crate) struct PoolInner {
+    pub(crate) store: Arc<dyn PageStore>,
+    pub(crate) resman: ResourceManager,
+    pub(crate) io: IoProfile,
+    pub(crate) retry: RetryPolicy,
     quarantine_ttl: u32,
     quarantine_cap: usize,
-    sleeper: Sleeper,
+    pub(crate) sleeper: Sleeper,
     shards: Box<[Shard]>,
-    metrics: MetricCounters,
+    pub(crate) metrics: MetricCounters,
     /// The resman's registry; this pool's counters live in it under a
     /// `pool="<instance>"` label.
     registry: Registry,
     /// The registry's page-lifecycle tracer (cached: emit is on hot paths).
-    tracer: Tracer,
+    pub(crate) tracer: Tracer,
     /// Pin-leak detector (`strict-invariants` only; zero-sized otherwise).
     pins: PinTracker,
+    /// The cold-path I/O stage; `None` fetches misses inline. Dropped with
+    /// the pool: closing the queue joins the workers.
+    stage: Option<IoStage>,
 }
 
 impl PoolInner {
-    fn shard(&self, key: PageKey) -> &Shard {
+    pub(crate) fn shard(&self, key: PageKey) -> &Shard {
         // Cheap multiplicative hash over (chain, page_no); the shard count
         // need not be a power of two.
         let mut h = key.chain.0.wrapping_mul(0x9E37_79B9_7F4A_7C15);
         h ^= key.page_no.wrapping_mul(0xC2B2_AE3D_27D4_EB4F);
         h ^= h >> 32;
         &self.shards[(h % self.shards.len() as u64) as usize]
+    }
+
+    /// Inserts `key` into the shard's capped quarantine set.
+    pub(crate) fn quarantine(
+        &self,
+        state: &mut ShardState,
+        key: PageKey,
+        error: Arc<StorageError>,
+    ) {
+        if state.quarantine.len() >= self.quarantine_cap && !state.quarantine.contains_key(&key) {
+            // Capped: drop the entry closest to expiry (fewest pins left).
+            if let Some(evict) = state
+                .quarantine
+                .iter()
+                .min_by_key(|(_, e)| e.pins_left)
+                .map(|(k, _)| *k)
+            {
+                state.quarantine.remove(&evict);
+            }
+        }
+        state
+            .quarantine
+            .insert(key, QuarantineEntry { error, pins_left: self.quarantine_ttl });
+        self.metrics.quarantine_inserts.inc();
+    }
+
+    /// Accounts a successfully read page and registers its frame (pinned)
+    /// with the resource manager. The caller owns the registration pin: a
+    /// demand load turns it into the `PageGuard`'s pin, an advisory
+    /// prefetch releases it after publishing.
+    pub(crate) fn admit_frame(self: &Arc<Self>, key: PageKey, data: Box<[u8]>) -> Arc<Frame> {
+        self.metrics.loads.inc();
+        self.metrics.bytes_loaded.add(data.len() as u64);
+        self.tracer
+            .emit(EventKind::PageLoaded, key.chain.0, key.page_no, data.len() as u64);
+        let frame = Arc::new(Frame {
+            key,
+            data,
+            rid: OnceLock::new(),
+            transient: RwLock::with_rank(None, LockRank::FrameTransient),
+            transient_bytes: AtomicUsize::new(0),
+        });
+        let pool_weak: Weak<PoolInner> = Arc::downgrade(self);
+        let frame_weak: Weak<Frame> = Arc::downgrade(&frame);
+        let rid = self.resman.register_pinned(
+            frame.data.len(),
+            Disposition::PagedAttribute,
+            move || {
+                let (Some(pool), Some(frame)) = (pool_weak.upgrade(), frame_weak.upgrade()) else {
+                    return;
+                };
+                {
+                    let shard = pool.shard(frame.key);
+                    let mut state = shard.lock();
+                    // Only remove the exact frame this resource backs; a newer
+                    // frame or an in-flight load may already occupy the key.
+                    if matches!(
+                        state.slots.get(&frame.key),
+                        Some(Slot::Resident(cur)) if Arc::ptr_eq(cur, &frame)
+                    ) {
+                        state.slots.remove(&frame.key);
+                    }
+                    *frame.transient.write() = None;
+                }
+                // Emitted after the shard lock drops; includes transient
+                // bytes so the event reflects the full reclaimed size.
+                let bytes =
+                    frame.data.len() + frame.transient_bytes.load(Ordering::Relaxed);
+                pool.tracer.emit(
+                    EventKind::PageEvicted,
+                    frame.key.chain.0,
+                    frame.key.page_no,
+                    bytes as u64,
+                );
+            },
+        );
+        // lint: allow(unwrap) invariant: the OnceLock is fresh, set exactly here
+        frame.rid.set(rid).expect("rid set once");
+        frame
     }
 }
 
@@ -295,24 +383,33 @@ impl BufferPool {
         // reads this pool's handles only, never another instance's.
         let registry = resman.registry().clone();
         let pool_label = registry.next_instance("pool").to_string();
-        BufferPool {
-            inner: Arc::new(PoolInner {
-                store,
-                resman,
-                io: config.io,
-                retry: config.retry,
-                quarantine_ttl: config.quarantine_ttl.max(1),
-                quarantine_cap: config.quarantine_cap.max(1),
-                sleeper: config.sleeper,
-                shards: (0..shards)
-                    .map(|i| Shard::new(&registry, &pool_label, i))
-                    .collect(),
-                metrics: MetricCounters::register(&registry, &pool_label),
-                tracer: registry.tracer().clone(),
-                registry,
-                pins: PinTracker::new(),
-            }),
-        }
+        // `new_cyclic` lets the I/O stage workers hold a weak back-pointer:
+        // they never keep the pool alive, and pool drop closes their queue.
+        let inner = Arc::new_cyclic(|weak: &Weak<PoolInner>| PoolInner {
+            store,
+            resman,
+            io: config.io,
+            retry: config.retry,
+            quarantine_ttl: config.quarantine_ttl.max(1),
+            quarantine_cap: config.quarantine_cap.max(1),
+            sleeper: config.sleeper,
+            shards: (0..shards)
+                .map(|i| Shard::new(&registry, &pool_label, i))
+                .collect(),
+            metrics: MetricCounters::register(&registry, &pool_label),
+            tracer: registry.tracer().clone(),
+            registry,
+            pins: PinTracker::new(),
+            stage: config.io_stage.and_then(|c| IoStage::start(weak, c)),
+        });
+        BufferPool { inner }
+    }
+
+    /// True when the cold-path I/O stage is running (misses are fetched by
+    /// its workers; [`BufferPool::prefetch_submit`] is available). False
+    /// when configured off or in a `payg_check` model build.
+    pub fn io_stage_active(&self) -> bool {
+        self.inner.stage.is_some()
     }
 
     /// The metric registry this pool reports into (the resource manager's).
@@ -344,6 +441,10 @@ impl BufferPool {
         let caller = std::panic::Location::caller();
         let started = Instant::now();
         let shard = self.inner.shard(key);
+        // Whether this pin touched a cold path (started or joined a load):
+        // cold pins record into `load_ns`, pure hits into `pin_ns`, so the
+        // warm histogram stays readable at nanosecond scale.
+        let mut cold = false;
         let guard = loop {
             let action = {
                 let mut state = shard.lock();
@@ -391,8 +492,12 @@ impl BufferPool {
                     shard.counters.hits.inc();
                     break PageGuard::new(Arc::clone(&self.inner), frame, caller);
                 }
-                PinAction::Load(ls) => break self.load_and_publish(key, shard, &ls, caller)?,
+                PinAction::Load(ls) => {
+                    cold = true;
+                    break self.load_and_publish(key, shard, &ls, caller)?;
+                }
                 PinAction::Wait(ls) => {
+                    cold = true;
                     // Wait outside the shard lock. The loader publishes a
                     // resident frame (hit next round) or fails — in which
                     // case we surface its actual error instead of blindly
@@ -415,15 +520,24 @@ impl BufferPool {
                 }
             }
         };
-        self.inner.metrics.pin_ns.record(started.elapsed().as_nanos() as u64);
+        let elapsed = started.elapsed().as_nanos() as u64;
+        if cold {
+            self.inner.metrics.load_ns.record(elapsed);
+        } else {
+            self.inner.metrics.pin_ns.record(elapsed);
+        }
         self.inner
             .tracer
             .emit(EventKind::PagePinned, key.chain.0, key.page_no, guard.bytes().len() as u64);
         Ok(guard)
     }
 
-    /// Reads the page from the store (shard lock *not* held), publishes the
-    /// frame into the shard, and signals waiters.
+    /// Fetches the page this pin was elected to load. With the I/O stage
+    /// running, the miss becomes an urgent [`FetchRequest`] and this thread
+    /// parks on a completion ticket — the store read happens on a stage
+    /// worker, coalesced with neighboring misses. Without it, the read
+    /// happens inline (shard lock *not* held), publishing the frame and
+    /// signalling waiters exactly as the stage workers do.
     fn load_and_publish(
         &self,
         key: PageKey,
@@ -432,8 +546,30 @@ impl BufferPool {
         caller: &'static std::panic::Location<'static>,
     ) -> StorageResult<PageGuard> {
         shard.counters.misses.inc();
-        match self.load_frame(key) {
-            Ok(frame) => {
+        if let Some(stage) = &self.inner.stage {
+            let ticket = Ticket::new();
+            let submitted = stage.submit(FetchRequest {
+                key,
+                class: DeadlineClass::Urgent,
+                ls: Arc::clone(ls),
+                completion: Completion::Ticket(Arc::clone(&ticket)),
+            });
+            // lint: allow(unwrap) invariant: urgent submissions are always accepted
+            let depth = submitted.unwrap_or_else(|_| unreachable!("urgent never dropped"));
+            self.inner.metrics.io_submitted.inc();
+            self.inner.metrics.io_queue_depth.record(depth as u64);
+            self.inner
+                .tracer
+                .emit(EventKind::IoSubmitted, key.chain.0, key.page_no, 0);
+            // The worker has already inserted the Resident slot, published
+            // the load state, and (on failure) quarantined — the ticket
+            // only transfers the pinned frame or the raw error.
+            let frame = ticket.wait()?;
+            return Ok(PageGuard::new(Arc::clone(&self.inner), frame, caller));
+        }
+        match iostage::fetch_with_retry(&self.inner, key, 0, false) {
+            Ok(data) => {
+                let frame = self.inner.admit_frame(key, data);
                 shard.lock().slots.insert(key, Slot::Resident(Arc::clone(&frame)));
                 ls.publish();
                 Ok(PageGuard::new(Arc::clone(&self.inner), frame, caller))
@@ -455,7 +591,7 @@ impl BufferPool {
                     // Transient faults (retries already exhausted) and
                     // logical errors do not: the store itself is healthy.
                     if err.fault_class() == FaultClass::Corrupt {
-                        self.quarantine(&mut state, key, Arc::clone(&shared));
+                        self.inner.quarantine(&mut state, key, Arc::clone(&shared));
                     }
                 }
                 // Wake waiters with the actual error after the slot update
@@ -466,100 +602,61 @@ impl BufferPool {
         }
     }
 
-    /// Inserts `key` into the shard's capped quarantine set.
-    fn quarantine(&self, state: &mut ShardState, key: PageKey, error: Arc<StorageError>) {
-        if state.quarantine.len() >= self.inner.quarantine_cap && !state.quarantine.contains_key(&key)
-        {
-            // Capped: drop the entry closest to expiry (fewest pins left).
-            if let Some(evict) = state
-                .quarantine
-                .iter()
-                .min_by_key(|(_, e)| e.pins_left)
-                .map(|(k, _)| *k)
-            {
-                state.quarantine.remove(&evict);
+    /// Submits an advisory prefetch for `key` to the I/O stage. Returns
+    /// `true` when a fetch was queued; `false` when the page is already
+    /// resident, loading, or quarantined, when the stage is off, or when
+    /// the prefetch backlog is full (the request is then *cancelled*: the
+    /// just-installed load slot is withdrawn and published so pins that
+    /// joined it re-inspect and load themselves).
+    ///
+    /// Unlike a pin, an accepted prefetch holds nothing: the loaded frame
+    /// is left resident and unpinned, and errors are dropped (a later pin
+    /// surfaces them). Never blocks on I/O.
+    pub fn prefetch_submit(&self, key: PageKey) -> bool {
+        let Some(stage) = &self.inner.stage else { return false };
+        let shard = self.inner.shard(key);
+        let ls = {
+            let mut state = shard.lock();
+            if state.quarantine.contains_key(&key) || state.slots.contains_key(&key) {
+                return false;
+            }
+            let ls = LoadState::new();
+            state.slots.insert(key, Slot::Loading(Arc::clone(&ls)));
+            ls
+        };
+        let req = FetchRequest {
+            key,
+            class: DeadlineClass::Prefetch,
+            ls,
+            completion: Completion::Advisory,
+        };
+        match stage.submit(req) {
+            Ok(depth) => {
+                self.inner.metrics.io_submitted.inc();
+                self.inner.metrics.prefetches.inc();
+                self.inner.metrics.io_queue_depth.record(depth as u64);
+                self.inner
+                    .tracer
+                    .emit(EventKind::IoSubmitted, key.chain.0, key.page_no, 0);
+                true
+            }
+            Err(req) => {
+                // Cancelled: withdraw our Loading slot (pointer-checked
+                // against a newer load), then publish so any pin already
+                // parked on it re-inspects the empty slot and loads itself.
+                {
+                    let mut state = shard.lock();
+                    if matches!(
+                        state.slots.get(&key),
+                        Some(Slot::Loading(cur)) if Arc::ptr_eq(cur, &req.ls)
+                    ) {
+                        state.slots.remove(&key);
+                    }
+                }
+                req.ls.publish();
+                false
             }
         }
-        state
-            .quarantine
-            .insert(key, QuarantineEntry { error, pins_left: self.inner.quarantine_ttl });
-        self.inner.metrics.quarantine_inserts.inc();
-    }
-
-    /// Performs the store read — retrying transient faults per the pool's
-    /// [`RetryPolicy`] — and registers the frame (pinned) with the resource
-    /// manager. One call is one miss regardless of how many attempts it
-    /// takes, so `misses - loads` stays "failed pins".
-    fn load_frame(&self, key: PageKey) -> StorageResult<Arc<Frame>> {
-        let mut attempt = 0u32;
-        let data = loop {
-            attempt += 1;
-            self.inner.io.apply_read();
-            match self.inner.store.read_page(key) {
-                Ok(data) => break data,
-                Err(e) => {
-                    self.inner.metrics.fault_counter(e.fault_class()).inc();
-                    if e.is_transient() && attempt < self.inner.retry.max_attempts {
-                        self.inner.metrics.load_retries.inc();
-                        let backoff = self.inner.retry.backoff_for(attempt);
-                        if !backoff.is_zero() {
-                            (self.inner.sleeper)(backoff);
-                        }
-                        continue;
-                    }
-                    return Err(e);
-                }
-            }
-        };
-        self.inner.metrics.loads.inc();
-        self.inner.metrics.bytes_loaded.add(data.len() as u64);
-        self.inner
-            .tracer
-            .emit(EventKind::PageLoaded, key.chain.0, key.page_no, data.len() as u64);
-        let frame = Arc::new(Frame {
-            key,
-            data,
-            rid: OnceLock::new(),
-            transient: RwLock::with_rank(None, LockRank::FrameTransient),
-            transient_bytes: AtomicUsize::new(0),
-        });
-        let pool_weak: Weak<PoolInner> = Arc::downgrade(&self.inner);
-        let frame_weak: Weak<Frame> = Arc::downgrade(&frame);
-        let rid = self.inner.resman.register_pinned(
-            frame.data.len(),
-            Disposition::PagedAttribute,
-            move || {
-                let (Some(pool), Some(frame)) = (pool_weak.upgrade(), frame_weak.upgrade()) else {
-                    return;
-                };
-                {
-                    let shard = pool.shard(frame.key);
-                    let mut state = shard.lock();
-                    // Only remove the exact frame this resource backs; a newer
-                    // frame or an in-flight load may already occupy the key.
-                    if matches!(
-                        state.slots.get(&frame.key),
-                        Some(Slot::Resident(cur)) if Arc::ptr_eq(cur, &frame)
-                    ) {
-                        state.slots.remove(&frame.key);
-                    }
-                    *frame.transient.write() = None;
-                }
-                // Emitted after the shard lock drops; includes transient
-                // bytes so the event reflects the full reclaimed size.
-                let bytes =
-                    frame.data.len() + frame.transient_bytes.load(Ordering::Relaxed);
-                pool.tracer.emit(
-                    EventKind::PageEvicted,
-                    frame.key.chain.0,
-                    frame.key.page_no,
-                    bytes as u64,
-                );
-            },
-        );
-        // lint: allow(unwrap) invariant: the OnceLock is fresh, set exactly here
-        frame.rid.set(rid).expect("rid set once");
-        Ok(frame)
     }
 
     /// True when the page is currently resident (regardless of pins).
@@ -649,6 +746,10 @@ impl BufferPool {
                 + self.inner.metrics.faults_logical.get(),
             quarantine_inserts: self.inner.metrics.quarantine_inserts.get(),
             quarantine_fail_fast: self.inner.metrics.quarantine_fail_fast.get(),
+            io_submitted: self.inner.metrics.io_submitted.get(),
+            io_coalesced: self.inner.metrics.io_coalesced.get(),
+            io_completions: self.inner.metrics.io_completions.get(),
+            io_physical_reads: self.inner.metrics.io_physical_reads.get(),
         }
     }
 

@@ -35,6 +35,25 @@ pub trait PageStore: Send + Sync {
     fn append_page(&self, chain: ChainId, payload: &[u8]) -> StorageResult<u64>;
     /// Reads one full page.
     fn read_page(&self, key: PageKey) -> StorageResult<Box<[u8]>>;
+    /// Reads `count` consecutive pages starting at `first_page`, returning
+    /// one result **per page** — a batch never collapses to a single error.
+    ///
+    /// The default loops [`read_page`](Self::read_page), so decorators that
+    /// meter or gate individual reads (fault injection, gating) keep their
+    /// per-page semantics. Stores with a physical notion of adjacency
+    /// override this with one ranged read, but must preserve per-page error
+    /// granularity: a corrupt page in the middle of a batch fails only its
+    /// own slot.
+    fn read_pages(
+        &self,
+        chain: ChainId,
+        first_page: u64,
+        count: usize,
+    ) -> Vec<StorageResult<Box<[u8]>>> {
+        (0..count as u64)
+            .map(|i| self.read_page(PageKey::new(chain, first_page + i)))
+            .collect()
+    }
     /// Number of pages in the chain.
     fn chain_len(&self, chain: ChainId) -> StorageResult<u64>;
     /// The chain's page size in bytes.
@@ -284,6 +303,34 @@ impl FileStore {
     fn chain_path(&self, id: u64) -> PathBuf {
         self.dir.join(format!("chain_{id:016x}.pg"))
     }
+
+    /// Verifies and trims one raw slot (payload + optional trailer) as read
+    /// from disk into a page payload.
+    fn verify_slot(c: &ChainFile, key: PageKey, mut slot: Vec<u8>) -> StorageResult<Box<[u8]>> {
+        if c.checksummed {
+            let stored = u32::from_le_bytes([
+                slot[c.page_size],
+                slot[c.page_size + 1],
+                slot[c.page_size + 2],
+                slot[c.page_size + 3],
+            ]);
+            let computed = page_checksum(key.page_no, &slot[..c.page_size]);
+            if stored != computed {
+                return Err(StorageError::ChecksumMismatch { key, stored, computed });
+            }
+        }
+        slot.truncate(c.page_size);
+        Ok(slot.into_boxed_slice())
+    }
+
+    /// Reads one in-bounds page's slot (seek + read + verify).
+    fn read_slot(c: &mut ChainFile, key: PageKey) -> StorageResult<Box<[u8]>> {
+        let mut buf = vec![0u8; c.slot_len() as usize];
+        let offset = HEADER_LEN + key.page_no * c.slot_len();
+        c.file.seek(SeekFrom::Start(offset))?;
+        c.file.read_exact(&mut buf)?;
+        Self::verify_slot(c, key, buf)
+    }
 }
 
 impl PageStore for FileStore {
@@ -336,24 +383,51 @@ impl PageStore for FileStore {
         if key.page_no >= c.len {
             return Err(StorageError::PageOutOfBounds { key, chain_len: c.len });
         }
-        let mut buf = vec![0u8; c.slot_len() as usize];
-        let offset = HEADER_LEN + key.page_no * c.slot_len();
-        c.file.seek(SeekFrom::Start(offset))?;
-        c.file.read_exact(&mut buf)?;
-        if c.checksummed {
-            let stored = u32::from_le_bytes([
-                buf[c.page_size],
-                buf[c.page_size + 1],
-                buf[c.page_size + 2],
-                buf[c.page_size + 3],
-            ]);
-            let computed = page_checksum(key.page_no, &buf[..c.page_size]);
-            if stored != computed {
-                return Err(StorageError::ChecksumMismatch { key, stored, computed });
+        Self::read_slot(c, key)
+    }
+
+    fn read_pages(
+        &self,
+        chain: ChainId,
+        first_page: u64,
+        count: usize,
+    ) -> Vec<StorageResult<Box<[u8]>>> {
+        let mut chains = self.chains.lock();
+        let Some(c) = chains.get_mut(&chain.0) else {
+            return (0..count).map(|_| Err(StorageError::UnknownChain(chain.0))).collect();
+        };
+        let in_bounds = c.len.saturating_sub(first_page).min(count as u64) as usize;
+        let mut out: Vec<StorageResult<Box<[u8]>>> = Vec::with_capacity(count);
+        if in_bounds > 0 {
+            // One positioned read covers the whole adjacent run; verification
+            // stays per page so a rotted page fails only its own slot.
+            let slot = c.slot_len() as usize;
+            let mut buf = vec![0u8; slot * in_bounds];
+            let ranged = c
+                .file
+                .seek(SeekFrom::Start(HEADER_LEN + first_page * c.slot_len()))
+                .and_then(|_| c.file.read_exact(&mut buf));
+            match ranged {
+                Ok(()) => {
+                    for i in 0..in_bounds {
+                        let key = PageKey::new(chain, first_page + i as u64);
+                        out.push(Self::verify_slot(c, key, buf[i * slot..(i + 1) * slot].to_vec()));
+                    }
+                }
+                // The ranged read itself failed: retry page by page so every
+                // slot gets its own typed error (or succeeds individually).
+                Err(_) => {
+                    for i in 0..in_bounds {
+                        out.push(Self::read_slot(c, PageKey::new(chain, first_page + i as u64)));
+                    }
+                }
             }
         }
-        buf.truncate(c.page_size);
-        Ok(buf.into_boxed_slice())
+        for i in in_bounds..count {
+            let key = PageKey::new(chain, first_page + i as u64);
+            out.push(Err(StorageError::PageOutOfBounds { key, chain_len: c.len }));
+        }
+        out
     }
 
     fn chain_len(&self, chain: ChainId) -> StorageResult<u64> {
@@ -424,6 +498,19 @@ impl<S: PageStore> PageStore for LatencyStore<S> {
             (self.sleeper)(self.read_latency);
         }
         self.inner.read_page(key)
+    }
+    fn read_pages(
+        &self,
+        chain: ChainId,
+        first_page: u64,
+        count: usize,
+    ) -> Vec<StorageResult<Box<[u8]>>> {
+        // One latency charge per physical read: adjacent pages ride the same
+        // seek, which is exactly the economy coalescing is meant to buy.
+        if count > 0 && !self.read_latency.is_zero() {
+            (self.sleeper)(self.read_latency);
+        }
+        self.inner.read_pages(chain, first_page, count)
     }
     fn chain_len(&self, chain: ChainId) -> StorageResult<u64> {
         self.inner.chain_len(chain)
@@ -511,6 +598,20 @@ impl<S: PageStore> PageStore for TieredStore<S> {
             (self.sleeper)(latency);
         }
         self.inner.read_page(key)
+    }
+    fn read_pages(
+        &self,
+        chain: ChainId,
+        first_page: u64,
+        count: usize,
+    ) -> Vec<StorageResult<Box<[u8]>>> {
+        // One tier-latency charge per batch (the shared seek), like
+        // [`LatencyStore`].
+        let latency = if self.is_fast(chain) { self.fast_latency } else { self.slow_latency };
+        if count > 0 && !latency.is_zero() {
+            (self.sleeper)(latency);
+        }
+        self.inner.read_pages(chain, first_page, count)
     }
     fn chain_len(&self, chain: ChainId) -> StorageResult<u64> {
         self.inner.chain_len(chain)
@@ -1089,6 +1190,93 @@ mod tests {
         store.append_page(fresh, b"fresh").unwrap();
         assert!(store.read_page(PageKey::new(fresh, 0)).is_ok());
         std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn read_pages_default_loops_and_keeps_per_page_metering() {
+        // The trait default must behave exactly like N read_page calls —
+        // including the fault-injection read clock advancing once per page.
+        let store = FaultyStore::new(MemStore::new(), FaultPlan::None);
+        let c = store.create_chain(16).unwrap();
+        for i in 0..4u8 {
+            store.append_page(c, &[i; 16]).unwrap();
+        }
+        let results = store.read_pages(c, 0, 4);
+        assert_eq!(results.len(), 4);
+        for (i, r) in results.iter().enumerate() {
+            assert_eq!(r.as_ref().unwrap()[0], i as u8);
+        }
+        assert_eq!(store.reads(), 4, "one metered read per page");
+        // Per-page faults land on their own slot only.
+        store.set_plan(FaultPlan::Pages(vec![PageKey::new(c, 2)]));
+        let results = store.read_pages(c, 0, 4);
+        assert!(results[0].is_ok() && results[1].is_ok() && results[3].is_ok());
+        assert!(matches!(
+            results[2],
+            Err(StorageError::InjectedFault(k)) if k == PageKey::new(c, 2)
+        ));
+    }
+
+    #[test]
+    fn file_store_read_pages_verifies_each_page_of_one_ranged_read() {
+        let dir = std::env::temp_dir().join(format!("payg-batch-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let store = FileStore::open(&dir).unwrap();
+        let c = store.create_chain(32).unwrap();
+        for i in 0..5u8 {
+            store.append_page(c, &[i; 32]).unwrap();
+        }
+        // Rot one byte of page 2 behind the store's back: the batch must
+        // fail exactly that slot and still return its neighbors.
+        let path = store.chain_path(c.0);
+        let mut bytes = std::fs::read(&path).unwrap();
+        let slot = 32 + PAGE_TRAILER_LEN;
+        bytes[HEADER_LEN as usize + 2 * slot + 7] ^= 0x10;
+        std::fs::write(&path, &bytes).unwrap();
+
+        let results = store.read_pages(c, 0, 7);
+        assert_eq!(results.len(), 7);
+        for (i, r) in results.iter().enumerate().take(5) {
+            if i == 2 {
+                assert!(matches!(
+                    r,
+                    Err(StorageError::ChecksumMismatch { key, .. }) if *key == PageKey::new(c, 2)
+                ));
+            } else {
+                assert_eq!(r.as_ref().unwrap()[0], i as u8, "page {i} rides the batch intact");
+            }
+        }
+        // The out-of-bounds tail gets per-page typed errors, each naming its
+        // own page.
+        for (i, r) in results.iter().enumerate().skip(5) {
+            assert!(matches!(
+                r,
+                Err(StorageError::PageOutOfBounds { key, chain_len: 5 })
+                    if *key == PageKey::new(c, i as u64)
+            ));
+        }
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn latency_store_charges_one_delay_per_batch() {
+        let slept: Arc<std::sync::Mutex<Vec<Duration>>> = Arc::default();
+        let recorder: Sleeper = {
+            let slept = Arc::clone(&slept);
+            Arc::new(move |d| slept.lock().unwrap().push(d))
+        };
+        let store = LatencyStore::with_sleeper(MemStore::new(), Duration::from_micros(150), recorder);
+        let c = store.create_chain(16).unwrap();
+        for i in 0..6u8 {
+            store.append_page(c, &[i; 16]).unwrap();
+        }
+        let results = store.read_pages(c, 1, 4);
+        assert!(results.iter().all(Result::is_ok));
+        assert_eq!(
+            *slept.lock().unwrap(),
+            vec![Duration::from_micros(150)],
+            "the whole batch rides one seek"
+        );
     }
 
     #[test]

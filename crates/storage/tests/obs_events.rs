@@ -130,10 +130,14 @@ fn pressure_eviction_sequence_is_reconstructable_from_events() {
 
     let events = tracer.drain();
     assert_eq!(tracer.dropped(), 0, "ring capacity not exceeded");
+    // The I/O stage adds IoSubmitted/IoBatchIssued/IoCompleted around each
+    // cold load; the lifecycle reconstruction looks at the page's
+    // load/pin/evict kinds only.
+    let lifecycle = [EventKind::PageLoaded, EventKind::PagePinned, EventKind::PageEvicted];
     for p in 0..pages {
         let kinds: Vec<EventKind> = events
             .iter()
-            .filter(|e| e.chain == chain.0 && e.page_no == p)
+            .filter(|e| e.chain == chain.0 && e.page_no == p && lifecycle.contains(&e.kind))
             .map(|e| e.kind)
             .collect();
         assert_eq!(
@@ -150,9 +154,26 @@ fn pressure_eviction_sequence_is_reconstructable_from_events() {
         );
         // Loads and pins carry the page size; evictions at least that (plus
         // any transient bytes).
-        for e in events.iter().filter(|e| e.chain == chain.0 && e.page_no == p) {
+        for e in events
+            .iter()
+            .filter(|e| e.chain == chain.0 && e.page_no == p && lifecycle.contains(&e.kind))
+        {
             assert!(e.bytes >= page_size as u64, "{e:?}");
         }
+        // Stage events bracket each cold load: submitted before the load,
+        // completed after, every time. Inline builds (model checks, or a
+        // pool configured with `io_stage: None`) fetch without the stage
+        // and emit no Io* events at all.
+        let per_load = usize::from(pool.io_stage_active());
+        let submits =
+            events.iter().filter(|e| e.page_no == p && e.kind == EventKind::IoSubmitted).count();
+        let completes =
+            events.iter().filter(|e| e.page_no == p && e.kind == EventKind::IoCompleted).count();
+        assert_eq!(
+            (submits, completes),
+            (2 * per_load, 2 * per_load),
+            "page {p}: one submit/complete per cold load"
+        );
     }
     // Events are globally ordered by sequence number, and timestamps are
     // monotone along that order per construction of the drain.

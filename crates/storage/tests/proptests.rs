@@ -120,4 +120,75 @@ proptest! {
         prop_assert_eq!(m.bytes_loaded, m.loads * 32);
         pool.assert_no_live_pins("proptest quiesce");
     }
+
+    /// Batched/coalesced loads through the cold-path I/O stage are
+    /// equivalent to sequential loads through a stage-less pool: identical
+    /// bytes for every good page, identical per-page outcome when one page
+    /// is corrupt — the bad page (and only the bad page) fails and
+    /// quarantines, its neighbours in the same coalesced read publish.
+    // Model-check builds run the pool inline (no stage threads), so the
+    // staged side of the comparison does not exist there.
+    #[cfg(not(payg_check))]
+    #[test]
+    fn staged_coalesced_loads_match_sequential(
+        pages in prop::collection::vec(prop::collection::vec(any::<u8>(), 1..32), 1..24),
+        corrupt_sel in any::<u16>(),
+        inject in any::<bool>(),
+    ) {
+        let store = Arc::new(FaultyStore::new(MemStore::new(), FaultPlan::None));
+        let chain = store.create_chain(64).unwrap();
+        for p in &pages {
+            store.append_page(chain, p).unwrap();
+        }
+        let n = pages.len() as u64;
+        let bad = u64::from(corrupt_sel) % n;
+        if inject {
+            store.set_plan(FaultPlan::CorruptPages(vec![PageKey::new(chain, bad)]));
+        }
+        let staged = BufferPool::new(
+            Arc::clone(&store) as Arc<dyn PageStore>,
+            ResourceManager::new(),
+        );
+        prop_assert!(staged.io_stage_active(), "stage is on by default");
+        let sequential = BufferPool::with_config(
+            Arc::clone(&store) as Arc<dyn PageStore>,
+            ResourceManager::new(),
+            PoolConfig { io_stage: None, ..PoolConfig::default() },
+        );
+        prop_assert!(!sequential.io_stage_active());
+        // Flood the stage with adjacent submissions so completions ride
+        // coalesced ranged reads whenever the workers batch them up.
+        for p in 0..n {
+            staged.prefetch_submit(PageKey::new(chain, p));
+        }
+        for p in 0..n {
+            let key = PageKey::new(chain, p);
+            let a = staged.pin(key).map(|g| g.to_vec());
+            let b = sequential.pin(key).map(|g| g.to_vec());
+            match (a, b) {
+                (Ok(x), Ok(y)) => {
+                    prop_assert_eq!(&x, &y, "page {} bytes diverge", p);
+                    prop_assert_eq!(&x[..pages[p as usize].len()], pages[p as usize].as_slice());
+                }
+                (Err(_), Err(_)) => {
+                    prop_assert!(inject && p == bad, "only the corrupt page may fail");
+                }
+                (a, b) => prop_assert!(
+                    false,
+                    "outcome diverges at page {}: staged ok={} sequential ok={}",
+                    p, a.is_ok(), b.is_ok()
+                ),
+            }
+        }
+        let failed = u64::from(inject);
+        prop_assert_eq!(staged.quarantined_pages(), failed as usize,
+            "exactly the corrupt page quarantines");
+        let m = staged.metrics();
+        prop_assert_eq!(m.loads, n - failed, "every good page loaded exactly once");
+        prop_assert_eq!(m.io_completions, m.io_submitted,
+            "every accepted submission completes: {:?}", m);
+        prop_assert!(m.io_physical_reads <= m.io_completions,
+            "coalescing never issues more reads than requests: {:?}", m);
+        staged.assert_no_live_pins("staged proptest quiesce");
+    }
 }

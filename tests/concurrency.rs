@@ -79,23 +79,30 @@ fn eviction_racing_with_queries_never_corrupts_results() {
             })
         };
         // Reader threads replay the workload under fire.
-        for _ in 0..3 {
-            let t = &t;
-            let queries = &queries;
-            let expected = &expected;
-            s.spawn(move || {
-                for round in 0..5 {
-                    for (q, want) in queries.iter().zip(expected) {
-                        assert_eq!(
-                            &format!("{:?}", t.execute(q).unwrap()),
-                            want,
-                            "round {round}"
-                        );
+        let readers: Vec<_> = (0..3)
+            .map(|_| {
+                let t = &t;
+                let queries = &queries;
+                let expected = &expected;
+                s.spawn(move || {
+                    for round in 0..5 {
+                        for (q, want) in queries.iter().zip(expected) {
+                            assert_eq!(
+                                &format!("{:?}", t.execute(q).unwrap()),
+                                want,
+                                "round {round}"
+                            );
+                        }
                     }
-                }
-            });
+                })
+            })
+            .collect();
+        // Join the readers first so the evictor runs for the whole
+        // workload (stopping it before they finish would leave the race
+        // untested on a single CPU); then stop the evictor.
+        for r in readers {
+            r.join().unwrap();
         }
-        // Scope joins readers; then stop the evictor.
         stop.store(true, Ordering::Relaxed);
         let evictions = evictor.join().unwrap();
         assert!(evictions > 0, "the evictor must actually have evicted");

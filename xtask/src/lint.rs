@@ -29,6 +29,11 @@
 //!   `crates/storage/src/error.rs`: go through `StorageError::corrupt()` /
 //!   `corrupt_file()` or a structured variant, so the retry/quarantine
 //!   fault taxonomy stays the single source of truth.
+//! * `pool-read-page` — no direct `.read_page(` calls in
+//!   `crates/storage/src/pool.rs`: every pool-side store read must go
+//!   through `iostage` (`fetch_with_retry` or a staged fetch request) so
+//!   retries, fault counters, and physical-read accounting stay on one
+//!   path. `iostage.rs` is the sanctioned call site.
 //!
 //! Suppress a finding with `// lint: allow(<rule>) <reason>` on the same
 //! line or the line directly above. The reason is mandatory.
@@ -160,6 +165,7 @@ struct Scope {
     pin_in_loop: bool,
     raw_counter: bool,
     stringly_error: bool,
+    pool_read_page: bool,
 }
 
 fn scope_for(rel: &Path) -> Scope {
@@ -184,6 +190,10 @@ fn scope_for(rel: &Path) -> Scope {
         pin_in_loop: s.starts_with("crates/core/src/datavec/"),
         raw_counter: in_crates_src && !is_check_crate && !is_obs_crate,
         stringly_error: in_crates_src && !is_error_taxonomy,
+        // The cold-path I/O stage owns every store read the pool makes;
+        // shard code calling the store directly would bypass retry/fault
+        // accounting and the coalescing queue.
+        pool_read_page: s == "crates/storage/src/pool.rs",
     }
 }
 
@@ -196,7 +206,8 @@ pub fn lint_file(rel: &Path, text: &str, findings: &mut Vec<Finding>) {
         || scope.sleep
         || scope.pin_in_loop
         || scope.raw_counter
-        || scope.stringly_error)
+        || scope.stringly_error
+        || scope.pool_read_page)
     {
         return;
     }
@@ -345,6 +356,21 @@ pub fn lint_file(rel: &Path, text: &str, findings: &mut Vec<Finding>) {
                 message: "stringly StorageError constructed outside storage::error: \
                           use StorageError::corrupt()/corrupt_file() or a structured \
                           variant so the fault taxonomy stays centralized"
+                    .to_string(),
+            });
+        }
+
+        if scope.pool_read_page
+            && code.contains(".read_page(")
+            && !suppressed("pool-read-page")
+        {
+            findings.push(Finding {
+                path: rel.to_path_buf(),
+                line: lineno,
+                rule: "pool-read-page",
+                message: "direct store read in pool shard code: route it through \
+                          iostage (fetch_with_retry or a staged fetch request) so \
+                          retry, fault, and physical-read accounting stay unified"
                     .to_string(),
             });
         }
@@ -614,6 +640,25 @@ mod tests {
         assert_eq!(lint_str("crates/table/src/catalog.rs", other).len(), 1);
         // Test trees stay exempt (they assert on error shapes).
         assert!(lint_str("crates/core/tests/proptests.rs", bad).is_empty());
+    }
+
+    #[test]
+    fn pool_read_page_flagged_only_in_pool_shard_code() {
+        let bad = "fn f() { let data = self.store.read_page(key); }\n";
+        let v = lint_str("crates/storage/src/pool.rs", bad);
+        assert_eq!(v.len(), 1);
+        assert_eq!(v[0].rule, "pool-read-page");
+        // The I/O stage is the sanctioned call site; other modules (stores
+        // themselves, decorators) are out of scope too.
+        assert!(lint_str("crates/storage/src/iostage.rs", bad).is_empty());
+        assert!(lint_str("crates/storage/src/store.rs", bad).is_empty());
+        // The batched API is not a direct per-page read.
+        let batched = "fn f() { let r = self.store.read_pages(chain, 0, n); }\n";
+        assert!(lint_str("crates/storage/src/pool.rs", batched).is_empty());
+        // Suppression with a reason is honored.
+        let sup = "// lint: allow(pool-read-page) recovery probe outside the stage\n\
+                   fn f() { self.store.read_page(key); }\n";
+        assert!(lint_str("crates/storage/src/pool.rs", sup).is_empty());
     }
 
     #[test]

@@ -58,7 +58,7 @@ mod sched;
 pub mod sync;
 pub mod thread;
 
-pub use lockorder::LockRank;
+pub use lockorder::{LockRank, RankSpec, RANK_TABLE};
 pub use pintrack::{PinTracker, PinToken};
 pub use sched::{model, replay, Checker, Failure, Observations, Report};
 

@@ -24,10 +24,39 @@
 //! Same-rank reacquisition is also rejected: two shard locks must never be
 //! held at once (the pool promises independence between shards).
 
-/// Ranks for the workspace lock-order discipline (ascending = inner).
-#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Debug)]
-#[repr(u8)]
-pub enum LockRank {
+/// One row of the workspace rank table: a [`LockRank`] variant's name and
+/// numeric rank, exposed so the static analyzer (`cargo xtask analyze`)
+/// checks source code against the *same declaration* the runtime tracker
+/// enforces — the two can never drift.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct RankSpec {
+    /// The variant name as it appears at `with_rank` sites
+    /// (`LockRank::PoolShard` → `"PoolShard"`).
+    pub name: &'static str,
+    /// The numeric rank (ascending = inner).
+    pub rank: u8,
+}
+
+/// Declares [`LockRank`] and [`RANK_TABLE`] from one list so the runtime
+/// tracker and the static lock-rank pass share a single declaration.
+macro_rules! define_ranks {
+    ($( $(#[$meta:meta])* $name:ident = $value:literal ),+ $(,)?) => {
+        /// Ranks for the workspace lock-order discipline (ascending = inner).
+        #[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Debug)]
+        #[repr(u8)]
+        pub enum LockRank {
+            $( $(#[$meta])* $name = $value, )+
+        }
+
+        /// The full rank table, in declaration order. Generated from the
+        /// same `define_ranks!` invocation that defines [`LockRank`].
+        pub static RANK_TABLE: &[RankSpec] = &[
+            $( RankSpec { name: stringify!($name), rank: $value }, )+
+        ];
+    };
+}
+
+define_ranks! {
     /// Core column-level state (resident image slot, permanent helper
     /// pins): outermost — held while pinning pages or registering
     /// resources, never acquired with a storage/resman lock held.

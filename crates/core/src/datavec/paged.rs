@@ -291,10 +291,10 @@ impl PagedDataVector {
             let on_page = remaining.min(self.meta.chunks_per_page) as usize;
             for ci in 0..on_page {
                 let base = ci * per_chunk;
-                for w in 0..n {
-                    let o = base + w * 8;
-                    words.push(crate::util::le_u64(&page[o..o + 8]));
-                }
+                payg_encoding::unaligned::extend_le_words(
+                    &page[base..base + n * 8],
+                    &mut words,
+                );
             }
             remaining -= on_page as u64;
         }
@@ -355,9 +355,7 @@ impl PagedDataVectorIterator<'_> {
         let guard = self.reposition(page_no)?;
         let base = in_page * per_chunk;
         let bytes = &guard[base..base + per_chunk];
-        for (i, w) in words[..n].iter_mut().enumerate() {
-            *w = crate::util::le_u64(&bytes[i * 8..i * 8 + 8]);
-        }
+        payg_encoding::unaligned::fill_le_words(bytes, &mut words[..n]);
         Ok(n)
     }
 
@@ -380,8 +378,7 @@ impl PagedDataVectorIterator<'_> {
             .map_err(CoreError::Storage)?;
         let bytes = &guard[base..base + len];
         self.scratch.clear();
-        self.scratch.reserve(len / 8);
-        self.scratch.extend(bytes.chunks_exact(8).map(crate::util::le_u64));
+        payg_encoding::unaligned::extend_le_words(bytes, &mut self.scratch);
         Ok(())
     }
 

@@ -426,9 +426,7 @@ fn decode_packed_chunk(page: &PageGuard, offset: usize, w: BitWidth, out: &mut [
     let n = w.bits() as usize;
     let mut words = [0u64; 64];
     let bytes = &page[offset..offset + n * 8];
-    for (i, word) in words[..n].iter_mut().enumerate() {
-        *word = crate::util::le_u64(&bytes[i * 8..i * 8 + 8]);
-    }
+    payg_encoding::unaligned::fill_le_words(bytes, &mut words[..n]);
     payg_encoding::chunk::decode_chunk(&words[..n], w, out);
 }
 

@@ -16,6 +16,36 @@ fn width_and_values() -> impl Strategy<Value = (u32, Vec<u64>)> {
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(64))]
 
+    /// The raw unaligned word loaders agree with the safe
+    /// `u64::from_le_bytes` spelling on arbitrary byte strings and offsets
+    /// — including deliberately misaligned ones. This is the property the
+    /// CI Miri job checks the pointer arithmetic of.
+    #[test]
+    fn unaligned_loads_match_safe_decode(
+        bytes in prop::collection::vec(any::<u8>(), 0..200),
+        skew in 0usize..8,
+        off in 0usize..256,
+    ) {
+        use payg_encoding::unaligned;
+        let view = &bytes[skew.min(bytes.len())..];
+        let safe = |o: usize| {
+            let mut buf = [0u8; 8];
+            for (i, b) in buf.iter_mut().enumerate() {
+                *b = view.get(o + i).copied().unwrap_or(0);
+            }
+            u64::from_le_bytes(buf)
+        };
+        prop_assert_eq!(unaligned::le_u64_padded(view, off), safe(off));
+        let mut words = vec![0u64; view.len() / 8];
+        unaligned::fill_le_words(view, &mut words);
+        let mut extended = Vec::new();
+        unaligned::extend_le_words(view, &mut extended);
+        prop_assert_eq!(&extended, &words);
+        for (i, w) in words.iter().enumerate() {
+            prop_assert_eq!(*w, safe(i * 8));
+        }
+    }
+
     /// Packing then unpacking returns the original values at every width.
     #[test]
     fn bitpack_roundtrip((bits, values) in width_and_values()) {

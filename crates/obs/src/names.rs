@@ -5,101 +5,169 @@
 //! constants so a rename cannot silently split a series. Instance-scoped
 //! metrics (per pool, per shard) add labels on top of these base names;
 //! [`crate::ObsSnapshot::counter`] sums across labels.
+//!
+//! Every name is declared once through [`declare_names!`], which emits the
+//! `pub const` *and* a row in [`ALL`] — the introspection table the static
+//! analyzer (`cargo xtask analyze`, obs-vocabulary pass) consumes to verify
+//! that every name string reaching a registry handle is declared here, that
+//! every declared name is used somewhere, and that labelled registrations
+//! pass exactly the declared label keys.
 
-/// Successful page loads completed by a buffer pool (labelled `pool`).
-pub const POOL_LOADS: &str = "pool_loads";
-/// Bytes brought in by successful page loads (labelled `pool`).
-pub const POOL_BYTES_LOADED: &str = "pool_bytes_loaded";
-/// Times a `pin()` blocked on another thread's in-flight load of the same
-/// page (labelled `pool`).
-pub const POOL_LOAD_WAITS: &str = "pool_load_waits";
-/// Pages pulled in by the background prefetcher (labelled `pool`).
-pub const POOL_PREFETCHES: &str = "pool_prefetches";
-/// Warm pin-latency histogram in nanoseconds — pins served from a resident
-/// frame only; cold paths land in [`POOL_LOAD_NS`] (labelled `pool`).
-pub const POOL_PIN_NS: &str = "pool_pin_ns";
-/// Cold pin-latency histogram in nanoseconds — pins that started or joined
-/// a load, so warm latency in [`POOL_PIN_NS`] stays readable (labelled
-/// `pool`).
-pub const POOL_LOAD_NS: &str = "pool_load_ns";
-/// Per-shard resident hits (labelled `pool`, `shard`).
-pub const POOL_SHARD_HITS: &str = "pool_shard_hits";
-/// Per-shard misses — pin attempts that found no resident frame and became
-/// or joined a load (labelled `pool`, `shard`). Counts attempts, so failed
-/// loads are `misses - loads`.
-pub const POOL_SHARD_MISSES: &str = "pool_shard_misses";
-/// Per-shard lock-contention events (labelled `pool`, `shard`).
-pub const POOL_SHARD_CONTENDED: &str = "pool_shard_contended";
-/// Load attempts re-issued after a transient store fault (labelled `pool`).
-pub const POOL_LOAD_RETRIES: &str = "pool_load_retries";
-/// Store faults observed by the pool's load path, including ones absorbed
-/// by a successful retry (labelled `pool`, `kind` ∈ transient/corrupt/
-/// logical).
-pub const POOL_LOAD_FAULTS: &str = "pool_load_faults";
-/// Pages placed in per-shard quarantine after a permanent load failure
-/// (labelled `pool`).
-pub const POOL_QUARANTINE_INSERTS: &str = "pool_quarantine_inserts";
-/// Pins failed fast from quarantine without touching the store (labelled
-/// `pool`).
-pub const POOL_QUARANTINE_FAIL_FAST: &str = "pool_quarantine_fail_fast";
+/// One declared metric name: the const identifier, the wire name, and the
+/// label keys instance-scoped registrations must pass (base registrations
+/// through the unlabelled accessors are always allowed).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct NameSpec {
+    /// The `pub const` identifier (`POOL_LOADS`).
+    pub ident: &'static str,
+    /// The metric name on the wire (`"pool_loads"`).
+    pub name: &'static str,
+    /// Label keys for labelled registrations, in canonical order.
+    pub labels: &'static [&'static str],
+}
 
-/// Fetch requests submitted to the cold-path I/O stage, urgent and
-/// prefetch classes alike (labelled `pool`).
-pub const POOL_IO_SUBMITTED: &str = "pool_io_submitted";
-/// Requests whose page rode a multi-page coalesced read instead of its own
-/// positioned read (labelled `pool`).
-pub const POOL_IO_COALESCED: &str = "pool_io_coalesced";
-/// Fetch requests completed by the I/O stage, successes and failures alike
-/// (labelled `pool`).
-pub const POOL_IO_COMPLETIONS: &str = "pool_io_completions";
-/// Physical store reads issued by the I/O stage — coalesced ranged reads
-/// count once however many pages they cover (labelled `pool`).
-pub const POOL_IO_PHYSICAL_READS: &str = "pool_io_physical_reads";
-/// Pages-per-physical-read histogram for the I/O stage (labelled `pool`).
-pub const POOL_IO_BATCH_PAGES: &str = "pool_io_batch_pages";
-/// Submission-queue depth sampled at each submit (labelled `pool`).
-pub const POOL_IO_QUEUE_DEPTH: &str = "pool_io_queue_depth";
+/// Declares the metric-name consts and the [`ALL`] table from one list.
+macro_rules! declare_names {
+    ($( $(#[$meta:meta])* $ident:ident = $value:literal, labels: [$($label:ident),*]; )+) => {
+        $( $(#[$meta])* pub const $ident: &str = $value; )+
 
-/// Bytes currently registered with the resource manager (gauge).
-pub const RESMAN_TOTAL_BYTES: &str = "resman_total_bytes";
-/// Bytes of paged (evictable) resources currently registered (gauge).
-pub const RESMAN_PAGED_BYTES: &str = "resman_paged_bytes";
-/// Number of registered resources (gauge).
-pub const RESMAN_RESOURCE_COUNT: &str = "resman_resource_count";
-/// Number of registered paged resources (gauge).
-pub const RESMAN_PAGED_COUNT: &str = "resman_paged_count";
-/// Resources evicted by the proactive background sweeper.
-pub const RESMAN_PROACTIVE_EVICTIONS: &str = "resman_proactive_evictions";
-/// Resources evicted reactively on allocation pressure.
-pub const RESMAN_REACTIVE_EVICTIONS: &str = "resman_reactive_evictions";
-/// Resources evicted by the weighted-LRU low-memory handler.
-pub const RESMAN_WEIGHTED_EVICTIONS: &str = "resman_weighted_evictions";
-/// Total bytes reclaimed by evictions of any kind.
-pub const RESMAN_EVICTED_BYTES: &str = "resman_evicted_bytes";
-/// Resource registrations since startup.
-pub const RESMAN_REGISTRATIONS: &str = "resman_registrations";
-/// Bytes committed to reads in flight through the I/O stage — already
-/// charged against memory but not yet registered as resources (gauge).
-pub const RESMAN_INFLIGHT_BYTES: &str = "resman_inflight_bytes";
-/// Number of in-flight I/O-stage reads currently charged (gauge).
-pub const RESMAN_INFLIGHT_COUNT: &str = "resman_inflight_count";
+        /// Every declared metric name, in declaration order. Generated from
+        /// the same `declare_names!` invocation that emits the consts.
+        pub static ALL: &[NameSpec] = &[
+            $( NameSpec {
+                ident: stringify!($ident),
+                name: $value,
+                labels: &[$(stringify!($label)),*],
+            }, )+
+        ];
+    };
+}
 
-/// Scan calls (search/count) completed by paged data-vector iterators.
-pub const SCAN_SCANS: &str = "scan_scans";
-/// 64-value chunks decoded or kernel-scanned.
-pub const SCAN_CHUNKS_SCANNED: &str = "scan_chunks_scanned";
-/// Guard-cache hits — page touches served by an already-held pin.
-pub const SCAN_GUARD_CACHE_HITS: &str = "scan_guard_cache_hits";
-/// Pages pinned through the pool by scan iterators (guard-cache misses).
-pub const SCAN_PAGES_PINNED: &str = "scan_pages_pinned";
-/// Bitmap match positions produced by scans.
-pub const SCAN_BITMAP_MATCHES: &str = "scan_bitmap_matches";
-/// Pages skipped via page-summary (min/max) pruning.
-pub const SCAN_PAGES_PRUNED: &str = "scan_pages_pruned";
-/// Kernel dispatch width (bit width of the last dispatched kernel; gauge).
-pub const SCAN_DISPATCH_WIDTH: &str = "scan_dispatch_width";
-/// End-to-end scan latency histogram in nanoseconds (profiled scans only).
-pub const SCAN_NS: &str = "scan_ns";
+declare_names! {
+    /// Successful page loads completed by a buffer pool (labelled `pool`).
+    POOL_LOADS = "pool_loads", labels: [pool];
+    /// Bytes brought in by successful page loads (labelled `pool`).
+    POOL_BYTES_LOADED = "pool_bytes_loaded", labels: [pool];
+    /// Times a `pin()` blocked on another thread's in-flight load of the
+    /// same page (labelled `pool`).
+    POOL_LOAD_WAITS = "pool_load_waits", labels: [pool];
+    /// Pages pulled in by the background prefetcher (labelled `pool`).
+    POOL_PREFETCHES = "pool_prefetches", labels: [pool];
+    /// Warm pin-latency histogram in nanoseconds — pins served from a
+    /// resident frame only; cold paths land in [`POOL_LOAD_NS`] (labelled
+    /// `pool`).
+    POOL_PIN_NS = "pool_pin_ns", labels: [pool];
+    /// Cold pin-latency histogram in nanoseconds — pins that started or
+    /// joined a load, so warm latency in [`POOL_PIN_NS`] stays readable
+    /// (labelled `pool`).
+    POOL_LOAD_NS = "pool_load_ns", labels: [pool];
+    /// Per-shard resident hits (labelled `pool`, `shard`).
+    POOL_SHARD_HITS = "pool_shard_hits", labels: [pool, shard];
+    /// Per-shard misses — pin attempts that found no resident frame and
+    /// became or joined a load (labelled `pool`, `shard`). Counts attempts,
+    /// so failed loads are `misses - loads`.
+    POOL_SHARD_MISSES = "pool_shard_misses", labels: [pool, shard];
+    /// Per-shard lock-contention events (labelled `pool`, `shard`).
+    POOL_SHARD_CONTENDED = "pool_shard_contended", labels: [pool, shard];
+    /// Load attempts re-issued after a transient store fault (labelled
+    /// `pool`).
+    POOL_LOAD_RETRIES = "pool_load_retries", labels: [pool];
+    /// Store faults observed by the pool's load path, including ones
+    /// absorbed by a successful retry (labelled `pool`, `kind` ∈ transient/
+    /// corrupt/logical).
+    POOL_LOAD_FAULTS = "pool_load_faults", labels: [pool, kind];
+    /// Pages placed in per-shard quarantine after a permanent load failure
+    /// (labelled `pool`).
+    POOL_QUARANTINE_INSERTS = "pool_quarantine_inserts", labels: [pool];
+    /// Pins failed fast from quarantine without touching the store
+    /// (labelled `pool`).
+    POOL_QUARANTINE_FAIL_FAST = "pool_quarantine_fail_fast", labels: [pool];
 
-/// Full-column loads performed by resident columns.
-pub const COLUMN_FULL_LOADS: &str = "column_full_loads";
+    /// Fetch requests submitted to the cold-path I/O stage, urgent and
+    /// prefetch classes alike (labelled `pool`).
+    POOL_IO_SUBMITTED = "pool_io_submitted", labels: [pool];
+    /// Requests whose page rode a multi-page coalesced read instead of its
+    /// own positioned read (labelled `pool`).
+    POOL_IO_COALESCED = "pool_io_coalesced", labels: [pool];
+    /// Fetch requests completed by the I/O stage, successes and failures
+    /// alike (labelled `pool`).
+    POOL_IO_COMPLETIONS = "pool_io_completions", labels: [pool];
+    /// Physical store reads issued by the I/O stage — coalesced ranged
+    /// reads count once however many pages they cover (labelled `pool`).
+    POOL_IO_PHYSICAL_READS = "pool_io_physical_reads", labels: [pool];
+    /// Pages-per-physical-read histogram for the I/O stage (labelled
+    /// `pool`).
+    POOL_IO_BATCH_PAGES = "pool_io_batch_pages", labels: [pool];
+    /// Submission-queue depth sampled at each submit (labelled `pool`).
+    POOL_IO_QUEUE_DEPTH = "pool_io_queue_depth", labels: [pool];
+
+    /// Bytes currently registered with the resource manager (gauge).
+    RESMAN_TOTAL_BYTES = "resman_total_bytes", labels: [];
+    /// Bytes of paged (evictable) resources currently registered (gauge).
+    RESMAN_PAGED_BYTES = "resman_paged_bytes", labels: [];
+    /// Number of registered resources (gauge).
+    RESMAN_RESOURCE_COUNT = "resman_resource_count", labels: [];
+    /// Number of registered paged resources (gauge).
+    RESMAN_PAGED_COUNT = "resman_paged_count", labels: [];
+    /// Resources evicted by the proactive background sweeper.
+    RESMAN_PROACTIVE_EVICTIONS = "resman_proactive_evictions", labels: [];
+    /// Resources evicted reactively on allocation pressure.
+    RESMAN_REACTIVE_EVICTIONS = "resman_reactive_evictions", labels: [];
+    /// Resources evicted by the weighted-LRU low-memory handler.
+    RESMAN_WEIGHTED_EVICTIONS = "resman_weighted_evictions", labels: [];
+    /// Total bytes reclaimed by evictions of any kind.
+    RESMAN_EVICTED_BYTES = "resman_evicted_bytes", labels: [];
+    /// Resource registrations since startup.
+    RESMAN_REGISTRATIONS = "resman_registrations", labels: [];
+    /// Bytes committed to reads in flight through the I/O stage — already
+    /// charged against memory but not yet registered as resources (gauge).
+    RESMAN_INFLIGHT_BYTES = "resman_inflight_bytes", labels: [];
+    /// Number of in-flight I/O-stage reads currently charged (gauge).
+    RESMAN_INFLIGHT_COUNT = "resman_inflight_count", labels: [];
+
+    /// Scan calls (search/count) completed by paged data-vector iterators.
+    SCAN_SCANS = "scan_scans", labels: [];
+    /// 64-value chunks decoded or kernel-scanned.
+    SCAN_CHUNKS_SCANNED = "scan_chunks_scanned", labels: [];
+    /// Guard-cache hits — page touches served by an already-held pin.
+    SCAN_GUARD_CACHE_HITS = "scan_guard_cache_hits", labels: [];
+    /// Pages pinned through the pool by scan iterators (guard-cache
+    /// misses).
+    SCAN_PAGES_PINNED = "scan_pages_pinned", labels: [];
+    /// Bitmap match positions produced by scans.
+    SCAN_BITMAP_MATCHES = "scan_bitmap_matches", labels: [];
+    /// Pages skipped via page-summary (min/max) pruning.
+    SCAN_PAGES_PRUNED = "scan_pages_pruned", labels: [];
+    /// Kernel dispatch width (bit width of the last dispatched kernel;
+    /// gauge).
+    SCAN_DISPATCH_WIDTH = "scan_dispatch_width", labels: [];
+    /// End-to-end scan latency histogram in nanoseconds (profiled scans
+    /// only).
+    SCAN_NS = "scan_ns", labels: [];
+
+    /// Full-column loads performed by resident columns.
+    COLUMN_FULL_LOADS = "column_full_loads", labels: [];
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_matches_consts() {
+        assert!(ALL.iter().any(|s| s.ident == "POOL_LOADS" && s.name == POOL_LOADS));
+        assert!(ALL.iter().any(|s| s.name == SCAN_NS && s.labels.is_empty()));
+        let faults = ALL.iter().find(|s| s.name == POOL_LOAD_FAULTS).unwrap();
+        assert_eq!(faults.labels, ["pool", "kind"]);
+    }
+
+    #[test]
+    fn names_and_idents_are_unique() {
+        for (i, a) in ALL.iter().enumerate() {
+            for b in &ALL[i + 1..] {
+                assert_ne!(a.name, b.name, "duplicate wire name");
+                assert_ne!(a.ident, b.ident, "duplicate const ident");
+            }
+        }
+    }
+}

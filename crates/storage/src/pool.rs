@@ -554,7 +554,6 @@ impl BufferPool {
                 ls: Arc::clone(ls),
                 completion: Completion::Ticket(Arc::clone(&ticket)),
             });
-            // lint: allow(unwrap) invariant: urgent submissions are always accepted
             let depth = submitted.unwrap_or_else(|_| unreachable!("urgent never dropped"));
             self.inner.metrics.io_submitted.inc();
             self.inner.metrics.io_queue_depth.record(depth as u64);

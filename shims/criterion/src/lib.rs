@@ -3,6 +3,7 @@
 //! runs a short calibration, then `sample_size` samples, and prints the
 //! median per-iteration time (plus throughput when configured). No plots,
 //! no statistics beyond min/median/max — honest numbers, tiny footprint.
+#![forbid(unsafe_code)]
 
 use std::fmt;
 use std::time::{Duration, Instant};

@@ -2,6 +2,7 @@
 //! implemented over `Mutex` + `Condvar`. Only the surface this workspace
 //! uses is provided: `send`, `recv`, `try_recv`, clonable ends, and
 //! disconnect detection on both sides.
+#![forbid(unsafe_code)]
 
 /// Multi-producer multi-consumer channels.
 pub mod channel {

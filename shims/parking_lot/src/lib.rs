@@ -2,6 +2,7 @@
 //! `Condvar` built on `std::sync`. Poisoned locks are transparently
 //! recovered (parking_lot has no poisoning), which matches how this
 //! workspace uses the real crate.
+#![forbid(unsafe_code)]
 
 use std::fmt;
 use std::ops::{Deref, DerefMut};

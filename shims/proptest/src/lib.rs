@@ -6,6 +6,7 @@
 //! Only the strategy surface this workspace uses is implemented: integer
 //! ranges, `any` for primitives, `Just`, tuples, `prop_flat_map`,
 //! `collection::vec` and `sample::select`.
+#![forbid(unsafe_code)]
 
 pub mod strategy {
     use crate::test_runner::TestRng;
@@ -295,15 +296,19 @@ pub mod test_runner {
     }
 
     impl ProptestConfig {
-        /// A config running `cases` cases.
+        /// A config running `cases` cases. Under Miri every case pays an
+        /// interpreter-level cost, so the count is clamped: the point of a
+        /// Miri run is UB detection on representative inputs, not
+        /// statistical coverage.
         pub fn with_cases(cases: u32) -> Self {
+            let cases = if cfg!(miri) { cases.min(4) } else { cases };
             ProptestConfig { cases }
         }
     }
 
     impl Default for ProptestConfig {
         fn default() -> Self {
-            ProptestConfig { cases: 256 }
+            ProptestConfig { cases: if cfg!(miri) { 4 } else { 256 } }
         }
     }
 

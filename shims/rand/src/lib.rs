@@ -2,6 +2,7 @@
 //! SplitMix64 generator behind the `RngCore`/`RngExt`/`SeedableRng` traits,
 //! plus uniform `random_range` over integer ranges. Statistical quality is
 //! ample for workload generation and tests; this is not a cryptographic RNG.
+#![forbid(unsafe_code)]
 
 use std::ops::{Range, RangeInclusive};
 

@@ -1,0 +1,18 @@
+//! Guard-escape fixture: the page guard pinned on line 7 is still live at
+//! the lock acquisition (line 8) and the sleeper call (line 9) — two
+//! findings. The guard in `well_behaved` is dropped before the submit and
+//! produces none.
+
+fn scan_chunk(&self) {
+    let g = self.pool.pin(key)?;
+    let st = self.state.lock();
+    (self.sleeper)(backoff);
+    touch(g, st);
+}
+
+fn well_behaved(&self) {
+    let g = self.pool.pin(key)?;
+    use_page(&g);
+    drop(g);
+    self.queue.submit(req);
+}

@@ -1,0 +1,36 @@
+//! Lexer/scope-tracker torture fixture. Every construct below is designed
+//! to fool a line-based linter: rule trigger text inside string literals,
+//! raw strings, multi-line comments, and nested `#[cfg(test)]` modules.
+//! Exactly one finding is expected — the `safety` violation marked REAL.
+
+/* A multi-line comment mentioning unsafe { transmute() }
+   and x.unwrap() and std::thread::sleep(d) across
+   several lines. None of it is code. */
+fn strings() {
+    let plain = "unsafe { not_code() } and x.unwrap()";
+    let raw = r#"unsafe { "nested quote" } std::sync::Mutex"#;
+    let hash2 = r##"still a string: r#"inner"# unsafe"##;
+    let ch = 'u';
+    let lifetime: &'static str = plain;
+    use_all(plain, raw, hash2, ch, lifetime);
+}
+
+#[cfg(test)]
+mod tests {
+    fn exempt() {
+        x.unwrap();
+        unsafe { no_comment_needed_in_tests() }
+    }
+
+    #[cfg(test)]
+    mod nested {
+        fn also_exempt() {
+            std::thread::sleep(d);
+        }
+    }
+}
+
+fn real_violation() {
+    // REAL: the only expected finding — no safety comment above.
+    unsafe { read_volatile(p) }
+}

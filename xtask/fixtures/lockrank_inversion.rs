@@ -1,0 +1,25 @@
+//! Lock-rank fixture: `bad` acquires the PoolShard-ranked lock while the
+//! ResmanState-ranked guard is still held — the inversion the runtime
+//! checker would abort on, caught statically at the second acquisition
+//! (line 16). `good` takes the same pair in declared order.
+
+impl FixtureInner {
+    fn new() -> Self {
+        FixtureInner {
+            state: Mutex::with_rank(State::default(), LockRank::ResmanState),
+            shard: Mutex::with_rank(Shard::default(), LockRank::PoolShard),
+        }
+    }
+
+    fn bad(&self) {
+        let held = self.state.lock();
+        let inner = self.shard.lock();
+        use_both(held, inner);
+    }
+
+    fn good(&self) {
+        let inner = self.shard.lock();
+        let held = self.state.lock();
+        use_both(held, inner);
+    }
+}

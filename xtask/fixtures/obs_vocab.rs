@@ -1,0 +1,11 @@
+//! Obs-vocabulary fixture against the real `payg_obs::names` table: an
+//! undeclared wire name (line 8) and a labelled registration missing the
+//! declared `kind` key (line 9). The declared-name uses on lines 7 and 10
+//! are clean.
+
+fn register(reg: &Registry, l: &[(&str, String)]) {
+    reg.counter_labeled(names::POOL_LOADS, l).add(1);
+    reg.counter("payg_fixture_bogus").add(1);
+    reg.counter_labeled(names::POOL_LOAD_FAULTS, &[("pool", pool_label)]).add(1);
+    reg.histogram(names::SCAN_NS).record(3);
+}

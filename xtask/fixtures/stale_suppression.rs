@@ -1,0 +1,9 @@
+//! Stale-suppression fixture: the tag on line 5 names a real rule and
+//! carries a reason, but the code below it no longer violates anything —
+//! it must be reported as stale rather than silently ignored.
+
+// lint: allow(unwrap) refactored away: the call below no longer unwraps
+fn f() {
+    let v = submitted.unwrap_or_else(|_| fallback());
+    use_value(v);
+}

@@ -1,0 +1,249 @@
+//! Guard-escape pass.
+//!
+//! A [`PageGuard`] pins a frame: while it lives, the page cannot be evicted
+//! and its memory stays charged. Holding one across a blocking operation —
+//! a lock acquisition, a `Sleeper` backoff, an I/O-stage submit-and-wait —
+//! stretches pin lifetimes from "the microseconds a chunk is read" to "as
+//! long as the lock/sleep/IO takes", which defeats piecewise residency and
+//! can deadlock against eviction walking the same shard.
+//!
+//! The pass is deliberately direct-only (no call resolution): a `let`
+//! binding produced by `.pin(..)`, `get_or_pin(..)`, or `PageGuard::new(..)`
+//! in `crates/storage` / `crates/core` library code is tracked to the end
+//! of its block (or `drop(name)`); any blocking event inside that region is
+//! flagged. Architectural guard-holding (the scan guard cache) lives in
+//! struct fields, not `let` bindings, and is not flagged.
+
+use super::lexer::{Tok, TokKind};
+use super::report::Sink;
+use super::FileUnit;
+
+/// Is this file in the pass's scope?
+pub fn in_scope(u: &FileUnit) -> bool {
+    let s = u.rel.to_string_lossy().replace('\\', "/");
+    s.starts_with("crates/storage/src") || s.starts_with("crates/core/src")
+}
+
+/// Runs the pass over one file.
+pub fn run(u: &FileUnit, sink: &Sink<'_>) {
+    if !in_scope(u) {
+        return;
+    }
+    let toks = &u.lexed.toks;
+
+    // Guard bindings: (name, declared line, live-from index, scope-end
+    // index). A binding only exists once its statement completes, so
+    // blocking events inside the initializer itself (e.g. the shard lock
+    // taken while computing what to pin) do not count.
+    let mut live: Vec<(String, u32, usize, usize)> = Vec::new();
+
+    for i in 0..toks.len() {
+        if u.info.in_test[i] {
+            continue;
+        }
+        live.retain(|&(_, _, _, end)| end > i);
+
+        // `drop(name)` ends a binding early.
+        if toks[i].is_ident("drop")
+            && toks.get(i + 1).is_some_and(|t| t.is_punct('('))
+            && toks.get(i + 3).is_some_and(|t| t.is_punct(')'))
+        {
+            if let Some(name) = toks.get(i + 2).filter(|t| t.kind == TokKind::Ident) {
+                live.retain(|(n, _, _, _)| *n != name.text);
+            }
+        }
+
+        // New guard binding: `let [mut] name = <expr containing a pin>;`.
+        if toks[i].is_ident("let") {
+            if let Some((name, stmt_end)) = let_binding(toks, i) {
+                if statement_pins(&toks[i..=stmt_end]) {
+                    live.push((
+                        name,
+                        toks[i].line,
+                        stmt_end,
+                        enclosing_scope_end(toks, stmt_end),
+                    ));
+                    continue;
+                }
+            }
+        }
+
+        let held: Vec<&(String, u32, usize, usize)> =
+            live.iter().filter(|&&(_, _, from, _)| i > from).collect();
+        let Some(&(name, line, _, _)) = held.last() else { continue };
+        if let Some(event) = blocking_event(toks, i) {
+            sink.emit(
+                "guard-escape",
+                toks[i].line,
+                format!(
+                    "page guard `{name}` (pinned line {line}) is still live across {event}: \
+                     pins must not span blocking operations — drop the guard first, \
+                     or suppress with a reason if the hold is the point"
+                ),
+            );
+        }
+    }
+}
+
+/// Parses `let [mut] name = … ;` starting at the `let` at `i`; returns the
+/// binding name and the token index of the terminating `;`.
+fn let_binding(toks: &[Tok], i: usize) -> Option<(String, usize)> {
+    let mut j = i + 1;
+    if toks.get(j)?.is_ident("mut") {
+        j += 1;
+    }
+    let name = toks.get(j)?;
+    if name.kind != TokKind::Ident {
+        return None; // destructuring patterns: skip
+    }
+    let mut depth = 0i64;
+    for (k, t) in toks.iter().enumerate().skip(j) {
+        if t.is_punct('(') || t.is_punct('[') || t.is_punct('{') {
+            depth += 1;
+        } else if t.is_punct(')') || t.is_punct(']') || t.is_punct('}') {
+            depth -= 1;
+            if depth < 0 {
+                return None; // ran off the enclosing block
+            }
+        } else if t.is_punct(';') && depth == 0 {
+            return Some((name.text.clone(), k));
+        }
+    }
+    None
+}
+
+/// Does this statement's token span produce a page guard?
+fn statement_pins(stmt: &[Tok]) -> bool {
+    for (k, t) in stmt.iter().enumerate() {
+        let dot_call = |name: &str| {
+            t.is_punct('.')
+                && stmt.get(k + 1).is_some_and(|x| x.is_ident(name))
+                && stmt.get(k + 2).is_some_and(|x| x.is_punct('('))
+        };
+        if dot_call("pin") || dot_call("get_or_pin") {
+            // Accounting pins are not guard producers: `resman.pin(rid)`
+            // bumps a refcount and returns bool; `pins.pin(..)` registers
+            // with the leak tracker. Only pool/cache pins yield guards.
+            let receiver_is_accounting = k > 0
+                && (stmt[k - 1].is_ident("resman") || stmt[k - 1].is_ident("pins"));
+            if !receiver_is_accounting {
+                return true;
+            }
+        }
+        if t.is_ident("PageGuard")
+            && stmt.get(k + 1).is_some_and(|x| x.is_punct(':'))
+            && stmt.get(k + 2).is_some_and(|x| x.is_punct(':'))
+            && stmt.get(k + 3).is_some_and(|x| x.is_ident("new"))
+        {
+            return true;
+        }
+    }
+    false
+}
+
+/// Is the token at `i` a blocking event? Returns its description.
+fn blocking_event(toks: &[Tok], i: usize) -> Option<&'static str> {
+    let dot_call = |name: &str| {
+        toks[i].is_punct('.')
+            && toks.get(i + 1).is_some_and(|x| x.is_ident(name))
+            && toks.get(i + 2).is_some_and(|x| x.is_punct('('))
+    };
+    if dot_call("lock") || dot_call("try_lock") {
+        return Some("a lock acquisition");
+    }
+    if dot_call("wait") {
+        return Some("a blocking wait");
+    }
+    if dot_call("submit") {
+        return Some("an I/O-stage submit");
+    }
+    if dot_call("sleep") {
+        return Some("a sleeper call");
+    }
+    // The injected sleeper is a closure: `(self.sleeper)(d)` / `sleeper(d)`.
+    if toks[i].is_ident("sleeper") {
+        let next = toks.get(i + 1)?;
+        if next.is_punct('(') {
+            return Some("a sleeper call");
+        }
+        if next.is_punct(')') && toks.get(i + 2).is_some_and(|x| x.is_punct('(')) {
+            return Some("a sleeper call");
+        }
+    }
+    None
+}
+
+/// Token index of the `}` closing the block containing token `i`.
+fn enclosing_scope_end(toks: &[Tok], i: usize) -> usize {
+    let mut depth = 0i64;
+    for (j, t) in toks.iter().enumerate().skip(i) {
+        if t.is_punct('{') {
+            depth += 1;
+        } else if t.is_punct('}') {
+            if depth == 0 {
+                return j;
+            }
+            depth -= 1;
+        }
+    }
+    toks.len().saturating_sub(1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::build_unit;
+    use super::*;
+    use std::path::PathBuf;
+
+    fn run_src(rel: &str, src: &str) -> Vec<(String, u32)> {
+        let u = build_unit(PathBuf::from(rel), src);
+        let sink = Sink::new(&u.rel, &u.lexed.comments);
+        run(&u, &sink);
+        let mut out = Vec::new();
+        sink.finish(&["guard-escape"], &mut out);
+        out.into_iter().map(|f| (f.rule.to_string(), f.line)).collect()
+    }
+
+    #[test]
+    fn guard_across_lock_and_sleep_is_flagged() {
+        let src = "fn f(&self) {\n    let g = self.pool.pin(key)?;\n    let st = self.state.lock();\n    (self.sleeper)(backoff);\n    touch(g, st);\n}\n";
+        let got = run_src("crates/storage/src/pool.rs", src);
+        assert_eq!(
+            got,
+            [("guard-escape".to_string(), 3), ("guard-escape".to_string(), 4)],
+            "{got:?}"
+        );
+    }
+
+    #[test]
+    fn dropped_guard_is_not_flagged() {
+        let src = "fn f(&self) {\n    let g = self.pool.pin(key)?;\n    use_page(&g);\n    drop(g);\n    let st = self.state.lock();\n    touch(st);\n}\n";
+        assert!(run_src("crates/storage/src/pool.rs", src).is_empty());
+    }
+
+    #[test]
+    fn scope_exit_releases_the_guard() {
+        let src = "fn f(&self) {\n    {\n        let g = self.pool.pin(key)?;\n        use_page(&g);\n    }\n    self.queue.submit(req);\n}\n";
+        assert!(run_src("crates/storage/src/pool.rs", src).is_empty());
+    }
+
+    #[test]
+    fn wait_and_submit_are_events() {
+        let src = "fn f(&self) {\n    let g = cache.get_or_pin(p, pin_fn)?;\n    let t = stage.submit(req);\n    ticket.wait();\n    touch(g, t);\n}\n";
+        let got = run_src("crates/core/src/datavec/paged.rs", src);
+        assert_eq!(got.len(), 2, "{got:?}");
+    }
+
+    #[test]
+    fn out_of_scope_crates_are_ignored() {
+        let src = "fn f(&self) {\n    let g = self.pool.pin(key)?;\n    let st = self.state.lock();\n    touch(g, st);\n}\n";
+        assert!(run_src("crates/table/src/lib.rs", src).is_empty());
+        assert!(run_src("crates/storage/tests/chaos.rs", src).is_empty());
+    }
+
+    #[test]
+    fn suppression_with_reason_applies() {
+        let src = "fn f(&self) {\n    let g = self.pool.pin(key)?;\n    // lint: allow(guard-escape) helper pages stay pinned by design\n    self.pinned_helpers.lock().push(g);\n}\n";
+        assert!(run_src("crates/core/src/dict/paged.rs", src).is_empty());
+    }
+}

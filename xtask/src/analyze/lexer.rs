@@ -1,0 +1,387 @@
+//! A comment/string-aware lexer for Rust source.
+//!
+//! This is not a full Rust lexer — it recognizes exactly what the analysis
+//! passes need: identifiers, numbers, string/char literals (including raw
+//! and byte strings), lifetimes, and single-character punctuation, with
+//! every token carrying its 1-based line number. Comments (line, block —
+//! nested — and doc) are kept out of the token stream and collected into a
+//! per-line side table, so suppression tags and `SAFETY:` annotations can
+//! still be found while string literals and comment text can no longer
+//! trigger (or mask) rule matches.
+
+/// Kind of one lexed token.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum TokKind {
+    /// Identifier or keyword (`unsafe`, `for`, `Mutex`, `r#type`, …).
+    Ident,
+    /// Numeric literal (`0`, `0xFF`, `1.5e3`, `64u32`, …).
+    Num,
+    /// String literal of any flavor (`"…"`, `r#"…"#`, `b"…"`). The token
+    /// text is the literal's *content* (delimiters stripped, escapes kept
+    /// verbatim).
+    Str,
+    /// Char or byte literal (`'a'`, `b'\n'`).
+    Char,
+    /// Lifetime (`'a`, `'static`).
+    Lifetime,
+    /// One punctuation character (`.`, `:`, `{`, …).
+    Punct,
+}
+
+/// One token: kind, text, and the 1-based line it starts on.
+#[derive(Clone, Debug)]
+pub struct Tok {
+    pub kind: TokKind,
+    pub text: String,
+    pub line: u32,
+}
+
+impl Tok {
+    /// True for an identifier token with exactly this text.
+    pub fn is_ident(&self, s: &str) -> bool {
+        self.kind == TokKind::Ident && self.text == s
+    }
+
+    /// True for a punctuation token with exactly this character.
+    pub fn is_punct(&self, c: char) -> bool {
+        self.kind == TokKind::Punct && self.text.len() == c.len_utf8() && self.text.starts_with(c)
+    }
+}
+
+/// A lexed file: the code token stream plus per-line comment text.
+#[derive(Debug, Default)]
+pub struct Lexed {
+    pub toks: Vec<Tok>,
+    /// Comment text by 1-based line. A block comment spanning lines
+    /// contributes each of its lines separately; multiple comments on one
+    /// line are concatenated (space-joined).
+    pub comments: Vec<(u32, String)>,
+}
+
+impl Lexed {
+    /// All comment text attached to `line`, space-joined.
+    pub fn comment_on(&self, line: u32) -> Option<&str> {
+        // `comments` is sorted by construction (single forward pass).
+        self.comments
+            .binary_search_by_key(&line, |&(l, _)| l)
+            .ok()
+            .map(|i| self.comments[i].1.as_str())
+    }
+}
+
+/// Lexes `src` (see module docs for the token model).
+pub fn lex(src: &str) -> Lexed {
+    let mut out = Lexed::default();
+    let b = src.as_bytes();
+    let mut i = 0usize;
+    let mut line: u32 = 1;
+
+    let push_comment = |line: u32, text: &str, comments: &mut Vec<(u32, String)>| {
+        match comments.last_mut() {
+            Some((l, existing)) if *l == line => {
+                existing.push(' ');
+                existing.push_str(text);
+            }
+            _ => comments.push((line, text.to_string())),
+        }
+    };
+
+    while i < b.len() {
+        let c = b[i];
+        match c {
+            b'\n' => {
+                line += 1;
+                i += 1;
+            }
+            b' ' | b'\t' | b'\r' => i += 1,
+            // Line comment (incl. doc comments).
+            b'/' if b.get(i + 1) == Some(&b'/') => {
+                let start = i;
+                while i < b.len() && b[i] != b'\n' {
+                    i += 1;
+                }
+                push_comment(line, src[start..i].trim_start_matches('/').trim(), &mut out.comments);
+            }
+            // Block comment, possibly nested and multi-line.
+            b'/' if b.get(i + 1) == Some(&b'*') => {
+                let mut depth = 1;
+                i += 2;
+                let mut seg_start = i;
+                while i < b.len() && depth > 0 {
+                    if b[i] == b'/' && b.get(i + 1) == Some(&b'*') {
+                        depth += 1;
+                        i += 2;
+                    } else if b[i] == b'*' && b.get(i + 1) == Some(&b'/') {
+                        depth -= 1;
+                        i += 2;
+                    } else if b[i] == b'\n' {
+                        push_comment(line, src[seg_start..i].trim(), &mut out.comments);
+                        line += 1;
+                        i += 1;
+                        seg_start = i;
+                    } else {
+                        i += 1;
+                    }
+                }
+                let seg_end = i.saturating_sub(2).max(seg_start);
+                push_comment(line, src[seg_start..seg_end].trim(), &mut out.comments);
+            }
+            // String literals: plain, byte, raw, raw byte — and raw idents.
+            b'"' => {
+                let (content, ni, nl) = lex_plain_string(src, i, line);
+                out.toks.push(Tok { kind: TokKind::Str, text: content, line });
+                i = ni;
+                line = nl;
+            }
+            b'r' | b'b' if is_string_start(b, i) => {
+                let tok_line = line;
+                let (kind, content, ni, nl) = lex_prefixed_literal(src, i, line);
+                out.toks.push(Tok { kind, text: content, line: tok_line });
+                i = ni;
+                line = nl;
+            }
+            // Lifetime or char literal.
+            b'\'' => {
+                if is_lifetime(b, i) {
+                    let start = i;
+                    i += 1;
+                    while i < b.len() && (b[i].is_ascii_alphanumeric() || b[i] == b'_') {
+                        i += 1;
+                    }
+                    out.toks.push(Tok {
+                        kind: TokKind::Lifetime,
+                        text: src[start..i].to_string(),
+                        line,
+                    });
+                } else {
+                    let (content, ni, nl) = lex_char(src, i, line);
+                    out.toks.push(Tok { kind: TokKind::Char, text: content, line });
+                    i = ni;
+                    line = nl;
+                }
+            }
+            _ if c.is_ascii_alphabetic() || c == b'_' => {
+                let start = i;
+                while i < b.len() && (b[i].is_ascii_alphanumeric() || b[i] == b'_') {
+                    i += 1;
+                }
+                out.toks.push(Tok { kind: TokKind::Ident, text: src[start..i].to_string(), line });
+            }
+            _ if c.is_ascii_digit() => {
+                let start = i;
+                i += 1;
+                while i < b.len() {
+                    let d = b[i];
+                    if d.is_ascii_alphanumeric() || d == b'_' {
+                        i += 1;
+                    } else if d == b'.' && b.get(i + 1).is_some_and(u8::is_ascii_digit) {
+                        // `1.5` continues the number; `0..5` does not.
+                        i += 1;
+                    } else if (d == b'+' || d == b'-')
+                        && matches!(b.get(i - 1), Some(&b'e') | Some(&b'E'))
+                        && b.get(i + 1).is_some_and(u8::is_ascii_digit)
+                    {
+                        // Exponent sign: `1e+3`.
+                        i += 1;
+                    } else {
+                        break;
+                    }
+                }
+                out.toks.push(Tok { kind: TokKind::Num, text: src[start..i].to_string(), line });
+            }
+            _ => {
+                // One punctuation char at a time (multi-char operators are
+                // matched as token sequences by the passes).
+                let ch_len = src[i..].chars().next().map_or(1, char::len_utf8);
+                out.toks.push(Tok {
+                    kind: TokKind::Punct,
+                    text: src[i..i + ch_len].to_string(),
+                    line,
+                });
+                i += ch_len;
+            }
+        }
+    }
+    out
+}
+
+/// Is the `r`/`b` at `i` the start of a string/char literal prefix (as
+/// opposed to a plain identifier starting with that letter)?
+fn is_string_start(b: &[u8], i: usize) -> bool {
+    match b[i] {
+        b'r' => match b.get(i + 1) {
+            Some(&b'"') => true,
+            Some(&b'#') => {
+                // r#"…"# is a raw string; r#ident is a raw identifier.
+                let mut j = i + 1;
+                while b.get(j) == Some(&b'#') {
+                    j += 1;
+                }
+                b.get(j) == Some(&b'"')
+            }
+            _ => false,
+        },
+        b'b' => matches!(b.get(i + 1), Some(&b'"') | Some(&b'\''))
+            || (b.get(i + 1) == Some(&b'r')
+                && matches!(b.get(i + 2), Some(&b'"') | Some(&b'#'))),
+        _ => false,
+    }
+}
+
+/// Is the `'` at `i` a lifetime (vs a char literal)?
+fn is_lifetime(b: &[u8], i: usize) -> bool {
+    // 'x followed by another quote is a char ('a'); otherwise a lifetime.
+    let Some(&first) = b.get(i + 1) else { return false };
+    if !(first.is_ascii_alphabetic() || first == b'_') {
+        return false;
+    }
+    let mut j = i + 2;
+    while j < b.len() && (b[j].is_ascii_alphanumeric() || b[j] == b'_') {
+        j += 1;
+    }
+    b.get(j) != Some(&b'\'')
+}
+
+/// Lexes a `"…"` string starting at `i`; returns (content, next_i, line).
+fn lex_plain_string(src: &str, i: usize, mut line: u32) -> (String, usize, u32) {
+    let b = src.as_bytes();
+    let mut j = i + 1;
+    let start = j;
+    while j < b.len() {
+        match b[j] {
+            b'\\' => j += 2,
+            b'"' => return (src[start..j].to_string(), j + 1, line),
+            b'\n' => {
+                line += 1;
+                j += 1;
+            }
+            _ => j += 1,
+        }
+    }
+    (src[start..j.min(src.len())].to_string(), j, line)
+}
+
+/// Lexes a raw/byte string or byte char starting at `i` (`r"`, `r#"`,
+/// `b"`, `br"`, `b'`); returns (kind, content, next_i, line).
+fn lex_prefixed_literal(src: &str, i: usize, mut line: u32) -> (TokKind, String, usize, u32) {
+    let b = src.as_bytes();
+    let mut j = i;
+    // Skip the prefix letters.
+    while j < b.len() && (b[j] == b'r' || b[j] == b'b') {
+        j += 1;
+    }
+    if b.get(j) == Some(&b'\'') {
+        let (content, ni, nl) = lex_char(src, j, line);
+        return (TokKind::Char, content, ni, nl);
+    }
+    let mut hashes = 0usize;
+    while b.get(j) == Some(&b'#') {
+        hashes += 1;
+        j += 1;
+    }
+    debug_assert_eq!(b.get(j), Some(&b'"'));
+    j += 1;
+    let start = j;
+    let raw = src[i..].starts_with('r') || src[i..].starts_with("br");
+    while j < b.len() {
+        match b[j] {
+            b'\\' if !raw => j += 2,
+            b'"' => {
+                // A raw string closes only on `"` followed by its hashes.
+                let closes = (0..hashes).all(|k| b.get(j + 1 + k) == Some(&b'#'));
+                if closes {
+                    return (TokKind::Str, src[start..j].to_string(), j + 1 + hashes, line);
+                }
+                j += 1;
+            }
+            b'\n' => {
+                line += 1;
+                j += 1;
+            }
+            _ => j += 1,
+        }
+    }
+    (TokKind::Str, src[start..j.min(src.len())].to_string(), j, line)
+}
+
+/// Lexes a char literal starting at the `'` at `i`.
+fn lex_char(src: &str, i: usize, line: u32) -> (String, usize, u32) {
+    let b = src.as_bytes();
+    let mut j = i + 1;
+    let start = j;
+    while j < b.len() {
+        match b[j] {
+            b'\\' => j += 2,
+            b'\'' => return (src[start..j].to_string(), j + 1, line),
+            // An unterminated char before a newline means this was not
+            // actually a char literal; bail out conservatively.
+            b'\n' => return (src[start..j].to_string(), j, line),
+            _ => j += 1,
+        }
+    }
+    (src[start..j.min(src.len())].to_string(), j, line)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn texts(src: &str) -> Vec<(TokKind, String)> {
+        lex(src).toks.into_iter().map(|t| (t.kind, t.text)).collect()
+    }
+
+    #[test]
+    fn strings_and_comments_leave_the_code_stream() {
+        let l = lex("let x = \"unsafe .unwrap()\"; // trailing .expect(\n");
+        assert!(l.toks.iter().all(|t| t.text != "unwrap" && t.text != "expect"));
+        assert_eq!(l.toks.iter().filter(|t| t.kind == TokKind::Str).count(), 1);
+        assert!(l.comment_on(1).unwrap().contains(".expect("));
+    }
+
+    #[test]
+    fn raw_strings_with_hashes() {
+        let l = lex("let s = r#\"has \"quotes\" and unsafe\"#; f();");
+        let strs: Vec<_> = l.toks.iter().filter(|t| t.kind == TokKind::Str).collect();
+        assert_eq!(strs.len(), 1);
+        assert!(strs[0].text.contains("\"quotes\""));
+        assert!(l.toks.iter().any(|t| t.is_ident("f")));
+    }
+
+    #[test]
+    fn raw_identifiers_are_idents() {
+        let t = texts("let r#type = 1;");
+        assert!(t.iter().any(|(k, s)| *k == TokKind::Ident && s == "type"));
+    }
+
+    #[test]
+    fn block_comments_nest_and_span_lines() {
+        let l = lex("a /* one /* two */ still */ b\n/* x\n y */ c");
+        let idents: Vec<_> =
+            l.toks.iter().filter(|t| t.kind == TokKind::Ident).map(|t| t.text.clone()).collect();
+        assert_eq!(idents, ["a", "b", "c"]);
+        assert_eq!(l.toks.last().unwrap().line, 3);
+        assert!(l.comment_on(2).unwrap().contains('x'));
+    }
+
+    #[test]
+    fn lifetimes_vs_chars() {
+        let l = lex("fn f<'a>(x: &'a str) { let c = 'x'; let e = '\\''; }");
+        assert_eq!(l.toks.iter().filter(|t| t.kind == TokKind::Lifetime).count(), 2);
+        assert_eq!(l.toks.iter().filter(|t| t.kind == TokKind::Char).count(), 2);
+    }
+
+    #[test]
+    fn numbers_do_not_eat_ranges() {
+        let t = texts("for i in 0..64 { let f = 1.5e+3; }");
+        assert!(t.contains(&(TokKind::Num, "0".into())));
+        assert!(t.contains(&(TokKind::Num, "64".into())));
+        assert!(t.contains(&(TokKind::Num, "1.5e+3".into())));
+    }
+
+    #[test]
+    fn line_numbers_follow_multiline_strings() {
+        let l = lex("let s = \"line\none\";\nlet t = 2;");
+        let t2 = l.toks.iter().find(|t| t.is_ident("t")).unwrap();
+        assert_eq!(t2.line, 3);
+    }
+}

@@ -1,0 +1,721 @@
+//! Static lock-rank pass.
+//!
+//! The runtime tracker in `payg_check::lockorder` enforces the rank
+//! discipline on executed paths; this pass checks the same discipline
+//! statically, so an inversion on a path no test exercises is still caught.
+//! The rank table is `payg_check::RANK_TABLE` — the same `define_ranks!`
+//! invocation the runtime enum comes from — so the two checkers cannot
+//! drift apart.
+//!
+//! What it does, per crate:
+//!
+//! 1. collects `with_rank` declaration sites, binding (struct type, field)
+//!    — or a `let` local — to a rank;
+//! 2. walks every `fn` body tracking which ranked guards are *held*
+//!    (let-bound guards live to end of block or `drop(name)`; temporaries
+//!    are check-only);
+//! 3. flags any acquisition whose rank is not strictly greater than every
+//!    held rank (`lock-rank`);
+//! 4. resolves one level of intra-crate calls: a call to a fn that itself
+//!    directly acquires ranked locks is checked against the caller's held
+//!    set (unique fn names only, generic method names excluded);
+//! 5. cross-checks the table both ways (`rank-table`): a `with_rank` site
+//!    naming an unknown rank, and a table entry with no `with_rank` site
+//!    anywhere in the workspace.
+//!
+//! Receiver resolution is deliberately conservative: `self.field.lock()`
+//! resolves via (enclosing impl type, field); `base.field.lock()` via a
+//! field name unique in the crate; a bare local only via a `let` bound to a
+//! `with_rank` constructor. Anything else is skipped, not guessed.
+
+use super::lexer::{Tok, TokKind};
+use super::report::Sink;
+use super::scopes::FileInfo;
+use super::FileUnit;
+use std::collections::HashMap;
+
+/// Method names that look like acquisitions.
+const ACQUIRE: &[&str] = &["lock", "read", "write", "try_lock", "try_read", "try_write"];
+
+/// Fn names too generic for one-level call resolution.
+const CALL_DENYLIST: &[&str] = &[
+    "lock", "read", "write", "try_lock", "try_read", "try_write", "wait", "new", "default",
+    "drop", "clone", "get", "insert", "remove", "push", "pop", "len", "with_rank", "notify_all",
+    "notify_one",
+];
+
+/// One `with_rank` declaration site.
+struct Decl {
+    /// Struct-literal type the field belongs to (`None` for a `let` local).
+    owner: Option<String>,
+    /// Field or local name.
+    name: String,
+    rank: String,
+    file: usize,
+    line: u32,
+}
+
+/// Runs the pass over the whole workspace. `table` is
+/// `payg_check::RANK_TABLE` flattened to (variant name, rank value).
+pub fn run(units: &[FileUnit], sinks: &[Sink<'_>], table: &[(&str, u8)]) {
+    // --- pass 1: collect declarations, crate by crate ---
+    let mut decls_by_crate: HashMap<String, Vec<Decl>> = HashMap::new();
+    for (fi, u) in units.iter().enumerate() {
+        if !in_lock_scope(u) {
+            continue;
+        }
+        collect_decls(fi, u, decls_by_crate.entry(crate_key(u)).or_default());
+    }
+
+    // Unknown-rank half of the table cross-check.
+    for decls in decls_by_crate.values() {
+        for d in decls {
+            if !table.iter().any(|&(n, _)| n == d.rank) {
+                sinks[d.file].emit(
+                    "rank-table",
+                    d.line,
+                    format!(
+                        "`LockRank::{}` is not in payg_check::RANK_TABLE — \
+                         declare it in crates/check/src/lockorder.rs",
+                        d.rank
+                    ),
+                );
+            }
+        }
+    }
+
+    // Dead-rank half: a table entry no with_rank site uses.
+    if let Some(lockorder) = units
+        .iter()
+        .position(|u| u.rel.to_string_lossy().replace('\\', "/").ends_with("check/src/lockorder.rs"))
+    {
+        for &(name, _) in table {
+            let used = decls_by_crate.values().flatten().any(|d| d.rank == name);
+            if !used {
+                let line = units[lockorder]
+                    .lexed
+                    .toks
+                    .iter()
+                    .find(|t| t.is_ident(name))
+                    .map_or(1, |t| t.line);
+                sinks[lockorder].emit(
+                    "rank-table",
+                    line,
+                    format!(
+                        "rank `{name}` has no `with_rank` declaration site anywhere — \
+                         dead rank, remove it or rank the lock that should use it"
+                    ),
+                );
+            }
+        }
+    }
+
+    // --- pass 2: per-crate fn summaries, then per-fn ordering checks ---
+    for (ck, decls) in &decls_by_crate {
+        let resolver = Resolver::new(decls, table);
+        let crate_units: Vec<usize> = units
+            .iter()
+            .enumerate()
+            .filter(|(_, u)| crate_key(u) == *ck && in_lock_scope(u))
+            .map(|(i, _)| i)
+            .collect();
+
+        // Fn summary: unique fn name -> ranks it directly acquires.
+        let mut fn_ranks: HashMap<String, Vec<(String, u8)>> = HashMap::new();
+        let mut ambiguous: Vec<String> = Vec::new();
+        for &fi in &crate_units {
+            let u = &units[fi];
+            for f in &u.info.fns {
+                if CALL_DENYLIST.contains(&f.name.as_str()) || u.info.in_test[f.body.0] {
+                    continue;
+                }
+                let ranks = direct_acquisitions(u, f.body, f.impl_type.as_deref(), &resolver);
+                match fn_ranks.entry(f.name.clone()) {
+                    std::collections::hash_map::Entry::Occupied(_) => ambiguous.push(f.name.clone()),
+                    std::collections::hash_map::Entry::Vacant(e) => {
+                        e.insert(ranks);
+                    }
+                }
+            }
+        }
+        for name in &ambiguous {
+            fn_ranks.remove(name);
+        }
+
+        for &fi in &crate_units {
+            let u = &units[fi];
+            for f in &u.info.fns {
+                if u.info.in_test[f.body.0] {
+                    continue;
+                }
+                check_fn_body(u, f.body, f.impl_type.as_deref(), &resolver, &fn_ranks, &sinks[fi]);
+            }
+        }
+    }
+}
+
+/// Only the crates that actually use ranked locks are scanned; everything
+/// else has no `with_rank` sites and would only cost time.
+fn in_lock_scope(u: &FileUnit) -> bool {
+    let s = u.rel.to_string_lossy().replace('\\', "/");
+    (s.starts_with("crates/") && s.contains("/src/")) || s.starts_with("src/")
+}
+
+/// Crate grouping key: `crates/<name>` or `src`.
+fn crate_key(u: &FileUnit) -> String {
+    let s = u.rel.to_string_lossy().replace('\\', "/");
+    let mut parts = s.split('/');
+    match (parts.next(), parts.next()) {
+        (Some("crates"), Some(name)) => format!("crates/{name}"),
+        _ => "src".to_string(),
+    }
+}
+
+/// Resolves receiver names to ranks using the crate's declarations.
+struct Resolver<'a> {
+    decls: &'a [Decl],
+    table: &'a [(&'a str, u8)],
+}
+
+impl<'a> Resolver<'a> {
+    fn new(decls: &'a [Decl], table: &'a [(&'a str, u8)]) -> Self {
+        Resolver { decls, table }
+    }
+
+    fn value(&self, rank: &str) -> Option<u8> {
+        self.table.iter().find(|&&(n, _)| n == rank).map(|&(_, v)| v)
+    }
+
+    /// Rank of field `name` on type `owner`, falling back to a field name
+    /// unique across the crate when the owner does not match or is unknown.
+    fn field(&self, owner: Option<&str>, name: &str) -> Option<(String, u8)> {
+        if let Some(owner) = owner {
+            if let Some(d) = self
+                .decls
+                .iter()
+                .find(|d| d.owner.as_deref() == Some(owner) && d.name == name)
+            {
+                return self.value(&d.rank).map(|v| (d.rank.clone(), v));
+            }
+        }
+        let mut hits = self.decls.iter().filter(|d| d.owner.is_some() && d.name == name);
+        let first = hits.next()?;
+        if hits.any(|d| d.rank != first.rank) {
+            return None; // ambiguous field name with conflicting ranks
+        }
+        self.value(&first.rank).map(|v| (first.rank.clone(), v))
+    }
+}
+
+/// Collects every `with_rank` declaration in one file.
+fn collect_decls(fi: usize, u: &FileUnit, out: &mut Vec<Decl>) {
+    let toks = &u.lexed.toks;
+    for i in 0..toks.len() {
+        if !toks[i].is_ident("with_rank") || !toks.get(i + 1).is_some_and(|t| t.is_punct('(')) {
+            continue;
+        }
+        if u.info.in_test[i] {
+            continue;
+        }
+        let Some(rank) = rank_argument(toks, i + 1) else { continue };
+        let Some((owner, name)) = declared_binding(toks, i, &u.info) else { continue };
+        out.push(Decl { owner, name, rank, file: fi, line: toks[i].line });
+    }
+}
+
+/// The `LockRank::X` argument inside the `with_rank(...)` call whose `(` is
+/// at `open` (the last one, matching the constructor's trailing rank arg).
+fn rank_argument(toks: &[Tok], open: usize) -> Option<String> {
+    let close = super::scopes::matching_paren(toks, open);
+    let mut rank = None;
+    let mut j = open;
+    while j + 3 < close {
+        if toks[j].is_ident("LockRank")
+            && toks[j + 1].is_punct(':')
+            && toks[j + 2].is_punct(':')
+            && toks[j + 3].kind == TokKind::Ident
+        {
+            rank = Some(toks[j + 3].text.clone());
+            j += 4;
+        } else {
+            j += 1;
+        }
+    }
+    rank
+}
+
+/// What the `with_rank` at `i` is bound to: `Some((owner, name))` where
+/// `owner` is the struct-literal type for a field, `None` for a `let`.
+fn declared_binding(toks: &[Tok], i: usize, info: &FileInfo) -> Option<(Option<String>, String)> {
+    // Walk back over the constructor path (`crate::sync::Mutex::`), and
+    // through up to two wrapping calls (`Arc::new(`).
+    let mut j = i;
+    for _ in 0..3 {
+        while j >= 3
+            && toks[j - 1].is_punct(':')
+            && toks[j - 2].is_punct(':')
+            && toks[j - 3].kind == TokKind::Ident
+        {
+            j -= 3;
+        }
+        if j >= 1 && toks[j - 1].is_punct('(') {
+            j -= 1;
+            continue;
+        }
+        break;
+    }
+    if j >= 2 && toks[j - 1].is_punct(':') && toks[j - 2].kind == TokKind::Ident {
+        // Struct-literal field: find the literal's type.
+        let field = toks[j - 2].text.clone();
+        let owner = struct_literal_type(toks, j - 2, info);
+        return Some((owner, field));
+    }
+    if j >= 2 && toks[j - 1].is_punct('=') {
+        // `let name = Mutex::with_rank(..)` (possibly `let mut name`).
+        let mut k = j - 2;
+        if toks[k].kind != TokKind::Ident {
+            return None;
+        }
+        let name = toks[k].text.clone();
+        if k >= 1 && toks[k - 1].is_ident("mut") {
+            k -= 1;
+        }
+        if k >= 1 && toks[k - 1].is_ident("let") {
+            return Some((None, name));
+        }
+    }
+    None
+}
+
+/// Type name of the struct literal containing the field token at `f`:
+/// the identifier before the literal's opening `{` (`Self` resolved via
+/// the enclosing fn's impl type).
+fn struct_literal_type(toks: &[Tok], f: usize, info: &FileInfo) -> Option<String> {
+    let mut depth = 0i64;
+    let mut open = None;
+    for j in (0..f).rev() {
+        if toks[j].is_punct('}') {
+            depth += 1;
+        } else if toks[j].is_punct('{') {
+            if depth == 0 {
+                open = Some(j);
+                break;
+            }
+            depth -= 1;
+        }
+    }
+    let open = open?;
+    let before = open.checked_sub(1)?;
+    if toks[before].kind != TokKind::Ident {
+        return None;
+    }
+    let name = toks[before].text.clone();
+    if name == "Self" {
+        return info
+            .fns
+            .iter()
+            .find(|fun| fun.body.0 <= f && f <= fun.body.1)
+            .and_then(|fun| fun.impl_type.clone());
+    }
+    // Keywords that can precede a block are not struct literals.
+    if matches!(name.as_str(), "else" | "try" | "unsafe" | "loop" | "move" | "do") {
+        return None;
+    }
+    Some(name)
+}
+
+/// Ranks directly acquired anywhere in a fn body (for the call summary).
+fn direct_acquisitions(
+    u: &FileUnit,
+    body: (usize, usize),
+    impl_type: Option<&str>,
+    resolver: &Resolver<'_>,
+) -> Vec<(String, u8)> {
+    let toks = &u.lexed.toks;
+    let mut out: Vec<(String, u8)> = Vec::new();
+    let mut locals: HashMap<String, (String, u8)> = HashMap::new();
+    for i in body.0..=body.1.min(toks.len().saturating_sub(1)) {
+        if let Some(acq) = acquisition_at(toks, i, impl_type, resolver, &locals) {
+            if !out.iter().any(|(n, _)| *n == acq.rank.0) {
+                out.push(acq.rank.clone());
+            }
+            if let Some(name) = acq.let_name {
+                locals.insert(name, acq.rank);
+            }
+        }
+    }
+    out
+}
+
+/// One resolved acquisition site.
+struct Acq {
+    rank: (String, u8),
+    /// `Some(name)` when the guard is let-bound (held to end of scope).
+    let_name: Option<String>,
+}
+
+/// Resolves the token at `i` as a ranked-lock acquisition, or `None`.
+fn acquisition_at(
+    toks: &[Tok],
+    i: usize,
+    impl_type: Option<&str>,
+    resolver: &Resolver<'_>,
+    locals: &HashMap<String, (String, u8)>,
+) -> Option<Acq> {
+    // `.method(` with an acquisition method name.
+    if !toks[i].is_punct('.') {
+        return None;
+    }
+    let m = toks.get(i + 1)?;
+    if m.kind != TokKind::Ident || !ACQUIRE.contains(&m.text.as_str()) {
+        return None;
+    }
+    if !toks.get(i + 2)?.is_punct('(') {
+        return None;
+    }
+    let recv = i.checked_sub(1).map(|p| &toks[p])?;
+    if recv.kind != TokKind::Ident {
+        return None; // `foo().lock()` etc.: unresolvable, skip
+    }
+    let mut chain_start = i - 1;
+    let rank = if i >= 3 && toks[i - 2].is_punct('.') && toks[i - 3].kind == TokKind::Ident {
+        // `base.field.lock()`: field resolution ((impl type, field) when the
+        // base is `self`, unique field name otherwise).
+        chain_start = i - 3;
+        if toks[i - 3].is_ident("self") {
+            resolver.field(impl_type, &recv.text)?
+        } else {
+            // Longer chains (`a.b.field.lock()`) still resolve by field.
+            while chain_start >= 2
+                && toks[chain_start - 1].is_punct('.')
+                && toks[chain_start - 2].kind == TokKind::Ident
+            {
+                chain_start -= 2;
+            }
+            resolver.field(None, &recv.text)?
+        }
+    } else {
+        // Bare local: only a tracked `let` binding resolves.
+        locals.get(&recv.text)?.clone()
+    };
+
+    // Is this statement a `let` binding of the guard?
+    let mut let_name = None;
+    if chain_start >= 2 && toks[chain_start - 1].is_punct('=') {
+        let mut k = chain_start - 2;
+        if toks[k].kind == TokKind::Ident {
+            let name = toks[k].text.clone();
+            if k >= 1 && toks[k - 1].is_ident("mut") {
+                k -= 1;
+            }
+            if k >= 1 && toks[k - 1].is_ident("let") {
+                let_name = Some(name);
+            }
+        }
+    }
+    Some(Acq { rank, let_name })
+}
+
+/// A held guard during the body walk.
+struct Held {
+    name: Option<String>,
+    rank: (String, u8),
+    line: u32,
+    /// Token index of the `}` closing the guard's scope.
+    scope_end: usize,
+}
+
+/// Walks one fn body enforcing strictly-increasing acquisition order.
+fn check_fn_body(
+    u: &FileUnit,
+    body: (usize, usize),
+    impl_type: Option<&str>,
+    resolver: &Resolver<'_>,
+    fn_ranks: &HashMap<String, Vec<(String, u8)>>,
+    sink: &Sink<'_>,
+) {
+    let toks = &u.lexed.toks;
+    let mut held: Vec<Held> = Vec::new();
+    let mut locals: HashMap<String, (String, u8)> = HashMap::new();
+
+    let hi = body.1.min(toks.len().saturating_sub(1));
+    for i in body.0..=hi {
+        held.retain(|h| h.scope_end > i);
+
+        // `drop(name)` releases a named guard early.
+        if toks[i].is_ident("drop")
+            && toks.get(i + 1).is_some_and(|t| t.is_punct('('))
+            && toks.get(i + 3).is_some_and(|t| t.is_punct(')'))
+        {
+            if let Some(name) = toks.get(i + 2).filter(|t| t.kind == TokKind::Ident) {
+                held.retain(|h| h.name.as_deref() != Some(name.text.as_str()));
+            }
+        }
+
+        if let Some(acq) = acquisition_at(toks, i, impl_type, resolver, &locals) {
+            report_order(&held, &acq.rank, toks[i].line, "acquiring", sink);
+            if let Some(name) = acq.let_name {
+                locals.insert(name.clone(), acq.rank.clone());
+                held.push(Held {
+                    name: Some(name),
+                    rank: acq.rank,
+                    line: toks[i].line,
+                    scope_end: enclosing_scope_end(toks, i, hi),
+                });
+            }
+            continue;
+        }
+
+        // One-level call resolution: `name(` or `.name(` where `name` is a
+        // unique crate-local fn with known direct acquisitions.
+        if !held.is_empty()
+            && toks[i].kind == TokKind::Ident
+            && toks.get(i + 1).is_some_and(|t| t.is_punct('('))
+            && !toks.get(i.wrapping_sub(1)).is_some_and(|t| t.is_ident("fn"))
+        {
+            if let Some(ranks) = fn_ranks.get(&toks[i].text) {
+                for rank in ranks {
+                    report_order(
+                        &held,
+                        rank,
+                        toks[i].line,
+                        &format!("calling `{}`, which acquires", toks[i].text),
+                        sink,
+                    );
+                }
+            }
+        }
+    }
+}
+
+/// Emits a `lock-rank` finding for every held guard whose rank is not
+/// strictly below the incoming one.
+fn report_order(held: &[Held], rank: &(String, u8), line: u32, verb: &str, sink: &Sink<'_>) {
+    for h in held {
+        if h.rank.1 >= rank.1 {
+            sink.emit(
+                "lock-rank",
+                line,
+                format!(
+                    "{verb} `{}` (rank {}) while holding `{}` (rank {}, acquired line {}): \
+                     lock order must be strictly increasing",
+                    rank.0, rank.1, h.rank.0, h.rank.1, h.line
+                ),
+            );
+        }
+    }
+}
+
+/// Token index of the `}` closing the block containing token `i`.
+fn enclosing_scope_end(toks: &[Tok], i: usize, hi: usize) -> usize {
+    let mut depth = 0i64;
+    for (j, t) in toks.iter().enumerate().take(hi + 1).skip(i) {
+        if t.is_punct('{') {
+            depth += 1;
+        } else if t.is_punct('}') {
+            if depth == 0 {
+                return j;
+            }
+            depth -= 1;
+        }
+    }
+    hi
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::{build_unit, FileUnit};
+    use super::*;
+    use std::path::PathBuf;
+
+    const TABLE: &[(&str, u8)] =
+        &[("LoadState", 5), ("PoolShard", 10), ("FrameTransient", 20), ("ResmanState", 30)];
+
+    fn run_src(srcs: &[(&str, &str)]) -> Vec<String> {
+        let units: Vec<FileUnit> =
+            srcs.iter().map(|(rel, src)| build_unit(PathBuf::from(rel), src)).collect();
+        let sinks: Vec<Sink<'_>> =
+            units.iter().map(|u| Sink::new(&u.rel, &u.lexed.comments)).collect();
+        run(&units, &sinks, TABLE);
+        let mut out = Vec::new();
+        for s in sinks {
+            s.finish(&["lock-rank", "rank-table"], &mut out);
+        }
+        out.iter().map(|f| format!("{}:{}:{}", f.rule, f.path.display(), f.line)).collect()
+    }
+
+    #[test]
+    fn inversion_on_self_fields_is_flagged() {
+        let src = r#"
+impl Inner {
+    fn new() -> Self {
+        Inner {
+            state: Mutex::with_rank(S::default(), LockRank::ResmanState),
+            shard: Mutex::with_rank(P::default(), LockRank::PoolShard),
+        }
+    }
+    fn bad(&self) {
+        let s = self.state.lock();
+        let p = self.shard.lock();
+        use_both(s, p);
+    }
+    fn good(&self) {
+        let p = self.shard.lock();
+        let s = self.state.lock();
+        use_both(s, p);
+    }
+}
+"#;
+        let got = run_src(&[("crates/resman/src/manager.rs", src)]);
+        assert_eq!(got, ["lock-rank:crates/resman/src/manager.rs:11"], "{got:?}");
+    }
+
+    #[test]
+    fn drop_and_scope_release_guards() {
+        let src = r#"
+impl Inner {
+    fn new() -> Self {
+        Inner {
+            state: Mutex::with_rank(S::default(), LockRank::ResmanState),
+            shard: Mutex::with_rank(P::default(), LockRank::PoolShard),
+        }
+    }
+    fn dropped(&self) {
+        let s = self.state.lock();
+        drop(s);
+        let p = self.shard.lock();
+        touch(p);
+    }
+    fn scoped(&self) {
+        {
+            let s = self.state.lock();
+            touch(s);
+        }
+        let p = self.shard.lock();
+        touch(p);
+    }
+}
+"#;
+        let got = run_src(&[("crates/resman/src/manager.rs", src)]);
+        assert!(got.is_empty(), "{got:?}");
+    }
+
+    #[test]
+    fn same_rank_reacquisition_is_flagged() {
+        let src = r#"
+impl Ld {
+    fn new() -> Self {
+        Ld { outcome: Mutex::with_rank(0, LockRank::LoadState) }
+    }
+    fn twice(&self) {
+        let a = self.outcome.lock();
+        let b = self.outcome.lock();
+        touch(a, b);
+    }
+}
+"#;
+        let got = run_src(&[("crates/storage/src/pool.rs", src)]);
+        assert_eq!(got, ["lock-rank:crates/storage/src/pool.rs:8"], "{got:?}");
+    }
+
+    #[test]
+    fn one_level_call_resolution() {
+        let src = r#"
+impl Inner {
+    fn new() -> Self {
+        Inner { state: Mutex::with_rank(0, LockRank::ResmanState) }
+    }
+    fn grab_state(&self) {
+        let s = self.state.lock();
+        touch(s);
+    }
+    fn caller(&self, other: &O) {
+        let t = other.transient.write();
+        self.grab_state();
+        touch(t);
+    }
+}
+impl O {
+    fn new() -> Self {
+        O { transient: RwLock::with_rank(None, LockRank::FrameTransient) }
+    }
+}
+"#;
+        // FrameTransient (20) held, call acquires ResmanState (30): fine.
+        let got = run_src(&[("crates/resman/src/manager.rs", src)]);
+        assert!(got.is_empty(), "{got:?}");
+
+        // Swap the two ranks: now the call acquires a lower rank than the
+        // one held, through the callee.
+        let bad = src
+            .replace("LockRank::ResmanState", "LockRank::LoadState")
+            .replace("LockRank::FrameTransient", "LockRank::ResmanState");
+        let got = run_src(&[("crates/resman/src/manager.rs", &bad)]);
+        assert_eq!(got.len(), 1, "{got:?}");
+        assert!(got[0].starts_with("lock-rank:"), "{got:?}");
+    }
+
+    #[test]
+    fn unknown_rank_is_a_rank_table_finding() {
+        let src = r#"
+impl A {
+    fn new() -> Self {
+        A { s: Mutex::with_rank(0, LockRank::NotARealRank) }
+    }
+}
+"#;
+        let got = run_src(&[("crates/storage/src/pool.rs", src)]);
+        assert_eq!(got, ["rank-table:crates/storage/src/pool.rs:4"], "{got:?}");
+    }
+
+    #[test]
+    fn dead_rank_is_reported_against_the_table() {
+        let lockorder = r#"
+define_ranks! {
+    LoadState = 5,
+    PoolShard = 10,
+    FrameTransient = 20,
+    ResmanState = 30,
+}
+"#;
+        let user = r#"
+impl A {
+    fn new() -> Self {
+        A {
+            a: Mutex::with_rank(0, LockRank::LoadState),
+            b: Mutex::with_rank(0, LockRank::PoolShard),
+            c: Mutex::with_rank(0, LockRank::FrameTransient),
+        }
+    }
+}
+"#;
+        let got = run_src(&[
+            ("crates/check/src/lockorder.rs", lockorder),
+            ("crates/storage/src/pool.rs", user),
+        ]);
+        // ResmanState is declared in the table but never used.
+        assert_eq!(got, ["rank-table:crates/check/src/lockorder.rs:6"], "{got:?}");
+    }
+
+    #[test]
+    fn suppression_with_reason_applies() {
+        let src = r#"
+impl Inner {
+    fn new() -> Self {
+        Inner {
+            state: Mutex::with_rank(S::default(), LockRank::ResmanState),
+            shard: Mutex::with_rank(P::default(), LockRank::PoolShard),
+        }
+    }
+    fn audited(&self) {
+        let s = self.state.lock();
+        // lint: allow(lock-rank) audited: disjoint key spaces
+        let p = self.shard.lock();
+        use_both(s, p);
+    }
+}
+"#;
+        let got = run_src(&[("crates/resman/src/manager.rs", src)]);
+        assert!(got.is_empty(), "{got:?}");
+    }
+}

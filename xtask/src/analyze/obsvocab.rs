@@ -1,0 +1,308 @@
+//! Obs-vocabulary conformance pass.
+//!
+//! `payg_obs::names` is the metric vocabulary: every name is declared once
+//! through `declare_names!`, which also emits the introspection table
+//! `names::ALL` this pass consumes. Three checks:
+//!
+//! * `obs-undeclared` — a metric name reaching a registry handle method
+//!   (`counter`, `gauge`, `histogram`, and their `_labeled` forms) in
+//!   library code that is not in the vocabulary: a bare string literal not
+//!   matching any declared wire name, a `names::X` path whose `X` is not a
+//!   declared const, or a SCREAMING_CASE ident that matches no declared
+//!   const. Variable arguments are skipped, not guessed.
+//! * `obs-label-arity` — a `*_labeled` registration passing a literal label
+//!   slice whose keys differ from the declared label keys for that name.
+//! * `obs-dead` — a declared name that no code anywhere (library, tests,
+//!   benches, examples) registers or reads: dead vocabulary, reported at
+//!   its declaration line in `names.rs`.
+
+use super::lexer::{Tok, TokKind};
+use super::report::Sink;
+use super::FileUnit;
+
+/// One vocabulary entry (mirrors `payg_obs::names::NameSpec`, owned so
+/// tests can build ad-hoc vocabularies).
+#[derive(Debug, Clone)]
+pub struct Vocab {
+    pub ident: String,
+    pub name: String,
+    pub labels: Vec<String>,
+}
+
+const HANDLE_METHODS: &[&str] =
+    &["counter", "gauge", "histogram", "counter_labeled", "gauge_labeled", "histogram_labeled"];
+
+/// Runs the pass. `units`/`sinks` are the analyzed library files; `usage`
+/// is the wider set (tests, benches, examples included) scanned for
+/// dead-name detection.
+pub fn run(units: &[FileUnit], sinks: &[Sink<'_>], usage: &[FileUnit], vocab: &[Vocab]) {
+    for (fi, u) in units.iter().enumerate() {
+        check_call_sites(u, &sinks[fi], vocab);
+    }
+
+    // --- dead names ---
+    let is_names_rs =
+        |u: &FileUnit| u.rel.to_string_lossy().replace('\\', "/").ends_with("obs/src/names.rs");
+    let Some(names_idx) = units.iter().position(is_names_rs) else {
+        return; // no vocabulary file in the analyzed set (unit tests)
+    };
+    for v in vocab {
+        let used = usage.iter().any(|u| {
+            !is_names_rs(u)
+                && u.lexed.toks.iter().any(|t| match t.kind {
+                    TokKind::Ident => t.text == v.ident,
+                    TokKind::Str => t.text == v.name,
+                    _ => false,
+                })
+        });
+        if !used {
+            let line = units[names_idx]
+                .lexed
+                .toks
+                .iter()
+                .find(|t| t.is_ident(&v.ident))
+                .map_or(1, |t| t.line);
+            sinks[names_idx].emit(
+                "obs-dead",
+                line,
+                format!(
+                    "metric `{}` ({}) is declared but never registered or read \
+                     anywhere — remove it from names.rs or wire it up",
+                    v.ident, v.name
+                ),
+            );
+        }
+    }
+}
+
+/// Checks every registry-handle call site in one file.
+fn check_call_sites(u: &FileUnit, sink: &Sink<'_>, vocab: &[Vocab]) {
+    let s = u.rel.to_string_lossy().replace('\\', "/");
+    if !((s.starts_with("crates/") && s.contains("/src/")) || s.starts_with("src/")) {
+        return;
+    }
+    let toks = &u.lexed.toks;
+    for i in 0..toks.len() {
+        if u.info.in_test[i] || !toks[i].is_punct('.') {
+            continue;
+        }
+        let Some(m) = toks.get(i + 1) else { continue };
+        if m.kind != TokKind::Ident || !HANDLE_METHODS.contains(&m.text.as_str()) {
+            continue;
+        }
+        let open = i + 2;
+        if !toks.get(open).is_some_and(|t| t.is_punct('(')) {
+            continue;
+        }
+        let entry = match resolve_name_arg(toks, open, vocab) {
+            NameArg::Declared(v) => Some(v),
+            NameArg::Undeclared(desc, line) => {
+                sink.emit(
+                    "obs-undeclared",
+                    line,
+                    format!(
+                        "{desc} reaches `{}` but is not declared in payg_obs::names — \
+                         add it to declare_names! or use a declared const",
+                        m.text
+                    ),
+                );
+                None
+            }
+            NameArg::Unresolved => None,
+        };
+
+        if let (Some(v), true) = (entry, m.text.ends_with("_labeled")) {
+            if let Some(keys) = literal_label_keys(toks, open) {
+                let want: Vec<&str> = v.labels.iter().map(String::as_str).collect();
+                let got: Vec<&str> = keys.iter().map(String::as_str).collect();
+                if want != got {
+                    sink.emit(
+                        "obs-label-arity",
+                        toks[open].line,
+                        format!(
+                            "`{}` declares labels [{}] but this registration passes [{}]",
+                            v.ident,
+                            want.join(", "),
+                            got.join(", "),
+                        ),
+                    );
+                }
+            }
+        }
+    }
+}
+
+enum NameArg<'v> {
+    Declared(&'v Vocab),
+    /// (description of the offending argument, line).
+    Undeclared(String, u32),
+    Unresolved,
+}
+
+/// Resolves the first argument of the call whose `(` is at `open`.
+fn resolve_name_arg<'v>(toks: &[Tok], open: usize, vocab: &'v [Vocab]) -> NameArg<'v> {
+    let Some(t0) = toks.get(open + 1) else { return NameArg::Unresolved };
+    match t0.kind {
+        TokKind::Str => match vocab.iter().find(|v| v.name == t0.text) {
+            Some(v) => NameArg::Declared(v),
+            None => NameArg::Undeclared(format!("string literal \"{}\"", t0.text), t0.line),
+        },
+        TokKind::Ident => {
+            // Walk the path `a::b::LAST`, remembering the last two segments.
+            let mut prev: Option<&Tok> = None;
+            let mut last = t0;
+            let mut j = open + 1;
+            while toks.get(j + 1).is_some_and(|t| t.is_punct(':'))
+                && toks.get(j + 2).is_some_and(|t| t.is_punct(':'))
+                && toks.get(j + 3).is_some_and(|t| t.kind == TokKind::Ident)
+            {
+                prev = Some(&toks[j]);
+                last = &toks[j + 3];
+                j += 3;
+            }
+            let via_names = prev.is_some_and(|p| p.is_ident("names"));
+            if let Some(v) = vocab.iter().find(|v| v.ident == last.text) {
+                return NameArg::Declared(v);
+            }
+            let screaming = last.text.len() > 1
+                && last.text.chars().all(|c| c.is_ascii_uppercase() || c.is_ascii_digit() || c == '_')
+                && last.text.chars().any(|c| c.is_ascii_uppercase());
+            if via_names || screaming {
+                NameArg::Undeclared(format!("const `{}`", last.text), last.line)
+            } else {
+                NameArg::Unresolved // lowercase variable: skip, don't guess
+            }
+        }
+        _ => NameArg::Unresolved, // `&format!(..)`, expressions, …
+    }
+}
+
+/// Label keys of a literal `&[("k", v), …]` second argument, or `None`
+/// when the second argument is not a literal slice.
+fn literal_label_keys(toks: &[Tok], open: usize) -> Option<Vec<String>> {
+    let close = super::scopes::matching_paren(toks, open);
+    // Find the top-level comma separating the args.
+    let mut depth = 0i64;
+    let mut comma = None;
+    for (j, t) in toks.iter().enumerate().take(close).skip(open + 1) {
+        if t.is_punct('(') || t.is_punct('[') || t.is_punct('{') {
+            depth += 1;
+        } else if t.is_punct(')') || t.is_punct(']') || t.is_punct('}') {
+            depth -= 1;
+        } else if t.is_punct(',') && depth == 0 {
+            comma = Some(j);
+            break;
+        }
+    }
+    let comma = comma?;
+    if !toks.get(comma + 1).is_some_and(|t| t.is_punct('&'))
+        || !toks.get(comma + 2).is_some_and(|t| t.is_punct('['))
+    {
+        return None;
+    }
+    // Within the slice, the first string literal of each `(`-tuple is the
+    // label key.
+    let mut keys = Vec::new();
+    let mut j = comma + 3;
+    let mut depth = 0i64;
+    while j < close && !(depth == 0 && toks[j].is_punct(']')) {
+        if toks[j].is_punct('(') {
+            depth += 1;
+            if depth == 1 {
+                if let Some(k) = toks.get(j + 1).filter(|t| t.kind == TokKind::Str) {
+                    keys.push(k.text.clone());
+                } else {
+                    return None; // non-literal tuple: skip the whole check
+                }
+            }
+        } else if toks[j].is_punct(')') {
+            depth -= 1;
+        }
+        j += 1;
+    }
+    Some(keys)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::build_unit;
+    use super::*;
+    use std::path::PathBuf;
+
+    fn vocab() -> Vec<Vocab> {
+        vec![
+            Vocab { ident: "POOL_LOADS".into(), name: "pool_loads".into(), labels: vec!["pool".into()] },
+            Vocab {
+                ident: "POOL_SHARD_HITS".into(),
+                name: "pool_shard_hits".into(),
+                labels: vec!["pool".into(), "shard".into()],
+            },
+            Vocab { ident: "SCAN_NS".into(), name: "scan_ns".into(), labels: vec![] },
+        ]
+    }
+
+    fn run_srcs(srcs: &[(&str, &str)]) -> Vec<(String, String, u32)> {
+        let units: Vec<FileUnit> =
+            srcs.iter().map(|(rel, src)| build_unit(PathBuf::from(rel), src)).collect();
+        let sinks: Vec<Sink<'_>> =
+            units.iter().map(|u| Sink::new(&u.rel, &u.lexed.comments)).collect();
+        run(&units, &sinks, &units, &vocab());
+        let mut out = Vec::new();
+        for s in sinks {
+            s.finish(&["obs-undeclared", "obs-dead", "obs-label-arity"], &mut out);
+        }
+        out.into_iter()
+            .map(|f| (f.rule.to_string(), f.path.display().to_string(), f.line))
+            .collect()
+    }
+
+    #[test]
+    fn undeclared_literal_and_const_are_flagged() {
+        let src = "fn f(reg: &Registry) {\n    reg.counter(\"pool_loads\").add(1);\n    reg.counter(\"not_declared\").add(1);\n    reg.gauge(names::NOT_DECLARED).set(2);\n    reg.histogram(names::SCAN_NS).record(3);\n}\n";
+        let got = run_srcs(&[("crates/storage/src/metrics.rs", src)]);
+        assert_eq!(
+            got,
+            [
+                ("obs-undeclared".to_string(), "crates/storage/src/metrics.rs".to_string(), 3),
+                ("obs-undeclared".to_string(), "crates/storage/src/metrics.rs".to_string(), 4),
+            ],
+            "{got:?}"
+        );
+    }
+
+    #[test]
+    fn variable_names_are_skipped() {
+        let src = "fn f(reg: &Registry, name: &str) {\n    reg.counter(name).add(1);\n    reg.counter(&format!(\"__x_{n}\")).add(1);\n}\n";
+        assert!(run_srcs(&[("crates/obs/src/registry.rs", src)]).is_empty());
+    }
+
+    #[test]
+    fn label_arity_mismatch_is_flagged() {
+        let src = "fn f(reg: &Registry) {\n    reg.counter_labeled(names::POOL_SHARD_HITS, &[(\"pool\", p), (\"shard\", s)]).add(1);\n    reg.counter_labeled(names::POOL_LOADS, &[(\"shard\", s)]).add(1);\n    reg.counter_labeled(names::POOL_LOADS, dynamic_labels).add(1);\n}\n";
+        let got = run_srcs(&[("crates/storage/src/metrics.rs", src)]);
+        assert_eq!(
+            got,
+            [("obs-label-arity".to_string(), "crates/storage/src/metrics.rs".to_string(), 3)],
+            "{got:?}"
+        );
+    }
+
+    #[test]
+    fn dead_names_are_reported_at_their_declaration() {
+        let names = "pub const POOL_LOADS: &str = \"pool_loads\";\npub const POOL_SHARD_HITS: &str = \"pool_shard_hits\";\npub const SCAN_NS: &str = \"scan_ns\";\n";
+        let user = "fn f(reg: &Registry) {\n    reg.counter(names::POOL_LOADS).add(1);\n    reg.histogram(\"scan_ns\").record(2);\n}\n";
+        let got = run_srcs(&[("crates/obs/src/names.rs", names), ("crates/core/src/scan.rs", user)]);
+        // POOL_SHARD_HITS is declared but unused.
+        assert_eq!(
+            got,
+            [("obs-dead".to_string(), "crates/obs/src/names.rs".to_string(), 2)],
+            "{got:?}"
+        );
+    }
+
+    #[test]
+    fn test_code_call_sites_are_exempt() {
+        let src = "#[cfg(test)]\nmod tests {\n    fn t(reg: &Registry) { reg.counter(\"scratch\").add(1); }\n}\n";
+        assert!(run_srcs(&[("crates/storage/src/metrics.rs", src)]).is_empty());
+    }
+}

@@ -1,0 +1,415 @@
+//! Brace-scope, item, and region tracking over the token stream.
+//!
+//! Computes, for one lexed file:
+//!
+//! * brace depth at every token;
+//! * `#[cfg(test)]`-gated regions (modules *and* single items, with the
+//!   whole item body excluded — the old line-based linter only skipped the
+//!   item's first line);
+//! * loop-body regions (`for`/`while`/`loop`), with `impl Trait for Type`
+//!   and `for<'a>` correctly *not* treated as loops;
+//! * function items with their enclosing `impl` type, so workspace passes
+//!   can resolve `self.field` receivers and do one level of intra-crate
+//!   call resolution.
+
+use super::lexer::{Tok, TokKind};
+
+/// One `fn` item: its name, the type of the enclosing `impl` block (if
+/// any), and the token-index range of its body (the `{` and matching `}`).
+#[derive(Debug)]
+pub struct FnItem {
+    pub name: String,
+    pub impl_type: Option<String>,
+    /// Indices of the body's opening and closing brace tokens.
+    pub body: (usize, usize),
+}
+
+/// Per-file scope facts, indexed by token position.
+#[derive(Debug, Default)]
+pub struct FileInfo {
+    /// Brace depth *before* each token (its `{` not yet counted).
+    pub depth: Vec<u32>,
+    /// Token lies inside a `#[cfg(test)]`-gated module or item.
+    pub in_test: Vec<bool>,
+    /// Token lies inside a loop body.
+    pub in_loop: Vec<bool>,
+    /// Every `fn` item with a body.
+    pub fns: Vec<FnItem>,
+}
+
+/// Index of the `}` matching the `{` at `open` (or the last token).
+pub fn matching_brace(toks: &[Tok], open: usize) -> usize {
+    let mut depth = 0i64;
+    for (i, t) in toks.iter().enumerate().skip(open) {
+        if t.is_punct('{') {
+            depth += 1;
+        } else if t.is_punct('}') {
+            depth -= 1;
+            if depth == 0 {
+                return i;
+            }
+        }
+    }
+    toks.len().saturating_sub(1)
+}
+
+/// Index of the `)` matching the `(` at `open` (or the last token).
+pub fn matching_paren(toks: &[Tok], open: usize) -> usize {
+    let mut depth = 0i64;
+    for (i, t) in toks.iter().enumerate().skip(open) {
+        if t.is_punct('(') {
+            depth += 1;
+        } else if t.is_punct(')') {
+            depth -= 1;
+            if depth == 0 {
+                return i;
+            }
+        }
+    }
+    toks.len().saturating_sub(1)
+}
+
+/// Builds the [`FileInfo`] for a token stream.
+pub fn analyze_scopes(toks: &[Tok]) -> FileInfo {
+    let n = toks.len();
+    let mut info = FileInfo {
+        depth: vec![0; n],
+        in_test: vec![false; n],
+        in_loop: vec![false; n],
+        fns: Vec::new(),
+    };
+
+    // --- brace depth ---
+    let mut d: u32 = 0;
+    for (i, t) in toks.iter().enumerate() {
+        info.depth[i] = d;
+        if t.is_punct('{') {
+            d += 1;
+        } else if t.is_punct('}') {
+            d = d.saturating_sub(1);
+        }
+    }
+
+    // --- #[cfg(test)] regions ---
+    let mut i = 0;
+    while i < n {
+        if toks[i].is_punct('#') && i + 1 < n && toks[i + 1].is_punct('[') {
+            if let Some((gated, attr_end)) = parse_cfg_attr(toks, i) {
+                if gated {
+                    if let Some((lo, hi)) = gated_item_range(toks, attr_end + 1) {
+                        for f in &mut info.in_test[lo..=hi.min(n - 1)] {
+                            *f = true;
+                        }
+                        i = hi + 1;
+                        continue;
+                    }
+                }
+                i = attr_end + 1;
+                continue;
+            }
+        }
+        i += 1;
+    }
+
+    // --- loop regions ---
+    let mut i = 0;
+    while i < n {
+        let t = &toks[i];
+        let is_loop_kw = t.kind == TokKind::Ident
+            && matches!(t.text.as_str(), "for" | "while" | "loop")
+            && (t.text != "for" || is_loop_for(toks, i));
+        if is_loop_kw {
+            if let Some(open) = loop_body_open(toks, i) {
+                let close = matching_brace(toks, open);
+                for f in &mut info.in_loop[open + 1..close.max(open + 1)] {
+                    *f = true;
+                }
+            }
+        }
+        i += 1;
+    }
+
+    // --- fn items (with enclosing impl type) ---
+    collect_fns(toks, &mut info.fns);
+
+    info
+}
+
+/// Parses `#[cfg(...)]` (or `#[cfg_attr]`, ignored) starting at the `#` at
+/// `i`. Returns `(test_gated, index_of_closing_bracket)`, or `None` when
+/// this is not an attribute.
+fn parse_cfg_attr(toks: &[Tok], i: usize) -> Option<(bool, usize)> {
+    if !toks[i].is_punct('#') || !toks.get(i + 1)?.is_punct('[') {
+        return None;
+    }
+    let mut depth = 0i64;
+    let mut end = i + 1;
+    for (j, t) in toks.iter().enumerate().skip(i + 1) {
+        if t.is_punct('[') {
+            depth += 1;
+        } else if t.is_punct(']') {
+            depth -= 1;
+            if depth == 0 {
+                end = j;
+                break;
+            }
+        }
+    }
+    let inner = &toks[i + 2..end];
+    let is_cfg = inner.first().is_some_and(|t| t.is_ident("cfg"));
+    if !is_cfg {
+        return Some((false, end));
+    }
+    // Gated iff the cfg predicate mentions `test` outside a `not(...)`.
+    let mut not_depth = 0i64;
+    let mut pending_not = false;
+    let mut gated = false;
+    for t in inner {
+        if t.is_ident("not") {
+            pending_not = true;
+        } else if t.is_punct('(') {
+            if pending_not || not_depth > 0 {
+                not_depth += 1;
+            }
+            pending_not = false;
+        } else if t.is_punct(')') {
+            if not_depth > 0 {
+                not_depth -= 1;
+            }
+        } else if t.is_ident("test") && not_depth == 0 {
+            gated = true;
+        }
+    }
+    Some((gated, end))
+}
+
+/// Token range of the item following a test-gating attribute at `start`
+/// (skipping further attributes): a `mod`/`fn`/`impl`/... item with a
+/// brace body spans to its matching `}`; a `use`/field/semicolon item to
+/// its `;`.
+fn gated_item_range(toks: &[Tok], mut start: usize) -> Option<(usize, usize)> {
+    // Skip stacked attributes.
+    while start < toks.len() && toks[start].is_punct('#') {
+        let (_, end) = parse_cfg_attr(toks, start)?;
+        start = end + 1;
+    }
+    let mut j = start;
+    let mut paren = 0i64;
+    while j < toks.len() {
+        let t = &toks[j];
+        if t.is_punct('(') || t.is_punct('[') {
+            paren += 1;
+        } else if t.is_punct(')') || t.is_punct(']') {
+            paren -= 1;
+        } else if paren == 0 && t.is_punct('{') {
+            return Some((start, matching_brace(toks, j)));
+        } else if paren == 0 && (t.is_punct(';') || t.is_punct(',')) {
+            // `use x;` item, or a struct field / match arm.
+            return Some((start, j));
+        }
+        j += 1;
+    }
+    Some((start, toks.len().saturating_sub(1)))
+}
+
+/// Is the `for` at `i` a loop keyword (vs `impl T for U` / `for<'a>`)?
+fn is_loop_for(toks: &[Tok], i: usize) -> bool {
+    if let Some(next) = toks.get(i + 1) {
+        if next.is_punct('<') {
+            return false; // higher-ranked trait bound
+        }
+    }
+    match i.checked_sub(1).map(|p| &toks[p]) {
+        // `impl Display for X` / `impl<T> Tr<T> for X`: preceded by the
+        // trait path's last segment or its closing `>`.
+        Some(prev) => !(prev.kind == TokKind::Ident || prev.is_punct('>')),
+        None => true,
+    }
+}
+
+/// Index of the `{` opening the body of the loop whose keyword is at `kw`.
+fn loop_body_open(toks: &[Tok], kw: usize) -> Option<usize> {
+    let mut depth = 0i64;
+    for (j, t) in toks.iter().enumerate().skip(kw + 1) {
+        if t.is_punct('(') || t.is_punct('[') {
+            depth += 1;
+        } else if t.is_punct(')') || t.is_punct(']') {
+            depth -= 1;
+        } else if depth == 0 && t.is_punct('{') {
+            return Some(j);
+        } else if depth == 0 && t.is_punct(';') {
+            return None;
+        }
+    }
+    None
+}
+
+/// Collects `fn` items, tagging each with its enclosing `impl` type.
+fn collect_fns(toks: &[Tok], out: &mut Vec<FnItem>) {
+    // (impl_type, body_close_index) stack of enclosing impls.
+    let mut impls: Vec<(String, usize)> = Vec::new();
+    let mut i = 0;
+    while i < toks.len() {
+        while impls.last().is_some_and(|&(_, close)| i > close) {
+            impls.pop();
+        }
+        let t = &toks[i];
+        if t.is_ident("impl") {
+            if let Some((ty, open)) = parse_impl_header(toks, i) {
+                impls.push((ty, matching_brace(toks, open)));
+                i = open + 1;
+                continue;
+            }
+        }
+        if t.is_ident("fn") {
+            if let Some(name_tok) = toks.get(i + 1) {
+                if name_tok.kind == TokKind::Ident {
+                    if let Some(open) = fn_body_open(toks, i + 2) {
+                        let close = matching_brace(toks, open);
+                        out.push(FnItem {
+                            name: name_tok.text.clone(),
+                            impl_type: impls.last().map(|(ty, _)| ty.clone()),
+                            body: (open, close),
+                        });
+                        // Nested fns are rare; walk into the body anyway.
+                        i += 2;
+                        continue;
+                    }
+                }
+            }
+        }
+        i += 1;
+    }
+}
+
+/// Parses an `impl` header starting at `i`: returns the implemented type's
+/// last path segment and the index of the body's `{`.
+fn parse_impl_header(toks: &[Tok], i: usize) -> Option<(String, usize)> {
+    let mut last_ident: Option<String> = None;
+    let mut after_for: Option<String> = None;
+    let mut saw_for = false;
+    let mut angle = 0i64;
+    for (j, t) in toks.iter().enumerate().skip(i + 1) {
+        if t.is_punct('<') {
+            angle += 1;
+        } else if t.is_punct('>') {
+            angle -= 1;
+        } else if t.is_punct('{') && angle <= 0 {
+            let ty = after_for.or(last_ident)?;
+            return Some((ty, j));
+        } else if t.is_punct(';') {
+            return None;
+        } else if t.kind == TokKind::Ident && angle <= 0 {
+            if t.text == "for" {
+                saw_for = true;
+            } else if t.text != "where" {
+                if saw_for && after_for.is_none() {
+                    after_for = Some(t.text.clone());
+                } else if !saw_for {
+                    last_ident = Some(t.text.clone());
+                }
+            }
+        }
+    }
+    None
+}
+
+/// Index of the `{` opening a fn body, scanning from just after the fn
+/// name at `from`; `None` for a bodyless trait-method declaration.
+fn fn_body_open(toks: &[Tok], from: usize) -> Option<usize> {
+    // Skip generics + params: find the param `(`, then its matching `)`,
+    // then the first top-level `{` or `;`.
+    let mut j = from;
+    let mut angle = 0i64;
+    while j < toks.len() {
+        let t = &toks[j];
+        if t.is_punct('<') {
+            angle += 1;
+        } else if t.is_punct('>') {
+            angle -= 1;
+        } else if t.is_punct('(') && angle <= 0 {
+            break;
+        }
+        j += 1;
+    }
+    let mut paren = 0i64;
+    while j < toks.len() {
+        let t = &toks[j];
+        if t.is_punct('(') {
+            paren += 1;
+        } else if t.is_punct(')') {
+            paren -= 1;
+            if paren == 0 {
+                j += 1;
+                break;
+            }
+        }
+        j += 1;
+    }
+    while j < toks.len() {
+        let t = &toks[j];
+        if t.is_punct('{') {
+            return Some(j);
+        }
+        if t.is_punct(';') {
+            return None;
+        }
+        j += 1;
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::analyze::lexer::lex;
+
+    #[test]
+    fn cfg_test_module_region() {
+        let l = lex("fn lib() {}\n#[cfg(test)]\nmod tests {\n    fn t() { x.unwrap(); }\n}\n");
+        let info = analyze_scopes(&l.toks);
+        let unwrap_idx = l.toks.iter().position(|t| t.is_ident("unwrap")).unwrap();
+        assert!(info.in_test[unwrap_idx]);
+        let lib_idx = l.toks.iter().position(|t| t.is_ident("lib")).unwrap();
+        assert!(!info.in_test[lib_idx]);
+    }
+
+    #[test]
+    fn cfg_test_fn_item_excludes_whole_body() {
+        let l = lex("#[cfg(test)]\nfn helper() {\n    x.unwrap();\n}\nfn lib() { y.unwrap(); }\n");
+        let info = analyze_scopes(&l.toks);
+        let first = l.toks.iter().position(|t| t.is_ident("unwrap")).unwrap();
+        assert!(info.in_test[first], "cfg(test) fn body is test code");
+        let second = l.toks.iter().rposition(|t| t.is_ident("unwrap")).unwrap();
+        assert!(!info.in_test[second]);
+    }
+
+    #[test]
+    fn cfg_not_test_is_not_gated() {
+        let l = lex("#[cfg(not(test))]\nfn lib() { x.unwrap(); }\n");
+        let info = analyze_scopes(&l.toks);
+        let idx = l.toks.iter().position(|t| t.is_ident("unwrap")).unwrap();
+        assert!(!info.in_test[idx]);
+    }
+
+    #[test]
+    fn impl_for_is_not_a_loop() {
+        let l = lex("impl Display for Finding {\n    fn fmt(&self) { x.pin(k); }\n}\nfn f() { for p in 0..3 { y.pin(p); } }\n");
+        let info = analyze_scopes(&l.toks);
+        let first_pin = l.toks.iter().position(|t| t.is_ident("pin")).unwrap();
+        assert!(!info.in_loop[first_pin], "impl-for must not open a loop region");
+        let last_pin = l.toks.iter().rposition(|t| t.is_ident("pin")).unwrap();
+        assert!(info.in_loop[last_pin]);
+    }
+
+    #[test]
+    fn fns_get_impl_types() {
+        let l = lex("impl Shard {\n    fn lock(&self) { }\n}\nimpl Display for Ticket { fn fmt(&self) {} }\nfn free() {}\n");
+        let info = analyze_scopes(&l.toks);
+        let names: Vec<(String, Option<String>)> =
+            info.fns.iter().map(|f| (f.name.clone(), f.impl_type.clone())).collect();
+        assert_eq!(names[0], ("lock".into(), Some("Shard".into())));
+        assert_eq!(names[1], ("fmt".into(), Some("Ticket".into())));
+        assert_eq!(names[2], ("free".into(), None));
+    }
+}

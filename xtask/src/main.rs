@@ -2,27 +2,33 @@
 //!
 //! Subcommands:
 //!
-//! * `lint` — the repo's source-analysis pass (see [`lint`] module docs).
-//!   Exits nonzero when any rule is violated.
+//! * `analyze` — the repo's static-analysis engine (see [`analyze`] module
+//!   docs): the eight legacy lint rules on a comment/string-aware lexer,
+//!   plus the lock-rank, guard-escape, and obs-vocabulary workspace
+//!   passes. Exits nonzero when any rule is violated.
+//! * `lint` — compatibility alias for `analyze`.
 
-mod lint;
+mod analyze;
 
 use std::process::ExitCode;
+
+const USAGE: &str = "usage: cargo xtask analyze [ROOT_DIR...] [--format text|json] \
+                     [--baseline FILE] [--write-baseline FILE] [--prune-suppressions]";
 
 fn main() -> ExitCode {
     let mut args = std::env::args().skip(1);
     match args.next().as_deref() {
-        Some("lint") => {
-            let roots: Vec<String> = args.collect();
-            lint::run(&roots)
+        Some("analyze") | Some("lint") => {
+            let rest: Vec<String> = args.collect();
+            analyze::run(&rest)
         }
         Some(other) => {
             eprintln!("unknown xtask subcommand: {other}");
-            eprintln!("usage: cargo xtask lint [ROOT_DIR...]");
+            eprintln!("{USAGE}");
             ExitCode::FAILURE
         }
         None => {
-            eprintln!("usage: cargo xtask lint [ROOT_DIR...]");
+            eprintln!("{USAGE}");
             ExitCode::FAILURE
         }
     }

@@ -25,7 +25,15 @@ fn pool() -> BufferPool {
 }
 
 fn config() -> PageConfig {
-    PageConfig { datavec_page: 4096, dict_page: 4096, overflow_page: 4096, helper_page: 4096, index_page: 4096, inline_limit: 128 }
+    PageConfig {
+        datavec_page: 4096,
+        dict_page: 4096,
+        overflow_page: 4096,
+        helper_page: 4096,
+        index_page: 4096,
+        inline_limit: 128,
+        ..PageConfig::default()
+    }
 }
 
 /// Handle cache: a batch of sorted dictionary lookups through one iterator

@@ -94,6 +94,7 @@ impl Side {
             helper_page: 4096,
             index_page: 4096,
             inline_limit: 128,
+            ..PageConfig::default()
         };
         let paged = PagedDataVector::build(&pool, &page_config, packed).unwrap();
         Side { pool, paged }

@@ -119,6 +119,7 @@ fn main() {
         helper_page: 4096,
         index_page: 4096,
         inline_limit: 128,
+        ..PageConfig::default()
     };
     let packed = BitPackedVec::from_values(&values(rows));
     let paged = PagedDataVector::build(&pool, &config, &packed).unwrap();

@@ -123,6 +123,7 @@ impl BenchConfig {
             helper_page: self.page_size,
             index_page: self.page_size,
             inline_limit: 128,
+            ..payg_core::PageConfig::default()
         }
     }
 }

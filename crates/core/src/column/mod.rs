@@ -19,13 +19,14 @@ mod read;
 mod resident;
 
 pub use builder::{ColumnBuild, ColumnBuilder};
-pub use paged::{IndexMode, PagedColumn};
+pub use paged::{probe_shape, IndexMode, PagedColumn};
 pub use read::ColumnRead;
 pub use resident::ResidentColumn;
 
 use crate::datavec::ScanOptions;
 use crate::meta::{MetaReader, MetaWriter};
 use crate::{CoreError, CoreResult, DataType, PageConfig, Value, ValuePredicate};
+use payg_encoding::dispatch::{CodecKind, ScanPath};
 use payg_encoding::VidSet;
 use payg_resman::Disposition;
 use payg_storage::{BufferPool, StorageError};
@@ -76,6 +77,35 @@ impl Column {
         }
     }
 
+    /// The codec of the dictionary's persisted value-block chain. Both load
+    /// modes share one persisted format, so this reports the on-disk codec
+    /// even for resident columns (whose in-memory image is decoded).
+    pub fn dict_codec(&self) -> CodecKind {
+        match self {
+            Column::Resident(c) => c.parts().dict.codec_kind(),
+            Column::Paged(c) => c.parts().dict.codec_kind(),
+        }
+    }
+
+    /// The codec of the persisted posting chain, if an index currently
+    /// exists.
+    pub fn index_codec(&self) -> Option<CodecKind> {
+        match self {
+            Column::Resident(c) => c.parts().index.current().map(|i| i.codec_kind()),
+            Column::Paged(c) => c.parts().index.current().map(|i| i.codec_kind()),
+        }
+    }
+
+    /// The strategy a row search for `pred` runs with. Resident columns
+    /// always decode-then-scan — their image is already decompressed in
+    /// memory — so only page-loadable columns consult the dispatch seam.
+    pub fn scan_path(&self, pred: &ValuePredicate) -> ScanPath {
+        match self {
+            Column::Resident(_) => ScanPath::DecodeThenScan,
+            Column::Paged(c) => c.scan_path(pred),
+        }
+    }
+
     /// Serializes everything needed to reopen this column over the same
     /// store after a process restart (catalog checkpoint): type, load
     /// policy, page geometry and the metadata of all three structures. The
@@ -101,6 +131,7 @@ impl Column {
         ] {
             w.u64(v as u64);
         }
+        w.u64((parts.config.dict_fsst as u64) | ((parts.config.pef_postings as u64) << 1));
         w.bytes(&parts.dict.meta_bytes());
         w.bytes(&parts.data.meta_bytes());
         match &parts.index {
@@ -132,13 +163,20 @@ impl Column {
         let disposition = disposition_from(r.u8()?)?;
         let len = r.u64()?;
         let cardinality = r.u64()?;
+        let mut cfg_vals = [0u64; 6];
+        for v in &mut cfg_vals {
+            *v = r.u64()?;
+        }
+        let cfg_flags = r.u64()?;
         let config = PageConfig {
-            datavec_page: r.u64()? as usize,
-            dict_page: r.u64()? as usize,
-            overflow_page: r.u64()? as usize,
-            helper_page: r.u64()? as usize,
-            index_page: r.u64()? as usize,
-            inline_limit: r.u64()? as usize,
+            datavec_page: cfg_vals[0] as usize,
+            dict_page: cfg_vals[1] as usize,
+            overflow_page: cfg_vals[2] as usize,
+            helper_page: cfg_vals[3] as usize,
+            index_page: cfg_vals[4] as usize,
+            inline_limit: cfg_vals[5] as usize,
+            dict_fsst: cfg_flags & 1 != 0,
+            pef_postings: cfg_flags & 2 != 0,
         };
         let dict = crate::dict::PagedDictionary::open(pool, &r.bytes()?)?;
         let data = crate::datavec::PagedDataVector::open(pool, &r.bytes()?)?;

@@ -5,6 +5,7 @@ use crate::datavec::ScanOptions;
 use crate::dict::HandleCache;
 use crate::invidx::PagedInvertedIndex;
 use crate::{CoreResult, DataType, PageConfig, Value, ValuePredicate};
+use payg_encoding::dispatch::{self, CodecKind, ProbeShape, ScanPath};
 use payg_encoding::VidSet;
 use payg_storage::BufferPool;
 use std::collections::HashMap;
@@ -26,6 +27,17 @@ pub enum IndexMode {
         /// Searches before the index is built.
         threshold: u64,
     },
+}
+
+/// Maps a value predicate to the probe shape the codec dispatch seam
+/// understands: equality is a point probe, `In` is a set probe, and the
+/// ordered predicates (`Between`, prefix) are range probes.
+pub fn probe_shape(pred: &ValuePredicate) -> ProbeShape {
+    match pred {
+        ValuePredicate::Eq(_) => ProbeShape::Point,
+        ValuePredicate::In(_) => ProbeShape::Set,
+        ValuePredicate::Between(..) | ValuePredicate::StartsWith(_) => ProbeShape::Range,
+    }
 }
 
 /// The index slot of a column under a given [`IndexMode`].
@@ -116,6 +128,29 @@ impl PagedColumn {
         self.parts.dict.meta_heap_bytes()
     }
 
+    /// The codec of the dictionary's value-block chain.
+    pub fn dict_codec(&self) -> CodecKind {
+        self.parts.dict.codec_kind()
+    }
+
+    /// The codec of the inverted index's posting chain, if an index
+    /// currently exists (adaptive indexes report `None` until built).
+    pub fn index_codec(&self) -> Option<CodecKind> {
+        self.parts.index.current().map(|i| i.codec_kind())
+    }
+
+    /// The strategy a row search for `pred` runs with: compressed-domain
+    /// when an index exists and [`dispatch::choose`] picks it for the
+    /// index's codec and the probe's shape, decode-then-scan otherwise.
+    /// (Dictionary probes decide independently: FSST equality probes always
+    /// compare compressed bytes inside `find`.)
+    pub fn scan_path(&self, pred: &ValuePredicate) -> ScanPath {
+        match self.parts.index.current() {
+            Some(i) => dispatch::choose(i.codec_kind(), probe_shape(pred)),
+            None => ScanPath::DecodeThenScan,
+        }
+    }
+
     fn vid_set_cached(&self, pred: &ValuePredicate, cache: &mut HandleCache) -> CoreResult<VidSet> {
         Ok(match pred {
             ValuePredicate::Eq(v) => {
@@ -180,17 +215,38 @@ impl PagedColumn {
             return Ok(out);
         }
         match self.parts.index_for_search()? {
-            // Alg. 5: answer from the paged inverted index.
+            // Alg. 5: answer from the paged inverted index. The codec
+            // dispatch seam picks the traversal per postinglist: under PEF
+            // point/set probes seek in the compressed domain — `next_geq`
+            // leapfrogs every partition below `from` on its two-varint
+            // header alone — while plain bit-packed postings (and range
+            // shapes, where the whole list is emitted anyway) drain through
+            // the classic decode path.
             Some(index) => {
+                let path = dispatch::choose(index.codec_kind(), probe_shape(pred));
                 let mut it = index.iter();
                 for vid in set.iter() {
-                    if let Some(first) = it.get_first_row_pos(vid)? {
-                        if first >= from && first < to {
-                            out.push(first);
-                        }
-                        while let Some(rpos) = it.get_next_row_pos()? {
-                            if rpos >= from && rpos < to {
+                    match path {
+                        ScanPath::CompressedDomain => {
+                            let mut cur = it.next_row_pos_geq(vid, from)?;
+                            while let Some(rpos) = cur {
+                                if rpos >= to {
+                                    break;
+                                }
                                 out.push(rpos);
+                                cur = it.get_next_row_pos()?;
+                            }
+                        }
+                        ScanPath::DecodeThenScan => {
+                            if let Some(first) = it.get_first_row_pos(vid)? {
+                                if first >= from && first < to {
+                                    out.push(first);
+                                }
+                                while let Some(rpos) = it.get_next_row_pos()? {
+                                    if rpos >= from && rpos < to {
+                                        out.push(rpos);
+                                    }
+                                }
                             }
                         }
                     }

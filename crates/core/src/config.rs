@@ -21,7 +21,19 @@ pub struct PageConfig {
     /// Maximum on-page bytes per dictionary value; longer suffixes spill to
     /// the overflow chain (the paper's large-string split).
     pub inline_limit: usize,
+    /// Compress dictionary value blocks with a trained FSST symbol table
+    /// when it pays (sampled ratio < [`FSST_SKIP_RATIO`]). Point and set
+    /// probes then run on compressed bytes in place.
+    pub dict_fsst: bool,
+    /// Encode inverted-index posting lists as partitioned Elias-Fano
+    /// partitions instead of plain bit-packed arrays.
+    pub pef_postings: bool,
 }
+
+/// Sampled compression ratio (compressed ÷ raw) at or above which FSST is
+/// not applied: near-incompressible dictionaries stay plain, keeping the
+/// decode off their lookup path.
+pub const FSST_SKIP_RATIO: f64 = 0.95;
 
 impl Default for PageConfig {
     fn default() -> Self {
@@ -32,6 +44,8 @@ impl Default for PageConfig {
             helper_page: 4 * 1024,
             index_page: 16 * 1024,
             inline_limit: 512,
+            dict_fsst: true,
+            pef_postings: true,
         }
     }
 }
@@ -47,6 +61,8 @@ impl PageConfig {
             helper_page: 512,
             index_page: 256,
             inline_limit: 24,
+            dict_fsst: true,
+            pef_postings: true,
         }
     }
 
@@ -63,8 +79,9 @@ impl PageConfig {
         }
         // A dictionary page must always fit one 16-entry block even when
         // every entry is fully spilled: header (12) + one offset (4) +
-        // block count (1) + 16 × (7 fixed + 10 spill header + 12 pointer).
-        const MIN_BLOCK_PAGE: usize = 12 + 4 + 1 + 16 * (7 + 10 + 12);
+        // block count (1) + 3 restart offsets (6) +
+        // 16 × (7 fixed + 10 spill header + 12 pointer).
+        const MIN_BLOCK_PAGE: usize = 12 + 4 + 1 + 6 + 16 * (7 + 10 + 12);
         if self.dict_page < MIN_BLOCK_PAGE {
             return Err(format!("dict_page must be at least {MIN_BLOCK_PAGE} bytes"));
         }

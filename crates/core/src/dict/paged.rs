@@ -26,10 +26,22 @@
 //! The per-page *transient structure* (§3.2.1) — the vector of block offsets
 //! — is built when a page is loaded, charged to the paged pool, and
 //! destroyed on eviction.
+//!
+//! When [`PageConfig::dict_fsst`] is on and a sampled compression ratio
+//! clears [`crate::config::FSST_SKIP_RATIO`], the dictionary chain's value
+//! blocks hold **FSST-compressed** keys: front-coding, overflow spill and
+//! equality probes all run on compressed bytes (deterministic encoding makes
+//! compressed equality ⇔ raw equality), and only ordering comparisons and
+//! materialization decompress. The trained symbol table travels in the
+//! checkpoint metadata *and* as the chain's format-2 codec descriptor. The
+//! helper chains keep raw separators, so page routing is codec-blind.
 
 use crate::{CoreError, CoreResult, PageConfig};
+use payg_encoding::dispatch::{ChainCodec, CodecKind};
+use payg_encoding::fsst::SymbolTable;
 use payg_encoding::prefix::{OverflowRef, ValueBlock, ValueBlockBuilder, ValueBlockView, BLOCK_CAP};
 use payg_encoding::EncodingError;
+use payg_obs::names;
 use payg_storage::{BufferPool, ChainRef, PageGuard, PageKey, StorageError};
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicBool, Ordering};
@@ -126,6 +138,8 @@ struct Meta {
     value_helper_page_last: Vec<Vec<u8>>,
     /// Dictionary pages (also the number of separators / helper entries).
     dict_pages: u64,
+    /// The symbol table when the dictionary chain is FSST-compressed.
+    fsst: Option<Arc<SymbolTable>>,
 }
 
 /// Build statistics reported by [`PagedDictionary::build`].
@@ -168,6 +182,12 @@ impl PagedDictionary {
         let overflow_chain = store.create_chain(config.overflow_page)?;
         let dict_chain = store.create_chain(config.dict_page)?;
 
+        // Compressed-domain dictionary chain: train a symbol table on a key
+        // sample and keep it only when it actually pays (the helper chains
+        // always stay raw so routing comparisons never decode).
+        let (fsst, fsst_per_mille) =
+            if config.dict_fsst { train_dict_fsst(keys) } else { (None, 1000) };
+
         // Off-page allocator: splits a byte tail into overflow-page-sized
         // pieces, one page each. Errors escape via the side channel because
         // the block builder's allocator signature is infallible.
@@ -196,11 +216,25 @@ impl PagedDictionary {
         let mut page_last_vids: Vec<u64> = Vec::new();
         let mut dict_pages = 0u64;
         let block_budget = config.dict_page - PAGE_HEADER - 4;
+        let mut enc = Vec::new();
         for group in keys.chunks(BLOCK_CAP) {
             let mut b = ValueBlockBuilder::new();
             for k in group {
-                let inline = choose_inline(&b, k, block_budget, config)?;
-                b.push(k, inline, &mut alloc_overflow);
+                match &fsst {
+                    Some(table) => {
+                        enc.clear();
+                        table.encode_into(k, &mut enc);
+                        let inline = choose_inline(&b, &enc, block_budget, config)?;
+                        // Compressed bytes are not memcmp-ordered, so skip
+                        // the builder's order assertion; slot order still
+                        // follows the raw key order.
+                        b.push_unordered(&enc, inline, &mut alloc_overflow);
+                    }
+                    None => {
+                        let inline = choose_inline(&b, k, block_budget, config)?;
+                        b.push(k, inline, &mut alloc_overflow);
+                    }
+                }
                 if let Some(e) = overflow_err.borrow_mut().take() {
                     return Err(CoreError::Storage(e));
                 }
@@ -266,6 +300,31 @@ impl PagedDictionary {
             value_helper_page_last.push(separators[(first_idx + count - 1) as usize].clone());
         }
 
+        // Stamp the dictionary chain with its codec so format-2 chain files
+        // are self-describing, and publish per-codec build-size metrics.
+        let codec = match &fsst {
+            Some(table) => ChainCodec { kind: CodecKind::Fsst, params: table.serialize() },
+            None => ChainCodec::plain(),
+        };
+        store.set_chain_descriptor(dict_chain, &codec.serialize())?;
+        let registry = pool.registry();
+        let label = pool.metrics_label();
+        registry
+            .counter_labeled(names::POOL_PAGE_BYTES, &[("pool", label), ("codec", codec.kind.label())])
+            .add(dict_pages * config.dict_page as u64
+                + overflow_pages.get() * config.overflow_page as u64);
+        registry
+            .counter_labeled(
+                names::POOL_PAGE_BYTES,
+                &[("pool", label), ("codec", CodecKind::Plain.label())],
+            )
+            .add((vid_helper_pages + value_helper_pages) * config.helper_page as u64);
+        if config.dict_fsst {
+            registry
+                .gauge_labeled(names::DICT_FSST_RATIO, &[("pool", label)])
+                .set(fsst_per_mille);
+        }
+
         let meta = Meta {
             cardinality: keys.len() as u64,
             dict_chain: ChainRef { chain: dict_chain, pages: dict_pages, page_size: config.dict_page },
@@ -287,6 +346,7 @@ impl PagedDictionary {
             vid_helper_page_last,
             value_helper_page_last,
             dict_pages,
+            fsst,
         };
         let stats = PagedDictBuildStats {
             dict_pages,
@@ -321,6 +381,10 @@ impl PagedDictionary {
             w.bytes(k);
         }
         w.u64(m.dict_pages);
+        match &m.fsst {
+            Some(table) => w.bytes(&table.serialize()),
+            None => w.bytes(&[]),
+        }
         w.finish()
     }
 
@@ -339,6 +403,12 @@ impl PagedDictionary {
             value_helper_page_last.push(r.bytes()?);
         }
         let dict_pages = r.u64()?;
+        let fsst_bytes = r.bytes()?;
+        let fsst = if fsst_bytes.is_empty() {
+            None
+        } else {
+            Some(Arc::new(SymbolTable::deserialize(&fsst_bytes)?))
+        };
         r.expect_end()?;
         Ok(PagedDictionary {
             pool: pool.clone(),
@@ -351,6 +421,7 @@ impl PagedDictionary {
                 vid_helper_page_last,
                 value_helper_page_last,
                 dict_pages,
+                fsst,
             }),
             helpers_preloaded: AtomicBool::new(false),
             pinned_helpers: crate::sync::Mutex::with_rank(Vec::new(), crate::sync::LockRank::CoreColumn),
@@ -360,6 +431,15 @@ impl PagedDictionary {
     /// Number of distinct values.
     pub fn cardinality(&self) -> u64 {
         self.meta.cardinality
+    }
+
+    /// The codec the dictionary chain's value blocks are stored in.
+    pub fn codec_kind(&self) -> CodecKind {
+        if self.meta.fsst.is_some() {
+            CodecKind::Fsst
+        } else {
+            CodecKind::Plain
+        }
     }
 
     /// Heap bytes of the always-resident metadata (the in-memory residue of
@@ -409,7 +489,11 @@ impl PagedDictionary {
                 block.len()
             ))));
         }
-        self.with_overflow_fetch(cache, |fetch| block.materialize(slot, fetch))
+        let raw = self.with_overflow_fetch(cache, |fetch| block.materialize(slot, fetch))?;
+        match &self.meta.fsst {
+            Some(table) => Ok(table.decode(&raw)?),
+            None => Ok(raw),
+        }
     }
 
     /// `findByValue` (Alg. 2): finds the vid encoding `key`, or the
@@ -433,15 +517,20 @@ impl PagedDictionary {
         // separator's global index *is* the dictionary page number.
         let guard = cache.pin(PageKey::new(self.meta.value_helper_chain.chain, hp as u64))?;
         let t = page_transient(&guard)?;
-        let (block_no, pos) = self.lower_bound_on_page(&guard, &t, key, cache)?;
+        // Helper separators are always raw, so this search is codec-blind.
+        let (block_no, pos) = self.lower_bound_on_page(&guard, &t, key, None, cache)?;
         let dict_page = match pos {
             Ok(i) | Err(i) => t.first_idx + (block_no * BLOCK_CAP + i) as u64,
         };
         debug_assert!(dict_page < self.meta.dict_pages);
-        // Search the single dictionary page.
+        // Search the single dictionary page — in the compressed domain when
+        // the chain carries FSST blocks (equality on compressed bytes,
+        // ordering via decoded prefixes).
+        let enc_key = self.meta.fsst.as_ref().map(|table| table.encode(key));
         let guard = cache.pin(PageKey::new(self.meta.dict_chain.chain, dict_page))?;
         let t = page_transient(&guard)?;
-        let (block_no, pos) = self.lower_bound_on_page(&guard, &t, key, cache)?;
+        let (block_no, pos) =
+            self.lower_bound_on_page(&guard, &t, key, enc_key.as_deref(), cache)?;
         let global = |i: usize| t.first_idx + (block_no * BLOCK_CAP + i) as u64;
         Ok(match pos {
             Ok(i) => Ok(global(i)),
@@ -494,7 +583,10 @@ impl PagedDictionary {
                         }
                     };
                     match block.materialize(i, &mut fetch) {
-                        Ok(k) => keys.push(k),
+                        Ok(k) => keys.push(match &self.meta.fsst {
+                            Some(table) => table.decode(&k)?,
+                            None => k,
+                        }),
                         Err(e) => {
                             return Err(io_err
                                 .take()
@@ -518,22 +610,30 @@ impl PagedDictionary {
     /// Finds the block and in-block position of the first entry `>= key` on
     /// a page: binary search over blocks by their first entry, then a block
     /// search. Returns `(block_no, Ok(slot))` on an exact hit and
-    /// `(block_no, Err(slot))` for the insertion point.
+    /// `(block_no, Err(slot))` for the insertion point. When `enc_key` is
+    /// given the page's blocks hold FSST-compressed entries and both phases
+    /// use the compressed-domain probes.
     fn lower_bound_on_page(
         &self,
         page: &PageGuard,
         t: &PageTransient,
         key: &[u8],
+        enc_key: Option<&[u8]>,
         cache: &mut HandleCache,
     ) -> CoreResult<(usize, Result<usize, usize>)> {
+        let table = self.meta.fsst.as_deref();
         // Rightmost block whose first entry is <= key.
         let mut lo = 0usize;
         let mut hi = t.offsets.len(); // exclusive
         while hi - lo > 1 {
             let mid = (lo + hi) / 2;
             let block = parse_block_view(page, t.offsets[mid])?;
-            let cmp =
-                self.with_overflow_fetch(cache, |fetch| block.compare_first(key, fetch))?;
+            let cmp = match (enc_key, table) {
+                (Some(_), Some(table)) => self.with_overflow_fetch(cache, |fetch| {
+                    block.compare_first_compressed(key, table, fetch)
+                })?,
+                _ => self.with_overflow_fetch(cache, |fetch| block.compare_first(key, fetch))?,
+            };
             if cmp == std::cmp::Ordering::Greater {
                 hi = mid;
             } else {
@@ -541,7 +641,12 @@ impl PagedDictionary {
             }
         }
         let block = parse_block_view(page, t.offsets[lo])?;
-        let pos = self.with_overflow_fetch(cache, |fetch| block.find(key, fetch))?;
+        let pos = match (enc_key, table) {
+            (Some(ek), Some(table)) => self.with_overflow_fetch(cache, |fetch| {
+                block.find_compressed(key, ek, table, fetch)
+            })?,
+            _ => self.with_overflow_fetch(cache, |fetch| block.find(key, fetch))?,
+        };
         match pos {
             Err(i) if i == block.len() && lo + 1 < t.offsets.len() => {
                 // Key falls past this block: insertion is the next block's
@@ -686,6 +791,28 @@ fn parse_block_view<'a>(page: &'a PageGuard, offset: u32) -> CoreResult<ValueBlo
     Ok(ValueBlockView::parse(&page[offset as usize..])?)
 }
 
+/// Trains an FSST symbol table on a sample of the (sorted) dictionary keys
+/// and keeps it only when the sampled compression ratio clears
+/// [`crate::config::FSST_SKIP_RATIO`]. Returns the table (when kept) and the
+/// sampled ratio in per-mille, where 1000 means "evaluated but not applied".
+fn train_dict_fsst(keys: &[Vec<u8>]) -> (Option<Arc<SymbolTable>>, u64) {
+    if keys.is_empty() {
+        return (None, 1000);
+    }
+    // Up to ~1024 keys spread evenly over the sorted order, so the sample
+    // sees every key region rather than one lexicographic neighborhood.
+    let step = (keys.len() / 1024).max(1);
+    let sample: Vec<&[u8]> = keys.iter().step_by(step).map(|k| k.as_slice()).collect();
+    let table = SymbolTable::train(&sample);
+    let ratio = table.compression_ratio(&sample);
+    if ratio < crate::config::FSST_SKIP_RATIO {
+        let per_mille = (ratio * 1000.0).round().clamp(0.0, 1000.0) as u64;
+        (Some(Arc::new(table)), per_mille)
+    } else {
+        (None, 1000)
+    }
+}
+
 /// Picks the on-page inline budget for the next key of a block so that the
 /// full 16-entry block is guaranteed to fit one page: the remaining block
 /// budget bounds the entry, spilling more bytes off-page when needed. Only
@@ -701,14 +828,17 @@ fn choose_inline(
     const SPILL_FIXED: usize = 10; // nptr + total_len
     const PTR: usize = 12;
     const MIN_SPILLED: usize = 7 + 10 + 12; // inline-0, one-pointer entry
-    let projected = b.projected_len(key);
-    let suffix_len = projected - b.byte_len() - FIXED;
-    // Reserve one minimal spilled entry for every remaining block slot, so
-    // a large value early in the block can never starve the later ones.
+    let suffix_len = b.next_suffix_len(key);
+    // Bytes already committed, including any restart-header growth this
+    // entry triggers (projected = committed + FIXED + suffix).
+    let committed = b.projected_len(key) - FIXED - suffix_len;
+    // Reserve one minimal spilled entry (plus a possible restart-offset
+    // slot) for every remaining block slot, so a large value early in the
+    // block can never starve the later ones.
     let slots_after = BLOCK_CAP - 1 - b.len();
     let remaining = block_budget
-        .saturating_sub(b.byte_len())
-        .saturating_sub(slots_after * MIN_SPILLED);
+        .saturating_sub(committed)
+        .saturating_sub(slots_after * (MIN_SPILLED + 2));
     // Fully inline when the configured limit allows it and it fits.
     if suffix_len <= config.inline_limit && FIXED + suffix_len <= remaining {
         return Ok(suffix_len.max(1));
@@ -768,7 +898,7 @@ impl PageAssembler {
     /// Adds a block; returns a completed page `(bytes, first_idx, count)`
     /// when the block did not fit the current page.
     fn push_block(&mut self, block: &[u8]) -> CoreResult<Option<(Vec<u8>, u64, u64)>> {
-        let entries = block[0] as u64;
+        let entries = ValueBlockView::parse(block)?.len() as u64;
         let extra = 4 + block.len(); // offset slot + payload
         let mut flushed = None;
         if !self.blocks.is_empty() && self.bytes_used + extra > self.page_size {
@@ -1007,6 +1137,114 @@ mod tests {
         drop(it);
         resman.reactive_unload();
         assert_eq!(pool.resident_pages(), 0);
+    }
+
+    #[test]
+    fn fsst_matches_plain_and_shrinks_the_chain() {
+        let ks = keys(1200);
+        let (_p1, compressed, cstats) = build(&ks, &PageConfig::tiny());
+        let plain_cfg = PageConfig { dict_fsst: false, ..PageConfig::tiny() };
+        let (_p2, plain, pstats) = build(&ks, &plain_cfg);
+        assert_eq!(compressed.codec_kind(), CodecKind::Fsst);
+        assert_eq!(plain.codec_kind(), CodecKind::Plain);
+        assert!(
+            cstats.dict_pages < pstats.dict_pages,
+            "fsst chain ({} pages) must be smaller than plain ({} pages)",
+            cstats.dict_pages,
+            pstats.dict_pages
+        );
+        let mut itc = compressed.iter();
+        let mut itp = plain.iter();
+        for (vid, k) in ks.iter().enumerate() {
+            assert_eq!(itc.find(k).unwrap(), itp.find(k).unwrap(), "find {vid}");
+            assert_eq!(itc.find(k).unwrap(), Ok(vid as u64));
+            assert_eq!(itc.key_by_vid(vid as u64).unwrap(), *k);
+        }
+        // Misses agree on insertion points.
+        for probe in [&b"customer-000500x"[..], b"aaa", b"zzz", b"customer-"] {
+            assert_eq!(itc.find(probe).unwrap(), itp.find(probe).unwrap());
+        }
+        // Bulk materialization decodes back to the raw keys.
+        assert_eq!(compressed.materialize_all_direct().unwrap(), ks);
+    }
+
+    #[test]
+    fn fsst_descriptor_persisted_and_survives_reopen() {
+        let ks = keys(600);
+        let (pool, dict, _) = build(&ks, &PageConfig::tiny());
+        assert_eq!(dict.codec_kind(), CodecKind::Fsst);
+        // The chain file self-describes its codec.
+        let desc = pool.store().chain_descriptor(dict.meta.dict_chain.chain).unwrap();
+        let codec = ChainCodec::deserialize(&desc).unwrap();
+        assert_eq!(codec.kind, CodecKind::Fsst);
+        let table = SymbolTable::deserialize(&codec.params).unwrap();
+        assert_eq!(table.decode(&table.encode(&ks[7])).unwrap(), ks[7]);
+        // Checkpoint metadata round-trips the symbol table.
+        let reopened = PagedDictionary::open(&pool, &dict.meta_bytes()).unwrap();
+        assert_eq!(reopened.codec_kind(), CodecKind::Fsst);
+        let mut it = reopened.iter();
+        for vid in (0..600u64).step_by(53) {
+            assert_eq!(it.find(&ks[vid as usize]).unwrap(), Ok(vid));
+            assert_eq!(it.key_by_vid(vid).unwrap(), ks[vid as usize]);
+        }
+    }
+
+    #[test]
+    fn incompressible_keys_skip_fsst() {
+        // High-entropy keys: the sampled ratio misses FSST_SKIP_RATIO, so
+        // the chain stays plain even with the knob on.
+        let mut ks: Vec<Vec<u8>> = (0..400u64)
+            .map(|i| {
+                let mut x = i.wrapping_mul(0x9E37_79B9_7F4A_7C15) | 1;
+                let mut k = Vec::with_capacity(16);
+                for _ in 0..2 {
+                    x ^= x << 13;
+                    x ^= x >> 7;
+                    x ^= x << 17;
+                    k.extend_from_slice(&x.to_be_bytes());
+                }
+                k
+            })
+            .collect();
+        ks.sort();
+        ks.dedup();
+        let (pool, dict, _) = build(&ks, &PageConfig::tiny());
+        assert_eq!(dict.codec_kind(), CodecKind::Plain);
+        // The descriptor still resolves, to the plain codec.
+        let desc = pool.store().chain_descriptor(dict.meta.dict_chain.chain).unwrap();
+        assert_eq!(ChainCodec::deserialize(&desc).unwrap().kind, CodecKind::Plain);
+        let mut it = dict.iter();
+        for (vid, k) in ks.iter().enumerate() {
+            assert_eq!(it.find(k).unwrap(), Ok(vid as u64));
+        }
+    }
+
+    #[test]
+    fn fsst_spilled_values_roundtrip() {
+        // Large compressible values spill compressed tails off-page; both
+        // lookup directions must reassemble and decode them.
+        let mut ks: Vec<Vec<u8>> = Vec::new();
+        for i in 0..48 {
+            let mut k = format!("order-{i:04}-").into_bytes();
+            if i % 4 == 0 {
+                for j in 0..260 {
+                    k.extend_from_slice(format!("segment{:03}/", (i + j) % 97).as_bytes());
+                }
+            }
+            ks.push(k);
+        }
+        ks.sort();
+        ks.dedup();
+        let mut config = PageConfig::tiny();
+        config.dict_page = 2048;
+        let (_pool, dict, stats) = build(&ks, &config);
+        assert_eq!(dict.codec_kind(), CodecKind::Fsst);
+        assert!(stats.overflow_pages > 0, "large values must still spill when compressed");
+        let mut it = dict.iter();
+        for (vid, k) in ks.iter().enumerate() {
+            assert_eq!(it.find(k).unwrap(), Ok(vid as u64));
+            assert_eq!(&it.key_by_vid(vid as u64).unwrap(), k);
+        }
     }
 
     #[test]

@@ -9,12 +9,29 @@
 //!
 //! For unique columns the directory is the identity and is not stored; the
 //! chain contains only postinglist pages.
+//!
+//! When [`PageConfig::pef_postings`] is on (and the fragment has fewer than
+//! 2³² rows), the postinglist is stored as **partitioned Elias-Fano**
+//! instead of bit-packed chunks: the vid-grouped row positions are mapped
+//! through the monotone transform `vid · rows + rpos`, encoded 64 values
+//! per partition, and packed into pages without straddling. Partitions are
+//! variable-sized, so a plain-`u64` **skip table** (one chain offset per
+//! partition) sits between the posting pages and the directory pages; a
+//! lookup pins at most one skip page, one posting page and one directory
+//! page. Seeks run in the compressed domain via
+//! [`PagedIndexIterator::next_row_pos_geq`] — partition headers bound-skip
+//! and at most one Elias-Fano bucket is scanned. The directory stays
+//! bit-packed (it is random-accessed, not scanned), and there is no mixed
+//! page in this layout.
 
 use crate::{CoreError, CoreResult, PageConfig};
 use payg_encoding::chunk::{bytes_per_chunk, CHUNK_LEN};
 #[cfg(test)]
 use payg_encoding::chunk::chunk_count;
+use payg_encoding::dispatch::{ChainCodec, CodecKind};
+use payg_encoding::pef::{PartitionRef, PARTITION_LEN};
 use payg_encoding::{BitPackedVec, BitWidth};
+use payg_obs::names;
 use payg_storage::{BufferPool, ChainRef, PageGuard, PageKey};
 use std::sync::Arc;
 
@@ -40,6 +57,11 @@ struct Meta {
     mixed_post_bytes: usize,
     /// First pure directory page.
     dir_start_page: u64,
+    /// Postinglist codec: `Plain` = bit-packed chunks, `Pef` = partitioned
+    /// Elias-Fano over the `vid · rows + rpos` transform.
+    codec: CodecKind,
+    /// Skip-table pages (PEF only; they follow the posting pages).
+    skip_pages: u64,
 }
 
 /// The page-loadable inverted index.
@@ -84,72 +106,173 @@ impl PagedInvertedIndex {
         let bpc_d = bytes_per_chunk(wd);
         let post_cpp = page.checked_div(bpc_p).unwrap_or(0) as u64;
         let dir_cpp = page.checked_div(bpc_d).unwrap_or(0) as u64;
-        if (wp.bits() > 0 && post_cpp == 0) || (dir.is_some() && dir_cpp == 0) {
+        // PEF needs the `vid · rows + rpos` transform to stay in u64, hence
+        // the row-count guard; trivial postinglists stay bit-packed.
+        let use_pef = config.pef_postings && wp.bits() > 0 && rows < (1u64 << 32);
+        if (!use_pef && wp.bits() > 0 && post_cpp == 0) || (dir.is_some() && dir_cpp == 0) {
             return Err(CoreError::Storage(payg_storage::StorageError::corrupt(format!(
                 "index page of {page} bytes cannot hold one chunk at {wp}/{wd}"
             ))));
         }
 
-        // Write postinglist chunks, page by page.
         let mut buf: Vec<u8> = Vec::with_capacity(page);
         let mut post_pages = 0u64;
-        if wp.bits() > 0 {
-            for ci in 0..post.chunk_count() {
-                for &w in post.chunk_words(ci) {
-                    buf.extend_from_slice(&w.to_le_bytes());
+        let mut skip_pages = 0u64;
+        let mut dir_pages = 0u64;
+        let mut mixed_dir_chunks = 0u64;
+        let mut mixed_post_bytes = 0usize;
+        let mut pef_post_bytes = 0u64;
+        if use_pef {
+            debug_assert_eq!(PARTITION_LEN, CHUNK_LEN);
+            // Monotone transform: vid-grouped row positions become a single
+            // non-decreasing sequence, so every 64-value run is a valid
+            // Elias-Fano partition.
+            let mut transformed = Vec::with_capacity(postings.len());
+            for v in 0..cardinality as usize {
+                for k in offsets[v]..offsets[v + 1] {
+                    transformed.push(v as u64 * rows + postings[k as usize]);
                 }
-                if buf.len() + bpc_p > page {
+            }
+            // Encode partitions into pages without straddling, recording
+            // each partition's chain byte offset for the skip table.
+            let mut part_locs: Vec<u64> =
+                Vec::with_capacity(transformed.len().div_ceil(PARTITION_LEN));
+            let mut enc = Vec::new();
+            for part in transformed.chunks(PARTITION_LEN) {
+                enc.clear();
+                payg_encoding::pef::encode_partition(part, &mut enc);
+                if !buf.is_empty() && buf.len() + enc.len() > page {
                     store.append_page(chain, &buf)?;
                     post_pages += 1;
                     buf.clear();
                 }
-            }
-        }
-        // `buf` now holds the trailing partial posting page (possibly empty).
-        let mixed_post_bytes = buf.len();
-        let mut mixed_dir_chunks = 0u64;
-        let mut dir_pages = 0u64;
-        if let Some(dir) = &dir {
-            let dir_chunks = dir.chunk_count();
-            let mut next_chunk = 0u64;
-            if !buf.is_empty() {
-                // Fill the tail posting page with directory chunks → mixed page.
-                while next_chunk < dir_chunks && buf.len() + bpc_d <= page {
-                    for &w in dir.chunk_words(next_chunk) {
-                        buf.extend_from_slice(&w.to_le_bytes());
-                    }
-                    next_chunk += 1;
+                if enc.len() > page {
+                    return Err(CoreError::Storage(payg_storage::StorageError::corrupt(
+                        format!(
+                            "index page of {page} bytes cannot hold a {}-byte pef partition",
+                            enc.len()
+                        ),
+                    )));
                 }
-                mixed_dir_chunks = next_chunk;
+                part_locs.push(post_pages * page as u64 + buf.len() as u64);
+                buf.extend_from_slice(&enc);
+                pef_post_bytes += enc.len() as u64;
+            }
+            if !buf.is_empty() {
                 store.append_page(chain, &buf)?;
                 post_pages += 1;
                 buf.clear();
             }
-            // Pure directory pages.
-            while next_chunk < dir_chunks {
-                for &w in dir.chunk_words(next_chunk) {
-                    buf.extend_from_slice(&w.to_le_bytes());
+            // Skip table: plain little-endian u64 chain offsets, one per
+            // partition, on their own pages after the posting pages.
+            for group in part_locs.chunks((page / 8).max(1)) {
+                let mut bytes = Vec::with_capacity(group.len() * 8);
+                for &loc in group {
+                    bytes.extend_from_slice(&loc.to_le_bytes());
                 }
-                next_chunk += 1;
-                if buf.len() + bpc_d > page {
+                store.append_page(chain, &bytes)?;
+                skip_pages += 1;
+            }
+            // Pure directory pages; the PEF layout has no mixed page.
+            if let Some(dir) = &dir {
+                for ci in 0..dir.chunk_count() {
+                    for &w in dir.chunk_words(ci) {
+                        buf.extend_from_slice(&w.to_le_bytes());
+                    }
+                    if buf.len() + bpc_d > page {
+                        store.append_page(chain, &buf)?;
+                        dir_pages += 1;
+                        buf.clear();
+                    }
+                }
+                if !buf.is_empty() {
                     store.append_page(chain, &buf)?;
                     dir_pages += 1;
                     buf.clear();
                 }
             }
-            if !buf.is_empty() {
+        } else {
+            // Bit-packed postinglist chunks, page by page.
+            if wp.bits() > 0 {
+                for ci in 0..post.chunk_count() {
+                    for &w in post.chunk_words(ci) {
+                        buf.extend_from_slice(&w.to_le_bytes());
+                    }
+                    if buf.len() + bpc_p > page {
+                        store.append_page(chain, &buf)?;
+                        post_pages += 1;
+                        buf.clear();
+                    }
+                }
+            }
+            // `buf` now holds the trailing partial posting page (possibly empty).
+            mixed_post_bytes = buf.len();
+            if let Some(dir) = &dir {
+                let dir_chunks = dir.chunk_count();
+                let mut next_chunk = 0u64;
+                if !buf.is_empty() {
+                    // Fill the tail posting page with directory chunks → mixed page.
+                    while next_chunk < dir_chunks && buf.len() + bpc_d <= page {
+                        for &w in dir.chunk_words(next_chunk) {
+                            buf.extend_from_slice(&w.to_le_bytes());
+                        }
+                        next_chunk += 1;
+                    }
+                    mixed_dir_chunks = next_chunk;
+                    store.append_page(chain, &buf)?;
+                    post_pages += 1;
+                    buf.clear();
+                }
+                // Pure directory pages.
+                while next_chunk < dir_chunks {
+                    for &w in dir.chunk_words(next_chunk) {
+                        buf.extend_from_slice(&w.to_le_bytes());
+                    }
+                    next_chunk += 1;
+                    if buf.len() + bpc_d > page {
+                        store.append_page(chain, &buf)?;
+                        dir_pages += 1;
+                        buf.clear();
+                    }
+                }
+                if !buf.is_empty() {
+                    store.append_page(chain, &buf)?;
+                    dir_pages += 1;
+                    buf.clear();
+                }
+            } else if !buf.is_empty() {
                 store.append_page(chain, &buf)?;
-                dir_pages += 1;
+                post_pages += 1;
                 buf.clear();
             }
-        } else if !buf.is_empty() {
-            store.append_page(chain, &buf)?;
-            post_pages += 1;
-            buf.clear();
+        }
+
+        // Self-describing chain + per-codec build metrics, mirroring the
+        // paged dictionary.
+        let codec = if use_pef { CodecKind::Pef } else { CodecKind::Plain };
+        store.set_chain_descriptor(chain, &ChainCodec { kind: codec, params: Vec::new() }.serialize())?;
+        let registry = pool.registry();
+        let label = pool.metrics_label();
+        registry
+            .counter_labeled(names::POOL_PAGE_BYTES, &[("pool", label), ("codec", codec.label())])
+            .add((post_pages + skip_pages) * page as u64);
+        if dir_pages > 0 {
+            registry
+                .counter_labeled(
+                    names::POOL_PAGE_BYTES,
+                    &[("pool", label), ("codec", CodecKind::Plain.label())],
+                )
+                .add(dir_pages * page as u64);
+        }
+        if use_pef && rows > 0 {
+            // Average Elias-Fano bits per posting, ×100.
+            registry
+                .gauge_labeled(names::PEF_CHUNK_BITS, &[("pool", label)])
+                .set(pef_post_bytes * 8 * 100 / rows);
         }
 
         let meta = Meta {
-            chain: ChainRef { chain, pages: post_pages + dir_pages, page_size: page },
+            chain: ChainRef { chain, pages: post_pages + skip_pages + dir_pages, page_size: page },
             cardinality,
             rows,
             wp,
@@ -160,7 +283,9 @@ impl PagedInvertedIndex {
             post_pages,
             mixed_dir_chunks,
             mixed_post_bytes: if mixed_dir_chunks > 0 { mixed_post_bytes } else { 0 },
-            dir_start_page: post_pages,
+            dir_start_page: post_pages + skip_pages,
+            codec,
+            skip_pages,
         };
         Ok(PagedInvertedIndex { pool: pool.clone(), meta: Arc::new(meta) })
     }
@@ -181,6 +306,12 @@ impl PagedInvertedIndex {
         w.u64(m.mixed_dir_chunks);
         w.u64(m.mixed_post_bytes as u64);
         w.u64(m.dir_start_page);
+        w.u8(match m.codec {
+            CodecKind::Plain => 0,
+            CodecKind::Fsst => 1,
+            CodecKind::Pef => 2,
+        });
+        w.u64(m.skip_pages);
         w.finish()
     }
 
@@ -201,6 +332,12 @@ impl PagedInvertedIndex {
             mixed_dir_chunks: r.u64()?,
             mixed_post_bytes: r.u64()? as usize,
             dir_start_page: r.u64()?,
+            codec: match r.u8()? {
+                2 => CodecKind::Pef,
+                1 => CodecKind::Fsst,
+                _ => CodecKind::Plain,
+            },
+            skip_pages: r.u64()?,
         };
         r.expect_end()?;
         Ok(PagedInvertedIndex { pool: pool.clone(), meta: Arc::new(meta) })
@@ -231,12 +368,18 @@ impl PagedInvertedIndex {
         self.meta.mixed_dir_chunks > 0
     }
 
+    /// The codec the postinglist is stored in.
+    pub fn codec_kind(&self) -> CodecKind {
+        self.meta.codec
+    }
+
     /// Creates a lookup iterator (`getFirstRowPos` / `getNextRowPos`).
     pub fn iter(&self) -> PagedIndexIterator<'_> {
         PagedIndexIterator {
             idx: self,
             post_guard: None,
             dir_guard: None,
+            skip_guard: None,
             state: None,
             post_chunk: None,
             dir_chunk: None,
@@ -302,6 +445,7 @@ pub struct PagedIndexIterator<'a> {
     idx: &'a PagedInvertedIndex,
     post_guard: Option<(u64, PageGuard)>,
     dir_guard: Option<(u64, PageGuard)>,
+    skip_guard: Option<(u64, PageGuard)>,
     state: Option<IterState>,
     /// Decoded-chunk caches: consecutive reads within one chunk (the common
     /// `getNextRowPos` pattern) cost one array lookup instead of a decode.
@@ -344,6 +488,19 @@ impl PagedIndexIterator<'_> {
         Ok(buf[slot])
     }
 
+    /// Chain byte offset of PEF partition `p`, read from the skip table.
+    fn read_skip(&mut self, p: u64) -> CoreResult<u64> {
+        let meta = &self.idx.meta;
+        let epp = (meta.chain.page_size / 8).max(1) as u64;
+        let page = meta.post_pages + p / epp;
+        Self::pin(&self.idx.pool, &meta.chain, &mut self.skip_guard, page)?;
+        let Some((_, guard)) = self.skip_guard.as_ref() else {
+            unreachable!("pin above populated the guard slot")
+        };
+        let off = ((p % epp) * 8) as usize;
+        Ok(crate::util::le_u64(&guard[off..off + 8]))
+    }
+
     fn read_post(&mut self, k: u64) -> CoreResult<u64> {
         let meta = &self.idx.meta;
         if meta.wp.bits() == 0 {
@@ -356,13 +513,30 @@ impl PagedIndexIterator<'_> {
                 return Ok(buf[slot]);
             }
         }
-        let (page, offset, _) = self.idx.post_location(k);
-        Self::pin(&self.idx.pool, &meta.chain, &mut self.post_guard, page)?;
-        let Some((_, guard)) = self.post_guard.as_ref() else {
-            unreachable!("pin above populated the guard slot")
-        };
         let mut buf = [0u64; CHUNK_LEN];
-        decode_packed_chunk(guard, offset, meta.wp, &mut buf);
+        if meta.codec == CodecKind::Pef {
+            let loc = self.read_skip(chunk_no)?;
+            let page_size = self.idx.meta.chain.page_size as u64;
+            let meta = &self.idx.meta;
+            Self::pin(&self.idx.pool, &meta.chain, &mut self.post_guard, loc / page_size)?;
+            let Some((_, guard)) = self.post_guard.as_ref() else {
+                unreachable!("pin above populated the guard slot")
+            };
+            let n = (meta.rows - chunk_no * CHUNK_LEN as u64).min(CHUNK_LEN as u64) as usize;
+            let part = PartitionRef::parse(&guard[..], (loc % page_size) as usize, n)?;
+            part.read_into(&mut buf)?;
+            // Undo the vid·rows+rpos transform once per cached chunk.
+            for v in &mut buf[..n] {
+                *v %= meta.rows;
+            }
+        } else {
+            let (page, offset, _) = self.idx.post_location(k);
+            Self::pin(&self.idx.pool, &meta.chain, &mut self.post_guard, page)?;
+            let Some((_, guard)) = self.post_guard.as_ref() else {
+                unreachable!("pin above populated the guard slot")
+            };
+            decode_packed_chunk(guard, offset, meta.wp, &mut buf);
+        }
         self.post_chunk = Some((chunk_no, buf));
         Ok(buf[slot])
     }
@@ -398,6 +572,79 @@ impl PagedIndexIterator<'_> {
         let rpos = self.read_post(state.cur)?;
         self.state = Some(IterState { cur: state.cur + 1, end: state.end });
         Ok(Some(rpos))
+    }
+
+    /// Seeks within `vid`'s postinglist: returns the smallest row position
+    /// `>= rpos`, or `None` when the list has no such posting, positioning
+    /// the iterator so `get_next_row_pos` continues after the match.
+    ///
+    /// Under the PEF codec this is a compressed-domain seek: partitions
+    /// whose header bound lies below the target are skipped for the price
+    /// of two varints, and at most one Elias-Fano bucket of the landing
+    /// partition is scanned — nothing is bulk-decoded. Under the bit-packed
+    /// codec it binary-searches the sorted postinglist slice.
+    pub fn next_row_pos_geq(&mut self, vid: u64, rpos: u64) -> CoreResult<Option<u64>> {
+        let meta = &self.idx.meta;
+        if vid >= meta.cardinality {
+            return Err(CoreError::VidOutOfBounds { vid, cardinality: meta.cardinality });
+        }
+        self.state = None;
+        if rpos >= meta.rows {
+            return Ok(None);
+        }
+        let (start, end) = if meta.unique {
+            (vid, vid + 1)
+        } else {
+            (self.read_dir(vid)?, self.read_dir(vid + 1)?)
+        };
+        if start >= end {
+            return Ok(None);
+        }
+        if meta.codec == CodecKind::Pef {
+            let target = vid * meta.rows + rpos;
+            let vid_end = (vid + 1) * meta.rows;
+            let page_size = meta.chain.page_size as u64;
+            let first_p = start / PARTITION_LEN as u64;
+            let last_p = (end - 1) / PARTITION_LEN as u64;
+            for p in first_p..=last_p {
+                let loc = self.read_skip(p)?;
+                let meta = &self.idx.meta;
+                Self::pin(&self.idx.pool, &meta.chain, &mut self.post_guard, loc / page_size)?;
+                let Some((_, guard)) = self.post_guard.as_ref() else {
+                    unreachable!("pin above populated the guard slot")
+                };
+                let n = (meta.rows - p * PARTITION_LEN as u64).min(PARTITION_LEN as u64) as usize;
+                let part = PartitionRef::parse(&guard[..], (loc % page_size) as usize, n)?;
+                if part.last() < target {
+                    continue; // header-only skip: no value here can match
+                }
+                let Some((slot, v)) = part.next_geq(target)? else { continue };
+                let g = p * PARTITION_LEN as u64 + slot as u64;
+                if g >= end || v >= vid_end {
+                    return Ok(None); // first match belongs to a later vid
+                }
+                self.state = Some(IterState { cur: g + 1, end });
+                return Ok(Some(v - vid * meta.rows));
+            }
+            return Ok(None);
+        }
+        // Bit-packed: binary search the sorted slice through the chunk cache.
+        let mut lo = start;
+        let mut hi = end;
+        while lo < hi {
+            let mid = lo + (hi - lo) / 2;
+            if self.read_post(mid)? < rpos {
+                lo = mid + 1;
+            } else {
+                hi = mid;
+            }
+        }
+        if lo >= end {
+            return Ok(None);
+        }
+        let v = self.read_post(lo)?;
+        self.state = Some(IterState { cur: lo + 1, end });
+        Ok(Some(v))
     }
 
     /// Number of postings of the positioned vid that remain unread.
@@ -473,9 +720,22 @@ mod tests {
     }
 
     fn build(values: &[u64], card: u64) -> (BufferPool, PagedInvertedIndex) {
+        build_with(values, card, &PageConfig::tiny())
+    }
+
+    fn build_with(
+        values: &[u64],
+        card: u64,
+        config: &PageConfig,
+    ) -> (BufferPool, PagedInvertedIndex) {
         let pool = pool();
-        let idx = PagedInvertedIndex::build(&pool, &PageConfig::tiny(), values, card).unwrap();
+        let idx = PagedInvertedIndex::build(&pool, config, values, card).unwrap();
         (pool, idx)
+    }
+
+    /// The legacy bit-packed postinglist layout (mixed page, Eq. 1 layout).
+    fn bitpacked() -> PageConfig {
+        PageConfig { pef_postings: false, ..PageConfig::tiny() }
     }
 
     #[test]
@@ -512,10 +772,10 @@ mod tests {
     fn unique_index_has_no_directory_pages() {
         let rows = 2000u64;
         let values: Vec<u64> = (0..rows).map(|i| (i * 7) % rows).collect(); // permutation
-        let (_pool, unique) = build(&values, rows);
+        let (_pool, unique) = build_with(&values, rows, &bitpacked());
         assert!(unique.is_unique());
         assert!(!unique.has_mixed_page());
-        let (_pool2, non_unique) = build(&sample(rows as usize, rows / 2, 2), rows / 2);
+        let (_pool2, non_unique) = build_with(&sample(rows as usize, rows / 2, 2), rows / 2, &bitpacked());
         assert!(!non_unique.is_unique());
         // The unique chain stores only the postinglist.
         let post_only_pages =
@@ -531,7 +791,7 @@ mod tests {
     fn sparse_column_uses_a_mixed_page() {
         // Few rows + small cardinality: postings and directory share a page.
         let values = sample(100, 5, 3);
-        let (_pool, idx) = build(&values, 5);
+        let (_pool, idx) = build_with(&values, 5, &bitpacked());
         assert!(idx.has_mixed_page());
         assert_eq!(idx.pages(), idx.meta.post_pages, "no pure directory pages");
         let reference = InMemoryInvertedIndex::build(&values, 5);
@@ -543,7 +803,7 @@ mod tests {
     #[test]
     fn lookup_pins_at_most_two_pages() {
         let values = sample(5000, 500, 4);
-        let (pool, idx) = build(&values, 500);
+        let (pool, idx) = build_with(&values, 500, &bitpacked());
         let resman = pool.resource_manager().clone();
         resman.set_paged_limits(Some(payg_resman::PoolLimits::new(0, usize::MAX)));
         let mut it = idx.iter();
@@ -564,7 +824,7 @@ mod tests {
         // Build an index whose directory spans the mixed page and several
         // pure pages, then check dir_location against the paper's Eq. 1.
         let values = sample(2100, 1500, 5);
-        let (_pool, idx) = build(&values, 1500);
+        let (_pool, idx) = build_with(&values, 1500, &bitpacked());
         assert!(idx.has_mixed_page());
         let m = &idx.meta;
         let b = m.post_pages - 1;
@@ -574,6 +834,92 @@ mod tests {
             let (page, _, _) = idx.dir_location(e);
             assert_eq!(page, eq1_page(b, v_first, e, v_page), "entry {e}");
         }
+    }
+
+    #[test]
+    fn pef_parity_with_bitpacked() {
+        let values = sample(4000, 300, 11);
+        let (pool, pef) = build(&values, 300);
+        let (_pool2, packed) = build_with(&values, 300, &bitpacked());
+        assert_eq!(pef.codec_kind(), CodecKind::Pef);
+        assert_eq!(packed.codec_kind(), CodecKind::Plain);
+        for vid in 0..300 {
+            assert_eq!(pef.postings(vid).unwrap(), packed.postings(vid).unwrap(), "vid {vid}");
+        }
+        // The chain file self-describes the posting codec.
+        let desc = pool.store().chain_descriptor(pef.meta.chain.chain).unwrap();
+        assert_eq!(ChainCodec::deserialize(&desc).unwrap().kind, CodecKind::Pef);
+        // Checkpoint metadata round-trips the codec and skip-table layout.
+        let reopened = PagedInvertedIndex::open(&pool, &pef.meta_bytes()).unwrap();
+        assert_eq!(reopened.codec_kind(), CodecKind::Pef);
+        for vid in (0..300).step_by(37) {
+            assert_eq!(reopened.postings(vid).unwrap(), packed.postings(vid).unwrap());
+        }
+    }
+
+    #[test]
+    fn pef_clustered_postings_use_fewer_pages() {
+        // Clustered rows: each vid's postings are one consecutive run, the
+        // favorable case for Elias-Fano.
+        let rows = 20_000u64;
+        let values: Vec<u64> = (0..rows).map(|i| i / 200).collect();
+        let card = rows / 200;
+        let (_p1, pef) = build(&values, card);
+        let (_p2, packed) = build_with(&values, card, &bitpacked());
+        assert_eq!(pef.codec_kind(), CodecKind::Pef);
+        assert!(
+            pef.pages() < packed.pages(),
+            "pef chain ({} pages incl. skip table) must beat bit-packed ({} pages) on clustered rows",
+            pef.pages(),
+            packed.pages()
+        );
+        for vid in (0..card).step_by(7) {
+            assert_eq!(pef.postings(vid).unwrap(), packed.postings(vid).unwrap());
+        }
+    }
+
+    #[test]
+    fn next_row_pos_geq_matches_naive_under_both_codecs() {
+        let values = sample(3000, 80, 13);
+        for config in [PageConfig::tiny(), bitpacked()] {
+            let (_pool, idx) = build_with(&values, 80, &config);
+            let mut it = idx.iter();
+            for vid in (0..80).step_by(9) {
+                let posts = idx.postings(vid).unwrap();
+                for target in [0, 1, posts[0], posts[posts.len() / 2], *posts.last().unwrap(), 2999, 5000] {
+                    let naive = posts.iter().copied().find(|&p| p >= target);
+                    assert_eq!(
+                        it.next_row_pos_geq(vid, target).unwrap(),
+                        naive,
+                        "vid {vid} target {target} codec {:?}",
+                        idx.codec_kind()
+                    );
+                    // The seek positions the iterator for continuation.
+                    if let Some(hit) = naive {
+                        let after = posts.iter().copied().find(|&p| p > hit);
+                        assert_eq!(it.get_next_row_pos().unwrap(), after);
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn pef_lookup_pins_at_most_three_pages() {
+        let values = sample(5000, 500, 4);
+        let (pool, idx) = build(&values, 500);
+        assert_eq!(idx.codec_kind(), CodecKind::Pef);
+        let resman = pool.resource_manager().clone();
+        resman.set_paged_limits(Some(payg_resman::PoolLimits::new(0, usize::MAX)));
+        let mut it = idx.iter();
+        let _ = it.get_first_row_pos(250).unwrap();
+        // Directory page + skip page + posting page.
+        resman.reactive_unload();
+        assert!(pool.resident_pages() <= 3);
+        let loads_before = pool.metrics().loads;
+        let mut it2 = idx.iter();
+        let _ = it2.get_first_row_pos(251).unwrap();
+        assert!(pool.metrics().loads - loads_before <= 3);
     }
 
     #[test]

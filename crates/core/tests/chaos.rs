@@ -130,10 +130,9 @@ fn on_disk_bit_rot_surfaces_as_a_named_scan_abort() {
     // the next scan to re-read it.
     let path = dir.join(format!("chain_{:016x}.pg", chain.0));
     let mut bytes = std::fs::read(&path).unwrap();
-    const HEADER_LEN: usize = 16;
-    let slot_len = (bytes.len() - HEADER_LEN) / paged.pages() as usize;
+    let (data_start, slot_len) = store.chain_layout(chain).unwrap();
     let target = paged.pages() / 2;
-    bytes[HEADER_LEN + slot_len * target as usize + 3] ^= 0x10;
+    bytes[(data_start + slot_len * target) as usize + 3] ^= 0x10;
     std::fs::write(&path, &bytes).unwrap();
     pool.clear();
 
@@ -155,5 +154,77 @@ fn on_disk_bit_rot_surfaces_as_a_named_scan_abort() {
         other => panic!("expected ScanAborted, got {other}"),
     }
     pool.assert_no_live_pins("bit rot quiesce");
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+/// True when the error bottoms out in a Corrupt-class storage fault,
+/// unwrapping scan-abort wrappers along the way.
+fn corrupt_class(err: &CoreError) -> bool {
+    match err {
+        CoreError::Storage(e) => e.fault_class() == payg_storage::FaultClass::Corrupt,
+        CoreError::ScanAborted { source, .. } => corrupt_class(source),
+        _ => false,
+    }
+}
+
+/// Bit rot inside *compressed* pages — FSST dictionary blocks, PEF posting
+/// partitions, helper and data pages alike — surfaces as a Corrupt-class
+/// fault: the page checksum catches the flip before any compressed-domain
+/// decoder can misdecode it into a silently wrong answer.
+#[test]
+fn compressed_page_rot_is_a_corrupt_class_fault() {
+    use payg_core::column::ColumnRead;
+    use payg_core::{ColumnBuilder, DataType, LoadPolicy, Value, ValuePredicate};
+
+    let dir = std::env::temp_dir().join(format!("payg-cmprot-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let store = Arc::new(FileStore::open(&dir).unwrap());
+    let pool =
+        BufferPool::new(Arc::clone(&store) as Arc<dyn PageStore>, ResourceManager::new());
+    let values: Vec<Value> = (0..2000)
+        .map(|i| Value::Varchar(format!("customer-{:04}-region-{}", i % 250, i % 7)))
+        .collect();
+    let col = ColumnBuilder::new(DataType::Varchar)
+        .policy(LoadPolicy::PageLoadable)
+        .with_index(true)
+        .build(&pool, &PageConfig::tiny(), &values)
+        .unwrap()
+        .column;
+    let pred = ValuePredicate::Eq(Value::Varchar("customer-0007-region-0".into()));
+    let expect: Vec<u64> = (0..values.len() as u64)
+        .filter(|&i| pred.matches(&values[i as usize]))
+        .collect();
+    assert!(!expect.is_empty(), "probe must hit rows");
+    assert_eq!(col.find_rows(&pred, 0, values.len() as u64).unwrap(), expect);
+
+    // Flip one payload byte in the first page of every chain backing the
+    // column, so whichever chain a read path touches first is rotten.
+    let mut chains: Vec<u64> = std::fs::read_dir(&dir)
+        .unwrap()
+        .filter_map(|e| {
+            let name = e.unwrap().file_name().into_string().unwrap();
+            let hex = name.strip_prefix("chain_")?.strip_suffix(".pg")?;
+            u64::from_str_radix(hex, 16).ok()
+        })
+        .collect();
+    chains.sort_unstable();
+    assert!(chains.len() >= 3, "expected dict/index/data chains, got {chains:?}");
+    for &c in &chains {
+        let (data_start, _) = store.chain_layout(payg_storage::ChainId(c)).unwrap();
+        let path = dir.join(format!("chain_{c:016x}.pg"));
+        let mut bytes = std::fs::read(&path).unwrap();
+        // Chains that never appended a page have nothing to rot.
+        if let Some(byte) = bytes.get_mut(data_start as usize + 5) {
+            *byte ^= 0x40;
+            std::fs::write(&path, &bytes).unwrap();
+        }
+    }
+    pool.clear();
+
+    let find_err = col.find_rows(&pred, 0, values.len() as u64).unwrap_err();
+    assert!(corrupt_class(&find_err), "find over rotten pages: {find_err}");
+    let get_err = col.get_value(3).unwrap_err();
+    assert!(corrupt_class(&get_err), "point read over rotten pages: {get_err}");
+    pool.assert_no_live_pins("compressed rot quiesce");
     std::fs::remove_dir_all(&dir).unwrap();
 }

@@ -95,6 +95,43 @@ fn equivalence_strings_without_index() {
     assert_equivalent(DataType::Varchar, &string_values(900), false);
 }
 
+/// The codec dispatch seam: point/set probes on a PEF index run in the
+/// compressed domain, ranges and plain structures decode-then-scan, and
+/// resident columns (already decoded in memory) never take the seam.
+#[test]
+fn dispatch_seam_picks_compressed_domain_for_pef_point_probes() {
+    use payg_core::{CodecKind, ScanPath};
+    let pool = pool();
+    let values = string_values(900);
+    let paged = build(&pool, DataType::Varchar, &values, LoadPolicy::PageLoadable, true);
+    assert_eq!(paged.index_codec(), Some(CodecKind::Pef));
+    assert_eq!(paged.dict_codec(), CodecKind::Fsst);
+    let point = ValuePredicate::Eq(values[3].clone());
+    let range = ValuePredicate::Between(values[0].clone(), values[8].clone());
+    assert_eq!(paged.scan_path(&point), ScanPath::CompressedDomain);
+    assert_eq!(paged.scan_path(&range), ScanPath::DecodeThenScan);
+
+    let resident = build(&pool, DataType::Varchar, &values, LoadPolicy::FullyResident, true);
+    assert_eq!(resident.scan_path(&point), ScanPath::DecodeThenScan);
+
+    let no_index = build(&pool, DataType::Varchar, &values, LoadPolicy::PageLoadable, false);
+    assert_eq!(no_index.index_codec(), None);
+    assert_eq!(no_index.scan_path(&point), ScanPath::DecodeThenScan);
+
+    // With the codecs disabled every chain reads back plain and the seam
+    // routes everything through the decode path.
+    let plain_cfg = PageConfig { dict_fsst: false, pef_postings: false, ..PageConfig::tiny() };
+    let plain = ColumnBuilder::new(DataType::Varchar)
+        .policy(LoadPolicy::PageLoadable)
+        .with_index(true)
+        .build(&pool, &plain_cfg, &values)
+        .unwrap()
+        .column;
+    assert_eq!(plain.index_codec(), Some(CodecKind::Plain));
+    assert_eq!(plain.dict_codec(), CodecKind::Plain);
+    assert_eq!(plain.scan_path(&point), ScanPath::DecodeThenScan);
+}
+
 #[test]
 fn equivalence_strings_with_index() {
     assert_equivalent(DataType::Varchar, &string_values(900), true);

@@ -145,6 +145,7 @@ proptest! {
             helper_page,
             index_page: 256,
             inline_limit,
+            ..PageConfig::tiny()
         };
         prop_assume!(config.validate().is_ok());
         let keys: Vec<Vec<u8>> = (0..n_keys)
@@ -342,5 +343,114 @@ proptest! {
             broken[0] ^= 0xFF;
             let _ = Column::open(&pool, &broken);
         }
+    }
+}
+
+/// `PageConfig::tiny()` compresses by default; this is the same geometry
+/// with both codecs off, for compressed ≡ plain parity checks.
+fn plain_config() -> PageConfig {
+    PageConfig { dict_fsst: false, pef_postings: false, ..PageConfig::tiny() }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// An FSST-compressed dictionary chain answers exactly like the plain
+    /// front-coded build: same vid↔key mapping, same hit and miss probes.
+    #[test]
+    fn fsst_dict_equals_plain_dict(
+        mut keys in prop::collection::vec(prop::collection::vec(any::<u8>(), 0..48), 1..150),
+        probes in prop::collection::vec(prop::collection::vec(any::<u8>(), 0..48), 1..16),
+    ) {
+        keys.sort();
+        keys.dedup();
+        let pool = pool();
+        let (fsst, _) = PagedDictionary::build(&pool, &PageConfig::tiny(), &keys).unwrap();
+        let (plain, _) = PagedDictionary::build(&pool, &plain_config(), &keys).unwrap();
+        let mut fc = HandleCache::new(pool.clone());
+        let mut pc = HandleCache::new(pool.clone());
+        for vid in 0..keys.len() as u64 {
+            prop_assert_eq!(
+                fsst.key_by_vid(vid, &mut fc).unwrap(),
+                plain.key_by_vid(vid, &mut pc).unwrap()
+            );
+        }
+        for p in probes.iter().chain(keys.iter()) {
+            prop_assert_eq!(fsst.find(p, &mut fc).unwrap(), plain.find(p, &mut pc).unwrap());
+        }
+    }
+
+    /// A PEF posting chain returns the same postings as the bit-packed
+    /// build, and `next_row_pos_geq` plus the continuing drain agree with a
+    /// naive filter at arbitrary row targets.
+    #[test]
+    fn pef_index_equals_bitpacked_index(
+        raw in prop::collection::vec(0u64..30, 1..300),
+        targets in prop::collection::vec(0u64..320, 1..6),
+    ) {
+        let mut distinct: Vec<u64> = raw.clone();
+        distinct.sort_unstable();
+        distinct.dedup();
+        let values: Vec<u64> = raw
+            .iter()
+            .map(|v| distinct.binary_search(v).unwrap() as u64)
+            .collect();
+        let card = distinct.len() as u64;
+        let pool = pool();
+        let pef = PagedInvertedIndex::build(&pool, &PageConfig::tiny(), &values, card).unwrap();
+        let plain = PagedInvertedIndex::build(&pool, &plain_config(), &values, card).unwrap();
+        for vid in 0..card {
+            prop_assert_eq!(pef.postings(vid).unwrap(), plain.postings(vid).unwrap());
+        }
+        let mut it = pef.iter();
+        for &t in &targets {
+            for vid in 0..card {
+                let mut got = Vec::new();
+                let mut cur = it.next_row_pos_geq(vid, t).unwrap();
+                while let Some(rpos) = cur {
+                    got.push(rpos);
+                    cur = it.get_next_row_pos().unwrap();
+                }
+                let expect: Vec<u64> = values
+                    .iter()
+                    .enumerate()
+                    .filter(|&(i, &v)| v == vid && i as u64 >= t)
+                    .map(|(i, _)| i as u64)
+                    .collect();
+                prop_assert_eq!(got, expect);
+            }
+        }
+    }
+
+    /// Raw PEF lists round-trip, seek, and intersect exactly like sorted
+    /// vectors — including lengths that leave a partial trailing partition.
+    #[test]
+    fn pef_list_matches_sorted_vec(
+        mut a in prop::collection::vec(0u64..5000, 0..330),
+        mut b in prop::collection::vec(0u64..5000, 0..330),
+        targets in prop::collection::vec((0u64..340, 0u64..5200), 1..12),
+    ) {
+        use payg_encoding::pef::{intersect, PefList};
+        a.sort_unstable();
+        a.dedup();
+        b.sort_unstable();
+        b.dedup();
+        let la = PefList::encode(&a);
+        let lb = PefList::encode(&b);
+        prop_assert_eq!(la.len(), a.len() as u64);
+        prop_assert_eq!(la.values().unwrap(), a.clone());
+        prop_assert_eq!(lb.values().unwrap(), b.clone());
+        for &(from, t) in &targets {
+            let expect = a
+                .iter()
+                .enumerate()
+                .skip(from as usize)
+                .find(|&(_, &v)| v >= t)
+                .map(|(i, &v)| (i as u64, v));
+            prop_assert_eq!(la.next_geq(from, t).unwrap(), expect);
+        }
+        let expect: Vec<u64> =
+            a.iter().copied().filter(|v| b.binary_search(v).is_ok()).collect();
+        prop_assert_eq!(intersect(&la, &lb).unwrap(), expect);
     }
 }

@@ -1,0 +1,178 @@
+//! The chain-codec / scan-dispatch seam.
+//!
+//! Every persisted chain now carries a [`ChainCodec`] descriptor (format-2
+//! chain metadata in `payg-storage`; legacy format-0/1 chains read as
+//! [`CodecKind::Plain`]). Readers consult [`choose`] once per probe to pick
+//! between running the predicate **in the compressed domain** (compare
+//! FSST-compressed bytes, leapfrog Elias-Fano partitions) and the classic
+//! **decode-then-scan** path. Centralizing the decision here gives future
+//! synopsis-aware and `std::simd` kernels one place to hang their own
+//! strategies instead of scattering per-call-site `if` chains.
+
+use crate::{EncodingError, Result};
+
+/// How a chain's payload bytes are encoded beyond the base page layout.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CodecKind {
+    /// Bit-packed chunks / front-coded blocks with no extra codec.
+    Plain = 0,
+    /// FSST symbol-table compression inside front-coded value blocks.
+    Fsst = 1,
+    /// Partitioned Elias-Fano posting partitions.
+    Pef = 2,
+}
+
+impl CodecKind {
+    /// The wire label used for per-codec metrics.
+    pub fn label(self) -> &'static str {
+        match self {
+            CodecKind::Plain => "plain",
+            CodecKind::Fsst => "fsst",
+            CodecKind::Pef => "pef",
+        }
+    }
+}
+
+/// The shape of the probe being dispatched.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ProbeShape {
+    /// Single-value equality (dictionary exact `find`, index point lookup).
+    Point,
+    /// Ordered range (`Between`, prefix ranges, `vid_range` probes).
+    Range,
+    /// Set membership / posting intersection (`In`).
+    Set,
+}
+
+/// The strategy a reader runs one probe with.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ScanPath {
+    /// Evaluate directly on compressed bytes (FSST equality compare,
+    /// Elias-Fano `next_geq`), decompressing only emitted values.
+    CompressedDomain,
+    /// Decode the chunk/block, then run the plain kernel.
+    DecodeThenScan,
+}
+
+/// Picks the scan strategy for one probe over one chain.
+///
+/// * `Plain` chains always decode-then-scan (the bit-packed SWAR kernels
+///   already are that path's fast form).
+/// * `Fsst` equality and set probes compare compressed bytes (deterministic
+///   encoding makes compressed equality ⇔ raw equality); ordered ranges
+///   need `memcmp` order, which FSST does not preserve, so they decompress
+///   along the comparison walk.
+/// * `Pef` point and set probes leapfrog compressed partitions via
+///   `next_geq`; full-range enumeration decodes partitions wholesale.
+pub fn choose(kind: CodecKind, shape: ProbeShape) -> ScanPath {
+    match (kind, shape) {
+        (CodecKind::Plain, _) => ScanPath::DecodeThenScan,
+        (CodecKind::Fsst, ProbeShape::Point | ProbeShape::Set) => ScanPath::CompressedDomain,
+        (CodecKind::Fsst, ProbeShape::Range) => ScanPath::DecodeThenScan,
+        (CodecKind::Pef, ProbeShape::Point | ProbeShape::Set) => ScanPath::CompressedDomain,
+        (CodecKind::Pef, ProbeShape::Range) => ScanPath::DecodeThenScan,
+    }
+}
+
+/// A persisted per-chain codec descriptor: the codec kind plus its
+/// parameter blob (for FSST, the serialized symbol table; empty for the
+/// parameterless codecs).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ChainCodec {
+    /// The codec the chain's payload uses.
+    pub kind: CodecKind,
+    /// Codec parameters (e.g. a serialized [`crate::fsst::SymbolTable`]).
+    pub params: Vec<u8>,
+}
+
+/// Descriptor blob version tag.
+const DESC_VERSION: u8 = 1;
+
+impl ChainCodec {
+    /// A descriptor for an uncompressed chain.
+    pub fn plain() -> Self {
+        ChainCodec { kind: CodecKind::Plain, params: Vec::new() }
+    }
+
+    /// Serializes as `version:u8 | kind:u8 | params_len:u32 LE | params`.
+    pub fn serialize(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(6 + self.params.len());
+        out.push(DESC_VERSION);
+        out.push(self.kind as u8);
+        out.extend_from_slice(&(self.params.len() as u32).to_le_bytes());
+        out.extend_from_slice(&self.params);
+        out
+    }
+
+    /// Parses a descriptor blob. An **empty** blob is the legacy encoding
+    /// of "no codec" — format-0/1 chains and format-2 chains that never set
+    /// a descriptor both read as [`CodecKind::Plain`].
+    pub fn deserialize(bytes: &[u8]) -> Result<Self> {
+        if bytes.is_empty() {
+            return Ok(ChainCodec::plain());
+        }
+        let corrupt = |reason: &str| EncodingError::CorruptBlock {
+            reason: format!("chain codec descriptor: {reason}"),
+        };
+        if bytes.len() < 6 {
+            return Err(corrupt("shorter than fixed header"));
+        }
+        if bytes[0] != DESC_VERSION {
+            return Err(corrupt("unknown version"));
+        }
+        let kind = match bytes[1] {
+            0 => CodecKind::Plain,
+            1 => CodecKind::Fsst,
+            2 => CodecKind::Pef,
+            _ => return Err(corrupt("unknown codec kind")),
+        };
+        let len = u32::from_le_bytes([bytes[2], bytes[3], bytes[4], bytes[5]]) as usize;
+        if bytes.len() != 6 + len {
+            return Err(corrupt("params length mismatch"));
+        }
+        Ok(ChainCodec { kind, params: bytes[6..].to_vec() })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn descriptor_roundtrip() {
+        for desc in [
+            ChainCodec::plain(),
+            ChainCodec { kind: CodecKind::Fsst, params: vec![1, 2, 3, 4] },
+            ChainCodec { kind: CodecKind::Pef, params: Vec::new() },
+        ] {
+            let blob = desc.serialize();
+            assert_eq!(ChainCodec::deserialize(&blob).unwrap(), desc);
+        }
+    }
+
+    #[test]
+    fn empty_blob_reads_as_plain() {
+        assert_eq!(ChainCodec::deserialize(&[]).unwrap(), ChainCodec::plain());
+    }
+
+    #[test]
+    fn deserialize_rejects_malformed() {
+        assert!(ChainCodec::deserialize(&[1, 1]).is_err()); // short header
+        assert!(ChainCodec::deserialize(&[9, 0, 0, 0, 0, 0]).is_err()); // version
+        assert!(ChainCodec::deserialize(&[1, 7, 0, 0, 0, 0]).is_err()); // kind
+        assert!(ChainCodec::deserialize(&[1, 1, 5, 0, 0, 0, 1]).is_err()); // len
+    }
+
+    #[test]
+    fn dispatch_rules() {
+        use CodecKind::*;
+        use ProbeShape::*;
+        use ScanPath::*;
+        assert_eq!(choose(Plain, Point), DecodeThenScan);
+        assert_eq!(choose(Fsst, Point), CompressedDomain);
+        assert_eq!(choose(Fsst, Set), CompressedDomain);
+        assert_eq!(choose(Fsst, Range), DecodeThenScan);
+        assert_eq!(choose(Pef, Point), CompressedDomain);
+        assert_eq!(choose(Pef, Set), CompressedDomain);
+    }
+}

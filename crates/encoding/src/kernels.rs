@@ -20,9 +20,11 @@
 //!   to result bits with a single multiply (a portable `movemask`).
 //!   Non-dividing widths `>= 15` also skip the decode for equality: a
 //!   zero-byte screen over the XOR diff rejects whole words, and only
-//!   candidate lanes are verified. Small sorted sets run as an OR of SWAR
-//!   equality passes (aligned widths `<= 16`) or a decode plus branchless
-//!   linear membership test — never a per-slot binary search.
+//!   candidate lanes are verified. Small sorted sets run decode-free at
+//!   every width `>= 15` and every dividing width: an OR of fused SWAR
+//!   equality passes at aligned widths, an OR of zero-byte-screened passes
+//!   at non-dividing widths `>= 15`, and a decode plus branchless linear
+//!   membership test below that — never a per-slot binary search.
 //! * Every kernel emits **result bitmaps** — one `u64` per 64-value chunk,
 //!   bit `i` set ⇔ slot `i` matches — instead of pushing row ids. Bitmap
 //!   output costs O(1) per chunk regardless of selectivity; positions are
@@ -142,7 +144,7 @@ pub fn chunk_in_set<const N: u32>(chunk: &[u64], set: &VidSet) -> u64 {
                 }
                 return bm;
             }
-            if 64 % N == 0 && N <= 16 {
+            if 64 % N == 0 {
                 // Fused OR of exact SWAR equality tests, one word pass — no
                 // decode. The per-lane masks of all probes are OR-combined
                 // *before* the movemask multiply (the expensive step), so a
@@ -167,6 +169,20 @@ pub fn chunk_in_set<const N: u32>(chunk: &[u64], set: &VidSet) -> u64 {
                         hits |= msb & !(x | ((x | msb).wrapping_sub(lsb)));
                     }
                     bm |= movemask::<N>(hits) << (wi * (64 / N as usize));
+                }
+                return bm;
+            }
+            if N >= 15 {
+                // Non-dividing wide lanes: OR of zero-byte-screened equality
+                // passes, one per probe — each pass is ~N word ops with no
+                // decode, far cheaper than the 128-bit-carry generic decode
+                // these widths would otherwise pay.
+                let mut bm = 0u64;
+                for &vid in vids {
+                    if vid <= mask {
+                        let pat = eq_pattern::<N>(vid);
+                        bm |= chunk_eq_screened::<N>(chunk, vid, &pat[..N as usize]);
+                    }
                 }
                 return bm;
             }
@@ -295,6 +311,28 @@ pub fn scan_range<const N: u32>(words: &[u64], lo: u64, hi: u64, out: &mut Vec<u
 
 /// Appends one match bitmap per chunk of `words` (membership in `set`).
 pub fn scan_in_set<const N: u32>(words: &[u64], set: &VidSet, out: &mut Vec<u64>) {
+    if 64 % N != 0 && N >= 15 {
+        if let VidSet::Sorted(vids) = set {
+            if vids.len() <= MAX_LINEAR_SET {
+                // Screened multi-probe path with the replicated probe
+                // patterns hoisted once for the whole page slice.
+                let mask = if N == 64 { u64::MAX } else { (1u64 << N) - 1 };
+                let pats: Vec<(u64, [u64; 32])> = vids
+                    .iter()
+                    .filter(|&&vid| vid <= mask)
+                    .map(|&vid| (vid, eq_pattern::<N>(vid)))
+                    .collect();
+                for chunk in words.chunks_exact(N as usize) {
+                    let mut bm = 0u64;
+                    for (vid, pat) in &pats {
+                        bm |= chunk_eq_screened::<N>(chunk, *vid, &pat[..N as usize]);
+                    }
+                    out.push(bm);
+                }
+                return;
+            }
+        }
+    }
     for chunk in words.chunks_exact(N as usize) {
         out.push(chunk_in_set::<N>(chunk, set));
     }

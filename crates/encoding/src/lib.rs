@@ -30,8 +30,11 @@
 pub mod bitpack;
 pub mod bitwidth;
 pub mod chunk;
+pub mod dispatch;
+pub mod fsst;
 pub mod kernels;
 pub mod okey;
+pub mod pef;
 pub mod prefix;
 pub mod scan;
 #[allow(unsafe_code)]

@@ -17,15 +17,53 @@
 //! Wire format (all integers little-endian):
 //!
 //! ```text
-//! block  := count:u8 entry{count}
+//! block  := header entry{count}
+//! header := count:u8                                      -- legacy, bit 7 clear
+//!         | (count|0x80):u8 restart:u16{(count-1)/4}      -- restart offsets
 //! entry  := prefix_len:u16 onpage_len:u32 flags:u8 suffix:[u8;onpage_len]
 //!           [ nptr:u16 (page_no:u64 len:u32){nptr} total_len:u64 ]   -- iff flags&1
 //! ```
+//!
+//! **Restart points.** Every [`RESTART_EVERY`]-th entry is stored with
+//! `prefix_len == 0` and its block-relative byte offset recorded in the
+//! header, so in-block lookup and materialization resume from the nearest
+//! restart instead of replaying the front-coding chain from entry 0. Legacy
+//! blocks (count byte with bit 7 clear, the format-0/1 page layout) parse
+//! unchanged; the old parser rejects restart headers because `count | 0x80`
+//! exceeds [`BLOCK_CAP`].
+//!
+//! **Compressed blocks.** Blocks may hold FSST-compressed keys (the chain's
+//! codec descriptor says so; the block layout is byte-agnostic). Compressed
+//! bytes do not preserve `memcmp` order, so [`ValueBlockView::find_compressed`]
+//! compares compressed bytes for equality (deterministic encoding makes that
+//! exact) and decompresses the accumulator only to decide ordering.
 
+use crate::fsst::SymbolTable;
 use crate::{EncodingError, Result};
 
 /// Maximum number of values per block.
 pub const BLOCK_CAP: usize = 16;
+
+/// Interval between restart points: entries at indices `0, 4, 8, …` are
+/// stored with a zero-length prefix so decoding can start there.
+pub const RESTART_EVERY: usize = 4;
+
+/// Count-byte flag: a restart-offset header follows the count byte.
+const FLAG_RESTARTS: u8 = 0x80;
+
+/// Low bits of the count byte carrying the entry count.
+const COUNT_MASK: u8 = 0x7F;
+
+/// Number of restart offsets recorded for a block of `count` entries
+/// (entry 0 needs none: it always sits right after the header).
+fn restart_slots(count: usize) -> usize {
+    count.saturating_sub(1) / RESTART_EVERY
+}
+
+/// Encoded header length for a restart-format block of `count` entries.
+fn restart_header_len(count: usize) -> usize {
+    1 + 2 * restart_slots(count)
+}
 
 /// A logical pointer to one off-page piece of a large value.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -64,13 +102,19 @@ pub struct ValueBlockBuilder {
     prev_key: Vec<u8>,
     /// On-page-materializable length of the previous entry.
     prev_onpage: usize,
-    byte_len: usize,
+    /// Encoded length of the entries serialized so far (header excluded).
+    entries_len: usize,
 }
 
 impl ValueBlockBuilder {
     /// Creates an empty builder.
     pub fn new() -> Self {
-        ValueBlockBuilder { entries: Vec::new(), prev_key: Vec::new(), prev_onpage: 0, byte_len: 1 }
+        ValueBlockBuilder {
+            entries: Vec::new(),
+            prev_key: Vec::new(),
+            prev_onpage: 0,
+            entries_len: 0,
+        }
     }
 
     /// Number of entries pushed.
@@ -90,15 +134,36 @@ impl ValueBlockBuilder {
 
     /// Encoded size in bytes of the block built so far.
     pub fn byte_len(&self) -> usize {
-        self.byte_len
+        restart_header_len(self.entries.len()) + self.entries_len
+    }
+
+    /// Prefix length the entry at `idx` would share with the predecessor
+    /// materializing `shared` raw bytes: zero at restart points.
+    fn shared_at(&self, idx: usize, key: &[u8]) -> usize {
+        if idx.is_multiple_of(RESTART_EVERY) {
+            0
+        } else {
+            common_prefix(&self.prev_key, key)
+                .min(self.prev_onpage)
+                .min(u16::MAX as usize)
+        }
     }
 
     /// Encoded size the block would have after pushing `key` (ignoring
     /// spill: assumes the whole suffix stays on-page). Used by page writers
     /// to decide when to close a page.
     pub fn projected_len(&self, key: &[u8]) -> usize {
-        let shared = common_prefix(&self.prev_key, key).min(self.prev_onpage).min(u16::MAX as usize);
-        self.byte_len + 2 + 4 + 1 + (key.len() - shared)
+        let idx = self.entries.len();
+        let shared = self.shared_at(idx, key);
+        restart_header_len(idx + 1) + self.entries_len + 2 + 4 + 1 + (key.len() - shared)
+    }
+
+    /// Suffix length `key` would store if pushed next (zero shared bytes at
+    /// restart points). Lets page writers budget the entry separately from
+    /// the restart-header growth that [`ValueBlockBuilder::projected_len`]
+    /// folds in.
+    pub fn next_suffix_len(&self, key: &[u8]) -> usize {
+        key.len() - self.shared_at(self.entries.len(), key)
     }
 
     /// Appends a key. `inline_limit` bounds the on-page suffix bytes; the
@@ -115,18 +180,24 @@ impl ValueBlockBuilder {
         inline_limit: usize,
         alloc_overflow: &mut dyn FnMut(&[u8]) -> Vec<OverflowRef>,
     ) {
-        assert!(!self.is_full(), "value block is full");
         assert!(
             self.entries.is_empty() || self.prev_key.as_slice() <= key,
             "keys must be pushed in sorted order"
         );
-        let shared = if self.entries.is_empty() {
-            0
-        } else {
-            common_prefix(&self.prev_key, key)
-                .min(self.prev_onpage)
-                .min(u16::MAX as usize)
-        };
+        self.push_unordered(key, inline_limit, alloc_overflow);
+    }
+
+    /// Like [`ValueBlockBuilder::push`], but without the sorted-order
+    /// assertion. Used for blocks of FSST-compressed keys: the *raw* keys
+    /// are sorted, but their compressed forms need not be `memcmp`-ordered.
+    pub fn push_unordered(
+        &mut self,
+        key: &[u8],
+        inline_limit: usize,
+        alloc_overflow: &mut dyn FnMut(&[u8]) -> Vec<OverflowRef>,
+    ) {
+        assert!(!self.is_full(), "value block is full");
+        let shared = self.shared_at(self.entries.len(), key);
         let suffix = &key[shared..];
         let (onpage, offpage) = if suffix.len() > inline_limit {
             (suffix[..inline_limit].to_vec(), alloc_overflow(&suffix[inline_limit..]))
@@ -139,7 +210,7 @@ impl ValueBlockBuilder {
             offpage,
             total_len: key.len() as u64,
         };
-        self.byte_len += entry_encoded_len(&entry);
+        self.entries_len += entry_encoded_len(&entry);
         self.prev_onpage = entry.onpage_materializable();
         self.prev_key.clear();
         self.prev_key.extend_from_slice(key);
@@ -152,23 +223,44 @@ impl ValueBlockBuilder {
     /// Panics on an empty block.
     pub fn finish(self) -> Vec<u8> {
         assert!(!self.entries.is_empty(), "cannot encode an empty value block");
-        let mut out = Vec::with_capacity(self.byte_len);
-        out.push(self.entries.len() as u8);
-        for e in &self.entries {
-            out.extend_from_slice(&e.prefix_len.to_le_bytes());
-            out.extend_from_slice(&(e.onpage.len() as u32).to_le_bytes());
-            out.push(u8::from(!e.offpage.is_empty()));
-            out.extend_from_slice(&e.onpage);
+        let count = self.entries.len();
+        let header = restart_header_len(count);
+        let mut body = Vec::with_capacity(self.entries_len);
+        let mut offsets = Vec::with_capacity(restart_slots(count));
+        for (i, e) in self.entries.iter().enumerate() {
+            if i > 0 && i % RESTART_EVERY == 0 {
+                offsets.push(header + body.len());
+            }
+            body.extend_from_slice(&e.prefix_len.to_le_bytes());
+            body.extend_from_slice(&(e.onpage.len() as u32).to_le_bytes());
+            body.push(u8::from(!e.offpage.is_empty()));
+            body.extend_from_slice(&e.onpage);
             if !e.offpage.is_empty() {
-                out.extend_from_slice(&(e.offpage.len() as u16).to_le_bytes());
+                body.extend_from_slice(&(e.offpage.len() as u16).to_le_bytes());
                 for r in &e.offpage {
-                    out.extend_from_slice(&r.page_no.to_le_bytes());
-                    out.extend_from_slice(&r.len.to_le_bytes());
+                    body.extend_from_slice(&r.page_no.to_le_bytes());
+                    body.extend_from_slice(&r.len.to_le_bytes());
                 }
-                out.extend_from_slice(&e.total_len.to_le_bytes());
+                body.extend_from_slice(&e.total_len.to_le_bytes());
             }
         }
-        debug_assert_eq!(out.len(), self.byte_len);
+        debug_assert_eq!(body.len(), self.entries_len);
+        if offsets.iter().any(|&o| o > u16::MAX as usize) {
+            // Degenerate giant entries pushed a restart past the u16 offset
+            // range: fall back to the legacy header (no restarts). Readers
+            // handle both; `byte_len()` merely over-reported a few bytes.
+            let mut out = Vec::with_capacity(1 + body.len());
+            out.push(count as u8);
+            out.extend_from_slice(&body);
+            return out;
+        }
+        let mut out = Vec::with_capacity(header + body.len());
+        out.push(count as u8 | FLAG_RESTARTS);
+        for o in &offsets {
+            out.extend_from_slice(&(*o as u16).to_le_bytes());
+        }
+        out.extend_from_slice(&body);
+        debug_assert_eq!(out.len(), header + self.entries_len);
         out
     }
 }
@@ -199,17 +291,39 @@ pub struct ValueBlock {
 }
 
 impl ValueBlock {
-    /// Parses a block from its wire format, validating structure.
+    /// Parses a block from its wire format, validating structure. Accepts
+    /// both the legacy header and the restart-offset header.
     pub fn parse(bytes: &[u8]) -> Result<(ValueBlock, usize)> {
         let mut cur = Cursor { bytes, pos: 0 };
-        let count = cur.u8()? as usize;
+        let first = cur.u8()?;
+        let has_restarts = first & FLAG_RESTARTS != 0;
+        let count = (first & COUNT_MASK) as usize;
         if count == 0 || count > BLOCK_CAP {
             return Err(corrupt(format!("value block count {count} outside 1..=16")));
+        }
+        let mut restarts = Vec::new();
+        if has_restarts {
+            for _ in 0..restart_slots(count) {
+                restarts.push(cur.u16()? as usize);
+            }
         }
         let mut entries = Vec::with_capacity(count);
         let mut onpage_prev = 0usize;
         for i in 0..count {
+            let entry_start = cur.pos;
             let prefix_len = cur.u16()?;
+            if has_restarts && i > 0 && i % RESTART_EVERY == 0 {
+                let slot = i / RESTART_EVERY - 1;
+                if restarts[slot] != entry_start {
+                    return Err(corrupt(format!(
+                        "restart offset {} for entry {i} does not match its position {entry_start}",
+                        restarts[slot]
+                    )));
+                }
+                if prefix_len != 0 {
+                    return Err(corrupt(format!("restart entry {i} has nonzero prefix")));
+                }
+            }
             let onpage_len = cur.u32()? as usize;
             let flags = cur.u8()?;
             if flags > 1 {
@@ -267,12 +381,14 @@ impl ValueBlock {
         &self.entries
     }
 
-    /// Reconstructs the on-page-materializable part of entry `idx` by
-    /// scanning the block from the start (front coding is sequential).
+    /// Reconstructs the on-page-materializable part of entry `idx`,
+    /// replaying the front-coding chain from the nearest preceding entry
+    /// with a zero-length prefix (a restart point, or entry 0).
     pub fn materialize_onpage(&self, idx: usize) -> Vec<u8> {
         assert!(idx < self.entries.len());
+        let start = (0..=idx).rev().find(|&i| self.entries[i].prefix_len == 0).unwrap();
         let mut acc: Vec<u8> = Vec::new();
-        for e in &self.entries[..=idx] {
+        for e in &self.entries[start..=idx] {
             acc.truncate(e.prefix_len as usize);
             acc.extend_from_slice(&e.onpage);
         }
@@ -353,6 +469,7 @@ impl ValueBlock {
 pub struct ValueBlockView<'a> {
     bytes: &'a [u8],
     count: usize,
+    has_restarts: bool,
 }
 
 /// One entry of a [`ValueBlockView`], borrowing from the page.
@@ -397,11 +514,45 @@ impl<'a> ValueBlockView<'a> {
         if bytes.is_empty() {
             return Err(corrupt("empty block".into()));
         }
-        let count = bytes[0] as usize;
+        let has_restarts = bytes[0] & FLAG_RESTARTS != 0;
+        let count = (bytes[0] & COUNT_MASK) as usize;
         if count == 0 || count > BLOCK_CAP {
             return Err(corrupt(format!("value block count {count} outside 1..=16")));
         }
-        Ok(ValueBlockView { bytes, count })
+        if has_restarts && bytes.len() < restart_header_len(count) {
+            return Err(corrupt("truncated restart header".into()));
+        }
+        Ok(ValueBlockView { bytes, count, has_restarts })
+    }
+
+    /// Number of restart points after entry 0 (groups are `RESTART_EVERY`
+    /// entries wide; group `g > 0` starts at the recorded offset).
+    fn groups(&self) -> usize {
+        if self.has_restarts {
+            restart_slots(self.count)
+        } else {
+            0
+        }
+    }
+
+    /// Encoded header length of this block.
+    fn header_len(&self) -> usize {
+        if self.has_restarts {
+            restart_header_len(self.count)
+        } else {
+            1
+        }
+    }
+
+    /// Byte position where group `g` starts (`g == 0` ⇒ right after the
+    /// header; `g >= 1` ⇒ the recorded restart offset of entry `g·4`).
+    fn group_pos(&self, g: usize) -> usize {
+        if g == 0 {
+            self.header_len()
+        } else {
+            let off = 1 + 2 * (g - 1);
+            u16::from_le_bytes(self.bytes[off..off + 2].try_into().unwrap()) as usize
+        }
     }
 
     /// Number of entries.
@@ -415,16 +566,27 @@ impl<'a> ValueBlockView<'a> {
     }
 
     /// Walks entries `0..=last`, calling `visit` for each. `visit` returns
-    /// `true` to continue. Returns the byte offset after the last visited
-    /// entry (mostly useful for tests).
+    /// `true` to continue.
     pub fn walk(
         &self,
         last: usize,
+        visit: impl FnMut(usize, &EntryView<'a>) -> bool,
+    ) -> Result<()> {
+        self.walk_at(self.header_len(), 0, last, visit)
+    }
+
+    /// Walks entries `first..=last` starting at byte position `pos` (the
+    /// start of entry `first`, which must be entry 0 or a restart point;
+    /// its zero prefix is validated on the way).
+    fn walk_at(
+        &self,
+        mut pos: usize,
+        first: usize,
+        last: usize,
         mut visit: impl FnMut(usize, &EntryView<'a>) -> bool,
     ) -> Result<()> {
-        debug_assert!(last < self.count);
-        let mut pos = 1usize;
-        for i in 0..=last {
+        debug_assert!(first <= last && last < self.count);
+        for i in first..=last {
             let need = |n: usize, pos: usize| -> Result<()> {
                 if pos + n > self.bytes.len() {
                     Err(corrupt(format!("truncated block at entry {i}")))
@@ -439,6 +601,9 @@ impl<'a> ValueBlockView<'a> {
                 u32::from_le_bytes(self.bytes[pos + 2..pos + 6].try_into().unwrap()) as usize;
             let flags = self.bytes[pos + 6];
             pos += 7;
+            if i == first && first > 0 && prefix_len != 0 {
+                return Err(corrupt(format!("restart entry {i} has nonzero prefix")));
+            }
             need(onpage_len, pos)?;
             let onpage = &self.bytes[pos..pos + onpage_len];
             pos += onpage_len;
@@ -475,7 +640,8 @@ impl<'a> ValueBlockView<'a> {
         acc.clear();
         let mut offpage = Vec::new();
         let mut total = 0u64;
-        self.walk(idx, |i, e| {
+        let g = (idx / RESTART_EVERY).min(self.groups());
+        self.walk_at(self.group_pos(g), g * RESTART_EVERY, idx, |i, e| {
             acc.truncate(e.prefix_len);
             acc.extend_from_slice(e.onpage);
             if i == idx {
@@ -550,10 +716,20 @@ impl<'a> ValueBlockView<'a> {
         key: &[u8],
         fetch: &mut dyn FnMut(&OverflowRef) -> Result<Vec<u8>>,
     ) -> Result<std::result::Result<usize, usize>> {
+        let start = self.seek_group(|onpage, has_offpage| {
+            // Conclusively Less than `key`? Restart entries have a zero
+            // prefix, so `onpage` is the leading bytes of the full value.
+            let cmp = onpage.cmp(&key[..key.len().min(onpage.len())]);
+            Ok(if has_offpage {
+                cmp == std::cmp::Ordering::Less
+            } else {
+                onpage.cmp(key) == std::cmp::Ordering::Less
+            })
+        })?;
         let mut acc: Vec<u8> = Vec::new();
         let mut outcome: std::result::Result<usize, usize> = Err(self.count);
         let mut pending_fetch: Option<usize> = None;
-        self.walk(self.count - 1, |i, e| {
+        self.walk_at(self.group_pos(start), start * RESTART_EVERY, self.count - 1, |i, e| {
             acc.truncate(e.prefix_len);
             acc.extend_from_slice(e.onpage);
             let onpage_cmp = acc.as_slice().cmp(&key[..key.len().min(acc.len())]);
@@ -590,6 +766,175 @@ impl<'a> ValueBlockView<'a> {
                     let (block, _) = ValueBlock::parse(self.bytes)?;
                     block.find(key, fetch)?
                 }
+            });
+        }
+        Ok(outcome)
+    }
+
+    /// Picks the deepest restart group whose leading entry `is_less` judges
+    /// *conclusively* below the probe. Every entry before that group is
+    /// then strictly below the probe too (the block is sorted), so searches
+    /// may start the front-coding walk at its restart point.
+    fn seek_group(
+        &self,
+        mut is_less: impl FnMut(&[u8], bool) -> Result<bool>,
+    ) -> Result<usize> {
+        let mut start = 0usize;
+        for g in 1..=self.groups() {
+            let mut verdict: Result<bool> = Ok(false);
+            self.walk_at(self.group_pos(g), g * RESTART_EVERY, g * RESTART_EVERY, |_, e| {
+                verdict = is_less(e.onpage, e.offpage_count() > 0);
+                false
+            })?;
+            if verdict? {
+                start = g;
+            } else {
+                break;
+            }
+        }
+        Ok(start)
+    }
+
+    /// Orders one FSST-compressed entry (on-page part `acc`) against the
+    /// raw probe `key` without fetching overflow pieces. `None` means the
+    /// decoded on-page part is an inconclusive proper prefix of `key`.
+    fn cmp_compressed_nofetch(
+        &self,
+        acc: &[u8],
+        has_offpage: bool,
+        key: &[u8],
+        table: &SymbolTable,
+    ) -> Result<Option<std::cmp::Ordering>> {
+        use std::cmp::Ordering;
+        let mut raw = Vec::with_capacity(acc.len() * 2);
+        if !has_offpage {
+            table.decode_into(acc, &mut raw)?;
+            return Ok(Some(raw.as_slice().cmp(key)));
+        }
+        table.decode_prefix_into(acc, &mut raw)?;
+        let min = raw.len().min(key.len());
+        Ok(match raw[..min].cmp(&key[..min]) {
+            // The decoded on-page part already covers `key`, and the entry
+            // continues off-page with at least one more raw byte.
+            Ordering::Equal if raw.len() >= key.len() => Some(Ordering::Greater),
+            Ordering::Equal => None,
+            ord => Some(ord),
+        })
+    }
+
+    /// Materializes entry 0 of an FSST-compressed block and orders it
+    /// against the raw probe `key`, fetching overflow only when the on-page
+    /// part is an inconclusive prefix. Compressed counterpart of
+    /// [`ValueBlockView::compare_first`].
+    pub fn compare_first_compressed(
+        &self,
+        key: &[u8],
+        table: &SymbolTable,
+        fetch: &mut dyn FnMut(&OverflowRef) -> Result<Vec<u8>>,
+    ) -> Result<std::cmp::Ordering> {
+        let mut acc = Vec::new();
+        let mut has_offpage = false;
+        self.walk(0, |_, e| {
+            acc.extend_from_slice(e.onpage); // entry 0 has prefix_len == 0
+            has_offpage = e.offpage_count() > 0;
+            false
+        })?;
+        match self.cmp_compressed_nofetch(&acc, has_offpage, key, table)? {
+            Some(ord) => Ok(ord),
+            None => {
+                let full = table.decode(&self.materialize(0, fetch)?)?;
+                Ok(full.as_slice().cmp(key))
+            }
+        }
+    }
+
+    /// Searches a block of FSST-compressed entries for the raw probe `key`,
+    /// whose deterministic encoding is `enc_key`. Equality is decided on
+    /// **compressed** bytes (no decoding on the hit path); ordering — which
+    /// compressed bytes do not preserve — decompresses the accumulated
+    /// on-page part. Result semantics match [`ValueBlockView::find`] over
+    /// the raw key order.
+    pub fn find_compressed(
+        &self,
+        key: &[u8],
+        enc_key: &[u8],
+        table: &SymbolTable,
+        fetch: &mut dyn FnMut(&OverflowRef) -> Result<Vec<u8>>,
+    ) -> Result<std::result::Result<usize, usize>> {
+        self.find_compressed_from(0, key, enc_key, table, fetch)
+    }
+
+    /// [`ValueBlockView::find_compressed`] restricted to entries `from..`;
+    /// the continuation used after an overflow fetch resolves to `Less`.
+    fn find_compressed_from(
+        &self,
+        from: usize,
+        key: &[u8],
+        enc_key: &[u8],
+        table: &SymbolTable,
+        fetch: &mut dyn FnMut(&OverflowRef) -> Result<Vec<u8>>,
+    ) -> Result<std::result::Result<usize, usize>> {
+        use std::cmp::Ordering;
+        if from >= self.count {
+            return Ok(Err(self.count));
+        }
+        let start = if from == 0 {
+            self.seek_group(|onpage, has_offpage| {
+                Ok(matches!(
+                    self.cmp_compressed_nofetch(onpage, has_offpage, key, table)?,
+                    Some(Ordering::Less)
+                ))
+            })?
+        } else {
+            (from / RESTART_EVERY).min(self.groups())
+        };
+        let mut acc: Vec<u8> = Vec::new();
+        let mut outcome: std::result::Result<usize, usize> = Err(self.count);
+        let mut pending_fetch: Option<usize> = None;
+        let mut decode_err: Option<EncodingError> = None;
+        self.walk_at(self.group_pos(start), start * RESTART_EVERY, self.count - 1, |i, e| {
+            acc.truncate(e.prefix_len);
+            acc.extend_from_slice(e.onpage);
+            if i < from {
+                return true;
+            }
+            let has_offpage = e.offpage_count() > 0;
+            if !has_offpage && acc.as_slice() == enc_key {
+                outcome = Ok(i);
+                return false;
+            }
+            let ord = match self.cmp_compressed_nofetch(&acc, has_offpage, key, table) {
+                Ok(Some(ord)) => ord,
+                Ok(None) => {
+                    pending_fetch = Some(i);
+                    return false;
+                }
+                Err(e2) => {
+                    decode_err = Some(e2);
+                    return false;
+                }
+            };
+            match ord {
+                Ordering::Less => true,
+                Ordering::Equal => {
+                    outcome = Ok(i);
+                    false
+                }
+                Ordering::Greater => {
+                    outcome = Err(i);
+                    false
+                }
+            }
+        })?;
+        if let Some(e) = decode_err {
+            return Err(e);
+        }
+        if let Some(i) = pending_fetch {
+            let full = table.decode(&self.materialize(i, fetch)?)?;
+            return Ok(match full.as_slice().cmp(key) {
+                Ordering::Equal => Ok(i),
+                Ordering::Greater => Err(i),
+                Ordering::Less => self.find_compressed_from(i + 1, key, enc_key, table, fetch)?,
             });
         }
         Ok(outcome)
@@ -783,6 +1128,73 @@ mod tests {
         assert_eq!(b.byte_len(), projected);
         assert_eq!(b.finish().len(), projected);
     }
+
+    #[test]
+    fn projected_len_matches_across_restart_boundaries() {
+        let mut sim = OverflowSim::new(8);
+        let mut b = ValueBlockBuilder::new();
+        for i in 0..BLOCK_CAP {
+            let key = format!("restart-growth-{i:02}").into_bytes();
+            let projected = b.projected_len(&key);
+            b.push(&key, 1024, &mut |x| sim.alloc(x));
+            assert_eq!(b.byte_len(), projected, "entry {i}");
+        }
+        let expected = b.byte_len();
+        assert_eq!(b.finish().len(), expected);
+    }
+
+    #[test]
+    fn restart_entries_have_zero_prefix_and_recorded_offsets() {
+        let keys: Vec<Vec<u8>> =
+            (0..BLOCK_CAP).map(|i| format!("shared-prefix-{i:02}").into_bytes()).collect();
+        let mut sim = OverflowSim::new(8);
+        let mut b = ValueBlockBuilder::new();
+        for k in &keys {
+            b.push(k, 1024, &mut |x| sim.alloc(x));
+        }
+        let bytes = b.finish();
+        assert_eq!(bytes[0], BLOCK_CAP as u8 | 0x80);
+        let (block, consumed) = ValueBlock::parse(&bytes).unwrap();
+        assert_eq!(consumed, bytes.len());
+        for (i, e) in block.entries().iter().enumerate() {
+            if i % RESTART_EVERY == 0 {
+                assert_eq!(e.prefix_len, 0, "entry {i} is a restart");
+            } else {
+                assert!(e.prefix_len > 0, "entry {i} front-codes");
+            }
+        }
+        let mut fetch = sim.fetch();
+        for (i, k) in keys.iter().enumerate() {
+            assert_eq!(&block.materialize(i, &mut fetch).unwrap(), k);
+            assert_eq!(block.find(k, &mut fetch).unwrap(), Ok(i));
+        }
+    }
+
+    #[test]
+    fn legacy_blocks_without_restart_header_still_parse() {
+        let keys: Vec<Vec<u8>> =
+            (0..BLOCK_CAP).map(|i| format!("legacy-key-{i:02}").into_bytes()).collect();
+        let mut sim = OverflowSim::new(8);
+        let mut b = ValueBlockBuilder::new();
+        for k in &keys {
+            b.push(k, 1024, &mut |x| sim.alloc(x));
+        }
+        let bytes = b.finish();
+        // Reconstruct the legacy wire form: plain count byte, no offsets.
+        let header = 1 + 2 * ((BLOCK_CAP - 1) / RESTART_EVERY);
+        let mut legacy = vec![BLOCK_CAP as u8];
+        legacy.extend_from_slice(&bytes[header..]);
+        let (block, consumed) = ValueBlock::parse(&legacy).unwrap();
+        assert_eq!(consumed, legacy.len());
+        let view = ValueBlockView::parse(&legacy).unwrap();
+        let mut fetch = sim.fetch();
+        let mut fetch2 = sim.fetch();
+        for (i, k) in keys.iter().enumerate() {
+            assert_eq!(&block.materialize(i, &mut fetch).unwrap(), k);
+            assert_eq!(&view.materialize(i, &mut fetch2).unwrap(), k);
+            assert_eq!(view.find(k, &mut fetch2).unwrap(), Ok(i));
+        }
+    }
 }
 
 #[cfg(test)]
@@ -876,5 +1288,142 @@ mod view_tests {
         // Truncated entry payload.
         let v = ValueBlockView::parse(&[1, 0, 0, 200, 0, 0, 0, 0]).unwrap();
         assert!(v.walk(0, |_, _| true).is_err());
+        // Restart flag with a truncated offset array.
+        assert!(ValueBlockView::parse(&[16 | 0x80, 9]).is_err());
+    }
+
+    #[test]
+    fn materialization_resumes_at_restart_points_not_entry_zero() {
+        let keys: Vec<Vec<u8>> =
+            (0..BLOCK_CAP).map(|i| format!("restart-jump-{i:02}").into_bytes()).collect();
+        let (bytes, pages) = build_random(&keys, 1024);
+        // Locate the recorded restart offsets for groups 1 and 2.
+        let g1 = u16::from_le_bytes(bytes[1..3].try_into().unwrap()) as usize;
+        let g2 = u16::from_le_bytes(bytes[3..5].try_into().unwrap()) as usize;
+        // Destroy the bytes of group 1 (entries 4..8). Entries in groups 0,
+        // 2 and 3 must still materialize and probe correctly, proving the
+        // walk starts at the nearest restart instead of entry 0.
+        let mut smashed = bytes.clone();
+        smashed[g1..g2].fill(0);
+        let view = ValueBlockView::parse(&smashed).unwrap();
+        let mut fetch = |r: &OverflowRef| Ok(pages[&r.page_no].clone());
+        for i in (0..4).chain(8..BLOCK_CAP) {
+            assert_eq!(&view.materialize(i, &mut fetch).unwrap(), &keys[i], "entry {i}");
+        }
+        let got = view.materialize(5, &mut fetch);
+        assert!(got.is_err() || got.unwrap() != keys[5]);
+    }
+
+    #[test]
+    fn compressed_blocks_probe_in_the_compressed_domain() {
+        use crate::fsst::SymbolTable;
+        let keys: Vec<Vec<u8>> = (0..BLOCK_CAP)
+            .map(|i| format!("http://example.com/catalog/item/{i:02}?lang=en").into_bytes())
+            .collect();
+        let table = SymbolTable::train(&keys);
+        let mut pages = std::collections::HashMap::new();
+        let mut next = 0u64;
+        let mut b = ValueBlockBuilder::new();
+        for k in &keys {
+            // Raw keys are sorted; their FSST forms need not be.
+            b.push_unordered(&table.encode(k), 1024, &mut |bytes: &[u8]| {
+                bytes
+                    .chunks(16)
+                    .map(|c| {
+                        let p = next;
+                        next += 1;
+                        pages.insert(p, c.to_vec());
+                        OverflowRef { page_no: p, len: c.len() as u32 }
+                    })
+                    .collect()
+            });
+        }
+        let bytes = b.finish();
+        let view = ValueBlockView::parse(&bytes).unwrap();
+        let mut fetch = |r: &OverflowRef| Ok(pages[&r.page_no].clone());
+        for (i, k) in keys.iter().enumerate() {
+            // Hits compare compressed bytes; materialized values decompress.
+            assert_eq!(
+                view.find_compressed(k, &table.encode(k), &table, &mut fetch).unwrap(),
+                Ok(i)
+            );
+            let raw = table.decode(&view.materialize(i, &mut fetch).unwrap()).unwrap();
+            assert_eq!(&raw, k);
+        }
+        // Misses land on the raw-order insertion point.
+        for probe in [
+            b"http://example.com/catalog/item/03z".to_vec(),
+            b"aaaa".to_vec(),
+            b"zzzz".to_vec(),
+            b"http://example.com/catalog/item/".to_vec(),
+        ] {
+            let expected = keys.partition_point(|k| k.as_slice() < probe.as_slice());
+            assert_eq!(
+                view.find_compressed(&probe, &table.encode(&probe), &table, &mut fetch).unwrap(),
+                Err(expected),
+                "probe {:?}",
+                String::from_utf8_lossy(&probe)
+            );
+            assert_eq!(
+                view.compare_first_compressed(&probe, &table, &mut fetch).unwrap(),
+                keys[0].cmp(&probe),
+            );
+        }
+    }
+
+    #[test]
+    fn compressed_blocks_with_overflow_fetch_only_when_inconclusive() {
+        use crate::fsst::SymbolTable;
+        let keys: Vec<Vec<u8>> = (0..8u32)
+            .map(|i| {
+                let mut k = format!("warehouse/region-{i:02}/").into_bytes();
+                k.extend(std::iter::repeat_n(b'x', 120));
+                k.extend(format!("-tail{i:02}").into_bytes());
+                k
+            })
+            .collect();
+        let table = SymbolTable::train(&keys);
+        let mut pages = std::collections::HashMap::new();
+        let mut next = 0u64;
+        let mut b = ValueBlockBuilder::new();
+        for k in &keys {
+            b.push_unordered(&table.encode(k), 12, &mut |bytes: &[u8]| {
+                bytes
+                    .chunks(16)
+                    .map(|c| {
+                        let p = next;
+                        next += 1;
+                        pages.insert(p, c.to_vec());
+                        OverflowRef { page_no: p, len: c.len() as u32 }
+                    })
+                    .collect()
+            });
+        }
+        let bytes = b.finish();
+        let view = ValueBlockView::parse(&bytes).unwrap();
+        // Probe diverging inside the on-page compressed prefix: no fetch.
+        let mut fetched = 0usize;
+        {
+            let mut counting = |r: &OverflowRef| {
+                fetched += 1;
+                Ok(pages[&r.page_no].clone())
+            };
+            let probe = b"zzz".to_vec();
+            assert_eq!(
+                view.find_compressed(&probe, &table.encode(&probe), &table, &mut counting)
+                    .unwrap(),
+                Err(keys.len())
+            );
+        }
+        assert_eq!(fetched, 0, "conclusive on-page divergence must not fetch overflow");
+        // Exact hits still resolve (fetch allowed where needed).
+        let mut fetch = |r: &OverflowRef| Ok(pages[&r.page_no].clone());
+        for (i, k) in keys.iter().enumerate() {
+            assert_eq!(
+                view.find_compressed(k, &table.encode(k), &table, &mut fetch).unwrap(),
+                Ok(i),
+                "entry {i}"
+            );
+        }
     }
 }

@@ -147,6 +147,17 @@ declare_names! {
 
     /// Full-column loads performed by resident columns.
     COLUMN_FULL_LOADS = "column_full_loads", labels: [];
+
+    /// Bytes persisted into page chains at build time, by chain codec
+    /// (labelled `pool`, `codec` ∈ plain/fsst/pef).
+    POOL_PAGE_BYTES = "pool_page_bytes", labels: [pool, codec];
+    /// FSST dictionary-chain compression ratio in per-mille — compressed ÷
+    /// raw × 1000 on the training sample; 1000 when FSST was evaluated but
+    /// not applied (gauge, labelled `pool`).
+    DICT_FSST_RATIO = "dict_fsst_ratio", labels: [pool];
+    /// Average partitioned-Elias-Fano bits per posting × 100 for the most
+    /// recently built inverted index (gauge, labelled `pool`).
+    PEF_CHUNK_BITS = "pef_chunk_bits", labels: [pool];
 }
 
 #[cfg(test)]

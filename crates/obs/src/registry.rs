@@ -215,7 +215,15 @@ impl Registry {
     /// # Panics
     /// If `name` is already registered as a different metric kind.
     pub fn gauge(&self, name: &str) -> Gauge {
-        match self.get_or_insert(name, &[], || Metric::Gauge(Gauge::new())) {
+        self.gauge_labeled(name, &[])
+    }
+
+    /// The gauge under `name` with a label set.
+    ///
+    /// # Panics
+    /// If the `(name, labels)` pair is registered as a different kind.
+    pub fn gauge_labeled(&self, name: &str, labels: &[(&str, &str)]) -> Gauge {
+        match self.get_or_insert(name, labels, || Metric::Gauge(Gauge::new())) {
             Metric::Gauge(g) => g,
             m => panic!("metric `{name}` is a {}, not a gauge", m.kind()),
         }

@@ -221,6 +221,10 @@ pub(crate) struct PoolInner {
     /// The resman's registry; this pool's counters live in it under a
     /// `pool="<instance>"` label.
     registry: Registry,
+    /// The value of that `pool` label, kept so structure builders can emit
+    /// their own per-pool series (codec bytes, compression ratios) that
+    /// join this pool's.
+    label: String,
     /// The registry's page-lifecycle tracer (cached: emit is on hot paths).
     pub(crate) tracer: Tracer,
     /// Pin-leak detector (`strict-invariants` only; zero-sized otherwise).
@@ -399,6 +403,7 @@ impl BufferPool {
             metrics: MetricCounters::register(&registry, &pool_label),
             tracer: registry.tracer().clone(),
             registry,
+            label: pool_label,
             pins: PinTracker::new(),
             stage: config.io_stage.and_then(|c| IoStage::start(weak, c)),
         });
@@ -416,6 +421,13 @@ impl BufferPool {
     /// Its tracer carries the pool's page-lifecycle events.
     pub fn registry(&self) -> &Registry {
         &self.inner.registry
+    }
+
+    /// The value of this pool's `pool` metric label. Structure builders use
+    /// it to emit per-pool series (per-codec chain bytes, compression
+    /// ratios) that join the pool's own.
+    pub fn metrics_label(&self) -> &str {
+        &self.inner.label
     }
 
     /// The underlying page store.

@@ -62,6 +62,15 @@ pub trait PageStore: Send + Sync {
     fn drop_chain(&self, chain: ChainId) -> StorageResult<()>;
     /// All existing chains (used when reopening a durable store).
     fn chains(&self) -> Vec<ChainId>;
+    /// Attaches an opaque descriptor blob (codec metadata) to a chain,
+    /// replacing any previous one. Durable stores persist it in a
+    /// fixed-capacity header region reserved at create, so it can be set
+    /// after pages were appended. File chains recovered from descriptorless
+    /// formats (0/1) reject writes.
+    fn set_chain_descriptor(&self, chain: ChainId, desc: &[u8]) -> StorageResult<()>;
+    /// The chain's descriptor: empty for chains that never had one set,
+    /// including files from the pre-descriptor formats 0 and 1.
+    fn chain_descriptor(&self, chain: ChainId) -> StorageResult<Vec<u8>>;
 }
 
 /// Synthetic I/O latency applied by the buffer pool on every page load.
@@ -101,6 +110,7 @@ impl IoProfile {
 struct MemChain {
     page_size: usize,
     pages: Vec<Box<[u8]>>,
+    desc: Vec<u8>,
 }
 
 /// An in-memory page store for tests and latency-controlled experiments.
@@ -124,7 +134,7 @@ impl PageStore for MemStore {
         let id = self.next_id.fetch_add(1, Ordering::Relaxed);
         self.chains
             .lock()
-            .insert(id, MemChain { page_size, pages: Vec::new() });
+            .insert(id, MemChain { page_size, pages: Vec::new(), desc: Vec::new() });
         Ok(ChainId(id))
     }
 
@@ -176,6 +186,19 @@ impl PageStore for MemStore {
         v.sort_unstable();
         v
     }
+
+    fn set_chain_descriptor(&self, chain: ChainId, desc: &[u8]) -> StorageResult<()> {
+        let mut chains = self.chains.lock();
+        let c = chains.get_mut(&chain.0).ok_or(StorageError::UnknownChain(chain.0))?;
+        c.desc = desc.to_vec();
+        Ok(())
+    }
+
+    fn chain_descriptor(&self, chain: ChainId) -> StorageResult<Vec<u8>> {
+        let chains = self.chains.lock();
+        let c = chains.get(&chain.0).ok_or(StorageError::UnknownChain(chain.0))?;
+        Ok(c.desc.clone())
+    }
 }
 
 // ---------------------------------------------------------------------------
@@ -184,30 +207,59 @@ impl PageStore for MemStore {
 
 const FILE_MAGIC: &[u8; 8] = b"PAYGPG01";
 const HEADER_LEN: u64 = 16; // magic(8) + page_size(4) + format(4)
+const HEADER2_LEN: u64 = 24; // HEADER_LEN + desc_cap(4) + desc_len(4)
 
 /// Original layout: raw page slots, no per-page integrity.
 const FORMAT_LEGACY: u32 = 0;
-/// Current layout: every page slot carries an 8-byte checksum trailer.
+/// Checksummed layout: every page slot carries an 8-byte checksum trailer.
 const FORMAT_CHECKSUMMED: u32 = 1;
+/// Described layout: checksummed slots plus a fixed-capacity chain
+/// descriptor region (opaque codec metadata) between the header and slot 0.
+const FORMAT_DESCRIBED: u32 = 2;
 
-/// Per-page trailer in [`FORMAT_CHECKSUMMED`] files: CRC-32 of the
-/// little-endian page number + padded payload (4 bytes, LE), then 4 reserved
-/// zero bytes.
+/// Descriptor capacity reserved in every new chain file. Fixed at create so
+/// the descriptor can be (re)written after pages were appended without
+/// moving any slot. Sized for a serialized FSST symbol table (~2.3 KB worst
+/// case) plus codec framing.
+const DESC_CAP: u32 = 4096;
+
+/// Per-page trailer in checksummed formats: CRC-32 of the little-endian
+/// page number + padded payload (4 bytes, LE), then 4 reserved zero bytes.
 const PAGE_TRAILER_LEN: usize = 8;
 
 struct ChainFile {
     file: File,
     page_size: usize,
     len: u64,
-    /// False only for files recovered from the pre-checksum layout; those
-    /// read without verification for backward compatibility.
-    checksummed: bool,
+    /// On-disk header format: [`FORMAT_LEGACY`], [`FORMAT_CHECKSUMMED`] or
+    /// [`FORMAT_DESCRIBED`].
+    format: u32,
+    /// Descriptor region capacity ([`FORMAT_DESCRIBED`] only, else 0).
+    desc_cap: u32,
+    /// Bytes of the descriptor region currently in use.
+    desc_len: u32,
 }
 
 impl ChainFile {
+    /// Files recovered from the pre-checksum layout read without
+    /// verification for backward compatibility.
+    fn checksummed(&self) -> bool {
+        self.format != FORMAT_LEGACY
+    }
+
     /// On-disk bytes per page: payload plus trailer when checksummed.
     fn slot_len(&self) -> u64 {
-        self.page_size as u64 + if self.checksummed { PAGE_TRAILER_LEN as u64 } else { 0 }
+        self.page_size as u64 + if self.checksummed() { PAGE_TRAILER_LEN as u64 } else { 0 }
+    }
+
+    /// File offset of page slot 0: past the header and, in described files,
+    /// the descriptor region.
+    fn data_start(&self) -> u64 {
+        if self.format == FORMAT_DESCRIBED {
+            HEADER2_LEN + self.desc_cap as u64
+        } else {
+            HEADER_LEN
+        }
     }
 }
 
@@ -266,27 +318,61 @@ impl FileStore {
                 return Err(StorageError::corrupt_file(&path, 8, "zero page size"));
             }
             let format = u32::from_le_bytes([header[12], header[13], header[14], header[15]]);
-            let checksummed = match format {
-                FORMAT_LEGACY => false,
-                FORMAT_CHECKSUMMED => true,
+            let (desc_cap, desc_len) = match format {
+                FORMAT_LEGACY | FORMAT_CHECKSUMMED => (0u32, 0u32),
+                FORMAT_DESCRIBED => {
+                    if file_len < HEADER2_LEN {
+                        return Err(StorageError::corrupt_file(
+                            &path,
+                            HEADER_LEN,
+                            format!(
+                                "file of {file_len} bytes is shorter than the \
+                                 {HEADER2_LEN}-byte described header"
+                            ),
+                        ));
+                    }
+                    let mut ext = [0u8; 8];
+                    file.read_exact(&mut ext)?;
+                    let cap = u32::from_le_bytes([ext[0], ext[1], ext[2], ext[3]]);
+                    let used = u32::from_le_bytes([ext[4], ext[5], ext[6], ext[7]]);
+                    if used > cap {
+                        return Err(StorageError::corrupt_file(
+                            &path,
+                            20,
+                            format!("descriptor length {used} exceeds the {cap}-byte capacity"),
+                        ));
+                    }
+                    (cap, used)
+                }
                 other => {
                     return Err(StorageError::corrupt_file(
                         &path,
                         12,
                         format!(
-                            "unknown format {other}, expected {FORMAT_LEGACY} (legacy) or \
-                             {FORMAT_CHECKSUMMED} (checksummed)"
+                            "unknown format {other}, expected {FORMAT_LEGACY} (legacy), \
+                             {FORMAT_CHECKSUMMED} (checksummed) or {FORMAT_DESCRIBED} (described)"
                         ),
                     ));
                 }
             };
-            let c = ChainFile { file, page_size, len: 0, checksummed };
+            let c = ChainFile { file, page_size, len: 0, format, desc_cap, desc_len };
+            let data_start = c.data_start();
+            if file_len < data_start {
+                return Err(StorageError::corrupt_file(
+                    &path,
+                    16,
+                    format!(
+                        "descriptor capacity {desc_cap} overruns the {file_len}-byte file \
+                         (slots would start at {data_start})"
+                    ),
+                ));
+            }
             let slot = c.slot_len();
-            let body = file_len - HEADER_LEN;
+            let body = file_len - data_start;
             if !body.is_multiple_of(slot) {
                 return Err(StorageError::corrupt_file(
                     &path,
-                    HEADER_LEN,
+                    data_start,
                     format!("body of {body} bytes is not a multiple of the {slot}-byte page slot"),
                 ));
             }
@@ -307,7 +393,7 @@ impl FileStore {
     /// Verifies and trims one raw slot (payload + optional trailer) as read
     /// from disk into a page payload.
     fn verify_slot(c: &ChainFile, key: PageKey, mut slot: Vec<u8>) -> StorageResult<Box<[u8]>> {
-        if c.checksummed {
+        if c.checksummed() {
             let stored = u32::from_le_bytes([
                 slot[c.page_size],
                 slot[c.page_size + 1],
@@ -323,10 +409,19 @@ impl FileStore {
         Ok(slot.into_boxed_slice())
     }
 
+    /// File offset of a chain's page slot 0 (past header and descriptor
+    /// region), and the on-disk slot length in bytes. For tools and chaos
+    /// tests that corrupt or inspect chain files behind the store's back.
+    pub fn chain_layout(&self, chain: ChainId) -> StorageResult<(u64, u64)> {
+        let chains = self.chains.lock();
+        let c = chains.get(&chain.0).ok_or(StorageError::UnknownChain(chain.0))?;
+        Ok((c.data_start(), c.slot_len()))
+    }
+
     /// Reads one in-bounds page's slot (seek + read + verify).
     fn read_slot(c: &mut ChainFile, key: PageKey) -> StorageResult<Box<[u8]>> {
         let mut buf = vec![0u8; c.slot_len() as usize];
-        let offset = HEADER_LEN + key.page_no * c.slot_len();
+        let offset = c.data_start() + key.page_no * c.slot_len();
         c.file.seek(SeekFrom::Start(offset))?;
         c.file.read_exact(&mut buf)?;
         Self::verify_slot(c, key, buf)
@@ -342,14 +437,19 @@ impl PageStore for FileStore {
             .write(true)
             .create_new(true)
             .open(self.chain_path(id))?;
-        let mut header = [0u8; HEADER_LEN as usize];
+        // Header plus a zeroed descriptor region reserved up front, so a
+        // codec descriptor can be attached after pages exist without moving
+        // any slot.
+        let mut header = vec![0u8; (HEADER2_LEN + DESC_CAP as u64) as usize];
         header[..8].copy_from_slice(FILE_MAGIC);
         header[8..12].copy_from_slice(&(page_size as u32).to_le_bytes());
-        header[12..16].copy_from_slice(&FORMAT_CHECKSUMMED.to_le_bytes());
+        header[12..16].copy_from_slice(&FORMAT_DESCRIBED.to_le_bytes());
+        header[16..20].copy_from_slice(&DESC_CAP.to_le_bytes());
         file.write_all(&header)?;
-        self.chains
-            .lock()
-            .insert(id, ChainFile { file, page_size, len: 0, checksummed: true });
+        self.chains.lock().insert(
+            id,
+            ChainFile { file, page_size, len: 0, format: FORMAT_DESCRIBED, desc_cap: DESC_CAP, desc_len: 0 },
+        );
         Ok(ChainId(id))
     }
 
@@ -364,11 +464,11 @@ impl PageStore for FileStore {
         // on the next read.
         let mut slot = vec![0u8; c.slot_len() as usize];
         slot[..payload.len()].copy_from_slice(payload);
-        if c.checksummed {
+        if c.checksummed() {
             let crc = page_checksum(c.len, &slot[..c.page_size]);
             slot[c.page_size..c.page_size + 4].copy_from_slice(&crc.to_le_bytes());
         }
-        let offset = HEADER_LEN + c.len * c.slot_len();
+        let offset = c.data_start() + c.len * c.slot_len();
         c.file.seek(SeekFrom::Start(offset))?;
         c.file.write_all(&slot)?;
         c.len += 1;
@@ -405,7 +505,7 @@ impl PageStore for FileStore {
             let mut buf = vec![0u8; slot * in_bounds];
             let ranged = c
                 .file
-                .seek(SeekFrom::Start(HEADER_LEN + first_page * c.slot_len()))
+                .seek(SeekFrom::Start(c.data_start() + first_page * c.slot_len()))
                 .and_then(|_| c.file.read_exact(&mut buf));
             match ranged {
                 Ok(()) => {
@@ -455,6 +555,42 @@ impl PageStore for FileStore {
         let mut v: Vec<ChainId> = self.chains.lock().keys().map(|&k| ChainId(k)).collect();
         v.sort_unstable();
         v
+    }
+
+    fn set_chain_descriptor(&self, chain: ChainId, desc: &[u8]) -> StorageResult<()> {
+        let mut chains = self.chains.lock();
+        let c = chains.get_mut(&chain.0).ok_or(StorageError::UnknownChain(chain.0))?;
+        if c.format != FORMAT_DESCRIBED {
+            return Err(StorageError::corrupt(format!(
+                "format-{} chain file has no descriptor region",
+                c.format
+            )));
+        }
+        if desc.len() > c.desc_cap as usize {
+            return Err(StorageError::corrupt(format!(
+                "chain descriptor of {} bytes exceeds the {}-byte capacity",
+                desc.len(),
+                c.desc_cap
+            )));
+        }
+        c.file.seek(SeekFrom::Start(HEADER2_LEN))?;
+        c.file.write_all(desc)?;
+        c.file.seek(SeekFrom::Start(20))?;
+        c.file.write_all(&(desc.len() as u32).to_le_bytes())?;
+        c.desc_len = desc.len() as u32;
+        Ok(())
+    }
+
+    fn chain_descriptor(&self, chain: ChainId) -> StorageResult<Vec<u8>> {
+        let mut chains = self.chains.lock();
+        let c = chains.get_mut(&chain.0).ok_or(StorageError::UnknownChain(chain.0))?;
+        if c.format != FORMAT_DESCRIBED || c.desc_len == 0 {
+            return Ok(Vec::new());
+        }
+        let mut buf = vec![0u8; c.desc_len as usize];
+        c.file.seek(SeekFrom::Start(HEADER2_LEN))?;
+        c.file.read_exact(&mut buf)?;
+        Ok(buf)
     }
 }
 
@@ -523,6 +659,12 @@ impl<S: PageStore> PageStore for LatencyStore<S> {
     }
     fn chains(&self) -> Vec<ChainId> {
         self.inner.chains()
+    }
+    fn set_chain_descriptor(&self, chain: ChainId, desc: &[u8]) -> StorageResult<()> {
+        self.inner.set_chain_descriptor(chain, desc)
+    }
+    fn chain_descriptor(&self, chain: ChainId) -> StorageResult<Vec<u8>> {
+        self.inner.chain_descriptor(chain)
     }
 }
 
@@ -626,6 +768,12 @@ impl<S: PageStore> PageStore for TieredStore<S> {
     fn chains(&self) -> Vec<ChainId> {
         self.inner.chains()
     }
+    fn set_chain_descriptor(&self, chain: ChainId, desc: &[u8]) -> StorageResult<()> {
+        self.inner.set_chain_descriptor(chain, desc)
+    }
+    fn chain_descriptor(&self, chain: ChainId) -> StorageResult<Vec<u8>> {
+        self.inner.chain_descriptor(chain)
+    }
 }
 
 // ---------------------------------------------------------------------------
@@ -720,6 +868,12 @@ impl<S: PageStore> PageStore for GateStore<S> {
     }
     fn chains(&self) -> Vec<ChainId> {
         self.inner.chains()
+    }
+    fn set_chain_descriptor(&self, chain: ChainId, desc: &[u8]) -> StorageResult<()> {
+        self.inner.set_chain_descriptor(chain, desc)
+    }
+    fn chain_descriptor(&self, chain: ChainId) -> StorageResult<Vec<u8>> {
+        self.inner.chain_descriptor(chain)
     }
 }
 
@@ -951,6 +1105,12 @@ impl<S: PageStore> PageStore for FaultyStore<S> {
     fn chains(&self) -> Vec<ChainId> {
         self.inner.chains()
     }
+    fn set_chain_descriptor(&self, chain: ChainId, desc: &[u8]) -> StorageResult<()> {
+        self.inner.set_chain_descriptor(chain, desc)
+    }
+    fn chain_descriptor(&self, chain: ChainId) -> StorageResult<Vec<u8>> {
+        self.inner.chain_descriptor(chain)
+    }
 }
 
 #[cfg(test)]
@@ -970,6 +1130,14 @@ mod tests {
         assert!(page[5..].iter().all(|&b| b == 0), "padded with zeros");
         let page = store.read_page(PageKey::new(c, 1)).unwrap();
         assert!(page.iter().all(|&b| b == 0xAB));
+        // Chain descriptors: empty until set, replaceable, settable with
+        // pages already appended.
+        assert!(store.chain_descriptor(c).unwrap().is_empty());
+        store.set_chain_descriptor(c, b"codec v1").unwrap();
+        assert_eq!(store.chain_descriptor(c).unwrap(), b"codec v1");
+        store.set_chain_descriptor(c, b"v2").unwrap();
+        assert_eq!(store.chain_descriptor(c).unwrap(), b"v2");
+        assert_eq!(&store.read_page(PageKey::new(c, 0)).unwrap()[..5], b"hello");
         // Bounds and size violations.
         assert!(matches!(
             store.read_page(PageKey::new(c, 2)),
@@ -981,6 +1149,7 @@ mod tests {
         ));
         store.drop_chain(c).unwrap();
         assert!(matches!(store.chain_len(c), Err(StorageError::UnknownChain(_))));
+        assert!(matches!(store.chain_descriptor(c), Err(StorageError::UnknownChain(_))));
     }
 
     #[test]
@@ -1017,6 +1186,35 @@ mod tests {
         // New chains after reopen don't collide with recovered ids.
         let c3 = store.create_chain(32).unwrap();
         assert!(c3.0 > c2.0);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    /// Descriptors persist in the chain file's reserved header region: they
+    /// survive reopen, can be written after pages exist, and never disturb
+    /// the page slots around them.
+    #[test]
+    fn file_store_chain_descriptors_survive_reopen() {
+        let dir = std::env::temp_dir().join(format!("payg-desc-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let c;
+        {
+            let store = FileStore::open(&dir).unwrap();
+            c = store.create_chain(32).unwrap();
+            store.append_page(c, b"page zero").unwrap();
+            // Set with a page already on disk, then shrink it.
+            store.set_chain_descriptor(c, b"fsst table bytes").unwrap();
+            store.set_chain_descriptor(c, b"pef").unwrap();
+            // Oversized descriptors are refused, leaving the old one intact.
+            assert!(matches!(
+                store.set_chain_descriptor(c, &vec![0u8; DESC_CAP as usize + 1]),
+                Err(StorageError::Corrupt(d)) if d.contains("exceeds")
+            ));
+            store.append_page(c, b"page one").unwrap();
+        }
+        let store = FileStore::open(&dir).unwrap();
+        assert_eq!(store.chain_descriptor(c).unwrap(), b"pef");
+        assert_eq!(&store.read_page(PageKey::new(c, 0)).unwrap()[..9], b"page zero");
+        assert_eq!(&store.read_page(PageKey::new(c, 1)).unwrap()[..8], b"page one");
         std::fs::remove_dir_all(&dir).unwrap();
     }
 
@@ -1124,6 +1322,24 @@ mod tests {
         let mut torn = good.clone();
         torn.extend_from_slice(&[0u8; 17]); // not a multiple of the 40-byte slot
         expect(&torn, HEADER_LEN, "not a multiple");
+
+        // Described-format (2) headers get the same treatment.
+        let mut described = good.clone();
+        described[12..16].copy_from_slice(&FORMAT_DESCRIBED.to_le_bytes());
+        expect(&described, 16, "shorter than"); // missing desc_cap/desc_len
+        let mut bad_desc_len = described.clone();
+        bad_desc_len.extend_from_slice(&8u32.to_le_bytes()); // desc_cap = 8
+        bad_desc_len.extend_from_slice(&9u32.to_le_bytes()); // desc_len = 9 > cap
+        expect(&bad_desc_len, 20, "exceeds");
+        let mut overrun = described.clone();
+        overrun.extend_from_slice(&64u32.to_le_bytes()); // desc_cap = 64...
+        overrun.extend_from_slice(&0u32.to_le_bytes()); // ...but the file ends at 24
+        expect(&overrun, 16, "overruns");
+        let mut torn2 = described.clone();
+        torn2.extend_from_slice(&8u32.to_le_bytes());
+        torn2.extend_from_slice(&0u32.to_le_bytes());
+        torn2.extend_from_slice(&[0u8; 8 + 17]); // desc region + a torn slot
+        expect(&torn2, HEADER2_LEN + 8, "not a multiple");
         std::fs::remove_dir_all(&dir).unwrap();
     }
 
@@ -1144,7 +1360,8 @@ mod tests {
         let path = store.chain_path(c.0);
         let mut bytes = std::fs::read(&path).unwrap();
         let slot = 32 + PAGE_TRAILER_LEN;
-        bytes[HEADER_LEN as usize + slot + 3] ^= 0x40;
+        let data_start = (HEADER2_LEN + DESC_CAP as u64) as usize;
+        bytes[data_start + slot + 3] ^= 0x40;
         std::fs::write(&path, &bytes).unwrap();
 
         match store.read_page(key) {
@@ -1185,6 +1402,13 @@ mod tests {
         assert_eq!(store.chain_len(c).unwrap(), 1);
         let page = store.read_page(PageKey::new(c, 0)).unwrap();
         assert_eq!(&page[..], b"legacy page 0...");
+        // Descriptorless formats read as "no descriptor" and reject writes —
+        // there is no reserved region to write into.
+        assert!(store.chain_descriptor(c).unwrap().is_empty());
+        assert!(matches!(
+            store.set_chain_descriptor(c, b"codec"),
+            Err(StorageError::Corrupt(d)) if d.contains("no descriptor region")
+        ));
         // New chains created alongside are checksummed from birth.
         let fresh = store.create_chain(16).unwrap();
         store.append_page(fresh, b"fresh").unwrap();
@@ -1231,7 +1455,8 @@ mod tests {
         let path = store.chain_path(c.0);
         let mut bytes = std::fs::read(&path).unwrap();
         let slot = 32 + PAGE_TRAILER_LEN;
-        bytes[HEADER_LEN as usize + 2 * slot + 7] ^= 0x10;
+        let data_start = (HEADER2_LEN + DESC_CAP as u64) as usize;
+        bytes[data_start + 2 * slot + 7] ^= 0x10;
         std::fs::write(&path, &bytes).unwrap();
 
         let results = store.read_pages(c, 0, 7);

@@ -119,6 +119,7 @@ impl Table {
         ] {
             w.u64(v as u64);
         }
+        w.u64((cfg.dict_fsst as u64) | ((cfg.pef_postings as u64) << 1));
         // Partitions.
         w.u64(self.partitions().len() as u64);
         for p in self.partitions() {
@@ -224,6 +225,7 @@ impl Table {
         for v in &mut cfg_vals {
             *v = r.u64().map_err(TableError::Core)?;
         }
+        let cfg_flags = r.u64().map_err(TableError::Core)?;
         let config = PageConfig {
             datavec_page: cfg_vals[0] as usize,
             dict_page: cfg_vals[1] as usize,
@@ -231,6 +233,8 @@ impl Table {
             helper_page: cfg_vals[3] as usize,
             index_page: cfg_vals[4] as usize,
             inline_limit: cfg_vals[5] as usize,
+            dict_fsst: cfg_flags & 1 != 0,
+            pef_postings: cfg_flags & 2 != 0,
         };
         // Partitions.
         let nparts = r.read_len().map_err(TableError::Core)?;

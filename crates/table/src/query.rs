@@ -13,7 +13,7 @@ use crate::schema::Row;
 use crate::table::Table;
 use crate::{TableError, TableResult};
 use payg_core::column::ColumnRead;
-use payg_core::{DataType, Value, ValuePredicate};
+use payg_core::{DataType, ScanPath, Value, ValuePredicate};
 
 /// What a query returns.
 #[derive(Debug, Clone, PartialEq)]
@@ -127,6 +127,21 @@ impl Table {
         let mut profile = payg_obs::ScanProfile::from_delta(&after.delta(&before));
         profile.elapsed_ns = elapsed_ns;
         Ok((result, profile))
+    }
+
+    /// The scan strategy `q`'s filter resolves to on each partition's main
+    /// fragment: [`ScanPath::CompressedDomain`] where the codec dispatch
+    /// seam will run the probe on compressed bytes (PEF `next_geq` over
+    /// posting partitions), [`ScanPath::DecodeThenScan`] otherwise
+    /// (resident columns, plain chains, range shapes, no filter). Purely
+    /// informational — [`Table::execute`] consults the same seam per
+    /// postinglist; this surfaces the decision for tests and benches.
+    pub fn scan_plan(&self, q: &Query) -> TableResult<Vec<ScanPath>> {
+        let Some((name, pred)) = &q.filter else {
+            return Ok(vec![ScanPath::DecodeThenScan; self.partitions().len()]);
+        };
+        let col = self.schema().column_index(name)?;
+        Ok(self.partitions().iter().map(|p| p.main().column(col).scan_path(pred)).collect())
     }
 
     /// Executes a query.
@@ -523,6 +538,104 @@ mod tests {
             QueryResult::RowIds(ids) => assert_eq!(ids, vec![42]),
             other => panic!("{other:?}"),
         }
+    }
+
+    #[test]
+    fn scan_plan_reports_compressed_domain_per_codec() {
+        // An indexed column under the default config carries PEF postings:
+        // point and set probes run in the compressed domain, ranges decode.
+        let schema = Schema::new(vec![
+            ColumnSpec::indexed("id", DataType::Integer),
+            ColumnSpec::new("region", DataType::Varchar),
+        ])
+        .unwrap();
+        let pool = BufferPool::new(Arc::new(MemStore::new()), ResourceManager::new());
+        let mut t = Table::create(
+            pool,
+            PageConfig::tiny(),
+            schema,
+            vec![PartitionSpec::single(LoadPolicy::PageLoadable)],
+        )
+        .unwrap();
+        for i in 0..500i64 {
+            t.insert(vec![Value::Integer(i), Value::Varchar(format!("r-{}", i % 7))]).unwrap();
+        }
+        t.delta_merge_all().unwrap();
+        let point = Query::filtered("id", ValuePredicate::Eq(Value::Integer(7)), Projection::Count);
+        assert_eq!(t.scan_plan(&point).unwrap(), vec![ScanPath::CompressedDomain]);
+        let set = Query::filtered(
+            "id",
+            ValuePredicate::In(vec![Value::Integer(3), Value::Integer(11)]),
+            Projection::Count,
+        );
+        assert_eq!(t.scan_plan(&set).unwrap(), vec![ScanPath::CompressedDomain]);
+        let range = Query::filtered(
+            "id",
+            ValuePredicate::Between(Value::Integer(3), Value::Integer(9)),
+            Projection::Count,
+        );
+        assert_eq!(t.scan_plan(&range).unwrap(), vec![ScanPath::DecodeThenScan]);
+        // Unindexed columns and missing filters always decode-then-scan.
+        let unindexed = Query::filtered(
+            "region",
+            ValuePredicate::Eq(Value::Varchar("r-1".into())),
+            Projection::Count,
+        );
+        assert_eq!(t.scan_plan(&unindexed).unwrap(), vec![ScanPath::DecodeThenScan]);
+        let full = Query::full(Projection::Count);
+        assert_eq!(t.scan_plan(&full).unwrap(), vec![ScanPath::DecodeThenScan]);
+    }
+
+    #[test]
+    fn compressed_domain_execution_matches_decode_then_scan() {
+        // Same rows through a PEF-postings table and a bit-packed one:
+        // every query shape returns identical results, while the plans
+        // differ on point probes.
+        let build = |pef: bool| {
+            let schema = Schema::new(vec![
+                ColumnSpec::indexed("id", DataType::Integer),
+                ColumnSpec::new("region", DataType::Varchar),
+            ])
+            .unwrap();
+            let pool = BufferPool::new(Arc::new(MemStore::new()), ResourceManager::new());
+            let config = PageConfig { pef_postings: pef, ..PageConfig::tiny() };
+            let mut t = Table::create(
+                pool,
+                config,
+                schema,
+                vec![PartitionSpec::single(LoadPolicy::PageLoadable)],
+            )
+            .unwrap();
+            for i in 0..400i64 {
+                t.insert(vec![Value::Integer(i % 50), Value::Varchar(format!("r-{}", i % 3))])
+                    .unwrap();
+            }
+            t.delta_merge_all().unwrap();
+            t
+        };
+        let (pef, plain) = (build(true), build(false));
+        let queries = [
+            Query::filtered("id", ValuePredicate::Eq(Value::Integer(17)), Projection::All),
+            Query::filtered(
+                "id",
+                ValuePredicate::In(vec![Value::Integer(3), Value::Integer(42)]),
+                Projection::RowIds,
+            ),
+            Query::filtered(
+                "id",
+                ValuePredicate::Between(Value::Integer(10), Value::Integer(20)),
+                Projection::Count,
+            ),
+        ];
+        assert_eq!(t_plan(&pef, &queries[0]), ScanPath::CompressedDomain);
+        assert_eq!(t_plan(&plain, &queries[0]), ScanPath::DecodeThenScan);
+        for q in &queries {
+            assert_eq!(pef.execute(q).unwrap(), plain.execute(q).unwrap());
+        }
+    }
+
+    fn t_plan(t: &Table, q: &Query) -> ScanPath {
+        t.scan_plan(q).unwrap()[0]
     }
 
     #[test]

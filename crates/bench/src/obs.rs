@@ -43,6 +43,8 @@ pub fn obs_json(snap: &ObsSnapshot, profile: Option<&ScanProfile>, indent: &str)
         format!("\"io_coalesced\": {}", snap.counter(names::POOL_IO_COALESCED)),
         format!("\"io_completions\": {}", snap.counter(names::POOL_IO_COMPLETIONS)),
         format!("\"io_physical_reads\": {}", snap.counter(names::POOL_IO_PHYSICAL_READS)),
+        format!("\"io_sheds\": {}", snap.counter(names::POOL_IO_SHED)),
+        format!("\"trace_dropped\": {}", snap.counter(names::TRACE_DROPPED)),
     ];
     if let Some(p) = profile {
         entries.push(format!("\"scan_profile\": {}", p.to_json()));
@@ -76,6 +78,8 @@ mod tests {
         assert!(json.contains("\"pin_ns_p99\": 65535"), "{json}");
         assert!(json.contains("\"load_ns_p50\": 0"), "cold histogram empty here: {json}");
         assert!(json.contains("\"io_physical_reads\": 0"), "{json}");
+        assert!(json.contains("\"io_sheds\": 0"), "{json}");
+        assert!(json.contains("\"trace_dropped\": 0"), "{json}");
         assert!(json.contains("\"scan_profile\": {\"pages_pinned\": 0"), "{json}");
         assert!(!json.contains(",\n  }"), "no trailing comma: {json}");
     }

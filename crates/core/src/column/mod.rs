@@ -96,6 +96,16 @@ impl Column {
         }
     }
 
+    /// The store chains backing this column, labeled by role (`data`,
+    /// `dict*`, `index`). Both load modes persist the same chains, so
+    /// EXPLAIN ANALYZE can attribute traced page events either way.
+    pub fn chains(&self) -> Vec<(&'static str, u64)> {
+        match self {
+            Column::Resident(c) => c.parts().chains(),
+            Column::Paged(c) => c.parts().chains(),
+        }
+    }
+
     /// The strategy a row search for `pred` runs with. Resident columns
     /// always decode-then-scan — their image is already decompressed in
     /// memory — so only page-loadable columns consult the dispatch seam.

@@ -101,6 +101,16 @@ impl ColumnParts {
             }
         }
     }
+
+    /// The store chains backing this column, labeled by role.
+    pub(crate) fn chains(&self) -> Vec<(&'static str, u64)> {
+        let mut out = vec![("data", self.data.chain_id())];
+        out.extend(self.dict.chains());
+        if let Some(i) = self.index.current() {
+            out.push(("index", i.chain_id()));
+        }
+        out
+    }
 }
 
 /// A column whose structures are loaded page by page on demand. Its
@@ -149,6 +159,13 @@ impl PagedColumn {
             Some(i) => dispatch::choose(i.codec_kind(), probe_shape(pred)),
             None => ScanPath::DecodeThenScan,
         }
+    }
+
+    /// The store chains backing this column, labeled by role (`data`,
+    /// `dict*`, `index`) — lets EXPLAIN ANALYZE group traced page events
+    /// back to the structure that owns the touched pages.
+    pub fn chains(&self) -> Vec<(&'static str, u64)> {
+        self.parts.chains()
     }
 
     fn vid_set_cached(&self, pred: &ValuePredicate, cache: &mut HandleCache) -> CoreResult<VidSet> {
@@ -224,6 +241,13 @@ impl PagedColumn {
             // the classic decode path.
             Some(index) => {
                 let path = dispatch::choose(index.codec_kind(), probe_shape(pred));
+                // Flight recorder: one chunk-dispatch span covers the whole
+                // index traversal; `detail` records which path `choose`
+                // picked (1 = compressed-domain, 0 = decode-then-scan).
+                let _span = self.parts.pool.registry().tracer().span(
+                    payg_obs::SpanKind::ChunkDispatch,
+                    matches!(path, ScanPath::CompressedDomain) as u64,
+                );
                 let mut it = index.iter();
                 for vid in set.iter() {
                     match path {

@@ -152,6 +152,12 @@ impl PagedDataVector {
         self.meta.chain.pages
     }
 
+    /// The store chain id holding this vector's pages — for attributing
+    /// traced page events back to the structure that owns them.
+    pub fn chain_id(&self) -> u64 {
+        self.meta.chain.chain.0
+    }
+
     /// The logical page number holding `rpos` (`None` at width 0, where no
     /// pages exist).
     pub fn page_of(&self, rpos: u64) -> Option<u64> {

@@ -23,7 +23,7 @@ use crate::datavec::PagedDataVector;
 use crate::{CoreError, CoreResult};
 use payg_encoding::chunk::CHUNK_LEN;
 use payg_encoding::{scan, BitPackedVec, VidSet};
-use payg_obs::ScanProfile;
+use payg_obs::{QueryCtx, ScanProfile, SpanKind};
 use payg_storage::Prefetcher;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::time::Instant;
@@ -357,6 +357,12 @@ impl PagedDataVector {
             return Ok((out, profile));
         }
         let before = self.pool().metrics();
+        // Flight recorder: each worker's partition runs under its own
+        // scan-partition span, parented to whatever query span the caller
+        // has open. The context must be captured here — thread locals do
+        // not follow `std::thread::scope`.
+        let tracer = self.pool().registry().tracer();
+        let ctx = QueryCtx::current(tracer);
         let started = Instant::now();
         if self.width().bits() == 0 {
             let mut it = self.iter();
@@ -383,6 +389,7 @@ impl PagedDataVector {
             match parts.as_slice() {
                 [] => {}
                 [only] => {
+                    let _span = ctx.enter(tracer, SpanKind::ScanPartition, only.from);
                     let (segment, p) =
                         scan_partition_worker(self, *only, set, opts.prefetch, cancel)?;
                     out = segment;
@@ -393,6 +400,8 @@ impl PagedDataVector {
                         .iter()
                         .map(|&part| {
                             s.spawn(move || {
+                                let _span =
+                                    ctx.enter(tracer, SpanKind::ScanPartition, part.from);
                                 scan_partition_worker(self, part, set, opts.prefetch, cancel)
                             })
                         })
@@ -413,6 +422,9 @@ impl PagedDataVector {
         let after = self.pool().metrics();
         profile.cold_loads = after.loads - before.loads;
         profile.warm_hits = after.hits - before.hits;
+        profile.io_batches = after.io_physical_reads - before.io_physical_reads;
+        profile.io_coalesced_pages = after.io_coalesced - before.io_coalesced;
+        profile.io_queue_sheds = after.io_shed - before.io_shed;
         self.scan.scan_ns.record(profile.elapsed_ns);
         Ok((out, profile))
     }
@@ -442,13 +454,23 @@ impl PagedDataVector {
         let parts = scan_partitions(self, from, to, Some(set), workers);
         let cancel = AtomicBool::new(false);
         let cancel = &cancel;
+        let tracer = self.pool().registry().tracer();
+        let ctx = QueryCtx::current(tracer);
         match parts.as_slice() {
             [] => Ok(0),
-            [only] => count_partition_worker(self, *only, set, cancel),
+            [only] => {
+                let _span = ctx.enter(tracer, SpanKind::ScanPartition, only.from);
+                count_partition_worker(self, *only, set, cancel)
+            }
             many => std::thread::scope(|s| {
                 let handles: Vec<_> = many
                     .iter()
-                    .map(|&part| s.spawn(move || count_partition_worker(self, part, set, cancel)))
+                    .map(|&part| {
+                        s.spawn(move || {
+                            let _span = ctx.enter(tracer, SpanKind::ScanPartition, part.from);
+                            count_partition_worker(self, part, set, cancel)
+                        })
+                    })
                     .collect();
                 let mut total = 0u64;
                 for h in handles {

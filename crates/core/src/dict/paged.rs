@@ -433,6 +433,17 @@ impl PagedDictionary {
         self.meta.cardinality
     }
 
+    /// The store chain ids backing this dictionary, labeled by role — for
+    /// attributing traced page events back to the structure that owns them.
+    pub fn chains(&self) -> [(&'static str, u64); 4] {
+        [
+            ("dict", self.meta.dict_chain.chain.0),
+            ("dict-overflow", self.meta.overflow_chain.chain.0),
+            ("dict-vid-helper", self.meta.vid_helper_chain.chain.0),
+            ("dict-value-helper", self.meta.value_helper_chain.chain.0),
+        ]
+    }
+
     /// The codec the dictionary chain's value blocks are stored in.
     pub fn codec_kind(&self) -> CodecKind {
         if self.meta.fsst.is_some() {

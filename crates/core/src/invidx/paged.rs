@@ -373,6 +373,12 @@ impl PagedInvertedIndex {
         self.meta.codec
     }
 
+    /// The store chain id holding this index's pages (postings, skip
+    /// table, directory) — for attributing traced page events.
+    pub fn chain_id(&self) -> u64 {
+        self.meta.chain.chain.0
+    }
+
     /// Creates a lookup iterator (`getFirstRowPos` / `getNextRowPos`).
     pub fn iter(&self) -> PagedIndexIterator<'_> {
         PagedIndexIterator {

@@ -18,10 +18,16 @@
 //!   is one relaxed load. Enabled, events carry a global sequence number so
 //!   a drain can reconstruct the exact system-wide order of loads, pins,
 //!   and evictions.
+//! - [`Span`]: hierarchical query spans (query → scan-partition →
+//!   page-wait/io-batch → chunk-dispatch) recorded by the same tracer into
+//!   a separate bounded side store, with a [`QueryCtx`] for carrying the
+//!   parent across worker threads. Events emitted under an open span are
+//!   tagged with its id, which is how page provenance (who caused this
+//!   load?) is reconstructed.
 //! - [`ScanProfile`]: a plain per-scan cost breakdown (pages pinned,
 //!   guard-cache hits, chunks scanned, kernel dispatch width, match count,
-//!   cold/warm split) filled in by scan iterators and mergeable across
-//!   parallel workers.
+//!   cold/warm split, io-stage batching) filled in by scan iterators and
+//!   mergeable across parallel workers.
 //!
 //! Metric names used by the engine crates live in [`names`] so producers
 //! and consumers (benches, exporters, [`ScanProfile::from_delta`]) agree on
@@ -33,6 +39,7 @@
 mod hist;
 mod profile;
 mod registry;
+mod span;
 mod trace;
 
 pub mod names;
@@ -40,4 +47,5 @@ pub mod names;
 pub use hist::{Histogram, HistogramSnapshot, HIST_BUCKETS};
 pub use profile::ScanProfile;
 pub use registry::{Counter, Gauge, MetricValue, ObsSnapshot, Registry};
+pub use span::{QueryCtx, Span, SpanKind, SpanRecord, SPAN_STORE_CAPACITY};
 pub use trace::{EventKind, PageEvent, Tracer, TRACE_RING_CAPACITY};

@@ -100,6 +100,10 @@ declare_names! {
     POOL_IO_BATCH_PAGES = "pool_io_batch_pages", labels: [pool];
     /// Submission-queue depth sampled at each submit (labelled `pool`).
     POOL_IO_QUEUE_DEPTH = "pool_io_queue_depth", labels: [pool];
+    /// Prefetch submissions shed because the I/O stage's bounded queue was
+    /// at capacity or closed (labelled `pool`). Urgent submissions are
+    /// never shed.
+    POOL_IO_SHED = "pool_io_shed", labels: [pool];
 
     /// Bytes currently registered with the resource manager (gauge).
     RESMAN_TOTAL_BYTES = "resman_total_bytes", labels: [];
@@ -158,6 +162,11 @@ declare_names! {
     /// Average partitioned-Elias-Fano bits per posting × 100 for the most
     /// recently built inverted index (gauge, labelled `pool`).
     PEF_CHUNK_BITS = "pef_chunk_bits", labels: [pool];
+
+    /// Trace events overwritten because a per-thread ring was full —
+    /// injected into snapshots by the registry from the tracer's drop
+    /// counts, so ring overflow is visible instead of silent.
+    TRACE_DROPPED = "trace_dropped", labels: [];
 }
 
 #[cfg(test)]

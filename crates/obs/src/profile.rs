@@ -28,6 +28,16 @@ pub struct ScanProfile {
     /// Pool pins served by already-resident frames during the scan (warm
     /// half; filled by the profiled entry points).
     pub warm_hits: u64,
+    /// Physical reads issued by the cold-path I/O stage during the scan —
+    /// coalesced ranged reads count once however many pages they cover
+    /// (filled by the profiled entry points).
+    pub io_batches: u64,
+    /// Requests whose page rode a multi-page coalesced read instead of
+    /// its own positioned read (filled by the profiled entry points).
+    pub io_coalesced_pages: u64,
+    /// Prefetch submissions shed by the I/O stage's bounded queue (filled
+    /// by the profiled entry points).
+    pub io_queue_sheds: u64,
     /// Wall-clock duration of the scan in nanoseconds (profiled entry
     /// points only).
     pub elapsed_ns: u64,
@@ -46,6 +56,9 @@ impl ScanProfile {
         self.bitmap_matches += other.bitmap_matches;
         self.cold_loads += other.cold_loads;
         self.warm_hits += other.warm_hits;
+        self.io_batches += other.io_batches;
+        self.io_coalesced_pages += other.io_coalesced_pages;
+        self.io_queue_sheds += other.io_queue_sheds;
         self.elapsed_ns = self.elapsed_ns.max(other.elapsed_ns);
     }
 
@@ -63,6 +76,9 @@ impl ScanProfile {
             bitmap_matches: d.counter(names::SCAN_BITMAP_MATCHES),
             cold_loads: d.counter(names::POOL_LOADS),
             warm_hits: d.counter(names::POOL_SHARD_HITS),
+            io_batches: d.counter(names::POOL_IO_PHYSICAL_READS),
+            io_coalesced_pages: d.counter(names::POOL_IO_COALESCED),
+            io_queue_sheds: d.counter(names::POOL_IO_SHED),
             elapsed_ns: 0,
         }
     }
@@ -72,7 +88,8 @@ impl ScanProfile {
         format!(
             "{{\"pages_pinned\": {}, \"guard_cache_hits\": {}, \"pages_pruned\": {}, \
              \"chunks_scanned\": {}, \"dispatch_width\": {}, \"bitmap_matches\": {}, \
-             \"cold_loads\": {}, \"warm_hits\": {}, \"elapsed_ns\": {}}}",
+             \"cold_loads\": {}, \"warm_hits\": {}, \"io_batches\": {}, \
+             \"io_coalesced_pages\": {}, \"io_queue_sheds\": {}, \"elapsed_ns\": {}}}",
             self.pages_pinned,
             self.guard_cache_hits,
             self.pages_pruned,
@@ -81,6 +98,9 @@ impl ScanProfile {
             self.bitmap_matches,
             self.cold_loads,
             self.warm_hits,
+            self.io_batches,
+            self.io_coalesced_pages,
+            self.io_queue_sheds,
             self.elapsed_ns,
         )
     }
@@ -108,6 +128,9 @@ mod tests {
             chunks_scanned: 7,
             dispatch_width: 17,
             bitmap_matches: 4,
+            io_batches: 2,
+            io_coalesced_pages: 6,
+            io_queue_sheds: 1,
             elapsed_ns: 60,
             ..Default::default()
         };
@@ -117,6 +140,9 @@ mod tests {
         assert_eq!(a.chunks_scanned, 12);
         assert_eq!(a.dispatch_width, 17);
         assert_eq!(a.bitmap_matches, 7);
+        assert_eq!(a.io_batches, 2);
+        assert_eq!(a.io_coalesced_pages, 6);
+        assert_eq!(a.io_queue_sheds, 1);
         assert_eq!(a.elapsed_ns, 100);
     }
 
@@ -131,6 +157,9 @@ mod tests {
         reg.counter_labeled(crate::names::POOL_LOADS, &[("pool", "0")]).add(3);
         reg.counter_labeled(crate::names::POOL_SHARD_HITS, &[("pool", "0"), ("shard", "1")])
             .add(5);
+        reg.counter_labeled(crate::names::POOL_IO_PHYSICAL_READS, &[("pool", "0")]).add(6);
+        reg.counter_labeled(crate::names::POOL_IO_COALESCED, &[("pool", "0")]).add(11);
+        reg.counter_labeled(crate::names::POOL_IO_SHED, &[("pool", "0")]).add(2);
         let p = ScanProfile::from_delta(&reg.snapshot());
         assert_eq!(p.pages_pinned, 4);
         assert_eq!(p.guard_cache_hits, 9);
@@ -139,7 +168,11 @@ mod tests {
         assert_eq!(p.dispatch_width, 17);
         assert_eq!(p.cold_loads, 3);
         assert_eq!(p.warm_hits, 5);
+        assert_eq!(p.io_batches, 6);
+        assert_eq!(p.io_coalesced_pages, 11);
+        assert_eq!(p.io_queue_sheds, 2);
         let json = p.to_json();
         assert!(json.contains("\"pages_pinned\": 4"), "{json}");
+        assert!(json.contains("\"io_batches\": 6"), "{json}");
     }
 }

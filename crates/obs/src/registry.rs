@@ -256,10 +256,13 @@ impl Registry {
         self.counter(&format!("__instances_{kind}")).add(1) - 1
     }
 
-    /// Captures every (non-hidden) metric's current value.
+    /// Captures every (non-hidden) metric's current value, plus a
+    /// [`crate::names::TRACE_DROPPED`] counter row reflecting the tracer's
+    /// ring-overflow drop counts (only once events have been dropped, so
+    /// quiet registries stay empty).
     pub fn snapshot(&self) -> ObsSnapshot {
         let map = self.inner.metrics.lock().unwrap_or_else(|e| e.into_inner());
-        let entries = map
+        let mut entries: Vec<MetricEntry> = map
             .iter()
             .filter(|((name, _), _)| !name.starts_with("__"))
             .map(|((name, labels), m)| MetricEntry {
@@ -272,6 +275,16 @@ impl Registry {
                 },
             })
             .collect();
+        drop(map);
+        let dropped = self.inner.tracer.dropped();
+        if dropped > 0 {
+            entries.push(MetricEntry {
+                name: crate::names::TRACE_DROPPED.to_string(),
+                labels: String::new(),
+                value: MetricValue::Counter(dropped),
+            });
+            entries.sort_by(|a, b| (&a.name, &a.labels).cmp(&(&b.name, &b.labels)));
+        }
         ObsSnapshot { entries }
     }
 }
@@ -562,6 +575,24 @@ mod tests {
         assert_eq!(reg.next_instance("other"), 0);
         assert!(reg.snapshot().is_empty(), "__ names are hidden");
         assert!(!reg.snapshot().to_json().contains("__instances"));
+    }
+
+    #[test]
+    fn snapshot_surfaces_tracer_ring_overflow() {
+        let reg = Registry::new();
+        assert!(reg.snapshot().is_empty(), "no drops, no synthetic row");
+        let t = reg.tracer().clone();
+        t.enable();
+        for i in 0..(crate::TRACE_RING_CAPACITY as u64 + 5) {
+            t.emit(crate::EventKind::PagePinned, 0, i, 0);
+        }
+        let s = reg.snapshot();
+        assert_eq!(s.counter(crate::names::TRACE_DROPPED), 5);
+        assert!(s.to_prometheus_text().contains("trace_dropped 5"));
+        // Drain keeps the drop counts, so the row is monotonic and
+        // delta-friendly.
+        t.drain();
+        assert_eq!(reg.snapshot().counter(crate::names::TRACE_DROPPED), 5);
     }
 
     #[test]

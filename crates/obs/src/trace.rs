@@ -21,6 +21,8 @@ use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, OnceLock};
 use std::time::Instant;
 
+use crate::span::{self, SpanRecord, SPAN_STORE_CAPACITY};
+
 /// Events a ring buffer holds before overwriting the oldest.
 pub const TRACE_RING_CAPACITY: usize = 65_536;
 
@@ -46,6 +48,11 @@ pub enum EventKind {
     /// The I/O stage completed one fetch request (`bytes` is the page size
     /// on success, 0 on failure).
     IoCompleted,
+    /// A load attempt was re-issued after a transient store fault
+    /// (`bytes` is 1 when the retry ran inside the I/O stage, 0 inline).
+    LoadRetried,
+    /// A page entered per-shard quarantine after a permanent load failure.
+    PageQuarantined,
 }
 
 /// One traced page-lifecycle event.
@@ -63,6 +70,14 @@ pub struct PageEvent {
     pub seq: u64,
     /// Nanoseconds since the tracer was created (monotonic clock).
     pub ts_ns: u64,
+    /// Id of the span this event happened under (0 = none): the calling
+    /// thread's current span for plain emits, the originating request's
+    /// span for tagged emits from I/O worker threads.
+    pub span: u64,
+    /// Kind-specific extra id (0 = none): the I/O batch id on
+    /// `IoBatchIssued`/`IoCompleted`, linking every beneficiary request
+    /// of a coalesced read back to the one physical read that served it.
+    pub aux: u64,
 }
 
 struct Ring {
@@ -72,6 +87,11 @@ struct Ring {
 
 struct ThreadRing {
     data: Mutex<Ring>,
+}
+
+struct SpanStore {
+    recs: Vec<SpanRecord>,
+    dropped: u64,
 }
 
 struct TracerInner {
@@ -84,6 +104,9 @@ struct TracerInner {
     origin: Instant,
     capacity: usize,
     rings: Mutex<Vec<Arc<ThreadRing>>>,
+    /// Closed spans, kept apart from the event rings so parent links
+    /// survive ring overflow (see [`crate::span`]).
+    spans: Mutex<SpanStore>,
 }
 
 thread_local! {
@@ -126,6 +149,7 @@ impl Tracer {
                 origin: Instant::now(),
                 capacity: capacity.max(1),
                 rings: Mutex::new(Vec::new()),
+                spans: Mutex::new(SpanStore { recs: Vec::new(), dropped: 0 }),
             }),
         }
     }
@@ -146,21 +170,42 @@ impl Tracer {
         self.inner.enabled.load(Ordering::Relaxed)
     }
 
-    /// Records an event. When the tracer is disabled — the default — this
-    /// is one relaxed load and a branch.
+    /// Records an event tagged with the calling thread's current span.
+    /// When the tracer is disabled — the default — this is one relaxed
+    /// load and a branch.
     #[inline]
     pub fn emit(&self, kind: EventKind, chain: u64, page_no: u64, bytes: u64) {
         if !self.enabled() {
             return;
         }
-        self.emit_slow(kind, chain, page_no, bytes);
+        self.emit_slow(kind, chain, page_no, bytes, span::current_for(self.inner.id), 0);
+    }
+
+    /// Records an event with an explicit span id and aux id — for threads
+    /// doing work *on behalf of* a span opened elsewhere (I/O workers
+    /// completing a scan worker's fetch), where the thread-local current
+    /// span would be wrong. Same disabled cost as [`Tracer::emit`].
+    #[inline]
+    pub fn emit_tagged(
+        &self,
+        kind: EventKind,
+        chain: u64,
+        page_no: u64,
+        bytes: u64,
+        span: u64,
+        aux: u64,
+    ) {
+        if !self.enabled() {
+            return;
+        }
+        self.emit_slow(kind, chain, page_no, bytes, span, aux);
     }
 
     #[cold]
-    fn emit_slow(&self, kind: EventKind, chain: u64, page_no: u64, bytes: u64) {
+    fn emit_slow(&self, kind: EventKind, chain: u64, page_no: u64, bytes: u64, span: u64, aux: u64) {
         let seq = self.inner.seq.fetch_add(1, Ordering::Relaxed);
         let ts_ns = self.inner.origin.elapsed().as_nanos() as u64;
-        let ev = PageEvent { kind, chain, page_no, bytes, seq, ts_ns };
+        let ev = PageEvent { kind, chain, page_no, bytes, seq, ts_ns, span, aux };
         let ring = self.thread_ring();
         let mut data = ring.data.lock().unwrap_or_else(|e| e.into_inner());
         if data.buf.len() >= self.inner.capacity {
@@ -210,6 +255,48 @@ impl Tracer {
             .iter()
             .map(|r| r.data.lock().unwrap_or_else(|e| e.into_inner()).dropped)
             .sum()
+    }
+
+    /// Empties the span side store and returns the closed spans sorted by
+    /// id (allocation order). Independent of [`Tracer::drain`]: spans stay
+    /// resolvable however many events the rings have overwritten.
+    pub fn drain_spans(&self) -> Vec<SpanRecord> {
+        let mut store = self.inner.spans.lock().unwrap_or_else(|e| e.into_inner());
+        let mut out = std::mem::take(&mut store.recs);
+        drop(store);
+        out.sort_by_key(|s| s.id);
+        out
+    }
+
+    /// Spans discarded because the side store was at capacity.
+    pub fn spans_dropped(&self) -> u64 {
+        self.inner.spans.lock().unwrap_or_else(|e| e.into_inner()).dropped
+    }
+
+    /// This tracer's process-unique id (keys the span thread-local).
+    pub(crate) fn tracer_id(&self) -> u64 {
+        self.inner.id
+    }
+
+    /// Takes the next value of the shared event/span/batch sequence.
+    pub(crate) fn alloc_seq(&self) -> u64 {
+        self.inner.seq.fetch_add(1, Ordering::Relaxed)
+    }
+
+    /// Nanoseconds since the tracer was created (the event clock).
+    pub(crate) fn now_ns(&self) -> u64 {
+        self.inner.origin.elapsed().as_nanos() as u64
+    }
+
+    /// Appends a closed span to the side store (bounded: beyond
+    /// [`SPAN_STORE_CAPACITY`] new spans are dropped and counted).
+    pub(crate) fn push_span(&self, rec: SpanRecord) {
+        let mut store = self.inner.spans.lock().unwrap_or_else(|e| e.into_inner());
+        if store.recs.len() >= SPAN_STORE_CAPACITY {
+            store.dropped += 1;
+            return;
+        }
+        store.recs.push(rec);
     }
 }
 

@@ -1,0 +1,143 @@
+//! Flight-recorder span lifecycle across threads and under overload: span
+//! parenting survives worker handoff and event-ring overflow, and the
+//! disabled path stays cheap enough for every hot path.
+
+use payg_obs::{EventKind, QueryCtx, SpanKind, Tracer};
+
+/// A query span fanned out to workers: every worker's partition span
+/// parents to the query, every worker's events tag its own partition span,
+/// and the drained tree reassembles exactly.
+#[test]
+fn span_tree_reassembles_across_worker_threads() {
+    let t = Tracer::new();
+    t.enable();
+    let query = t.span(SpanKind::Query, 0);
+    let qid = query.id();
+    let ctx = QueryCtx::current(&t);
+    std::thread::scope(|s| {
+        for w in 0..4u64 {
+            let t = t.clone();
+            s.spawn(move || {
+                let part = ctx.enter(&t, SpanKind::ScanPartition, w * 100);
+                for page in 0..8u64 {
+                    t.emit(EventKind::PagePinned, w, page, 0);
+                }
+                let wait = t.span(SpanKind::PageWait, 3);
+                drop(wait);
+                drop(part);
+            });
+        }
+    });
+    drop(query);
+
+    let spans = t.drain_spans();
+    let events = t.drain();
+    let parts: Vec<_> = spans.iter().filter(|s| s.kind == SpanKind::ScanPartition).collect();
+    assert_eq!(parts.len(), 4);
+    assert!(parts.iter().all(|s| s.parent == qid), "partitions parent to the query");
+    let waits: Vec<_> = spans.iter().filter(|s| s.kind == SpanKind::PageWait).collect();
+    assert_eq!(waits.len(), 4);
+    assert!(
+        waits.iter().all(|w| parts.iter().any(|p| p.id == w.parent)),
+        "waits parent to their worker's partition"
+    );
+    // Every event belongs to the partition span covering its worker, and
+    // the (chain = worker) tag proves it is the *right* partition.
+    assert_eq!(events.len(), 32);
+    for e in &events {
+        let part = parts.iter().find(|p| p.id == e.span).expect("event tagged with a partition");
+        assert_eq!(part.detail, e.chain * 100, "tagged with its own worker's span");
+    }
+    // Distinct worker threads got distinct lanes.
+    let mut tids: Vec<u64> = parts.iter().map(|p| p.tid).collect();
+    tids.sort_unstable();
+    tids.dedup();
+    assert_eq!(tids.len(), 4);
+}
+
+/// Spans live in a side store, not the event rings: however many events
+/// overflow, every parent link in the span tree stays resolvable.
+#[test]
+fn ring_overflow_keeps_span_parents_resolvable() {
+    let t = Tracer::with_capacity(8);
+    t.enable();
+    let query = t.span(SpanKind::Query, 0);
+    let qid = query.id();
+    {
+        let _part = t.span(SpanKind::ScanPartition, 0);
+        // Overflow the event ring many times over.
+        for i in 0..10_000u64 {
+            t.emit(EventKind::PagePinned, 0, i, 0);
+        }
+    }
+    drop(query);
+
+    assert!(t.dropped() > 0, "the ring did overflow");
+    let events = t.drain();
+    assert_eq!(events.len(), 8, "only the newest events survive");
+    let spans = t.drain_spans();
+    assert_eq!(spans.len(), 2, "spans are not ring-bounded");
+    let part = spans.iter().find(|s| s.kind == SpanKind::ScanPartition).unwrap();
+    assert_eq!(part.parent, qid, "parent link survived the overflow");
+    // The surviving events still resolve into the surviving tree.
+    assert!(events.iter().all(|e| e.span == part.id));
+}
+
+/// The disabled path — one relaxed load for emits and span opens alike —
+/// must stay cheap enough to leave in every pool hot path. 10M emits and
+/// 1M span opens in well under a second even on a loaded CI box.
+#[test]
+fn disabled_path_smoke_ten_million_emits() {
+    let t = Tracer::new();
+    let started = std::time::Instant::now();
+    for i in 0..10_000_000u64 {
+        t.emit(EventKind::PagePinned, 0, i, 0);
+    }
+    for i in 0..1_000_000u64 {
+        let s = t.span(SpanKind::ChunkDispatch, i);
+        assert_eq!(s.id(), 0);
+    }
+    let elapsed = started.elapsed();
+    assert!(t.drain().is_empty(), "disabled emits buffer nothing");
+    assert!(t.drain_spans().is_empty(), "disabled spans record nothing");
+    assert!(
+        elapsed < std::time::Duration::from_secs(5),
+        "disabled path too slow: {elapsed:?} for 11M operations"
+    );
+}
+
+/// `emit_tagged` carries an explicit span across threads — the I/O worker
+/// pattern — without touching the emitting thread's current span.
+#[test]
+fn emit_tagged_attributes_work_done_on_behalf_of_another_thread() {
+    let t = Tracer::new();
+    t.enable();
+    let query = t.span(SpanKind::Query, 0);
+    let origin = query.id();
+    let worker = {
+        let t = t.clone();
+        std::thread::spawn(move || {
+            // Simulates an I/O worker: no span open here, but completions
+            // are tagged with the originating request's span.
+            let batch = t.span_with_parent(SpanKind::IoBatch, origin, 3);
+            let bid = batch.id();
+            t.emit_tagged(EventKind::IoBatchIssued, 1, 0, 3, origin, bid);
+            drop(batch);
+            for page in 0..3u64 {
+                t.emit_tagged(EventKind::IoCompleted, 1, page, 4096, origin, bid);
+            }
+            bid
+        })
+    };
+    let bid = worker.join().unwrap();
+    drop(query);
+
+    let events = t.drain();
+    assert_eq!(events.len(), 4);
+    assert!(events.iter().all(|e| e.span == origin), "all tagged with the originator");
+    assert!(events.iter().all(|e| e.aux == bid), "all linked to the batch");
+    let spans = t.drain_spans();
+    let batch = spans.iter().find(|s| s.kind == SpanKind::IoBatch).unwrap();
+    assert_eq!(batch.parent, origin);
+    assert_eq!(batch.id, bid, "the batch span's id doubles as the batch id");
+}

@@ -33,7 +33,7 @@
 use crate::pool::{Frame, LoadState, PoolInner, Slot};
 use crate::sync::{Condvar, LockRank, Mutex};
 use crate::{FaultClass, PageKey, StorageResult};
-use payg_obs::EventKind;
+use payg_obs::{EventKind, SpanKind};
 use std::collections::VecDeque;
 use std::sync::{Arc, Weak};
 use std::thread::JoinHandle;
@@ -87,6 +87,11 @@ pub(crate) struct FetchRequest {
     /// fails it (with the usual pointer-identity ABA guard).
     pub ls: Arc<LoadState>,
     pub completion: Completion,
+    /// Originating span id (0 = none), captured at submit time on the
+    /// pinning/prefetching thread. Completions tag their events with it so
+    /// a coalesced batch records *every* beneficiary query, not just the
+    /// one whose miss triggered the physical read.
+    pub span: u64,
 }
 
 enum TicketState {
@@ -317,7 +322,21 @@ fn process_run(pool: &Arc<PoolInner>, run: Vec<FetchRequest>) {
     if n > 1 {
         pool.metrics.io_coalesced.add(n as u64);
     }
-    pool.tracer.emit(EventKind::IoBatchIssued, first.chain.0, first.page_no, n as u64);
+    // The batch span covers just the physical read; its id doubles as the
+    // batch id carried in `aux` by IoBatchIssued and every IoCompleted of
+    // the run, so a drained log can tell batches *joined* (my page rode a
+    // read initiated by another query's span) from batches *initiated*.
+    // Parentage goes to the run's first request by page order.
+    let batch_span = pool.tracer.span_with_parent(SpanKind::IoBatch, run[0].span, n as u64);
+    let batch_id = batch_span.id();
+    pool.tracer.emit_tagged(
+        EventKind::IoBatchIssued,
+        first.chain.0,
+        first.page_no,
+        n as u64,
+        run[0].span,
+        batch_id,
+    );
     // Charge the read against the memory footprint while it is in flight;
     // on success the bytes transfer to the registered frame resources.
     let expected = pool.store.page_size(first.chain).unwrap_or(0) * n;
@@ -325,6 +344,10 @@ fn process_run(pool: &Arc<PoolInner>, run: Vec<FetchRequest>) {
     pool.io.apply_read();
     let results = pool.store.read_pages(first.chain, first.page_no, n);
     pool.resman.end_inflight(expected);
+    // Close the read span before per-request completion so the plain emits
+    // inside admit_frame do not adopt the batch span: per-request
+    // attribution belongs to each request's own originating span.
+    drop(batch_span);
     debug_assert_eq!(results.len(), n, "read_pages must return one result per page");
     for (req, result) in run.into_iter().zip(results) {
         let outcome = match result {
@@ -336,29 +359,39 @@ fn process_run(pool: &Arc<PoolInner>, run: Vec<FetchRequest>) {
                 pool.metrics.fault_counter(e.fault_class()).inc();
                 if e.is_transient() && pool.retry.max_attempts > 1 {
                     pool.metrics.load_retries.inc();
+                    pool.tracer.emit_tagged(
+                        EventKind::LoadRetried,
+                        req.key.chain.0,
+                        req.key.page_no,
+                        1,
+                        req.span,
+                        batch_id,
+                    );
                     let backoff = pool.retry.backoff_for(1);
                     if !backoff.is_zero() {
                         (pool.sleeper)(backoff);
                     }
-                    fetch_with_retry(pool, req.key, 1, true)
+                    fetch_with_retry(pool, req.key, 1, true, req.span)
                 } else {
                     Err(e)
                 }
             }
         };
-        complete(pool, req, outcome);
+        complete(pool, req, outcome, batch_id);
     }
 }
 
 /// The store-read loop with transient retry — the single place in the pool
 /// stack that calls [`read_page`](crate::PageStore::read_page). `attempt`
 /// is how many attempts already failed (0 for a fresh inline fetch);
-/// `staged` makes each read count as an I/O-stage physical read.
+/// `staged` makes each read count as an I/O-stage physical read. `span` is
+/// the originating request's span, tagged onto retry events.
 pub(crate) fn fetch_with_retry(
     pool: &PoolInner,
     key: PageKey,
     mut attempt: u32,
     staged: bool,
+    span: u64,
 ) -> StorageResult<Box<[u8]>> {
     loop {
         attempt += 1;
@@ -372,6 +405,14 @@ pub(crate) fn fetch_with_retry(
                 pool.metrics.fault_counter(e.fault_class()).inc();
                 if e.is_transient() && attempt < pool.retry.max_attempts {
                     pool.metrics.load_retries.inc();
+                    pool.tracer.emit_tagged(
+                        EventKind::LoadRetried,
+                        key.chain.0,
+                        key.page_no,
+                        staged as u64,
+                        span,
+                        0,
+                    );
                     let backoff = pool.retry.backoff_for(attempt);
                     if !backoff.is_zero() {
                         (pool.sleeper)(backoff);
@@ -385,8 +426,10 @@ pub(crate) fn fetch_with_retry(
 }
 
 /// Completes one request: the inline pool's exact publish/fail sequence,
-/// then ticket resolution or the advisory unpin.
-fn complete(pool: &Arc<PoolInner>, req: FetchRequest, outcome: StorageResult<Box<[u8]>>) {
+/// then ticket resolution or the advisory unpin. `batch` is the coalesced
+/// read's batch id, tagged onto the completion event so every beneficiary
+/// request records which physical read served it.
+fn complete(pool: &Arc<PoolInner>, req: FetchRequest, outcome: StorageResult<Box<[u8]>>, batch: u64) {
     match outcome {
         Ok(data) => {
             let bytes = data.len() as u64;
@@ -398,7 +441,14 @@ fn complete(pool: &Arc<PoolInner>, req: FetchRequest, outcome: StorageResult<Box
             // Count the completion before publishing: the publish wakes the
             // submitter, which may read the metrics immediately.
             pool.metrics.io_completions.inc();
-            pool.tracer.emit(EventKind::IoCompleted, req.key.chain.0, req.key.page_no, bytes);
+            pool.tracer.emit_tagged(
+                EventKind::IoCompleted,
+                req.key.chain.0,
+                req.key.page_no,
+                bytes,
+                req.span,
+                batch,
+            );
             req.ls.publish();
             match req.completion {
                 // The registration pin rides the ticket to the submitter.
@@ -426,7 +476,14 @@ fn complete(pool: &Arc<PoolInner>, req: FetchRequest, outcome: StorageResult<Box
             // after the slot update so none of them can observe a stale
             // Loading entry (or a completion count behind their own wakeup).
             pool.metrics.io_completions.inc();
-            pool.tracer.emit(EventKind::IoCompleted, req.key.chain.0, req.key.page_no, 0);
+            pool.tracer.emit_tagged(
+                EventKind::IoCompleted,
+                req.key.chain.0,
+                req.key.page_no,
+                0,
+                req.span,
+                batch,
+            );
             req.ls.fail(shared);
             match req.completion {
                 Completion::Ticket(ticket) => ticket.resolve(Err(err)),

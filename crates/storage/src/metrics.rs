@@ -48,6 +48,9 @@ pub(crate) struct MetricCounters {
     pub io_batch_pages: Histogram,
     /// Submission-queue depth, sampled at each submit.
     pub io_queue_depth: Histogram,
+    /// Prefetch submissions shed by the bounded queue (urgent submissions
+    /// are never shed).
+    pub io_shed: Counter,
 }
 
 impl MetricCounters {
@@ -75,6 +78,7 @@ impl MetricCounters {
             io_physical_reads: registry.counter_labeled(names::POOL_IO_PHYSICAL_READS, l),
             io_batch_pages: registry.histogram_labeled(names::POOL_IO_BATCH_PAGES, l),
             io_queue_depth: registry.histogram_labeled(names::POOL_IO_QUEUE_DEPTH, l),
+            io_shed: registry.counter_labeled(names::POOL_IO_SHED, l),
         }
     }
 
@@ -172,6 +176,8 @@ pub struct PoolMetrics {
     /// read counts once. `io_completions / io_physical_reads` is the
     /// stage's coalescing ratio (pages per physical read).
     pub io_physical_reads: u64,
+    /// Prefetch submissions shed by the stage's bounded queue.
+    pub io_shed: u64,
 }
 
 impl PoolMetrics {
@@ -198,6 +204,7 @@ impl PoolMetrics {
             io_coalesced: self.io_coalesced.saturating_sub(earlier.io_coalesced),
             io_completions: self.io_completions.saturating_sub(earlier.io_completions),
             io_physical_reads: self.io_physical_reads.saturating_sub(earlier.io_physical_reads),
+            io_shed: self.io_shed.saturating_sub(earlier.io_shed),
         }
     }
 }

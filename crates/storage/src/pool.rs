@@ -7,7 +7,7 @@ use crate::sync::{Condvar, LockRank, Mutex, MutexGuard, RwLock};
 use crate::{FaultClass, IoProfile, PageKey, PageStore, PoolMetrics, StorageError, StorageResult};
 use crossbeam::channel::{unbounded, Sender};
 use payg_check::PinTracker;
-use payg_obs::{EventKind, Registry, Tracer};
+use payg_obs::{EventKind, Registry, SpanKind, Tracer};
 use payg_resman::{Disposition, ResourceId, ResourceManager};
 use std::any::Any;
 use std::collections::HashMap;
@@ -266,6 +266,7 @@ impl PoolInner {
             .quarantine
             .insert(key, QuarantineEntry { error, pins_left: self.quarantine_ttl });
         self.metrics.quarantine_inserts.inc();
+        self.tracer.emit(EventKind::PageQuarantined, key.chain.0, key.page_no, 0);
     }
 
     /// Accounts a successfully read page and registers its frame (pinned)
@@ -518,6 +519,9 @@ impl BufferPool {
                     self.inner
                         .tracer
                         .emit(EventKind::SingleFlightWait, key.chain.0, key.page_no, 0);
+                    // Spans the blocked stretch so explain_analyze can
+                    // attribute it (closed when the arm's scope ends).
+                    let _wait_span = self.inner.tracer.span(SpanKind::PageWait, key.page_no);
                     if let Some(err) = ls.wait() {
                         // A failed pin is a miss: every pin lands in exactly
                         // one of hits/misses, errors included.
@@ -558,6 +562,9 @@ impl BufferPool {
         caller: &'static std::panic::Location<'static>,
     ) -> StorageResult<PageGuard> {
         shard.counters.misses.inc();
+        // The originating span rides the request so completions on stage
+        // worker threads stay attributable to this query (provenance).
+        let span = self.inner.tracer.current_span();
         if let Some(stage) = &self.inner.stage {
             let ticket = Ticket::new();
             let submitted = stage.submit(FetchRequest {
@@ -565,20 +572,21 @@ impl BufferPool {
                 class: DeadlineClass::Urgent,
                 ls: Arc::clone(ls),
                 completion: Completion::Ticket(Arc::clone(&ticket)),
+                span,
             });
             let depth = submitted.unwrap_or_else(|_| unreachable!("urgent never dropped"));
             self.inner.metrics.io_submitted.inc();
             self.inner.metrics.io_queue_depth.record(depth as u64);
             self.inner
                 .tracer
-                .emit(EventKind::IoSubmitted, key.chain.0, key.page_no, 0);
+                .emit_tagged(EventKind::IoSubmitted, key.chain.0, key.page_no, 0, span, 0);
             // The worker has already inserted the Resident slot, published
             // the load state, and (on failure) quarantined — the ticket
             // only transfers the pinned frame or the raw error.
             let frame = ticket.wait()?;
             return Ok(PageGuard::new(Arc::clone(&self.inner), frame, caller));
         }
-        match iostage::fetch_with_retry(&self.inner, key, 0, false) {
+        match iostage::fetch_with_retry(&self.inner, key, 0, false, span) {
             Ok(data) => {
                 let frame = self.inner.admit_frame(key, data);
                 shard.lock().slots.insert(key, Slot::Resident(Arc::clone(&frame)));
@@ -635,11 +643,15 @@ impl BufferPool {
             state.slots.insert(key, Slot::Loading(Arc::clone(&ls)));
             ls
         };
+        // Prefetches are attributed to the scan-partition span that asked
+        // for them, so explain_analyze sees who dragged in which page.
+        let span = self.inner.tracer.current_span();
         let req = FetchRequest {
             key,
             class: DeadlineClass::Prefetch,
             ls,
             completion: Completion::Advisory,
+            span,
         };
         match stage.submit(req) {
             Ok(depth) => {
@@ -648,10 +660,11 @@ impl BufferPool {
                 self.inner.metrics.io_queue_depth.record(depth as u64);
                 self.inner
                     .tracer
-                    .emit(EventKind::IoSubmitted, key.chain.0, key.page_no, 0);
+                    .emit_tagged(EventKind::IoSubmitted, key.chain.0, key.page_no, 0, span, 0);
                 true
             }
             Err(req) => {
+                self.inner.metrics.io_shed.inc();
                 // Cancelled: withdraw our Loading slot (pointer-checked
                 // against a newer load), then publish so any pin already
                 // parked on it re-inspects the empty slot and loads itself.
@@ -761,6 +774,7 @@ impl BufferPool {
             io_coalesced: self.inner.metrics.io_coalesced.get(),
             io_completions: self.inner.metrics.io_completions.get(),
             io_physical_reads: self.inner.metrics.io_physical_reads.get(),
+            io_shed: self.inner.metrics.io_shed.get(),
         }
     }
 

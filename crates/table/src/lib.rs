@@ -22,6 +22,7 @@ pub mod bitmap;
 pub mod catalog;
 pub mod delta;
 pub mod error;
+pub mod explain;
 pub mod fragment;
 pub mod partition;
 pub mod query;
@@ -31,6 +32,7 @@ pub mod table;
 
 pub use aging::AgingPolicy;
 pub use error::{TableError, TableResult};
+pub use explain::{ChainActuals, ChainExplain, ExplainAnalyze, PartitionExplain};
 pub use partition::{PartitionId, PartitionRange, PartitionSpec};
 pub use query::{Projection, Query, QueryResult};
 pub use schema::{ColumnSpec, Row, Schema};

@@ -121,7 +121,11 @@ impl Table {
     ) -> TableResult<(QueryResult, payg_obs::ScanProfile)> {
         let before = payg_obs::ObsSnapshot::collect(self.registry());
         let started = std::time::Instant::now();
+        // Flight recorder: the whole execution runs under one query span,
+        // so scan-partition / page-wait / io-batch children parent to it.
+        let span = self.registry().tracer().span(payg_obs::SpanKind::Query, 0);
         let result = self.execute(q)?;
+        drop(span);
         let elapsed_ns = started.elapsed().as_nanos() as u64;
         let after = payg_obs::ObsSnapshot::collect(self.registry());
         let mut profile = payg_obs::ScanProfile::from_delta(&after.delta(&before));

@@ -1,0 +1,169 @@
+//! EXPLAIN ANALYZE integration: the annotated plan, span tree, and page
+//! provenance of real queries, reconciled against the registry.
+
+use payg_core::{DataType, LoadPolicy, PageConfig, ScanOptions, ScanPath, Value, ValuePredicate};
+use payg_obs::SpanKind;
+use payg_resman::ResourceManager;
+use payg_storage::{BufferPool, MemStore};
+use payg_table::{ColumnSpec, PartitionSpec, Projection, Query, Schema, Table};
+use std::sync::Arc;
+
+fn paged_table(indexed: bool, rows: i64) -> Table {
+    let id = if indexed {
+        ColumnSpec::indexed("id", DataType::Integer)
+    } else {
+        ColumnSpec::new("id", DataType::Integer)
+    };
+    let schema =
+        Schema::new(vec![id, ColumnSpec::new("region", DataType::Varchar)]).unwrap();
+    let pool = BufferPool::new(Arc::new(MemStore::new()), ResourceManager::new());
+    let mut t = Table::create(
+        pool,
+        PageConfig::tiny(),
+        schema,
+        vec![PartitionSpec::single(LoadPolicy::PageLoadable)],
+    )
+    .unwrap();
+    for i in 0..rows {
+        t.insert(vec![Value::Integer(i), Value::Varchar(format!("region-{}", i % 5))]).unwrap();
+    }
+    t.delta_merge_all().unwrap();
+    t
+}
+
+#[test]
+fn cold_parallel_scan_reports_plan_actuals_and_spans() {
+    let mut t = paged_table(false, 600);
+    t.set_scan_options(ScanOptions::with_workers(4));
+    // Unindexed point filter: a parallel data-vector scan. `id` is inserted
+    // in order, so page summaries prune every non-overlapping page.
+    let q = Query::filtered(
+        "id",
+        ValuePredicate::Between(Value::Integer(100), Value::Integer(140)),
+        Projection::RowIds,
+    );
+
+    // Freshly merged pages are not resident: the first run is cold.
+    let (result, cold) = t.explain_analyze(&q).unwrap();
+    match result {
+        payg_table::QueryResult::RowIds(ids) => assert_eq!(ids.len(), 41),
+        other => panic!("expected row ids, got {other:?}"),
+    }
+    assert_eq!(cold.partitions.len(), 1);
+    assert_eq!(cold.partitions[0].path, ScanPath::DecodeThenScan);
+    assert!(cold.profile.cold_loads > 0, "first run loads pages: {:?}", cold.profile);
+    assert!(cold.profile.dispatch_width > 0, "kernel dispatched: {:?}", cold.profile);
+    cold.check_consistency().expect("cold event log reconciles with the registry delta");
+
+    // The span tree: one query root, scan-partition children under it.
+    let root = cold.spans.iter().find(|s| s.id == cold.root).expect("root span recorded");
+    assert_eq!(root.kind, SpanKind::Query);
+    assert_eq!(root.parent, 0);
+    let parts: Vec<_> =
+        cold.spans.iter().filter(|s| s.kind == SpanKind::ScanPartition).collect();
+    assert!(!parts.is_empty(), "parallel scan opened partition spans");
+    let tree = cold.tree();
+    assert!(parts.iter().all(|s| tree.contains(&s.id)), "partitions parent into the tree");
+    assert!(cold.spans.iter().all(|s| s.end_ns >= s.start_ns));
+
+    // The filter column's data chain is annotated with the cold traffic.
+    let data = cold.partitions[0]
+        .chains
+        .iter()
+        .find(|c| c.column == "id" && c.role == "data")
+        .expect("filter column's data chain listed");
+    assert!(data.actuals.pins > 0, "data pages pinned: {:?}", data.actuals);
+    assert!(data.actuals.cold_loads > 0, "data pages loaded cold: {:?}", data.actuals);
+
+    // Page provenance: with the cold-path I/O stage on, this query's tree
+    // initiated the coalesced batches that served it (nothing to join —
+    // the pool is otherwise idle).
+    if t.pool().io_stage_active() {
+        assert!(cold.batches_initiated > 0, "cold staged scan issues batches");
+        assert_eq!(cold.batches_joined, 0, "no concurrent query to join");
+        assert!(cold.profile.io_batches >= cold.batches_initiated);
+    }
+
+    // Warm sequential re-run: same result, no cold loads, warm pins
+    // instead — and the sequential iterator counts the pages the summary
+    // pruned (the parallel planner skips them before workers ever look).
+    t.set_scan_options(ScanOptions::default());
+    let (result2, warm) = t.explain_analyze(&q).unwrap();
+    match result2 {
+        payg_table::QueryResult::RowIds(ids) => assert_eq!(ids.len(), 41),
+        other => panic!("expected row ids, got {other:?}"),
+    }
+    assert_eq!(warm.profile.cold_loads, 0, "second run is warm: {:?}", warm.profile);
+    assert!(warm.profile.warm_hits > 0);
+    assert!(warm.profile.pages_pruned > 0, "sorted ids prune pages: {:?}", warm.profile);
+    warm.check_consistency().expect("warm event log reconciles too");
+
+    // Renderings carry the load-bearing facts.
+    let text = cold.to_text();
+    assert!(text.contains("EXPLAIN ANALYZE"), "{text}");
+    assert!(text.contains("partition 0: path=DecodeThenScan"), "{text}");
+    assert!(text.contains("id/data"), "{text}");
+    assert!(text.contains("query(0)"), "{text}");
+    assert!(text.contains("scan-partition"), "{text}");
+    let json = cold.to_json();
+    assert!(json.contains("\"plan\""), "{json}");
+    assert!(json.contains("\"spans\""), "{json}");
+    assert!(json.contains("\"batches_initiated\""), "{json}");
+    let trace = cold.to_chrome_trace();
+    assert!(trace.starts_with('[') && trace.ends_with(']'), "{trace}");
+    assert!(trace.contains("\"ph\": \"X\""), "{trace}");
+    assert!(trace.contains("\"name\": \"scan-partition\""), "{trace}");
+}
+
+#[test]
+fn compressed_domain_plan_shows_chunk_dispatch() {
+    let t = paged_table(true, 500);
+    // Indexed point probe under PEF postings: the plan says compressed
+    // domain, and the execution records the dispatch decision as a span.
+    let q = Query::filtered("id", ValuePredicate::Eq(Value::Integer(123)), Projection::RowIds);
+    assert_eq!(t.scan_plan(&q).unwrap(), vec![ScanPath::CompressedDomain]);
+    let (result, ea) = t.explain_analyze(&q).unwrap();
+    match result {
+        payg_table::QueryResult::RowIds(ids) => assert_eq!(ids, vec![123]),
+        other => panic!("expected row ids, got {other:?}"),
+    }
+    assert_eq!(ea.partitions[0].path, ScanPath::CompressedDomain);
+    let dispatch: Vec<_> =
+        ea.spans.iter().filter(|s| s.kind == SpanKind::ChunkDispatch).collect();
+    assert!(!dispatch.is_empty(), "index traversal records its dispatch");
+    assert!(
+        dispatch.iter().all(|s| s.detail == 1),
+        "PEF point probe dispatches compressed-domain: {dispatch:?}"
+    );
+    let index = ea.partitions[0]
+        .chains
+        .iter()
+        .find(|c| c.column == "id" && c.role == "index")
+        .expect("index chain listed for the filter column");
+    assert!(index.actuals.pins > 0, "posting pages pinned: {:?}", index.actuals);
+    ea.check_consistency().expect("event log reconciles with the registry delta");
+    assert!(ea.to_text().contains("path=CompressedDomain"));
+}
+
+#[test]
+fn explain_restores_tracer_state_and_handles_errors() {
+    let t = paged_table(false, 100);
+    let tracer = t.registry().tracer().clone();
+    assert!(!tracer.enabled(), "tracer starts disabled");
+    let q = Query::full(Projection::Count);
+    let (result, ea) = t.explain_analyze(&q).unwrap();
+    assert_eq!(result.count(), 100);
+    assert!(!tracer.enabled(), "disabled state restored after explain");
+    assert!(ea.spans.iter().any(|s| s.id == ea.root));
+
+    // Unknown column: the error surfaces and the tracer state still
+    // restores (no stuck-enabled recorder).
+    let bad = Query::filtered("nope", ValuePredicate::Eq(Value::Integer(1)), Projection::Count);
+    assert!(t.explain_analyze(&bad).is_err());
+    assert!(!tracer.enabled());
+
+    // A pre-enabled tracer stays enabled.
+    tracer.enable();
+    let _ = t.explain_analyze(&q).unwrap();
+    assert!(tracer.enabled(), "explicitly-enabled tracer left on");
+}

@@ -1,0 +1,102 @@
+//! EXPLAIN ANALYZE walkthrough: run a cold 4-worker scan over a
+//! compressed page-loadable table, print the flight recorder's report —
+//! the static plan annotated with per-chain actuals, the span tree, and
+//! the page-provenance summary — then re-run warm and check that plan and
+//! actuals stay consistent with the registry. Also writes the span tree as
+//! a Chrome `trace_event` file loadable in `about://tracing`.
+//!
+//! Run with: `cargo run --release --example explain`
+
+use page_as_you_go::core::{
+    DataType, LoadPolicy, PageConfig, ScanOptions, ScanPath, Value, ValuePredicate,
+};
+use page_as_you_go::obs::SpanKind;
+use page_as_you_go::resman::ResourceManager;
+use page_as_you_go::storage::{BufferPool, MemStore};
+use page_as_you_go::table::{ColumnSpec, PartitionSpec, Projection, Query, Schema, Table};
+use std::sync::Arc;
+
+fn main() {
+    let schema = Schema::new(vec![
+        ColumnSpec::indexed("id", DataType::Integer),
+        ColumnSpec::new("region", DataType::Varchar),
+        ColumnSpec::new("amount", DataType::Decimal),
+    ])
+    .unwrap();
+    let pool = BufferPool::new(Arc::new(MemStore::new()), ResourceManager::new());
+    let mut table = Table::create(
+        pool,
+        PageConfig::tiny(),
+        schema,
+        vec![PartitionSpec::single(LoadPolicy::PageLoadable)],
+    )
+    .unwrap();
+    for i in 0..4_000i64 {
+        table
+            .insert(vec![
+                Value::Integer(i),
+                Value::Varchar(format!("region-{}", i % 17)),
+                Value::Decimal(i as i128 * 100),
+            ])
+            .unwrap();
+    }
+    table.delta_merge_all().unwrap();
+    table.set_scan_options(ScanOptions::with_workers(4));
+
+    // ---- Cold run: a parallel scan over an unindexed column --------------
+    let scan = Query::filtered(
+        "region",
+        ValuePredicate::Eq(Value::Varchar("region-3".into())),
+        Projection::Count,
+    );
+    let (result, cold) = table.explain_analyze(&scan).unwrap();
+    println!("=== cold 4-worker scan (COUNT = {}) ===", result.count());
+    println!("{}", cold.to_text());
+    cold.check_consistency().expect("cold run reconciles with the registry delta");
+    assert!(cold.profile.cold_loads > 0, "first run must load pages");
+    assert!(
+        cold.spans.iter().any(|s| s.kind == SpanKind::ScanPartition),
+        "parallel scan records partition spans"
+    );
+    if table.pool().io_stage_active() {
+        assert!(cold.batches_initiated > 0, "cold staged scan issues I/O batches");
+    }
+
+    // ---- Warm re-run: same plan, no cold loads ---------------------------
+    let (result2, warm) = table.explain_analyze(&scan).unwrap();
+    assert_eq!(result.count(), result2.count(), "warm run returns the same answer");
+    warm.check_consistency().expect("warm run reconciles with the registry delta");
+    assert_eq!(warm.profile.cold_loads, 0, "warm run re-hits resident pages");
+    assert!(warm.profile.warm_hits > 0);
+    println!("=== warm re-run ===");
+    println!(
+        "cold={} warm={} batches_initiated={} wall={}ns",
+        warm.profile.cold_loads,
+        warm.profile.warm_hits,
+        warm.batches_initiated,
+        warm.profile.elapsed_ns
+    );
+
+    // ---- Compressed-domain point probe -----------------------------------
+    let point =
+        Query::filtered("id", ValuePredicate::Eq(Value::Integer(1234)), Projection::RowIds);
+    let (_, probe) = table.explain_analyze(&point).unwrap();
+    assert_eq!(probe.partitions[0].path, ScanPath::CompressedDomain, "PEF point probe");
+    assert!(
+        probe.spans.iter().any(|s| s.kind == SpanKind::ChunkDispatch && s.detail == 1),
+        "dispatch decision recorded as a span"
+    );
+    probe.check_consistency().expect("probe reconciles with the registry delta");
+    println!("\n=== compressed-domain point probe ===");
+    println!("{}", probe.to_text());
+
+    // ---- Exporters --------------------------------------------------------
+    println!("=== JSON (cold run) ===");
+    println!("{}\n", cold.to_json());
+    let trace = cold.to_chrome_trace();
+    assert!(trace.contains("\"ph\": \"X\""));
+    let out = std::env::temp_dir().join("payg_explain_trace.json");
+    std::fs::write(&out, &trace).unwrap();
+    println!("chrome trace written to {} ({} bytes)", out.display(), trace.len());
+    println!("open about://tracing (or ui.perfetto.dev) and load it.");
+}

@@ -96,8 +96,17 @@ fn main() {
         snap.gauge("resman_paged_bytes") <= (192 << 10),
         "quiesced pool is back under the upper limit"
     );
+    // Pin latency splits by temperature: warm hits record `pool_pin_ns`,
+    // cold pins (loads and single-flight waits) record `pool_load_ns` —
+    // together exactly one sample per successful pin.
     let pin_ns = snap.histogram("pool_pin_ns");
-    assert_eq!(pin_ns.count(), hits + misses, "one pin-latency sample per pin");
+    let load_ns = snap.histogram("pool_load_ns");
+    assert_eq!(pin_ns.count(), hits, "one warm-latency sample per hit");
+    assert_eq!(
+        pin_ns.count() + load_ns.count(),
+        hits + misses,
+        "one latency sample per pin across the warm/cold split"
+    );
     println!(
         "consistency: hits={hits} misses={misses} loads={loads} \
          hit-rate={:.1}% pin p50={}ns p99={}ns",

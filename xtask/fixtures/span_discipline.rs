@@ -1,0 +1,18 @@
+//! Span-discipline fixture: io-path events carry page provenance and must
+//! be emitted through `emit_tagged`. The plain emits on lines 9, 10, and
+//! 15 (path-qualified) are violations; the tagged emits, the non-io kind
+//! on line 11, and the suppressed retry on line 17 are clean.
+
+fn record(t: &Tracer, chain: u64, page: u64, span: u64, bid: u64) {
+    t.emit_tagged(EventKind::IoSubmitted, chain, page, 0, span, 0);
+    t.emit_tagged(EventKind::IoBatchIssued, chain, page, 0, span, bid);
+    t.emit(EventKind::IoSubmitted, chain, page, 0);
+    t.emit(EventKind::IoCompleted, chain, page, 4096);
+    t.emit(EventKind::PagePinned, chain, page, 4096);
+}
+
+fn qualified(t: &Tracer, chain: u64, page: u64) {
+    t.emit(payg_obs::EventKind::IoBatchIssued, chain, page, 0);
+    // lint: allow(span-discipline) synthetic retry in a fault drill, no query
+    t.emit(EventKind::LoadRetried, chain, page, 1);
+}

@@ -4,8 +4,9 @@
 //! ([`lexer`]), a brace-scope and binding tracker ([`scopes`]), and
 //! per-file token streams. On that base run:
 //!
-//! * the eight legacy per-file rules ([`rules`]) — same names, same
-//!   `lint: allow(<rule>) <reason>` suppressions;
+//! * the per-file rules ([`rules`]) — the eight legacy rules plus
+//!   `span-discipline` — same names, same `lint: allow(<rule>) <reason>`
+//!   suppressions;
 //! * `lock-rank` / `rank-table` — static lock-order checking against
 //!   `payg_check::RANK_TABLE` ([`lockrank`]);
 //! * `guard-escape` — page-guard bindings live across blocking operations
@@ -52,6 +53,7 @@ pub const KNOWN_RULES: &[&str] = &[
     "stringly-error",
     "pool-read-page",
     "pef-decode",
+    "span-discipline",
     "lock-rank",
     "rank-table",
     "guard-escape",
@@ -554,6 +556,48 @@ mod tests {
         let sup = "// lint: allow(pool-read-page) recovery probe outside the stage\n\
                    fn f() { self.store.read_page(key); }\n";
         assert!(analyze_str("crates/storage/src/pool.rs", sup).is_empty());
+    }
+
+    #[test]
+    fn span_discipline_flags_untagged_io_emits_in_pool_and_core() {
+        let bad = "fn f() { t.emit(EventKind::IoSubmitted, c, p, 0); }\n";
+        let v = analyze_str("crates/storage/src/iostage.rs", bad);
+        assert_eq!(v.len(), 1, "{v:?}");
+        assert_eq!(v[0].rule, "span-discipline");
+        assert_eq!(analyze_str("crates/core/src/datavec/parallel.rs", bad).len(), 1);
+        // Outside the pool/core crates the rule does not apply.
+        assert!(analyze_str("crates/obs/src/trace.rs", bad).is_empty());
+        // The tagged emit is the approved spelling, and non-io kinds may
+        // stay plain (no query to attribute them to).
+        let tagged = "fn f() { t.emit_tagged(EventKind::IoSubmitted, c, p, 0, span, 0); }\n";
+        assert!(analyze_str("crates/storage/src/iostage.rs", tagged).is_empty());
+        let plainok = "fn f() { t.emit(EventKind::PageEvicted, c, p, 0); }\n";
+        assert!(analyze_str("crates/storage/src/pool.rs", plainok).is_empty());
+        // Path-qualified kinds are still caught; the kind must be in the
+        // first argument (a later argument naming a kind is not a match).
+        let qualified = "fn f() { t.emit(payg_obs::EventKind::IoCompleted, c, p, 0); }\n";
+        assert_eq!(analyze_str("crates/storage/src/pool.rs", qualified).len(), 1);
+        let later = "fn f() { t.emit(EventKind::PagePinned, c, IoCompleted as u64, 0); }\n";
+        assert!(analyze_str("crates/storage/src/pool.rs", later).is_empty());
+        // Suppression with a reason is honored.
+        let sup = "fn f() {\n    // lint: allow(span-discipline) fault drill, no query\n    t.emit(EventKind::LoadRetried, c, p, 1);\n}\n";
+        assert!(analyze_str("crates/storage/src/iostage.rs", sup).is_empty());
+    }
+
+    #[test]
+    fn span_discipline_fixture_exact_findings() {
+        let fixture = include_str!("../../fixtures/span_discipline.rs");
+        let got = analyze_units(&[("crates/storage/src/fixture.rs", fixture)]);
+        let f = "crates/storage/src/fixture.rs".to_string();
+        assert_eq!(
+            got,
+            [
+                ("span-discipline".to_string(), f.clone(), 9),
+                ("span-discipline".to_string(), f.clone(), 10),
+                ("span-discipline".to_string(), f, 15),
+            ],
+            "{got:?}"
+        );
     }
 
     #[test]

@@ -1,9 +1,10 @@
-//! The eight legacy per-file rules, ported from the line/regex linter onto
-//! the token stream. Rule names and `lint: allow(<rule>)` suppressions are
-//! unchanged; what changed is that string literals, comments, and doc text
-//! can no longer trigger a rule or mask a real hit, and `#[cfg(test)]`
-//! exemption now covers whole gated items (the line-based linter only
-//! skipped a gated item's first line).
+//! The per-file rules: the eight legacy rules ported from the line/regex
+//! linter onto the token stream, plus `span-discipline` (io-path events
+//! must be emitted via `emit_tagged`). Rule names and `lint: allow(<rule>)`
+//! suppressions are unchanged; what changed is that string literals,
+//! comments, and doc text can no longer trigger a rule or mask a real hit,
+//! and `#[cfg(test)]` exemption now covers whole gated items (the
+//! line-based linter only skipped a gated item's first line).
 
 use super::lexer::{Lexed, Tok, TokKind};
 use super::scopes::FileInfo;
@@ -21,7 +22,15 @@ pub struct Scope {
     pub stringly_error: bool,
     pub pool_read_page: bool,
     pub pef_decode: bool,
+    pub span_discipline: bool,
 }
+
+/// Event kinds that carry page provenance: every emission must go through
+/// `emit_tagged` so the originating span and batch id reach the flight
+/// recorder. A plain `.emit(` of one of these drops the attribution that
+/// EXPLAIN ANALYZE reconciles coalesced batches with.
+const SPAN_TAGGED_KINDS: &[&str] =
+    &["IoSubmitted", "IoBatchIssued", "IoCompleted", "LoadRetried"];
 
 impl Scope {
     pub fn any(&self) -> bool {
@@ -34,6 +43,7 @@ impl Scope {
             || self.stringly_error
             || self.pool_read_page
             || self.pef_decode
+            || self.span_discipline
     }
 }
 
@@ -65,6 +75,10 @@ pub fn scope_for(rel: &Path) -> Scope {
         // readers elsewhere must stay in the compressed domain
         // (PartitionRef::next_geq / read_into).
         pef_decode: in_crates_src && s != "crates/encoding/src/pef.rs",
+        // The pool and core crates emit I/O-path events on behalf of
+        // queries; plain emits there lose the span/batch provenance.
+        span_discipline: s.starts_with("crates/storage/src")
+            || s.starts_with("crates/core/src"),
     }
 }
 
@@ -206,6 +220,26 @@ pub fn run(rel: &Path, lexed: &Lexed, info: &FileInfo, sink: &Sink<'_>) {
                  the compressed domain (PartitionRef::next_geq / read_into) \
                  so posting probes never materialize whole partitions",
             );
+        }
+
+        if scope.span_discipline && method_call(toks, i, "emit") {
+            // The first argument names the event kind; scan it (up to the
+            // first comma) for one of the provenance-carrying kinds. The
+            // kind may be path-qualified (`payg_obs::EventKind::IoSubmitted`).
+            let mut j = i + 3;
+            while j < toks.len() && !toks[j].is_punct(',') && !toks[j].is_punct(')') {
+                if SPAN_TAGGED_KINDS.iter().any(|k| toks[j].is_ident(k)) {
+                    sink.emit(
+                        "span-discipline",
+                        toks[i + 1].line,
+                        "io-path event emitted without provenance: use \
+                         emit_tagged with the originating span and batch id \
+                         so EXPLAIN ANALYZE can attribute coalesced I/O",
+                    );
+                    break;
+                }
+                j += 1;
+            }
         }
 
         if scope.pin_in_loop && info.in_loop[i] && method_call(toks, i, "pin") {

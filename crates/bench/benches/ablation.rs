@@ -198,7 +198,7 @@ fn bench_delta_merge(c: &mut Criterion) {
                     TCol::new("amount", DataType::Decimal),
                 ])
                 .unwrap();
-                let mut t = payg_table::Table::create(
+                let t = payg_table::Table::create(
                     pool,
                     config(),
                     schema,

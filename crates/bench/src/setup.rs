@@ -113,7 +113,7 @@ pub fn build_table(profile: &TableProfile, variant: Variant, cfg: &BenchConfig) 
             .and_then(|s| s.with_primary_key(&profile.columns[0].name))
             .expect("valid schema");
     }
-    let mut table = Table::create(
+    let table = Table::create(
         pool,
         cfg.page_config(),
         schema,

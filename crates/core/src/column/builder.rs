@@ -8,7 +8,7 @@ use crate::invidx::PagedInvertedIndex;
 use crate::{CoreResult, DataType, PageConfig, Value};
 use payg_encoding::{BitPackedVec, BitWidth};
 use payg_resman::Disposition;
-use payg_storage::BufferPool;
+use payg_storage::{BufferPool, ChainId};
 use std::collections::HashMap;
 use std::sync::Arc;
 
@@ -103,9 +103,16 @@ impl ColumnBuilder {
         let vids: Vec<u64> = values.iter().map(|v| vid_of[v.to_key().as_slice()]).collect();
         let packed = BitPackedVec::from_values_with_width(&vids, width);
 
-        // Persist the three structures (shared by both access modes).
+        // Persist the three structures (shared by both access modes). Each
+        // sub-build cleans up after its own failure; the scratch adopts the
+        // ones that succeeded so a *later* failure reclaims them too.
+        let mut scratch = crate::scratch::ChainScratch::new(pool);
         let (dict, dict_stats) = PagedDictionary::build(pool, config, &keys)?;
+        for (_, chain) in dict.chains() {
+            scratch.adopt(ChainId(chain));
+        }
         let data = PagedDataVector::build(pool, config, &packed)?;
+        scratch.adopt(ChainId(data.chain_id()));
         let effective_mode = match (self.index_mode, self.policy) {
             // Resident columns rebuild their whole image on load; adaptive
             // building degenerates to eager there.
@@ -126,6 +133,7 @@ impl ColumnBuilder {
                 built: Default::default(),
             },
         };
+        scratch.commit();
         let datavec_pages = data.pages();
         let index_pages = match &index {
             IndexSlot::Eager(i) => i.pages(),

@@ -219,6 +219,14 @@ impl ResidentColumn {
     }
 }
 
+impl Drop for ResidentColumn {
+    /// Deregisters the resident image's budget when the column is dropped
+    /// while loaded — retired main fragments must not strand resman bytes.
+    fn drop(&mut self) {
+        self.unload();
+    }
+}
+
 impl ColumnRead for ResidentColumn {
     fn len(&self) -> u64 {
         self.parts.len

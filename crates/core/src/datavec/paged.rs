@@ -72,7 +72,8 @@ impl PagedDataVector {
     pub fn build(pool: &BufferPool, config: &PageConfig, vec: &BitPackedVec) -> CoreResult<Self> {
         let store = Arc::clone(pool.store());
         let width = vec.width();
-        let chain = store.create_chain(config.datavec_page)?;
+        let mut scratch = crate::scratch::ChainScratch::new(pool);
+        let chain = scratch.create_chain(config.datavec_page)?;
         let cpp = if width.bits() == 0 {
             0
         } else {
@@ -119,6 +120,7 @@ impl PagedDataVector {
                 summaries.push((page_min, page_max));
             }
         }
+        scratch.commit();
         Ok(PagedDataVector {
             scan: ScanCounters::register(pool.registry()),
             pool: pool.clone(),

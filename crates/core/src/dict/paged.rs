@@ -179,8 +179,9 @@ impl PagedDictionary {
             "dictionary keys must be strictly increasing"
         );
         let store = Arc::clone(pool.store());
-        let overflow_chain = store.create_chain(config.overflow_page)?;
-        let dict_chain = store.create_chain(config.dict_page)?;
+        let mut scratch = crate::scratch::ChainScratch::new(pool);
+        let overflow_chain = scratch.create_chain(config.overflow_page)?;
+        let dict_chain = scratch.create_chain(config.dict_page)?;
 
         // Compressed-domain dictionary chain: train a symbol table on a key
         // sample and keep it only when it actually pays (the helper chains
@@ -256,7 +257,7 @@ impl PagedDictionary {
         }
 
         // ipDict_ValueId: plain little-endian u64 arrays.
-        let vid_helper_chain = store.create_chain(config.helper_page)?;
+        let vid_helper_chain = scratch.create_chain(config.helper_page)?;
         let epp = config.helper_page / 8;
         let mut vid_helper_page_last = Vec::new();
         let mut vid_helper_pages = 0u64;
@@ -273,7 +274,7 @@ impl PagedDictionary {
         }
 
         // ipDict_Value: separator blocks, same page format as the dictionary.
-        let value_helper_chain = store.create_chain(config.helper_page)?;
+        let value_helper_chain = scratch.create_chain(config.helper_page)?;
         let mut sep_writer = PageAssembler::new(config.helper_page);
         let mut value_helper_page_last: Vec<Vec<u8>> = Vec::new();
         let mut value_helper_pages = 0u64;
@@ -354,6 +355,7 @@ impl PagedDictionary {
             vid_helper_pages,
             value_helper_pages,
         };
+        scratch.commit();
         Ok((
             PagedDictionary {
                 pool: pool.clone(),

@@ -79,7 +79,8 @@ impl PagedInvertedIndex {
         let unique = cardinality == rows;
         let page = config.index_page;
         let store = Arc::clone(pool.store());
-        let chain = store.create_chain(page)?;
+        let mut scratch = crate::scratch::ChainScratch::new(pool);
+        let chain = scratch.create_chain(page)?;
 
         // Counting sort: postinglist = row positions grouped by vid.
         let mut offsets = vec![0u64; cardinality as usize + 1];
@@ -287,6 +288,7 @@ impl PagedInvertedIndex {
             codec,
             skip_pages,
         };
+        scratch.commit();
         Ok(PagedInvertedIndex { pool: pool.clone(), meta: Arc::new(meta) })
     }
 

@@ -30,6 +30,7 @@ pub mod dict;
 pub mod error;
 pub mod invidx;
 pub mod meta;
+pub mod scratch;
 pub mod sync;
 mod util;
 pub mod value;
@@ -39,4 +40,5 @@ pub use config::PageConfig;
 pub use datavec::{ScanOptions, ScanPartition};
 pub use error::{CoreError, CoreResult};
 pub use payg_encoding::dispatch::{ChainCodec, CodecKind, ProbeShape, ScanPath};
+pub use scratch::ChainScratch;
 pub use value::{DataType, Value, ValuePredicate};

@@ -1,0 +1,104 @@
+//! Build-time chain hygiene: an RAII scratch that discards uncommitted
+//! page chains when a builder unwinds with an error.
+//!
+//! A column persists as several page chains created at staggered points
+//! (dictionary + overflow + two helpers, data vector, inverted index). Any
+//! `?` between the first `create_chain` and the final assembly used to
+//! strand the chains already written: nothing referenced them, but the
+//! store kept their pages forever. Builders now allocate through a
+//! [`ChainScratch`] and call [`ChainScratch::commit`] exactly when
+//! ownership transfers to the returned reader; dropping an uncommitted
+//! scratch discards its chains from pool and store. This is what lets an
+//! aborted delta merge claim "nothing left behind" — the merge side-build
+//! can die at any point and every chain it touched is reclaimed.
+
+use payg_storage::{BufferPool, ChainId, StorageResult};
+
+/// Records page chains created during one build and reclaims them unless
+/// the build reaches [`ChainScratch::commit`].
+pub struct ChainScratch {
+    pool: BufferPool,
+    chains: Vec<ChainId>,
+    committed: bool,
+}
+
+impl ChainScratch {
+    /// An empty scratch tied to `pool` (and through it, the store).
+    pub fn new(pool: &BufferPool) -> Self {
+        ChainScratch { pool: pool.clone(), chains: Vec::new(), committed: false }
+    }
+
+    /// Creates a chain on the pool's store and records it for reclamation.
+    pub fn create_chain(&mut self, page_size: usize) -> StorageResult<ChainId> {
+        let chain = self.pool.store().create_chain(page_size)?;
+        self.chains.push(chain);
+        Ok(chain)
+    }
+
+    /// Adopts a chain created elsewhere (a sub-builder that already
+    /// committed its own scratch) into this scratch's blast radius.
+    pub fn adopt(&mut self, chain: ChainId) {
+        self.chains.push(chain);
+    }
+
+    /// Transfers ownership of every recorded chain to the built structure:
+    /// the scratch forgets them and its `Drop` becomes a no-op.
+    pub fn commit(mut self) {
+        self.committed = true;
+    }
+}
+
+impl Drop for ChainScratch {
+    fn drop(&mut self) {
+        if !self.committed {
+            for &chain in &self.chains {
+                self.pool.discard_chain(chain);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use payg_resman::ResourceManager;
+    use payg_storage::{MemStore, PageStore};
+    use std::sync::Arc;
+
+    #[test]
+    fn uncommitted_scratch_discards_its_chains() {
+        let store = Arc::new(MemStore::new());
+        let pool = BufferPool::new(Arc::clone(&store) as Arc<dyn PageStore>, ResourceManager::new());
+        {
+            let mut scratch = ChainScratch::new(&pool);
+            let c = scratch.create_chain(64).unwrap();
+            store.append_page(c, &[1, 2, 3]).unwrap();
+            assert_eq!(store.chains().len(), 1);
+        }
+        assert!(store.chains().is_empty(), "dropped scratch reclaims the chain");
+    }
+
+    #[test]
+    fn committed_scratch_keeps_chains_and_adoptions() {
+        let store = Arc::new(MemStore::new());
+        let pool = BufferPool::new(Arc::clone(&store) as Arc<dyn PageStore>, ResourceManager::new());
+        let side = store.create_chain(64).unwrap();
+        let mut scratch = ChainScratch::new(&pool);
+        scratch.create_chain(64).unwrap();
+        scratch.adopt(side);
+        scratch.commit();
+        assert_eq!(store.chains().len(), 2, "commit severs the reclamation");
+    }
+
+    #[test]
+    fn adopted_chains_die_with_an_uncommitted_scratch() {
+        let store = Arc::new(MemStore::new());
+        let pool = BufferPool::new(Arc::clone(&store) as Arc<dyn PageStore>, ResourceManager::new());
+        let side = store.create_chain(64).unwrap();
+        {
+            let mut scratch = ChainScratch::new(&pool);
+            scratch.adopt(side);
+        }
+        assert!(store.chains().is_empty());
+    }
+}

@@ -163,6 +163,22 @@ declare_names! {
     /// recently built inverted index (gauge, labelled `pool`).
     PEF_CHUNK_BITS = "pef_chunk_bits", labels: [pool];
 
+    /// Reader sessions currently admitted to a table's serving layer
+    /// (gauge).
+    TABLE_SESSIONS_ACTIVE = "table_sessions_active", labels: [];
+    /// Sessions that had to queue behind the admission limit before being
+    /// granted.
+    TABLE_SESSIONS_QUEUED = "table_sessions_queued", labels: [];
+    /// Sessions rejected by admission control — queue full or wait timed
+    /// out.
+    TABLE_SESSIONS_REJECTED = "table_sessions_rejected", labels: [];
+    /// Online delta-merge duration histogram in nanoseconds (aborted
+    /// merges record too, so abort latency is visible).
+    TABLE_MERGE_NS = "table_merge_ns", labels: [];
+    /// Table versions currently live — pinned snapshots keep retired
+    /// versions alive, so this gauge exposes retirement lag (gauge).
+    TABLE_VERSIONS_LIVE = "table_versions_live", labels: [];
+
     /// Trace events overwritten because a per-thread ring was full —
     /// injected into snapshots by the registry from the tracer's drop
     /// counts, so ring overflow is visible instead of silent.

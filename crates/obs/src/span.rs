@@ -47,6 +47,11 @@ pub enum SpanKind {
     /// One codec dispatch decision in a paged reader (`detail` = 1 for
     /// compressed-domain traversal, 0 for decode-then-scan).
     ChunkDispatch,
+    /// One online delta merge of a partition (`detail` = partition index).
+    Merge,
+    /// A session admission that had to queue behind the concurrency limit
+    /// (`detail` = queue depth observed on entry).
+    Admission,
 }
 
 impl SpanKind {
@@ -58,6 +63,8 @@ impl SpanKind {
             SpanKind::PageWait => "page-wait",
             SpanKind::IoBatch => "io-batch",
             SpanKind::ChunkDispatch => "chunk-dispatch",
+            SpanKind::Merge => "merge",
+            SpanKind::Admission => "admission",
         }
     }
 }

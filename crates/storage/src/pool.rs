@@ -4,7 +4,9 @@ use crate::iostage::{self, Completion, DeadlineClass, FetchRequest, IoStage, IoS
 use crate::metrics::{MetricCounters, ShardCounters, ShardMetrics};
 use crate::store::{real_sleeper, Sleeper};
 use crate::sync::{Condvar, LockRank, Mutex, MutexGuard, RwLock};
-use crate::{FaultClass, IoProfile, PageKey, PageStore, PoolMetrics, StorageError, StorageResult};
+use crate::{
+    ChainId, FaultClass, IoProfile, PageKey, PageStore, PoolMetrics, StorageError, StorageResult,
+};
 use crossbeam::channel::{unbounded, Sender};
 use payg_check::PinTracker;
 use payg_obs::{EventKind, Registry, SpanKind, Tracer};
@@ -743,6 +745,40 @@ impl BufferPool {
                 false
             });
         }
+    }
+
+    /// Discards one chain wholesale: every unpinned resident frame of the
+    /// chain is dropped (resource deregistered, transient state destroyed),
+    /// its quarantine entries are forgotten, and the chain is deleted from
+    /// the backing store. This is the table layer's version-retirement hook:
+    /// it runs only once the last snapshot holding the owning fragment has
+    /// dropped, so no scan can pin these pages again. In-flight loads and
+    /// still-pinned frames are left alone — their guards keep working
+    /// against the already-read bytes; the frames die on their next
+    /// eviction sweep.
+    pub fn discard_chain(&self, chain: ChainId) {
+        for shard in self.inner.shards.iter() {
+            let mut state = shard.lock();
+            state.quarantine.retain(|key, _| key.chain != chain);
+            state.slots.retain(|key, slot| {
+                if key.chain != chain {
+                    return true;
+                }
+                let Slot::Resident(frame) = slot else {
+                    return true;
+                };
+                if Arc::strong_count(frame) > 1 {
+                    return true;
+                }
+                self.inner.resman.deregister(frame.rid());
+                *frame.transient.write() = None;
+                false
+            });
+        }
+        // Best-effort on the store side: a chain another path already
+        // dropped (or a store without the page ever written) is fine — the
+        // chain is unreachable from every live version either way.
+        let _ = self.inner.store.drop_chain(chain);
     }
 
     /// Pool activity counters, rolled up over all shards.

@@ -87,7 +87,7 @@ mod tests {
         .with_partition_column("close_date")
         .unwrap();
         let pool = BufferPool::new(Arc::new(MemStore::new()), ResourceManager::new());
-        let mut t = Table::create(
+        let t = Table::create(
             pool,
             PageConfig::tiny(),
             schema,

@@ -17,7 +17,7 @@ use crate::delta::DeltaFragment;
 use crate::fragment::MainFragment;
 use crate::partition::{PartitionRange, PartitionSpec};
 use crate::schema::{ColumnSpec, Schema};
-use crate::table::{Partition, Table};
+use crate::table::Table;
 use crate::{TableError, TableResult};
 use payg_core::column::{disposition_from, disposition_tag, Column};
 use payg_core::meta::{MetaReader, MetaWriter};
@@ -72,8 +72,13 @@ impl Table {
     /// and returns its id. Fails unless every delta is empty and every main
     /// fragment is deletion-free (run [`Table::delta_merge_all`] first).
     pub fn checkpoint(&self) -> TableResult<ChainId> {
-        for (i, p) in self.partitions().iter().enumerate() {
-            if !p.delta().is_empty() || p.main().visible_rows() != p.main().rows() {
+        // One pinned version for the whole checkpoint: validation and
+        // serialization see the same fragments.
+        let parts = self.partitions();
+        for (i, p) in parts.iter().enumerate() {
+            if !p.delta_view().is_empty()
+                || p.main_frag().visible_rows() != p.main_frag().rows()
+            {
                 return Err(TableError::Invalid(format!(
                     "checkpoint requires a merged table; partition {i} has pending changes \
                      (run delta_merge_all first)"
@@ -121,8 +126,8 @@ impl Table {
         }
         w.u64((cfg.dict_fsst as u64) | ((cfg.pef_postings as u64) << 1));
         // Partitions.
-        w.u64(self.partitions().len() as u64);
-        for p in self.partitions() {
+        w.u64(parts.len() as u64);
+        for p in &parts {
             let spec = p.spec();
             w.str(&spec.name);
             match &spec.range {
@@ -143,8 +148,8 @@ impl Table {
             }
             w.u8(policy_tag(spec.load_policy));
             w.u8(disposition_tag(spec.disposition));
-            w.u64(p.main().rows());
-            for col in p.main().columns() {
+            w.u64(p.main_frag().rows());
+            for col in p.main_frag().columns() {
                 w.bytes(&col.meta_bytes());
             }
         }
@@ -258,7 +263,7 @@ impl Table {
                 columns.push(Column::open(&pool, &frame).map_err(TableError::Core)?);
             }
             let spec = PartitionSpec { name, range, load_policy, disposition };
-            partitions.push(Partition::from_parts(
+            partitions.push((
                 spec,
                 MainFragment::from_columns(columns, rows),
                 DeltaFragment::new(&schema),
@@ -289,7 +294,7 @@ mod tests {
         .unwrap()
         .with_partition_column("temp")
         .unwrap();
-        let mut t = Table::create(
+        let t = Table::create(
             pool.clone(),
             PageConfig::tiny(),
             schema,
@@ -334,7 +339,6 @@ mod tests {
         );
         assert_eq!(format!("{:?}", reopened.execute(&q).unwrap()), before);
         // The reopened table is fully writable again.
-        let mut reopened = reopened;
         reopened
             .insert(vec![
                 Value::Integer(1_000),
@@ -349,7 +353,7 @@ mod tests {
     #[test]
     fn checkpoint_rejects_unmerged_tables() {
         let pool = BufferPool::new(Arc::new(MemStore::new()), ResourceManager::new());
-        let mut t = aged_table(&pool);
+        let t = aged_table(&pool);
         t.insert(vec![
             Value::Integer(999),
             Value::Varchar("pending".into()),

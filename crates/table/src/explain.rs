@@ -341,9 +341,13 @@ impl Table {
     /// its enabled state is restored on return. Exact when nothing else
     /// drives the same pool concurrently.
     pub fn explain_analyze(&self, q: &Query) -> TableResult<(QueryResult, ExplainAnalyze)> {
+        // One snapshot for the whole report: the plan, the execution and
+        // the annotation all see the same pinned version even when a merge
+        // publishes mid-run.
+        let session = self.session()?;
         // The plan as it stands *before* execution — an adaptive index
         // built during the run is an actual, not part of the plan.
-        let plan = self.scan_plan(q)?;
+        let plan = session.scan_plan(q)?;
         let tracer = self.registry().tracer().clone();
         let was_enabled = tracer.enabled();
         tracer.drain();
@@ -354,7 +358,7 @@ impl Table {
         let started = std::time::Instant::now();
         let root_span = tracer.span(SpanKind::Query, 0);
         let root = root_span.id();
-        let result = self.execute(q);
+        let result = session.execute(q);
         drop(root_span);
         let elapsed_ns = started.elapsed().as_nanos() as u64;
         let after = ObsSnapshot::collect(self.registry());
@@ -366,7 +370,7 @@ impl Table {
         let spans = tracer.drain_spans();
         let result = result?;
 
-        let delta = after.delta(&before);
+        let delta = ObsSnapshot::delta(&after, &before);
         let mut profile = ScanProfile::from_delta(&delta);
         profile.elapsed_ns = elapsed_ns;
 
@@ -430,10 +434,10 @@ impl Table {
             Some((name, _)) => Some(self.schema().column_index(name)?),
             None => None,
         };
-        for (pi, p) in self.partitions().iter().enumerate() {
+        for (pi, p) in session.partitions().iter().enumerate() {
             let mut chains = Vec::new();
             for (ci, spec) in self.schema().columns().iter().enumerate() {
-                for (role, chain) in p.main().column(ci).chains() {
+                for (role, chain) in p.main_frag().column(ci).chains() {
                     let actuals = by_chain
                         .get(&chain)
                         .copied()

@@ -5,6 +5,11 @@
 //! loadable depending on the owning partition's load policy — plus a
 //! deleted-row bitmap: deletes (e.g. rows aged out to a cold partition) only
 //! flip visibility; the rows physically disappear at the next delta merge.
+//!
+//! The deleted bitmap is interior-mutable (`RwLock`): fragments are shared
+//! across table versions by the serving layer, and row deletes are
+//! read-committed — they flip visibility in every version holding the
+//! fragment, while structural changes go through version publication.
 
 use crate::bitmap::RowBitmap;
 use crate::schema::{Row, Schema};
@@ -12,18 +17,24 @@ use crate::TableResult;
 use payg_core::column::{Column, ColumnRead};
 use payg_core::{ColumnBuilder, LoadPolicy, PageConfig, ScanOptions, Value, ValuePredicate};
 use payg_resman::Disposition;
-use payg_storage::BufferPool;
+use payg_storage::{BufferPool, ChainId};
+use std::sync::{RwLock, RwLockReadGuard};
 
 /// The main fragment of one partition.
 pub struct MainFragment {
     columns: Vec<Column>,
     rows: u64,
-    deleted: RowBitmap,
+    deleted: RwLock<RowBitmap>,
 }
 
 impl MainFragment {
     /// Builds a main fragment from materialized rows (the delta-merge
     /// output path). Columns are persisted and constructed per `policy`.
+    ///
+    /// Crash-safe: when any column build fails (storage fault, budget,
+    /// corruption), the page chains of the columns already built are
+    /// discarded from the pool and the store before the error propagates —
+    /// an aborted merge leaves nothing behind.
     pub fn build(
         pool: &BufferPool,
         config: &PageConfig,
@@ -39,16 +50,39 @@ impl MainFragment {
                 .policy(spec.load_policy.unwrap_or(policy))
                 .with_index(spec.with_index)
                 .resident_disposition(disposition)
-                .build(pool, config, &values)?;
-            columns.push(built.column);
+                .build(pool, config, &values);
+            match built {
+                Ok(b) => columns.push(b.column),
+                Err(e) => {
+                    // Sibling columns of the failed build are side-built
+                    // state nothing references yet: reclaim their chains.
+                    for col in &columns {
+                        for (_, chain) in col.chains() {
+                            pool.discard_chain(ChainId(chain));
+                        }
+                    }
+                    return Err(e.into());
+                }
+            }
         }
-        Ok(MainFragment { columns, rows: rows.len() as u64, deleted: RowBitmap::new() })
+        Ok(MainFragment {
+            columns,
+            rows: rows.len() as u64,
+            deleted: RwLock::new(RowBitmap::new()),
+        })
     }
 
     /// Reassembles a fragment from reopened columns (catalog restore).
     /// Checkpoints require merged fragments, so the deleted bitmap is empty.
     pub(crate) fn from_columns(columns: Vec<Column>, rows: u64) -> Self {
-        MainFragment { columns, rows, deleted: RowBitmap::new() }
+        MainFragment { columns, rows, deleted: RwLock::new(RowBitmap::new()) }
+    }
+
+    fn deleted(&self) -> RwLockReadGuard<'_, RowBitmap> {
+        match self.deleted.read() {
+            Ok(g) => g,
+            Err(p) => p.into_inner(),
+        }
     }
 
     /// Total rows (including deleted).
@@ -58,7 +92,7 @@ impl MainFragment {
 
     /// Visible rows.
     pub fn visible_rows(&self) -> u64 {
-        self.rows - self.deleted.count()
+        self.rows - self.deleted().count()
     }
 
     /// The columns (schema order).
@@ -71,15 +105,19 @@ impl MainFragment {
         &self.columns[idx]
     }
 
-    /// Marks a row deleted.
-    pub fn delete(&mut self, rpos: u64) {
+    /// Marks a row deleted. `&self`: visibility is shared by every table
+    /// version holding this fragment (read-committed deletes).
+    pub fn delete(&self, rpos: u64) {
         debug_assert!(rpos < self.rows);
-        self.deleted.set(rpos);
+        match self.deleted.write() {
+            Ok(mut g) => g.set(rpos),
+            Err(p) => p.into_inner().set(rpos),
+        }
     }
 
     /// True when `rpos` is visible.
     pub fn is_visible(&self, rpos: u64) -> bool {
-        !self.deleted.get(rpos)
+        !self.deleted().get(rpos)
     }
 
     /// The value at (`rpos`, `col`).
@@ -107,8 +145,9 @@ impl MainFragment {
         opts: ScanOptions,
     ) -> TableResult<Vec<u64>> {
         let mut rows = self.columns[col].find_rows_par(pred, 0, self.rows, opts)?;
-        if !self.deleted.is_empty() {
-            rows.retain(|&r| !self.deleted.get(r));
+        let deleted = self.deleted();
+        if !deleted.is_empty() {
+            rows.retain(|&r| !deleted.get(r));
         }
         Ok(rows)
     }
@@ -116,7 +155,10 @@ impl MainFragment {
     /// Materializes every visible row (the delta-merge input path).
     pub fn visible_row_values(&self) -> TableResult<Vec<Row>> {
         // Column-wise materialization: one pass per column.
-        let visible: Vec<u64> = (0..self.rows).filter(|&r| !self.deleted.get(r)).collect();
+        let visible: Vec<u64> = {
+            let deleted = self.deleted();
+            (0..self.rows).filter(|&r| !deleted.get(r)).collect()
+        };
         let mut rows: Vec<Row> = vec![Vec::with_capacity(self.columns.len()); visible.len()];
         for col in &self.columns {
             let values = col.get_values(&visible)?;
@@ -187,7 +229,7 @@ mod tests {
 
     #[test]
     fn deletes_hide_rows_from_scans() {
-        let (_, mut main) = setup(LoadPolicy::PageLoadable);
+        let (_, main) = setup(LoadPolicy::PageLoadable);
         let pred = ValuePredicate::Eq(Value::Varchar("grade-3".into()));
         let before = main.find_rows(1, &pred).unwrap();
         assert!(before.contains(&3));
@@ -201,7 +243,7 @@ mod tests {
 
     #[test]
     fn visible_row_values_roundtrip() {
-        let (_, mut main) = setup(LoadPolicy::FullyResident);
+        let (_, main) = setup(LoadPolicy::FullyResident);
         main.delete(0);
         main.delete(199);
         let rows = main.visible_row_values().unwrap();

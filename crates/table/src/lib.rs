@@ -17,6 +17,7 @@
 #![deny(missing_docs)]
 #![forbid(unsafe_code)]
 
+pub mod admission;
 pub mod aging;
 pub mod bitmap;
 pub mod catalog;
@@ -29,7 +30,9 @@ pub mod query;
 pub mod schema;
 pub mod stats;
 pub mod table;
+pub mod version;
 
+pub use admission::{AdmissionConfig, AdmissionController};
 pub use aging::AgingPolicy;
 pub use error::{TableError, TableResult};
 pub use explain::{ChainActuals, ChainExplain, ExplainAnalyze, PartitionExplain};
@@ -37,4 +40,5 @@ pub use partition::{PartitionId, PartitionRange, PartitionSpec};
 pub use query::{Projection, Query, QueryResult};
 pub use schema::{ColumnSpec, Row, Schema};
 pub use stats::{ColumnStats, PartitionStats, TableStats};
-pub use table::Table;
+pub use table::{Snapshot, Table};
+pub use version::{DeltaView, Partition};

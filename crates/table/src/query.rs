@@ -8,9 +8,15 @@
 //! partition, unions the results after visibility filtering (§2), and
 //! projects with late materialization — row positions first, then one
 //! dictionary lookup per distinct identifier per projected column.
+//!
+//! The executor runs on a [`Snapshot`]: every query pins one table version
+//! at entry and evaluates entirely against it, so an online delta merge
+//! publishing mid-query can never mix pre- and post-merge fragments into
+//! one answer. [`Table::execute`] is a convenience that opens a session
+//! (through admission control) per call.
 
 use crate::schema::Row;
-use crate::table::Table;
+use crate::table::{Snapshot, Table};
 use crate::{TableError, TableResult};
 use payg_core::column::ColumnRead;
 use payg_core::{DataType, ScanPath, Value, ValuePredicate};
@@ -110,45 +116,65 @@ impl RowAddr {
 }
 
 impl Table {
-    /// Executes a query and returns the [`payg_obs::ScanProfile`] of the
-    /// work it caused, measured as the registry delta around execution
-    /// (every layer under this table — datavec iterators, buffer pool,
-    /// columns — reports into the table's registry). The profile is exact
-    /// when no other work drives the same registry concurrently.
+    /// Executes a query against a fresh snapshot and returns the
+    /// [`payg_obs::ScanProfile`] of the work it caused, measured as the
+    /// registry delta around execution (every layer under this table —
+    /// datavec iterators, buffer pool, columns — reports into the table's
+    /// registry). The profile is exact when no other work drives the same
+    /// registry concurrently.
     pub fn execute_profiled(
         &self,
         q: &Query,
     ) -> TableResult<(QueryResult, payg_obs::ScanProfile)> {
+        let session = self.session()?;
         let before = payg_obs::ObsSnapshot::collect(self.registry());
         let started = std::time::Instant::now();
         // Flight recorder: the whole execution runs under one query span,
         // so scan-partition / page-wait / io-batch children parent to it.
         let span = self.registry().tracer().span(payg_obs::SpanKind::Query, 0);
-        let result = self.execute(q)?;
+        let result = session.execute(q)?;
         drop(span);
         let elapsed_ns = started.elapsed().as_nanos() as u64;
         let after = payg_obs::ObsSnapshot::collect(self.registry());
-        let mut profile = payg_obs::ScanProfile::from_delta(&after.delta(&before));
+        let counters = payg_obs::ObsSnapshot::delta(&after, &before);
+        let mut profile = payg_obs::ScanProfile::from_delta(&counters);
         profile.elapsed_ns = elapsed_ns;
         Ok((result, profile))
     }
 
+    /// [`Snapshot::scan_plan`] on a fresh snapshot.
+    pub fn scan_plan(&self, q: &Query) -> TableResult<Vec<ScanPath>> {
+        self.session()?.scan_plan(q)
+    }
+
+    /// Executes a query on a fresh snapshot (one coherent table version,
+    /// admission-controlled).
+    pub fn execute(&self, q: &Query) -> TableResult<QueryResult> {
+        self.session()?.execute(q)
+    }
+}
+
+impl Snapshot<'_> {
     /// The scan strategy `q`'s filter resolves to on each partition's main
     /// fragment: [`ScanPath::CompressedDomain`] where the codec dispatch
     /// seam will run the probe on compressed bytes (PEF `next_geq` over
     /// posting partitions), [`ScanPath::DecodeThenScan`] otherwise
     /// (resident columns, plain chains, range shapes, no filter). Purely
-    /// informational — [`Table::execute`] consults the same seam per
+    /// informational — [`Snapshot::execute`] consults the same seam per
     /// postinglist; this surfaces the decision for tests and benches.
     pub fn scan_plan(&self, q: &Query) -> TableResult<Vec<ScanPath>> {
         let Some((name, pred)) = &q.filter else {
             return Ok(vec![ScanPath::DecodeThenScan; self.partitions().len()]);
         };
         let col = self.schema().column_index(name)?;
-        Ok(self.partitions().iter().map(|p| p.main().column(col).scan_path(pred)).collect())
+        Ok(self
+            .partitions()
+            .iter()
+            .map(|p| p.main_frag().column(col).scan_path(pred))
+            .collect())
     }
 
-    /// Executes a query.
+    /// Executes a query against this snapshot's pinned version.
     pub fn execute(&self, q: &Query) -> TableResult<QueryResult> {
         // COUNT avoids materializing row positions when the inverted index's
         // directory can answer directly (Alg. 5's counting shortcut).
@@ -234,7 +260,7 @@ impl Table {
             }
         };
         for p in self.partitions() {
-            let main = p.main();
+            let main = p.main_frag();
             // Deleted rows may hide the extreme: fall back to a projection
             // over visible rows (rare; only between a delete and its merge).
             if main.visible_rows() != main.rows() {
@@ -249,9 +275,10 @@ impl Table {
                 let key = payg_core::column::ColumnRead::key_by_vid(c, vid)?;
                 offer(Value::from_key(ty, &key).map_err(TableError::Core)?);
             }
-            for rpos in 0..p.delta().rows() {
-                if p.delta().is_visible(rpos) {
-                    offer(p.delta().value(rpos, col, self.schema())?);
+            let delta = p.delta_view();
+            for rpos in 0..delta.rows() {
+                if delta.is_visible(rpos) {
+                    offer(delta.value(rpos, col, self.schema())?);
                 }
             }
         }
@@ -270,18 +297,19 @@ impl Table {
             if !p.spec().range.may_match_on(col, self.schema().partition_column(), pred) {
                 continue;
             }
-            if p.main().visible_rows() == p.main().rows() {
+            let main = p.main_frag();
+            if main.visible_rows() == main.rows() {
                 n += payg_core::column::ColumnRead::count_rows_par(
-                    p.main().column(col),
+                    main.column(col),
                     pred,
                     0,
-                    p.main().rows(),
+                    main.rows(),
                     self.scan_options(),
                 )?;
             } else {
-                n += p.main().find_rows_par(col, pred, self.scan_options())?.len() as u64;
+                n += main.find_rows_par(col, pred, self.scan_options())?.len() as u64;
             }
-            n += p.delta().find_rows(col, pred, self.schema())?.len() as u64;
+            n += p.delta_view().find_rows(col, pred, self.schema())?.len() as u64;
         }
         Ok(n)
     }
@@ -293,7 +321,7 @@ impl Table {
         let ty = self.schema().columns()[col].data_type;
         let mut keys: Vec<Vec<u8>> = Vec::new();
         for p in self.partitions() {
-            let main = p.main();
+            let main = p.main_frag();
             if main.visible_rows() != main.rows() {
                 // Deleted rows can orphan dictionary entries: project.
                 let vis: Vec<u64> = (0..main.rows()).filter(|&r| main.is_visible(r)).collect();
@@ -306,9 +334,10 @@ impl Table {
                     keys.push(payg_core::column::ColumnRead::key_by_vid(c, vid)?);
                 }
             }
-            for rpos in 0..p.delta().rows() {
-                if p.delta().is_visible(rpos) {
-                    keys.push(p.delta().value(rpos, col, self.schema())?.to_key());
+            let delta = p.delta_view();
+            for rpos in 0..delta.rows() {
+                if delta.is_visible(rpos) {
+                    keys.push(delta.value(rpos, col, self.schema())?.to_key());
                 }
             }
         }
@@ -334,23 +363,25 @@ impl Table {
                     if !p.spec().range.may_match_on(col, self.schema().partition_column(), pred) {
                         continue;
                     }
-                    for rpos in p.main().find_rows_par(col, pred, self.scan_options())? {
+                    for rpos in p.main_frag().find_rows_par(col, pred, self.scan_options())? {
                         addrs.push(RowAddr { partition: pi, in_delta: false, rpos });
                     }
-                    for rpos in p.delta().find_rows(col, pred, self.schema())? {
+                    for rpos in p.delta_view().find_rows(col, pred, self.schema())? {
                         addrs.push(RowAddr { partition: pi, in_delta: true, rpos });
                     }
                 }
             }
             None => {
                 for (pi, p) in self.partitions().iter().enumerate() {
-                    for rpos in 0..p.main().rows() {
-                        if p.main().is_visible(rpos) {
+                    let main = p.main_frag();
+                    for rpos in 0..main.rows() {
+                        if main.is_visible(rpos) {
                             addrs.push(RowAddr { partition: pi, in_delta: false, rpos });
                         }
                     }
-                    for rpos in 0..p.delta().rows() {
-                        if p.delta().is_visible(rpos) {
+                    let delta = p.delta_view();
+                    for rpos in 0..delta.rows() {
+                        if delta.is_visible(rpos) {
                             addrs.push(RowAddr { partition: pi, in_delta: true, rpos });
                         }
                     }
@@ -377,7 +408,7 @@ impl Table {
             if !slots.is_empty() {
                 let rposs: Vec<u64> = slots.iter().map(|&i| addrs[i].rpos).collect();
                 for &c in &cols {
-                    let values = p.main().column(c).get_values(&rposs)?;
+                    let values = p.main_frag().column(c).get_values(&rposs)?;
                     for (&slot, v) in slots.iter().zip(values) {
                         rows[slot].push(v);
                     }
@@ -386,7 +417,7 @@ impl Table {
             for (i, addr) in addrs.iter().enumerate() {
                 if addr.partition == pi && addr.in_delta {
                     for &c in &cols {
-                        rows[i].push(p.delta().value(addr.rpos, c, self.schema())?);
+                        rows[i].push(p.delta_view().value(addr.rpos, c, self.schema())?);
                     }
                 }
             }
@@ -456,7 +487,7 @@ mod tests {
         .with_primary_key("id")
         .unwrap();
         let pool = BufferPool::new(Arc::new(MemStore::new()), ResourceManager::new());
-        let mut t = Table::create(
+        let t = Table::create(
             pool,
             PageConfig::tiny(),
             schema,
@@ -545,6 +576,26 @@ mod tests {
     }
 
     #[test]
+    fn session_reuses_one_version_for_many_queries() {
+        let t = table(LoadPolicy::PageLoadable);
+        let s = t.session().unwrap();
+        let count_all = Query::full(Projection::Count);
+        assert_eq!(s.execute(&count_all).unwrap().count(), 320);
+        // Concurrent write + merge: the session's answers do not move.
+        t.insert(vec![
+            Value::Integer(999),
+            Value::Varchar("region-9".into()),
+            Value::Decimal(1),
+            Value::Double(0.5),
+        ])
+        .unwrap();
+        t.delta_merge_all().unwrap();
+        assert_eq!(s.execute(&count_all).unwrap().count(), 320);
+        // A fresh session sees the new row.
+        assert_eq!(t.execute(&count_all).unwrap().count(), 321);
+    }
+
+    #[test]
     fn scan_plan_reports_compressed_domain_per_codec() {
         // An indexed column under the default config carries PEF postings:
         // point and set probes run in the compressed domain, ranges decode.
@@ -554,7 +605,7 @@ mod tests {
         ])
         .unwrap();
         let pool = BufferPool::new(Arc::new(MemStore::new()), ResourceManager::new());
-        let mut t = Table::create(
+        let t = Table::create(
             pool,
             PageConfig::tiny(),
             schema,
@@ -603,7 +654,7 @@ mod tests {
             .unwrap();
             let pool = BufferPool::new(Arc::new(MemStore::new()), ResourceManager::new());
             let config = PageConfig { pef_postings: pef, ..PageConfig::tiny() };
-            let mut t = Table::create(
+            let t = Table::create(
                 pool,
                 config,
                 schema,
@@ -753,7 +804,7 @@ mod minmax_tests {
         .with_primary_key("id")
         .unwrap();
         let pool = BufferPool::new(Arc::new(MemStore::new()), ResourceManager::new());
-        let mut t = Table::create(
+        let t = Table::create(
             pool,
             PageConfig::tiny(),
             schema,
@@ -858,7 +909,7 @@ mod minmax_tests {
 
     #[test]
     fn min_max_after_deletes_falls_back_correctly() {
-        let mut t = minmax_table();
+        let t = minmax_table();
         // Delete the extreme delta rows by moving... the engine has no bare
         // delete; emulate by updating them out through update_rows on a
         // non-partitioned table (update keeps them). Instead: delete via

@@ -55,23 +55,25 @@ pub struct TableStats {
 
 impl Table {
     /// Collects a statistics snapshot. Cheap: no pages load (all numbers
-    /// come from metadata and the resident delta).
+    /// come from metadata and the resident delta). One pinned version: the
+    /// numbers are internally consistent even during a merge.
     pub fn table_stats(&self) -> TableStats {
-        let partitions = self
-            .partitions()
+        let parts = self.partitions();
+        let visible_rows = parts.iter().map(|p| p.visible_rows()).sum();
+        let partitions = parts
             .iter()
             .map(|p| PartitionStats {
                 name: p.spec().name.clone(),
                 load_policy: p.spec().load_policy,
-                main_rows: p.main().rows(),
-                main_deleted: p.main().rows() - p.main().visible_rows(),
-                delta_rows: p.delta().visible_rows(),
-                delta_bytes: p.delta().heap_bytes(),
+                main_rows: p.main_frag().rows(),
+                main_deleted: p.main_frag().rows() - p.main_frag().visible_rows(),
+                delta_rows: p.delta_view().visible_rows(),
+                delta_bytes: p.delta_view().heap_bytes(),
                 columns: self
                     .schema()
                     .columns()
                     .iter()
-                    .zip(p.main().columns())
+                    .zip(p.main_frag().columns())
                     .map(|(spec, col)| ColumnStats {
                         name: spec.name.clone(),
                         data_type: spec.data_type,
@@ -82,7 +84,7 @@ impl Table {
                     .collect(),
             })
             .collect();
-        TableStats { visible_rows: self.visible_rows(), partitions }
+        TableStats { visible_rows, partitions }
     }
 }
 
@@ -144,7 +146,7 @@ mod tests {
         .with_partition_column("temp")
         .unwrap();
         let pool = BufferPool::new(Arc::new(MemStore::new()), ResourceManager::new());
-        let mut t = Table::create(
+        let t = Table::create(
             pool,
             PageConfig::tiny(),
             schema,

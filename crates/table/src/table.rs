@@ -1,49 +1,89 @@
-//! The partitioned columnar table.
+//! The partitioned columnar table, served through a version chain.
+//!
+//! Every structural state of the table — per-partition `{main, frozen
+//! deltas, active delta}` — is an immutable [`crate::version::TableVersion`]
+//! published atomically. Readers enter through [`Table::session`] (`&self`,
+//! cheap Arc clone) and evaluate against their pinned version; writers
+//! append to the active delta cell; [`Table::delta_merge`] freezes the
+//! delta, builds the replacement main fragment off to the side, and
+//! publishes the result without ever blocking a reader (§2, §8 — queries
+//! keep running during the merge).
 
+use crate::admission::{AdmissionConfig, AdmissionController, AdmissionPermit};
 use crate::delta::DeltaFragment;
 use crate::fragment::MainFragment;
 use crate::partition::{PartitionId, PartitionSpec};
 use crate::schema::{Row, Schema};
+use crate::version::{
+    DeltaCell, MainHandle, Partition, PartitionVersion, TableVersion, VersionChain,
+};
 use crate::{TableError, TableResult};
 use payg_core::{PageConfig, ScanOptions, Value, ValuePredicate};
+use payg_obs::{names, Gauge, Histogram, SpanKind};
 use payg_storage::BufferPool;
-
-/// One partition: spec + main fragment + delta fragment.
-pub struct Partition {
-    spec: PartitionSpec,
-    main: MainFragment,
-    delta: DeltaFragment,
-}
-
-impl Partition {
-    /// The partition's configuration.
-    pub fn spec(&self) -> &PartitionSpec {
-        &self.spec
-    }
-
-    /// The read-optimized fragment.
-    pub fn main(&self) -> &MainFragment {
-        &self.main
-    }
-
-    /// The write-optimized fragment.
-    pub fn delta(&self) -> &DeltaFragment {
-        &self.delta
-    }
-
-    /// Visible rows across both fragments.
-    pub fn visible_rows(&self) -> u64 {
-        self.main.visible_rows() + self.delta.visible_rows()
-    }
-}
+use std::sync::{Arc, Mutex};
 
 /// A partitioned columnar table (paper §2, §4).
 pub struct Table {
     schema: Schema,
     pool: BufferPool,
     config: PageConfig,
-    partitions: Vec<Partition>,
+    chain: VersionChain,
+    /// One merge lock per partition: serializes merges (and the cross-
+    /// partition DML that must not interleave with them) without ever
+    /// being taken by readers.
+    merge_locks: Vec<Arc<Mutex<()>>>,
+    admission: AdmissionController,
     scan_options: ScanOptions,
+    versions_live: Gauge,
+    merge_ns: Histogram,
+}
+
+/// A read session pinned to one table version (`Table::session()`).
+///
+/// The snapshot observes the table exactly as it stood at session start:
+/// main fragments are pinned (a merge publishing a replacement does not
+/// retire this one's page chains while the snapshot lives), and the delta
+/// is clipped to the rows present at session time. Dropping the snapshot
+/// releases the admission slot and, when it was the last holder of a
+/// replaced version, triggers retirement of that version's page chains.
+pub struct Snapshot<'a> {
+    table: &'a Table,
+    version: Arc<TableVersion>,
+    parts: Vec<Partition>,
+    _permit: AdmissionPermit<'a>,
+}
+
+impl Snapshot<'_> {
+    /// The pinned version's ordinal (diagnostics; monotonically increasing).
+    pub fn version_no(&self) -> u64 {
+        self.version.vno
+    }
+
+    /// The partitions as of this snapshot.
+    pub fn partitions(&self) -> &[Partition] {
+        &self.parts
+    }
+
+    /// The table's schema.
+    pub fn schema(&self) -> &Schema {
+        self.table.schema()
+    }
+
+    /// The scan parallelism the owning table was configured with.
+    pub fn scan_options(&self) -> ScanOptions {
+        self.table.scan_options()
+    }
+
+    /// The owning table's observability registry.
+    pub fn registry(&self) -> &payg_obs::Registry {
+        self.table.registry()
+    }
+
+    /// Visible rows across all partitions, as of this snapshot.
+    pub fn visible_rows(&self) -> u64 {
+        self.parts.iter().map(|p| p.visible_rows()).sum()
+    }
 }
 
 impl Table {
@@ -64,12 +104,19 @@ impl Table {
             ));
         }
         config.validate().map_err(TableError::Invalid)?;
+        let versions_live = pool.registry().gauge(names::TABLE_VERSIONS_LIVE);
+        let merge_ns = pool.registry().histogram(names::TABLE_MERGE_NS);
+        let admission = AdmissionController::new(AdmissionConfig::default(), pool.registry());
         let mut table = Table {
+            chain: VersionChain::new(TableVersion::new(0, Vec::new(), versions_live.clone())),
             schema,
             pool,
             config,
-            partitions: Vec::new(),
+            merge_locks: Vec::new(),
+            admission,
             scan_options: ScanOptions::sequential(),
+            versions_live,
+            merge_ns,
         };
         for spec in specs {
             table.add_partition(spec)?;
@@ -88,12 +135,21 @@ impl Table {
             spec.load_policy,
             spec.disposition,
         )?;
-        self.partitions.push(Partition {
-            spec,
-            main,
-            delta: DeltaFragment::new(&self.schema),
+        let schema = &self.schema;
+        let live = self.versions_live.clone();
+        self.chain.publish(move |cur| {
+            let mut parts: Vec<PartitionVersion> =
+                cur.partitions.iter().map(|p| p.share()).collect();
+            parts.push(PartitionVersion {
+                spec,
+                main: MainHandle::new(main),
+                frozen: Vec::new(),
+                active: Arc::new(DeltaCell::new(schema)),
+            });
+            TableVersion::new(cur.vno + 1, parts, live)
         });
-        Ok(PartitionId(self.partitions.len() - 1))
+        self.merge_locks.push(Arc::new(Mutex::new(())));
+        Ok(PartitionId(self.merge_locks.len() - 1))
     }
 
     /// The schema.
@@ -112,9 +168,31 @@ impl Table {
         self.pool.registry()
     }
 
-    /// The partitions in order.
-    pub fn partitions(&self) -> &[Partition] {
-        &self.partitions
+    /// Opens a read session: pins the current version under an admission
+    /// slot. `&self` — sessions never block on a running merge. Fails with
+    /// [`TableError::Overloaded`] when the admission queue is saturated.
+    pub fn session(&self) -> TableResult<Snapshot<'_>> {
+        let permit = self.admission.acquire()?;
+        let version = self.chain.current();
+        let parts = pin_parts(&version);
+        Ok(Snapshot { table: self, version, parts, _permit: permit })
+    }
+
+    /// Replaces the admission policy (and resets its counters' handles).
+    pub fn set_admission(&mut self, config: AdmissionConfig) {
+        self.admission = AdmissionController::new(config, self.pool.registry());
+    }
+
+    /// The active admission policy.
+    pub fn admission_config(&self) -> AdmissionConfig {
+        self.admission.config()
+    }
+
+    /// The partitions of the *current* version, pinned. Point-in-time:
+    /// two calls may observe different versions — queries needing one
+    /// coherent view should go through [`Table::session`].
+    pub fn partitions(&self) -> Vec<Partition> {
+        pin_parts(&self.chain.current())
     }
 
     /// How this table's queries scan main fragments (default: sequential).
@@ -128,18 +206,24 @@ impl Table {
         self.scan_options = opts;
     }
 
-    /// Visible rows across all partitions and fragments.
+    /// Visible rows across all partitions and fragments (current version).
     pub fn visible_rows(&self) -> u64 {
-        self.partitions.iter().map(|p| p.visible_rows()).sum()
+        self.partitions().iter().map(|p| p.visible_rows()).sum()
     }
 
     /// Routes a row to its partition by the partition-column value.
     pub fn route(&self, row: &Row) -> TableResult<PartitionId> {
+        let version = self.chain.current();
+        self.route_in(&version, row)
+    }
+
+    fn route_in(&self, version: &TableVersion, row: &Row) -> TableResult<PartitionId> {
         let value = match self.schema.partition_column() {
             Some(c) => &row[c],
             None => return Ok(PartitionId(0)),
         };
-        self.partitions
+        version
+            .partitions
             .iter()
             .position(|p| p.spec.range.accepts(value))
             .map(PartitionId)
@@ -147,16 +231,29 @@ impl Table {
     }
 
     /// Inserts a row: validated, routed, appended to the target partition's
-    /// delta (new data always lands in a delta first, §4.2).
-    pub fn insert(&mut self, row: Row) -> TableResult<()> {
+    /// active delta (new data always lands in a delta first, §4.2). `&self`:
+    /// writers and readers coexist; a writer racing a merge's freeze step
+    /// retries against the freshly published active cell.
+    pub fn insert(&self, row: Row) -> TableResult<()> {
         self.schema.check_row(&row)?;
-        let PartitionId(p) = self.route(&row)?;
-        self.partitions[p].delta.append(&row);
-        Ok(())
+        loop {
+            let version = self.chain.current();
+            let PartitionId(p) = self.route_in(&version, &row)?;
+            let mut cell = version.partitions[p].active.lock();
+            if cell.sealed {
+                // A merge sealed this cell between our version read and the
+                // lock; the successor version (with a fresh active cell) is
+                // published under the same critical section, so the retry
+                // sees it immediately.
+                continue;
+            }
+            cell.frag.append(&row);
+            return Ok(());
+        }
     }
 
     /// Inserts many rows.
-    pub fn insert_all(&mut self, rows: impl IntoIterator<Item = Row>) -> TableResult<u64> {
+    pub fn insert_all(&self, rows: impl IntoIterator<Item = Row>) -> TableResult<u64> {
         let mut n = 0;
         for row in rows {
             self.insert(row)?;
@@ -165,34 +262,129 @@ impl Table {
         Ok(n)
     }
 
-    /// Delta merge of one partition (§2): all visible rows from the old
-    /// main and the delta move into a freshly built main fragment — every
-    /// structure (data vector, dictionary, inverted index, and for
-    /// page-loadable columns their page chains) is rebuilt — and the delta
-    /// resets to empty.
-    pub fn delta_merge(&mut self, pid: PartitionId) -> TableResult<()> {
-        let p = &mut self.partitions[pid.0];
-        if p.delta.is_empty() && p.main.visible_rows() == p.main.rows() {
-            return Ok(()); // nothing to merge, nothing deleted
+    /// Delta merge of one partition (§2), online and abortable:
+    ///
+    /// 1. **Freeze** — the active delta cell is sealed in place and a
+    ///    version with it on the frozen list (plus a fresh active cell) is
+    ///    published. Readers never see a half-frozen state; writers append
+    ///    to the new cell.
+    /// 2. **Side build** — the replacement main fragment (old main's
+    ///    visible rows + every frozen cell's visible rows) is built into
+    ///    fresh page chains. Queries keep executing against the published
+    ///    version throughout.
+    /// 3. **Publish** — the version with the new main (frozen list empty)
+    ///    replaces the current one, and the old main fragment is flagged
+    ///    for retirement: its page chains are discarded when the last
+    ///    snapshot holding it drops.
+    ///
+    /// A build failure (storage fault, budget, corruption) aborts between
+    /// steps 2 and 3: the frozen-delta version keeps serving — no rows are
+    /// lost, reads stay exact — the side-built chains are reclaimed by the
+    /// builders' cleanup guards, and a retried merge picks the frozen cells
+    /// up again.
+    pub fn delta_merge(&self, pid: PartitionId) -> TableResult<()> {
+        let lock = Arc::clone(&self.merge_locks[pid.0]);
+        let _guard = match lock.lock() {
+            Ok(g) => g,
+            Err(p) => p.into_inner(),
+        };
+        let _span = self.registry().tracer().span(SpanKind::Merge, pid.0 as u64);
+        let started = std::time::Instant::now();
+
+        // Anything to merge? (Clean main, no frozen backlog, empty delta.)
+        {
+            let v = self.chain.current();
+            let pv = &v.partitions[pid.0];
+            let main = pv.main.frag();
+            let dirty = !pv.frozen.is_empty()
+                || pv.active.rows() > 0
+                || main.visible_rows() != main.rows();
+            if !dirty {
+                return Ok(());
+            }
         }
-        let mut rows = p.main.visible_row_values()?;
-        rows.extend(p.delta.visible_row_values(&self.schema)?);
-        let new_main = MainFragment::build(
-            &self.pool,
-            &self.config,
-            &self.schema,
-            &rows,
-            p.spec.load_policy,
-            p.spec.disposition,
-        )?;
-        p.main = new_main;
-        p.delta = DeltaFragment::new(&self.schema);
+
+        // Step 1: freeze. Seal the active cell (when it has rows) and
+        // publish the frozen state. Sealing happens under the publish lock,
+        // so a writer that observes `sealed` finds the successor version
+        // as soon as it re-reads the chain.
+        let live = self.versions_live.clone();
+        let schema = &self.schema;
+        let frozen_version = self.chain.publish(|cur| {
+            let pv = &cur.partitions[pid.0];
+            let mut frozen = pv.frozen.clone();
+            let mut active = Arc::clone(&pv.active);
+            {
+                let mut st = pv.active.lock();
+                if st.frag.rows() > 0 {
+                    st.sealed = true;
+                    drop(st);
+                    frozen.push(Arc::clone(&pv.active));
+                    active = Arc::new(DeltaCell::new(schema));
+                }
+            }
+            let mut parts: Vec<PartitionVersion> =
+                cur.partitions.iter().map(|p| p.share()).collect();
+            parts[pid.0] = PartitionVersion {
+                spec: pv.spec.clone(),
+                main: Arc::clone(&pv.main),
+                frozen,
+                active,
+            };
+            TableVersion::new(cur.vno + 1, parts, live)
+        });
+
+        // Step 2: side build. No table lock is held; faults abort here and
+        // the frozen version keeps serving.
+        let pv = &frozen_version.partitions[pid.0];
+        let build_input = (|| -> TableResult<Vec<Row>> {
+            let mut rows = pv.main.frag().visible_row_values()?;
+            for cell in &pv.frozen {
+                rows.extend(cell.lock().frag.visible_row_values(&self.schema)?);
+            }
+            Ok(rows)
+        })();
+        let built = build_input.and_then(|rows| {
+            MainFragment::build(
+                &self.pool,
+                &self.config,
+                &self.schema,
+                &rows,
+                pv.spec.load_policy,
+                pv.spec.disposition,
+            )
+        });
+        let new_main = match built {
+            Ok(m) => m,
+            Err(e) => {
+                self.merge_ns.record(started.elapsed().as_nanos() as u64);
+                return Err(e);
+            }
+        };
+
+        // Step 3: publish the merged version; retire the replaced main.
+        let live = self.versions_live.clone();
+        let pool = self.pool.clone();
+        self.chain.publish(move |cur| {
+            let pv = &cur.partitions[pid.0];
+            pv.main.schedule_retire(&pool);
+            let mut parts: Vec<PartitionVersion> =
+                cur.partitions.iter().map(|p| p.share()).collect();
+            parts[pid.0] = PartitionVersion {
+                spec: pv.spec.clone(),
+                main: MainHandle::new(new_main),
+                frozen: Vec::new(),
+                active: Arc::clone(&pv.active),
+            };
+            TableVersion::new(cur.vno + 1, parts, live)
+        });
+        self.merge_ns.record(started.elapsed().as_nanos() as u64);
         Ok(())
     }
 
     /// Delta merge of every partition.
-    pub fn delta_merge_all(&mut self) -> TableResult<()> {
-        for p in 0..self.partitions.len() {
+    pub fn delta_merge_all(&self) -> TableResult<()> {
+        for p in 0..self.merge_locks.len() {
             self.delta_merge(PartitionId(p))?;
         }
         Ok(())
@@ -204,8 +396,12 @@ impl Table {
     /// normal routing, so updates to the partition column *move* rows
     /// between partitions (into the target's delta). Returns the number of
     /// rows updated.
+    ///
+    /// Runs under every partition's merge lock (it must not interleave
+    /// with a merge's freeze/build window). Row visibility is read
+    /// committed: an open snapshot observes the deletions as they land.
     pub fn update_rows(
-        &mut self,
+        &self,
         filter_col: &str,
         pred: &ValuePredicate,
         set_col: &str,
@@ -216,29 +412,33 @@ impl Table {
         new_value
             .check_type(self.schema.columns()[scol].data_type)
             .map_err(TableError::Core)?;
+        let _guards = self.all_merge_locks();
+        let version = self.chain.current();
         let mut moved_rows: Vec<Row> = Vec::new();
-        for p in 0..self.partitions.len() {
-            if !self.partitions[p].spec.range.may_match_on(fcol, self.schema.partition_column(), pred)
-            {
+        for pv in &version.partitions {
+            if !pv.spec.range.may_match_on(fcol, self.schema.partition_column(), pred) {
                 continue;
             }
             // Main fragment matches.
-            let main_rows = self.partitions[p].main.find_rows(fcol, pred)?;
-            for rpos in main_rows {
-                let mut row = self.partitions[p].main.row(rpos)?;
+            let main = pv.main.frag();
+            for rpos in main.find_rows(fcol, pred)? {
+                let mut row = main.row(rpos)?;
                 row[scol] = new_value.clone();
-                self.partitions[p].main.delete(rpos);
+                main.delete(rpos);
                 moved_rows.push(row);
             }
-            // Delta fragment matches.
-            let delta_rows = self.partitions[p].delta.find_rows(fcol, pred, &self.schema)?;
-            for rpos in delta_rows {
-                let mut row = self.partitions[p].delta.row(rpos, &self.schema)?;
-                row[scol] = new_value.clone();
-                self.partitions[p].delta.delete(rpos);
-                moved_rows.push(row);
+            // Delta matches: frozen cells (awaiting merge) and the active cell.
+            for cell in pv.frozen.iter().chain(std::iter::once(&pv.active)) {
+                let mut st = cell.lock();
+                for rpos in st.frag.find_rows(fcol, pred, &self.schema)? {
+                    let mut row = st.frag.row(rpos, &self.schema)?;
+                    row[scol] = new_value.clone();
+                    st.frag.delete(rpos);
+                    moved_rows.push(row);
+                }
             }
         }
+        drop(version);
         let n = moved_rows.len() as u64;
         for row in moved_rows {
             self.insert(row)?;
@@ -250,44 +450,56 @@ impl Table {
     /// shift of an aging setup). Existing rows are not touched; call
     /// [`Table::relocate_misplaced`] to move them.
     pub fn set_partition_range(&mut self, pid: PartitionId, range: crate::PartitionRange) {
-        self.partitions[pid.0].spec.range = range;
+        let live = self.versions_live.clone();
+        self.chain.publish(move |cur| {
+            let mut parts: Vec<PartitionVersion> =
+                cur.partitions.iter().map(|p| p.share()).collect();
+            parts[pid.0].spec.range = range;
+            TableVersion::new(cur.vno + 1, parts, live)
+        });
     }
 
     /// Moves every visible row whose partition-column value routes to a
     /// different partition (after a boundary shift or `ADD PARTITION`) into
     /// that partition's delta, exactly like the update-driven move of
-    /// §4.2. Returns the number of rows moved.
-    pub fn relocate_misplaced(&mut self) -> TableResult<u64> {
+    /// §4.2. Returns the number of rows moved. Runs under every partition's
+    /// merge lock, like [`Table::update_rows`].
+    pub fn relocate_misplaced(&self) -> TableResult<u64> {
         let Some(tcol) = self.schema.partition_column() else { return Ok(0) };
+        let _guards = self.all_merge_locks();
+        let version = self.chain.current();
         let mut moved: Vec<Row> = Vec::new();
-        for pi in 0..self.partitions.len() {
+        for pv in &version.partitions {
             // Main fragment.
-            let main_rows = self.partitions[pi].main.rows();
-            for rpos in 0..main_rows {
-                if !self.partitions[pi].main.is_visible(rpos) {
+            let main = pv.main.frag();
+            for rpos in 0..main.rows() {
+                if !main.is_visible(rpos) {
                     continue;
                 }
-                let temp = self.partitions[pi].main.value(rpos, tcol)?;
-                if !self.partitions[pi].spec.range.accepts(&temp) {
-                    let row = self.partitions[pi].main.row(rpos)?;
-                    self.partitions[pi].main.delete(rpos);
+                let temp = main.value(rpos, tcol)?;
+                if !pv.spec.range.accepts(&temp) {
+                    let row = main.row(rpos)?;
+                    main.delete(rpos);
                     moved.push(row);
                 }
             }
-            // Delta fragment.
-            let delta_rows = self.partitions[pi].delta.rows();
-            for rpos in 0..delta_rows {
-                if !self.partitions[pi].delta.is_visible(rpos) {
-                    continue;
-                }
-                let temp = self.partitions[pi].delta.value(rpos, tcol, &self.schema)?;
-                if !self.partitions[pi].spec.range.accepts(&temp) {
-                    let row = self.partitions[pi].delta.row(rpos, &self.schema)?;
-                    self.partitions[pi].delta.delete(rpos);
-                    moved.push(row);
+            // Delta cells.
+            for cell in pv.frozen.iter().chain(std::iter::once(&pv.active)) {
+                let mut st = cell.lock();
+                for rpos in 0..st.frag.rows() {
+                    if !st.frag.is_visible(rpos) {
+                        continue;
+                    }
+                    let temp = st.frag.value(rpos, tcol, &self.schema)?;
+                    if !pv.spec.range.accepts(&temp) {
+                        let row = st.frag.row(rpos, &self.schema)?;
+                        st.frag.delete(rpos);
+                        moved.push(row);
+                    }
                 }
             }
         }
+        drop(version);
         let n = moved.len() as u64;
         for row in moved {
             self.insert(row)?;
@@ -295,14 +507,35 @@ impl Table {
         Ok(n)
     }
 
-    /// Unloads every resident column and drops all unpinned pool frames —
-    /// the experiments' cold-restart simulation.
+    /// Unloads every resident column of the *current* version and drops all
+    /// unpinned pool frames — the experiments' cold-restart simulation.
+    /// Routed through the version chain: a retired-but-still-snapshot-held
+    /// main fragment is not touched, so a concurrent scan on an old
+    /// snapshot never loses a chain it is about to pin.
     pub fn unload_all(&self) {
-        for p in &self.partitions {
-            p.main.unload();
+        let version = self.chain.current();
+        for pv in &version.partitions {
+            pv.main.frag().unload();
         }
         self.pool.clear();
     }
+
+    /// Every partition's merge lock, taken in partition order (the one
+    /// sanctioned order; merges take a single one, so no cycle exists).
+    fn all_merge_locks(&self) -> Vec<std::sync::MutexGuard<'_, ()>> {
+        self.merge_locks
+            .iter()
+            .map(|l| match l.lock() {
+                Ok(g) => g,
+                Err(p) => p.into_inner(),
+            })
+            .collect()
+    }
+}
+
+/// Pins every partition of `version` at its current append watermark.
+fn pin_parts(version: &TableVersion) -> Vec<Partition> {
+    version.partitions.iter().map(|pv| Partition::pin(pv, pv.active.rows())).collect()
 }
 
 impl crate::partition::PartitionRange {
@@ -321,28 +554,43 @@ impl crate::partition::PartitionRange {
     }
 }
 
-
 impl Table {
     /// Reassembles a table from restored parts (catalog restore).
     pub(crate) fn from_parts(
         schema: Schema,
         pool: BufferPool,
         config: PageConfig,
-        partitions: Vec<Partition>,
+        restored: Vec<(PartitionSpec, MainFragment, DeltaFragment)>,
     ) -> Self {
-        Table { schema, pool, config, partitions, scan_options: ScanOptions::sequential() }
+        let versions_live = pool.registry().gauge(names::TABLE_VERSIONS_LIVE);
+        let merge_ns = pool.registry().histogram(names::TABLE_MERGE_NS);
+        let admission = AdmissionController::new(AdmissionConfig::default(), pool.registry());
+        let merge_locks = restored.iter().map(|_| Arc::new(Mutex::new(()))).collect();
+        let partitions: Vec<PartitionVersion> = restored
+            .into_iter()
+            .map(|(spec, main, delta)| PartitionVersion {
+                spec,
+                main: MainHandle::new(main),
+                frozen: Vec::new(),
+                active: Arc::new(DeltaCell::from_fragment(delta)),
+            })
+            .collect();
+        Table {
+            chain: VersionChain::new(TableVersion::new(0, partitions, versions_live.clone())),
+            schema,
+            pool,
+            config,
+            merge_locks,
+            admission,
+            scan_options: ScanOptions::sequential(),
+            versions_live,
+            merge_ns,
+        }
     }
 
     /// The table's page configuration.
     pub fn page_config(&self) -> &PageConfig {
         &self.config
-    }
-}
-
-impl Partition {
-    /// Reassembles a partition from restored parts (catalog restore).
-    pub(crate) fn from_parts(spec: PartitionSpec, main: MainFragment, delta: DeltaFragment) -> Self {
-        Partition { spec, main, delta }
     }
 }
 
@@ -375,7 +623,7 @@ mod tests {
 
     fn aged_table() -> Table {
         // close_date >= 100 → hot; < 100 → cold.
-        let mut t = Table::create(
+        let t = Table::create(
             pool(),
             PageConfig::tiny(),
             orders_schema(),
@@ -398,7 +646,7 @@ mod tests {
 
     #[test]
     fn insert_routes_by_partition_column() {
-        let mut t = aged_table();
+        let t = aged_table();
         assert_eq!(t.partitions()[0].visible_rows(), 50);
         assert_eq!(t.partitions()[1].visible_rows(), 0);
         t.insert(vec![Value::Integer(99), Value::Varchar("closed".into()), Value::Integer(5)])
@@ -408,7 +656,7 @@ mod tests {
 
     #[test]
     fn rows_outside_every_partition_are_rejected() {
-        let mut t = Table::create(
+        let t = Table::create(
             pool(),
             PageConfig::tiny(),
             orders_schema(),
@@ -421,7 +669,7 @@ mod tests {
 
     #[test]
     fn delta_merge_moves_rows_to_main() {
-        let mut t = aged_table();
+        let t = aged_table();
         assert_eq!(t.partitions()[0].delta().visible_rows(), 50);
         assert_eq!(t.partitions()[0].main().rows(), 0);
         t.delta_merge(PartitionId(0)).unwrap();
@@ -439,7 +687,7 @@ mod tests {
 
     #[test]
     fn update_on_partition_column_moves_rows_to_cold_delta() {
-        let mut t = aged_table();
+        let t = aged_table();
         t.delta_merge_all().unwrap();
         // Age orders with id < 10: set close_date to 1 (cold range).
         let moved = t
@@ -469,7 +717,7 @@ mod tests {
 
     #[test]
     fn repeated_merges_are_stable() {
-        let mut t = aged_table();
+        let t = aged_table();
         t.delta_merge_all().unwrap();
         let before = t.visible_rows();
         t.delta_merge_all().unwrap();
@@ -490,5 +738,81 @@ mod tests {
             ],
         );
         assert!(matches!(r, Err(TableError::Invalid(_))));
+    }
+
+    #[test]
+    fn snapshot_is_stable_across_a_merge() {
+        let t = aged_table();
+        let before_merge = t.session().unwrap();
+        assert_eq!(before_merge.partitions()[0].delta().visible_rows(), 50);
+        assert_eq!(before_merge.partitions()[0].main().rows(), 0);
+
+        t.delta_merge_all().unwrap();
+
+        // The pinned snapshot still observes the pre-merge layout…
+        assert_eq!(before_merge.partitions()[0].delta().visible_rows(), 50);
+        assert_eq!(before_merge.partitions()[0].main().rows(), 0);
+        assert_eq!(before_merge.visible_rows(), 50);
+        // …while a fresh session sees the merged one, with the same answer.
+        let after_merge = t.session().unwrap();
+        assert!(after_merge.version_no() > before_merge.version_no());
+        assert_eq!(after_merge.partitions()[0].delta().visible_rows(), 0);
+        assert_eq!(after_merge.partitions()[0].main().visible_rows(), 50);
+        assert_eq!(after_merge.visible_rows(), 50);
+    }
+
+    #[test]
+    fn snapshot_clips_concurrent_inserts() {
+        let t = aged_table();
+        let s = t.session().unwrap();
+        assert_eq!(s.visible_rows(), 50);
+        t.insert(vec![Value::Integer(90), Value::Varchar("new".into()), Value::Integer(200)])
+            .unwrap();
+        // Appended after the snapshot's watermark: invisible to it.
+        assert_eq!(s.visible_rows(), 50);
+        assert_eq!(t.session().unwrap().visible_rows(), 51);
+    }
+
+    #[test]
+    fn retired_main_chains_are_dropped_after_last_snapshot() {
+        let t = aged_table();
+        t.delta_merge_all().unwrap();
+        let store = t.pool().store().clone();
+        let chains_before = store.chains().len();
+        let pinned = t.session().unwrap();
+
+        // Rewrite some rows and merge: the hot partition's main is rebuilt.
+        t.update_rows(
+            "id",
+            &ValuePredicate::Eq(Value::Integer(3)),
+            "status",
+            &Value::Varchar("closed".into()),
+        )
+        .unwrap();
+        t.delta_merge_all().unwrap();
+        // While the pre-merge snapshot lives, the old chains must survive
+        // and stay readable. Deletes are read-committed (the shared bitmap
+        // shows through) while the replacement insert is clipped by the
+        // snapshot watermark, so the pinned view reads 49.
+        assert!(store.chains().len() > chains_before);
+        assert_eq!(pinned.visible_rows(), 49);
+        drop(pinned);
+        // Last holder gone → retirement ran; chain count returns to the
+        // steady state (new mains replaced the old ones one for one).
+        assert_eq!(store.chains().len(), chains_before);
+        assert_eq!(t.visible_rows(), 50);
+    }
+
+    #[test]
+    fn versions_live_gauge_tracks_chain() {
+        let t = aged_table();
+        let gauge = t.registry().gauge(names::TABLE_VERSIONS_LIVE);
+        let baseline = gauge.get();
+        let s = t.session().unwrap();
+        t.delta_merge_all().unwrap();
+        // The snapshot pins its version; merges published more.
+        assert!(gauge.get() >= baseline);
+        drop(s);
+        assert!(gauge.get() >= 1, "current version is always live");
     }
 }

@@ -17,7 +17,7 @@ fn paged_table(indexed: bool, rows: i64) -> Table {
     let schema =
         Schema::new(vec![id, ColumnSpec::new("region", DataType::Varchar)]).unwrap();
     let pool = BufferPool::new(Arc::new(MemStore::new()), ResourceManager::new());
-    let mut t = Table::create(
+    let t = Table::create(
         pool,
         PageConfig::tiny(),
         schema,

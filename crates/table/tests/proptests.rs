@@ -71,7 +71,7 @@ proptest! {
         policy_paged in any::<bool>(),
     ) {
         let policy = if policy_paged { LoadPolicy::PageLoadable } else { LoadPolicy::FullyResident };
-        let mut t = table(policy);
+        let t = table(policy);
         let mut expected: BTreeMap<i64, (String, i64)> = BTreeMap::new();
         for (i, &(id, tag, temp)) in rows.iter().enumerate() {
             // Make ids unique so the multiset is a map: disjoint per-row
@@ -96,7 +96,7 @@ proptest! {
         move_to_cold in prop::collection::vec(any::<bool>(), 5..60),
         merge_between in any::<bool>(),
     ) {
-        let mut t = table(LoadPolicy::PageLoadable);
+        let t = table(LoadPolicy::PageLoadable);
         for (i, &(tag, temp)) in seeds.iter().enumerate() {
             t.insert(row(i as i64, tag, temp)).unwrap();
         }
@@ -134,7 +134,7 @@ proptest! {
         lo in 0i64..200,
         span in 0i64..80,
     ) {
-        let mut t = table(LoadPolicy::PageLoadable);
+        let t = table(LoadPolicy::PageLoadable);
         let mut raw: Vec<Row> = Vec::new();
         for (i, &(tag, temp)) in seeds.iter().enumerate() {
             let r = row(i as i64, tag, temp);

@@ -153,7 +153,7 @@ mod tests {
         let profile = TableProfile::erp(500, 11, 7);
         let schema = profile.schema(false).unwrap();
         let pool = BufferPool::new(Arc::new(MemStore::new()), ResourceManager::new());
-        let mut t = Table::create(
+        let t = Table::create(
             pool,
             PageConfig::tiny(),
             schema,

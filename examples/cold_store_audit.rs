@@ -17,7 +17,7 @@ fn build(profile: &TableProfile, policy: LoadPolicy) -> (Table, ResourceManager)
     let store = LatencyStore::new(MemStore::new(), Duration::from_micros(120));
     let resman = ResourceManager::new();
     let pool = BufferPool::new(Arc::new(store), resman.clone());
-    let mut table = Table::create(
+    let table = Table::create(
         pool,
         PageConfig::default(),
         profile.schema(true).unwrap(),

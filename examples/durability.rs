@@ -30,7 +30,7 @@ fn main() {
         .unwrap()
         .with_primary_key("sensor")
         .unwrap();
-        let mut t = Table::create(
+        let t = Table::create(
             pool,
             PageConfig::default(),
             schema,

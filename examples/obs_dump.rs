@@ -23,7 +23,7 @@ fn main() {
     let pool = BufferPool::new(Arc::new(MemStore::new()), resman.clone());
 
     let profile = TableProfile::erp(20_000, 13, 3);
-    let mut table = Table::create(
+    let table = Table::create(
         pool,
         PageConfig::default(),
         profile.schema(false).unwrap(),

@@ -28,7 +28,7 @@ fn main() {
     .unwrap()
     .with_primary_key("order_id")
     .unwrap();
-    let mut table = Table::create(
+    let table = Table::create(
         pool,
         PageConfig::default(),
         schema,

@@ -14,7 +14,7 @@ fn build() -> (Table, ResourceManager, TableProfile) {
     let profile = TableProfile::erp(3_000, 9, 41);
     let resman = ResourceManager::new();
     let pool = BufferPool::new(Arc::new(MemStore::new()), resman.clone());
-    let mut t = Table::create(
+    let t = Table::create(
         pool,
         PageConfig::tiny(),
         profile.schema(true).unwrap(),
@@ -114,7 +114,7 @@ fn full_scans_race_with_proactive_unloader() {
     let profile = TableProfile::erp(2_000, 9, 43);
     let resman = ResourceManager::with_paged_limits(PoolLimits::new(4 * 1024, 8 * 1024));
     let pool = BufferPool::new(Arc::new(MemStore::new()), resman.clone());
-    let mut t = Table::create(
+    let t = Table::create(
         pool,
         PageConfig::tiny(),
         profile.schema(false).unwrap(),

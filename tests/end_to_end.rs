@@ -11,7 +11,7 @@ use std::sync::Arc;
 fn build(profile: &TableProfile, policy: LoadPolicy) -> (Table, ResourceManager) {
     let resman = ResourceManager::new();
     let pool = BufferPool::new(Arc::new(MemStore::new()), resman.clone());
-    let mut t = Table::create(
+    let t = Table::create(
         pool,
         PageConfig::tiny(),
         profile.schema(true).unwrap(),
@@ -83,7 +83,7 @@ fn file_backed_tables_survive_pool_clears() {
     let profile = TableProfile::erp(1_500, 9, 21);
     let resman = ResourceManager::new();
     let pool = BufferPool::new(Arc::new(FileStore::open(&dir).unwrap()), resman.clone());
-    let mut t = Table::create(
+    let t = Table::create(
         pool,
         PageConfig::tiny(),
         profile.schema(false).unwrap(),

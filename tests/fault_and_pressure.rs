@@ -14,7 +14,7 @@ fn faulty_table() -> (Table, Arc<FaultyStore<MemStore>>, TableProfile) {
     let store = Arc::new(FaultyStore::new(MemStore::new(), FaultPlan::None));
     let resman = ResourceManager::new();
     let pool = BufferPool::new(store.clone() as Arc<dyn PageStore>, resman);
-    let mut t = Table::create(
+    let t = Table::create(
         pool,
         PageConfig::tiny(),
         profile.schema(false).unwrap(),
@@ -59,7 +59,7 @@ fn pool_limits_hold_under_query_traffic() {
     let profile = TableProfile::erp(4_000, 9, 23);
     let resman = ResourceManager::with_paged_limits(PoolLimits::new(8 * 1024, 16 * 1024));
     let pool = BufferPool::new(Arc::new(MemStore::new()), resman.clone());
-    let mut t = Table::create(
+    let t = Table::create(
         pool,
         PageConfig::tiny(),
         profile.schema(false).unwrap(),

@@ -30,7 +30,7 @@ fn erp_table_survives_a_full_restart() {
             Arc::new(FileStore::open(&dir).unwrap()),
             ResourceManager::new(),
         );
-        let mut t = Table::create(
+        let t = Table::create(
             pool,
             PageConfig::tiny(),
             profile.schema(true).unwrap(),
@@ -89,7 +89,7 @@ fn aged_partitions_keep_policies_across_restart() {
             Arc::new(FileStore::open(&dir).unwrap()),
             ResourceManager::new(),
         );
-        let mut t = Table::create(
+        let t = Table::create(
             pool,
             PageConfig::tiny(),
             schema(),
@@ -113,7 +113,7 @@ fn aged_partitions_keep_policies_across_restart() {
         Arc::new(FileStore::open(&dir).unwrap()),
         ResourceManager::new(),
     );
-    let mut t = Table::open(pool, catalog).unwrap();
+    let t = Table::open(pool, catalog).unwrap();
     // Partition specs, policies and routing all survive.
     assert_eq!(t.partitions()[0].spec().load_policy, LoadPolicy::FullyResident);
     assert_eq!(t.partitions()[1].spec().load_policy, LoadPolicy::PageLoadable);

@@ -1,0 +1,29 @@
+//! Seeded snapshot-escape violations: raw fragment accessors used outside
+//! the version module. The analyzer's regression test asserts the exact
+//! findings below — two flagged reads, one suppressed, test code exempt.
+
+pub fn bad_reads(partition: &Partition) {
+    let m = partition.main();
+    let d = partition.delta();
+    use_frags(m, d);
+}
+
+pub fn pinned_reads(p: &Partition) {
+    let m = p.main_frag();
+    let d = p.delta_view();
+    use_frags(m, d);
+}
+
+pub fn suppressed(p: &Partition) {
+    // lint: allow(snapshot-escape) spec-change path republishes every version
+    let m = p.main();
+    drop(m);
+}
+
+#[cfg(test)]
+mod tests {
+    fn test_reads_are_exempt(p: &Partition) {
+        let _ = p.main();
+        let _ = p.delta();
+    }
+}

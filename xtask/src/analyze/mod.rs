@@ -54,6 +54,7 @@ pub const KNOWN_RULES: &[&str] = &[
     "pool-read-page",
     "pef-decode",
     "span-discipline",
+    "snapshot-escape",
     "lock-rank",
     "rank-table",
     "guard-escape",
@@ -595,6 +596,43 @@ mod tests {
                 ("span-discipline".to_string(), f.clone(), 9),
                 ("span-discipline".to_string(), f.clone(), 10),
                 ("span-discipline".to_string(), f, 15),
+            ],
+            "{got:?}"
+        );
+    }
+
+    #[test]
+    fn snapshot_escape_flagged_only_in_table_src() {
+        let bad = "fn f(p: &Partition) { let m = p.main(); let d = p.delta(); }\n";
+        let v = analyze_str("crates/table/src/query.rs", bad);
+        assert_eq!(v.len(), 2, "{v:?}");
+        assert!(v.iter().all(|x| x.rule == "snapshot-escape"), "{v:?}");
+        // The version module owns the protocol; other crates (and the
+        // table crate's test trees) read through the public accessors.
+        assert!(analyze_str("crates/table/src/version.rs", bad).is_empty());
+        assert!(analyze_str("crates/bench/src/series.rs", bad).is_empty());
+        assert!(analyze_str("crates/table/tests/restart.rs", bad).is_empty());
+        // The pinned spellings are the approved ones, and a field named
+        // `main` is not a raw accessor call.
+        let ok = "fn f(p: &Partition) { let m = p.main_frag(); let d = p.delta_view(); }\n";
+        assert!(analyze_str("crates/table/src/query.rs", ok).is_empty());
+        let field = "fn f(pv: &PartitionVersion) { pv.main.schedule_retire(&pool); }\n";
+        assert!(analyze_str("crates/table/src/table.rs", field).is_empty());
+        // Suppression with a reason is honored.
+        let sup = "fn f(p: &Partition) {\n    // lint: allow(snapshot-escape) repair probe\n    let m = p.main();\n}\n";
+        assert!(analyze_str("crates/table/src/catalog.rs", sup).is_empty());
+    }
+
+    #[test]
+    fn snapshot_escape_fixture_exact_findings() {
+        let fixture = include_str!("../../fixtures/snapshot_escape.rs");
+        let got = analyze_units(&[("crates/table/src/fixture.rs", fixture)]);
+        let f = "crates/table/src/fixture.rs".to_string();
+        assert_eq!(
+            got,
+            [
+                ("snapshot-escape".to_string(), f.clone(), 6),
+                ("snapshot-escape".to_string(), f, 7),
             ],
             "{got:?}"
         );

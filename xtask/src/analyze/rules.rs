@@ -23,6 +23,7 @@ pub struct Scope {
     pub pool_read_page: bool,
     pub pef_decode: bool,
     pub span_discipline: bool,
+    pub snapshot_escape: bool,
 }
 
 /// Event kinds that carry page provenance: every emission must go through
@@ -44,6 +45,7 @@ impl Scope {
             || self.pool_read_page
             || self.pef_decode
             || self.span_discipline
+            || self.snapshot_escape
     }
 }
 
@@ -79,6 +81,10 @@ pub fn scope_for(rel: &Path) -> Scope {
         // queries; plain emits there lose the span/batch provenance.
         span_discipline: s.starts_with("crates/storage/src")
             || s.starts_with("crates/core/src"),
+        // The version module owns the snapshot protocol: everywhere else in
+        // the table crate, fragment access must go through a pinned
+        // Partition (main_frag()/delta_view()), never the raw accessors.
+        snapshot_escape: s.starts_with("crates/table/src") && !s.ends_with("/version.rs"),
     }
 }
 
@@ -240,6 +246,19 @@ pub fn run(rel: &Path, lexed: &Lexed, info: &FileInfo, sink: &Sink<'_>) {
                 }
                 j += 1;
             }
+        }
+
+        if scope.snapshot_escape
+            && (method_call(toks, i, "main") || method_call(toks, i, "delta"))
+        {
+            sink.emit(
+                "snapshot-escape",
+                toks[i + 1].line,
+                "raw fragment accessor outside the version module: read \
+                 through a pinned Snapshot/Partition (main_frag()/\
+                 delta_view()) so the query stays on one published table \
+                 version across a concurrent merge",
+            );
         }
 
         if scope.pin_in_loop && info.in_loop[i] && method_call(toks, i, "pin") {
